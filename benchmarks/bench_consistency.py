@@ -1,0 +1,102 @@
+"""FIG-4.9 — the consistency relations, and the engine ablation.
+
+Reproduces the Figure 4.9 model: the six relations are generated from the
+paper's example internet, a missing permission is injected and its cause
+reported, and the two checker implementations (closure fast path vs the
+CLP(R) engine the paper actually describes) are compared on identical
+workloads.
+"""
+
+import pytest
+
+from repro.consistency.checker import ConsistencyChecker, check_with_clpr
+from repro.consistency.facts import FactGenerator
+from repro.consistency.report import InconsistencyKind
+from repro.workloads.generator import InternetParameters, SyntheticInternet
+from repro.workloads.paper import PAPER_SPEC_TEXT
+
+#: The ablation workload: all literal targets, one injected fault per kind.
+ABLATION = InternetParameters(
+    n_domains=6,
+    systems_per_domain=3,
+    silent_domains=(2,),
+    fast_pollers=(0,),
+    egp_pollers=(7,),
+)
+
+
+def test_fig49_relations_generated(benchmark, bare_compiler):
+    result = bare_compiler.compile(PAPER_SPEC_TEXT)
+
+    def generate():
+        return FactGenerator(result.specification, bare_compiler.tree).generate()
+
+    facts = benchmark(generate)
+    # The six relationships of Figure 4.9, as produced for the example:
+    assert len(facts.containment) > 0  # contains(X, Y)
+    assert len(facts.instances) == 3  # instan(X, Y, Z)
+    assert len(facts.references) == 1  # ref_eq / ref_gt
+    assert len(facts.permissions) == 3  # perm_eq / perm_gt
+    benchmark.extra_info["reproduces"] = "Figure 4.9 (logical relationships)"
+
+
+def test_fig49_inconsistency_proof_with_causes(benchmark, bare_compiler):
+    spec = SyntheticInternet(
+        InternetParameters(n_domains=3, systems_per_domain=2, silent_domains=(1,))
+    ).specification()
+
+    def check():
+        return ConsistencyChecker(spec, bare_compiler.tree).check()
+
+    outcome = benchmark(check)
+    assert not outcome.consistent
+    assert set(outcome.kinds()) == {InconsistencyKind.MISSING_PERMISSION}
+    rendered = outcome.render()
+    assert "reference:" in rendered and "origin:" in rendered
+
+
+class TestEngineAblation:
+    """Three engines on the same workload: the Python closure fast path,
+    bottom-up datalog over the rule text, and top-down CLP(R) SLD
+    resolution (the paper's architecture)."""
+
+    def test_closure_engine(self, benchmark, bare_compiler):
+        internet = SyntheticInternet(ABLATION)
+        spec = internet.specification()
+
+        def check():
+            return ConsistencyChecker(spec, bare_compiler.tree).check()
+
+        outcome = benchmark(check)
+        assert len(outcome.inconsistencies) == (
+            internet.expected_inconsistent_references()
+        )
+        benchmark.extra_info["engine"] = "closure (transitivity/distribution in Python)"
+
+    def test_datalog_engine(self, benchmark, bare_compiler):
+        from repro.consistency.datalog_path import check_with_datalog
+
+        internet = SyntheticInternet(ABLATION)
+        spec = internet.specification()
+
+        def check():
+            return check_with_datalog(spec, bare_compiler.tree)
+
+        outcome = benchmark.pedantic(check, rounds=3, iterations=1)
+        assert not outcome.consistent
+        benchmark.extra_info["engine"] = "datalog semi-naive (bottom-up rules)"
+
+    def test_clpr_engine(self, benchmark, bare_compiler):
+        internet = SyntheticInternet(ABLATION)
+        spec = internet.specification()
+
+        def check():
+            return check_with_clpr(spec, bare_compiler.tree)
+
+        outcome = benchmark.pedantic(check, rounds=3, iterations=1)
+        assert not outcome.consistent
+        benchmark.extra_info["engine"] = "CLP(R) SLD resolution (paper's architecture)"
+        benchmark.extra_info["note"] = (
+            "the ablation DESIGN.md calls out: the paper's generic logic "
+            "engine pays an order of magnitude over the pre-reduced closure"
+        )

@@ -1,0 +1,66 @@
+"""SEC-5 / runtime — verifying adherence in the (simulated) network.
+
+Times one simulated hour of management traffic on the campus internet
+with configuration installed via the management path, then the runtime
+verifier's sweep over the query log — for a well-behaved network and one
+with an injected misbehaving manager (which both the verifier and the
+installed per-community rate limits must catch, independently).
+"""
+
+import pytest
+
+from repro.netsim.monitor import RuntimeVerifier
+from repro.netsim.processes import ManagementRuntime
+from repro.workloads.scenarios import campus_internet
+
+DURATION = 3600.0
+
+
+@pytest.fixture(scope="module")
+def compiled(compiler):
+    return compiler.compile(campus_internet())
+
+
+def _run(compiler, compiled, misbehaving_period=None):
+    runtime = ManagementRuntime(compiler, compiled)
+    runtime.install_configuration()
+    overrides = {}
+    if misbehaving_period is not None:
+        bad = next(
+            driver.instance.id
+            for driver in runtime.drivers
+            if driver.instance.process_name == "nocMonitor"
+        )
+        overrides[bad] = misbehaving_period
+    runtime.start(duration_s=DURATION, misbehaving=overrides)
+    runtime.run(DURATION)
+    return runtime
+
+
+def test_simulate_one_hour_clean(benchmark, compiler, compiled):
+    runtime = benchmark.pedantic(
+        lambda: _run(compiler, compiled), rounds=3, iterations=1
+    )
+    assert set(runtime.outcomes()) == {"ok"}
+    benchmark.extra_info["queries"] = len(runtime.log)
+
+
+def test_verify_clean_log(benchmark, compiler, compiled):
+    runtime = _run(compiler, compiled)
+    verifier = RuntimeVerifier(runtime.specification, runtime.facts)
+
+    report = benchmark(verifier.verify, runtime.log)
+    assert report.adheres
+
+
+def test_detect_misbehaving_manager(benchmark, compiler, compiled):
+    runtime = _run(compiler, compiled, misbehaving_period=60.0)
+    verifier = RuntimeVerifier(runtime.specification, runtime.facts)
+
+    report = benchmark(verifier.verify, runtime.log)
+    assert not report.adheres
+    assert runtime.outcomes().get("rate-limited", 0) > 0
+    # Enforcement and observation agree exactly.
+    assert verifier.cross_check_enforcement(runtime.log, report) == []
+    benchmark.extra_info["violations"] = len(report.violations)
+    benchmark.extra_info["rate_limited"] = report.rate_limited_queries

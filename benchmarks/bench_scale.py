@@ -1,0 +1,80 @@
+"""SEC-3.1 — the scale evaluation.
+
+The paper's stated target: "scale to handle very large networks, on the
+order of 100,000 networks (and gateways), 100,000 to a million hosts, and
+10,000 administrative domains."  This sweep measures compile-from-text
+and consistency-check time as the synthetic internet grows, asserting
+near-linear scaling so the target extrapolates to minutes, not days.
+
+The largest tier checks an internet of 10,000 network elements across
+100 domains directly on this machine.
+"""
+
+import pytest
+
+from repro.consistency.checker import ConsistencyChecker
+from repro.workloads.generator import InternetParameters, SyntheticInternet
+
+#: (label, parameters) — systems = n_domains * systems_per_domain.
+TIERS = [
+    ("100-systems", InternetParameters(n_domains=10, systems_per_domain=10)),
+    ("1000-systems", InternetParameters(n_domains=32, systems_per_domain=31)),
+    ("10000-systems", InternetParameters(n_domains=100, systems_per_domain=100)),
+]
+
+
+@pytest.mark.parametrize("label,parameters", TIERS, ids=[t[0] for t in TIERS])
+def test_scale_check(benchmark, bare_compiler, label, parameters):
+    """Consistency-check time vs internet size (model built directly)."""
+    internet = SyntheticInternet(parameters)
+    specification = internet.specification()
+
+    def check():
+        checker = ConsistencyChecker(specification, bare_compiler.tree)
+        return checker.check()
+
+    rounds = 1 if parameters.n_systems >= 10_000 else 3
+    outcome = benchmark.pedantic(check, rounds=rounds, iterations=1)
+    assert outcome.consistent
+    assert outcome.stats["instances"] >= parameters.n_systems
+    benchmark.extra_info["systems"] = parameters.n_systems
+    benchmark.extra_info["domains"] = parameters.n_domains
+    benchmark.extra_info["references"] = outcome.stats["references"]
+
+
+@pytest.mark.parametrize(
+    "label,parameters", TIERS[:2], ids=[t[0] for t in TIERS[:2]]
+)
+def test_scale_compile_from_text(benchmark, bare_compiler, label, parameters):
+    """Full compiler path (lexing + two passes) vs internet size."""
+    text = SyntheticInternet(parameters).text()
+
+    def compile_text():
+        return bare_compiler.compile(text)
+
+    result = benchmark.pedantic(compile_text, rounds=2, iterations=1)
+    assert result.specification.counts()["systems"] == parameters.n_systems
+    benchmark.extra_info["systems"] = parameters.n_systems
+    benchmark.extra_info["nmsl_lines"] = text.count("\n")
+
+
+def test_scale_fault_detection_at_1000(benchmark, bare_compiler):
+    """Injected faults are still found exactly at the 1000-system tier."""
+    parameters = InternetParameters(
+        n_domains=32,
+        systems_per_domain=31,
+        silent_domains=(5, 17),
+        fast_pollers=(3, 30),
+        egp_pollers=(40,),
+    )
+    internet = SyntheticInternet(parameters)
+    specification = internet.specification()
+
+    def check():
+        return ConsistencyChecker(specification, bare_compiler.tree).check()
+
+    outcome = benchmark.pedantic(check, rounds=2, iterations=1)
+    assert len(outcome.inconsistencies) == (
+        internet.expected_inconsistent_references()
+    )
+    benchmark.extra_info["faults_found"] = len(outcome.inconsistencies)

@@ -1,0 +1,75 @@
+"""SEC-4.2 — the speculative uses of the Consistency Checker.
+
+Forward: check a new organization's specification against the existing
+campus and estimate the load it would add.  Reverse: run the check "in
+reverse" with CLP(R) to solve for the query periods that keep the
+combined specification consistent.
+"""
+
+import pytest
+
+from repro.consistency.speculative import SpeculativeChecker, solve_for_frequency
+from repro.workloads.scenarios import campus_internet, new_organization
+
+
+@pytest.fixture(scope="module")
+def campus(bare_compiler):
+    return bare_compiler.compile(campus_internet()).specification
+
+
+@pytest.fixture(scope="module")
+def polite_candidate(bare_compiler):
+    return bare_compiler.compile(
+        new_organization(query_minutes=15), strict=False
+    ).specification
+
+
+def test_whatif_forward_check(benchmark, bare_compiler, campus, polite_candidate):
+    checker = SpeculativeChecker(campus, bare_compiler.tree)
+
+    def what_if():
+        return checker.check_addition(polite_candidate)
+
+    outcome = benchmark(what_if)
+    assert outcome.consistent
+    benchmark.extra_info["reproduces"] = "Section 4.2 speculative (forward)"
+
+
+def test_whatif_detects_bad_candidate(benchmark, bare_compiler, campus):
+    aggressive = bare_compiler.compile(
+        new_organization(query_minutes=1), strict=False
+    ).specification
+    checker = SpeculativeChecker(campus, bare_compiler.tree)
+
+    def what_if():
+        return checker.check_addition(aggressive)
+
+    outcome = benchmark(what_if)
+    assert not outcome.consistent
+    assert outcome.stats["new_problems"] == 1
+
+
+def test_whatif_load_estimate(benchmark, bare_compiler, campus, polite_candidate):
+    checker = SpeculativeChecker(campus, bare_compiler.tree)
+    load = benchmark(checker.estimated_new_load, polite_candidate)
+    assert 1.0 < load < 100.0
+    benchmark.extra_info["estimated_bps"] = round(load, 2)
+
+
+def test_reverse_mode_solves_for_period(benchmark, bare_compiler):
+    combined = bare_compiler.compile(
+        campus_internet() + new_organization(query_minutes=15)
+    ).specification
+
+    def reverse():
+        return solve_for_frequency(
+            combined,
+            bare_compiler.tree,
+            client_process="deptPoller",
+            server_process="snmpAgent",
+        )
+
+    bounds = benchmark.pedantic(reverse, rounds=3, iterations=1)
+    assert any(bound.op == ">=" and bound.seconds == 600.0 for bound in bounds)
+    benchmark.extra_info["reproduces"] = "Section 4.2 speculative (reverse/CLP(R))"
+    benchmark.extra_info["solved_bound"] = "period >= 600 seconds"

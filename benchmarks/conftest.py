@@ -1,0 +1,16 @@
+"""Shared benchmark fixtures."""
+
+import pytest
+
+from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+
+
+@pytest.fixture(scope="session")
+def compiler():
+    """One compiler (MIB tree + registries) shared by all benchmarks."""
+    return NmslCompiler()
+
+
+@pytest.fixture(scope="session")
+def bare_compiler():
+    return NmslCompiler(CompilerOptions(register_codegen=False))

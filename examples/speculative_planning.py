@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Speculative planning: connecting a new organization (paper Section 4.2).
+
+"Consider the scenario where a network administrator is about to connect
+a new organization to the internet."  The administrator writes a
+specification of the new department's expected interactions and tests it
+against the existing campus — forward (what-if) and in reverse (solve for
+the query frequencies that keep the combined specification consistent).
+
+Run:  python examples/speculative_planning.py
+"""
+
+from repro import NmslCompiler, SpeculativeChecker, solve_for_frequency
+from repro.workloads.scenarios import campus_internet, new_organization
+
+
+def main() -> None:
+    compiler = NmslCompiler()
+    campus = compiler.compile(campus_internet()).specification
+    speculative = SpeculativeChecker(campus, compiler.tree)
+
+    print("=== forward what-if: a polite new department (>= 15 minutes) ===")
+    polite = compiler.compile(
+        new_organization(query_minutes=15), strict=False
+    ).specification
+    outcome = speculative.check_addition(polite)
+    print(
+        f"  verdict: {'OK to connect' if outcome.consistent else 'DO NOT CONNECT'} "
+        f"(new problems: {outcome.stats['new_problems']})"
+    )
+    load = speculative.estimated_new_load(polite)
+    print(f"  estimated extra management traffic: {load:.1f} bits/second")
+
+    print("\n=== forward what-if: an aggressive department (>= 1 minute) ===")
+    aggressive = compiler.compile(
+        new_organization(query_minutes=1), strict=False
+    ).specification
+    outcome = speculative.check_addition(aggressive)
+    print(
+        f"  verdict: {'OK to connect' if outcome.consistent else 'DO NOT CONNECT'}"
+    )
+    for problem in outcome.inconsistencies:
+        print("  " + problem.render().replace("\n", "\n  "))
+
+    print("\n=== reverse mode: solve for an acceptable frequency ===")
+    print(
+        "  premise: the combined specification is consistent; question:\n"
+        "  what query periods T may the new deptPoller use against the\n"
+        "  NOC's snmpAgent?"
+    )
+    combined = compiler.compile(
+        campus_internet() + new_organization(query_minutes=15)
+    ).specification
+    bounds = solve_for_frequency(
+        combined, compiler.tree, client_process="deptPoller",
+        server_process="snmpAgent",
+    )
+    for bound in bounds:
+        print(f"  CLP(R) answer: {bound.describe()}")
+    print(
+        "  (the NOC domain exports its system group to the public at a\n"
+        "   10-minute floor, so any period of at least 600 seconds works)"
+    )
+
+
+if __name__ == "__main__":
+    main()

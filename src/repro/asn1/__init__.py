@@ -1,0 +1,62 @@
+"""ASN.1 substrate (ISO 8824 subset) used by NMSL type specifications.
+
+NMSL type specifications embed ASN.1 type bodies (paper Figure 4.1/4.2), and
+the SNMP substrate uses BER (the ASN.1 Basic Encoding Rules) on the wire.
+This package implements the subset of ASN.1 needed by the IETF MIB-I and the
+paper's examples:
+
+* primitive types: ``INTEGER``, ``OCTET STRING``, ``NULL``,
+  ``OBJECT IDENTIFIER``, and the SNMP application types (``IpAddress``,
+  ``Counter``, ``Gauge``, ``TimeTicks``, ``Opaque``);
+* constructed types: ``SEQUENCE { ... }``, ``SEQUENCE OF``, ``CHOICE``;
+* tagged types (``[APPLICATION n] IMPLICIT ...``), named-number lists and
+  simple size/range constraints;
+* type references resolved through an :class:`~repro.asn1.types.Asn1Module`;
+* a BER encoder/decoder for values of these types.
+
+The paper's own examples write ``SEQUENCE of`` in lower case and delimit the
+field list with parentheses; the lexer/parser accept both that spelling and
+standard ASN.1.
+"""
+
+from repro.asn1.lexer import Asn1Lexer, tokenize
+from repro.asn1.nodes import (
+    Asn1Type,
+    ChoiceType,
+    IntegerType,
+    NamedField,
+    NullType,
+    ObjectIdentifierType,
+    OctetStringType,
+    SequenceOfType,
+    SequenceType,
+    TaggedType,
+    TypeRef,
+)
+from repro.asn1.parser import Asn1Parser, parse_type
+from repro.asn1.types import Asn1Module, STANDARD_APPLICATION_TYPES
+from repro.asn1.ber import ber_decode, ber_encode, Tag, TagClass
+
+__all__ = [
+    "Asn1Lexer",
+    "Asn1Module",
+    "Asn1Parser",
+    "Asn1Type",
+    "ChoiceType",
+    "IntegerType",
+    "NamedField",
+    "NullType",
+    "ObjectIdentifierType",
+    "OctetStringType",
+    "STANDARD_APPLICATION_TYPES",
+    "SequenceOfType",
+    "SequenceType",
+    "Tag",
+    "TagClass",
+    "TaggedType",
+    "TypeRef",
+    "ber_decode",
+    "ber_encode",
+    "parse_type",
+    "tokenize",
+]

@@ -1,0 +1,382 @@
+"""Basic Encoding Rules (BER) for the ASN.1 subset.
+
+Implements definite-length TLV encoding as used by SNMPv1 (RFC 1067):
+INTEGER, OCTET STRING, NULL, OBJECT IDENTIFIER, SEQUENCE (OF), tagged types.
+Values follow the Python mapping documented in :mod:`repro.asn1.nodes`.
+
+Encoding is driven by a type description so that IMPLICIT tags (e.g. the
+SNMP application types ``Counter``/``IpAddress``) replace the universal tag
+of the underlying type, exactly as BER requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Mapping, Tuple
+
+from repro.asn1.nodes import (
+    Asn1Type,
+    ChoiceType,
+    IntegerType,
+    NullType,
+    ObjectIdentifierType,
+    OctetStringType,
+    SequenceOfType,
+    SequenceType,
+    TaggedType,
+    TypeRef,
+)
+from repro.errors import BerError
+
+
+class TagClass(IntEnum):
+    """The two class bits of a BER identifier octet."""
+
+    UNIVERSAL = 0
+    APPLICATION = 1
+    CONTEXT = 2
+    PRIVATE = 3
+
+
+_CLASS_BY_NAME = {
+    "UNIVERSAL": TagClass.UNIVERSAL,
+    "APPLICATION": TagClass.APPLICATION,
+    "CONTEXT": TagClass.CONTEXT,
+    "PRIVATE": TagClass.PRIVATE,
+}
+
+# Universal tag numbers used by this subset.
+TAG_INTEGER = 2
+TAG_OCTET_STRING = 4
+TAG_NULL = 5
+TAG_OID = 6
+TAG_SEQUENCE = 16
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A BER tag: class bits, constructed flag and tag number."""
+
+    tag_class: TagClass
+    constructed: bool
+    number: int
+
+    def identifier_octet(self) -> int:
+        if self.number >= 0x1F:
+            raise BerError(f"multi-byte tags unsupported (number={self.number})")
+        return (int(self.tag_class) << 6) | (0x20 if self.constructed else 0) | self.number
+
+
+def _encode_length(length: int) -> bytes:
+    if length < 0:
+        raise BerError("negative length")
+    if length < 0x80:
+        return bytes([length])
+    body = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([0x80 | len(body)]) + body
+
+
+def _encode_tlv(tag: Tag, content: bytes) -> bytes:
+    return bytes([tag.identifier_octet()]) + _encode_length(len(content)) + content
+
+
+def _encode_integer_content(value: int) -> bytes:
+    if value == 0:
+        return b"\x00"
+    length = (value.bit_length() // 8) + 1
+    return value.to_bytes(length, "big", signed=True)
+
+
+def _decode_integer_content(content: bytes) -> int:
+    if not content:
+        raise BerError("empty INTEGER content")
+    return int.from_bytes(content, "big", signed=True)
+
+
+def _encode_oid_content(components: Tuple[int, ...]) -> bytes:
+    if len(components) < 2:
+        raise BerError("OBJECT IDENTIFIER needs at least two components")
+    first, second = components[0], components[1]
+    if not (0 <= first <= 2) or second < 0 or (first < 2 and second > 39):
+        raise BerError(f"invalid OID prefix {first}.{second}")
+    out = bytearray([first * 40 + second])
+    for component in components[2:]:
+        if component < 0:
+            raise BerError("negative OID component")
+        out.extend(_encode_base128(component))
+    return bytes(out)
+
+
+def _encode_base128(value: int) -> bytes:
+    chunks = [value & 0x7F]
+    value >>= 7
+    while value:
+        chunks.append((value & 0x7F) | 0x80)
+        value >>= 7
+    return bytes(reversed(chunks))
+
+
+def _decode_oid_content(content: bytes) -> Tuple[int, ...]:
+    if not content:
+        raise BerError("empty OID content")
+    first = content[0]
+    components: List[int] = [min(first // 40, 2)]
+    components.append(first - components[0] * 40)
+    value = 0
+    in_component = False
+    for octet in content[1:]:
+        value = (value << 7) | (octet & 0x7F)
+        in_component = True
+        if not octet & 0x80:
+            components.append(value)
+            value = 0
+            in_component = False
+    if in_component:
+        raise BerError("truncated OID component")
+    return tuple(components)
+
+
+def _universal_tag(type_: Asn1Type) -> Tag:
+    if isinstance(type_, IntegerType):
+        return Tag(TagClass.UNIVERSAL, False, TAG_INTEGER)
+    if isinstance(type_, OctetStringType):
+        return Tag(TagClass.UNIVERSAL, False, TAG_OCTET_STRING)
+    if isinstance(type_, NullType):
+        return Tag(TagClass.UNIVERSAL, False, TAG_NULL)
+    if isinstance(type_, ObjectIdentifierType):
+        return Tag(TagClass.UNIVERSAL, False, TAG_OID)
+    if isinstance(type_, (SequenceType, SequenceOfType)):
+        return Tag(TagClass.UNIVERSAL, True, TAG_SEQUENCE)
+    raise BerError(f"type {type_.type_name()} has no universal tag")
+
+
+class BerEncoder:
+    """Encodes Python values against a type, resolving references via *module*."""
+
+    def __init__(self, module=None):
+        self._module = module
+
+    def _resolve(self, type_: Asn1Type) -> Asn1Type:
+        if isinstance(type_, TypeRef):
+            if self._module is None:
+                raise BerError(f"unresolved type reference {type_.name!r}")
+            return self._resolve(self._module.lookup(type_.name))
+        return type_
+
+    def encode(self, value: object, type_: Asn1Type) -> bytes:
+        type_ = self._resolve(type_)
+        tag, content = self._tag_and_content(value, type_)
+        return _encode_tlv(tag, content)
+
+    def _tag_and_content(self, value: object, type_: Asn1Type) -> Tuple[Tag, bytes]:
+        type_ = self._resolve(type_)
+        if isinstance(type_, TaggedType):
+            inner_tag, content = self._tag_and_content(value, type_.inner)
+            if not type_.implicit:
+                # EXPLICIT: wrap the complete inner TLV.
+                content = _encode_tlv(inner_tag, content)
+                constructed = True
+            else:
+                constructed = inner_tag.constructed
+            tag = Tag(_CLASS_BY_NAME[type_.tag_class], constructed, type_.tag_number)
+            return tag, content
+        if isinstance(type_, ChoiceType):
+            return self._encode_choice(value, type_)
+        return _universal_tag(type_), self._content_for(value, type_)
+
+    def _encode_choice(self, value: object, type_: ChoiceType) -> Tuple[Tag, bytes]:
+        if not (isinstance(value, tuple) and len(value) == 2):
+            raise BerError("CHOICE value must be a (name, value) pair")
+        name, inner_value = value
+        alternative = type_.alternative_named(name)
+        if alternative is None:
+            raise BerError(f"no CHOICE alternative named {name!r}")
+        return self._tag_and_content(inner_value, alternative.type)
+
+    def _content_for(self, value: object, type_: Asn1Type) -> bytes:
+        if isinstance(type_, IntegerType):
+            if isinstance(value, str):
+                mapped = type_.value_for(value)
+                if mapped is None:
+                    raise BerError(f"{value!r} is not a named number")
+                value = mapped
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise BerError(f"INTEGER value must be int, got {type(value).__name__}")
+            return _encode_integer_content(value)
+        if isinstance(type_, OctetStringType):
+            if isinstance(value, str):
+                value = value.encode("utf-8")
+            if not isinstance(value, (bytes, bytearray)):
+                raise BerError("OCTET STRING value must be bytes or str")
+            return bytes(value)
+        if isinstance(type_, NullType):
+            if value is not None:
+                raise BerError("NULL value must be None")
+            return b""
+        if isinstance(type_, ObjectIdentifierType):
+            components = getattr(value, "components", value)
+            if not isinstance(components, (tuple, list)):
+                raise BerError("OID value must be a tuple of ints")
+            return _encode_oid_content(tuple(components))
+        if isinstance(type_, SequenceType):
+            if not isinstance(value, Mapping):
+                raise BerError("SEQUENCE value must be a mapping")
+            parts = []
+            for member in type_.fields:
+                if member.name not in value:
+                    if member.optional:
+                        continue
+                    raise BerError(f"missing SEQUENCE field {member.name!r}")
+                parts.append(self.encode(value[member.name], member.type))
+            return b"".join(parts)
+        if isinstance(type_, SequenceOfType):
+            if not isinstance(value, (list, tuple)):
+                raise BerError("SEQUENCE OF value must be a list")
+            return b"".join(self.encode(item, type_.element) for item in value)
+        raise BerError(f"cannot encode type {type_.type_name()}")
+
+
+class BerDecoder:
+    """Decodes BER octets against a type description."""
+
+    def __init__(self, module=None):
+        self._module = module
+
+    def _resolve(self, type_: Asn1Type) -> Asn1Type:
+        if isinstance(type_, TypeRef):
+            if self._module is None:
+                raise BerError(f"unresolved type reference {type_.name!r}")
+            return self._resolve(self._module.lookup(type_.name))
+        return type_
+
+    def decode(self, data: bytes, type_: Asn1Type) -> object:
+        value, rest = self.decode_prefix(data, type_)
+        if rest:
+            raise BerError(f"{len(rest)} trailing octets after value")
+        return value
+
+    def decode_prefix(self, data: bytes, type_: Asn1Type) -> Tuple[object, bytes]:
+        """Decode one value of *type_* from the front of *data*."""
+        type_ = self._resolve(type_)
+        if isinstance(type_, ChoiceType):
+            return self._decode_choice(data, type_)
+        tag, content, rest = _split_tlv(data)
+        expected = self._expected_tag(type_)
+        if (tag.tag_class, tag.number) != (expected.tag_class, expected.number):
+            raise BerError(
+                f"tag mismatch: expected class={expected.tag_class.name} "
+                f"number={expected.number}, got class={tag.tag_class.name} "
+                f"number={tag.number}"
+            )
+        return self._value_from_content(content, type_), rest
+
+    def _expected_tag(self, type_: Asn1Type) -> Tag:
+        type_ = self._resolve(type_)
+        if isinstance(type_, TaggedType):
+            inner = self._expected_tag(type_.inner)
+            constructed = inner.constructed if type_.implicit else True
+            return Tag(_CLASS_BY_NAME[type_.tag_class], constructed, type_.tag_number)
+        return _universal_tag(type_)
+
+    def _value_from_content(self, content: bytes, type_: Asn1Type) -> object:
+        type_ = self._resolve(type_)
+        if isinstance(type_, TaggedType):
+            if type_.implicit:
+                return self._value_from_content(content, type_.inner)
+            value, rest = self.decode_prefix(content, type_.inner)
+            if rest:
+                raise BerError("trailing octets inside EXPLICIT tag")
+            return value
+        if isinstance(type_, IntegerType):
+            return _decode_integer_content(content)
+        if isinstance(type_, OctetStringType):
+            return content
+        if isinstance(type_, NullType):
+            if content:
+                raise BerError("NULL content must be empty")
+            return None
+        if isinstance(type_, ObjectIdentifierType):
+            return _decode_oid_content(content)
+        if isinstance(type_, SequenceType):
+            return self._decode_sequence_fields(content, type_)
+        if isinstance(type_, SequenceOfType):
+            items = []
+            rest = content
+            while rest:
+                item, rest = self.decode_prefix(rest, type_.element)
+                items.append(item)
+            return items
+        raise BerError(f"cannot decode type {type_.type_name()}")
+
+    def _decode_sequence_fields(self, content: bytes, type_: SequenceType) -> dict:
+        result = {}
+        rest = content
+        for member in type_.fields:
+            if not rest:
+                if member.optional:
+                    continue
+                raise BerError(f"missing SEQUENCE field {member.name!r}")
+            if member.optional:
+                try:
+                    value, rest = self.decode_prefix(rest, member.type)
+                except BerError:
+                    continue
+            else:
+                value, rest = self.decode_prefix(rest, member.type)
+            result[member.name] = value
+        if rest:
+            raise BerError("trailing octets inside SEQUENCE")
+        return result
+
+    def _decode_choice(self, data: bytes, type_: ChoiceType) -> Tuple[object, bytes]:
+        tag, _content, _rest = _split_tlv(data)
+        for alternative in type_.alternatives:
+            expected = self._expected_tag(alternative.type)
+            if (tag.tag_class, tag.number) == (expected.tag_class, expected.number):
+                value, rest = self.decode_prefix(data, alternative.type)
+                return (alternative.name, value), rest
+        raise BerError(
+            f"no CHOICE alternative matches tag class={tag.tag_class.name} "
+            f"number={tag.number}"
+        )
+
+
+def _split_tlv(data: bytes) -> Tuple[Tag, bytes, bytes]:
+    """Split one TLV off the front of *data*: (tag, content, remainder)."""
+    if len(data) < 2:
+        raise BerError("truncated TLV header")
+    identifier = data[0]
+    tag = Tag(
+        TagClass((identifier >> 6) & 0x03),
+        bool(identifier & 0x20),
+        identifier & 0x1F,
+    )
+    if tag.number == 0x1F:
+        raise BerError("multi-byte tags unsupported")
+    length_octet = data[1]
+    offset = 2
+    if length_octet < 0x80:
+        length = length_octet
+    else:
+        count = length_octet & 0x7F
+        if count == 0:
+            raise BerError("indefinite lengths unsupported")
+        if len(data) < offset + count:
+            raise BerError("truncated long-form length")
+        length = int.from_bytes(data[offset : offset + count], "big")
+        offset += count
+    end = offset + length
+    if len(data) < end:
+        raise BerError("truncated TLV content")
+    return tag, data[offset:end], data[end:]
+
+
+def ber_encode(value: object, type_: Asn1Type, module=None) -> bytes:
+    """Encode *value* as BER octets according to *type_*."""
+    return BerEncoder(module).encode(value, type_)
+
+
+def ber_decode(data: bytes, type_: Asn1Type, module=None) -> object:
+    """Decode BER octets into a Python value according to *type_*."""
+    return BerDecoder(module).decode(data, type_)

@@ -1,0 +1,137 @@
+"""Tokenizer for the ASN.1 subset.
+
+ASN.1 tokens are simple: identifiers (lower-case initial), type references
+(upper-case initial), numbers, a handful of multi-character operators
+(``::=``, ``..``), single-character punctuation, and ``--`` comments that run
+to the next ``--`` or end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import Asn1Error, SourceLocation
+
+# Token kinds.
+IDENT = "IDENT"  # begins lower-case: field and value names
+TYPEREF = "TYPEREF"  # begins upper-case: type references and keywords
+NUMBER = "NUMBER"
+PUNCT = "PUNCT"  # one of  { } ( ) [ ] , ; | and the multi-char ::= ..
+EOF = "EOF"
+
+_PUNCT_CHARS = "{}()[],;|"
+
+
+@dataclass(frozen=True)
+class Asn1Token:
+    """A single lexical token with its source location."""
+
+    kind: str
+    text: str
+    location: SourceLocation
+
+    def matches(self, kind: str, text: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        return text is None or self.text == text
+
+
+class Asn1Lexer:
+    """Streaming tokenizer over ASN.1 source text."""
+
+    def __init__(self, text: str, filename: str = "<asn1>"):
+        self._text = text
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._filename, self._line, self._col)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._text):
+                return
+            if self._text[self._pos] == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+            self._pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._text):
+            return ""
+        return self._text[index]
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._text):
+            ch = self._peek()
+            if ch.isspace():
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                self._advance(2)
+                # A comment ends at the next "--" or at end of line.
+                while self._pos < len(self._text):
+                    if self._peek() == "\n":
+                        break
+                    if self._peek() == "-" and self._peek(1) == "-":
+                        self._advance(2)
+                        break
+                    self._advance()
+            else:
+                return
+
+    def tokens(self) -> Iterator[Asn1Token]:
+        """Yield every token in the input, ending with a single EOF token."""
+        while True:
+            self._skip_whitespace_and_comments()
+            location = self._location()
+            ch = self._peek()
+            if not ch:
+                yield Asn1Token(EOF, "", location)
+                return
+            if ch == ":" and self._peek(1) == ":" and self._peek(2) == "=":
+                self._advance(3)
+                yield Asn1Token(PUNCT, "::=", location)
+            elif ch == "." and self._peek(1) == ".":
+                self._advance(2)
+                yield Asn1Token(PUNCT, "..", location)
+            elif ch in _PUNCT_CHARS:
+                self._advance()
+                yield Asn1Token(PUNCT, ch, location)
+            elif ch.isdigit() or (ch == "-" and self._peek(1).isdigit()):
+                yield self._lex_number(location)
+            elif ch.isalpha():
+                yield self._lex_word(location)
+            else:
+                raise Asn1Error(f"unexpected character {ch!r}", location)
+
+    def _lex_number(self, location: SourceLocation) -> Asn1Token:
+        start = self._pos
+        if self._peek() == "-":
+            self._advance()
+        while self._peek().isdigit():
+            self._advance()
+        return Asn1Token(NUMBER, self._text[start : self._pos], location)
+
+    def _lex_word(self, location: SourceLocation) -> Asn1Token:
+        start = self._pos
+        while self._peek() and (self._peek().isalnum() or self._peek() in "-_"):
+            # ASN.1 identifiers may contain hyphens but not end with one and
+            # not contain "--" (that starts a comment).
+            if self._peek() == "-" and self._peek(1) == "-":
+                break
+            self._advance()
+        word = self._text[start : self._pos]
+        if word[0].isupper():
+            return Asn1Token(TYPEREF, word, location)
+        return Asn1Token(IDENT, word, location)
+
+
+def tokenize(text: str, filename: str = "<asn1>") -> List[Asn1Token]:
+    """Tokenize *text* fully, returning a list ending with the EOF token."""
+    return list(Asn1Lexer(text, filename).tokens())

@@ -1,0 +1,191 @@
+"""ASN.1 type model.
+
+Types are immutable descriptions; values are plain Python objects checked
+against a type (see :mod:`repro.asn1.types` for validation and
+:mod:`repro.asn1.ber` for encoding).  Python-value mapping:
+
+====================  =======================================
+ASN.1 type            Python value
+====================  =======================================
+INTEGER               int
+OCTET STRING          bytes (str accepted and encoded UTF-8)
+NULL                  None
+OBJECT IDENTIFIER     tuple of ints (or :class:`repro.mib.Oid`)
+SEQUENCE { ... }      dict mapping field name to value
+SEQUENCE OF T         list of values of T
+CHOICE                (alternative-name, value) pair
+====================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Asn1Type:
+    """Base class for all ASN.1 type descriptions."""
+
+    def type_name(self) -> str:
+        """A short human-readable name for error messages."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class IntegerType(Asn1Type):
+    """``INTEGER``, optionally with named numbers and/or a value range."""
+
+    named_values: Tuple[Tuple[str, int], ...] = ()
+    minimum: Optional[int] = None
+    maximum: Optional[int] = None
+
+    def type_name(self) -> str:
+        return "INTEGER"
+
+    def name_for(self, value: int) -> Optional[str]:
+        """Return the symbolic name for *value*, if one was declared."""
+        for name, number in self.named_values:
+            if number == value:
+                return name
+        return None
+
+    def value_for(self, name: str) -> Optional[int]:
+        """Return the number declared for symbolic *name*, if any."""
+        for declared, number in self.named_values:
+            if declared == name:
+                return number
+        return None
+
+
+@dataclass(frozen=True)
+class OctetStringType(Asn1Type):
+    """``OCTET STRING``, optionally with a SIZE constraint."""
+
+    min_size: Optional[int] = None
+    max_size: Optional[int] = None
+
+    def type_name(self) -> str:
+        return "OCTET STRING"
+
+
+@dataclass(frozen=True)
+class NullType(Asn1Type):
+    def type_name(self) -> str:
+        return "NULL"
+
+
+@dataclass(frozen=True)
+class ObjectIdentifierType(Asn1Type):
+    def type_name(self) -> str:
+        return "OBJECT IDENTIFIER"
+
+
+@dataclass(frozen=True)
+class NamedField:
+    """One field of a SEQUENCE or one alternative of a CHOICE."""
+
+    name: str
+    type: Asn1Type
+    optional: bool = False
+
+
+@dataclass(frozen=True)
+class SequenceType(Asn1Type):
+    """``SEQUENCE { field Type, ... }``."""
+
+    fields: Tuple[NamedField, ...] = ()
+
+    def type_name(self) -> str:
+        return "SEQUENCE"
+
+    def field_named(self, name: str) -> Optional[NamedField]:
+        for member in self.fields:
+            if member.name == name:
+                return member
+        return None
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(member.name for member in self.fields)
+
+
+@dataclass(frozen=True)
+class SequenceOfType(Asn1Type):
+    """``SEQUENCE OF ElementType``."""
+
+    element: Asn1Type = field(default_factory=NullType)
+
+    def type_name(self) -> str:
+        return f"SEQUENCE OF {self.element.type_name()}"
+
+
+@dataclass(frozen=True)
+class ChoiceType(Asn1Type):
+    """``CHOICE { alt Type, ... }``."""
+
+    alternatives: Tuple[NamedField, ...] = ()
+
+    def type_name(self) -> str:
+        return "CHOICE"
+
+    def alternative_named(self, name: str) -> Optional[NamedField]:
+        for alternative in self.alternatives:
+            if alternative.name == name:
+                return alternative
+        return None
+
+
+@dataclass(frozen=True)
+class TaggedType(Asn1Type):
+    """``[CLASS number] IMPLICIT|EXPLICIT Type``.
+
+    ``tag_class`` is one of ``"UNIVERSAL"``, ``"APPLICATION"``, ``"CONTEXT"``,
+    ``"PRIVATE"``.
+    """
+
+    tag_class: str = "CONTEXT"
+    tag_number: int = 0
+    implicit: bool = True
+    inner: Asn1Type = field(default_factory=NullType)
+
+    def type_name(self) -> str:
+        return f"[{self.tag_class} {self.tag_number}] {self.inner.type_name()}"
+
+
+@dataclass(frozen=True)
+class TypeRef(Asn1Type):
+    """A reference to a named type, resolved via an Asn1Module."""
+
+    name: str = ""
+
+    def type_name(self) -> str:
+        return self.name
+
+
+def named_fields(pairs: Sequence[Tuple[str, Asn1Type]]) -> Tuple[NamedField, ...]:
+    """Convenience constructor for sequences of (name, type) pairs."""
+    return tuple(NamedField(name, typ) for name, typ in pairs)
+
+
+def walk(root: Asn1Type):
+    """Yield *root* and every type nested inside it, depth-first."""
+    yield root
+    if isinstance(root, SequenceType):
+        for member in root.fields:
+            yield from walk(member.type)
+    elif isinstance(root, ChoiceType):
+        for alternative in root.alternatives:
+            yield from walk(alternative.type)
+    elif isinstance(root, SequenceOfType):
+        yield from walk(root.element)
+    elif isinstance(root, TaggedType):
+        yield from walk(root.inner)
+
+
+def references(root: Asn1Type) -> Dict[str, TypeRef]:
+    """Collect every TypeRef nested in *root*, keyed by referenced name."""
+    found: Dict[str, TypeRef] = {}
+    for node in walk(root):
+        if isinstance(node, TypeRef):
+            found.setdefault(node.name, node)
+    return found

@@ -1,0 +1,240 @@
+"""Recursive-descent parser for the ASN.1 subset.
+
+The grammar accepted (a practical subset of ISO 8824, extended to accept the
+paper's spelling — lower-case ``of`` and parenthesised field lists)::
+
+    Type        ::= TaggedType | BuiltinType | TypeRef
+    TaggedType  ::= "[" [Class] number "]" ["IMPLICIT" | "EXPLICIT"] Type
+    Class       ::= "UNIVERSAL" | "APPLICATION" | "PRIVATE"
+    BuiltinType ::= "INTEGER" [NamedNumbers] [Range]
+                  | "OCTET" "STRING" [Size]
+                  | "NULL"
+                  | "OBJECT" "IDENTIFIER"
+                  | "SEQUENCE" ("OF"|"of") Type
+                  | "SEQUENCE" Fields
+                  | "CHOICE" Fields
+    NamedNumbers::= "{" ident "(" number ")" { "," ident "(" number ")" } "}"
+    Range       ::= "(" number ".." number ")"
+    Size        ::= "(" "SIZE" "(" number [".." number] ")" ")"
+    Fields      ::= ("{" | "(") Field { "," Field } ("}" | ")")
+    Field       ::= ident Type ["OPTIONAL"]
+
+Type assignments (``Name ::= Type``) are parsed by :func:`parse_assignments`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.asn1.lexer import Asn1Token, EOF, IDENT, NUMBER, PUNCT, TYPEREF, tokenize
+from repro.asn1.nodes import (
+    Asn1Type,
+    ChoiceType,
+    IntegerType,
+    NamedField,
+    NullType,
+    ObjectIdentifierType,
+    OctetStringType,
+    SequenceOfType,
+    SequenceType,
+    TaggedType,
+    TypeRef,
+)
+from repro.errors import Asn1Error
+
+_TAG_CLASSES = {"UNIVERSAL", "APPLICATION", "PRIVATE"}
+
+
+class Asn1Parser:
+    """Parses a token stream into :class:`~repro.asn1.nodes.Asn1Type` trees."""
+
+    def __init__(self, tokens: List[Asn1Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers.
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Asn1Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Asn1Token:
+        token = self._peek()
+        if token.kind != EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Asn1Token:
+        token = self._next()
+        if not token.matches(kind, text):
+            wanted = text if text is not None else kind
+            raise Asn1Error(
+                f"expected {wanted!r}, found {token.text or token.kind!r}",
+                token.location,
+            )
+        return token
+
+    def _accept(self, kind: str, text: str | None = None) -> Optional[Asn1Token]:
+        if self._peek().matches(kind, text):
+            return self._next()
+        return None
+
+    def at_end(self) -> bool:
+        return self._peek().kind == EOF
+
+    # ------------------------------------------------------------------
+    # Grammar productions.
+    # ------------------------------------------------------------------
+    def parse_type(self) -> Asn1Type:
+        """Parse one Type production."""
+        token = self._peek()
+        if token.matches(PUNCT, "["):
+            return self._parse_tagged()
+        if token.kind == TYPEREF:
+            return self._parse_builtin_or_ref()
+        raise Asn1Error(
+            f"expected a type, found {token.text or token.kind!r}", token.location
+        )
+
+    def _parse_tagged(self) -> TaggedType:
+        self._expect(PUNCT, "[")
+        tag_class = "CONTEXT"
+        token = self._peek()
+        if token.kind == TYPEREF and token.text in _TAG_CLASSES:
+            tag_class = self._next().text
+        number_token = self._expect(NUMBER)
+        self._expect(PUNCT, "]")
+        implicit = True
+        if self._peek().kind == TYPEREF and self._peek().text == "EXPLICIT":
+            self._next()
+            implicit = False
+        elif self._peek().kind == TYPEREF and self._peek().text == "IMPLICIT":
+            self._next()
+        inner = self.parse_type()
+        return TaggedType(
+            tag_class=tag_class,
+            tag_number=int(number_token.text),
+            implicit=implicit,
+            inner=inner,
+        )
+
+    def _parse_builtin_or_ref(self) -> Asn1Type:
+        token = self._next()
+        word = token.text
+        if word == "INTEGER":
+            return self._parse_integer_tail()
+        if word == "OCTET":
+            self._expect(TYPEREF, "STRING")
+            return self._parse_octet_string_tail()
+        if word == "NULL":
+            return NullType()
+        if word == "OBJECT":
+            self._expect(TYPEREF, "IDENTIFIER")
+            return ObjectIdentifierType()
+        if word == "SEQUENCE":
+            return self._parse_sequence_tail()
+        if word == "CHOICE":
+            fields = self._parse_field_list()
+            return ChoiceType(alternatives=fields)
+        return TypeRef(name=word)
+
+    def _parse_integer_tail(self) -> IntegerType:
+        named: Tuple[Tuple[str, int], ...] = ()
+        minimum = maximum = None
+        if self._accept(PUNCT, "{"):
+            pairs: List[Tuple[str, int]] = []
+            while True:
+                name = self._expect(IDENT).text
+                self._expect(PUNCT, "(")
+                number = int(self._expect(NUMBER).text)
+                self._expect(PUNCT, ")")
+                pairs.append((name, number))
+                if not self._accept(PUNCT, ","):
+                    break
+            self._expect(PUNCT, "}")
+            named = tuple(pairs)
+        if self._accept(PUNCT, "("):
+            minimum = int(self._expect(NUMBER).text)
+            self._expect(PUNCT, "..")
+            maximum = int(self._expect(NUMBER).text)
+            self._expect(PUNCT, ")")
+        return IntegerType(named_values=named, minimum=minimum, maximum=maximum)
+
+    def _parse_octet_string_tail(self) -> OctetStringType:
+        if not self._accept(PUNCT, "("):
+            return OctetStringType()
+        self._expect(TYPEREF, "SIZE")
+        self._expect(PUNCT, "(")
+        minimum = int(self._expect(NUMBER).text)
+        maximum = minimum
+        if self._accept(PUNCT, ".."):
+            maximum = int(self._expect(NUMBER).text)
+        self._expect(PUNCT, ")")
+        self._expect(PUNCT, ")")
+        return OctetStringType(min_size=minimum, max_size=maximum)
+
+    def _parse_sequence_tail(self) -> Asn1Type:
+        token = self._peek()
+        # "SEQUENCE OF Type" — the paper writes the keyword in lower case.
+        if (token.kind == TYPEREF and token.text == "OF") or (
+            token.kind == IDENT and token.text == "of"
+        ):
+            self._next()
+            return SequenceOfType(element=self.parse_type())
+        return SequenceType(fields=self._parse_field_list())
+
+    def _parse_field_list(self) -> Tuple[NamedField, ...]:
+        opener = self._next()
+        if opener.matches(PUNCT, "{"):
+            closer = "}"
+        elif opener.matches(PUNCT, "("):
+            closer = ")"
+        else:
+            raise Asn1Error(
+                f"expected '{{' or '(', found {opener.text!r}", opener.location
+            )
+        fields: List[NamedField] = []
+        if self._accept(PUNCT, closer):
+            return tuple(fields)
+        while True:
+            name = self._expect(IDENT).text
+            member_type = self.parse_type()
+            optional = False
+            if self._peek().matches(TYPEREF, "OPTIONAL"):
+                self._next()
+                optional = True
+            fields.append(NamedField(name, member_type, optional))
+            if not self._accept(PUNCT, ","):
+                break
+        self._expect(PUNCT, closer)
+        return tuple(fields)
+
+    def parse_assignments(self) -> Dict[str, Asn1Type]:
+        """Parse zero or more ``Name ::= Type`` assignments."""
+        assignments: Dict[str, Asn1Type] = {}
+        while not self.at_end():
+            name = self._expect(TYPEREF).text
+            self._expect(PUNCT, "::=")
+            assignments[name] = self.parse_type()
+            self._accept(PUNCT, ";")
+        return assignments
+
+
+def parse_type(text: str, filename: str = "<asn1>") -> Asn1Type:
+    """Parse *text* as a single ASN.1 Type and require full consumption."""
+    parser = Asn1Parser(tokenize(text, filename))
+    result = parser.parse_type()
+    # Permit a trailing semicolon, as in NMSL type bodies.
+    parser._accept(PUNCT, ";")
+    if not parser.at_end():
+        token = parser._peek()
+        raise Asn1Error(
+            f"trailing input after type: {token.text!r}", token.location
+        )
+    return result
+
+
+def parse_assignments(text: str, filename: str = "<asn1>") -> Dict[str, Asn1Type]:
+    """Parse ``Name ::= Type`` assignments from *text*."""
+    return Asn1Parser(tokenize(text, filename)).parse_assignments()

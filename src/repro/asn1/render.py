@@ -1,0 +1,89 @@
+"""Render ASN.1 type trees back to notation.
+
+The inverse of :mod:`repro.asn1.parser` for the supported subset:
+``parse_type(render_type(t))`` equals ``t`` (standard spelling is emitted
+— upper-case ``OF``, braces for field lists — even where the paper's
+variant spelling was parsed).
+"""
+
+from __future__ import annotations
+
+from repro.asn1.nodes import (
+    Asn1Type,
+    ChoiceType,
+    IntegerType,
+    NullType,
+    ObjectIdentifierType,
+    OctetStringType,
+    SequenceOfType,
+    SequenceType,
+    TaggedType,
+    TypeRef,
+)
+
+
+def render_type(type_: Asn1Type, indent: int = 0) -> str:
+    """Render *type_* as ASN.1 notation."""
+    pad = "    " * indent
+    inner_pad = "    " * (indent + 1)
+    if isinstance(type_, IntegerType):
+        text = "INTEGER"
+        if type_.named_values:
+            inner = ", ".join(
+                f"{name}({number})" for name, number in type_.named_values
+            )
+            text += f" {{ {inner} }}"
+        if type_.minimum is not None and type_.maximum is not None:
+            text += f" ({type_.minimum}..{type_.maximum})"
+        return text
+    if isinstance(type_, OctetStringType):
+        text = "OCTET STRING"
+        if type_.min_size is not None:
+            if type_.max_size == type_.min_size:
+                text += f" (SIZE ({type_.min_size}))"
+            else:
+                text += f" (SIZE ({type_.min_size}..{type_.max_size}))"
+        return text
+    if isinstance(type_, NullType):
+        return "NULL"
+    if isinstance(type_, ObjectIdentifierType):
+        return "OBJECT IDENTIFIER"
+    if isinstance(type_, SequenceOfType):
+        return f"SEQUENCE OF {render_type(type_.element, indent)}"
+    if isinstance(type_, SequenceType):
+        return _render_fields("SEQUENCE", type_.fields, pad, inner_pad, indent)
+    if isinstance(type_, ChoiceType):
+        return _render_fields("CHOICE", type_.alternatives, pad, inner_pad, indent)
+    if isinstance(type_, TaggedType):
+        mode = "IMPLICIT" if type_.implicit else "EXPLICIT"
+        # CONTEXT is the default class and has no keyword in the notation.
+        tag = (
+            f"[{type_.tag_number}]"
+            if type_.tag_class == "CONTEXT"
+            else f"[{type_.tag_class} {type_.tag_number}]"
+        )
+        return f"{tag} {mode} {render_type(type_.inner, indent)}"
+    if isinstance(type_, TypeRef):
+        return type_.name
+    raise TypeError(f"cannot render {type_!r}")
+
+
+def _render_fields(
+    keyword: str,
+    fields: tuple,
+    pad: str,
+    inner_pad: str,
+    indent: int,
+) -> str:
+    if not fields:
+        return f"{keyword} {{ }}"
+    lines = [f"{keyword} {{"]
+    rendered = []
+    for member in fields:
+        text = f"{inner_pad}{member.name} {render_type(member.type, indent + 1)}"
+        if member.optional:
+            text += " OPTIONAL"
+        rendered.append(text)
+    lines.append(",\n".join(rendered))
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)

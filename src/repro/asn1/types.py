@@ -1,0 +1,210 @@
+"""Named-type registry (a minimal ASN.1 "module") and value validation.
+
+An :class:`Asn1Module` maps type names to parsed types, resolves
+:class:`~repro.asn1.nodes.TypeRef` nodes, detects unresolved and circular
+references, and validates Python values against types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.asn1.nodes import (
+    Asn1Type,
+    ChoiceType,
+    IntegerType,
+    NullType,
+    ObjectIdentifierType,
+    OctetStringType,
+    SequenceOfType,
+    SequenceType,
+    TaggedType,
+    TypeRef,
+    references,
+)
+from repro.asn1.parser import parse_type
+from repro.errors import Asn1Error
+
+
+def _application(number: int, inner: Asn1Type) -> TaggedType:
+    return TaggedType(tag_class="APPLICATION", tag_number=number, inner=inner)
+
+
+#: The SNMP / RFC 1065 application-wide types, predeclared in every module.
+STANDARD_APPLICATION_TYPES: Mapping[str, Asn1Type] = {
+    "IpAddress": _application(0, OctetStringType(min_size=4, max_size=4)),
+    "NetworkAddress": _application(0, OctetStringType(min_size=4, max_size=4)),
+    "Counter": _application(1, IntegerType(minimum=0, maximum=2**32 - 1)),
+    "Gauge": _application(2, IntegerType(minimum=0, maximum=2**32 - 1)),
+    "TimeTicks": _application(3, IntegerType(minimum=0, maximum=2**32 - 1)),
+    "Opaque": _application(4, OctetStringType()),
+    "DisplayString": OctetStringType(),
+    "PhysAddress": OctetStringType(),
+    "ObjectName": ObjectIdentifierType(),
+}
+
+
+class Asn1Module:
+    """A registry of named ASN.1 types with reference resolution.
+
+    Parameters
+    ----------
+    include_standard:
+        When true (default) the SNMP application-wide types (``IpAddress``,
+        ``Counter``, ...) are predeclared.
+    """
+
+    def __init__(self, include_standard: bool = True):
+        self._types: Dict[str, Asn1Type] = {}
+        if include_standard:
+            self._types.update(STANDARD_APPLICATION_TYPES)
+
+    # ------------------------------------------------------------------
+    # Registration and lookup.
+    # ------------------------------------------------------------------
+    def define(self, name: str, type_: Asn1Type, replace: bool = False) -> None:
+        """Register *type_* under *name*.
+
+        Raises :class:`~repro.errors.Asn1Error` on redefinition unless
+        *replace* is set.
+        """
+        if name in self._types and not replace:
+            raise Asn1Error(f"type {name!r} is already defined")
+        self._types[name] = type_
+
+    def define_text(self, name: str, text: str, replace: bool = False) -> Asn1Type:
+        """Parse *text* as a type and register it under *name*."""
+        parsed = parse_type(text)
+        self.define(name, parsed, replace=replace)
+        return parsed
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._types)
+
+    def lookup(self, name: str) -> Asn1Type:
+        if name not in self._types:
+            raise Asn1Error(f"unknown type {name!r}")
+        return self._types[name]
+
+    def resolve(self, type_: Asn1Type, _seen: Optional[Set[str]] = None) -> Asn1Type:
+        """Follow TypeRef chains until a structural type is reached.
+
+        Only the *outermost* references are followed; nested fields keep
+        their references (resolve lazily via :meth:`validate`).  Detects
+        reference cycles.
+        """
+        seen = _seen if _seen is not None else set()
+        while isinstance(type_, TypeRef):
+            if type_.name in seen:
+                chain = " -> ".join(sorted(seen) + [type_.name])
+                raise Asn1Error(f"circular type reference: {chain}")
+            seen.add(type_.name)
+            type_ = self.lookup(type_.name)
+        return type_
+
+    def undefined_references(self, roots: Optional[Iterable[str]] = None) -> Set[str]:
+        """Names referenced (from *roots* or everywhere) but never defined."""
+        missing: Set[str] = set()
+        selected = roots if roots is not None else self._types.keys()
+        for name in selected:
+            for ref_name in references(self.lookup(name)):
+                if ref_name not in self._types:
+                    missing.add(ref_name)
+        return missing
+
+    # ------------------------------------------------------------------
+    # Value validation.
+    # ------------------------------------------------------------------
+    def validate(self, value: object, type_: Asn1Type, path: str = "value") -> None:
+        """Check that *value* conforms to *type_*.
+
+        Raises :class:`~repro.errors.Asn1Error` naming the offending *path*
+        on the first mismatch.
+        """
+        type_ = self.resolve(type_)
+        if isinstance(type_, TaggedType):
+            self.validate(value, type_.inner, path)
+        elif isinstance(type_, IntegerType):
+            self._validate_integer(value, type_, path)
+        elif isinstance(type_, OctetStringType):
+            self._validate_octets(value, type_, path)
+        elif isinstance(type_, NullType):
+            if value is not None:
+                raise Asn1Error(f"{path}: NULL value must be None")
+        elif isinstance(type_, ObjectIdentifierType):
+            self._validate_oid(value, path)
+        elif isinstance(type_, SequenceType):
+            self._validate_sequence(value, type_, path)
+        elif isinstance(type_, SequenceOfType):
+            if not isinstance(value, (list, tuple)):
+                raise Asn1Error(f"{path}: SEQUENCE OF value must be a list")
+            for index, item in enumerate(value):
+                self.validate(item, type_.element, f"{path}[{index}]")
+        elif isinstance(type_, ChoiceType):
+            self._validate_choice(value, type_, path)
+        else:  # pragma: no cover - all subclasses handled above
+            raise Asn1Error(f"{path}: cannot validate {type_.type_name()}")
+
+    def _validate_integer(self, value: object, type_: IntegerType, path: str) -> None:
+        if isinstance(value, str):
+            mapped = type_.value_for(value)
+            if mapped is None:
+                raise Asn1Error(f"{path}: {value!r} is not a named number")
+            value = mapped
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise Asn1Error(f"{path}: INTEGER value must be an int")
+        if type_.minimum is not None and value < type_.minimum:
+            raise Asn1Error(f"{path}: {value} below minimum {type_.minimum}")
+        if type_.maximum is not None and value > type_.maximum:
+            raise Asn1Error(f"{path}: {value} above maximum {type_.maximum}")
+
+    def _validate_octets(self, value: object, type_: OctetStringType, path: str) -> None:
+        if isinstance(value, str):
+            value = value.encode("utf-8")
+        if not isinstance(value, (bytes, bytearray)):
+            raise Asn1Error(f"{path}: OCTET STRING value must be bytes or str")
+        size = len(value)
+        if type_.min_size is not None and size < type_.min_size:
+            raise Asn1Error(f"{path}: size {size} below minimum {type_.min_size}")
+        if type_.max_size is not None and size > type_.max_size:
+            raise Asn1Error(f"{path}: size {size} above maximum {type_.max_size}")
+
+    def _validate_oid(self, value: object, path: str) -> None:
+        components: Optional[Tuple[int, ...]] = None
+        if isinstance(value, (tuple, list)):
+            if all(isinstance(item, int) for item in value):
+                components = tuple(value)
+        elif hasattr(value, "components"):  # repro.mib.Oid duck type
+            components = tuple(value.components)
+        if components is None or len(components) < 2:
+            raise Asn1Error(
+                f"{path}: OBJECT IDENTIFIER value must be a tuple of >= 2 ints"
+            )
+
+    def _validate_sequence(self, value: object, type_: SequenceType, path: str) -> None:
+        if not isinstance(value, Mapping):
+            raise Asn1Error(f"{path}: SEQUENCE value must be a mapping")
+        for member in type_.fields:
+            if member.name not in value:
+                if member.optional:
+                    continue
+                raise Asn1Error(f"{path}: missing field {member.name!r}")
+            self.validate(value[member.name], member.type, f"{path}.{member.name}")
+        extra = set(value) - {member.name for member in type_.fields}
+        if extra:
+            raise Asn1Error(f"{path}: unknown fields {sorted(extra)}")
+
+    def _validate_choice(self, value: object, type_: ChoiceType, path: str) -> None:
+        if not (isinstance(value, tuple) and len(value) == 2):
+            raise Asn1Error(f"{path}: CHOICE value must be a (name, value) pair")
+        name, inner = value
+        alternative = type_.alternative_named(name)
+        if alternative is None:
+            raise Asn1Error(f"{path}: no CHOICE alternative named {name!r}")
+        self.validate(inner, alternative.type, f"{path}.{name}")

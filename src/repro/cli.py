@@ -1,0 +1,226 @@
+"""``nmslc`` — the NMSL compiler command line.
+
+Mirrors the paper's usage: one tool, run either for consistency checking
+(descriptive aspect) or with a parameter requesting configuration output
+of a specific type (prescriptive aspect).
+
+Examples::
+
+    nmslc internet.nmsl --check
+    nmslc internet.nmsl --check --engine clpr
+    nmslc internet.nmsl --output BartsSnmpd
+    nmslc internet.nmsl --output BartsSnmpd --ship-dir /var/spool/nmsl
+    nmslc internet.nmsl --output consistency       # dump CLP(R) facts
+    nmslc internet.nmsl --extensions billing.nmslx --output DavesSnmpd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.codegen.base import ConfigurationGenerator
+from repro.codegen.transport import FileDropTransport, MailSpoolTransport
+from repro.consistency.checker import ConsistencyChecker, check_with_clpr
+from repro.errors import ReproError
+from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+from repro.nmsl.extension import parse_extension
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nmslc",
+        description="NMSL compiler: check consistency and generate "
+        "network-manager configuration",
+    )
+    parser.add_argument("specification", help="NMSL specification file")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the consistency checker and report inconsistencies",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("closure", "clpr"),
+        default="closure",
+        help="consistency engine: scalable closure (default) or the "
+        "faithful CLP(R) path",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="TAG",
+        help="generate output of this type (consistency, BartsSnmpd, "
+        "acl-table, osi, or an extension tag)",
+    )
+    parser.add_argument(
+        "--extensions",
+        nargs="*",
+        default=(),
+        metavar="FILE",
+        help="extension-language files to prepend",
+    )
+    parser.add_argument(
+        "--ship-dir",
+        metavar="DIR",
+        help="ship per-element configuration as files into DIR",
+    )
+    parser.add_argument(
+        "--mail-dir",
+        metavar="DIR",
+        help="ship per-element configuration as mail messages into DIR",
+    )
+    parser.add_argument(
+        "--capacity",
+        action="store_true",
+        help="also warn about elements likely to be swamped",
+    )
+    parser.add_argument(
+        "--lax",
+        action="store_true",
+        help="report semantic errors without aborting compilation",
+    )
+    parser.add_argument(
+        "--format",
+        action="store_true",
+        help="print the specification re-rendered in canonical layout",
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="report hygiene findings (unused processes/permissions, "
+        "unmanaged elements, overbroad grants)",
+    )
+    parser.add_argument(
+        "--list-tags",
+        action="store_true",
+        help="list the registered output types and exit",
+    )
+    parser.add_argument(
+        "--diff-against",
+        metavar="OLDFILE",
+        help="show what changed relative to OLDFILE and which consistency "
+        "problems the change introduces or fixes",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except ReproError as exc:
+        print(f"nmslc: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"nmslc: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    text = Path(args.specification).read_text(encoding="utf-8")
+    extensions = tuple(
+        parse_extension(Path(name).read_text(encoding="utf-8"))
+        for name in args.extensions
+    )
+    compiler = NmslCompiler(
+        CompilerOptions(
+            filename=args.specification,
+            strict=not args.lax,
+            extensions=extensions,
+        )
+    )
+    if args.list_tags:
+        for tag in sorted(set(compiler.registry.tags())):
+            print(tag)
+        return 0
+    result = compiler.compile(text)
+    if args.format:
+        from repro.nmsl.pprint import render_specification
+
+        sys.stdout.write(render_specification(result.specification))
+        return 0
+    counts = result.specification.counts()
+    print(
+        f"compiled {args.specification}: "
+        + ", ".join(f"{count} {kind}" for kind, count in counts.items())
+    )
+    for warning in result.report.warnings:
+        print(f"warning: {warning}")
+    if result.report.errors:
+        for error in result.report.errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    status = 0
+    if args.diff_against:
+        status = max(status, _diff_against(args, compiler, result))
+
+    if args.lint:
+        from repro.consistency.lint import lint_specification
+
+        report = lint_specification(result.specification, compiler.tree)
+        print(report.render())
+
+    if args.check:
+        if args.engine == "clpr":
+            outcome = check_with_clpr(result.specification, compiler.tree)
+        else:
+            checker = ConsistencyChecker(result.specification, compiler.tree)
+            outcome = checker.check(check_capacity=args.capacity)
+        print(outcome.render())
+        if not outcome.consistent:
+            status = 1
+
+    if args.output:
+        if args.ship_dir or args.mail_dir:
+            generator = ConfigurationGenerator(compiler, result)
+            if args.ship_dir:
+                transport = FileDropTransport(Path(args.ship_dir))
+            else:
+                transport = MailSpoolTransport(Path(args.mail_dir))
+            records = generator.ship(args.output, transport)
+            for record in records:
+                print(
+                    f"shipped {record.element} via {record.method} -> "
+                    f"{record.destination} ({record.octets} octets)"
+                )
+        else:
+            bundle = compiler.generate(args.output, result)
+            sys.stdout.write(bundle.text())
+    return status
+
+
+def _diff_against(args, compiler, result) -> int:
+    """Diff the compiled spec against an older version and delta-check."""
+    from repro.consistency.evolution import DeltaChecker, diff_specifications
+
+    old_text = Path(args.diff_against).read_text(encoding="utf-8")
+    old_result = compiler.compile(old_text, strict=False)
+    diff = diff_specifications(old_result.specification, result.specification)
+    print(f"--- changes vs {args.diff_against} ---")
+    print(diff.render())
+    checker = DeltaChecker(compiler.tree)
+    old_outcome = checker.check(old_result.specification)
+    new_outcome = checker.check(result.specification)
+    old_problems = {p.message for p in old_outcome.inconsistencies}
+    new_problems = {p.message for p in new_outcome.inconsistencies}
+    introduced = new_problems - old_problems
+    fixed = old_problems - new_problems
+    print(
+        f"--- verdict: {len(introduced)} problem(s) introduced, "
+        f"{len(fixed)} fixed "
+        f"(re-checked {new_outcome.stats.get('rechecked', '?')} of "
+        f"{new_outcome.stats.get('references', '?')} references) ---"
+    )
+    for message in sorted(introduced):
+        print(f"introduced: {message}")
+    for message in sorted(fixed):
+        print(f"fixed:      {message}")
+    return 1 if introduced else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

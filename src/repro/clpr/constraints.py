@@ -1,0 +1,456 @@
+"""Linear arithmetic constraints over the rationals.
+
+CLP(R)'s distinguishing feature is solving numeric constraints alongside
+logical deduction.  The consistency model only needs *linear* constraints
+(frequencies, rates, sums of bandwidth), so this module implements:
+
+* :class:`LinExpr` — linear expressions ``sum(c_i * V_i) + k`` with exact
+  Fraction coefficients;
+* :class:`Constraint` — a relation ``expr OP 0`` with OP in
+  {=, ≠, ≤, <, ≥, >};
+* :class:`ConstraintStore` — an incremental store with satisfiability
+  checking by Gaussian elimination of equalities followed by
+  Fourier–Motzkin elimination of inequalities, an undo trail for
+  backtracking, and per-variable bound extraction (used by the paper's
+  "reverse" speculative mode to report, e.g., ``T >= 300``).
+
+Disequalities (≠) are checked against implied equalities: the store is
+unsatisfiable if ``expr = 0`` is entailed while ``expr ≠ 0`` is asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.clpr.terms import Numeric, Var
+from repro.errors import ConstraintError
+
+_OPS = ("=", "!=", "<=", "<", ">=", ">")
+
+
+class LinExpr:
+    """A linear expression: coefficient map over variables plus a constant."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(
+        self,
+        coeffs: Optional[Dict[Var, Fraction]] = None,
+        const: Numeric = 0,
+    ):
+        self.coeffs: Dict[Var, Fraction] = {
+            variable: Fraction(value)
+            for variable, value in (coeffs or {}).items()
+            if value != 0
+        }
+        self.const = Fraction(const)
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, value: Numeric) -> "LinExpr":
+        return cls({}, value)
+
+    @classmethod
+    def variable(cls, variable: Var, coefficient: Numeric = 1) -> "LinExpr":
+        return cls({variable: Fraction(coefficient)}, 0)
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        coeffs = dict(self.coeffs)
+        for variable, value in other.coeffs.items():
+            coeffs[variable] = coeffs.get(variable, Fraction(0)) + value
+        return LinExpr(coeffs, self.const + other.const)
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        return self + other.scaled(-1)
+
+    def scaled(self, factor: Numeric) -> "LinExpr":
+        factor = Fraction(factor)
+        return LinExpr(
+            {variable: value * factor for variable, value in self.coeffs.items()},
+            self.const * factor,
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection.
+    # ------------------------------------------------------------------
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def variables(self) -> Tuple[Var, ...]:
+        return tuple(self.coeffs)
+
+    def coefficient(self, variable: Var) -> Fraction:
+        return self.coeffs.get(variable, Fraction(0))
+
+    def substitute(self, variable: Var, replacement: "LinExpr") -> "LinExpr":
+        """Replace *variable* with *replacement* throughout."""
+        coefficient = self.coeffs.get(variable)
+        if coefficient is None:
+            return self
+        remaining = {
+            other: value for other, value in self.coeffs.items() if other != variable
+        }
+        return LinExpr(remaining, self.const) + replacement.scaled(coefficient)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.const == other.const
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.coeffs.items()), self.const))
+
+    def __repr__(self) -> str:
+        parts = []
+        for variable, value in sorted(self.coeffs.items(), key=lambda kv: kv[0].id):
+            if value == 1:
+                parts.append(f"{variable!r}")
+            else:
+                parts.append(f"{value}*{variable!r}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr OP 0`` for OP in =, !=, <=, <, >=, >."""
+
+    expr: LinExpr
+    op: str
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ConstraintError(f"unknown constraint operator {self.op!r}")
+
+    @classmethod
+    def compare(cls, left: LinExpr, op: str, right: LinExpr) -> "Constraint":
+        """Build ``left OP right`` normalised to ``expr OP 0``."""
+        return cls(left - right, op)
+
+    def normalised(self) -> "Constraint":
+        """Rewrite >=, > into <=, < by negating the expression."""
+        if self.op == ">=":
+            return Constraint(self.expr.scaled(-1), "<=")
+        if self.op == ">":
+            return Constraint(self.expr.scaled(-1), "<")
+        return self
+
+    def evaluate(self) -> Optional[bool]:
+        """Truth value when the expression is constant, else None."""
+        if not self.expr.is_constant():
+            return None
+        value = self.expr.const
+        return {
+            "=": value == 0,
+            "!=": value != 0,
+            "<=": value <= 0,
+            "<": value < 0,
+            ">=": value >= 0,
+            ">": value > 0,
+        }[self.op]
+
+    def __repr__(self) -> str:
+        return f"{self.expr!r} {self.op} 0"
+
+
+@dataclass(frozen=True)
+class Bound:
+    """A one-variable bound ``variable OP value`` extracted from the store."""
+
+    variable: Var
+    op: str
+    value: Fraction
+
+    def __repr__(self) -> str:
+        value = (
+            str(self.value.numerator)
+            if self.value.denominator == 1
+            else str(float(self.value))
+        )
+        return f"{self.variable.name} {self.op} {value}"
+
+
+class ConstraintStore:
+    """An incremental store of linear constraints with backtracking.
+
+    ``add`` raises nothing and returns False when the new constraint makes
+    the store unsatisfiable (the solver treats that as goal failure).  The
+    satisfiability check re-runs elimination over the active constraints;
+    stores in this problem domain stay small (tens of constraints), so the
+    simple complete method is preferred over an incremental simplex.
+    """
+
+    def __init__(self):
+        self._constraints: List[Constraint] = []
+
+    # ------------------------------------------------------------------
+    # Trail interface (mirrors Bindings).
+    # ------------------------------------------------------------------
+    def mark(self) -> int:
+        return len(self._constraints)
+
+    def undo_to(self, mark: int) -> None:
+        del self._constraints[mark:]
+
+    def constraints(self) -> Tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    # ------------------------------------------------------------------
+    # Insertion.
+    # ------------------------------------------------------------------
+    def add(self, constraint: Constraint) -> bool:
+        """Add a constraint; returns False (and does not add) if UNSAT."""
+        truth = constraint.evaluate()
+        if truth is not None:
+            return truth
+        candidate = self._constraints + [constraint]
+        if not _satisfiable(candidate):
+            return False
+        self._constraints.append(constraint)
+        return True
+
+    def entails(self, constraint: Constraint) -> bool:
+        """True if the store logically entails *constraint*.
+
+        Checked by refutation: the store plus the negation is UNSAT.  For
+        ``=`` the negation is a disjunction, so both strict sides are
+        tested.
+        """
+        for negation in _negate(constraint):
+            if _satisfiable(self._constraints + [negation]):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Answer extraction.
+    # ------------------------------------------------------------------
+    def bounds_for(self, variable: Var) -> List[Bound]:
+        """Tightest lower/upper bounds for *variable* implied by the store."""
+        others = {
+            other
+            for constraint in self._constraints
+            for other in constraint.expr.variables()
+            if other != variable
+        }
+        rows = [c.normalised() for c in self._constraints]
+        rows = _eliminate_equalities(rows, keep=variable)
+        for other in others:
+            rows = _eliminate_variable(rows, other)
+            if rows is None:
+                raise ConstraintError("store is unsatisfiable")
+        bounds: List[Bound] = []
+        lower: Optional[Tuple[Fraction, bool]] = None  # (value, strict)
+        upper: Optional[Tuple[Fraction, bool]] = None
+        exact: Optional[Fraction] = None
+        for row in rows:
+            coefficient = row.expr.coefficient(variable)
+            if coefficient == 0:
+                continue
+            # row: c*V + k (op) 0  =>  V (op') -k/c
+            threshold = -row.expr.const / coefficient
+            if row.op == "=":
+                exact = threshold
+                continue
+            if row.op == "!=":
+                continue
+            strict = row.op == "<"
+            if coefficient > 0:  # V <= threshold
+                if upper is None or threshold < upper[0] or (
+                    threshold == upper[0] and strict
+                ):
+                    upper = (threshold, strict)
+            else:  # V >= threshold
+                if lower is None or threshold > lower[0] or (
+                    threshold == lower[0] and strict
+                ):
+                    lower = (threshold, strict)
+        if exact is not None:
+            return [Bound(variable, "=", exact)]
+        if (
+            lower is not None
+            and upper is not None
+            and lower[0] == upper[0]
+            and not lower[1]
+            and not upper[1]
+        ):
+            # A closed window of width zero pins the variable exactly.
+            return [Bound(variable, "=", lower[0])]
+        if lower is not None:
+            bounds.append(Bound(variable, ">" if lower[1] else ">=", lower[0]))
+        if upper is not None:
+            bounds.append(Bound(variable, "<" if upper[1] else "<=", upper[0]))
+        return bounds
+
+
+# ----------------------------------------------------------------------
+# Satisfiability via Gaussian + Fourier–Motzkin elimination.
+# ----------------------------------------------------------------------
+def _negate(constraint: Constraint) -> Iterable[Constraint]:
+    """The negation of a constraint as one or two constraints (disjuncts)."""
+    expr, op = constraint.expr, constraint.op
+    if op == "=":
+        return (Constraint(expr, "<"), Constraint(expr, ">"))
+    if op == "!=":
+        return (Constraint(expr, "="),)
+    flip = {"<=": ">", "<": ">=", ">=": "<", ">": "<="}[op]
+    return (Constraint(expr, flip),)
+
+
+def _eliminate_equalities(
+    rows: Sequence[Constraint], keep: Optional[Var] = None
+) -> List[Constraint]:
+    """Substitute out equalities; disequalities kept for the final check.
+
+    When *keep* is given, equalities are solved for some *other* variable
+    so that bounds on *keep* remain visible; an equality mentioning only
+    *keep* is preserved as-is (it pins the variable exactly).
+    """
+    rows = [row.normalised() for row in rows]
+    result: List[Constraint] = []
+    pending = list(rows)
+    while pending:
+        row = pending.pop(0)
+        if row.op != "=" or row.expr.is_constant():
+            result.append(row)
+            continue
+        # Solve the equality for one variable and substitute everywhere.
+        candidates = row.expr.variables()
+        if keep is not None:
+            preferred = [v for v in candidates if v != keep]
+            if not preferred:
+                result.append(row)
+                continue
+            candidates = tuple(preferred)
+        variable = candidates[0]
+        coefficient = row.expr.coefficient(variable)
+        # variable = -(rest)/coefficient
+        rest = LinExpr(
+            {
+                other: value
+                for other, value in row.expr.coeffs.items()
+                if other != variable
+            },
+            row.expr.const,
+        )
+        replacement = rest.scaled(Fraction(-1) / coefficient)
+        pending = [
+            Constraint(item.expr.substitute(variable, replacement), item.op)
+            for item in pending
+        ]
+        result = [
+            Constraint(item.expr.substitute(variable, replacement), item.op)
+            for item in result
+        ]
+    return result
+
+
+def _eliminate_variable(
+    rows: Optional[List[Constraint]], variable: Var
+) -> Optional[List[Constraint]]:
+    """Fourier–Motzkin elimination of one variable from inequality rows.
+
+    Returns None if a constant contradiction is produced.
+    """
+    if rows is None:
+        return None
+    uppers: List[Tuple[LinExpr, bool]] = []  # variable <= expr (strict?)
+    lowers: List[Tuple[LinExpr, bool]] = []  # variable >= expr (strict?)
+    rest: List[Constraint] = []
+    for row in rows:
+        coefficient = row.expr.coefficient(variable)
+        if coefficient == 0 or row.op in ("=", "!="):
+            if coefficient != 0 and row.op == "=":
+                raise ConstraintError("equalities must be eliminated first")
+            if coefficient != 0 and row.op == "!=":
+                # A disequality alone never makes a dense order UNSAT.
+                continue
+            rest.append(row)
+            continue
+        strict = row.op == "<"
+        # c*V + rest OP 0  =>  V OP' -rest/c
+        remainder = LinExpr(
+            {o: v for o, v in row.expr.coeffs.items() if o != variable},
+            row.expr.const,
+        ).scaled(Fraction(-1) / coefficient)
+        if coefficient > 0:
+            uppers.append((remainder, strict))
+        else:
+            lowers.append((remainder, strict))
+    for lower_expr, lower_strict in lowers:
+        for upper_expr, upper_strict in uppers:
+            # lower <= V <= upper  =>  lower - upper <= 0
+            combined = lower_expr - upper_expr
+            op = "<" if (lower_strict or upper_strict) else "<="
+            new_row = Constraint(combined, op)
+            truth = new_row.evaluate()
+            if truth is False:
+                return None
+            if truth is None:
+                rest.append(new_row)
+    return rest
+
+
+def _satisfiable(rows: Sequence[Constraint]) -> bool:
+    """Complete satisfiability check over the rationals."""
+    try:
+        reduced = _eliminate_equalities(rows)
+    except ConstraintError:
+        return False
+    # Constant rows must hold.
+    remaining: List[Constraint] = []
+    disequalities: List[Constraint] = []
+    for row in reduced:
+        truth = row.evaluate()
+        if truth is False:
+            return False
+        if truth is True:
+            continue
+        if row.op == "!=":
+            disequalities.append(row)
+        else:
+            remaining.append(row)
+    variables = {
+        variable for row in remaining for variable in row.expr.variables()
+    }
+    current: Optional[List[Constraint]] = remaining
+    for variable in variables:
+        current = _eliminate_variable(current, variable)
+        if current is None:
+            return False
+    for row in current or ():
+        if row.evaluate() is False:
+            return False
+    # A disequality expr != 0 fails only if the inequalities force expr = 0.
+    for diseq in disequalities:
+        if _forces_zero(remaining, diseq.expr):
+            return False
+    return True
+
+
+def _forces_zero(rows: Sequence[Constraint], expr: LinExpr) -> bool:
+    """Do *rows* entail ``expr = 0``?  (Refutation on both strict sides.)"""
+    for side in ("<", ">"):
+        if _strictly_satisfiable(rows, Constraint(expr, side)):
+            return False
+    return True
+
+
+def _strictly_satisfiable(rows: Sequence[Constraint], extra: Constraint) -> bool:
+    candidate = list(rows) + [extra]
+    variables = {
+        variable for row in candidate for variable in row.expr.variables()
+    }
+    current: Optional[List[Constraint]] = [row.normalised() for row in candidate]
+    for variable in variables:
+        current = _eliminate_variable(current, variable)
+        if current is None:
+            return False
+    return all(row.evaluate() is not False for row in current or ())

@@ -1,0 +1,286 @@
+"""Semi-naive bottom-up (datalog) evaluation with provenance.
+
+Top-down SLD resolution cannot terminate on the transitive/distributive
+closure rules of the consistency model (they are left-recursive), and the
+paper requires the checker to "be easy to evaluate ... and scale to support
+the large networks of the future".  This module evaluates function-free
+Horn rules bottom-up with semi-naive iteration, recording a justification
+for every derived fact so inconsistency reports can show their *immediate
+causes* (paper Section 4.2).
+
+Rules may use numeric guard goals (``<``, ``=<``, ``>``, ``>=``, ``=:=``,
+``=\\=``) evaluated on ground substitutions, and arithmetic via ``is``
+with a ground right-hand side.  Negation is not supported here; the
+checker expresses "reference without permission" by set difference at the
+Python level (its closed-world step), or via the full SLD engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.clpr.program import Clause
+from repro.clpr.terms import Num, Struct, Term, Var, indicator_of
+from repro.clpr.unify import Bindings, unify_or_undo
+from repro.errors import ClprError
+
+_GUARDS = {"<", "=<", ">", ">=", "=:=", "=\\="}
+
+
+@dataclass(frozen=True)
+class Justification:
+    """Why a fact holds: the rule that fired and the premises it used."""
+
+    rule: Optional[Clause]  # None for base facts
+    premises: Tuple[Term, ...] = ()
+
+    def is_base(self) -> bool:
+        return self.rule is None
+
+
+class FactBase:
+    """Derived facts with one justification each (first derivation wins).
+
+    Facts are indexed by predicate indicator and additionally by their
+    first argument, which makes the joins in :func:`forward_chain`
+    near-constant time for the containment/permission relations the
+    consistency checker builds.
+    """
+
+    def __init__(self):
+        self._facts: Dict[Tuple[str, int], Set[Term]] = {}
+        self._why: Dict[Term, Justification] = {}
+        self._by_first_arg: Dict[Tuple[Tuple[str, int], Term], Set[Term]] = {}
+
+    def add(self, fact: Term, why: Justification) -> bool:
+        """Insert; returns True if the fact is new."""
+        indicator = indicator_of(fact)
+        bucket = self._facts.setdefault(indicator, set())
+        if fact in bucket:
+            return False
+        bucket.add(fact)
+        self._why[fact] = why
+        if isinstance(fact, Struct) and fact.args:
+            key = (indicator, fact.args[0])
+            self._by_first_arg.setdefault(key, set()).add(fact)
+        return True
+
+    def facts_matching(self, goal: Term, bindings: Bindings) -> Iterable[Term]:
+        """Candidate facts for *goal*, narrowed by a ground first argument."""
+        indicator = indicator_of(goal)
+        if isinstance(goal, Struct) and goal.args:
+            first = bindings.resolve(goal.args[0])
+            if _ground(first):
+                # Copy: the underlying set grows while joins iterate.
+                return tuple(self._by_first_arg.get((indicator, first), ()))
+        return tuple(self._facts.get(indicator, ()))
+
+    def contains(self, fact: Term) -> bool:
+        return fact in self._facts.get(indicator_of(fact), ())
+
+    def facts_for(self, indicator: Tuple[str, int]) -> FrozenSet[Term]:
+        return frozenset(self._facts.get(indicator, ()))
+
+    def all_facts(self) -> Iterable[Term]:
+        for bucket in self._facts.values():
+            yield from bucket
+
+    def why(self, fact: Term) -> Justification:
+        if fact not in self._why:
+            raise ClprError(f"no justification recorded for {fact!r}")
+        return self._why[fact]
+
+    def explain(self, fact: Term, depth: int = 10) -> List[str]:
+        """A human-readable derivation trace, root first."""
+        lines: List[str] = []
+
+        def visit(current: Term, indent: int, budget: int) -> None:
+            prefix = "  " * indent
+            why = self._why.get(current)
+            if why is None or why.is_base():
+                lines.append(f"{prefix}{current!r}  [given]")
+                return
+            head = why.rule.head if why.rule else current
+            lines.append(f"{prefix}{current!r}  [by rule {head!r} :- ...]")
+            if budget <= 0:
+                lines.append(f"{prefix}  ...")
+                return
+            for premise in why.premises:
+                visit(premise, indent + 1, budget - 1)
+
+        visit(fact, 0, depth)
+        return lines
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._facts.values())
+
+
+def _ground(term: Term) -> bool:
+    if isinstance(term, Var):
+        return False
+    if isinstance(term, Struct):
+        return all(_ground(arg) for arg in term.args)
+    return True
+
+
+def _eval_arith(term: Term, bindings: Bindings) -> Fraction:
+    term = bindings.resolve(term)
+    if isinstance(term, Num):
+        return term.value
+    if isinstance(term, Struct) and len(term.args) == 2 and term.functor in "+-*/":
+        left = _eval_arith(term.args[0], bindings)
+        right = _eval_arith(term.args[1], bindings)
+        if term.functor == "+":
+            return left + right
+        if term.functor == "-":
+            return left - right
+        if term.functor == "*":
+            return left * right
+        if right == 0:
+            raise ClprError("division by zero in guard arithmetic")
+        return left / right
+    raise ClprError(f"cannot evaluate {term!r} as ground arithmetic")
+
+
+def _check_guard(goal: Struct, bindings: Bindings) -> bool:
+    left = _eval_arith(goal.args[0], bindings)
+    right = _eval_arith(goal.args[1], bindings)
+    return {
+        "<": left < right,
+        "=<": left <= right,
+        ">": left > right,
+        ">=": left >= right,
+        "=:=": left == right,
+        "=\\=": left != right,
+    }[goal.functor]
+
+
+def forward_chain(
+    base_facts: Iterable[Term],
+    rules: Sequence[Clause],
+    max_rounds: int = 10_000,
+) -> FactBase:
+    """Compute the least fixpoint of *rules* over *base_facts*.
+
+    Semi-naive: each round only joins rule bodies against at least one fact
+    derived in the previous round.
+    """
+    fb = FactBase()
+    delta: List[Term] = []
+    for fact in base_facts:
+        if not _ground(fact):
+            raise ClprError(f"base fact {fact!r} is not ground")
+        if fb.add(fact, Justification(None)):
+            delta.append(fact)
+
+    for clause in rules:
+        if clause.is_fact():
+            fact = clause.head
+            if not _ground(fact):
+                raise ClprError(f"rule file fact {fact!r} is not ground")
+            if fb.add(fact, Justification(None)):
+                delta.append(fact)
+
+    rules = [clause for clause in rules if not clause.is_fact()]
+    rounds = 0
+    while delta:
+        rounds += 1
+        if rounds > max_rounds:
+            raise ClprError("forward chaining did not converge")
+        delta_by_indicator: Dict[Tuple[str, int], List[Term]] = {}
+        for fact in delta:
+            delta_by_indicator.setdefault(indicator_of(fact), []).append(fact)
+        new_delta: List[Term] = []
+        for clause in rules:
+            _fire_rule(clause, fb, delta_by_indicator, new_delta)
+        delta = new_delta
+    return fb
+
+
+def _is_guard(goal: Term) -> bool:
+    if isinstance(goal, Struct) and goal.functor in _GUARDS and len(goal.args) == 2:
+        return True
+    if isinstance(goal, Struct) and goal.functor == "is" and len(goal.args) == 2:
+        return True
+    return False
+
+
+def _fire_rule(
+    clause: Clause,
+    fb: FactBase,
+    delta_by_indicator: Dict[Tuple[str, int], List[Term]],
+    out: List[Term],
+) -> None:
+    """Fire *clause* once per choice of pivot literal matched against delta.
+
+    The pivot literal is evaluated first (against the delta only), then the
+    remaining positive literals join against the full fact base via the
+    first-argument index, then the guards run on the ground substitution.
+    """
+    positive_indices = [
+        index for index, goal in enumerate(clause.body) if not _is_guard(goal)
+    ]
+    for pivot_position, body_index in enumerate(positive_indices):
+        pivot_indicator = indicator_of(clause.body[body_index])
+        delta_facts = delta_by_indicator.get(pivot_indicator)
+        if not delta_facts:
+            continue
+        renamed = clause.fresh()
+        positives = [goal for goal in renamed.body if not _is_guard(goal)]
+        guards = [goal for goal in renamed.body if _is_guard(goal)]
+        pivot = positives[pivot_position]
+        others = positives[:pivot_position] + positives[pivot_position + 1 :]
+        bindings = Bindings()
+        for fact in delta_facts:
+            mark = bindings.mark()
+            if unify_or_undo(pivot, fact, bindings):
+                _join(renamed, others, 0, guards, bindings, fb, out, [fact])
+                bindings.undo_to(mark)
+
+
+def _join(
+    clause: Clause,
+    goals: List[Term],
+    position: int,
+    guards: List[Term],
+    bindings: Bindings,
+    fb: FactBase,
+    out: List[Term],
+    used: List[Term],
+) -> None:
+    if position == len(goals):
+        if not _check_guards(guards, bindings):
+            return
+        head = bindings.resolve(clause.head)
+        if not _ground(head):
+            raise ClprError(f"derived fact {head!r} is not ground (unsafe rule)")
+        if fb.add(head, Justification(clause, tuple(used))):
+            out.append(head)
+        return
+    goal = goals[position]
+    for fact in fb.facts_matching(goal, bindings):
+        mark = bindings.mark()
+        if unify_or_undo(goal, fact, bindings):
+            used.append(fact)
+            _join(clause, goals, position + 1, guards, bindings, fb, out, used)
+            used.pop()
+            bindings.undo_to(mark)
+
+
+def _check_guards(guards: List[Term], bindings: Bindings) -> bool:
+    """Evaluate guard goals on a (now ground) substitution, binding ``is``."""
+    for goal in guards:
+        assert isinstance(goal, Struct)
+        try:
+            if goal.functor == "is":
+                value = Num(_eval_arith(goal.args[1], bindings))
+                if not unify_or_undo(goal.args[0], value, bindings):
+                    return False
+                continue
+            if not _check_guard(goal, bindings):
+                return False
+        except ClprError:
+            return False
+    return True

@@ -1,0 +1,62 @@
+"""The ``acl-table`` output type: a protocol-independent access table.
+
+One row per (grantor, grantee, variable subtree): the most portable
+rendering of the permission relations, suitable for managers that are not
+SNMP daemons.  Columns are tab-separated::
+
+    grantor	grantee	variables	access	min-period-seconds
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.nmsl.actions import OutputContext, OutputRegistry
+from repro.nmsl.outputs import _facts
+from repro.nmsl.specs import DomainSpec, ProcessSpec
+
+ACL_TAG = "acl-table"
+
+HEADER = "grantor\tgrantee\tvariables\taccess\tmin-period-seconds"
+
+
+def _rows_for_grantor(context: OutputContext, grantor_prefix: str) -> List[str]:
+    facts = _facts(context)
+    rows = []
+    for permission in facts.permissions:
+        if not permission.grantor.startswith(grantor_prefix):
+            continue
+        rows.append(
+            "\t".join(
+                (
+                    permission.grantor,
+                    permission.grantee_domain,
+                    ",".join(permission.variables),
+                    permission.access.value,
+                    f"{permission.frequency.min_period:g}",
+                )
+            )
+        )
+    return rows
+
+
+def acl_process_action(context: OutputContext, spec: ProcessSpec) -> Optional[str]:
+    if not spec.exports:
+        return None
+    facts = _facts(context)
+    rows = []
+    for instance in facts.instances_of_process(spec.name):
+        rows.extend(_rows_for_grantor(context, f"instance:{instance.id}"))
+    return "\n".join(rows) if rows else None
+
+
+def acl_domain_action(context: OutputContext, spec: DomainSpec) -> Optional[str]:
+    if not spec.exports:
+        return None
+    rows = _rows_for_grantor(context, f"domain:{spec.name}")
+    return "\n".join(rows) if rows else None
+
+
+def register_acl_outputs(registry: OutputRegistry) -> None:
+    registry.register(ACL_TAG, "process", acl_process_action)
+    registry.register(ACL_TAG, "domain", acl_domain_action)

@@ -1,0 +1,97 @@
+"""Shipping generated configuration to network elements.
+
+Paper Section 5 lists three delivery methods: via the management protocol
+itself (the ideal), copying a file to the element, or electronic mail to
+the element's administrator.  The protocol method is implemented live in
+:mod:`repro.netsim.processes`; this module provides the other two as
+spool-directory simulations plus an in-memory callback transport for
+tests.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ShipmentRecord:
+    """One delivered configuration."""
+
+    element: str
+    method: str
+    destination: str
+    octets: int
+
+
+class Transport:
+    """Interface for configuration delivery."""
+
+    method = "abstract"
+
+    def deliver(self, element: str, text: str) -> ShipmentRecord:
+        raise NotImplementedError
+
+
+def _safe_name(element: str) -> str:
+    cleaned = re.sub(r"[^A-Za-z0-9._-]", "_", element)
+    return cleaned or "unnamed"
+
+
+class FileDropTransport(Transport):
+    """Write ``<spool>/<element>.conf`` — the "copied, in the form of a
+    file, to the affected network element" method."""
+
+    method = "file"
+
+    def __init__(self, spool_dir: Path):
+        self._spool = Path(spool_dir)
+        self._spool.mkdir(parents=True, exist_ok=True)
+
+    def deliver(self, element: str, text: str) -> ShipmentRecord:
+        path = self._spool / f"{_safe_name(element)}.conf"
+        path.write_text(text, encoding="utf-8")
+        return ShipmentRecord(element, self.method, str(path), len(text))
+
+
+class MailSpoolTransport(Transport):
+    """Write an RFC-822-style message per element — the "sent via
+    electronic mail to the administrator" method, simulated."""
+
+    method = "mail"
+
+    def __init__(self, spool_dir: Path, sender: str = "nmsl-compiler@noc"):
+        self._spool = Path(spool_dir)
+        self._spool.mkdir(parents=True, exist_ok=True)
+        self._sender = sender
+        self._sequence = 0
+
+    def deliver(self, element: str, text: str) -> ShipmentRecord:
+        self._sequence += 1
+        recipient = f"postmaster@{element}"
+        message = (
+            f"From: {self._sender}\n"
+            f"To: {recipient}\n"
+            f"Subject: NMSL configuration update for {element}\n"
+            "\n"
+            f"{text}\n"
+        )
+        path = self._spool / f"msg-{self._sequence:04d}-{_safe_name(element)}.eml"
+        path.write_text(message, encoding="utf-8")
+        return ShipmentRecord(element, self.method, recipient, len(message))
+
+
+class CallbackTransport(Transport):
+    """Hand each configuration to a callable — used by tests and by the
+    simulator glue that installs configuration into running agents."""
+
+    method = "callback"
+
+    def __init__(self, receiver: Callable[[str, str], None]):
+        self._receiver = receiver
+
+    def deliver(self, element: str, text: str) -> ShipmentRecord:
+        self._receiver(element, text)
+        return ShipmentRecord(element, self.method, "callback", len(text))

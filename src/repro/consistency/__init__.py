@@ -1,0 +1,94 @@
+"""The NMSL Consistency Checker (paper Section 4.2).
+
+The consistency model has six relationships (paper Figure 4.9):
+
+=====================  ====================================================
+``contains(X, Y)``     X contains Y
+``instan(X, Y, Z)``    X instantiates Y with unique id Z
+``ref_eq(X,Y,A,T)``    it is possible that X references Y for access A
+                       every T seconds
+``ref_gt(X,Y,A,T)``    ... at most every T seconds
+``perm_eq(X,Y,A,T)``   X has permission to reference Y for access A every
+                       T seconds
+``perm_gt(X,Y,A,T)``   ... at most every T seconds
+=====================  ====================================================
+
+"A NMSL specification is said to be consistent if, for every reference
+relationship, there is a corresponding permission."  Three rule families
+drive the proof: **transitivity** (containment), **distribution**
+(containment/instantiation over each other and over reference and
+permission), and **reduction** (relating references to permissions).  The
+proof is a *proof of inconsistency* under a closed-world assumption; found
+inconsistencies are reported with their immediate causes.
+
+Two implementations are provided, compared by an ablation benchmark:
+
+* :class:`~repro.consistency.checker.ConsistencyChecker` — the scalable
+  closure-based checker (bottom-up datalog for the closure rules, set
+  difference for the closed-world reduction step);
+* :func:`~repro.consistency.checker.check_with_clpr` — the faithful path:
+  the compiler's CLP(R) consistency output plus the rule text of
+  :mod:`repro.consistency.rules`, run through :class:`repro.clpr.Engine`;
+* :func:`~repro.consistency.datalog_path.check_with_datalog` — the middle
+  ground: the same rules evaluated bottom-up (semi-naive), with the
+  closed-world negation as a final set difference.
+
+Speculative modes (paper Section 4.2) live in
+:mod:`repro.consistency.speculative`: checking a new organisation's
+specification against an existing internet, and running the check "in
+reverse" to solve for the reference/permission parameters that keep the
+combined specification consistent.
+"""
+
+from repro.consistency.relations import (
+    ACCESS_ORDER,
+    Permission,
+    Reference,
+    access_atom,
+)
+from repro.consistency.facts import FactGenerator, InstanceId
+from repro.consistency.checker import (
+    ConsistencyChecker,
+    ConsistencyResult,
+    check_with_clpr,
+)
+from repro.consistency.datalog_path import check_with_datalog
+from repro.consistency.evolution import (
+    DeltaChecker,
+    SpecificationDiff,
+    diff_specifications,
+)
+from repro.consistency.lint import (
+    LintFinding,
+    LintKind,
+    LintReport,
+    SpecificationLinter,
+    lint_specification,
+)
+from repro.consistency.report import Inconsistency, InconsistencyKind
+from repro.consistency.speculative import SpeculativeChecker, solve_for_frequency
+
+__all__ = [
+    "ACCESS_ORDER",
+    "ConsistencyChecker",
+    "ConsistencyResult",
+    "DeltaChecker",
+    "FactGenerator",
+    "SpecificationDiff",
+    "diff_specifications",
+    "Inconsistency",
+    "InconsistencyKind",
+    "InstanceId",
+    "LintFinding",
+    "LintKind",
+    "LintReport",
+    "Permission",
+    "Reference",
+    "SpecificationLinter",
+    "lint_specification",
+    "SpeculativeChecker",
+    "access_atom",
+    "check_with_clpr",
+    "check_with_datalog",
+    "solve_for_frequency",
+]

@@ -1,0 +1,418 @@
+"""The Consistency Checker: prove inconsistency, report causes.
+
+Two implementations of the paper's model:
+
+* :class:`ConsistencyChecker` — the scalable path.  Containment closure
+  and reference/permission expansion are computed in Python (they are the
+  transitivity/distribution rules applied to ground facts), and the
+  reduction step is a closed-world set check: every reference must find a
+  covering permission.  This is what the Section 3.1 scale goal demands.
+
+* :func:`check_with_clpr` — the faithful path.  The compiler's CLP(R)
+  consistency output (:meth:`FactSet.to_clpr_text`) plus the rule text of
+  :mod:`repro.consistency.rules` are handed to the
+  :class:`repro.clpr.Engine`, and ``inconsistent(R)`` is queried — exactly
+  the architecture of paper Figure 3.1.  Wildcard (``*``) query targets
+  are outside this path (their values are unknown until run time); the
+  scalable path checks them existentially.
+
+The ablation benchmark ``benchmarks/bench_consistency.py`` compares both.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clpr.program import parse_program
+from repro.clpr.solver import Engine
+from repro.consistency.facts import FactGenerator, FactSet, InstanceId
+from repro.consistency.relations import (
+    Permission,
+    Reference,
+    permission_covers,
+)
+from repro.consistency.report import (
+    ConsistencyResult,
+    Inconsistency,
+    InconsistencyKind,
+)
+from repro.consistency.rules import CONSISTENCY_RULES
+from repro.mib.tree import MibTree
+from repro.mib.view import MibView
+from repro.nmsl.specs import Specification, PUBLIC_DOMAIN
+
+
+class ConsistencyChecker:
+    """Closure-based consistency checking over a typed specification."""
+
+    def __init__(
+        self,
+        specification: Specification,
+        tree: MibTree,
+        public_domain: str = PUBLIC_DOMAIN,
+    ):
+        self._spec = specification
+        self._tree = tree
+        self._public = public_domain
+        self._facts: Optional[FactSet] = None
+        self._view_cache: Dict[Tuple[str, ...], MibView] = {}
+
+    @property
+    def facts(self) -> FactSet:
+        if self._facts is None:
+            self._facts = FactGenerator(self._spec, self._tree).generate()
+        return self._facts
+
+    # ------------------------------------------------------------------
+    # The check.
+    # ------------------------------------------------------------------
+    def check(self, check_capacity: bool = False) -> ConsistencyResult:
+        started = time.perf_counter()
+        facts = self.facts
+        problems: List[Inconsistency] = []
+        warnings: List[str] = list(facts.warnings)
+
+        problems.extend(self._check_instantiations(facts, warnings))
+        for reference in facts.references:
+            problems.extend(self._check_reference(reference, facts))
+        if check_capacity:
+            warnings.extend(self._check_capacity(facts))
+
+        elapsed = time.perf_counter() - started
+        return ConsistencyResult(
+            consistent=not problems,
+            inconsistencies=problems,
+            warnings=warnings,
+            stats={
+                "instances": len(facts.instances),
+                "references": len(facts.references),
+                "permissions": len(facts.permissions),
+                "containment_edges": len(facts.containment),
+                "seconds": elapsed,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Instantiation consistency: a process must fit its network element.
+    # ------------------------------------------------------------------
+    def _check_instantiations(
+        self, facts: FactSet, warnings: List[str]
+    ) -> List[Inconsistency]:
+        """An agent's effective view is ``process supports ∩ element supports``.
+
+        The paper's own example instantiates an agent supporting the full
+        MIB on an element without EGP — the view is silently clipped, so a
+        non-empty intersection is only worth a warning.  An *empty*
+        intersection means the instantiation can serve nothing: reported
+        as an inconsistency.
+        """
+        problems: List[Inconsistency] = []
+        for instance in facts.instances:
+            if instance.owner_kind != "system":
+                continue
+            supported = facts.instance_supports[instance.id]
+            element_view = facts.system_supports.get(instance.owner)
+            if element_view is None or supported.is_empty():
+                continue
+            if element_view.covers_view(supported):
+                continue
+            effective = supported.intersection(element_view)
+            if effective.is_empty():
+                problems.append(
+                    Inconsistency(
+                        kind=InconsistencyKind.INSTANTIATION_CONFLICT,
+                        message=(
+                            f"process {instance.process_name!r} on "
+                            f"{instance.owner!r} supports no data the element "
+                            f"supports (process: {sorted(supported.paths())}, "
+                            f"element: {sorted(element_view.paths())})"
+                        ),
+                    )
+                )
+            else:
+                warnings.append(
+                    f"process {instance.process_name!r} on {instance.owner!r}: "
+                    "supported view clipped to what the element supports "
+                    f"({sorted(effective.paths())})"
+                )
+        return problems
+
+    # ------------------------------------------------------------------
+    # Reference reduction.
+    # ------------------------------------------------------------------
+    def _check_reference(
+        self, reference: Reference, facts: FactSet
+    ) -> List[Inconsistency]:
+        candidates, existential, data_system = self._candidate_servers(
+            reference, facts
+        )
+        if candidates is None:  # unknown/external target: cannot check
+            return []
+        if not candidates:
+            return [
+                Inconsistency(
+                    kind=InconsistencyKind.NO_SERVER,
+                    message=(
+                        f"no server instance (or proxy) exists for query "
+                        f"target {reference.server!r}"
+                    ),
+                    reference=reference,
+                )
+            ]
+        reference_view = self._view(reference.variables)
+        failures: List[Tuple[InstanceId, Inconsistency]] = []
+        successes = 0
+        for server in candidates:
+            problem = self._check_against_server(
+                reference, server, reference_view, facts, data_system
+            )
+            if problem is None:
+                successes += 1
+                if existential:
+                    return []
+            else:
+                failures.append((server, problem))
+        if existential:
+            # No candidate worked; report the nearest misses.
+            causes = tuple(
+                f"{server.id}: {problem.causes[0] if problem.causes else problem.message}"
+                for server, problem in failures[:5]
+            )
+            return [
+                Inconsistency(
+                    kind=failures[0][1].kind if failures else InconsistencyKind.NO_SERVER,
+                    message=(
+                        f"no instantiated server can satisfy this query "
+                        f"(tried {len(failures)})"
+                    ),
+                    reference=reference,
+                    causes=causes,
+                )
+            ]
+        return [problem for _server, problem in failures]
+
+    def _candidate_servers(
+        self, reference: Reference, facts: FactSet
+    ) -> Tuple[Optional[List[InstanceId]], bool, Optional[str]]:
+        """Candidate servers, coverage mode, and whose data is served.
+
+        Returns ``(candidates, existential, data_system)``:
+
+        * literal process targets: the client may reach *any* instance of
+          the process type, so every instance must be covered (universal);
+        * system targets: the client addresses that element; any agent on
+          it may answer (existential).  An element with *no* agents may be
+          proxy-managed (paper Section 3.1): the candidates are then the
+          proxy instances, still serving the *target* element's data —
+          ``data_system`` names that element either way;
+        * domain targets: any agent in the domain may answer — the client
+          cannot know which, so all must be covered (universal);
+        * ``*`` targets (run-time values): existential over all agents;
+        * external targets (IP literals etc.): unknown, not checkable.
+        """
+        server = reference.server
+        if server == "*":
+            return facts.agents(), True, None
+        kind, _sep, name = server.partition(":")
+        if kind == "process":
+            return facts.instances_of_process(name), False, None
+        if kind == "system":
+            agents = [
+                instance
+                for instance in facts.instances_on_system(name)
+                if self._spec.processes[instance.process_name].is_agent()
+            ]
+            if not agents:
+                return facts.proxies_for_system(name), True, name
+            return agents, True, name
+        if kind == "domain":
+            containment = facts.transitive_containment()
+            members = [
+                instance
+                for instance in facts.agents()
+                if f"domain:{name}"
+                in containment.get(f"instance:{instance.id}", set())
+            ]
+            return members, False, None
+        return None, False, None
+
+    def _check_against_server(
+        self,
+        reference: Reference,
+        server: InstanceId,
+        reference_view: MibView,
+        facts: FactSet,
+        data_system: Optional[str] = None,
+    ) -> Optional[Inconsistency]:
+        """None if covered; otherwise the inconsistency for this server.
+
+        ``data_system`` names the element whose data is being served when
+        it differs from the server instance's host (the proxy case).
+        """
+        process_view = facts.instance_supports[server.id]
+        if not process_view.covers_view(reference_view):
+            return Inconsistency(
+                kind=InconsistencyKind.UNSUPPORTED_BY_PROCESS,
+                message=(
+                    f"server process {server.process_name!r} ({server.id}) does "
+                    f"not support the requested data"
+                ),
+                reference=reference,
+                causes=(f"process supports only {sorted(process_view.paths())}",),
+            )
+        element_name: Optional[str] = data_system
+        if element_name is None and server.owner_kind == "system":
+            element_name = server.owner
+        if element_name is not None:
+            element_view = facts.system_supports.get(element_name, None)
+            if element_view is not None and not element_view.covers_view(
+                reference_view
+            ):
+                return Inconsistency(
+                    kind=InconsistencyKind.UNSUPPORTED_BY_ELEMENT,
+                    message=(
+                        f"network element {element_name!r} does not support "
+                        f"the requested data"
+                    ),
+                    reference=reference,
+                    causes=(f"element supports only {sorted(element_view.paths())}",),
+                )
+        # Exports govern access "from outside the domain" (Section 4.1.5):
+        # a reference whose client shares an *immediate* containing domain
+        # with the server is implicitly permitted.  A distant common
+        # ancestor (an umbrella domain) grants nothing.
+        client_instance = self._instance_by_tag(reference.client, facts)
+        if client_instance is not None:
+            client_direct = set(facts.direct_domains_of_instance(client_instance))
+            server_direct = set(facts.direct_domains_of_instance(server))
+            if client_direct.intersection(server_direct):
+                return None
+        permissions = self._permissions_for_server(server, facts)
+        if not permissions:
+            return Inconsistency(
+                kind=InconsistencyKind.MISSING_PERMISSION,
+                message=f"no permission is exported for data at {server.id}",
+                reference=reference,
+            )
+        causes: List[str] = []
+        best_kind = InconsistencyKind.MISSING_PERMISSION
+        for permission in permissions:
+            permission_view = self._view(permission.variables)
+            verdict = permission_covers(
+                reference,
+                permission,
+                reference_view,
+                permission_view,
+                public_domain=self._public,
+            )
+            if verdict.covered:
+                return None
+            causes.append(f"{permission.origin or permission.grantor}: {verdict.reason}")
+            if "frequency" in verdict.reason or "violates permitted" in verdict.reason:
+                best_kind = InconsistencyKind.FREQUENCY_CONFLICT
+            elif "access" in verdict.reason and best_kind is not InconsistencyKind.FREQUENCY_CONFLICT:
+                best_kind = InconsistencyKind.ACCESS_EXCEEDED
+        return Inconsistency(
+            kind=best_kind,
+            message=(
+                f"reference has no corresponding permission at {server.id}"
+            ),
+            reference=reference,
+            causes=tuple(causes),
+        )
+
+    @staticmethod
+    def _instance_by_tag(tag: str, facts: FactSet) -> Optional[InstanceId]:
+        if not tag.startswith("instance:"):
+            return None
+        return facts.instance_by_id(tag.split(":", 1)[1])
+
+    def _permissions_for_server(
+        self, server: InstanceId, facts: FactSet
+    ) -> List[Permission]:
+        by_grantor = facts.permissions_by_grantor()
+        containment = facts.transitive_containment()
+        containers = containment.get(f"instance:{server.id}", set())
+        result = list(by_grantor.get(f"instance:{server.id}", ()))
+        for container in containers:
+            if container.startswith("domain:"):
+                result.extend(by_grantor.get(container, ()))
+        return result
+
+    # ------------------------------------------------------------------
+    # Capacity warnings (element swamping, paper Section 4.1.4).
+    # ------------------------------------------------------------------
+    def _check_capacity(
+        self, facts: FactSet, bits_per_request: float = 8192.0
+    ) -> List[str]:
+        load: Dict[str, float] = {}
+        for reference in facts.references:
+            rate = reference.frequency.max_rate_per_second()
+            if rate == float("inf"):
+                continue
+            candidates, _existential, _data_system = self._candidate_servers(
+                reference, facts
+            )
+            for server in candidates or ():
+                if server.owner_kind == "system":
+                    load[server.owner] = load.get(server.owner, 0.0) + rate
+        warnings = []
+        for system_name, rate in sorted(load.items()):
+            system = self._spec.systems.get(system_name)
+            if system is None or not system.total_speed_bps():
+                continue
+            demand = rate * bits_per_request
+            capacity = system.total_speed_bps()
+            if demand > 0.1 * capacity:  # >10% of link budget on management
+                warnings.append(
+                    f"element {system_name!r} may be swamped: management "
+                    f"traffic {demand:.0f} bps vs interface speed {capacity} bps"
+                )
+        return warnings
+
+    def _view(self, paths: Sequence[str]) -> MibView:
+        key = tuple(paths)
+        cached = self._view_cache.get(key)
+        if cached is None:
+            cached = MibView(
+                self._tree, [path for path in paths if self._tree.knows(path)]
+            )
+            self._view_cache[key] = cached
+        return cached
+
+
+def check_with_clpr(
+    specification: Specification,
+    tree: MibTree,
+    limit: int = 1000,
+) -> ConsistencyResult:
+    """The faithful CLP(R) path: facts text + rules text -> engine query."""
+    started = time.perf_counter()
+    facts = FactGenerator(specification, tree).generate()
+    program_text = facts.to_clpr_text() + CONSISTENCY_RULES
+    program = parse_program(program_text)
+    engine = Engine(program, max_depth=100_000)
+    problems: List[Inconsistency] = []
+    seen = set()
+    for answer in engine.solve("inconsistent(R)", limit=limit):
+        rendered = repr(answer.value("R"))
+        if rendered in seen:
+            continue
+        seen.add(rendered)
+        problems.append(
+            Inconsistency(
+                kind=InconsistencyKind.MISSING_PERMISSION,
+                message=f"CLP(R) proved: inconsistent({rendered})",
+            )
+        )
+    elapsed = time.perf_counter() - started
+    return ConsistencyResult(
+        consistent=not problems,
+        inconsistencies=problems,
+        stats={
+            "clauses": len(program),
+            "seconds": elapsed,
+            "engine": "clpr-sld",
+        },
+    )

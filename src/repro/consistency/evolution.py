@@ -1,0 +1,265 @@
+"""Specification evolution: diffing and incremental re-checking.
+
+Section 5 observes that the cost of regenerating everything "depends on
+the frequency of changes to the management specification".  The same is
+true of re-checking consistency.  This module provides:
+
+* :class:`SpecificationDiff` — a structural diff between two versions of
+  an internet specification: added/removed/changed processes, systems
+  and domains;
+* :class:`DeltaChecker` — incremental consistency checking: only the
+  references that could be affected by the changed declarations are
+  re-checked, and the remembered verdicts of untouched references are
+  reused.  A reference is affected when its client instance, its target,
+  or any domain containing either changed.
+
+The delta check is exact (proved by the equivalence test-suite and by
+construction: coverage of a reference depends only on the entities the
+affectedness test tracks).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.consistency.checker import ConsistencyChecker
+from repro.consistency.facts import FactSet
+from repro.consistency.report import ConsistencyResult, Inconsistency
+from repro.mib.tree import MibTree
+from repro.nmsl.specs import (
+    DomainSpec,
+    ProcessSpec,
+    Specification,
+    SystemSpec,
+)
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    kind: str  # "process" | "system" | "domain"
+    name: str
+    change: str  # "added" | "removed" | "changed"
+
+    def render(self) -> str:
+        return f"{self.change} {self.kind} {self.name}"
+
+
+@dataclass
+class SpecificationDiff:
+    """What changed between two specification versions."""
+
+    entries: List[DiffEntry] = field(default_factory=list)
+
+    def changed_names(self, kind: str) -> Set[str]:
+        return {entry.name for entry in self.entries if entry.kind == kind}
+
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def render(self) -> str:
+        if not self.entries:
+            return "no changes"
+        return "\n".join(entry.render() for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _spec_tables(specification: Specification):
+    return (
+        ("process", specification.processes),
+        ("system", specification.systems),
+        ("domain", specification.domains),
+    )
+
+
+def _fingerprint(spec_obj) -> Tuple:
+    """A comparable value-summary of one declaration."""
+    if isinstance(spec_obj, ProcessSpec):
+        return (
+            spec_obj.params,
+            tuple(sorted(spec_obj.supports)),
+            tuple(
+                (e.variables, e.to_domain, e.access, e.frequency.as_tuple())
+                for e in spec_obj.exports
+            ),
+            tuple(
+                (q.target, q.requests, q.kind, q.access, q.frequency.as_tuple())
+                for q in spec_obj.queries
+            ),
+            tuple((p.target_system, p.protocol) for p in spec_obj.proxies),
+        )
+    if isinstance(spec_obj, SystemSpec):
+        return (
+            spec_obj.cpu,
+            tuple(
+                (i.name, i.network, i.if_type, i.speed_bps)
+                for i in spec_obj.interfaces
+            ),
+            tuple(sorted(spec_obj.supports)),
+            tuple((p.process_name, p.args) for p in spec_obj.processes),
+        )
+    if isinstance(spec_obj, DomainSpec):
+        return (
+            tuple(sorted(spec_obj.systems)),
+            tuple(sorted(spec_obj.subdomains)),
+            tuple((p.process_name, p.args) for p in spec_obj.processes),
+            tuple(
+                (e.variables, e.to_domain, e.access, e.frequency.as_tuple())
+                for e in spec_obj.exports
+            ),
+        )
+    return (repr(spec_obj),)
+
+
+def diff_specifications(
+    old: Specification, new: Specification
+) -> SpecificationDiff:
+    """Structural diff of two specification versions."""
+    diff = SpecificationDiff()
+    for (kind, old_table), (_kind2, new_table) in zip(
+        _spec_tables(old), _spec_tables(new)
+    ):
+        for name in sorted(set(old_table) | set(new_table)):
+            if name not in new_table:
+                diff.entries.append(DiffEntry(kind, name, "removed"))
+            elif name not in old_table:
+                diff.entries.append(DiffEntry(kind, name, "added"))
+            elif _fingerprint(old_table[name]) != _fingerprint(new_table[name]):
+                diff.entries.append(DiffEntry(kind, name, "changed"))
+    return diff
+
+
+class DeltaChecker:
+    """Incremental consistency checking across specification versions.
+
+    Usage::
+
+        checker = DeltaChecker(tree)
+        first  = checker.check(version1)   # full check, verdicts remembered
+        second = checker.check(version2)   # only affected references re-run
+    """
+
+    def __init__(self, tree: MibTree):
+        self._tree = tree
+        self._previous: Optional[Specification] = None
+        #: reference key -> problems from the last check.
+        self._verdicts: Dict[Tuple, List[Inconsistency]] = {}
+        self.last_rechecked = 0
+        self.last_reused = 0
+
+    @staticmethod
+    def _reference_key(reference) -> Tuple:
+        return (
+            reference.client,
+            reference.server,
+            reference.variables,
+            reference.access,
+            reference.frequency.as_tuple(),
+            reference.client_domains,
+        )
+
+    def check(self, specification: Specification) -> ConsistencyResult:
+        started = time.perf_counter()
+        checker = ConsistencyChecker(specification, self._tree)
+        facts = checker.facts
+        if self._previous is None:
+            result = checker.check()
+            self._remember(facts, checker)
+            self._previous = specification
+            self.last_rechecked = len(facts.references)
+            self.last_reused = 0
+            return result
+
+        diff = diff_specifications(self._previous, specification)
+        affected = self._affected_entities(diff, facts)
+        problems: List[Inconsistency] = []
+        warnings: List[str] = []
+        problems.extend(checker._check_instantiations(facts, warnings))
+        rechecked = reused = 0
+        new_verdicts: Dict[Tuple, List[Inconsistency]] = {}
+        for reference in facts.references:
+            key = self._reference_key(reference)
+            if key in self._verdicts and not self._is_affected(
+                reference, affected
+            ):
+                verdict = self._verdicts[key]
+                reused += 1
+            else:
+                verdict = checker._check_reference(reference, facts)
+                rechecked += 1
+            new_verdicts[key] = verdict
+            problems.extend(verdict)
+        self._verdicts = new_verdicts
+        self._previous = specification
+        self.last_rechecked = rechecked
+        self.last_reused = reused
+        elapsed = time.perf_counter() - started
+        return ConsistencyResult(
+            consistent=not problems,
+            inconsistencies=problems,
+            warnings=warnings,
+            stats={
+                "instances": len(facts.instances),
+                "references": len(facts.references),
+                "permissions": len(facts.permissions),
+                "rechecked": rechecked,
+                "reused": reused,
+                "diff_entries": len(diff),
+                "seconds": elapsed,
+            },
+        )
+
+    def _remember(self, facts: FactSet, checker: ConsistencyChecker) -> None:
+        self._verdicts = {}
+        for reference in facts.references:
+            self._verdicts[self._reference_key(reference)] = (
+                checker._check_reference(reference, facts)
+            )
+
+    def _affected_entities(
+        self, diff: SpecificationDiff, facts: FactSet
+    ) -> Set[str]:
+        """Entity tags whose involvement forces a re-check.
+
+        Changed domains taint everything they transitively contain (their
+        exports and memberships gate coverage); changed systems taint
+        their instances; changed processes taint their instances; and the
+        transitive-ancestor expansion makes grantee-side changes visible
+        too.
+        """
+        affected: Set[str] = set()
+        for name in diff.changed_names("domain"):
+            affected.add(f"domain:{name}")
+        for name in diff.changed_names("system"):
+            affected.add(f"system:{name}")
+        changed_processes = diff.changed_names("process")
+        for name in changed_processes:
+            affected.add(f"process:{name}")
+        for instance in facts.instances:
+            if instance.process_name in changed_processes:
+                affected.add(f"instance:{instance.id}")
+                # A changed agent process changes what its host can serve.
+                if instance.owner_kind == "system":
+                    affected.add(f"system:{instance.owner}")
+        # Expand domain taint downward: members of changed domains.
+        containment = facts.transitive_containment()
+        for child, parents in containment.items():
+            if parents & affected:
+                affected.add(child)
+        return affected
+
+    def _is_affected(self, reference, affected: Set[str]) -> bool:
+        if reference.client in affected:
+            return True
+        if reference.server in affected:
+            return True
+        if reference.server == "*":
+            # Wildcard coverage can shift with any change at all.
+            return bool(affected)
+        for domain in reference.client_domains:
+            if f"domain:{domain}" in affected:
+                return True
+        return False

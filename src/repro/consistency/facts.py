@@ -1,0 +1,527 @@
+"""Fact generation: from a typed Specification to consistency relations.
+
+This is the compiler's "consistency output" (paper Section 3.2/6.2) in two
+forms:
+
+* Python objects (:class:`FactSet`) — instances, containment, references
+  and permissions — consumed by the closure-based checker;
+* CLP(R) program text (:meth:`FactSet.to_clpr_text`) — the literal
+  "statements of a logic programming language" handed to the CLP(R)
+  engine by the faithful checker path.
+
+Instantiation: every ``process`` clause of a system or domain creates an
+*instance* with a unique id (``instan(X, Y, Z)`` of Figure 4.9).
+References are expanded per client instance; query targets may be
+parameters (bound by invocation arguments or left ``*``), literal process
+names, or system names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConsistencyError
+from repro.mib.tree import Access, MibTree
+from repro.mib.view import MibView
+from repro.nmsl.frequency import FrequencySpec
+from repro.nmsl.specs import (
+    WILDCARD,
+    DomainSpec,
+    ProcessInvocation,
+    ProcessSpec,
+    Specification,
+    SystemSpec,
+    PUBLIC_DOMAIN,
+)
+from repro.consistency.relations import Permission, Reference, access_atom
+
+
+@dataclass(frozen=True)
+class InstanceId:
+    """A unique process instantiation: ``instan(owner, process, ordinal)``."""
+
+    owner: str  # system or domain name
+    owner_kind: str  # "system" | "domain"
+    process_name: str
+    ordinal: int
+    args: Tuple[object, ...] = ()
+
+    @property
+    def id(self) -> str:
+        return f"{self.process_name}@{self.owner}#{self.ordinal}"
+
+    def __str__(self) -> str:
+        return self.id
+
+
+@dataclass
+class FactSet:
+    """Everything the checker needs, plus CLP(R) rendering."""
+
+    specification: Specification
+    tree: MibTree
+    instances: List[InstanceId] = field(default_factory=list)
+    #: containment edges parent -> child, entities named as
+    #: ``domain:<name>``, ``system:<name>``, ``instance:<id>``.
+    containment: List[Tuple[str, str]] = field(default_factory=list)
+    references: List[Reference] = field(default_factory=list)
+    permissions: List[Permission] = field(default_factory=list)
+    #: instance id -> the view its process type supports.
+    instance_supports: Dict[str, MibView] = field(default_factory=dict)
+    #: system name -> the view the element supports.
+    system_supports: Dict[str, MibView] = field(default_factory=dict)
+    warnings: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived lookups.
+    # ------------------------------------------------------------------
+    _containment_cache: Optional[Dict[str, Set[str]]] = None
+
+    def transitive_containment(self) -> Dict[str, Set[str]]:
+        """child -> set of all (transitive) containers (computed once)."""
+        if self._containment_cache is not None:
+            return self._containment_cache
+        parents: Dict[str, Set[str]] = {}
+        direct: Dict[str, Set[str]] = {}
+        for parent, child in self.containment:
+            direct.setdefault(child, set()).add(parent)
+
+        def collect(child: str) -> Set[str]:
+            if child in parents:
+                return parents[child]
+            parents[child] = set()  # cycle guard (cycles reported elsewhere)
+            result: Set[str] = set()
+            for parent in direct.get(child, ()):
+                result.add(parent)
+                result.update(collect(parent))
+            parents[child] = result
+            return result
+
+        for _parent, child in self.containment:
+            collect(child)
+        self._containment_cache = parents
+        return parents
+
+    def invalidate_caches(self) -> None:
+        """Call after mutating ``containment`` post-generation."""
+        self._containment_cache = None
+        self._grantor_cache = None
+        self._instance_cache = None
+
+    _grantor_cache: Optional[Dict[str, List[Permission]]] = None
+
+    def permissions_by_grantor(self) -> Dict[str, List[Permission]]:
+        """grantor tag -> its permissions (computed once)."""
+        if self._grantor_cache is None:
+            index: Dict[str, List[Permission]] = {}
+            for permission in self.permissions:
+                index.setdefault(permission.grantor, []).append(permission)
+            self._grantor_cache = index
+        return self._grantor_cache
+
+    _instance_cache: Optional[Dict[str, InstanceId]] = None
+
+    def instance_by_id(self, instance_id: str) -> Optional["InstanceId"]:
+        if self._instance_cache is None:
+            self._instance_cache = {
+                instance.id: instance for instance in self.instances
+            }
+        return self._instance_cache.get(instance_id)
+
+    def domains_of_instance(self, instance: InstanceId) -> Tuple[str, ...]:
+        containers = self.transitive_containment().get(
+            f"instance:{instance.id}", set()
+        )
+        return tuple(
+            sorted(
+                name.split(":", 1)[1]
+                for name in containers
+                if name.startswith("domain:")
+            )
+        )
+
+    def direct_domains_of_instance(self, instance: InstanceId) -> Tuple[str, ...]:
+        """Domains that directly contain the instance's owner.
+
+        Used for the implicit intra-domain permission: only sharing an
+        *immediate* administrative domain grants implicit access — a
+        common distant ancestor (an umbrella domain) does not.
+        """
+        if instance.owner_kind == "domain":
+            return (instance.owner,)
+        owner = f"system:{instance.owner}"
+        return tuple(
+            sorted(
+                parent.split(":", 1)[1]
+                for parent, child in self.containment
+                if child == owner and parent.startswith("domain:")
+            )
+        )
+
+    _agents_cache: Optional[List[InstanceId]] = None
+    _by_process_cache: Optional[Dict[str, List[InstanceId]]] = None
+    _by_system_cache: Optional[Dict[str, List[InstanceId]]] = None
+
+    def agents(self) -> List[InstanceId]:
+        """Instances whose process type supports data (paper footnote 1)."""
+        if self._agents_cache is None:
+            self._agents_cache = [
+                instance
+                for instance in self.instances
+                if self.specification.processes[instance.process_name].is_agent()
+            ]
+        return self._agents_cache
+
+    def instances_of_process(self, process_name: str) -> List[InstanceId]:
+        if self._by_process_cache is None:
+            index: Dict[str, List[InstanceId]] = {}
+            for instance in self.instances:
+                index.setdefault(instance.process_name, []).append(instance)
+            self._by_process_cache = index
+        return self._by_process_cache.get(process_name, [])
+
+    def instances_on_system(self, system_name: str) -> List[InstanceId]:
+        if self._by_system_cache is None:
+            index: Dict[str, List[InstanceId]] = {}
+            for instance in self.instances:
+                if instance.owner_kind == "system":
+                    index.setdefault(instance.owner, []).append(instance)
+            self._by_system_cache = index
+        return self._by_system_cache.get(system_name, [])
+
+    _proxy_cache: Optional[Dict[str, List[InstanceId]]] = None
+
+    def proxies_for_system(self, system_name: str) -> List[InstanceId]:
+        """Instances whose process type proxies *system_name*."""
+        if self._proxy_cache is None:
+            index: Dict[str, List[InstanceId]] = {}
+            for instance in self.instances:
+                process = self.specification.processes[instance.process_name]
+                for proxied in process.proxied_systems():
+                    index.setdefault(proxied, []).append(instance)
+            self._proxy_cache = index
+        return self._proxy_cache.get(system_name, [])
+
+    # ------------------------------------------------------------------
+    # CLP(R) text rendering (the paper's consistency output format).
+    # ------------------------------------------------------------------
+    def to_clpr_text(self) -> str:
+        lines: List[str] = ["% NMSL consistency output (compiler-generated facts)"]
+        spec = self.specification
+        for name, process in sorted(spec.processes.items()):
+            for path in process.supports:
+                lines.append(f"proc_supports({_atom(name)}, {_atom(path)}).")
+            for export in process.exports:
+                for path in export.variables:
+                    lines.append(
+                        "proc_export("
+                        f"{_atom(name)}, {_atom(export.to_domain)}, {_atom(path)}, "
+                        f"{access_atom(export.access)}, "
+                        f"{_period(export.frequency)})."
+                    )
+            for query in process.queries:
+                target = self._render_target(process, query.target)
+                for path in query.requests:
+                    lines.append(
+                        "proc_query("
+                        f"{_atom(name)}, {target}, {_atom(path)}, "
+                        f"{access_atom(query.access)}, "
+                        f"{_period(query.frequency)})."
+                    )
+            for proxy in process.proxies:
+                lines.append(
+                    "proxy_for("
+                    f"{_atom(name)}, system({_atom(proxy.target_system)}), "
+                    f"{_atom(proxy.protocol or 'direct')})."
+                )
+        for instance in self.instances:
+            lines.append(
+                "instance("
+                f"{_atom(instance.id)}, {_atom(instance.owner)}, "
+                f"{_atom(instance.process_name)})."
+            )
+            for index, arg in enumerate(instance.args):
+                if arg == WILDCARD:
+                    continue
+                value = str(arg)
+                if value in spec.systems:
+                    rendered = f"system({_atom(value)})"
+                elif value in spec.processes:
+                    rendered = f"proc({_atom(value)})"
+                elif value in spec.domains:
+                    rendered = f"domain({_atom(value)})"
+                else:
+                    rendered = f"val({_atom(value)})"
+                lines.append(
+                    f"inst_arg({_atom(instance.id)}, {index}, {rendered})."
+                )
+        for system_name, view in sorted(self.system_supports.items()):
+            for path in sorted(view.paths()):
+                lines.append(
+                    f"system_supports({_atom(system_name)}, {_atom(path)})."
+                )
+        for system in spec.systems.values():
+            for interface in system.interfaces:
+                lines.append(
+                    f"speed({_atom(system.name)}, {interface.speed_bps})."
+                )
+        for parent, child in self.containment:
+            lines.append(f"contains({_entity(parent)}, {_entity(child)}).")
+        for domain in spec.domains.values():
+            for export in domain.exports:
+                for path in export.variables:
+                    lines.append(
+                        "dom_export("
+                        f"{_atom(domain.name)}, {_atom(export.to_domain)}, "
+                        f"{_atom(path)}, {access_atom(export.access)}, "
+                        f"{_period(export.frequency)})."
+                    )
+        lines.extend(self._data_containment_facts())
+        lines.extend(_ACCESS_COVER_FACTS)
+        return "\n".join(lines) + "\n"
+
+    def _render_target(self, process: ProcessSpec, target: str) -> str:
+        names = process.param_names()
+        if target in names:
+            return f"param({names.index(target)})"
+        return f"proc({_atom(target)})"
+
+    def _data_containment_facts(self) -> List[str]:
+        """``data_covers(Parent, Child)`` for every mentioned path pair."""
+        mentioned: Set[str] = set()
+        spec = self.specification
+        for process in spec.processes.values():
+            mentioned.update(process.supports)
+            for export in process.exports:
+                mentioned.update(export.variables)
+            for query in process.queries:
+                mentioned.update(query.requests)
+        for system in spec.systems.values():
+            mentioned.update(system.supports)
+        for domain in spec.domains.values():
+            for export in domain.exports:
+                mentioned.update(export.variables)
+        resolvable = [path for path in sorted(mentioned) if self.tree.knows(path)]
+        lines = []
+        for parent in resolvable:
+            parent_oid = self.tree.resolve(parent).oid
+            for child in resolvable:
+                if self.tree.resolve(child).oid.starts_with(parent_oid):
+                    lines.append(
+                        f"data_covers({_atom(parent)}, {_atom(child)})."
+                    )
+        return lines
+
+
+_ACCESS_COVER_FACTS = [
+    "access_covers(any, readonly).",
+    "access_covers(any, writeonly).",
+    "access_covers(any, readwrite).",
+    "access_covers(any, any).",
+    "access_covers(any, none).",
+    "access_covers(readwrite, readonly).",
+    "access_covers(readwrite, writeonly).",
+    "access_covers(readwrite, readwrite).",
+    "access_covers(readwrite, none).",
+    "access_covers(readonly, readonly).",
+    "access_covers(readonly, none).",
+    "access_covers(writeonly, writeonly).",
+    "access_covers(writeonly, none).",
+    "access_covers(none, none).",
+]
+
+
+def _atom(text) -> str:
+    text = str(text)
+    if text and text[0].islower() and all(
+        ch.isalnum() or ch == "_" for ch in text
+    ):
+        return text
+    return f"'{text}'"
+
+
+def _entity(tagged: str) -> str:
+    kind, _sep, name = tagged.partition(":")
+    return f"{kind}({_atom(name)})"
+
+
+def _period(frequency: FrequencySpec) -> str:
+    value = frequency.min_period
+    if value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+class FactGenerator:
+    """Expands a Specification into a :class:`FactSet`."""
+
+    def __init__(self, specification: Specification, tree: MibTree):
+        self._spec = specification
+        self._tree = tree
+
+    def generate(self) -> FactSet:
+        facts = FactSet(self._spec, self._tree)
+        self._make_instances(facts)
+        self._make_containment(facts)
+        self._make_views(facts)
+        self._make_permissions(facts)
+        self._make_references(facts)
+        return facts
+
+    # ------------------------------------------------------------------
+    # Instantiation (instan/3).
+    # ------------------------------------------------------------------
+    def _make_instances(self, facts: FactSet) -> None:
+        # Ordinals count per (owner, process) so instance ids are stable
+        # when specifications are merged (the speculative what-if relies
+        # on re-identifying pre-existing instances).
+        counters: Dict[Tuple[str, str], int] = {}
+
+        def make(owner: str, owner_kind: str, invocation: ProcessInvocation) -> None:
+            if invocation.process_name not in self._spec.processes:
+                return  # linker already reported this
+            key = (owner, invocation.process_name)
+            counters[key] = counters.get(key, 0) + 1
+            facts.instances.append(
+                InstanceId(
+                    owner=owner,
+                    owner_kind=owner_kind,
+                    process_name=invocation.process_name,
+                    ordinal=counters[key],
+                    args=invocation.args,
+                )
+            )
+
+        for system in self._spec.systems.values():
+            for invocation in system.processes:
+                make(system.name, "system", invocation)
+        for domain in self._spec.domains.values():
+            for invocation in domain.processes:
+                make(domain.name, "domain", invocation)
+
+    # ------------------------------------------------------------------
+    # Containment (contains/2) with distribution over instantiation.
+    # ------------------------------------------------------------------
+    def _make_containment(self, facts: FactSet) -> None:
+        for domain in self._spec.domains.values():
+            for system_name in domain.systems:
+                facts.containment.append(
+                    (f"domain:{domain.name}", f"system:{system_name}")
+                )
+            for subdomain in domain.subdomains:
+                facts.containment.append(
+                    (f"domain:{domain.name}", f"domain:{subdomain}")
+                )
+        for instance in facts.instances:
+            facts.containment.append(
+                (f"{instance.owner_kind}:{instance.owner}", f"instance:{instance.id}")
+            )
+
+    # ------------------------------------------------------------------
+    # Supported views.
+    # ------------------------------------------------------------------
+    def _make_views(self, facts: FactSet) -> None:
+        for system in self._spec.systems.values():
+            facts.system_supports[system.name] = self._view(system.supports)
+        for instance in facts.instances:
+            process = self._spec.processes[instance.process_name]
+            facts.instance_supports[instance.id] = self._view(process.supports)
+
+    def _view(self, paths: Sequence[str]) -> MibView:
+        known = [path for path in paths if self._tree.knows(path)]
+        return MibView(self._tree, known)
+
+    # ------------------------------------------------------------------
+    # Permissions (perm_eq/perm_gt).
+    # ------------------------------------------------------------------
+    def _make_permissions(self, facts: FactSet) -> None:
+        containment = facts.transitive_containment()
+        for instance in facts.instances:
+            process = self._spec.processes[instance.process_name]
+            grantor_domains = tuple(
+                sorted(
+                    name.split(":", 1)[1]
+                    for name in containment.get(f"instance:{instance.id}", set())
+                    if name.startswith("domain:")
+                )
+            )
+            for export in process.exports:
+                facts.permissions.append(
+                    Permission(
+                        grantor=f"instance:{instance.id}",
+                        grantor_domains=grantor_domains,
+                        grantee_domain=export.to_domain,
+                        variables=export.variables,
+                        access=export.access,
+                        frequency=export.frequency,
+                        origin=f"process {process.name} exports",
+                    )
+                )
+        for domain in self._spec.domains.values():
+            for export in domain.exports:
+                facts.permissions.append(
+                    Permission(
+                        grantor=f"domain:{domain.name}",
+                        grantor_domains=(domain.name,),
+                        grantee_domain=export.to_domain,
+                        variables=export.variables,
+                        access=export.access,
+                        frequency=export.frequency,
+                        origin=f"domain {domain.name} exports",
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # References (ref_eq/ref_gt).
+    # ------------------------------------------------------------------
+    def _make_references(self, facts: FactSet) -> None:
+        containment = facts.transitive_containment()
+        for instance in facts.instances:
+            process = self._spec.processes[instance.process_name]
+            client_domains = tuple(
+                sorted(
+                    name.split(":", 1)[1]
+                    for name in containment.get(f"instance:{instance.id}", set())
+                    if name.startswith("domain:")
+                )
+            )
+            for query in process.queries:
+                server = self._resolve_target(process, instance, query.target)
+                facts.references.append(
+                    Reference(
+                        client=f"instance:{instance.id}",
+                        client_domains=client_domains,
+                        server=server,
+                        variables=query.requests,
+                        access=query.access,
+                        frequency=query.frequency,
+                        origin=(
+                            f"process {process.name} queries {query.target} "
+                            f"({instance.id})"
+                        ),
+                    )
+                )
+
+    def _resolve_target(
+        self, process: ProcessSpec, instance: InstanceId, target: str
+    ) -> str:
+        names = process.param_names()
+        if target in names:
+            position = names.index(target)
+            if position < len(instance.args):
+                value = instance.args[position]
+                if value == WILDCARD:
+                    return "*"
+                return self._classify_target(str(value))
+            return "*"
+        return self._classify_target(target)
+
+    def _classify_target(self, value: str) -> str:
+        if value in self._spec.systems:
+            return f"system:{value}"
+        if value in self._spec.processes:
+            return f"process:{value}"
+        if value in self._spec.domains:
+            return f"domain:{value}"
+        return f"external:{value}"

@@ -1,0 +1,175 @@
+"""Specification lint: hygiene findings beyond the consistency model.
+
+The consistency checker answers "is every reference permitted?"; the
+linter answers the administrator's complementary questions about drift
+and over-provisioning:
+
+* **unused-process** — a process specification no system or domain ever
+  instantiates;
+* **unmanaged-element** — a network element with no agent and no proxy:
+  nothing can answer management queries for it;
+* **unused-permission** — an export no instantiated reference could ever
+  use (granted to a domain with no querying clients, or over data nobody
+  requests): the least-privilege principle says tighten it;
+* **overbroad-grant** — write access (or ``Any``) exported to the public
+  domain.
+
+Findings are advisory; they never make a specification inconsistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Set
+
+from repro.consistency.checker import ConsistencyChecker
+from repro.consistency.facts import FactGenerator, FactSet
+from repro.consistency.relations import permission_covers
+from repro.mib.tree import Access, MibTree
+from repro.mib.view import MibView
+from repro.nmsl.specs import Specification, PUBLIC_DOMAIN
+
+
+class LintKind(Enum):
+    UNUSED_PROCESS = "unused-process"
+    UNMANAGED_ELEMENT = "unmanaged-element"
+    UNUSED_PERMISSION = "unused-permission"
+    OVERBROAD_GRANT = "overbroad-grant"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    kind: LintKind
+    subject: str
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.kind.value}] {self.subject}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    findings: List[LintFinding] = field(default_factory=list)
+
+    def by_kind(self, kind: LintKind) -> List[LintFinding]:
+        return [finding for finding in self.findings if finding.kind == kind]
+
+    def render(self) -> str:
+        if not self.findings:
+            return "no lint findings"
+        return "\n".join(finding.render() for finding in self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+
+class SpecificationLinter:
+    """Runs all lint passes over a compiled specification."""
+
+    def __init__(self, specification: Specification, tree: MibTree):
+        self._spec = specification
+        self._tree = tree
+        self._facts: FactSet = FactGenerator(specification, tree).generate()
+
+    def lint(self) -> LintReport:
+        report = LintReport()
+        self._unused_processes(report)
+        self._unmanaged_elements(report)
+        self._unused_permissions(report)
+        self._overbroad_grants(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _unused_processes(self, report: LintReport) -> None:
+        instantiated: Set[str] = {
+            instance.process_name for instance in self._facts.instances
+        }
+        for name in self._spec.processes:
+            if name not in instantiated:
+                report.findings.append(
+                    LintFinding(
+                        LintKind.UNUSED_PROCESS,
+                        name,
+                        "specified but never instantiated on any system "
+                        "or domain",
+                    )
+                )
+
+    def _unmanaged_elements(self, report: LintReport) -> None:
+        for system_name in self._spec.systems:
+            agents = [
+                instance
+                for instance in self._facts.instances_on_system(system_name)
+                if self._spec.processes[instance.process_name].is_agent()
+            ]
+            if agents:
+                continue
+            if self._facts.proxies_for_system(system_name):
+                continue
+            report.findings.append(
+                LintFinding(
+                    LintKind.UNMANAGED_ELEMENT,
+                    system_name,
+                    "no agent process and no proxy: management queries "
+                    "cannot be answered for this element",
+                )
+            )
+
+    def _unused_permissions(self, report: LintReport) -> None:
+        for permission in self._facts.permissions:
+            if self._permission_used(permission):
+                continue
+            report.findings.append(
+                LintFinding(
+                    LintKind.UNUSED_PERMISSION,
+                    permission.grantor,
+                    f"export of {', '.join(permission.variables)} to "
+                    f"{permission.grantee_domain!r} matches no specified "
+                    "reference (consider removing or tightening it)",
+                )
+            )
+
+    def _permission_used(self, permission) -> bool:
+        permission_view = self._view(permission.variables)
+        for reference in self._facts.references:
+            # Does the permission's grantor serve any candidate for this
+            # reference?  Approximate grantor reach through the checker's
+            # candidate logic: test coverage directly.
+            verdict = permission_covers(
+                reference,
+                permission,
+                self._view(reference.variables),
+                permission_view,
+                public_domain=PUBLIC_DOMAIN,
+            )
+            if verdict.covered:
+                return True
+        return False
+
+    def _overbroad_grants(self, report: LintReport) -> None:
+        for permission in self._facts.permissions:
+            if permission.grantee_domain != PUBLIC_DOMAIN:
+                continue
+            if permission.access.allows_write():
+                report.findings.append(
+                    LintFinding(
+                        LintKind.OVERBROAD_GRANT,
+                        permission.grantor,
+                        f"exports {permission.access.value} access to the "
+                        "public domain: any administration may modify this "
+                        "data",
+                    )
+                )
+
+    def _view(self, paths) -> MibView:
+        return MibView(
+            self._tree, [path for path in paths if self._tree.knows(path)]
+        )
+
+
+def lint_specification(
+    specification: Specification, tree: MibTree
+) -> LintReport:
+    """Convenience wrapper."""
+    return SpecificationLinter(specification, tree).lint()

@@ -1,0 +1,133 @@
+"""The consistency relations of paper Figure 4.9 as Python values.
+
+The checker reasons about *references* (a client may query some data with
+some access mode and frequency) and *permissions* (a grantor allows a
+grantee domain to access some data with some mode and frequency).  Both
+carry the MIB view they touch and the frequency interval; the reduction
+rules decide whether a permission *covers* a reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.mib.tree import Access
+from repro.mib.view import MibView
+from repro.nmsl.frequency import FrequencySpec
+
+#: Partial order of access modes for the reduction rules: a granted mode
+#: covers a requested mode iff Access.permits holds; this table only lists
+#: the atoms used when rendering CLP(R) text.
+ACCESS_ORDER = ("none", "readonly", "writeonly", "readwrite", "any")
+
+
+def access_atom(access: Access) -> str:
+    """The CLP(R) atom for an access mode."""
+    return access.value.lower()
+
+
+def access_from_atom(atom: str) -> Access:
+    return Access.parse(atom)
+
+
+@dataclass(frozen=True)
+class Reference:
+    """``ref_eq``: *client* may reference *server*'s data.
+
+    ``client`` / ``server`` are instance or domain identifiers (strings,
+    see :class:`~repro.consistency.facts.InstanceId`).  ``variables`` are
+    the requested MIB paths; ``view`` their resolved coverage.
+    """
+
+    client: str
+    client_domains: Tuple[str, ...]
+    server: str
+    variables: Tuple[str, ...]
+    access: Access
+    frequency: FrequencySpec
+    origin: str = ""  # human-readable source ("process snmpaddr queries ...")
+
+    def describe(self) -> str:
+        variables = ", ".join(self.variables)
+        return (
+            f"{self.client} references {variables} at {self.server} "
+            f"for {self.access.value} ({self.frequency.describe()})"
+        )
+
+
+@dataclass(frozen=True)
+class Permission:
+    """``perm_eq``: *grantor* permits *grantee_domain* to access data."""
+
+    grantor: str
+    grantor_domains: Tuple[str, ...]
+    grantee_domain: str
+    variables: Tuple[str, ...]
+    access: Access
+    frequency: FrequencySpec
+    origin: str = ""
+
+    def describe(self) -> str:
+        variables = ", ".join(self.variables)
+        return (
+            f"{self.grantor} permits {self.grantee_domain} to access "
+            f"{variables} for {self.access.value} ({self.frequency.describe()})"
+        )
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Why a permission does or does not cover a reference."""
+
+    covered: bool
+    reason: str = ""
+
+
+def permission_covers(
+    reference: Reference,
+    permission: Permission,
+    reference_view: MibView,
+    permission_view: MibView,
+    public_domain: str = "public",
+) -> CoverageResult:
+    """The reduction rule: does *permission* cover *reference*?
+
+    Four conditions, checked in order so the report can name the first
+    failing one:
+
+    1. the permission's grantee domain contains the referencing client
+       (or is the public domain);
+    2. the permission's grantor is the referenced server or a domain
+       containing it — callers pre-filter on this, so here we only check
+       data;
+    3. the requested variables lie inside the permitted view;
+    4. the access mode and frequency interval are covered.
+    """
+    if permission.grantee_domain != public_domain and (
+        permission.grantee_domain not in reference.client_domains
+    ):
+        return CoverageResult(
+            False,
+            f"grantee domain {permission.grantee_domain!r} does not contain "
+            f"client {reference.client!r}",
+        )
+    if not permission_view.covers_view(reference_view):
+        return CoverageResult(
+            False,
+            "requested variables are outside the permitted view "
+            f"(permitted: {sorted(permission_view.paths())})",
+        )
+    if not permission.access.permits(reference.access):
+        return CoverageResult(
+            False,
+            f"access {reference.access.value} exceeds permitted "
+            f"{permission.access.value}",
+        )
+    if not reference.frequency.covered_by(permission.frequency):
+        return CoverageResult(
+            False,
+            f"reference {reference.frequency.describe()} violates permitted "
+            f"{permission.frequency.describe()}",
+        )
+    return CoverageResult(True, "covered")

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the NMSL reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single except clause.  Errors that point at
+a location in source text carry a :class:`SourceLocation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in an input text: file name, 1-based line and column."""
+
+    filename: str = "<input>"
+    line: int = 1
+    column: int = 1
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LocatedError(ReproError):
+    """An error anchored at a position in input text."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location or SourceLocation()
+        self.message = message
+        super().__init__(f"{self.location}: {message}")
+
+
+class Asn1Error(LocatedError):
+    """Error while lexing or parsing ASN.1 type notation."""
+
+
+class BerError(ReproError):
+    """Error while encoding or decoding BER octets."""
+
+
+class MibError(ReproError):
+    """Error in MIB tree construction or lookup."""
+
+
+class OidError(MibError):
+    """Malformed object identifier."""
+
+
+class NmslSyntaxError(LocatedError):
+    """Pass-1 (generalized grammar) parse error in an NMSL specification."""
+
+
+class NmslSemanticError(LocatedError):
+    """Pass-2 (action) semantic error in an NMSL specification."""
+
+
+class ExtensionError(ReproError):
+    """Malformed extension-language input."""
+
+
+class ClprError(ReproError):
+    """Error in the CLP(R) engine."""
+
+
+class ClprSyntaxError(LocatedError, ClprError):
+    """Parse error in CLP(R) program text."""
+
+
+class ConstraintError(ClprError):
+    """An arithmetic constraint could not be represented or solved."""
+
+
+class ConsistencyError(ReproError):
+    """Error while building or running a consistency check."""
+
+
+class CodegenError(ReproError):
+    """Error while generating or shipping configuration output."""
+
+
+class SnmpError(ReproError):
+    """Error in the SNMP substrate."""
+
+
+class SimulationError(ReproError):
+    """Error in the discrete-event network simulator."""

@@ -1,0 +1,31 @@
+"""MIB substrate: object identifiers, the MIB tree, and the IETF MIB-I.
+
+The paper's specifications name management data with dotted paths rooted at
+``mgmt.mib`` (the RFC 1066 Internet-standard MIB).  This package provides:
+
+* :class:`~repro.mib.oid.Oid` — immutable object identifiers;
+* :class:`~repro.mib.tree.MibTree` / :class:`~repro.mib.tree.MibNode` — the
+  registration tree, resolvable both by OID and by dotted name path;
+* :func:`~repro.mib.mib1.build_mib1` — the full RFC 1066 MIB-I definition
+  (system, interfaces, at, ip, icmp, tcp, udp, egp groups);
+* :class:`~repro.mib.view.MibView` — subtree views used by ``supports`` and
+  ``exports`` clauses;
+* :class:`~repro.mib.instances.InstanceStore` — per-agent variable bindings
+  with get / get-next / set semantics for the SNMP substrate.
+"""
+
+from repro.mib.oid import Oid
+from repro.mib.tree import Access, MibNode, MibTree
+from repro.mib.mib1 import build_mib1
+from repro.mib.view import MibView
+from repro.mib.instances import InstanceStore
+
+__all__ = [
+    "Access",
+    "InstanceStore",
+    "MibNode",
+    "MibTree",
+    "MibView",
+    "Oid",
+    "build_mib1",
+]

@@ -1,0 +1,191 @@
+"""Per-agent MIB variable bindings with SNMP get / get-next / set semantics.
+
+An :class:`InstanceStore` binds *instance OIDs* (object OID + instance
+suffix, ``.0`` for scalars, index components for table rows) to values,
+validated against the object's ASN.1 syntax.  The store only accepts
+instances whose object falls inside the agent's *supported* view, which is
+how a network element's ``supports`` clause becomes operational.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.asn1.types import Asn1Module
+from repro.errors import MibError
+from repro.mib.oid import Oid, OidLike
+from repro.mib.tree import Access, MibNode, MibTree
+from repro.mib.view import MibView
+
+
+class InstanceStore:
+    """Sorted map of instance OID to value for one agent.
+
+    Parameters
+    ----------
+    tree:
+        The MIB registration tree (object definitions).
+    view:
+        The subset of the MIB this agent supports; instances outside the
+        view are rejected.  Defaults to the full tree.
+    module:
+        Optional ASN.1 module for resolving named types during validation.
+    """
+
+    def __init__(
+        self,
+        tree: MibTree,
+        view: Optional[MibView] = None,
+        module: Optional[Asn1Module] = None,
+    ):
+        self._tree = tree
+        self._view = view if view is not None else MibView.full(tree)
+        self._module = module or Asn1Module()
+        self._values: Dict[Oid, object] = {}
+        self._sorted_cache: Optional[List[Oid]] = None
+
+    @property
+    def view(self) -> MibView:
+        return self._view
+
+    # ------------------------------------------------------------------
+    # Object resolution.
+    # ------------------------------------------------------------------
+    def object_for_instance(self, instance: OidLike) -> MibNode:
+        """Find the leaf object definition that *instance* instantiates."""
+        instance = Oid(instance)
+        oid = instance
+        while len(oid):
+            if self._tree.contains_oid(oid):
+                node = self._tree.node_at(oid)
+                if node.is_leaf and node.syntax is not None:
+                    return node
+                break
+            oid = oid.parent
+        raise MibError(f"no leaf object for instance {instance}")
+
+    # ------------------------------------------------------------------
+    # Mutation.
+    # ------------------------------------------------------------------
+    def bind(self, instance: OidLike, value: object, validate: bool = True) -> None:
+        """Create or replace the binding for *instance*."""
+        instance = Oid(instance)
+        node = self.object_for_instance(instance)
+        if not self._view.covers_oid(node.oid):
+            raise MibError(f"object {node.name} is outside the supported view")
+        if validate and node.syntax is not None:
+            self._module.validate(value, node.syntax, path=node.name)
+        self._values[instance] = value
+        self._sorted_cache = None
+
+    def set(self, instance: OidLike, value: object) -> None:
+        """SNMP set: requires the object be writable and already supported."""
+        node = self.object_for_instance(instance)
+        if not node.access.allows_write():
+            raise MibError(f"object {node.name} is not writable ({node.access.value})")
+        self.bind(instance, value)
+
+    def unbind(self, instance: OidLike) -> None:
+        instance = Oid(instance)
+        if instance not in self._values:
+            raise MibError(f"no binding for {instance}")
+        del self._values[instance]
+        self._sorted_cache = None
+
+    # ------------------------------------------------------------------
+    # Retrieval.
+    # ------------------------------------------------------------------
+    def get(self, instance: OidLike) -> object:
+        instance = Oid(instance)
+        if instance not in self._values:
+            raise MibError(f"no such instance {instance}")
+        return self._values[instance]
+
+    def contains(self, instance: OidLike) -> bool:
+        return Oid(instance) in self._values
+
+    def _sorted_instances(self) -> List[Oid]:
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._values)
+        return self._sorted_cache
+
+    def get_next(self, oid: OidLike) -> Optional[Tuple[Oid, object]]:
+        """The first binding with instance OID strictly greater than *oid*.
+
+        This is SNMP get-next / the basis of table walks.  Returns None when
+        *oid* is at or past the end of the MIB view.
+        """
+        oid = Oid(oid)
+        instances = self._sorted_instances()
+        low, high = 0, len(instances)
+        while low < high:
+            mid = (low + high) // 2
+            if instances[mid] <= oid:
+                low = mid + 1
+            else:
+                high = mid
+        if low == len(instances):
+            return None
+        found = instances[low]
+        return found, self._values[found]
+
+    def walk(self, prefix: OidLike = ()) -> Iterator[Tuple[Oid, object]]:
+        """Iterate bindings under *prefix* in lexicographic order."""
+        prefix = Oid(prefix)
+        for instance in self._sorted_instances():
+            if instance.starts_with(prefix):
+                yield instance, self._values[instance]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # ------------------------------------------------------------------
+    # Convenience initialisation.
+    # ------------------------------------------------------------------
+    def populate_defaults(self) -> int:
+        """Bind a plausible default for every scalar leaf in the view.
+
+        Table columns are skipped (they need row indices).  Returns the
+        number of bindings created.  Used by the simulator to give agents a
+        live database without hand-writing hundreds of values.
+        """
+        from repro.asn1.nodes import (
+            IntegerType,
+            ObjectIdentifierType,
+            OctetStringType,
+            TaggedType,
+        )
+
+        created = 0
+        for leaf in self._view.leaves():
+            if leaf.syntax is None or self._is_table_column(leaf):
+                continue
+            instance = leaf.oid.child(0)
+            if instance in self._values:
+                continue
+            syntax = leaf.syntax
+            while isinstance(syntax, TaggedType):
+                syntax = syntax.inner
+            if isinstance(syntax, IntegerType):
+                value: object = max(0, syntax.minimum or 0)
+            elif isinstance(syntax, OctetStringType):
+                size = syntax.min_size or 0
+                value = b"\x00" * size if size else b""
+            elif isinstance(syntax, ObjectIdentifierType):
+                value = (1, 3, 6, 1)
+            else:
+                continue
+            self.bind(instance, value)
+            created += 1
+        return created
+
+    def _is_table_column(self, leaf: MibNode) -> bool:
+        """A leaf is a table column if an ancestor is a table entry node."""
+        from repro.asn1.nodes import SequenceOfType
+
+        node = leaf.parent
+        while node is not None:
+            if node.syntax is not None and isinstance(node.syntax, SequenceOfType):
+                return True
+            node = node.parent
+        return False

@@ -1,0 +1,278 @@
+"""The Internet-standard MIB (MIB-I, RFC 1066) as a :class:`MibTree`.
+
+This is the management database the paper's examples reference with paths
+such as ``mgmt.mib.ip.ipAddrTable.IpAddrEntry.ipAdEntAddr``.  Table-entry
+nodes carry the capitalised ASN.1 type name as an alias so the paper's
+spelling resolves alongside the RFC's node names.
+
+Access modes follow RFC 1066; descriptions are abbreviated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.asn1.nodes import Asn1Type, NamedField, SequenceOfType, SequenceType
+from repro.asn1.types import Asn1Module, STANDARD_APPLICATION_TYPES
+from repro.asn1.nodes import IntegerType, ObjectIdentifierType, OctetStringType
+from repro.mib.oid import MGMT, Oid
+from repro.mib.tree import Access, MibTree
+
+# Shorthand syntax constructors.
+_INT = IntegerType()
+_STR = OctetStringType()
+_OID = ObjectIdentifierType()
+_IPADDR = STANDARD_APPLICATION_TYPES["IpAddress"]
+_COUNTER = STANDARD_APPLICATION_TYPES["Counter"]
+_GAUGE = STANDARD_APPLICATION_TYPES["Gauge"]
+_TICKS = STANDARD_APPLICATION_TYPES["TimeTicks"]
+
+_RO = Access.READ_ONLY
+_RW = Access.READ_WRITE
+
+#: Leaf definitions per group: (name, sub-id, syntax, access).
+_Leaf = Tuple[str, int, Asn1Type, Access]
+
+_SYSTEM: Sequence[_Leaf] = (
+    ("sysDescr", 1, _STR, _RO),
+    ("sysObjectID", 2, _OID, _RO),
+    ("sysUpTime", 3, _TICKS, _RO),
+)
+
+_IF_ENTRY: Sequence[_Leaf] = (
+    ("ifIndex", 1, _INT, _RO),
+    ("ifDescr", 2, _STR, _RO),
+    ("ifType", 3, _INT, _RO),
+    ("ifMtu", 4, _INT, _RO),
+    ("ifSpeed", 5, _GAUGE, _RO),
+    ("ifPhysAddress", 6, _STR, _RO),
+    ("ifAdminStatus", 7, _INT, _RW),
+    ("ifOperStatus", 8, _INT, _RO),
+    ("ifLastChange", 9, _TICKS, _RO),
+    ("ifInOctets", 10, _COUNTER, _RO),
+    ("ifInUcastPkts", 11, _COUNTER, _RO),
+    ("ifInNUcastPkts", 12, _COUNTER, _RO),
+    ("ifInDiscards", 13, _COUNTER, _RO),
+    ("ifInErrors", 14, _COUNTER, _RO),
+    ("ifInUnknownProtos", 15, _COUNTER, _RO),
+    ("ifOutOctets", 16, _COUNTER, _RO),
+    ("ifOutUcastPkts", 17, _COUNTER, _RO),
+    ("ifOutNUcastPkts", 18, _COUNTER, _RO),
+    ("ifOutDiscards", 19, _COUNTER, _RO),
+    ("ifOutErrors", 20, _COUNTER, _RO),
+    ("ifOutQLen", 21, _GAUGE, _RO),
+)
+
+_AT_ENTRY: Sequence[_Leaf] = (
+    ("atIfIndex", 1, _INT, _RW),
+    ("atPhysAddress", 2, _STR, _RW),
+    ("atNetAddress", 3, _IPADDR, _RW),
+)
+
+_IP_SCALARS: Sequence[_Leaf] = (
+    ("ipForwarding", 1, _INT, _RW),
+    ("ipDefaultTTL", 2, _INT, _RW),
+    ("ipInReceives", 3, _COUNTER, _RO),
+    ("ipInHdrErrors", 4, _COUNTER, _RO),
+    ("ipInAddrErrors", 5, _COUNTER, _RO),
+    ("ipForwDatagrams", 6, _COUNTER, _RO),
+    ("ipInUnknownProtos", 7, _COUNTER, _RO),
+    ("ipInDiscards", 8, _COUNTER, _RO),
+    ("ipInDelivers", 9, _COUNTER, _RO),
+    ("ipOutRequests", 10, _COUNTER, _RO),
+    ("ipOutDiscards", 11, _COUNTER, _RO),
+    ("ipOutNoRoutes", 12, _COUNTER, _RO),
+    ("ipReasmTimeout", 13, _INT, _RO),
+    ("ipReasmReqds", 14, _COUNTER, _RO),
+    ("ipReasmOKs", 15, _COUNTER, _RO),
+    ("ipReasmFails", 16, _COUNTER, _RO),
+    ("ipFragOKs", 17, _COUNTER, _RO),
+    ("ipFragFails", 18, _COUNTER, _RO),
+    ("ipFragCreates", 19, _COUNTER, _RO),
+)
+
+_IP_ADDR_ENTRY: Sequence[_Leaf] = (
+    ("ipAdEntAddr", 1, _IPADDR, _RO),
+    ("ipAdEntIfIndex", 2, _INT, _RO),
+    ("ipAdEntNetMask", 3, _IPADDR, _RO),
+    ("ipAdEntBcastAddr", 4, _INT, _RO),
+)
+
+_IP_ROUTE_ENTRY: Sequence[_Leaf] = (
+    ("ipRouteDest", 1, _IPADDR, _RW),
+    ("ipRouteIfIndex", 2, _INT, _RW),
+    ("ipRouteMetric1", 3, _INT, _RW),
+    ("ipRouteMetric2", 4, _INT, _RW),
+    ("ipRouteMetric3", 5, _INT, _RW),
+    ("ipRouteMetric4", 6, _INT, _RW),
+    ("ipRouteNextHop", 7, _IPADDR, _RW),
+    ("ipRouteType", 8, _INT, _RW),
+    ("ipRouteProto", 9, _INT, _RO),
+    ("ipRouteAge", 10, _INT, _RW),
+)
+
+_ICMP_NAMES = (
+    "icmpInMsgs", "icmpInErrors", "icmpInDestUnreachs", "icmpInTimeExcds",
+    "icmpInParmProbs", "icmpInSrcQuenchs", "icmpInRedirects", "icmpInEchos",
+    "icmpInEchoReps", "icmpInTimestamps", "icmpInTimestampReps",
+    "icmpInAddrMasks", "icmpInAddrMaskReps", "icmpOutMsgs", "icmpOutErrors",
+    "icmpOutDestUnreachs", "icmpOutTimeExcds", "icmpOutParmProbs",
+    "icmpOutSrcQuenchs", "icmpOutRedirects", "icmpOutEchos",
+    "icmpOutEchoReps", "icmpOutTimestamps", "icmpOutTimestampReps",
+    "icmpOutAddrMasks", "icmpOutAddrMaskReps",
+)
+_ICMP: Sequence[_Leaf] = tuple(
+    (name, index + 1, _COUNTER, _RO) for index, name in enumerate(_ICMP_NAMES)
+)
+
+_TCP_SCALARS: Sequence[_Leaf] = (
+    ("tcpRtoAlgorithm", 1, _INT, _RO),
+    ("tcpRtoMin", 2, _INT, _RO),
+    ("tcpRtoMax", 3, _INT, _RO),
+    ("tcpMaxConn", 4, _INT, _RO),
+    ("tcpActiveOpens", 5, _COUNTER, _RO),
+    ("tcpPassiveOpens", 6, _COUNTER, _RO),
+    ("tcpAttemptFails", 7, _COUNTER, _RO),
+    ("tcpEstabResets", 8, _COUNTER, _RO),
+    ("tcpCurrEstab", 9, _GAUGE, _RO),
+    ("tcpInSegs", 10, _COUNTER, _RO),
+    ("tcpOutSegs", 11, _COUNTER, _RO),
+    ("tcpRetransSegs", 12, _COUNTER, _RO),
+)
+
+_TCP_CONN_ENTRY: Sequence[_Leaf] = (
+    ("tcpConnState", 1, _INT, _RO),
+    ("tcpConnLocalAddress", 2, _IPADDR, _RO),
+    ("tcpConnLocalPort", 3, _INT, _RO),
+    ("tcpConnRemAddress", 4, _IPADDR, _RO),
+    ("tcpConnRemPort", 5, _INT, _RO),
+)
+
+_UDP: Sequence[_Leaf] = (
+    ("udpInDatagrams", 1, _COUNTER, _RO),
+    ("udpNoPorts", 2, _COUNTER, _RO),
+    ("udpInErrors", 3, _COUNTER, _RO),
+    ("udpOutDatagrams", 4, _COUNTER, _RO),
+)
+
+_EGP_SCALARS: Sequence[_Leaf] = (
+    ("egpInMsgs", 1, _COUNTER, _RO),
+    ("egpInErrors", 2, _COUNTER, _RO),
+    ("egpOutMsgs", 3, _COUNTER, _RO),
+    ("egpOutErrors", 4, _COUNTER, _RO),
+)
+
+_EGP_NEIGH_ENTRY: Sequence[_Leaf] = (
+    ("egpNeighState", 1, _INT, _RO),
+    ("egpNeighAddr", 2, _IPADDR, _RO),
+)
+
+#: The eight MIB-I groups and their sub-ids under mib(1).
+GROUP_NAMES = ("system", "interfaces", "at", "ip", "icmp", "tcp", "udp", "egp")
+
+
+def _entry_type(leaves: Sequence[_Leaf]) -> SequenceType:
+    return SequenceType(
+        fields=tuple(NamedField(name, syntax) for name, _sub, syntax, _acc in leaves)
+    )
+
+
+def _add_leaves(tree: MibTree, parent: Oid, leaves: Sequence[_Leaf]) -> None:
+    for name, sub_id, syntax, access in leaves:
+        tree.register(name, parent.child(sub_id), syntax=syntax, access=access)
+
+
+def _add_table(
+    tree: MibTree,
+    parent: Oid,
+    table_name: str,
+    table_sub: int,
+    entry_name: str,
+    entry_alias: str,
+    leaves: Sequence[_Leaf],
+    module: Optional[Asn1Module] = None,
+) -> None:
+    entry_type = _entry_type(leaves)
+    table_oid = parent.child(table_sub)
+    tree.register(
+        table_name,
+        table_oid,
+        syntax=SequenceOfType(element=entry_type),
+        access=_RO,
+    )
+    entry_oid = table_oid.child(1)
+    tree.register(
+        entry_name, entry_oid, syntax=entry_type, access=_RO, aliases=(entry_alias,)
+    )
+    _add_leaves(tree, entry_oid, leaves)
+    if module is not None and entry_alias not in module:
+        module.define(entry_alias, entry_type)
+
+
+def build_mib1(module: Optional[Asn1Module] = None) -> MibTree:
+    """Build the RFC 1066 MIB-I tree.
+
+    When *module* is given, the table-entry SEQUENCE types (``IpAddrEntry``
+    etc.) are also defined there so NMSL type references resolve.
+    """
+    tree = MibTree()
+    tree.register("iso", "1")
+    tree.register("org", "1.3")
+    tree.register("dod", "1.3.6")
+    tree.register("internet", "1.3.6.1")
+    tree.register("directory", "1.3.6.1.1")
+    tree.register("mgmt", MGMT)
+    tree.register("experimental", "1.3.6.1.3")
+    tree.register("private", "1.3.6.1.4")
+    tree.register("enterprises", "1.3.6.1.4.1")
+    mib = MGMT.child(1)
+    tree.register("mib", mib)
+
+    for index, group in enumerate(GROUP_NAMES, start=1):
+        tree.register(group, mib.child(index))
+
+    _add_leaves(tree, mib.child(1), _SYSTEM)
+
+    interfaces = mib.child(2)
+    tree.register("ifNumber", interfaces.child(1), syntax=_INT, access=_RO)
+    _add_table(tree, interfaces, "ifTable", 2, "ifEntry", "IfEntry", _IF_ENTRY, module)
+
+    _add_table(tree, mib.child(3), "atTable", 1, "atEntry", "AtEntry", _AT_ENTRY, module)
+
+    ip = mib.child(4)
+    _add_leaves(tree, ip, _IP_SCALARS)
+    _add_table(
+        tree, ip, "ipAddrTable", 20, "ipAddrEntry", "IpAddrEntry", _IP_ADDR_ENTRY, module
+    )
+    _add_table(
+        tree,
+        ip,
+        "ipRoutingTable",
+        21,
+        "ipRouteEntry",
+        "IpRouteEntry",
+        _IP_ROUTE_ENTRY,
+        module,
+    )
+
+    _add_leaves(tree, mib.child(5), _ICMP)
+
+    tcp = mib.child(6)
+    _add_leaves(tree, tcp, _TCP_SCALARS)
+    _add_table(
+        tree, tcp, "tcpConnTable", 13, "tcpConnEntry", "TcpConnEntry", _TCP_CONN_ENTRY, module
+    )
+
+    _add_leaves(tree, mib.child(7), _UDP)
+
+    egp = mib.child(8)
+    _add_leaves(tree, egp, _EGP_SCALARS)
+    _add_table(
+        tree, egp, "egpNeighTable", 5, "egpNeighEntry", "EgpNeighEntry", _EGP_NEIGH_ENTRY, module
+    )
+
+    # Name-path roots the paper's specifications use.
+    tree.add_root_alias("iso", "1")
+    tree.add_root_alias("internet", "1.3.6.1")
+    tree.add_root_alias("mgmt", MGMT)
+    return tree

@@ -1,0 +1,129 @@
+"""Object identifiers.
+
+An :class:`Oid` is an immutable sequence of non-negative integers with value
+semantics, total ordering in SNMP lexicographic order (the order get-next
+walks), and prefix tests.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Iterator, Tuple, Union
+
+from repro.errors import OidError
+
+OidLike = Union["Oid", str, Iterable[int]]
+
+
+@total_ordering
+class Oid:
+    """An ASN.1 object identifier, e.g. ``Oid("1.3.6.1.2.1")``.
+
+    Accepts a dotted string, an iterable of ints, or another Oid.  Instances
+    are immutable and hashable; ``+`` appends components or another Oid.
+    """
+
+    __slots__ = ("_components",)
+
+    def __init__(self, value: OidLike = ()):
+        if isinstance(value, Oid):
+            self._components: Tuple[int, ...] = value._components
+            return
+        if isinstance(value, str):
+            value = self._parse(value)
+        components = tuple(int(item) for item in value)
+        for component in components:
+            if component < 0:
+                raise OidError(f"negative OID component in {components}")
+        self._components = components
+
+    @staticmethod
+    def _parse(text: str) -> Tuple[int, ...]:
+        text = text.strip().strip(".")
+        if not text:
+            return ()
+        try:
+            return tuple(int(part) for part in text.split("."))
+        except ValueError as exc:
+            raise OidError(f"malformed OID string {text!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Value semantics.
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> Tuple[int, ...]:
+        return self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._components)
+
+    def __getitem__(self, index):
+        result = self._components[index]
+        if isinstance(index, slice):
+            return Oid(result)
+        return result
+
+    def __hash__(self) -> int:
+        return hash(self._components)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Oid):
+            return self._components == other._components
+        if isinstance(other, (tuple, list)):
+            return self._components == tuple(other)
+        return NotImplemented
+
+    def __lt__(self, other: "Oid") -> bool:
+        if not isinstance(other, Oid):
+            return NotImplemented
+        return self._components < other._components
+
+    def __add__(self, suffix: OidLike) -> "Oid":
+        return Oid(self._components + Oid(suffix)._components)
+
+    def __str__(self) -> str:
+        return ".".join(str(component) for component in self._components)
+
+    def __repr__(self) -> str:
+        return f"Oid({str(self)!r})"
+
+    # ------------------------------------------------------------------
+    # Structure.
+    # ------------------------------------------------------------------
+    def child(self, component: int) -> "Oid":
+        """Return this OID extended by one component."""
+        if component < 0:
+            raise OidError("negative OID component")
+        return Oid(self._components + (component,))
+
+    @property
+    def parent(self) -> "Oid":
+        if not self._components:
+            raise OidError("the empty OID has no parent")
+        return Oid(self._components[:-1])
+
+    def starts_with(self, prefix: OidLike) -> bool:
+        """True if *prefix* is a (non-strict) prefix of this OID."""
+        prefix_components = Oid(prefix)._components
+        return self._components[: len(prefix_components)] == prefix_components
+
+    def is_prefix_of(self, other: OidLike) -> bool:
+        return Oid(other).starts_with(self)
+
+    def strip_prefix(self, prefix: OidLike) -> "Oid":
+        """Remove *prefix* from the front; raises if it is not a prefix."""
+        prefix_oid = Oid(prefix)
+        if not self.starts_with(prefix_oid):
+            raise OidError(f"{self} does not start with {prefix_oid}")
+        return Oid(self._components[len(prefix_oid) :])
+
+
+#: Well-known roots.
+ISO = Oid("1")
+INTERNET = Oid("1.3.6.1")
+MGMT = Oid("1.3.6.1.2")
+MIB = Oid("1.3.6.1.2.1")
+ENTERPRISES = Oid("1.3.6.1.4.1")

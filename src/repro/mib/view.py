@@ -1,0 +1,143 @@
+"""MIB views: sets of subtrees named by dotted paths.
+
+``supports`` clauses (network elements, agent processes) and ``exports``
+clauses (processes, domains) both denote *portions of the MIB* as lists of
+name paths, e.g. ``mgmt.mib.ip`` (a whole group) or
+``mgmt.mib.ip.ipAddrTable.IpAddrEntry`` (one table entry).  A
+:class:`MibView` holds such a set, normalised against a tree, and answers
+coverage questions: does this view contain that variable / subtree?
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import MibError
+from repro.mib.oid import Oid
+from repro.mib.tree import MibNode, MibTree
+
+
+class MibView:
+    """An immutable set of MIB subtrees, resolved against a tree.
+
+    A view *covers* a node if the node lies inside any of the view's
+    subtrees.  Views support subset tests, union and intersection — the
+    operations the consistency checker needs to compare ``supports``,
+    ``exports`` and query requests.
+    """
+
+    def __init__(self, tree: MibTree, name_paths: Iterable[str] = ()):
+        self._tree = tree
+        roots = [(path, tree.resolve(path)) for path in name_paths]
+        # Normalise: drop a subtree that lies strictly inside another, and
+        # deduplicate identical OIDs.
+        kept: list[Tuple[str, MibNode]] = []
+        seen: set = set()
+        for path, node in roots:
+            if node.oid in seen:
+                continue
+            covered = any(
+                node.oid.starts_with(other.oid) and node.oid != other.oid
+                for _path, other in roots
+            )
+            if covered:
+                continue
+            seen.add(node.oid)
+            kept.append((path, node))
+        self._roots: Tuple[Tuple[str, MibNode], ...] = tuple(kept)
+
+    @classmethod
+    def full(cls, tree: MibTree) -> "MibView":
+        """The view covering the entire standard MIB (``mgmt.mib``)."""
+        return cls(tree, ("mgmt.mib",))
+
+    @classmethod
+    def empty(cls, tree: MibTree) -> "MibView":
+        return cls(tree, ())
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def tree(self) -> MibTree:
+        return self._tree
+
+    def paths(self) -> Tuple[str, ...]:
+        return tuple(path for path, _node in self._roots)
+
+    def root_oids(self) -> FrozenSet[Oid]:
+        return frozenset(node.oid for _path, node in self._roots)
+
+    def is_empty(self) -> bool:
+        return not self._roots
+
+    def __bool__(self) -> bool:
+        return bool(self._roots)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MibView):
+            return NotImplemented
+        return self.root_oids() == other.root_oids()
+
+    def __hash__(self) -> int:
+        return hash(self.root_oids())
+
+    def __repr__(self) -> str:
+        return f"MibView({sorted(self.paths())})"
+
+    # ------------------------------------------------------------------
+    # Coverage.
+    # ------------------------------------------------------------------
+    def covers_oid(self, oid) -> bool:
+        oid = Oid(oid)
+        return any(oid.starts_with(node.oid) for _path, node in self._roots)
+
+    def covers_path(self, name_path: str) -> bool:
+        try:
+            node = self._tree.resolve(name_path)
+        except MibError:
+            return False
+        return self.covers_oid(node.oid)
+
+    def covers_view(self, other: "MibView") -> bool:
+        """True if every subtree of *other* lies inside this view."""
+        return all(self.covers_oid(oid) for oid in other.root_oids())
+
+    # ------------------------------------------------------------------
+    # Set algebra.
+    # ------------------------------------------------------------------
+    def union(self, other: "MibView") -> "MibView":
+        return MibView(self._tree, self.paths() + other.paths())
+
+    def intersection(self, other: "MibView") -> "MibView":
+        """Subtree-wise intersection (deeper prefix wins)."""
+        paths = []
+        for path, node in self._roots:
+            for other_path, other_node in other._roots:
+                if node.oid.starts_with(other_node.oid):
+                    paths.append(path)
+                elif other_node.oid.starts_with(node.oid):
+                    paths.append(other_path)
+        return MibView(self._tree, paths)
+
+    def leaves(self) -> Iterator[MibNode]:
+        """All leaf variables covered by this view, in OID order."""
+        emitted: set = set()
+        for _path, node in sorted(self._roots, key=lambda item: item[1].oid):
+            for leaf in self._tree.walk(node.oid):
+                if leaf.is_leaf and leaf.oid not in emitted:
+                    emitted.add(leaf.oid)
+                    yield leaf
+
+    def variable_count(self) -> int:
+        return sum(1 for _leaf in self.leaves())
+
+    def node_for(self, name_path: str) -> Optional[MibNode]:
+        """Resolve *name_path* if it is covered by this view, else None."""
+        try:
+            node = self._tree.resolve(name_path)
+        except MibError:
+            return None
+        if not self.covers_oid(node.oid):
+            return None
+        return node

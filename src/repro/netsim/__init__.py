@@ -1,0 +1,33 @@
+"""Discrete-event network simulator substrate.
+
+The paper evaluates NMSL against running network managers on a real
+TCP/IP internet; this package substitutes a simulator that exercises the
+same code paths: elements with interfaces on shared networks, latency +
+transmission delay, SNMP agents and management applications driven by the
+compiled specification, and a runtime verification monitor that compares
+observed query behaviour against the specification — the paper's
+"verifying that these specifications are actually being adhered to in the
+network".
+
+* :mod:`repro.netsim.sim` — the event loop;
+* :mod:`repro.netsim.network` — topology and message delay;
+* :mod:`repro.netsim.processes` — the management runtime built from a
+  compiled :class:`~repro.nmsl.specs.Specification`;
+* :mod:`repro.netsim.monitor` — the runtime verifier.
+"""
+
+from repro.netsim.sim import Simulator
+from repro.netsim.network import Internet, SimElement, SimNetwork
+from repro.netsim.processes import ManagementRuntime, QueryRecord
+from repro.netsim.monitor import RuntimeVerifier, Violation
+
+__all__ = [
+    "Internet",
+    "ManagementRuntime",
+    "QueryRecord",
+    "RuntimeVerifier",
+    "SimElement",
+    "SimNetwork",
+    "Simulator",
+    "Violation",
+]

@@ -1,0 +1,155 @@
+"""Topology: elements, networks, and message delay.
+
+An :class:`Internet` is a bipartite graph of elements and networks (an
+element joins a network per interface).  Message delay between two
+elements is the shortest path's accumulated per-network latency plus
+transmission time (message size over the bottleneck interface speed).
+Elements on a shared network are one hop; otherwise multi-homed elements
+act as gateways, exactly how the paper's internets are stitched together.
+
+Per-network byte counters support utilisation reporting (the speculative
+"how much load will the new organization add" question).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx
+
+from repro.errors import SimulationError
+from repro.nmsl.specs import Specification, SystemSpec
+
+DEFAULT_LATENCY_S = 0.001  # 1 ms per network hop
+
+
+@dataclass
+class SimNetwork:
+    """A broadcast network (an Ethernet segment, say)."""
+
+    name: str
+    latency_s: float = DEFAULT_LATENCY_S
+    bytes_carried: int = 0
+
+
+@dataclass
+class SimElement:
+    """A network element: its interfaces name the networks it joins."""
+
+    name: str
+    interfaces: Dict[str, int] = field(default_factory=dict)  # network -> bps
+
+    def speed_on(self, network: str) -> int:
+        return self.interfaces.get(network, 0)
+
+
+class Internet:
+    """The element/network graph with delay computation."""
+
+    def __init__(self):
+        self._elements: Dict[str, SimElement] = {}
+        self._networks: Dict[str, SimNetwork] = {}
+        self._graph = networkx.Graph()
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    def add_network(self, name: str, latency_s: float = DEFAULT_LATENCY_S) -> SimNetwork:
+        if name not in self._networks:
+            self._networks[name] = SimNetwork(name, latency_s)
+            self._graph.add_node(("net", name))
+        return self._networks[name]
+
+    def add_element(self, name: str) -> SimElement:
+        if name not in self._elements:
+            self._elements[name] = SimElement(name)
+            self._graph.add_node(("elem", name))
+        return self._elements[name]
+
+    def attach(self, element_name: str, network_name: str, speed_bps: int) -> None:
+        element = self.add_element(element_name)
+        self.add_network(network_name)
+        element.interfaces[network_name] = speed_bps
+        self._graph.add_edge(("elem", element_name), ("net", network_name))
+
+    @classmethod
+    def from_specification(cls, specification: Specification) -> "Internet":
+        """Build the physical topology a specification describes."""
+        internet = cls()
+        for system in specification.systems.values():
+            internet.add_element(system.name)
+            for interface in system.interfaces:
+                internet.attach(system.name, interface.network, interface.speed_bps)
+        return internet
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def element(self, name: str) -> SimElement:
+        if name not in self._elements:
+            raise SimulationError(f"unknown element {name!r}")
+        return self._elements[name]
+
+    def network(self, name: str) -> SimNetwork:
+        if name not in self._networks:
+            raise SimulationError(f"unknown network {name!r}")
+        return self._networks[name]
+
+    def element_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._elements))
+
+    def network_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._networks))
+
+    # ------------------------------------------------------------------
+    # Delay model.
+    # ------------------------------------------------------------------
+    def path_networks(self, src: str, dst: str) -> List[str]:
+        """The networks a message crosses from *src* to *dst*."""
+        if src == dst:
+            return []
+        try:
+            path = networkx.shortest_path(
+                self._graph, ("elem", src), ("elem", dst)
+            )
+        except (networkx.NetworkXNoPath, networkx.NodeNotFound) as exc:
+            raise SimulationError(
+                f"no route from {src!r} to {dst!r}"
+            ) from exc
+        return [name for kind, name in path if kind == "net"]
+
+    def delay(self, src: str, dst: str, nbytes: int) -> float:
+        """Latency + transmission time for *nbytes* from *src* to *dst*.
+
+        Transmission uses the slowest interface speed along the path
+        (the bottleneck); each crossed network contributes its latency
+        and counts the bytes.
+        """
+        networks = self.path_networks(src, dst)
+        if not networks:
+            return 0.0
+        total_latency = 0.0
+        bottleneck_bps: Optional[int] = None
+        for network_name in networks:
+            network = self._networks[network_name]
+            network.bytes_carried += nbytes
+            total_latency += network.latency_s
+            for element_name in (src, dst):
+                speed = self._elements[element_name].speed_on(network_name)
+                if speed:
+                    if bottleneck_bps is None or speed < bottleneck_bps:
+                        bottleneck_bps = speed
+        transmission = 0.0
+        if bottleneck_bps:
+            transmission = (nbytes * 8) / bottleneck_bps * len(networks)
+        return total_latency + transmission
+
+    def utilisation_report(self, duration_s: float) -> Dict[str, float]:
+        """Average bits/second carried per network over *duration_s*."""
+        if duration_s <= 0:
+            raise SimulationError("duration must be positive")
+        return {
+            name: network.bytes_carried * 8 / duration_s
+            for name, network in sorted(self._networks.items())
+        }

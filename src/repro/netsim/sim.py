@@ -1,0 +1,97 @@
+"""A minimal discrete-event simulator.
+
+Events are (time, sequence, callback) triples on a heap; the sequence
+number makes ordering deterministic for simultaneous events.  Callbacks
+may schedule further events.  ``run_until`` processes events in time
+order up to a horizon; ``run`` drains the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._sequence = itertools.count()
+        self._queue: List[Tuple[float, int, EventCallback]] = []
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: EventCallback) -> None:
+        """Run *callback* at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._sequence), callback)
+        )
+
+    def schedule_at(self, when: float, callback: EventCallback) -> None:
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now {self._now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._sequence), callback))
+
+    def schedule_every(
+        self,
+        period: float,
+        callback: EventCallback,
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> None:
+        """Run *callback* periodically (first at *start*, default one period)."""
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        first = start if start is not None else period
+
+        def tick() -> None:
+            if until is not None and self._now > until:
+                return
+            callback()
+            self.schedule(period, tick)
+
+        self.schedule_at(self._now + first, tick)
+
+    def run_until(self, horizon: float) -> int:
+        """Process events with time <= horizon; returns events processed."""
+        processed = 0
+        while self._queue and self._queue[0][0] <= horizon:
+            when, _seq, callback = heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            processed += 1
+            self.events_processed += 1
+        self._now = max(self._now, horizon)
+        return processed
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue (bounded by *max_events*)."""
+        processed = 0
+        while self._queue:
+            if processed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events without draining"
+                )
+            when, _seq, callback = heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            processed += 1
+            self.events_processed += 1
+        return processed
+
+    def pending(self) -> int:
+        return len(self._queue)

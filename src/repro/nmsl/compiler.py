@@ -1,0 +1,239 @@
+"""The NMSL Compiler driver (paper Figure 3.1 / Section 6).
+
+``NmslCompiler`` ties the pieces together:
+
+1. **pass 1** — :func:`repro.nmsl.generic.parse_generic` parses the
+   generalized grammar;
+2. **pass 2** — :class:`repro.nmsl.semantics.SpecificationBuilder` runs
+   the generic actions (semantic checks, typed-spec construction);
+3. **output** — :meth:`generate` runs the output-specific actions for one
+   requested output type ("Each run of the compiler executes the generic
+   actions and one type of output specific action").
+
+Extensions are applied at construction: their keyword entries and
+decltypes are prepended to the keyword table, their declaration-level
+actions prepended to the output registry, and their clause-level actions
+installed in the clause-action table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.asn1.types import Asn1Module
+from repro.errors import CodegenError, NmslSemanticError
+from repro.mib.mib1 import build_mib1
+from repro.mib.tree import MibTree
+from repro.nmsl.actions import (
+    KeywordTable,
+    OutputContext,
+    OutputRegistry,
+)
+from repro.nmsl.extension import ClauseRenderer, Extension
+from repro.nmsl.generic import Declaration, parse_generic
+from repro.nmsl.outputs import EPILOGUE, register_base_outputs
+from repro.nmsl.semantics import BuildReport, SpecificationBuilder
+from repro.nmsl.specs import Specification
+
+
+@dataclass
+class CompilerOptions:
+    """Configuration for a compiler instance."""
+
+    filename: str = "<nmsl>"
+    strict: bool = True
+    extensions: Tuple[Extension, ...] = ()
+    register_codegen: bool = True
+
+
+@dataclass
+class CompileResult:
+    """Everything produced by one compile run."""
+
+    declarations: List[Declaration]
+    specification: Specification
+    report: BuildReport
+
+    @property
+    def ok(self) -> bool:
+        return not self.report.errors
+
+
+@dataclass
+class OutputUnit:
+    """One chunk of generated output, attributed to its declaration."""
+
+    name: str
+    decltype: str
+    text: str
+
+
+@dataclass
+class OutputBundle:
+    """All output of one :meth:`NmslCompiler.generate` run."""
+
+    tag: str
+    units: List[OutputUnit] = field(default_factory=list)
+
+    def text(self) -> str:
+        return "\n".join(unit.text for unit in self.units if unit.text) + "\n"
+
+    def unit_for(self, name: str) -> Optional[OutputUnit]:
+        for unit in self.units:
+            if unit.name == name:
+                return unit
+        return None
+
+
+class NmslCompiler:
+    """The NMSL compiler with extension support."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None):
+        self.options = options or CompilerOptions()
+        self.module = Asn1Module()
+        self.tree: MibTree = build_mib1(self.module)
+        self.keyword_table = KeywordTable()
+        self.registry = OutputRegistry()
+        register_base_outputs(self.registry)
+        if self.options.register_codegen:
+            from repro.codegen import register_all
+
+            register_all(self.registry)
+        #: clause-level extension actions: (tag, decltype, keyword) -> renderer
+        self.clause_actions: Dict[Tuple[str, str, str], ClauseRenderer] = {}
+        self.extension_decltypes: List[str] = []
+        for extension in self.options.extensions:
+            self.apply_extension(extension)
+
+    # ------------------------------------------------------------------
+    # Extensions.
+    # ------------------------------------------------------------------
+    def apply_extension(self, extension: Extension) -> None:
+        """Prepend an extension's tables (paper Section 6.3 semantics)."""
+        for entry in extension.keywords:
+            self.keyword_table.prepend(entry)
+        self.extension_decltypes.extend(extension.decltypes)
+        for action in extension.actions:
+            if action.keyword is None:
+                renderer = action.renderer()
+
+                def decl_action(context, spec, _render=renderer):
+                    name = getattr(spec, "name", "")
+                    return _render(name, ())
+
+                self.registry.prepend(action.tag, action.decltype, decl_action)
+            else:
+                key = (action.tag, action.decltype, action.keyword)
+                self.clause_actions[key] = action.renderer()
+
+    # ------------------------------------------------------------------
+    # Compilation.
+    # ------------------------------------------------------------------
+    def parse(self, text: str) -> List[Declaration]:
+        """Pass 1 only."""
+        return parse_generic(text, self.options.filename)
+
+    def compile(self, text: str, strict: Optional[bool] = None) -> CompileResult:
+        """Pass 1 + pass 2: returns the typed specification."""
+        declarations = self.parse(text)
+        builder = SpecificationBuilder(
+            self.tree,
+            self.module,
+            self.keyword_table,
+            extension_decltypes=self.extension_decltypes,
+        )
+        effective_strict = self.options.strict if strict is None else strict
+        specification = builder.build(declarations, strict=effective_strict)
+        return CompileResult(
+            declarations=declarations,
+            specification=specification,
+            report=builder.report,
+        )
+
+    # ------------------------------------------------------------------
+    # Output generation.
+    # ------------------------------------------------------------------
+    def generate(self, tag: str, result: CompileResult) -> OutputBundle:
+        """Run the output-specific actions for *tag* over every declaration."""
+        specification = result.specification
+        context = OutputContext(
+            specification=specification,
+            options={"tree": self.tree, "module": self.module},
+        )
+        bundle = OutputBundle(tag=tag)
+        produced_any = False
+        for declaration in result.declarations:
+            spec_obj = self._typed_spec_for(specification, declaration)
+            chunks: List[str] = []
+            action = self.registry.lookup(tag, declaration.decltype)
+            if action is not None and spec_obj is not None:
+                context.declaration = declaration
+                chunk = action(context, spec_obj)
+                if chunk:
+                    chunks.append(chunk)
+            chunks.extend(
+                self._clause_chunks(tag, declaration, specification)
+            )
+            if chunks:
+                produced_any = True
+                bundle.units.append(
+                    OutputUnit(
+                        name=declaration.name,
+                        decltype=declaration.decltype,
+                        text="\n".join(chunks),
+                    )
+                )
+        epilogue = self.registry.lookup(tag, EPILOGUE)
+        if epilogue is not None:
+            context.declaration = None
+            chunk = epilogue(context, specification)
+            if chunk:
+                produced_any = True
+                bundle.units.append(OutputUnit("", EPILOGUE, chunk))
+        if not produced_any and tag not in self.registry.tags():
+            known = ", ".join(sorted(set(self.registry.tags())))
+            raise CodegenError(
+                f"no output actions registered for tag {tag!r} (known: {known})"
+            )
+        return bundle
+
+    def _clause_chunks(
+        self, tag: str, declaration: Declaration, specification: Specification
+    ) -> List[str]:
+        stored = specification.extension_clauses.get(
+            (declaration.decltype, declaration.name), []
+        )
+        chunks = []
+        for keyword, args in stored:
+            renderer = self.clause_actions.get((tag, declaration.decltype, keyword))
+            if renderer is not None:
+                chunks.append(renderer(declaration.name, args))
+        return chunks
+
+    @staticmethod
+    def _typed_spec_for(specification: Specification, declaration: Declaration):
+        table = {
+            "type": specification.types,
+            "process": specification.processes,
+            "system": specification.systems,
+            "domain": specification.domains,
+        }.get(declaration.decltype)
+        if table is None:
+            return declaration  # extension decltype: hand over raw declaration
+        return table.get(declaration.name)
+
+
+def compile_text(
+    text: str,
+    extensions: Sequence[Extension] = (),
+    strict: bool = True,
+    filename: str = "<nmsl>",
+) -> Tuple[NmslCompiler, CompileResult]:
+    """Convenience: build a compiler and compile *text* in one call."""
+    compiler = NmslCompiler(
+        CompilerOptions(
+            filename=filename, strict=strict, extensions=tuple(extensions)
+        )
+    )
+    return compiler, compiler.compile(text)

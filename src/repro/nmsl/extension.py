@@ -1,0 +1,200 @@
+"""The NMSL extension language (paper Section 6.3).
+
+"The extension input to the NMSL Compiler is a simple list of typed
+keywords and actions."  An extension can:
+
+* add clause **keywords** to existing specification types (or override
+  where an existing keyword is valid) — prepended to the keyword table;
+* add whole new **decltypes** (new kinds of specifications);
+* add or override **output actions**, tagged with an output type; an
+  extension that specifies an existing keyword and "a single action tagged
+  ``DavesSnmpd`` will not override the basic generic action for the
+  clause, but it will override an existing action tagged ``DavesSnmpd``"
+  — overriding is per output tag only.
+
+Extensions come in two forms: the text format below (parsed by
+:func:`parse_extension`), whose actions are ``emit`` templates, and
+programmatic :class:`Extension` objects whose actions may be arbitrary
+callables.
+
+Text format (one statement per line, ``--`` comments)::
+
+    extension billing;
+    keyword billing in process, domain;
+    keyword surcharge in process continues;      -- continuation keyword
+    decltype organization;
+    output consistency for process.billing emit "billing({name}, {arg0}).";
+    output BartsSnmpd for process emit "# managed by {name}";
+
+Templates may use ``{name}`` (declaration name), ``{keyword}``, ``{args}``
+(space-joined arguments) and ``{arg0}`` ... ``{arg9}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExtensionError
+from repro.nmsl.actions import KeywordEntry
+
+#: A clause-level renderer: (declaration name, clause args) -> output text.
+ClauseRenderer = Callable[[str, Tuple[str, ...]], str]
+
+
+@dataclass(frozen=True)
+class ExtensionAction:
+    """One output-specific action contributed by an extension.
+
+    ``keyword`` of None makes this a declaration-level action (overrides
+    the basic action for (tag, decltype)); otherwise it is a clause-level
+    action run once per occurrence of the keyword clause.
+    Exactly one of ``template`` / ``render`` must be given.
+    """
+
+    tag: str
+    decltype: str
+    keyword: Optional[str] = None
+    template: Optional[str] = None
+    render: Optional[ClauseRenderer] = None
+
+    def __post_init__(self):
+        if (self.template is None) == (self.render is None):
+            raise ExtensionError(
+                "an extension action needs exactly one of template/render"
+            )
+
+    def renderer(self) -> ClauseRenderer:
+        if self.render is not None:
+            return self.render
+        template = self.template or ""
+
+        def from_template(name: str, args: Tuple[str, ...]) -> str:
+            values: Dict[str, str] = {
+                "name": name,
+                "keyword": self.keyword or "",
+                "args": " ".join(args),
+            }
+            for index in range(10):
+                values[f"arg{index}"] = args[index] if index < len(args) else ""
+            try:
+                return template.format(**values)
+            except (KeyError, IndexError) as exc:
+                raise ExtensionError(
+                    f"bad placeholder in template {template!r}: {exc}"
+                ) from exc
+
+        return from_template
+
+
+@dataclass
+class Extension:
+    """A parsed extension: keywords, decltypes and actions to prepend."""
+
+    name: str
+    keywords: Tuple[KeywordEntry, ...] = ()
+    decltypes: Tuple[str, ...] = ()
+    actions: Tuple[ExtensionAction, ...] = ()
+
+
+def parse_extension(text: str) -> Extension:
+    """Parse the extension-language text format."""
+    name: Optional[str] = None
+    keywords: List[KeywordEntry] = []
+    decltypes: List[str] = []
+    actions: List[ExtensionAction] = []
+
+    for raw_line in _statements(text):
+        words = raw_line.split()
+        if not words:
+            continue
+        head = words[0]
+        if head == "extension":
+            if len(words) != 2:
+                raise ExtensionError(f"malformed extension statement: {raw_line!r}")
+            name = words[1]
+        elif head == "keyword":
+            keywords.append(_parse_keyword(raw_line, words))
+        elif head == "decltype":
+            if len(words) != 2:
+                raise ExtensionError(f"malformed decltype statement: {raw_line!r}")
+            decltypes.append(words[1])
+        elif head == "output":
+            actions.append(_parse_output(raw_line))
+        else:
+            raise ExtensionError(f"unknown extension statement: {raw_line!r}")
+    if name is None:
+        raise ExtensionError("extension text must begin with 'extension <name>;'")
+    return Extension(
+        name=name,
+        keywords=tuple(keywords),
+        decltypes=tuple(decltypes),
+        actions=tuple(actions),
+    )
+
+
+def _statements(text: str) -> List[str]:
+    """Split on ';' at top level, dropping ``--`` comments."""
+    lines = []
+    for line in text.splitlines():
+        comment = line.find("--")
+        if comment >= 0:
+            line = line[:comment]
+        lines.append(line)
+    joined = "\n".join(lines)
+    statements = []
+    current: List[str] = []
+    in_string = False
+    for ch in joined:
+        if ch == '"':
+            in_string = not in_string
+            current.append(ch)
+        elif ch == ";" and not in_string:
+            statement = "".join(current).strip()
+            if statement:
+                statements.append(statement)
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        raise ExtensionError(f"statement not terminated by ';': {tail!r}")
+    return statements
+
+
+def _parse_keyword(raw: str, words: Sequence[str]) -> KeywordEntry:
+    # keyword <kw> in <decltype>{, <decltype>} [continues]
+    if len(words) < 4 or words[2] != "in":
+        raise ExtensionError(f"malformed keyword statement: {raw!r}")
+    keyword = words[1]
+    rest = words[3:]
+    continues = False
+    if rest and rest[-1] == "continues":
+        continues = True
+        rest = rest[:-1]
+    decltypes = tuple(
+        part for part in (token.strip(",") for token in rest) if part
+    )
+    if not decltypes:
+        raise ExtensionError(f"keyword statement names no decltypes: {raw!r}")
+    return KeywordEntry(keyword, decltypes, starts_clause=not continues)
+
+
+def _parse_output(raw: str) -> ExtensionAction:
+    # output <tag> for <decltype>[.<keyword>] emit "<template>"
+    words = raw.split(None, 4)
+    if len(words) < 5 or words[2] != "for" or not words[4].startswith("emit"):
+        raise ExtensionError(f"malformed output statement: {raw!r}")
+    tag = words[1]
+    target = words[3]
+    emit_part = words[4][len("emit") :].strip()
+    if not (emit_part.startswith('"') and emit_part.endswith('"') and len(emit_part) >= 2):
+        raise ExtensionError(f"output template must be double-quoted: {raw!r}")
+    template = emit_part[1:-1]
+    decltype, _sep, keyword = target.partition(".")
+    return ExtensionAction(
+        tag=tag,
+        decltype=decltype,
+        keyword=keyword or None,
+        template=template,
+    )

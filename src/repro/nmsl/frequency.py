@@ -1,0 +1,154 @@
+"""Frequency specifications and their interval semantics.
+
+The grammar (paper Figure 4.3)::
+
+    Freq      ::= BoundSpec Float TimeSpec | "infrequent"
+    BoundSpec ::= "<" | "<=" | "=" | ">=" | EMPTY     (paper also lists ">")
+    TimeSpec  ::= "hours" | "minutes" | "seconds"
+
+A frequency constrains the *inter-arrival period* of queries in seconds.
+``frequency >= 5 minutes`` means successive queries are at least 300
+seconds apart.  ``infrequent`` is modelled as a large minimum period
+(:data:`INFREQUENT_PERIOD_SECONDS`).
+
+Semantics as intervals over the period ``T``:
+
+=================  ==========================
+written form       period interval
+=================  ==========================
+``>= v``           ``[v, inf)``
+``> v``            ``(v, inf)``  (kept as ``[v, inf)`` — dense time)
+``= v``            ``[v, v]``
+``<= v``           ``(0, v]``
+``< v``            ``(0, v]``
+``infrequent``     ``[3600, inf)``
+EMPTY              ``(0, inf)`` (unconstrained)
+=================  ==========================
+
+Consistency (used by :mod:`repro.consistency`): a *reference* promising
+period interval ``R`` is covered by a *permission* requiring interval ``P``
+iff ``R`` is a subset of ``P`` — the client can never query more often than
+the server allows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import NmslSemanticError
+
+#: Seconds per time unit keyword.
+TIME_UNITS = {"seconds": 1.0, "minutes": 60.0, "hours": 3600.0}
+
+#: The period assigned to ``frequency infrequent`` (one hour).
+INFREQUENT_PERIOD_SECONDS = 3600.0
+
+_BOUND_OPS = ("<", "<=", "=", ">=", ">")
+
+
+@dataclass(frozen=True)
+class FrequencySpec:
+    """A frequency clause, normalised to a period interval in seconds.
+
+    ``min_period``/``max_period`` bound the inter-query period; ``None``
+    max means unbounded above.  ``source`` preserves the written form for
+    reporting.
+    """
+
+    min_period: float
+    max_period: Optional[float]
+    source: str = ""
+
+    # ------------------------------------------------------------------
+    # Constructors.
+    # ------------------------------------------------------------------
+    @classmethod
+    def unconstrained(cls) -> "FrequencySpec":
+        return cls(0.0, None, "")
+
+    @classmethod
+    def infrequent(cls) -> "FrequencySpec":
+        return cls(INFREQUENT_PERIOD_SECONDS, None, "infrequent")
+
+    @classmethod
+    def at_most_every(cls, seconds: float) -> "FrequencySpec":
+        """Queries no more often than once per *seconds* (period >= s)."""
+        return cls(float(seconds), None, f">= {seconds:g} seconds")
+
+    @classmethod
+    def exactly_every(cls, seconds: float) -> "FrequencySpec":
+        return cls(float(seconds), float(seconds), f"= {seconds:g} seconds")
+
+    @classmethod
+    def at_least_every(cls, seconds: float) -> "FrequencySpec":
+        """Queries at least once per *seconds* (period <= s)."""
+        return cls(0.0, float(seconds), f"<= {seconds:g} seconds")
+
+    @classmethod
+    def from_clause(cls, op: str, value: float, unit: str) -> "FrequencySpec":
+        """Build from grammar pieces ``BoundSpec Float TimeSpec``."""
+        if unit not in TIME_UNITS:
+            raise NmslSemanticError(f"unknown time unit {unit!r}")
+        if value <= 0:
+            raise NmslSemanticError(f"frequency value must be positive, got {value}")
+        seconds = value * TIME_UNITS[unit]
+        source = f"{op + ' ' if op else ''}{value:g} {unit}"
+        if op in (">=", ">"):
+            return cls(seconds, None, source)
+        if op == "=":
+            return cls(seconds, seconds, source)
+        if op in ("<=", "<"):
+            return cls(0.0, seconds, source)
+        if op == "":
+            return cls(seconds, seconds, source)  # bare value reads as "="
+        raise NmslSemanticError(f"unknown frequency bound {op!r}")
+
+    # ------------------------------------------------------------------
+    # Interval algebra.
+    # ------------------------------------------------------------------
+    def is_unconstrained(self) -> bool:
+        return self.min_period == 0.0 and self.max_period is None
+
+    def covered_by(self, permission: "FrequencySpec") -> bool:
+        """Is this (reference) interval a subset of *permission*'s?"""
+        if self.min_period < permission.min_period:
+            return False
+        if permission.max_period is None:
+            return True
+        if self.max_period is None:
+            return False
+        return self.max_period <= permission.max_period
+
+    def intersect(self, other: "FrequencySpec") -> Optional["FrequencySpec"]:
+        """The tightest interval satisfying both, or None if empty."""
+        low = max(self.min_period, other.min_period)
+        highs = [h for h in (self.max_period, other.max_period) if h is not None]
+        high = min(highs) if highs else None
+        if high is not None and low > high:
+            return None
+        source = " and ".join(s for s in (self.source, other.source) if s)
+        return FrequencySpec(low, high, source)
+
+    def max_rate_per_second(self) -> float:
+        """The highest query rate this interval permits (1/min_period)."""
+        if self.min_period <= 0:
+            return math.inf
+        return 1.0 / self.min_period
+
+    def describe(self) -> str:
+        if self.source:
+            return f"frequency {self.source}"
+        if self.is_unconstrained():
+            return "frequency unconstrained"
+        if self.max_period is None:
+            return f"period >= {self.min_period:g}s"
+        if self.min_period == self.max_period:
+            return f"period = {self.min_period:g}s"
+        if self.min_period == 0:
+            return f"period <= {self.max_period:g}s"
+        return f"period in [{self.min_period:g}s, {self.max_period:g}s]"
+
+    def as_tuple(self) -> Tuple[float, Optional[float]]:
+        return (self.min_period, self.max_period)

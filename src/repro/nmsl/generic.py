@@ -1,0 +1,221 @@
+"""Pass 1: the generalized NMSL grammar of paper Figure 6.1.
+
+The first compiler pass parses *any* specification matching the generic
+shape — ``decltype declname [params] ::= clauses end decltype declname .``
+— without attempting semantic analysis.  "Any group of tokens will be
+accepted by the parsing pass, provided that the group of tokens matches the
+basic format of the NMSL grammar"; differentiating the specifications and
+clauses is left to pass 2 (the action tables in :mod:`repro.nmsl.actions`).
+
+A clause is the token run up to the next ``;`` at bracket depth 0, so
+ASN.1 bodies (with their own parentheses/braces) and parameterised process
+invocations pass through untouched; the raw source span of every clause is
+preserved for actions that re-parse it (the ASN.1 body of a type spec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import NmslSyntaxError, SourceLocation
+from repro.nmsl.lexer import (
+    EOF,
+    NUMBER,
+    PERIOD,
+    PUNCT,
+    STRING,
+    WORD,
+    NmslLexer,
+    NmslToken,
+)
+
+_OPENERS = {"(": ")", "{": "}", "[": "]"}
+_CLOSERS = {")": "(", "}": "{", "]": "["}
+
+
+@dataclass
+class GenericClause:
+    """One clause: its tokens (``;`` excluded) and exact source text."""
+
+    tokens: List[NmslToken]
+    raw_text: str
+    location: SourceLocation
+
+    def first_keyword(self) -> Optional[str]:
+        if self.tokens and self.tokens[0].kind == WORD:
+            return self.tokens[0].text
+        return None
+
+
+@dataclass
+class Declaration:
+    """One specification in generalized form."""
+
+    decltype: str
+    name: str
+    params: List[List[NmslToken]] = field(default_factory=list)
+    clauses: List[GenericClause] = field(default_factory=list)
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def clauses_starting(self, keyword: str) -> List[GenericClause]:
+        return [
+            clause for clause in self.clauses if clause.first_keyword() == keyword
+        ]
+
+
+class GenericParser:
+    """Recursive-descent parser for the Figure 6.1 grammar."""
+
+    def __init__(self, text: str, filename: str = "<nmsl>"):
+        self._text = text
+        self._tokens = list(NmslLexer(text, filename).tokens())
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers.
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> NmslToken:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> NmslToken:
+        token = self._peek()
+        if token.kind != EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> NmslToken:
+        token = self._next()
+        if not token.matches(kind, text):
+            wanted = text if text is not None else kind
+            raise NmslSyntaxError(
+                f"expected {wanted!r}, found {token.text or token.kind!r}",
+                token.location,
+            )
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[NmslToken]:
+        if self._peek().matches(kind, text):
+            return self._next()
+        return None
+
+    def at_end(self) -> bool:
+        return self._peek().kind == EOF
+
+    # ------------------------------------------------------------------
+    # Productions.
+    # ------------------------------------------------------------------
+    def parse_declarations(self) -> List[Declaration]:
+        declarations = []
+        while not self.at_end():
+            declarations.append(self.parse_declaration())
+        return declarations
+
+    def parse_declaration(self) -> Declaration:
+        decltype_token = self._expect(WORD)
+        name_token = self._next()
+        if name_token.kind not in (WORD, STRING):
+            raise NmslSyntaxError(
+                f"expected a declaration name, found {name_token.text!r}",
+                name_token.location,
+            )
+        params = self._parse_declparams()
+        self._expect(PUNCT, "::=")
+        clauses = self._parse_clauses()
+        self._expect(WORD, "end")
+        end_type = self._expect(WORD)
+        if end_type.text != decltype_token.text:
+            raise NmslSyntaxError(
+                f"'end {end_type.text}' does not match "
+                f"'{decltype_token.text} {name_token.text}'",
+                end_type.location,
+            )
+        end_name = self._next()
+        if end_name.kind not in (WORD, STRING):
+            raise NmslSyntaxError(
+                f"expected name after 'end {end_type.text}'", end_name.location
+            )
+        if end_name.text != name_token.text:
+            raise NmslSyntaxError(
+                f"'end {end_type.text} {end_name.text}' does not match "
+                f"declaration of {name_token.text!r}",
+                end_name.location,
+            )
+        self._expect(PERIOD)
+        return Declaration(
+            decltype=decltype_token.text,
+            name=name_token.text,
+            params=params,
+            clauses=clauses,
+            location=decltype_token.location,
+        )
+
+    def _parse_declparams(self) -> List[List[NmslToken]]:
+        if not self._accept(PUNCT, "("):
+            return []
+        groups: List[List[NmslToken]] = []
+        current: List[NmslToken] = []
+        depth = 0
+        while True:
+            token = self._next()
+            if token.kind == EOF:
+                raise NmslSyntaxError(
+                    "unterminated parameter list", token.location
+                )
+            if token.matches(PUNCT, "(") or token.matches(PUNCT, "{") or token.matches(PUNCT, "["):
+                depth += 1
+            elif token.text in _CLOSERS and token.kind == PUNCT:
+                if token.text == ")" and depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0 and token.kind == PUNCT and token.text in (",", ";"):
+                groups.append(current)
+                current = []
+                continue
+            current.append(token)
+        if current or groups:
+            groups.append(current)
+        return groups
+
+    def _parse_clauses(self) -> List[GenericClause]:
+        clauses: List[GenericClause] = []
+        while True:
+            token = self._peek()
+            if token.kind == EOF:
+                raise NmslSyntaxError(
+                    "specification not terminated by 'end'", token.location
+                )
+            if token.is_word("end"):
+                return clauses
+            clauses.append(self._parse_clause())
+
+    def _parse_clause(self) -> GenericClause:
+        tokens: List[NmslToken] = []
+        depth = 0
+        first = self._peek()
+        while True:
+            token = self._peek()
+            if token.kind == EOF:
+                raise NmslSyntaxError("clause not terminated by ';'", token.location)
+            if depth == 0 and token.matches(PUNCT, ";"):
+                self._next()
+                break
+            if token.kind == PUNCT and token.text in _OPENERS:
+                depth += 1
+            elif token.kind == PUNCT and token.text in _CLOSERS:
+                depth -= 1
+                if depth < 0:
+                    raise NmslSyntaxError(
+                        f"unbalanced {token.text!r} in clause", token.location
+                    )
+            tokens.append(self._next())
+        if not tokens:
+            raise NmslSyntaxError("empty clause", first.location)
+        raw = self._text[tokens[0].start : tokens[-1].end]
+        return GenericClause(tokens=tokens, raw_text=raw, location=first.location)
+
+
+def parse_generic(text: str, filename: str = "<nmsl>") -> List[Declaration]:
+    """Parse *text* into generalized declarations (pass 1)."""
+    return GenericParser(text, filename).parse_declarations()

@@ -1,0 +1,187 @@
+"""Render a typed Specification back to NMSL source text.
+
+The inverse of compilation: useful for persisting programmatically-built
+specifications (the synthetic workload generator), for diffing two
+specifications, and as the round-trip invariant the property tests lean
+on (``compile(render(spec))`` is semantically equal to ``spec``).
+
+Rendering follows the paper's layout conventions: four-space clause
+indentation, one clause per line, quoted names where the name contains
+characters outside a plain word.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mib.tree import Access
+from repro.nmsl.frequency import (
+    FrequencySpec,
+    INFREQUENT_PERIOD_SECONDS,
+    TIME_UNITS,
+)
+from repro.nmsl.specs import (
+    DomainSpec,
+    ExportSpec,
+    ProcessInvocation,
+    ProcessSpec,
+    QuerySpec,
+    Specification,
+    SystemSpec,
+    TypeSpec,
+    WILDCARD,
+)
+
+#: Characters safe in an unquoted NMSL word.
+_WORD_SAFE = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def _name(text: str) -> str:
+    """Quote a name when it is not a plain word (or could lex oddly)."""
+    if text and set(text) <= _WORD_SAFE and not text.endswith("."):
+        return text
+    return f'"{text}"'
+
+
+def _frequency(frequency: FrequencySpec) -> str:
+    """Render a frequency interval back to clause syntax."""
+    low, high = frequency.min_period, frequency.max_period
+    if frequency.is_unconstrained():
+        return ""
+    if low == INFREQUENT_PERIOD_SECONDS and high is None and (
+        frequency.source == "infrequent"
+    ):
+        return "frequency infrequent"
+    # Choose the largest unit that yields a whole-ish number.
+    def render(seconds: float) -> str:
+        for unit in ("hours", "minutes", "seconds"):
+            scale = TIME_UNITS[unit]
+            value = seconds / scale
+            if value >= 1 and abs(value - round(value, 6)) < 1e-9:
+                return f"{value:g} {unit}"
+        return f"{seconds:g} seconds"
+
+    if high is None:
+        return f"frequency >= {render(low)}"
+    if low == high:
+        return f"frequency = {render(low)}"
+    if low == 0:
+        return f"frequency <= {render(high)}"
+    # A genuine two-sided interval has no single-clause rendering; keep
+    # the stronger lower bound (the consistency-relevant side).
+    return f"frequency >= {render(low)}"
+
+
+def _export_lines(export: ExportSpec) -> List[str]:
+    lines = [f"    exports {', '.join(export.variables)} to \"{export.to_domain}\""]
+    lines.append(f"        access {export.access.value}")
+    frequency = _frequency(export.frequency)
+    if frequency:
+        lines.append(f"        {frequency}")
+    lines[-1] += ";"
+    return lines
+
+
+def _query_lines(query: QuerySpec) -> List[str]:
+    lines = [f"    queries {query.target}"]
+    lines.append(f"        {query.kind} {', '.join(query.requests)}")
+    if query.using:
+        rendered = ", ".join(f"{path} := {value}" for path, value in query.using)
+        lines.append(f"        using {rendered}")
+    frequency = _frequency(query.frequency)
+    if frequency:
+        lines.append(f"        {frequency}")
+    lines[-1] += ";"
+    return lines
+
+
+def _invocation(invocation: ProcessInvocation) -> str:
+    if not invocation.args:
+        return f"    process {invocation.process_name};"
+    args = ", ".join(
+        "*" if arg == WILDCARD else str(arg) for arg in invocation.args
+    )
+    return f"    process {invocation.process_name}({args});"
+
+
+def render_type(spec: TypeSpec) -> str:
+    """Render a type spec, regenerating the ASN.1 body from the type tree."""
+    from repro.asn1.render import render_type as render_asn1
+
+    body = render_asn1(spec.asn1_type, indent=1)
+    lines = [f"type {spec.name} ::=", f"    {body};"]
+    if spec.access is not None:
+        lines.append(f"    access {spec.access.value};")
+    lines.append(f"end type {spec.name}.")
+    return "\n".join(lines)
+
+
+def render_process(spec: ProcessSpec) -> str:
+    header = f"process {spec.name}"
+    if spec.params:
+        rendered = "; ".join(f"{name}: {type_}" for name, type_ in spec.params)
+        header += f"({rendered})"
+    lines = [header + " ::="]
+    if spec.supports:
+        lines.append(f"    supports {', '.join(spec.supports)};")
+    for proxy in spec.proxies:
+        via = f" via {proxy.protocol}" if proxy.protocol else ""
+        lines.append(f"    proxies {proxy.target_system}{via};")
+    for export in spec.exports:
+        lines.extend(_export_lines(export))
+    for query in spec.queries:
+        lines.extend(_query_lines(query))
+    lines.append(f"end process {spec.name}.")
+    return "\n".join(lines)
+
+
+def render_system(spec: SystemSpec) -> str:
+    lines = [f"system {_name(spec.name)} ::="]
+    if spec.cpu:
+        lines.append(f"    cpu {spec.cpu};")
+    for interface in spec.interfaces:
+        parts = [f"    interface {interface.name} net {interface.network}"]
+        if interface.protocols:
+            parts.append(f"        protocols {', '.join(interface.protocols)}")
+        if interface.if_type:
+            parts.append(f"        type {interface.if_type}")
+        parts.append(f"        speed {interface.speed_bps} bps;")
+        lines.extend(parts)
+    if spec.opsys:
+        lines.append(f"    opsys {spec.opsys} version {spec.opsys_version};")
+    if spec.supports:
+        lines.append(f"    supports {', '.join(spec.supports)};")
+    for invocation in spec.processes:
+        lines.append(_invocation(invocation))
+    lines.append(f"end system {_name(spec.name)}.")
+    return "\n".join(lines)
+
+
+def render_domain(spec: DomainSpec) -> str:
+    lines = [f"domain {_name(spec.name)} ::="]
+    for system in spec.systems:
+        lines.append(f"    system {system};")
+    for subdomain in spec.subdomains:
+        lines.append(f"    domain {subdomain};")
+    for invocation in spec.processes:
+        lines.append(_invocation(invocation))
+    for export in spec.exports:
+        lines.extend(_export_lines(export))
+    lines.append(f"end domain {_name(spec.name)}.")
+    return "\n".join(lines)
+
+
+def render_specification(spec: Specification) -> str:
+    """Render every declaration of the specification."""
+    chunks: List[str] = []
+    for type_spec in spec.types.values():
+        chunks.append(render_type(type_spec))
+    for process in spec.processes.values():
+        chunks.append(render_process(process))
+    for system in spec.systems.values():
+        chunks.append(render_system(system))
+    for domain in spec.domains.values():
+        chunks.append(render_domain(domain))
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,275 @@
+"""The typed specification model built by pass 2.
+
+These dataclasses mirror the four specification kinds of paper Section 4.1
+plus the whole-specification container.  They are produced from generalized
+declarations by the generic actions in :mod:`repro.nmsl.actions` and
+consumed by the consistency checker and the configuration generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.asn1.nodes import Asn1Type
+from repro.errors import NmslSemanticError, SourceLocation
+from repro.mib.tree import Access
+from repro.nmsl.frequency import FrequencySpec
+
+#: The wildcard parameter value written ``*`` in the paper (Figure 4.8).
+WILDCARD = "*"
+
+ParamValue = Union[str, int, float]
+
+
+@dataclass
+class TypeSpec:
+    """A ``type`` specification: named ASN.1 type plus access mode.
+
+    ``access`` of None means "inherited from a containing type" (paper
+    Section 4.1.2).
+    """
+
+    name: str
+    asn1_type: Asn1Type
+    access: Optional[Access] = None
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class QuerySpec:
+    """One ``queries`` clause of a process specification.
+
+    ``target`` is either a parameter name of the enclosing process (bound
+    at instantiation) or a literal process/domain name.  ``requests`` are
+    MIB name paths; ``using`` are selection assignments path := value.
+
+    The paper's full language supports three interaction kinds (Section
+    4.1.3): retrievals (``requests``, read access), modifications
+    (``modifies``, read-write access) and remote execution (``executes``,
+    any access); ``kind`` records which was written.
+    """
+
+    target: str
+    requests: Tuple[str, ...]
+    using: Tuple[Tuple[str, str], ...] = ()
+    frequency: FrequencySpec = field(default_factory=FrequencySpec.unconstrained)
+    access: Access = Access.READ_ONLY
+    kind: str = "requests"  # "requests" | "modifies" | "executes"
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class ProxySpec:
+    """A ``proxies`` clause: this process answers for another element.
+
+    Proxies exist because "some network elements cannot respond to
+    management queries directly" (paper Section 3.1) — LAN bridges without
+    high-level protocols, or protected systems.  ``protocol`` names the
+    proxy-side protocol the translation uses (the ``via`` subclause).
+    """
+
+    target_system: str
+    protocol: str = ""
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class ExportSpec:
+    """An ``exports`` clause: permission for a domain to access variables."""
+
+    variables: Tuple[str, ...]
+    to_domain: str
+    access: Access = Access.READ_ONLY
+    frequency: FrequencySpec = field(default_factory=FrequencySpec.unconstrained)
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class ProcessSpec:
+    """A ``process`` specification (an abstraction, instantiated later)."""
+
+    name: str
+    params: Tuple[Tuple[str, str], ...] = ()  # (param name, type name)
+    supports: Tuple[str, ...] = ()
+    exports: Tuple[ExportSpec, ...] = ()
+    queries: Tuple[QuerySpec, ...] = ()
+    proxies: Tuple[ProxySpec, ...] = ()
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def is_agent(self) -> bool:
+        """Agents store data and answer queries (paper footnote 1)."""
+        return bool(self.supports)
+
+    def is_application(self) -> bool:
+        """Applications initiate queries but store no data."""
+        return bool(self.queries) and not self.supports
+
+    def is_proxy(self) -> bool:
+        """Proxies answer management queries on behalf of other elements."""
+        return bool(self.proxies)
+
+    def proxied_systems(self) -> Tuple[str, ...]:
+        return tuple(proxy.target_system for proxy in self.proxies)
+
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _type in self.params)
+
+
+@dataclass
+class ProcessInvocation:
+    """A process instantiation in a system or domain specification.
+
+    ``args`` holds literal values or :data:`WILDCARD` for values set at
+    run time (paper Figure 4.8 uses ``snmpaddr(*, *)``).
+    """
+
+    process_name: str
+    args: Tuple[ParamValue, ...] = ()
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def describe(self) -> str:
+        if not self.args:
+            return self.process_name
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.process_name}({inner})"
+
+
+@dataclass
+class InterfaceSpec:
+    """One network interface of a network element (paper Figure 4.5)."""
+
+    name: str
+    network: str
+    if_type: str = ""
+    speed_bps: int = 0
+    protocols: Tuple[str, ...] = ()
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class SystemSpec:
+    """A ``system`` (network element) specification."""
+
+    name: str
+    cpu: str = ""
+    interfaces: Tuple[InterfaceSpec, ...] = ()
+    opsys: str = ""
+    opsys_version: str = ""
+    supports: Tuple[str, ...] = ()
+    processes: Tuple[ProcessInvocation, ...] = ()
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def networks(self) -> Tuple[str, ...]:
+        return tuple(interface.network for interface in self.interfaces)
+
+    def total_speed_bps(self) -> int:
+        return sum(interface.speed_bps for interface in self.interfaces)
+
+
+@dataclass
+class DomainSpec:
+    """A ``domain`` specification: administrative grouping + permissions."""
+
+    name: str
+    systems: Tuple[str, ...] = ()
+    subdomains: Tuple[str, ...] = ()
+    processes: Tuple[ProcessInvocation, ...] = ()
+    exports: Tuple[ExportSpec, ...] = ()
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def member_names(self) -> Tuple[str, ...]:
+        return self.systems + self.subdomains
+
+
+#: The name of the implicit domain every internet exports to.
+PUBLIC_DOMAIN = "public"
+
+
+@dataclass
+class Specification:
+    """A complete NMSL specification: every declaration, indexed by name.
+
+    ``extras`` holds whole declarations of extension-defined decltypes;
+    ``extension_clauses`` holds extension-keyword clauses found inside
+    basic declarations, keyed by (decltype, declaration name).
+    """
+
+    types: Dict[str, TypeSpec] = field(default_factory=dict)
+    processes: Dict[str, ProcessSpec] = field(default_factory=dict)
+    systems: Dict[str, SystemSpec] = field(default_factory=dict)
+    domains: Dict[str, DomainSpec] = field(default_factory=dict)
+    extras: Dict[str, List[object]] = field(default_factory=dict)
+    extension_clauses: Dict[Tuple[str, str], List[Tuple[str, Tuple[str, ...]]]] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    # Registration (used by the generic actions).
+    # ------------------------------------------------------------------
+    def add_type(self, spec: TypeSpec) -> None:
+        self._add(self.types, spec.name, spec, "type")
+
+    def add_process(self, spec: ProcessSpec) -> None:
+        self._add(self.processes, spec.name, spec, "process")
+
+    def add_system(self, spec: SystemSpec) -> None:
+        self._add(self.systems, spec.name, spec, "system")
+
+    def add_domain(self, spec: DomainSpec) -> None:
+        self._add(self.domains, spec.name, spec, "domain")
+
+    @staticmethod
+    def _add(table: Dict, name: str, spec, kind: str) -> None:
+        if name in table:
+            raise NmslSemanticError(
+                f"duplicate {kind} specification {name!r}", spec.location
+            )
+        table[name] = spec
+
+    # ------------------------------------------------------------------
+    # Lookup.
+    # ------------------------------------------------------------------
+    def process_named(self, name: str) -> ProcessSpec:
+        if name not in self.processes:
+            raise NmslSemanticError(f"unknown process {name!r}")
+        return self.processes[name]
+
+    def system_named(self, name: str) -> SystemSpec:
+        if name not in self.systems:
+            raise NmslSemanticError(f"unknown system {name!r}")
+        return self.systems[name]
+
+    def domain_named(self, name: str) -> DomainSpec:
+        if name not in self.domains:
+            raise NmslSemanticError(f"unknown domain {name!r}")
+        return self.domains[name]
+
+    def domains_containing_system(self, system_name: str) -> List[DomainSpec]:
+        return [
+            domain
+            for domain in self.domains.values()
+            if system_name in domain.systems
+        ]
+
+    def merged_with(self, other: "Specification") -> "Specification":
+        """A new specification combining both (duplicate names rejected)."""
+        merged = Specification()
+        for source in (self, other):
+            for spec in source.types.values():
+                merged.add_type(spec)
+            for spec in source.processes.values():
+                merged.add_process(spec)
+            for spec in source.systems.values():
+                merged.add_system(spec)
+            for spec in source.domains.values():
+                merged.add_domain(spec)
+        return merged
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "types": len(self.types),
+            "processes": len(self.processes),
+            "systems": len(self.systems),
+            "domains": len(self.domains),
+        }

@@ -1,0 +1,54 @@
+"""SNMP substrate: a faithful SNMPv1 subset (RFC 1067) over BER.
+
+The prescriptive aspect needs a real management protocol to ship and
+enforce configuration ("standard management protocols ... can be used to
+incorporate the configuration information into running management
+processes").  This package provides:
+
+* :mod:`repro.snmp.messages` — the message model (GetRequest,
+  GetNextRequest, GetResponse, SetRequest; error-status codes);
+* :mod:`repro.snmp.codec` — BER wire encoding built on
+  :mod:`repro.asn1.ber`, tag-compatible with RFC 1067;
+* :mod:`repro.snmp.community` — community-based access policy, parsed
+  from the ``BartsSnmpd`` configuration the NMSL compiler generates —
+  views, access modes, and the NMSL frequency bound as a per-community
+  minimum inter-request interval;
+* :mod:`repro.snmp.agent` — an agent serving an
+  :class:`~repro.mib.instances.InstanceStore` under a policy;
+* :mod:`repro.snmp.manager` — a client that builds requests, matches
+  responses and walks tables.
+"""
+
+from repro.snmp.messages import (
+    ErrorStatus,
+    GenericTrap,
+    Message,
+    PduType,
+    SNMP_VERSION_1,
+    Pdu,
+    TrapPdu,
+    VarBind,
+)
+from repro.snmp.codec import decode_message, encode_message
+from repro.snmp.community import CommunityGrant, CommunityPolicy
+from repro.snmp.agent import NMSL_ENTERPRISE, SnmpAgent
+from repro.snmp.manager import SnmpManager, WalkResult
+
+__all__ = [
+    "CommunityGrant",
+    "CommunityPolicy",
+    "ErrorStatus",
+    "GenericTrap",
+    "Message",
+    "NMSL_ENTERPRISE",
+    "Pdu",
+    "PduType",
+    "SNMP_VERSION_1",
+    "SnmpAgent",
+    "SnmpManager",
+    "TrapPdu",
+    "VarBind",
+    "WalkResult",
+    "decode_message",
+    "encode_message",
+]

@@ -1,0 +1,294 @@
+"""The SNMP agent: serves an instance store under a community policy.
+
+An agent handles GetRequest / GetNextRequest / SetRequest messages with
+RFC 1067 semantics (all-or-nothing bindings, error-status + error-index),
+after the community policy authorizes each object.  Rate violations
+answer ``genErr`` so a misbehaving manager is visible on the wire; the
+counts feed the runtime verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import MibError, SnmpError
+from repro.mib.instances import InstanceStore
+from repro.mib.tree import MibTree
+from repro.snmp.codec import decode_message, encode_message
+from repro.snmp.community import CommunityPolicy, PolicyDecision
+from repro.snmp.messages import (
+    ErrorStatus,
+    GenericTrap,
+    Message,
+    Pdu,
+    PduType,
+    VarBind,
+)
+from repro.mib.oid import Oid
+
+#: Where this implementation registers itself under enterprises.
+NMSL_ENTERPRISE = Oid("1.3.6.1.4.1.42989")
+
+#: Enterprise objects for protocol-based configuration installation
+#: (paper Section 5: ship configuration "via the normal network
+#: management protocol").  A manager writes the configuration text into
+#: nmslConfigText (possibly in several chunks) and then sets
+#: nmslConfigApply to 1; the agent replaces its policy atomically.
+NMSL_CONFIG_TEXT = NMSL_ENTERPRISE + "1.1.0"
+NMSL_CONFIG_APPLY = NMSL_ENTERPRISE + "1.2.0"
+
+#: The bootstrap community through which configuration arrives.
+ADMIN_COMMUNITY = "nmsl-admin"
+
+
+@dataclass
+class AgentStats:
+    """Counters kept by one agent."""
+
+    requests: int = 0
+    responses: int = 0
+    errors: int = 0
+    auth_failures: int = 0
+    rate_violations: int = 0
+    traps_sent: int = 0
+
+
+class SnmpAgent:
+    """A simulated SNMP agent process."""
+
+    def __init__(
+        self,
+        name: str,
+        store: InstanceStore,
+        policy: Optional[CommunityPolicy] = None,
+        tree: Optional[MibTree] = None,
+        trap_sink=None,
+        agent_addr: bytes = b"\x00\x00\x00\x00",
+    ):
+        if policy is None and tree is None:
+            raise SnmpError("agent needs a policy or a tree to build one")
+        self.name = name
+        self.store = store
+        self.policy = policy if policy is not None else CommunityPolicy(tree)
+        self.stats = AgentStats()
+        self.trap_sink = trap_sink
+        self.agent_addr = agent_addr
+        self._tree = tree
+        self._pending_config: List[bytes] = []
+        self.configs_applied = 0
+
+    # ------------------------------------------------------------------
+    # Traps (RFC 1067 Section 4.1.6).
+    # ------------------------------------------------------------------
+    def _send_trap(
+        self, generic_trap: GenericTrap, now: Optional[float] = None
+    ) -> None:
+        if self.trap_sink is None:
+            return
+        self.stats.traps_sent += 1
+        self.trap_sink(
+            Message.trap(
+                community="public",
+                enterprise=NMSL_ENTERPRISE,
+                agent_addr=self.agent_addr,
+                generic_trap=generic_trap,
+                time_stamp=int((now or 0.0) * 100),  # TimeTicks: 1/100 s
+            )
+        )
+
+    def emit_cold_start(self, now: Optional[float] = None) -> None:
+        """Announce (re)initialisation — sent after configuration install."""
+        self._send_trap(GenericTrap.COLD_START, now)
+
+    # ------------------------------------------------------------------
+    # Configuration installation (the prescriptive loop).
+    # ------------------------------------------------------------------
+    def load_config(self, text: str, tree: MibTree) -> None:
+        """Replace the agent's policy from generated snmpd.conf text."""
+        self.policy = CommunityPolicy.from_snmpd_conf(text, tree)
+
+    # ------------------------------------------------------------------
+    # Message handling.
+    # ------------------------------------------------------------------
+    def handle_octets(self, octets: bytes, now: Optional[float] = None) -> bytes:
+        """Wire-level entry point: BER in, BER out."""
+        return encode_message(self.handle(decode_message(octets), now))
+
+    def handle(self, message: Message, now: Optional[float] = None) -> Message:
+        """Process one request message, returning the response message."""
+        self.stats.requests += 1
+        pdu = message.pdu
+        admin = self._handle_admin(message, now)
+        if admin is not None:
+            self.stats.responses += 1
+            if admin.error_status != ErrorStatus.NO_ERROR:
+                self.stats.errors += 1
+            return Message(message.community, admin)
+        if pdu.pdu_type == PduType.GET_REQUEST:
+            response = self._serve(message, write=False, next_=False, now=now)
+        elif pdu.pdu_type == PduType.GET_NEXT_REQUEST:
+            response = self._serve(message, write=False, next_=True, now=now)
+        elif pdu.pdu_type == PduType.SET_REQUEST:
+            response = self._serve(message, write=True, next_=False, now=now)
+        else:
+            response = pdu.response(error_status=ErrorStatus.GEN_ERR)
+        if response.error_status != ErrorStatus.NO_ERROR:
+            self.stats.errors += 1
+        self.stats.responses += 1
+        return Message(message.community, response)
+
+    def _handle_admin(
+        self, message: Message, now: Optional[float]
+    ) -> Optional[Pdu]:
+        """Protocol-based configuration install (enterprise objects).
+
+        Returns a response PDU when the message addressed the NMSL
+        enterprise config objects, else None (normal serving continues).
+        Only the bootstrap :data:`ADMIN_COMMUNITY` may touch them.
+        """
+        pdu = message.pdu
+        if not pdu.bindings:
+            return None
+        oids = set(pdu.oids())
+        config_oids = {NMSL_CONFIG_TEXT, NMSL_CONFIG_APPLY}
+        if not oids & config_oids:
+            return None
+        if message.community != ADMIN_COMMUNITY:
+            self.stats.auth_failures += 1
+            self._send_trap(GenericTrap.AUTHENTICATION_FAILURE, now)
+            return pdu.response(
+                error_status=ErrorStatus.NO_SUCH_NAME, error_index=1
+            )
+        if pdu.pdu_type == PduType.GET_REQUEST:
+            results = []
+            for binding in pdu.bindings:
+                if binding.oid == NMSL_CONFIG_TEXT:
+                    results.append(
+                        VarBind(binding.oid, b"".join(self._pending_config))
+                    )
+                elif binding.oid == NMSL_CONFIG_APPLY:
+                    results.append(VarBind(binding.oid, self.configs_applied))
+                else:
+                    return pdu.response(error_status=ErrorStatus.NO_SUCH_NAME)
+            return pdu.response(bindings=results)
+        if pdu.pdu_type != PduType.SET_REQUEST:
+            return pdu.response(error_status=ErrorStatus.GEN_ERR)
+        for index, binding in enumerate(pdu.bindings, start=1):
+            if binding.oid == NMSL_CONFIG_TEXT:
+                if not isinstance(binding.value, (bytes, bytearray)):
+                    return pdu.response(
+                        error_status=ErrorStatus.BAD_VALUE, error_index=index
+                    )
+                self._pending_config.append(bytes(binding.value))
+            elif binding.oid == NMSL_CONFIG_APPLY:
+                if binding.value != 1:
+                    return pdu.response(
+                        error_status=ErrorStatus.BAD_VALUE, error_index=index
+                    )
+                if self._tree is None:
+                    return pdu.response(
+                        error_status=ErrorStatus.GEN_ERR, error_index=index
+                    )
+                try:
+                    text = b"".join(self._pending_config).decode("utf-8")
+                    self.load_config(text, self._tree)
+                except (SnmpError, UnicodeDecodeError):
+                    return pdu.response(
+                        error_status=ErrorStatus.BAD_VALUE, error_index=index
+                    )
+                self._pending_config = []
+                self.configs_applied += 1
+                self.emit_cold_start(now)
+            else:
+                return pdu.response(
+                    error_status=ErrorStatus.NO_SUCH_NAME, error_index=index
+                )
+        return pdu.response(bindings=pdu.bindings)
+
+    def _serve(
+        self, message: Message, write: bool, next_: bool, now: Optional[float]
+    ) -> Pdu:
+        pdu = message.pdu
+        if not pdu.bindings:
+            return pdu.response(error_status=ErrorStatus.GEN_ERR)
+        # Rate/auth check once per message, against the first object.
+        decision = self.policy.check(
+            message.community, pdu.bindings[0].oid, write, now=now
+        )
+        if not decision.allowed:
+            if decision.rate_violation:
+                self.stats.rate_violations += 1
+                return pdu.response(error_status=ErrorStatus.GEN_ERR)
+            self.stats.auth_failures += 1
+            if "unknown community" in decision.reason or "may not" in decision.reason:
+                self._send_trap(GenericTrap.AUTHENTICATION_FAILURE, now)
+            return pdu.response(
+                error_status=ErrorStatus.NO_SUCH_NAME, error_index=1
+            )
+        results: List[VarBind] = []
+        for index, binding in enumerate(pdu.bindings, start=1):
+            if index > 1:
+                # Per-object view check for the remaining bindings
+                # (without double-charging the rate limiter).
+                decision = self.policy.check(
+                    message.community, binding.oid, write, now=None
+                )
+                if not decision.allowed:
+                    return pdu.response(
+                        error_status=ErrorStatus.NO_SUCH_NAME, error_index=index
+                    )
+            outcome = self._serve_binding(binding, write, next_)
+            if isinstance(outcome, ErrorStatus):
+                return pdu.response(error_status=outcome, error_index=index)
+            # Get-next may step outside the community's view: skip forward.
+            if next_:
+                outcome = self._skip_outside_view(
+                    message.community, outcome, write
+                )
+                if outcome is None:
+                    return pdu.response(
+                        error_status=ErrorStatus.NO_SUCH_NAME, error_index=index
+                    )
+            results.append(outcome)
+        return pdu.response(bindings=results)
+
+    def _serve_binding(self, binding: VarBind, write: bool, next_: bool):
+        if write:
+            try:
+                self.store.set(binding.oid, binding.value)
+            except MibError as exc:
+                if "not writable" in str(exc):
+                    return ErrorStatus.READ_ONLY
+                if "no leaf object" in str(exc) or "no such" in str(exc):
+                    return ErrorStatus.NO_SUCH_NAME
+                return ErrorStatus.BAD_VALUE
+            return VarBind(binding.oid, binding.value)
+        if next_:
+            found = self.store.get_next(binding.oid)
+            if found is None:
+                return ErrorStatus.NO_SUCH_NAME
+            oid, value = found
+            return VarBind(oid, value)
+        try:
+            value = self.store.get(binding.oid)
+        except MibError:
+            return ErrorStatus.NO_SUCH_NAME
+        return VarBind(binding.oid, value)
+
+    def _skip_outside_view(
+        self, community: str, binding: VarBind, write: bool
+    ) -> Optional[VarBind]:
+        """Advance get-next results past objects outside the view."""
+        guard = 0
+        current = binding
+        while guard < 10_000:
+            decision = self.policy.check(community, current.oid, write, now=None)
+            if decision.allowed:
+                return current
+            found = self.store.get_next(current.oid)
+            if found is None:
+                return None
+            current = VarBind(found[0], found[1])
+            guard += 1
+        return None

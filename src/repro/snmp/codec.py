@@ -1,0 +1,252 @@
+"""BER wire encoding of SNMPv1 messages.
+
+The message syntax follows RFC 1067 exactly in tag structure::
+
+    Message ::= SEQUENCE { version INTEGER, community OCTET STRING,
+                           data PDUs }
+    PDUs    ::= CHOICE { get-request [0] PDU, get-next-request [1] PDU,
+                         get-response [2] PDU, set-request [3] PDU }
+    PDU     ::= SEQUENCE { request-id INTEGER, error-status INTEGER,
+                           error-index INTEGER,
+                           variable-bindings SEQUENCE OF VarBind }
+    VarBind ::= SEQUENCE { name OBJECT IDENTIFIER, value ObjectSyntax }
+
+``ObjectSyntax`` here is the CHOICE of the simple and application types
+this subset supports.  Python value types select the alternative when
+encoding (int -> INTEGER, bytes -> OCTET STRING, None -> NULL, tuple/Oid
+-> OBJECT IDENTIFIER).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.asn1.ber import ber_decode, ber_encode
+from repro.asn1.nodes import (
+    ChoiceType,
+    IntegerType,
+    NamedField,
+    NullType,
+    ObjectIdentifierType,
+    OctetStringType,
+    SequenceOfType,
+    SequenceType,
+    TaggedType,
+)
+from repro.errors import BerError, SnmpError
+from repro.mib.oid import Oid
+from repro.snmp.messages import (
+    ErrorStatus,
+    GenericTrap,
+    Message,
+    Pdu,
+    PduType,
+    TrapPdu,
+    VarBind,
+)
+
+_OBJECT_SYNTAX = ChoiceType(
+    alternatives=(
+        NamedField("number", IntegerType()),
+        NamedField("string", OctetStringType()),
+        NamedField("object", ObjectIdentifierType()),
+        NamedField("empty", NullType()),
+        NamedField(
+            "address",
+            TaggedType(
+                tag_class="APPLICATION", tag_number=0, inner=OctetStringType()
+            ),
+        ),
+        NamedField(
+            "counter",
+            TaggedType(tag_class="APPLICATION", tag_number=1, inner=IntegerType()),
+        ),
+        NamedField(
+            "gauge",
+            TaggedType(tag_class="APPLICATION", tag_number=2, inner=IntegerType()),
+        ),
+        NamedField(
+            "ticks",
+            TaggedType(tag_class="APPLICATION", tag_number=3, inner=IntegerType()),
+        ),
+    )
+)
+
+_VARBIND = SequenceType(
+    fields=(
+        NamedField("name", ObjectIdentifierType()),
+        NamedField("value", _OBJECT_SYNTAX),
+    )
+)
+
+_PDU_BODY = SequenceType(
+    fields=(
+        NamedField("request-id", IntegerType()),
+        NamedField("error-status", IntegerType()),
+        NamedField("error-index", IntegerType()),
+        NamedField("variable-bindings", SequenceOfType(element=_VARBIND)),
+    )
+)
+
+_TRAP_BODY = SequenceType(
+    fields=(
+        NamedField("enterprise", ObjectIdentifierType()),
+        NamedField(
+            "agent-addr",
+            TaggedType(
+                tag_class="APPLICATION", tag_number=0, inner=OctetStringType()
+            ),
+        ),
+        NamedField("generic-trap", IntegerType()),
+        NamedField("specific-trap", IntegerType()),
+        NamedField(
+            "time-stamp",
+            TaggedType(tag_class="APPLICATION", tag_number=3, inner=IntegerType()),
+        ),
+        NamedField("variable-bindings", SequenceOfType(element=_VARBIND)),
+    )
+)
+
+_PDUS = ChoiceType(
+    alternatives=tuple(
+        NamedField(
+            pdu_type.name.lower().replace("_", "-"),
+            TaggedType(
+                tag_class="CONTEXT", tag_number=int(pdu_type), inner=_PDU_BODY
+            ),
+        )
+        for pdu_type in (
+            PduType.GET_REQUEST,
+            PduType.GET_NEXT_REQUEST,
+            PduType.GET_RESPONSE,
+            PduType.SET_REQUEST,
+        )
+    )
+    + (
+        NamedField(
+            "trap",
+            TaggedType(
+                tag_class="CONTEXT",
+                tag_number=int(PduType.TRAP),
+                inner=_TRAP_BODY,
+            ),
+        ),
+    )
+)
+
+_MESSAGE = SequenceType(
+    fields=(
+        NamedField("version", IntegerType()),
+        NamedField("community", OctetStringType()),
+        NamedField("data", _PDUS),
+    )
+)
+
+_ALTERNATIVE_BY_TYPE = {
+    PduType.GET_REQUEST: "get-request",
+    PduType.GET_NEXT_REQUEST: "get-next-request",
+    PduType.GET_RESPONSE: "get-response",
+    PduType.SET_REQUEST: "set-request",
+}
+_TYPE_BY_ALTERNATIVE = {name: t for t, name in _ALTERNATIVE_BY_TYPE.items()}
+
+
+def _value_to_choice(value) -> Tuple[str, object]:
+    if value is None:
+        return ("empty", None)
+    if isinstance(value, bool):
+        raise SnmpError("booleans are not SNMP values")
+    if isinstance(value, int):
+        return ("number", value)
+    if isinstance(value, (bytes, bytearray)):
+        return ("string", bytes(value))
+    if isinstance(value, str):
+        return ("string", value.encode("utf-8"))
+    if isinstance(value, Oid):
+        return ("object", value.components)
+    if isinstance(value, tuple):
+        return ("object", value)
+    raise SnmpError(f"cannot encode SNMP value {value!r}")
+
+
+def _choice_to_value(choice: Tuple[str, object]):
+    name, value = choice
+    if name == "object":
+        return Oid(value)  # type: ignore[arg-type]
+    return value
+
+
+def _bindings_value(bindings) -> list:
+    return [
+        {
+            "name": binding.oid.components,
+            "value": _value_to_choice(binding.value),
+        }
+        for binding in bindings
+    ]
+
+
+def encode_message(message: Message) -> bytes:
+    """Encode a message to BER octets."""
+    pdu = message.pdu
+    if isinstance(pdu, TrapPdu):
+        body = {
+            "enterprise": pdu.enterprise.components,
+            "agent-addr": pdu.agent_addr,
+            "generic-trap": int(pdu.generic_trap),
+            "specific-trap": pdu.specific_trap,
+            "time-stamp": pdu.time_stamp,
+            "variable-bindings": _bindings_value(pdu.bindings),
+        }
+        alternative = "trap"
+    else:
+        if pdu.pdu_type not in _ALTERNATIVE_BY_TYPE:
+            raise SnmpError(f"cannot encode PDU type {pdu.pdu_type!r}")
+        body = {
+            "request-id": pdu.request_id,
+            "error-status": int(pdu.error_status),
+            "error-index": pdu.error_index,
+            "variable-bindings": _bindings_value(pdu.bindings),
+        }
+        alternative = _ALTERNATIVE_BY_TYPE[pdu.pdu_type]
+    value = {
+        "version": message.version,
+        "community": message.community.encode("utf-8"),
+        "data": (alternative, body),
+    }
+    return ber_encode(value, _MESSAGE)
+
+
+def decode_message(octets: bytes) -> Message:
+    """Decode BER octets into a message."""
+    try:
+        raw = ber_decode(octets, _MESSAGE)
+    except BerError as exc:
+        raise SnmpError(f"malformed SNMP message: {exc}") from exc
+    alternative, body = raw["data"]
+    bindings = tuple(
+        VarBind(Oid(item["name"]), _choice_to_value(item["value"]))
+        for item in body["variable-bindings"]
+    )
+    if alternative == "trap":
+        pdu: object = TrapPdu(
+            enterprise=Oid(body["enterprise"]),
+            agent_addr=body["agent-addr"],
+            generic_trap=GenericTrap(body["generic-trap"]),
+            specific_trap=body["specific-trap"],
+            time_stamp=body["time-stamp"],
+            bindings=bindings,
+        )
+    else:
+        pdu = Pdu(
+            pdu_type=_TYPE_BY_ALTERNATIVE[alternative],
+            request_id=body["request-id"],
+            error_status=ErrorStatus(body["error-status"]),
+            error_index=body["error-index"],
+            bindings=bindings,
+        )
+    return Message(
+        community=raw["community"].decode("utf-8"),
+        pdu=pdu,
+        version=raw["version"],
+    )

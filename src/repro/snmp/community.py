@@ -1,0 +1,174 @@
+"""Community-based access policy, loadable from generated configuration.
+
+SNMP's "protection mechanism that allows flexibility in determining the
+accesses a remote domain of administration can make" (paper Section 2.1)
+is the community string.  A :class:`CommunityPolicy` maps community names
+to grants: a MIB view, an access mode, and — NMSL's addition — a minimum
+inter-request interval enforcing the specification's frequency clause.
+
+:meth:`CommunityPolicy.from_snmpd_conf` parses the ``BartsSnmpd`` output
+of the NMSL compiler, closing the prescriptive loop: the same text the
+Configuration Generator ships is what the agent enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SnmpError
+from repro.mib.oid import Oid
+from repro.mib.tree import Access, MibTree
+from repro.mib.view import MibView
+
+
+@dataclass
+class CommunityGrant:
+    """One community's rights."""
+
+    community: str
+    view: MibView
+    access: Access
+    min_interval_s: float = 0.0
+
+    def allows_operation(self, write: bool) -> bool:
+        return self.access.allows_write() if write else self.access.allows_read()
+
+
+@dataclass
+class PolicyDecision:
+    """The outcome of an access check."""
+
+    allowed: bool
+    reason: str = ""
+    rate_violation: bool = False
+
+
+class CommunityPolicy:
+    """Per-community grants plus rate enforcement state."""
+
+    def __init__(self, tree: MibTree):
+        self._tree = tree
+        self._grants: Dict[str, CommunityGrant] = {}
+        self._last_seen: Dict[str, float] = {}
+        self.rate_violations = 0
+        self.denials = 0
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    def add_grant(self, grant: CommunityGrant) -> None:
+        existing = self._grants.get(grant.community)
+        if existing is None:
+            self._grants[grant.community] = grant
+            return
+        # Multiple grants for one community merge: union view, widest
+        # access, loosest interval.
+        merged_access = existing.access
+        if grant.access.allows_write() and not merged_access.allows_write():
+            merged_access = (
+                Access.READ_WRITE if merged_access.allows_read() else grant.access
+            )
+        if grant.access.allows_read() and not merged_access.allows_read():
+            merged_access = (
+                Access.READ_WRITE
+                if merged_access.allows_write()
+                else grant.access
+            )
+        self._grants[grant.community] = CommunityGrant(
+            community=grant.community,
+            view=existing.view.union(grant.view),
+            access=merged_access,
+            min_interval_s=min(existing.min_interval_s, grant.min_interval_s),
+        )
+
+    @classmethod
+    def from_snmpd_conf(cls, text: str, tree: MibTree) -> "CommunityPolicy":
+        """Parse the ``BartsSnmpd`` configuration format.
+
+        Recognised lines (others ignored)::
+
+            view <name> include <mib-path>
+            community <name> <view-name> <Access> min-interval <seconds>
+        """
+        policy = cls(tree)
+        views: Dict[str, List[str]] = {}
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            words = line.split()
+            if words[0] == "view" and len(words) == 4 and words[2] == "include":
+                views.setdefault(words[1], []).append(words[3])
+            elif words[0] == "community":
+                if len(words) != 6 or words[4] != "min-interval":
+                    raise SnmpError(f"malformed community line: {line!r}")
+                _kw, community, view_name, access_text, _mi, seconds = words
+                if view_name not in views:
+                    raise SnmpError(
+                        f"community {community!r} references unknown view "
+                        f"{view_name!r}"
+                    )
+                policy.add_grant(
+                    CommunityGrant(
+                        community=community,
+                        view=MibView(tree, views[view_name]),
+                        access=Access.parse(access_text),
+                        min_interval_s=float(seconds),
+                    )
+                )
+        return policy
+
+    # ------------------------------------------------------------------
+    # Lookup / enforcement.
+    # ------------------------------------------------------------------
+    def grant_for(self, community: str) -> Optional[CommunityGrant]:
+        return self._grants.get(community)
+
+    def communities(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._grants))
+
+    def check(
+        self,
+        community: str,
+        oid: Oid,
+        write: bool,
+        now: Optional[float] = None,
+        count_rate: bool = True,
+    ) -> PolicyDecision:
+        """Authorize one object access, updating rate state when *now* given.
+
+        Rate limiting is per community: requests closer together than the
+        grant's ``min_interval_s`` are flagged (the agent answers genErr
+        and the violation is counted for the runtime verifier).
+        """
+        grant = self._grants.get(community)
+        if grant is None:
+            self.denials += 1
+            return PolicyDecision(False, f"unknown community {community!r}")
+        if not grant.allows_operation(write):
+            self.denials += 1
+            operation = "write" if write else "read"
+            return PolicyDecision(
+                False, f"community {community!r} may not {operation}"
+            )
+        if not grant.view.covers_oid(oid):
+            self.denials += 1
+            return PolicyDecision(
+                False, f"object {oid} outside community {community!r} view"
+            )
+        if now is not None and count_rate and grant.min_interval_s > 0:
+            last = self._last_seen.get(community)
+            self._last_seen[community] = now
+            # The epsilon forgives float rounding when queries arrive at
+            # exactly the permitted interval.
+            epsilon = 1e-6 * max(1.0, grant.min_interval_s)
+            if last is not None and (now - last) < grant.min_interval_s - epsilon:
+                self.rate_violations += 1
+                return PolicyDecision(
+                    False,
+                    f"community {community!r} exceeded its rate "
+                    f"(interval {now - last:.1f}s < {grant.min_interval_s}s)",
+                    rate_violation=True,
+                )
+        return PolicyDecision(True)

@@ -1,0 +1,130 @@
+"""The SNMP manager side: request building, response matching, walks.
+
+A manager is transport-agnostic: it hands encoded request octets to a
+``send`` callable (supplied by the test, or by the network simulator) and
+decodes what comes back.  ``walk`` implements the classic get-next sweep
+of a subtree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import SnmpError
+from repro.mib.oid import Oid, OidLike
+from repro.snmp.codec import decode_message, encode_message
+from repro.snmp.messages import (
+    BindValue,
+    ErrorStatus,
+    Message,
+    PduType,
+    VarBind,
+)
+
+#: The transport: request octets in, response octets out.
+SendFunction = Callable[[bytes], bytes]
+
+
+@dataclass
+class WalkResult:
+    """All bindings collected by a subtree walk."""
+
+    prefix: Oid
+    bindings: Tuple[VarBind, ...]
+    requests_sent: int
+
+    def values(self) -> dict:
+        return {str(binding.oid): binding.value for binding in self.bindings}
+
+
+class SnmpManager:
+    """A management client bound to one community and transport."""
+
+    def __init__(self, community: str, send: SendFunction):
+        self._community = community
+        self._send = send
+        self._request_ids = itertools.count(1)
+        self.requests_sent = 0
+        self.errors_received = 0
+
+    # ------------------------------------------------------------------
+    # Primitive operations.
+    # ------------------------------------------------------------------
+    def get(self, oids: Sequence[OidLike]) -> Tuple[VarBind, ...]:
+        """GetRequest; raises SnmpError on any error-status."""
+        message = Message.get(self._community, next(self._request_ids), oids)
+        response = self._exchange(message)
+        return response.pdu.bindings
+
+    def get_one(self, oid: OidLike) -> BindValue:
+        (binding,) = self.get([oid])
+        return binding.value
+
+    def get_next(self, oids: Sequence[OidLike]) -> Tuple[VarBind, ...]:
+        message = Message.get_next(self._community, next(self._request_ids), oids)
+        response = self._exchange(message)
+        return response.pdu.bindings
+
+    def set(
+        self, assignments: Sequence[Tuple[OidLike, BindValue]]
+    ) -> Tuple[VarBind, ...]:
+        message = Message.set(self._community, next(self._request_ids), assignments)
+        response = self._exchange(message)
+        return response.pdu.bindings
+
+    # ------------------------------------------------------------------
+    # Composite operations.
+    # ------------------------------------------------------------------
+    def walk(self, prefix: OidLike, max_steps: int = 100_000) -> WalkResult:
+        """Walk all instances under *prefix* with repeated get-next."""
+        prefix = Oid(prefix)
+        collected: List[VarBind] = []
+        current = prefix
+        sent = 0
+        for _step in range(max_steps):
+            message = Message.get_next(
+                self._community, next(self._request_ids), [current]
+            )
+            sent += 1
+            try:
+                response = self._exchange(message)
+            except SnmpError as exc:
+                if "noSuchName" in str(exc):
+                    break  # walked off the end of the MIB
+                raise
+            (binding,) = response.pdu.bindings
+            if not binding.oid.starts_with(prefix):
+                break
+            collected.append(binding)
+            current = binding.oid
+        return WalkResult(prefix, tuple(collected), sent)
+
+    # ------------------------------------------------------------------
+    # Exchange plumbing.
+    # ------------------------------------------------------------------
+    def _exchange(self, message: Message) -> Message:
+        self.requests_sent += 1
+        response = decode_message(self._send(encode_message(message)))
+        pdu = response.pdu
+        if pdu.pdu_type != PduType.GET_RESPONSE:
+            raise SnmpError(f"expected a GetResponse, got {pdu.pdu_type.name}")
+        if pdu.request_id != message.pdu.request_id:
+            raise SnmpError(
+                f"response id {pdu.request_id} does not match request "
+                f"{message.pdu.request_id}"
+            )
+        if pdu.error_status != ErrorStatus.NO_ERROR:
+            self.errors_received += 1
+            name = {
+                ErrorStatus.TOO_BIG: "tooBig",
+                ErrorStatus.NO_SUCH_NAME: "noSuchName",
+                ErrorStatus.BAD_VALUE: "badValue",
+                ErrorStatus.READ_ONLY: "readOnly",
+                ErrorStatus.GEN_ERR: "genErr",
+            }[pdu.error_status]
+            raise SnmpError(
+                f"agent returned {name} (index {pdu.error_index})"
+            )
+        return response

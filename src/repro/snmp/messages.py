@@ -1,0 +1,208 @@
+"""SNMPv1 message model (RFC 1067 subset).
+
+A :class:`Message` wraps a community string and one :class:`Pdu`; a PDU
+carries a request id, error status/index and variable bindings.  Values in
+bindings follow the Python mapping of :mod:`repro.asn1`: int (INTEGER /
+Counter / Gauge / TimeTicks), bytes (OCTET STRING / IpAddress), ``None``
+(NULL) and :class:`~repro.mib.oid.Oid` / int tuples (OBJECT IDENTIFIER).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SnmpError
+from repro.mib.oid import Oid, OidLike
+
+SNMP_VERSION_1 = 0  # version-1 is encoded as INTEGER 0
+
+
+class PduType(IntEnum):
+    """Context tags of the RFC 1067 PDUs."""
+
+    GET_REQUEST = 0
+    GET_NEXT_REQUEST = 1
+    GET_RESPONSE = 2
+    SET_REQUEST = 3
+    TRAP = 4
+
+
+class ErrorStatus(IntEnum):
+    """RFC 1067 error-status codes."""
+
+    NO_ERROR = 0
+    TOO_BIG = 1
+    NO_SUCH_NAME = 2
+    BAD_VALUE = 3
+    READ_ONLY = 4
+    GEN_ERR = 5
+
+
+BindValue = Union[int, bytes, None, Tuple[int, ...], Oid]
+
+
+@dataclass(frozen=True)
+class VarBind:
+    """One (object instance, value) pair."""
+
+    oid: Oid
+    value: BindValue = None
+
+    @classmethod
+    def of(cls, oid: OidLike, value: BindValue = None) -> "VarBind":
+        return cls(Oid(oid), value)
+
+
+@dataclass
+class Pdu:
+    """A request/response PDU."""
+
+    pdu_type: PduType
+    request_id: int
+    error_status: ErrorStatus = ErrorStatus.NO_ERROR
+    error_index: int = 0
+    bindings: Tuple[VarBind, ...] = ()
+
+    def oids(self) -> Tuple[Oid, ...]:
+        return tuple(binding.oid for binding in self.bindings)
+
+    def is_response(self) -> bool:
+        return self.pdu_type == PduType.GET_RESPONSE
+
+    def response(
+        self,
+        bindings: Optional[Sequence[VarBind]] = None,
+        error_status: ErrorStatus = ErrorStatus.NO_ERROR,
+        error_index: int = 0,
+    ) -> "Pdu":
+        """Build the GetResponse answering this request.
+
+        On error, RFC 1067 echoes the request's bindings unchanged.
+        """
+        if error_status != ErrorStatus.NO_ERROR or bindings is None:
+            bindings = self.bindings
+        return Pdu(
+            pdu_type=PduType.GET_RESPONSE,
+            request_id=self.request_id,
+            error_status=error_status,
+            error_index=error_index,
+            bindings=tuple(bindings),
+        )
+
+
+class GenericTrap(IntEnum):
+    """RFC 1067 generic-trap codes."""
+
+    COLD_START = 0
+    WARM_START = 1
+    LINK_DOWN = 2
+    LINK_UP = 3
+    AUTHENTICATION_FAILURE = 4
+    EGP_NEIGHBOR_LOSS = 5
+    ENTERPRISE_SPECIFIC = 6
+
+
+@dataclass
+class TrapPdu:
+    """The Trap-PDU (RFC 1067): unsolicited agent-to-manager notification.
+
+    Structurally different from the request/response PDUs: it carries the
+    agent's enterprise OID and address, the trap codes and a timestamp
+    instead of a request id.
+    """
+
+    enterprise: Oid
+    agent_addr: bytes  # 4-octet IpAddress
+    generic_trap: GenericTrap
+    specific_trap: int = 0
+    time_stamp: int = 0  # TimeTicks
+    bindings: Tuple[VarBind, ...] = ()
+
+    def __post_init__(self):
+        if len(self.agent_addr) != 4:
+            raise SnmpError("trap agent-addr must be 4 octets")
+
+
+@dataclass
+class Message:
+    """A community-authenticated SNMP message (request/response or trap)."""
+
+    community: str
+    pdu: Union[Pdu, TrapPdu]
+    version: int = SNMP_VERSION_1
+
+    def __post_init__(self):
+        if self.version != SNMP_VERSION_1:
+            raise SnmpError(f"unsupported SNMP version {self.version}")
+
+    def is_trap(self) -> bool:
+        return isinstance(self.pdu, TrapPdu)
+
+    @classmethod
+    def trap(
+        cls,
+        community: str,
+        enterprise: OidLike,
+        agent_addr: bytes,
+        generic_trap: GenericTrap,
+        specific_trap: int = 0,
+        time_stamp: int = 0,
+        bindings: Sequence[VarBind] = (),
+    ) -> "Message":
+        return cls(
+            community,
+            TrapPdu(
+                enterprise=Oid(enterprise),
+                agent_addr=agent_addr,
+                generic_trap=generic_trap,
+                specific_trap=specific_trap,
+                time_stamp=time_stamp,
+                bindings=tuple(bindings),
+            ),
+        )
+
+    @classmethod
+    def get(
+        cls, community: str, request_id: int, oids: Sequence[OidLike]
+    ) -> "Message":
+        return cls(
+            community,
+            Pdu(
+                PduType.GET_REQUEST,
+                request_id,
+                bindings=tuple(VarBind.of(oid) for oid in oids),
+            ),
+        )
+
+    @classmethod
+    def get_next(
+        cls, community: str, request_id: int, oids: Sequence[OidLike]
+    ) -> "Message":
+        return cls(
+            community,
+            Pdu(
+                PduType.GET_NEXT_REQUEST,
+                request_id,
+                bindings=tuple(VarBind.of(oid) for oid in oids),
+            ),
+        )
+
+    @classmethod
+    def set(
+        cls,
+        community: str,
+        request_id: int,
+        assignments: Sequence[Tuple[OidLike, BindValue]],
+    ) -> "Message":
+        return cls(
+            community,
+            Pdu(
+                PduType.SET_REQUEST,
+                request_id,
+                bindings=tuple(
+                    VarBind.of(oid, value) for oid, value in assignments
+                ),
+            ),
+        )

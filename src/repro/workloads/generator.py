@@ -1,0 +1,335 @@
+"""Synthetic internet generator for the Section 3.1 scale evaluation.
+
+The paper's stated target: "very large networks, on the order of 100,000
+networks (and gateways), 100,000 to a million hosts, and 10,000
+administrative domains."  :class:`SyntheticInternet` builds parameterised
+internets two ways:
+
+* :meth:`text` — NMSL source text, exercising the full compiler path;
+* :meth:`specification` — the typed model built directly, for measuring
+  the consistency checker alone.
+
+Both produce the same structure: ``n_domains`` administrative domains,
+each containing ``systems_per_domain`` network elements running a shared
+read-only agent and exporting the MIB to the public domain, plus
+``applications_per_domain`` poller applications querying elements of the
+*next* domain (so every check crosses an administrative boundary).
+
+Deliberate inconsistencies can be injected by kind to verify detection at
+scale: ``missing_permission`` (a domain that exports nothing),
+``frequency_conflict`` (a poller allowed to query every 30 seconds against
+a 5-minute export), and ``unsupported_data`` (a poller requesting EGP
+variables that no element supports).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.nmsl.frequency import FrequencySpec
+from repro.nmsl.specs import (
+    DomainSpec,
+    ExportSpec,
+    InterfaceSpec,
+    ProcessInvocation,
+    ProcessSpec,
+    QuerySpec,
+    Specification,
+    SystemSpec,
+)
+from repro.mib.tree import Access
+
+#: The MIB groups every synthetic element supports (EGP excluded, as on
+#: the paper's romano.cs.wisc.edu).
+SUPPORTED_GROUPS = (
+    "mgmt.mib.system",
+    "mgmt.mib.interfaces",
+    "mgmt.mib.ip",
+    "mgmt.mib.icmp",
+    "mgmt.mib.tcp",
+    "mgmt.mib.udp",
+)
+
+REQUESTED_PATH = "mgmt.mib.ip.ipAddrTable.IpAddrEntry"
+UNSUPPORTED_PATH = "mgmt.mib.egp"
+
+
+@dataclass(frozen=True)
+class InternetParameters:
+    """Size and fault-injection knobs for a synthetic internet."""
+
+    n_domains: int = 10
+    systems_per_domain: int = 10
+    applications_per_domain: int = 2
+    export_period_s: float = 300.0
+    query_period_s: float = 900.0
+    #: Domains (by index) that export nothing -> missing permissions.
+    silent_domains: Tuple[int, ...] = ()
+    #: Applications (by global index) that query too fast.
+    fast_pollers: Tuple[int, ...] = ()
+    #: Applications (by global index) that request unsupported EGP data.
+    egp_pollers: Tuple[int, ...] = ()
+    #: When > 0, group base domains under umbrella domains of this fanout
+    #: (one per group, plus one root over the umbrellas) — deeper
+    #: containment chains exercising the transitive rules.  Umbrellas
+    #: grant nothing, so verdicts are unchanged.
+    umbrella_fanout: int = 0
+    seed: int = 1989
+
+    @property
+    def n_systems(self) -> int:
+        return self.n_domains * self.systems_per_domain
+
+    @property
+    def n_applications(self) -> int:
+        return self.n_domains * self.applications_per_domain
+
+
+class SyntheticInternet:
+    """Deterministic synthetic internet builder."""
+
+    def __init__(self, parameters: InternetParameters):
+        self.parameters = parameters
+        self._random = random.Random(parameters.seed)
+
+    # ------------------------------------------------------------------
+    # Naming scheme.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def domain_name(index: int) -> str:
+        return f"dom{index:05d}"
+
+    @staticmethod
+    def system_name(domain_index: int, system_index: int) -> str:
+        return f"host{system_index:05d}.dom{domain_index:05d}.net"
+
+    # ------------------------------------------------------------------
+    # NMSL text.
+    # ------------------------------------------------------------------
+    def text(self) -> str:
+        p = self.parameters
+        parts: List[str] = [self._process_texts()]
+        for domain_index in range(p.n_domains):
+            for system_index in range(p.systems_per_domain):
+                parts.append(self._system_text(domain_index, system_index))
+        for domain_index in range(p.n_domains):
+            parts.append(self._domain_text(domain_index))
+        parts.extend(self._umbrella_texts())
+        return "\n".join(parts)
+
+    def _umbrella_groups(self) -> List[List[str]]:
+        p = self.parameters
+        if p.umbrella_fanout <= 0:
+            return []
+        names = [self.domain_name(index) for index in range(p.n_domains)]
+        return [
+            names[start : start + p.umbrella_fanout]
+            for start in range(0, len(names), p.umbrella_fanout)
+        ]
+
+    def _umbrella_texts(self) -> List[str]:
+        groups = self._umbrella_groups()
+        parts = []
+        umbrella_names = []
+        for index, members in enumerate(groups):
+            name = f"region{index:04d}"
+            umbrella_names.append(name)
+            lines = [f"domain {name} ::="]
+            lines.extend(f"    domain {member};" for member in members)
+            lines.append(f"end domain {name}.")
+            parts.append("\n".join(lines))
+        if umbrella_names:
+            lines = ["domain root ::="]
+            lines.extend(f"    domain {name};" for name in umbrella_names)
+            lines.append("end domain root.")
+            parts.append("\n".join(lines))
+        return parts
+
+    def _process_texts(self) -> str:
+        p = self.parameters
+        query_minutes = p.query_period_s / 60.0
+        # The agent exports nothing itself: permissions come from the
+        # domain exports, so a "silent" domain really grants nothing.
+        return f"""
+process stdAgent ::=
+    supports mgmt.mib;
+end process stdAgent.
+
+process poller(Target: Process) ::=
+    queries Target
+        requests {REQUESTED_PATH}
+        frequency >= {query_minutes:g} minutes;
+end process poller.
+
+process fastPoller(Target: Process) ::=
+    queries Target
+        requests {REQUESTED_PATH}
+        frequency = 30 seconds;
+end process fastPoller.
+
+process egpPoller(Target: Process) ::=
+    queries Target
+        requests {UNSUPPORTED_PATH}
+        frequency >= {query_minutes:g} minutes;
+end process egpPoller.
+"""
+
+    def _system_text(self, domain_index: int, system_index: int) -> str:
+        name = self.system_name(domain_index, system_index)
+        supports = ",\n        ".join(SUPPORTED_GROUPS)
+        return f"""
+system "{name}" ::=
+    cpu sparc;
+    interface ie0 net net{domain_index:05d}
+        type ethernet-csmacd
+        speed 10000000 bps;
+    opsys SunOS version 4.0.1;
+    supports
+        {supports};
+    process stdAgent;
+end system "{name}".
+"""
+
+    def _domain_text(self, domain_index: int) -> str:
+        p = self.parameters
+        name = self.domain_name(domain_index)
+        lines = [f"domain {name} ::="]
+        for system_index in range(p.systems_per_domain):
+            lines.append(
+                f"    system {self.system_name(domain_index, system_index)};"
+            )
+        for app_index in range(p.applications_per_domain):
+            global_index = domain_index * p.applications_per_domain + app_index
+            process = "poller"
+            if global_index in p.fast_pollers:
+                process = "fastPoller"
+            elif global_index in p.egp_pollers:
+                process = "egpPoller"
+            target = self._target_for(domain_index, app_index)
+            lines.append(f"    process {process}({target});")
+        if domain_index not in p.silent_domains:
+            minutes = p.export_period_s / 60.0
+            lines.append(
+                f'    exports mgmt.mib to "public"\n'
+                f"        access ReadOnly\n"
+                f"        frequency >= {minutes:g} minutes;"
+            )
+        lines.append(f"end domain {name}.")
+        return "\n".join(lines)
+
+    def _target_for(self, domain_index: int, app_index: int) -> str:
+        p = self.parameters
+        target_domain = (domain_index + 1) % p.n_domains
+        target_system = app_index % p.systems_per_domain
+        return self.system_name(target_domain, target_system)
+
+    # ------------------------------------------------------------------
+    # Direct typed-model construction (bypasses the parser).
+    # ------------------------------------------------------------------
+    def specification(self) -> Specification:
+        p = self.parameters
+        spec = Specification()
+        export = ExportSpec(
+            variables=("mgmt.mib",),
+            to_domain="public",
+            access=Access.READ_ONLY,
+            frequency=FrequencySpec.at_most_every(p.export_period_s),
+        )
+        spec.add_process(ProcessSpec(name="stdAgent", supports=("mgmt.mib",)))
+        spec.add_process(self._poller("poller", REQUESTED_PATH,
+                                      FrequencySpec.at_most_every(p.query_period_s)))
+        spec.add_process(self._poller("fastPoller", REQUESTED_PATH,
+                                      FrequencySpec.exactly_every(30)))
+        spec.add_process(self._poller("egpPoller", UNSUPPORTED_PATH,
+                                      FrequencySpec.at_most_every(p.query_period_s)))
+        for domain_index in range(p.n_domains):
+            for system_index in range(p.systems_per_domain):
+                name = self.system_name(domain_index, system_index)
+                spec.add_system(
+                    SystemSpec(
+                        name=name,
+                        cpu="sparc",
+                        interfaces=(
+                            InterfaceSpec(
+                                name="ie0",
+                                network=f"net{domain_index:05d}",
+                                if_type="ethernet-csmacd",
+                                speed_bps=10_000_000,
+                            ),
+                        ),
+                        opsys="SunOS",
+                        opsys_version="4.0.1",
+                        supports=SUPPORTED_GROUPS,
+                        processes=(ProcessInvocation("stdAgent"),),
+                    )
+                )
+        for domain_index in range(p.n_domains):
+            invocations = []
+            for app_index in range(p.applications_per_domain):
+                global_index = domain_index * p.applications_per_domain + app_index
+                process = "poller"
+                if global_index in p.fast_pollers:
+                    process = "fastPoller"
+                elif global_index in p.egp_pollers:
+                    process = "egpPoller"
+                invocations.append(
+                    ProcessInvocation(
+                        process, (self._target_for(domain_index, app_index),)
+                    )
+                )
+            exports = ()
+            if domain_index not in p.silent_domains:
+                exports = (export,)
+            spec.add_domain(
+                DomainSpec(
+                    name=self.domain_name(domain_index),
+                    systems=tuple(
+                        self.system_name(domain_index, system_index)
+                        for system_index in range(p.systems_per_domain)
+                    ),
+                    processes=tuple(invocations),
+                    exports=exports,
+                )
+            )
+        umbrella_names = []
+        for index, members in enumerate(self._umbrella_groups()):
+            name = f"region{index:04d}"
+            umbrella_names.append(name)
+            spec.add_domain(DomainSpec(name=name, subdomains=tuple(members)))
+        if umbrella_names:
+            spec.add_domain(
+                DomainSpec(name="root", subdomains=tuple(umbrella_names))
+            )
+        return spec
+
+    @staticmethod
+    def _poller(name: str, path: str, frequency: FrequencySpec) -> ProcessSpec:
+        return ProcessSpec(
+            name=name,
+            params=(("Target", "Process"),),
+            queries=(
+                QuerySpec(target="Target", requests=(path,), frequency=frequency),
+            ),
+        )
+
+    def expected_inconsistent_references(self) -> int:
+        """How many references the checker should flag, by construction.
+
+        A poller in domain *d* targets domain *d+1*: its reference fails
+        when it is a fast/EGP poller, or when the target domain is silent
+        (exports nothing — element agents also export nothing here, so the
+        permission must come from the domain).
+        """
+        p = self.parameters
+        count = 0
+        for domain_index in range(p.n_domains):
+            target_domain = (domain_index + 1) % p.n_domains
+            for app_index in range(p.applications_per_domain):
+                global_index = domain_index * p.applications_per_domain + app_index
+                if global_index in p.fast_pollers or global_index in p.egp_pollers:
+                    count += 1
+                elif target_domain in p.silent_domains:
+                    count += 1
+        return count

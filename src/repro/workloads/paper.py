@@ -1,0 +1,104 @@
+"""The paper's example specifications, verbatim.
+
+Figures 4.2 (type specifications), 4.4 (process specifications), 4.6
+(network element specification) and 4.8 (domain specification), with the
+paper's own spelling — ``SEQUENCE of``, parenthesised field lists, quoted
+system names, ``*`` invocation arguments and line-wrapped MIB paths.
+
+``PAPER_SPEC_TEXT`` concatenates all four; together they form a closed
+internet: the ``wisc-cs`` domain containing ``romano.cs.wisc.edu`` (which
+runs the read-only SNMP agent) and an ``snmpaddr`` application instance.
+``cs.wisc.edu``, named as a second system in Figure 4.8 but never given
+its own figure, is completed minimally here.
+"""
+
+FIG_42_TYPE_SPECS = """
+type ipAddrTable ::=
+    SEQUENCE of IpAddrEntry;
+    access ReadOnly;
+end type ipAddrTable.
+
+type IpAddrEntry ::=
+    SEQUENCE (
+        ipAdEntAddr IpAddress,
+        ipAdEntIfIndex INTEGER,
+        ipAdEntNetMask IpAddress,
+        ipAdEntBcastAddr INTEGER
+    );
+end type IpAddrEntry.
+"""
+
+FIG_44_PROCESS_SPECS = """
+process snmpdReadOnly ::=
+    supports mgmt.mib; -- entire MIB subtree
+
+    exports mgmt.mib to "public"
+        access ReadOnly
+        frequency >= 5 minutes;
+end process snmpdReadOnly.
+
+process snmpaddr(
+        SysAddr: Process; Dest: IpAddress) ::=
+    queries SysAddr
+        requests
+            mgmt.mib.ip.ipAddrTable.IpAddrEntry
+        using
+            mgmt.mib.ip.ipAddrTable.
+                IpAddrEntry.ipAdEntAddr := Dest
+        frequency infrequent;
+end process snmpaddr.
+"""
+
+FIG_46_SYSTEM_SPEC = """
+system "romano.cs.wisc.edu" ::=
+    cpu sparc;
+    interface ie0 net wisc-research
+        type ethernet-csmacd
+        speed 10000000 bps;
+    opsys SunOS version 4.0.1;
+    supports
+        mgmt.mib.system, mgmt.mib.at,
+        mgmt.mib.interfaces,
+        mgmt.mib.ip, mgmt.mib.icmp,
+        mgmt.mib.tcp, mgmt.mib.udp;
+    process snmpdReadOnly;
+end system "romano.cs.wisc.edu".
+"""
+
+#: Figure 4.8 also names a second system; the paper never shows its
+#: specification, so a minimal one is provided.
+CS_WISC_EDU_SYSTEM_SPEC = """
+system "cs.wisc.edu" ::=
+    cpu sparc;
+    interface le0 net wisc-research
+        type ethernet-csmacd
+        speed 10000000 bps;
+    opsys SunOS version 4.0.1;
+    supports
+        mgmt.mib.system, mgmt.mib.at,
+        mgmt.mib.interfaces,
+        mgmt.mib.ip, mgmt.mib.icmp,
+        mgmt.mib.tcp, mgmt.mib.udp;
+    process snmpdReadOnly;
+end system "cs.wisc.edu".
+"""
+
+FIG_48_DOMAIN_SPEC = """
+domain wisc-cs ::=
+    system romano.cs.wisc.edu;
+    system cs.wisc.edu;
+    process snmpaddr(*, *);
+    exports mgmt.mib to "public"
+        access ReadOnly
+        frequency >= 5 minutes;
+end domain wisc-cs.
+"""
+
+#: The paper's figures in one compilable text.
+PAPER_SPEC_TEXT = (
+    FIG_42_TYPE_SPECS
+    + FIG_44_PROCESS_SPECS
+    + FIG_46_SYSTEM_SPEC
+    + CS_WISC_EDU_SYSTEM_SPEC
+    + FIG_48_DOMAIN_SPEC
+)

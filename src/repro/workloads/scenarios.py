@@ -1,0 +1,184 @@
+"""Canned scenarios for examples, tests and benchmarks.
+
+* :func:`campus_internet` — a three-domain campus (computer science,
+  engineering, and a campus NOC) with nested domains, cross-domain
+  monitoring, and optional deliberate inconsistencies;
+* :func:`new_organization` — a new department about to join the campus,
+  used by the Section 4.2 speculative scenario.
+"""
+
+from __future__ import annotations
+
+CAMPUS_PROCESSES = """
+process snmpAgent ::=
+    supports mgmt.mib;
+    exports mgmt.mib.system to "public"
+        access ReadOnly
+        frequency >= 10 minutes;
+end process snmpAgent.
+
+process nocMonitor(Target: Process) ::=
+    queries Target
+        requests mgmt.mib.interfaces, mgmt.mib.ip
+        frequency >= 5 minutes;
+end process nocMonitor.
+
+process linkWatcher(Target: Process) ::=
+    queries Target
+        requests mgmt.mib.interfaces.ifTable.IfEntry.ifOperStatus
+        frequency >= 1 minutes;
+end process linkWatcher.
+
+"""
+
+
+def _system(name: str, network: str, uplink: str = "", groups: str = "") -> str:
+    supports = groups or (
+        "mgmt.mib.system, mgmt.mib.interfaces,\n"
+        "        mgmt.mib.ip, mgmt.mib.icmp, mgmt.mib.tcp, mgmt.mib.udp"
+    )
+    uplink_clause = ""
+    if uplink:
+        uplink_clause = f"""    interface ie1 net {uplink}
+        type ethernet-csmacd
+        speed 10000000 bps;
+"""
+    return f"""
+system "{name}" ::=
+    cpu sparc;
+    interface ie0 net {network}
+        type ethernet-csmacd
+        speed 10000000 bps;
+{uplink_clause}    opsys SunOS version 4.0.1;
+    supports
+        {supports};
+    process snmpAgent;
+end system "{name}".
+"""
+
+
+def campus_internet(
+    include_noc_permission: bool = True,
+    noc_frequency_minutes: float = 5.0,
+) -> str:
+    """The campus scenario.
+
+    With defaults the specification is consistent.  Two knobs create the
+    inconsistencies the campus example demonstrates:
+
+    * ``include_noc_permission=False`` — the engineering domain forgets to
+      export to the NOC: the NOC monitor's references lose their
+      permissions (missing-permission);
+    * ``noc_frequency_minutes < 5`` — the NOC wants to poll faster than
+      the departments allow (frequency-conflict) ... set e.g. 1.0 together
+      with departments exporting ``>= 5 minutes``.
+    """
+    # The gateways are multi-homed onto the campus backbone, so the NOC
+    # can reach every department element through them.
+    systems = (
+        _system("gw.cs.campus.edu", "cs-backbone", uplink="campus-backbone")
+        + _system("db.cs.campus.edu", "cs-backbone")
+        + _system("gw.engr.campus.edu", "engr-backbone", uplink="campus-backbone")
+        + _system("sim.engr.campus.edu", "engr-backbone")
+        + _system("noc.campus.edu", "campus-backbone")
+    )
+    cs_exports = """
+    exports mgmt.mib to noc-domain
+        access ReadOnly
+        frequency >= 5 minutes;
+"""
+    engr_exports = (
+        """
+    exports mgmt.mib to noc-domain
+        access ReadOnly
+        frequency >= 5 minutes;
+"""
+        if include_noc_permission
+        else ""
+    )
+    monitors = "\n".join(
+        f"    process nocMonitor({target});"
+        for target in (
+            "gw.cs.campus.edu",
+            "db.cs.campus.edu",
+            "gw.engr.campus.edu",
+            "sim.engr.campus.edu",
+        )
+    )
+    noc_monitor_process = f"""
+process nocMonitor(Target: Process) ::=
+    queries Target
+        requests mgmt.mib.interfaces, mgmt.mib.ip
+        frequency >= {noc_frequency_minutes:g} minutes;
+end process nocMonitor.
+"""
+    processes = CAMPUS_PROCESSES.replace(
+        """
+process nocMonitor(Target: Process) ::=
+    queries Target
+        requests mgmt.mib.interfaces, mgmt.mib.ip
+        frequency >= 5 minutes;
+end process nocMonitor.
+""",
+        noc_monitor_process,
+    )
+    return (
+        processes
+        + systems
+        + f"""
+domain cs-domain ::=
+    system gw.cs.campus.edu;
+    system db.cs.campus.edu;
+    process linkWatcher(gw.cs.campus.edu);
+{cs_exports}end domain cs-domain.
+
+domain engr-domain ::=
+    system gw.engr.campus.edu;
+    system sim.engr.campus.edu;
+{engr_exports}end domain engr-domain.
+
+domain noc-domain ::=
+    system noc.campus.edu;
+{monitors}
+    exports mgmt.mib.system to "public"
+        access ReadOnly
+        frequency >= 10 minutes;
+end domain noc-domain.
+
+domain campus ::=
+    domain cs-domain;
+    domain engr-domain;
+    domain noc-domain;
+end domain campus.
+"""
+    )
+
+
+def new_organization(query_minutes: float = 15.0) -> str:
+    """A new department joining the campus (speculative what-if input).
+
+    The new domain brings one element with an agent and a poller that
+    monitors the campus NOC element's system group — which the NOC domain
+    exports to the public at a 10-minute floor.  With
+    ``query_minutes >= 10`` the combined specification stays consistent
+    against :func:`campus_internet`; below the floor it introduces a
+    frequency conflict.
+    """
+    return (
+        _system("gw.newdept.campus.edu", "newdept-backbone", uplink="campus-backbone")
+        + f"""
+process deptPoller(Target: Process) ::=
+    queries Target
+        requests mgmt.mib.system
+        frequency >= {query_minutes:g} minutes;
+end process deptPoller.
+
+domain newdept-domain ::=
+    system gw.newdept.campus.edu;
+    process deptPoller(noc.campus.edu);
+    exports mgmt.mib to noc-domain
+        access ReadOnly
+        frequency >= 5 minutes;
+end domain newdept-domain.
+"""
+    )

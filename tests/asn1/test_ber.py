@@ -1,0 +1,176 @@
+"""Tests for the BER encoder/decoder, including property-based round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asn1.ber import Tag, TagClass, ber_decode, ber_encode
+from repro.asn1.nodes import (
+    ChoiceType,
+    IntegerType,
+    NamedField,
+    NullType,
+    ObjectIdentifierType,
+    OctetStringType,
+    SequenceOfType,
+    SequenceType,
+    TaggedType,
+    TypeRef,
+)
+from repro.asn1.types import Asn1Module
+from repro.errors import BerError
+
+INT = IntegerType()
+OCTETS = OctetStringType()
+OID_T = ObjectIdentifierType()
+
+
+def roundtrip(value, type_, module=None):
+    return ber_decode(ber_encode(value, type_, module), type_, module)
+
+
+class TestKnownEncodings:
+    """Spot-check against octet strings computed from the BER definition."""
+
+    def test_integer_zero(self):
+        assert ber_encode(0, INT) == b"\x02\x01\x00"
+
+    def test_integer_positive(self):
+        assert ber_encode(127, INT) == b"\x02\x01\x7f"
+        assert ber_encode(128, INT) == b"\x02\x02\x00\x80"
+
+    def test_integer_negative(self):
+        assert ber_encode(-1, INT) == b"\x02\x01\xff"
+        assert ber_encode(-129, INT) == b"\x02\x02\xff\x7f"
+
+    def test_octet_string(self):
+        assert ber_encode(b"hi", OCTETS) == b"\x04\x02hi"
+
+    def test_null(self):
+        assert ber_encode(None, NullType()) == b"\x05\x00"
+
+    def test_oid_mib2_prefix(self):
+        # 1.3.6.1.2.1 encodes as 2b 06 01 02 01.
+        assert ber_encode((1, 3, 6, 1, 2, 1), OID_T) == b"\x06\x05\x2b\x06\x01\x02\x01"
+
+    def test_oid_large_component_base128(self):
+        encoded = ber_encode((1, 3, 840), OID_T)
+        assert encoded == b"\x06\x03\x2b\x86\x48"
+
+    def test_long_form_length(self):
+        payload = b"x" * 200
+        encoded = ber_encode(payload, OCTETS)
+        assert encoded[:3] == b"\x04\x81\xc8"
+
+    def test_implicit_application_tag(self):
+        ip = TaggedType(tag_class="APPLICATION", tag_number=0, inner=OCTETS)
+        assert ber_encode(b"\x0a\x00\x00\x01", ip) == b"\x40\x04\x0a\x00\x00\x01"
+
+    def test_sequence_is_constructed(self):
+        seq = SequenceType(fields=(NamedField("a", INT),))
+        encoded = ber_encode({"a": 1}, seq)
+        assert encoded[0] == 0x30
+
+
+class TestRoundTrips:
+    def test_sequence_roundtrip(self):
+        seq = SequenceType(fields=(NamedField("a", INT), NamedField("b", OCTETS)))
+        assert roundtrip({"a": 42, "b": b"net"}, seq) == {"a": 42, "b": b"net"}
+
+    def test_sequence_of_roundtrip(self):
+        assert roundtrip([1, 2, 3], SequenceOfType(element=INT)) == [1, 2, 3]
+
+    def test_optional_field_absent(self):
+        seq = SequenceType(
+            fields=(NamedField("a", INT), NamedField("b", OCTETS, optional=True))
+        )
+        assert roundtrip({"a": 5}, seq) == {"a": 5}
+
+    def test_explicit_tag_roundtrip(self):
+        wrapped = TaggedType(tag_class="CONTEXT", tag_number=2, implicit=False, inner=INT)
+        assert roundtrip(-5, wrapped) == -5
+
+    def test_choice_roundtrip(self):
+        choice = ChoiceType(
+            alternatives=(NamedField("num", INT), NamedField("str", OCTETS))
+        )
+        assert roundtrip(("num", 9), choice) == ("num", 9)
+        assert roundtrip(("str", b"x"), choice) == ("str", b"x")
+
+    def test_typeref_through_module(self):
+        module = Asn1Module()
+        value = roundtrip(b"\x01\x02\x03\x04", TypeRef(name="IpAddress"), module)
+        assert value == b"\x01\x02\x03\x04"
+
+    def test_str_encoded_as_utf8(self):
+        assert roundtrip("abc", OCTETS) == b"abc"
+
+
+class TestErrors:
+    def test_tag_mismatch(self):
+        encoded = ber_encode(1, INT)
+        with pytest.raises(BerError, match="tag mismatch"):
+            ber_decode(encoded, OCTETS)
+
+    def test_trailing_octets(self):
+        with pytest.raises(BerError, match="trailing"):
+            ber_decode(ber_encode(1, INT) + b"\x00", INT)
+
+    def test_truncated_input(self):
+        with pytest.raises(BerError):
+            ber_decode(b"\x02\x05\x00", INT)
+
+    def test_unresolved_reference_without_module(self):
+        with pytest.raises(BerError, match="unresolved"):
+            ber_encode(1, TypeRef(name="Counter"))
+
+    def test_missing_sequence_field(self):
+        seq = SequenceType(fields=(NamedField("a", INT),))
+        with pytest.raises(BerError, match="missing"):
+            ber_encode({}, seq)
+
+    def test_bad_oid_prefix(self):
+        with pytest.raises(BerError):
+            ber_encode((5, 1), OID_T)
+
+    def test_choice_with_unknown_tag(self):
+        choice = ChoiceType(alternatives=(NamedField("num", INT),))
+        with pytest.raises(BerError, match="no CHOICE alternative"):
+            ber_decode(ber_encode(b"x", OCTETS), choice)
+
+    def test_tag_identifier_octet_limit(self):
+        with pytest.raises(BerError):
+            Tag(TagClass.UNIVERSAL, False, 40).identifier_octet()
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_integer_roundtrip(self, value):
+        assert roundtrip(value, INT) == value
+
+    @given(st.binary(max_size=300))
+    def test_octets_roundtrip(self, value):
+        assert roundtrip(value, OCTETS) == value
+
+    @given(
+        st.tuples(
+            st.integers(0, 2),
+            st.integers(0, 39),
+        ),
+        st.lists(st.integers(0, 2**28), max_size=8),
+    )
+    def test_oid_roundtrip(self, prefix, rest):
+        components = prefix + tuple(rest)
+        assert roundtrip(components, OID_T) == components
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=20))
+    def test_sequence_of_integers_roundtrip(self, values):
+        assert roundtrip(values, SequenceOfType(element=INT)) == values
+
+    @given(st.binary(max_size=64), st.integers(-100, 100))
+    def test_nested_sequence_roundtrip(self, blob, number):
+        inner = SequenceType(fields=(NamedField("n", INT),))
+        outer = SequenceType(
+            fields=(NamedField("data", OCTETS), NamedField("pair", inner))
+        )
+        value = {"data": blob, "pair": {"n": number}}
+        assert roundtrip(value, outer) == value

@@ -1,0 +1,107 @@
+"""Tests for the ASN.1 tokenizer."""
+
+import pytest
+
+from repro.asn1.lexer import EOF, IDENT, NUMBER, PUNCT, TYPEREF, tokenize
+from repro.errors import Asn1Error
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def texts(text):
+    return [token.text for token in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == EOF
+
+    def test_whitespace_only(self):
+        assert kinds("  \n\t ") == [EOF]
+
+    def test_typeref_starts_uppercase(self):
+        (token, _eof) = tokenize("IpAddress")
+        assert token.kind == TYPEREF
+        assert token.text == "IpAddress"
+
+    def test_ident_starts_lowercase(self):
+        (token, _eof) = tokenize("ipAdEntAddr")
+        assert token.kind == IDENT
+
+    def test_number(self):
+        (token, _eof) = tokenize("12345")
+        assert token.kind == NUMBER
+        assert token.text == "12345"
+
+    def test_negative_number(self):
+        (token, _eof) = tokenize("-7")
+        assert token.kind == NUMBER
+        assert token.text == "-7"
+
+    def test_assignment_operator(self):
+        (token, _eof) = tokenize("::=")
+        assert token.kind == PUNCT
+        assert token.text == "::="
+
+    def test_range_operator(self):
+        assert texts("(0..255)") == ["(", "0", "..", "255", ")"]
+
+    def test_hyphenated_identifier(self):
+        (token, _eof) = tokenize("ethernet-csmacd")
+        assert token.text == "ethernet-csmacd"
+
+    def test_punctuation_characters(self):
+        assert texts("{},;|[]") == ["{", "}", ",", ";", "|", "[", "]"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(Asn1Error):
+            tokenize("@")
+
+
+class TestComments:
+    def test_comment_to_end_of_line(self):
+        assert texts("INTEGER -- a counter\n42") == ["INTEGER", "42"]
+
+    def test_comment_closed_by_double_dash(self):
+        assert texts("INTEGER -- inline -- 42") == ["INTEGER", "42"]
+
+    def test_comment_at_end_of_input(self):
+        assert texts("INTEGER -- trailing") == ["INTEGER"]
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("A\n  B")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_filename_propagates(self):
+        (token, _eof) = tokenize("X", filename="spec.asn1")
+        assert token.location.filename == "spec.asn1"
+
+    def test_error_carries_location(self):
+        with pytest.raises(Asn1Error) as info:
+            tokenize("INTEGER\n  @")
+        assert info.value.location.line == 2
+
+
+class TestFullSequenceText:
+    def test_paper_figure_42_body_tokenizes(self):
+        body = """
+        SEQUENCE (
+            ipAdEntAddr IpAddress,
+            ipAdEntIfIndex INTEGER,
+            ipAdEntNetMask IpAddress,
+            ipAdEntBcastAddr INTEGER
+        )
+        """
+        words = texts(body)
+        assert words[0] == "SEQUENCE"
+        assert "ipAdEntAddr" in words
+        assert words.count(",") == 3

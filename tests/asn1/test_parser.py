@@ -1,0 +1,164 @@
+"""Tests for the ASN.1 subset parser."""
+
+import pytest
+
+from repro.asn1.nodes import (
+    ChoiceType,
+    IntegerType,
+    NullType,
+    ObjectIdentifierType,
+    OctetStringType,
+    SequenceOfType,
+    SequenceType,
+    TaggedType,
+    TypeRef,
+    references,
+)
+from repro.asn1.parser import parse_assignments, parse_type
+from repro.errors import Asn1Error
+
+
+class TestPrimitives:
+    def test_integer(self):
+        assert parse_type("INTEGER") == IntegerType()
+
+    def test_integer_with_range(self):
+        parsed = parse_type("INTEGER (0..255)")
+        assert parsed.minimum == 0
+        assert parsed.maximum == 255
+
+    def test_integer_with_named_numbers(self):
+        parsed = parse_type("INTEGER { up(1), down(2), testing(3) }")
+        assert parsed.named_values == (("up", 1), ("down", 2), ("testing", 3))
+        assert parsed.name_for(2) == "down"
+        assert parsed.value_for("testing") == 3
+
+    def test_octet_string(self):
+        assert parse_type("OCTET STRING") == OctetStringType()
+
+    def test_octet_string_with_size(self):
+        parsed = parse_type("OCTET STRING (SIZE (4))")
+        assert parsed.min_size == 4
+        assert parsed.max_size == 4
+
+    def test_octet_string_with_size_range(self):
+        parsed = parse_type("OCTET STRING (SIZE (0..255))")
+        assert (parsed.min_size, parsed.max_size) == (0, 255)
+
+    def test_null(self):
+        assert parse_type("NULL") == NullType()
+
+    def test_object_identifier(self):
+        assert parse_type("OBJECT IDENTIFIER") == ObjectIdentifierType()
+
+    def test_type_reference(self):
+        assert parse_type("IpAddress") == TypeRef(name="IpAddress")
+
+
+class TestConstructed:
+    def test_sequence_of_uppercase(self):
+        parsed = parse_type("SEQUENCE OF INTEGER")
+        assert isinstance(parsed, SequenceOfType)
+        assert parsed.element == IntegerType()
+
+    def test_sequence_of_lowercase_as_in_paper(self):
+        parsed = parse_type("SEQUENCE of IpAddrEntry")
+        assert isinstance(parsed, SequenceOfType)
+        assert parsed.element == TypeRef(name="IpAddrEntry")
+
+    def test_sequence_with_braces(self):
+        parsed = parse_type("SEQUENCE { a INTEGER, b OCTET STRING }")
+        assert isinstance(parsed, SequenceType)
+        assert parsed.field_names() == ("a", "b")
+
+    def test_sequence_with_parens_as_in_paper(self):
+        body = """SEQUENCE (
+            ipAdEntAddr IpAddress,
+            ipAdEntIfIndex INTEGER,
+            ipAdEntNetMask IpAddress,
+            ipAdEntBcastAddr INTEGER
+        )"""
+        parsed = parse_type(body)
+        assert parsed.field_names() == (
+            "ipAdEntAddr",
+            "ipAdEntIfIndex",
+            "ipAdEntNetMask",
+            "ipAdEntBcastAddr",
+        )
+        assert parsed.field_named("ipAdEntAddr").type == TypeRef(name="IpAddress")
+
+    def test_empty_sequence(self):
+        assert parse_type("SEQUENCE { }") == SequenceType()
+
+    def test_optional_field(self):
+        parsed = parse_type("SEQUENCE { a INTEGER OPTIONAL }")
+        assert parsed.fields[0].optional
+
+    def test_nested_sequence(self):
+        parsed = parse_type("SEQUENCE { inner SEQUENCE { x INTEGER } }")
+        inner = parsed.field_named("inner").type
+        assert isinstance(inner, SequenceType)
+
+    def test_choice(self):
+        parsed = parse_type("CHOICE { num INTEGER, str OCTET STRING }")
+        assert isinstance(parsed, ChoiceType)
+        assert parsed.alternative_named("num").type == IntegerType()
+
+
+class TestTagged:
+    def test_application_implicit(self):
+        parsed = parse_type("[APPLICATION 0] IMPLICIT OCTET STRING (SIZE (4))")
+        assert isinstance(parsed, TaggedType)
+        assert parsed.tag_class == "APPLICATION"
+        assert parsed.tag_number == 0
+        assert parsed.implicit
+        assert parsed.inner.min_size == 4
+
+    def test_context_default_class(self):
+        parsed = parse_type("[3] INTEGER")
+        assert parsed.tag_class == "CONTEXT"
+        assert parsed.tag_number == 3
+
+    def test_explicit(self):
+        parsed = parse_type("[1] EXPLICIT INTEGER")
+        assert not parsed.implicit
+
+
+class TestErrors:
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(Asn1Error):
+            parse_type("INTEGER INTEGER")
+
+    def test_missing_close_brace(self):
+        with pytest.raises(Asn1Error):
+            parse_type("SEQUENCE { a INTEGER")
+
+    def test_mismatched_delimiters(self):
+        with pytest.raises(Asn1Error):
+            parse_type("SEQUENCE { a INTEGER )")
+
+    def test_lowercase_not_a_type(self):
+        with pytest.raises(Asn1Error):
+            parse_type("integer")
+
+    def test_trailing_semicolon_allowed(self):
+        assert parse_type("INTEGER ;") == IntegerType()
+
+
+class TestAssignments:
+    def test_single_assignment(self):
+        parsed = parse_assignments("Ip ::= OCTET STRING")
+        assert parsed == {"Ip": OctetStringType()}
+
+    def test_multiple_assignments(self):
+        parsed = parse_assignments(
+            "A ::= INTEGER; B ::= SEQUENCE OF A; C ::= NULL"
+        )
+        assert set(parsed) == {"A", "B", "C"}
+        assert parsed["B"].element == TypeRef(name="A")
+
+
+class TestReferences:
+    def test_collects_nested_references(self):
+        parsed = parse_type("SEQUENCE { a IpAddress, b SEQUENCE OF Foo }")
+        assert set(references(parsed)) == {"IpAddress", "Foo"}

@@ -1,0 +1,160 @@
+"""Tests for the Asn1Module registry and value validation."""
+
+import pytest
+
+from repro.asn1.nodes import IntegerType, SequenceType, TypeRef, named_fields
+from repro.asn1.parser import parse_type
+from repro.asn1.types import Asn1Module
+from repro.errors import Asn1Error
+
+
+@pytest.fixture
+def module():
+    return Asn1Module()
+
+
+class TestRegistry:
+    def test_standard_types_predeclared(self, module):
+        for name in ("IpAddress", "Counter", "Gauge", "TimeTicks", "Opaque"):
+            assert name in module
+
+    def test_define_and_lookup(self, module):
+        module.define("Port", IntegerType(minimum=0, maximum=65535))
+        assert module.lookup("Port").maximum == 65535
+
+    def test_define_text(self, module):
+        module.define_text("Pair", "SEQUENCE { a INTEGER, b INTEGER }")
+        assert isinstance(module.lookup("Pair"), SequenceType)
+
+    def test_redefinition_rejected(self, module):
+        module.define("X", IntegerType())
+        with pytest.raises(Asn1Error):
+            module.define("X", IntegerType())
+
+    def test_redefinition_with_replace(self, module):
+        module.define("X", IntegerType())
+        module.define("X", IntegerType(minimum=1), replace=True)
+        assert module.lookup("X").minimum == 1
+
+    def test_unknown_lookup_raises(self, module):
+        with pytest.raises(Asn1Error):
+            module.lookup("Nope")
+
+    def test_empty_module(self):
+        bare = Asn1Module(include_standard=False)
+        assert len(bare) == 0
+
+
+class TestResolution:
+    def test_resolves_reference_chain(self, module):
+        module.define("A", IntegerType())
+        module.define("B", TypeRef(name="A"))
+        module.define("C", TypeRef(name="B"))
+        assert module.resolve(TypeRef(name="C")) == IntegerType()
+
+    def test_detects_cycle(self, module):
+        module.define("A", TypeRef(name="B"))
+        module.define("B", TypeRef(name="A"))
+        with pytest.raises(Asn1Error, match="circular"):
+            module.resolve(TypeRef(name="A"))
+
+    def test_undefined_references(self, module):
+        module.define("T", parse_type("SEQUENCE { x Missing, y IpAddress }"))
+        assert module.undefined_references(["T"]) == {"Missing"}
+
+
+class TestValidation:
+    def test_integer_ok(self, module):
+        module.validate(5, IntegerType())
+
+    def test_integer_range_violation(self, module):
+        with pytest.raises(Asn1Error, match="above maximum"):
+            module.validate(300, IntegerType(minimum=0, maximum=255))
+
+    def test_bool_is_not_integer(self, module):
+        with pytest.raises(Asn1Error):
+            module.validate(True, IntegerType())
+
+    def test_named_number_by_name(self, module):
+        module.validate("up", IntegerType(named_values=(("up", 1),)))
+
+    def test_unknown_named_number(self, module):
+        with pytest.raises(Asn1Error):
+            module.validate("sideways", IntegerType(named_values=(("up", 1),)))
+
+    def test_octets_accepts_str_and_bytes(self, module):
+        module.validate("hello", parse_type("OCTET STRING"))
+        module.validate(b"hello", parse_type("OCTET STRING"))
+
+    def test_octets_size_violation(self, module):
+        with pytest.raises(Asn1Error, match="size"):
+            module.validate(b"toolong", parse_type("OCTET STRING (SIZE (4))"))
+
+    def test_ip_address_size_enforced(self, module):
+        module.validate(b"\x01\x02\x03\x04", module.lookup("IpAddress"))
+        with pytest.raises(Asn1Error):
+            module.validate(b"\x01\x02\x03", module.lookup("IpAddress"))
+
+    def test_null(self, module):
+        module.validate(None, parse_type("NULL"))
+        with pytest.raises(Asn1Error):
+            module.validate(0, parse_type("NULL"))
+
+    def test_oid_value(self, module):
+        module.validate((1, 3, 6, 1), parse_type("OBJECT IDENTIFIER"))
+        with pytest.raises(Asn1Error):
+            module.validate((1,), parse_type("OBJECT IDENTIFIER"))
+
+    def test_sequence_value(self, module):
+        module.define("Pair", parse_type("SEQUENCE { a INTEGER, b INTEGER }"))
+        module.validate({"a": 1, "b": 2}, TypeRef(name="Pair"))
+
+    def test_sequence_missing_field(self, module):
+        sequence = parse_type("SEQUENCE { a INTEGER, b INTEGER }")
+        with pytest.raises(Asn1Error, match="missing field 'b'"):
+            module.validate({"a": 1}, sequence)
+
+    def test_sequence_optional_field_may_be_absent(self, module):
+        sequence = parse_type("SEQUENCE { a INTEGER, b INTEGER OPTIONAL }")
+        module.validate({"a": 1}, sequence)
+
+    def test_sequence_unknown_field(self, module):
+        sequence = parse_type("SEQUENCE { a INTEGER }")
+        with pytest.raises(Asn1Error, match="unknown fields"):
+            module.validate({"a": 1, "z": 2}, sequence)
+
+    def test_sequence_of(self, module):
+        module.validate([1, 2, 3], parse_type("SEQUENCE OF INTEGER"))
+        with pytest.raises(Asn1Error):
+            module.validate([1, "x"], parse_type("SEQUENCE OF INTEGER"))
+
+    def test_choice(self, module):
+        choice = parse_type("CHOICE { num INTEGER, str OCTET STRING }")
+        module.validate(("num", 7), choice)
+        with pytest.raises(Asn1Error):
+            module.validate(("other", 7), choice)
+
+    def test_error_names_path(self, module):
+        sequence = parse_type("SEQUENCE { addr IpAddress }")
+        with pytest.raises(Asn1Error, match="value.addr"):
+            module.validate({"addr": b"xx"}, sequence)
+
+    def test_paper_ip_addr_entry_value(self, module):
+        module.define_text(
+            "IpAddrEntry",
+            """SEQUENCE (
+                ipAdEntAddr IpAddress,
+                ipAdEntIfIndex INTEGER,
+                ipAdEntNetMask IpAddress,
+                ipAdEntBcastAddr INTEGER
+            )""",
+        )
+        module.validate(
+            {
+                "ipAdEntAddr": b"\x80\x69\x01\x01",
+                "ipAdEntIfIndex": 1,
+                "ipAdEntNetMask": b"\xff\xff\xff\x00",
+                "ipAdEntBcastAddr": 1,
+            },
+            TypeRef(name="IpAddrEntry"),
+        )

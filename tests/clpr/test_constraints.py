@@ -1,0 +1,213 @@
+"""Tests for the linear constraint store."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clpr.constraints import Constraint, ConstraintStore, LinExpr
+from repro.clpr.terms import var
+from repro.errors import ConstraintError
+
+
+def expr_of(variable, coefficient=1, const=0):
+    return LinExpr({variable: Fraction(coefficient)}, const)
+
+
+class TestLinExpr:
+    def test_addition_merges_coefficients(self):
+        x = var("X")
+        combined = expr_of(x, 2) + expr_of(x, 3)
+        assert combined.coefficient(x) == 5
+
+    def test_zero_coefficients_dropped(self):
+        x = var("X")
+        combined = expr_of(x, 1) - expr_of(x, 1)
+        assert combined.is_constant()
+
+    def test_scaled(self):
+        x = var("X")
+        assert expr_of(x, 2, 4).scaled(Fraction(1, 2)) == expr_of(x, 1, 2)
+
+    def test_substitute(self):
+        x, y = var("X"), var("Y")
+        # 2x + 1 with x := y + 3  =>  2y + 7
+        result = expr_of(x, 2, 1).substitute(x, expr_of(y, 1, 3))
+        assert result.coefficient(y) == 2
+        assert result.const == 7
+
+    def test_substitute_absent_variable_noop(self):
+        x, y = var("X"), var("Y")
+        original = expr_of(x, 1)
+        assert original.substitute(y, LinExpr.constant(5)) is original
+
+
+class TestConstraintEvaluate:
+    def test_constant_true_false(self):
+        assert Constraint(LinExpr.constant(-1), "<").evaluate() is True
+        assert Constraint(LinExpr.constant(1), "<").evaluate() is False
+        assert Constraint(LinExpr.constant(0), "=").evaluate() is True
+        assert Constraint(LinExpr.constant(0), "!=").evaluate() is False
+
+    def test_nonconstant_is_none(self):
+        assert Constraint(expr_of(var("X")), "<").evaluate() is None
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConstraintError):
+            Constraint(LinExpr.constant(0), "<>")
+
+    def test_compare_builder(self):
+        x = var("X")
+        c = Constraint.compare(expr_of(x), "<=", LinExpr.constant(5))
+        assert c.expr.const == -5
+
+
+class TestStoreSatisfiability:
+    def test_single_bound_sat(self):
+        store = ConstraintStore()
+        x = var("X")
+        assert store.add(Constraint.compare(expr_of(x), ">=", LinExpr.constant(0)))
+
+    def test_window_sat_then_conflict(self):
+        store = ConstraintStore()
+        x = var("X")
+        assert store.add(Constraint.compare(expr_of(x), ">=", LinExpr.constant(10)))
+        assert store.add(Constraint.compare(expr_of(x), "<=", LinExpr.constant(20)))
+        assert not store.add(Constraint.compare(expr_of(x), "<", LinExpr.constant(5)))
+        # The failed add must not change the store.
+        assert len(store) == 2
+
+    def test_strict_empty_window(self):
+        store = ConstraintStore()
+        x = var("X")
+        assert store.add(Constraint.compare(expr_of(x), ">", LinExpr.constant(5)))
+        assert not store.add(Constraint.compare(expr_of(x), "<", LinExpr.constant(5)))
+        assert not store.add(Constraint.compare(expr_of(x), "<=", LinExpr.constant(5)))
+
+    def test_boundary_touch_is_sat(self):
+        store = ConstraintStore()
+        x = var("X")
+        assert store.add(Constraint.compare(expr_of(x), ">=", LinExpr.constant(5)))
+        assert store.add(Constraint.compare(expr_of(x), "<=", LinExpr.constant(5)))
+
+    def test_equality_propagation(self):
+        store = ConstraintStore()
+        x, y = var("X"), var("Y")
+        # x = y + 1, y >= 4, x <= 4 is UNSAT.
+        assert store.add(Constraint.compare(expr_of(x), "=", expr_of(y, 1, 1)))
+        assert store.add(Constraint.compare(expr_of(y), ">=", LinExpr.constant(4)))
+        assert not store.add(Constraint.compare(expr_of(x), "<=", LinExpr.constant(4)))
+
+    def test_two_variable_chain(self):
+        store = ConstraintStore()
+        x, y, z = var("X"), var("Y"), var("Z")
+        assert store.add(Constraint.compare(expr_of(x), "<=", expr_of(y)))
+        assert store.add(Constraint.compare(expr_of(y), "<=", expr_of(z)))
+        assert store.add(Constraint.compare(expr_of(z), "<=", expr_of(x)))
+        # x <= y <= z <= x forces equality; x < y now impossible.
+        assert not store.add(Constraint.compare(expr_of(x), "<", expr_of(y)))
+
+    def test_disequality_against_forced_equality(self):
+        store = ConstraintStore()
+        x = var("X")
+        assert store.add(Constraint.compare(expr_of(x), ">=", LinExpr.constant(3)))
+        assert store.add(Constraint.compare(expr_of(x), "<=", LinExpr.constant(3)))
+        assert not store.add(
+            Constraint.compare(expr_of(x), "!=", LinExpr.constant(3))
+        )
+
+    def test_disequality_with_room_is_sat(self):
+        store = ConstraintStore()
+        x = var("X")
+        assert store.add(Constraint.compare(expr_of(x), ">=", LinExpr.constant(3)))
+        assert store.add(Constraint.compare(expr_of(x), "!=", LinExpr.constant(3)))
+
+
+class TestStoreTrail:
+    def test_undo(self):
+        store = ConstraintStore()
+        x = var("X")
+        mark = store.mark()
+        store.add(Constraint.compare(expr_of(x), ">=", LinExpr.constant(0)))
+        store.undo_to(mark)
+        assert len(store) == 0
+
+
+class TestEntailment:
+    def test_entails_weaker_bound(self):
+        store = ConstraintStore()
+        x = var("X")
+        store.add(Constraint.compare(expr_of(x), ">=", LinExpr.constant(10)))
+        assert store.entails(Constraint.compare(expr_of(x), ">=", LinExpr.constant(5)))
+        assert not store.entails(
+            Constraint.compare(expr_of(x), ">=", LinExpr.constant(20))
+        )
+
+    def test_entails_equality(self):
+        store = ConstraintStore()
+        x = var("X")
+        store.add(Constraint.compare(expr_of(x), ">=", LinExpr.constant(7)))
+        store.add(Constraint.compare(expr_of(x), "<=", LinExpr.constant(7)))
+        assert store.entails(Constraint.compare(expr_of(x), "=", LinExpr.constant(7)))
+
+
+class TestBounds:
+    def test_bounds_simple_window(self):
+        store = ConstraintStore()
+        x = var("X")
+        store.add(Constraint.compare(expr_of(x), ">=", LinExpr.constant(300)))
+        store.add(Constraint.compare(expr_of(x), "<", LinExpr.constant(900)))
+        bounds = {bound.op: bound.value for bound in store.bounds_for(x)}
+        assert bounds == {">=": 300, "<": 900}
+
+    def test_bounds_through_elimination(self):
+        store = ConstraintStore()
+        x, y = var("X"), var("Y")
+        # y >= 10 and x >= y  =>  x >= 10.
+        store.add(Constraint.compare(expr_of(y), ">=", LinExpr.constant(10)))
+        store.add(Constraint.compare(expr_of(x), ">=", expr_of(y)))
+        bounds = store.bounds_for(x)
+        assert any(bound.op == ">=" and bound.value == 10 for bound in bounds)
+
+    def test_exact_bound(self):
+        store = ConstraintStore()
+        x = var("X")
+        store.add(Constraint.compare(expr_of(x, 2), "=", LinExpr.constant(10)))
+        bounds = store.bounds_for(x)
+        assert bounds == [type(bounds[0])(bounds[0].variable, "=", Fraction(5))]
+
+    def test_unconstrained_variable_has_no_bounds(self):
+        store = ConstraintStore()
+        assert store.bounds_for(var("Z")) == []
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(-50, 50),
+        st.integers(-50, 50),
+        st.integers(-50, 50),
+    )
+    def test_window_consistency_matches_interval_logic(self, low, high, probe):
+        """x >= low, x <= high, x = probe is SAT iff low <= probe <= high."""
+        store = ConstraintStore()
+        x = var("X")
+        assert store.add(Constraint.compare(expr_of(x), ">=", LinExpr.constant(low)))
+        ok_high = store.add(Constraint.compare(expr_of(x), "<=", LinExpr.constant(high)))
+        assert ok_high == (low <= high)
+        if not ok_high:
+            return
+        ok_probe = store.add(Constraint.compare(expr_of(x), "=", LinExpr.constant(probe)))
+        assert ok_probe == (low <= probe <= high)
+
+    @given(st.lists(st.integers(-20, 20), min_size=1, max_size=6))
+    def test_chain_of_lower_bounds(self, values):
+        """x >= v for each v is always SAT; bound equals max(values)."""
+        store = ConstraintStore()
+        x = var("X")
+        for value in values:
+            assert store.add(
+                Constraint.compare(expr_of(x), ">=", LinExpr.constant(value))
+            )
+        bounds = store.bounds_for(x)
+        assert bounds[0].op == ">="
+        assert bounds[0].value == max(values)

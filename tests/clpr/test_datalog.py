@@ -1,0 +1,149 @@
+"""Tests for the semi-naive bottom-up evaluator."""
+
+import pytest
+
+from repro.clpr.datalog import FactBase, Justification, forward_chain
+from repro.clpr.program import parse_clauses, parse_term
+from repro.clpr.terms import struct
+from repro.errors import ClprError
+
+
+def terms(*texts):
+    return [parse_term(text) for text in texts]
+
+
+class TestFactBase:
+    def test_add_and_contains(self):
+        fb = FactBase()
+        fact = parse_term("p(a)")
+        assert fb.add(fact, Justification(None))
+        assert not fb.add(fact, Justification(None))
+        assert fb.contains(fact)
+        assert len(fb) == 1
+
+    def test_why_missing(self):
+        fb = FactBase()
+        with pytest.raises(ClprError):
+            fb.why(parse_term("p(a)"))
+
+
+class TestForwardChain:
+    def test_transitive_closure(self):
+        facts = terms("edge(a, b)", "edge(b, c)", "edge(c, d)")
+        rules = parse_clauses(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        fb = forward_chain(facts, rules)
+        assert fb.contains(parse_term("path(a, d)"))
+        assert not fb.contains(parse_term("path(d, a)"))
+        # 3 edges, 6 paths.
+        assert len(fb.facts_for(("path", 2))) == 6
+
+    def test_left_recursive_rule_terminates(self):
+        """The motivating case: SLD loops on this, datalog does not."""
+        facts = terms("contains(a, b)", "contains(b, c)")
+        rules = parse_clauses("contains(X, Z) :- contains(X, Y), contains(Y, Z).")
+        fb = forward_chain(facts, rules)
+        assert fb.contains(parse_term("contains(a, c)"))
+        assert len(fb.facts_for(("contains", 2))) == 3
+
+    def test_cycle_terminates(self):
+        facts = terms("edge(a, b)", "edge(b, a)")
+        rules = parse_clauses(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        fb = forward_chain(facts, rules)
+        assert fb.contains(parse_term("path(a, a)"))
+
+    def test_join_two_relations(self):
+        facts = terms("on(p1, host1)", "in(host1, domainA)")
+        rules = parse_clauses("member(P, D) :- on(P, H), in(H, D).")
+        fb = forward_chain(facts, rules)
+        assert fb.contains(parse_term("member(p1, domainA)"))
+
+    def test_guard_filters(self):
+        facts = terms("freq(a, 10)", "freq(b, 600)")
+        rules = parse_clauses("slow(X) :- freq(X, F), F >= 300.")
+        fb = forward_chain(facts, rules)
+        assert fb.contains(parse_term("slow(b)"))
+        assert not fb.contains(parse_term("slow(a)"))
+
+    def test_is_computes(self):
+        facts = terms("freq(a, 10)")
+        rules = parse_clauses("doubled(X, D) :- freq(X, F), D is F * 2.")
+        fb = forward_chain(facts, rules)
+        assert fb.contains(parse_term("doubled(a, 20)"))
+
+    def test_rule_file_facts_included(self):
+        rules = parse_clauses("p(a). q(X) :- p(X).")
+        fb = forward_chain([], rules)
+        assert fb.contains(parse_term("q(a)"))
+
+    def test_nonground_base_fact_rejected(self):
+        with pytest.raises(ClprError, match="not ground"):
+            forward_chain([struct("p", parse_term("X"))], [])
+
+    def test_unsafe_rule_rejected(self):
+        facts = terms("p(a)")
+        rules = parse_clauses("q(Y) :- p(X).")
+        with pytest.raises(ClprError, match="unsafe|not ground"):
+            forward_chain(facts, rules)
+
+    def test_structured_constants(self):
+        facts = terms("supports(agent1, view(ip, udp))")
+        rules = parse_clauses("has_view(A) :- supports(A, view(_, _)).")
+        fb = forward_chain(facts, rules)
+        assert fb.contains(parse_term("has_view(agent1)"))
+
+
+class TestProvenance:
+    def test_base_fact_justification(self):
+        fb = forward_chain(terms("edge(a, b)"), [])
+        why = fb.why(parse_term("edge(a, b)"))
+        assert why.is_base()
+
+    def test_derived_fact_premises(self):
+        facts = terms("edge(a, b)", "edge(b, c)")
+        rules = parse_clauses(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        fb = forward_chain(facts, rules)
+        why = fb.why(parse_term("path(a, c)"))
+        assert not why.is_base()
+        assert len(why.premises) == 2
+
+    def test_explain_trace(self):
+        facts = terms("edge(a, b)", "edge(b, c)")
+        rules = parse_clauses(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        fb = forward_chain(facts, rules)
+        lines = fb.explain(parse_term("path(a, c)"))
+        assert any("[given]" in line for line in lines)
+        assert lines[0].startswith("path(a, c)")
+
+
+class TestScale:
+    def test_chain_closure_scales(self):
+        """A 201-node chain has C(201, 2) = 20100 paths; must finish quickly."""
+        facts = [struct("edge", f"n{i}", f"n{i+1}") for i in range(200)]
+        rules = parse_clauses(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        fb = forward_chain(facts, rules)
+        assert len(fb.facts_for(("path", 2))) == 201 * 200 // 2

@@ -1,0 +1,155 @@
+"""Tests for the Prolog-style reader and clause database."""
+
+import pytest
+
+from repro.clpr.program import (
+    Clause,
+    Program,
+    parse_clauses,
+    parse_program,
+    parse_query,
+    parse_term,
+)
+from repro.clpr.terms import Atom, Num, Struct, Var
+from repro.errors import ClprSyntaxError
+
+
+class TestTermParsing:
+    def test_atom(self):
+        assert parse_term("public") == Atom("public")
+
+    def test_quoted_atom(self):
+        assert parse_term("'romano.cs.wisc.edu'") == Atom("romano.cs.wisc.edu")
+
+    def test_number(self):
+        assert parse_term("300") == Num.of(300)
+
+    def test_decimal(self):
+        assert parse_term("2.5") == Num.of(2.5)
+
+    def test_negative_number(self):
+        assert parse_term("-4") == Num.of(-4)
+
+    def test_variable(self):
+        term = parse_term("Xyz")
+        assert isinstance(term, Var)
+        assert term.name == "Xyz"
+
+    def test_underscore_var(self):
+        assert isinstance(parse_term("_"), Var)
+
+    def test_structure(self):
+        term = parse_term("contains(wisc, romano)")
+        assert term == Struct("contains", (Atom("wisc"), Atom("romano")))
+
+    def test_nested_structure(self):
+        term = parse_term("f(g(a), h(b, c))")
+        assert isinstance(term.args[0], Struct)
+
+    def test_arithmetic_precedence(self):
+        # 1 + 2 * 3 parses as 1 + (2 * 3).
+        term = parse_term("1 + 2 * 3")
+        assert term.functor == "+"
+        assert term.args[1].functor == "*"
+
+    def test_parenthesised(self):
+        term = parse_term("(1 + 2) * 3")
+        assert term.functor == "*"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ClprSyntaxError):
+            parse_term("a b")
+
+
+class TestClauseParsing:
+    def test_fact(self):
+        (clause,) = parse_clauses("contains(wisc, romano).")
+        assert clause.is_fact()
+        assert clause.indicator == ("contains", 2)
+
+    def test_rule(self):
+        (clause,) = parse_clauses("anc(X, Z) :- contains(X, Y), anc(Y, Z).")
+        assert len(clause.body) == 2
+        # Shared variable Y appears in both body goals.
+        y_first = clause.body[0].args[1]
+        y_second = clause.body[1].args[0]
+        assert y_first == y_second
+
+    def test_variables_scoped_per_clause(self):
+        clauses = parse_clauses("p(X). q(X).")
+        assert clauses[0].head.args[0] != clauses[1].head.args[0]
+
+    def test_comment_skipped(self):
+        clauses = parse_clauses("% only a comment\np(a). % trailing\n")
+        assert len(clauses) == 1
+
+    def test_constraint_goals(self):
+        (clause,) = parse_clauses("ok(T) :- T >= 300, T < 900.")
+        assert clause.body[0].functor == ">="
+        assert clause.body[1].functor == "<"
+
+    def test_negation_goal(self):
+        (clause,) = parse_clauses("bad(X) :- ref(X), \\+ perm(X).")
+        assert clause.body[1].functor == "\\+"
+
+    def test_is_goal(self):
+        (clause,) = parse_clauses("double(X, Y) :- Y is X * 2.")
+        assert clause.body[0].functor == "is"
+
+    def test_missing_period(self):
+        with pytest.raises(ClprSyntaxError):
+            parse_clauses("p(a)")
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ClprSyntaxError):
+            parse_clauses("p('oops).")
+
+    def test_fresh_renames_consistently(self):
+        (clause,) = parse_clauses("p(X, X) :- q(X).")
+        fresh = clause.fresh()
+        assert fresh.head.args[0] == fresh.head.args[1]
+        assert fresh.head.args[0] == fresh.body[0].args[0]
+        assert fresh.head.args[0] != clause.head.args[0]
+
+
+class TestQueryParsing:
+    def test_plain_goals(self):
+        goals = parse_query("contains(X, romano), X \\= wisc")
+        assert len(goals) == 2
+
+    def test_with_prefix_and_period(self):
+        goals = parse_query("?- p(X).")
+        assert len(goals) == 1
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ClprSyntaxError):
+            parse_query("p(X). q(Y)")
+
+
+class TestProgram:
+    def test_index_by_indicator(self):
+        program = parse_program("p(a). p(b). q(a, b).")
+        assert len(program.clauses_for(("p", 1))) == 2
+        assert len(program.clauses_for(("q", 2))) == 1
+        assert program.clauses_for(("r", 0)) == []
+
+    def test_defines(self):
+        program = parse_program("p(a).")
+        assert program.defines(("p", 1))
+        assert not program.defines(("p", 2))
+
+    def test_add_fact(self):
+        program = Program()
+        program.add_fact(parse_term("p(a)"))
+        assert len(program) == 1
+
+    def test_merged_with(self):
+        left = parse_program("p(a).")
+        right = parse_program("p(b). q(c).")
+        merged = left.merged_with(right)
+        assert len(merged) == 3
+        assert len(left) == 1  # originals untouched
+
+    def test_len(self):
+        program = parse_program("p(a). p(b) :- q(b).")
+        assert len(program) == 2

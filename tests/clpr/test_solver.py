@@ -1,0 +1,190 @@
+"""Tests for the SLD + constraints engine."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.clpr.program import parse_program
+from repro.clpr.solver import Engine
+from repro.clpr.terms import Atom, Num
+from repro.errors import ClprError
+
+
+def engine(text: str, **kwargs) -> Engine:
+    return Engine(parse_program(text), **kwargs)
+
+
+class TestBasicResolution:
+    def test_fact_query(self):
+        e = engine("likes(alice, bob).")
+        assert e.ask("likes(alice, bob)")
+        assert not e.ask("likes(bob, alice)")
+
+    def test_variable_answer(self):
+        e = engine("likes(alice, bob). likes(alice, carol).")
+        answers = e.all("likes(alice, X)")
+        assert {a.value("X") for a in answers} == {Atom("bob"), Atom("carol")}
+
+    def test_rule_chaining(self):
+        e = engine(
+            """
+            parent(a, b). parent(b, c).
+            grand(X, Z) :- parent(X, Y), parent(Y, Z).
+            """
+        )
+        answer = e.first("grand(a, Z)")
+        assert answer.value("Z") == Atom("c")
+
+    def test_recursion_right_linear(self):
+        e = engine(
+            """
+            edge(a, b). edge(b, c). edge(c, d).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+            """
+        )
+        assert e.ask("path(a, d)")
+        assert not e.ask("path(d, a)")
+
+    def test_all_with_limit(self):
+        e = engine("n(1). n(2). n(3).")
+        assert len(e.all("n(X)", limit=2)) == 2
+
+    def test_conjunction(self):
+        e = engine("p(a). q(a). q(b).")
+        answers = e.all("p(X), q(X)")
+        assert len(answers) == 1
+
+    def test_unknown_predicate_fails(self):
+        e = engine("p(a).")
+        assert not e.ask("mystery(a)")
+
+    def test_depth_limit(self):
+        e = engine("loop(X) :- loop(X).", max_depth=50)
+        with pytest.raises(ClprError, match="depth"):
+            e.ask("loop(a)")
+
+
+class TestBuiltins:
+    def test_true_fail(self):
+        e = engine("p(a).")
+        assert e.ask("true")
+        assert not e.ask("fail")
+
+    def test_explicit_unify(self):
+        e = engine("p(a).")
+        answer = e.first("X = a, p(X)")
+        assert answer.value("X") == Atom("a")
+
+    def test_disunify(self):
+        e = engine("p(a). p(b).")
+        answers = e.all("p(X), X \\= a")
+        assert [a.value("X") for a in answers] == [Atom("b")]
+
+    def test_negation_as_failure(self):
+        e = engine("p(a). p(b). blocked(a).")
+        answers = e.all("p(X), \\+ blocked(X)")
+        assert [a.value("X") for a in answers] == [Atom("b")]
+
+    def test_negation_does_not_bind(self):
+        e = engine("p(a). blocked(b).")
+        answer = e.first("p(X), \\+ blocked(X)")
+        assert answer.value("X") == Atom("a")
+
+    def test_is_ground_evaluation(self):
+        e = engine("p(a).")
+        answer = e.first("X is 3 * 4 + 1")
+        assert answer.value("X") == Num.of(13)
+
+    def test_ground_comparisons(self):
+        e = engine("p(a).")
+        assert e.ask("3 < 4")
+        assert not e.ask("4 < 3")
+        assert e.ask("4 >= 4")
+        assert e.ask("5 =:= 5")
+        assert e.ask("5 =\\= 6")
+
+    def test_comparison_on_atoms_fails(self):
+        e = engine("p(a).")
+        assert not e.ask("a < b")
+
+
+class TestConstraints:
+    def test_residual_lower_bound(self):
+        e = engine("valid(T) :- T >= 300.")
+        answer = e.first("valid(T)")
+        assert answer.residual
+        bound = answer.residual[0]
+        assert bound.op == ">="
+        assert bound.value == 300
+
+    def test_constraint_conflict_prunes(self):
+        e = engine("narrow(T) :- T >= 300, T < 200.")
+        assert not e.ask("narrow(T)")
+
+    def test_constraint_then_test(self):
+        e = engine("window(T) :- T >= 10, T =< 20.")
+        assert e.ask("window(T), T =:= 15")
+        assert not e.ask("window(T), T =:= 25")
+
+    def test_forced_equality_reported(self):
+        e = engine("exact(T) :- T >= 5, T =< 5.")
+        answer = e.first("exact(T)")
+        assert answer.value("T") == Num.of(5)
+
+    def test_clpr_reverse_mode(self):
+        """Solve for a parameter: classic CLP(R) behaviour."""
+        e = engine("ok(Req, Lim) :- Req >= Lim.")
+        answer = e.first("ok(R, 300)")
+        assert any(b.op == ">=" and b.value == 300 for b in answer.residual)
+
+    def test_is_with_unbound_becomes_equation(self):
+        e = engine("rel(X, Y) :- X is Y + 2.")
+        # Y fixed: X derived.
+        answer = e.first("rel(X, 5)")
+        assert answer.value("X") == Num.of(7)
+
+    def test_backtracking_restores_store(self):
+        e = engine(
+            """
+            choice(1). choice(2).
+            pick(X) :- choice(X), X > 1.
+            """
+        )
+        answers = e.all("pick(X)")
+        assert [a.value("X") for a in answers] == [Num.of(2)]
+
+    def test_linear_combination(self):
+        e = engine("sum(X, Y) :- X + Y =< 10, X >= 4, Y >= 4.")
+        assert e.ask("sum(X, Y)")
+        assert not e.ask("sum(X, Y), X >= 7")
+
+
+class TestAnswers:
+    def test_bindings_only_named_vars(self):
+        e = engine("pair(a, b).")
+        answer = e.first("pair(X, _)")
+        assert set(answer.bindings) == {"X"}
+
+    def test_value_unknown_name(self):
+        e = engine("p(a).")
+        answer = e.first("p(X)")
+        with pytest.raises(ClprError):
+            answer.value("Nope")
+
+    def test_repr_readable(self):
+        e = engine("p(a).")
+        answer = e.first("p(X)")
+        assert "X = a" in repr(answer)
+
+
+class TestErrors:
+    def test_unbound_goal(self):
+        e = engine("p(a).")
+        with pytest.raises(ClprError, match="unbound"):
+            e.ask("G")
+
+    def test_number_goal(self):
+        e = engine("p(a).")
+        with pytest.raises(ClprError, match="number"):
+            e.ask("3")

@@ -1,0 +1,65 @@
+"""Tests for the acl-table and osi output types."""
+
+import pytest
+
+from repro.nmsl.compiler import NmslCompiler
+from repro.workloads.paper import PAPER_SPEC_TEXT
+from repro.workloads.scenarios import campus_internet
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    compiler = NmslCompiler()
+    return compiler, compiler.compile(PAPER_SPEC_TEXT)
+
+
+class TestAclTable:
+    def test_rows_tab_separated(self, compiled):
+        compiler, result = compiled
+        text = compiler.generate("acl-table", result).text()
+        rows = [line for line in text.splitlines() if line]
+        for row in rows:
+            assert len(row.split("\t")) == 5
+
+    def test_instance_grantor_rows(self, compiled):
+        compiler, result = compiled
+        text = compiler.generate("acl-table", result).text()
+        assert (
+            "instance:snmpdReadOnly@romano.cs.wisc.edu#1\tpublic\tmgmt.mib\t"
+            "ReadOnly\t300" in text
+        )
+
+    def test_domain_grantor_rows(self, compiled):
+        compiler, result = compiled
+        text = compiler.generate("acl-table", result).text()
+        assert "domain:wisc-cs\tpublic\tmgmt.mib\tReadOnly\t300" in text
+
+    def test_processes_without_exports_skipped(self, compiled):
+        compiler, result = compiled
+        bundle = compiler.generate("acl-table", result)
+        assert bundle.unit_for("snmpaddr") is None
+
+
+class TestOsi:
+    def test_domain_block(self, compiled):
+        compiler, result = compiled
+        text = compiler.generate("osi", result).text()
+        assert "managementDomain wisc-cs {" in text
+        assert "  managedSystem romano.cs.wisc.edu;" in text
+        assert text.rstrip().endswith("}")
+
+    def test_ports_per_permission(self, compiled):
+        compiler, result = compiled
+        text = compiler.generate("osi", result).text()
+        # 2 agent exports (one per element) + 1 domain export = 3 ports.
+        assert text.count("port p") == 3
+        assert "peerDomain public;" in text
+        assert "accessMode ReadOnly;" in text
+        assert "minInterOperationTime 300;" in text
+
+    def test_nested_domains_rendered(self):
+        compiler = NmslCompiler()
+        result = compiler.compile(campus_internet())
+        text = compiler.generate("osi", result).text()
+        assert "managementDomain campus {" in text
+        assert "subDomain cs-domain;" in text

@@ -1,0 +1,84 @@
+"""Tests for shipping transports and the ConfigurationGenerator."""
+
+import pytest
+
+from repro.codegen.base import ConfigurationGenerator
+from repro.codegen.transport import (
+    CallbackTransport,
+    FileDropTransport,
+    MailSpoolTransport,
+)
+from repro.errors import CodegenError
+from repro.nmsl.compiler import NmslCompiler
+from repro.workloads.paper import PAPER_SPEC_TEXT
+
+
+@pytest.fixture(scope="module")
+def generator():
+    compiler = NmslCompiler()
+    result = compiler.compile(PAPER_SPEC_TEXT)
+    return ConfigurationGenerator(compiler, result)
+
+
+class TestFileDrop:
+    def test_writes_one_file_per_element(self, generator, tmp_path):
+        records = generator.ship("BartsSnmpd", FileDropTransport(tmp_path))
+        assert len(records) == 2
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["cs.wisc.edu.conf", "romano.cs.wisc.edu.conf"]
+
+    def test_file_contents(self, generator, tmp_path):
+        generator.ship("BartsSnmpd", FileDropTransport(tmp_path))
+        text = (tmp_path / "romano.cs.wisc.edu.conf").read_text()
+        assert "community public" in text
+
+    def test_element_filter(self, generator, tmp_path):
+        records = generator.ship(
+            "BartsSnmpd",
+            FileDropTransport(tmp_path),
+            elements=["romano.cs.wisc.edu"],
+        )
+        assert len(records) == 1
+
+    def test_unsafe_names_sanitised(self, tmp_path):
+        transport = FileDropTransport(tmp_path)
+        record = transport.deliver("../evil", "x")
+        assert "/evil" not in record.destination.replace(str(tmp_path), "")
+
+
+class TestMailSpool:
+    def test_message_format(self, generator, tmp_path):
+        records = generator.ship("BartsSnmpd", MailSpoolTransport(tmp_path))
+        assert all(record.method == "mail" for record in records)
+        message = sorted(tmp_path.iterdir())[0].read_text()
+        assert message.startswith("From: nmsl-compiler@noc\n")
+        assert "Subject: NMSL configuration update for" in message
+
+    def test_recipient_is_element_postmaster(self, generator, tmp_path):
+        records = generator.ship("BartsSnmpd", MailSpoolTransport(tmp_path))
+        assert records[0].destination == "postmaster@cs.wisc.edu"
+
+
+class TestCallback:
+    def test_receiver_called_per_element(self, generator):
+        received = {}
+        transport = CallbackTransport(lambda element, text: received.update({element: text}))
+        generator.ship("BartsSnmpd", transport)
+        assert set(received) == {"romano.cs.wisc.edu", "cs.wisc.edu"}
+
+
+class TestDistributedGeneration:
+    def test_generate_for_element(self, generator):
+        config = generator.generate_for_element("BartsSnmpd", "romano.cs.wisc.edu")
+        assert config.element == "romano.cs.wisc.edu"
+        assert "snmpd.conf for romano" in config.text
+
+    def test_unknown_element_raises(self, generator):
+        with pytest.raises(CodegenError, match="no configuration"):
+            generator.generate_for_element("BartsSnmpd", "ghost.example")
+
+    def test_acl_output_routed_to_domain_members(self, generator):
+        configs = generator.generate("acl-table")
+        elements = {config.element for config in configs}
+        # domain-level rows are delivered to both member systems
+        assert {"romano.cs.wisc.edu", "cs.wisc.edu"} <= elements

@@ -1,0 +1,24 @@
+"""Shared test configuration.
+
+The property-based tests default to a reduced example budget so the full
+suite stays fast on small machines; set ``HYPOTHESIS_PROFILE=thorough`` for
+a deeper run.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "fast",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))

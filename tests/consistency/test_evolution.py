@@ -1,0 +1,144 @@
+"""Tests for specification diffing and incremental re-checking."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.checker import ConsistencyChecker
+from repro.consistency.evolution import (
+    DeltaChecker,
+    diff_specifications,
+)
+from repro.mib.tree import Access
+from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+from repro.nmsl.frequency import FrequencySpec
+from repro.nmsl.specs import ExportSpec
+from repro.workloads.generator import InternetParameters, SyntheticInternet
+from repro.workloads.scenarios import campus_internet
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return NmslCompiler(CompilerOptions(register_codegen=False))
+
+
+class TestDiff:
+    def test_identical_specs_empty_diff(self, compiler):
+        a = compiler.compile(campus_internet()).specification
+        b = compiler.compile(campus_internet()).specification
+        diff = diff_specifications(a, b)
+        assert diff.is_empty()
+        assert diff.render() == "no changes"
+
+    def test_changed_export_detected(self, compiler):
+        a = compiler.compile(campus_internet()).specification
+        b = compiler.compile(campus_internet(include_noc_permission=False)).specification
+        diff = diff_specifications(a, b)
+        assert diff.changed_names("domain") == {"engr-domain"}
+
+    def test_changed_process_detected(self, compiler):
+        a = compiler.compile(campus_internet()).specification
+        b = compiler.compile(campus_internet(noc_frequency_minutes=1.0)).specification
+        diff = diff_specifications(a, b)
+        assert diff.changed_names("process") == {"nocMonitor"}
+
+    def test_added_and_removed(self, compiler):
+        from repro.workloads.scenarios import new_organization
+
+        a = compiler.compile(campus_internet()).specification
+        b = compiler.compile(campus_internet() + new_organization()).specification
+        diff = diff_specifications(a, b)
+        assert "newdept-domain" in diff.changed_names("domain")
+        back = diff_specifications(b, a)
+        assert any(entry.change == "removed" for entry in back.entries)
+
+    def test_render_lists_entries(self, compiler):
+        a = compiler.compile(campus_internet()).specification
+        b = compiler.compile(campus_internet(noc_frequency_minutes=1.0)).specification
+        assert "changed process nocMonitor" in diff_specifications(a, b).render()
+
+
+class TestDeltaChecker:
+    def test_first_check_is_full(self, compiler):
+        checker = DeltaChecker(compiler.tree)
+        spec = compiler.compile(campus_internet()).specification
+        outcome = checker.check(spec)
+        assert outcome.consistent
+        assert checker.last_reused == 0
+
+    def test_unchanged_respec_reuses_everything(self, compiler):
+        checker = DeltaChecker(compiler.tree)
+        checker.check(compiler.compile(campus_internet()).specification)
+        outcome = checker.check(compiler.compile(campus_internet()).specification)
+        assert outcome.consistent
+        assert outcome.stats["rechecked"] == 0
+        assert outcome.stats["reused"] == outcome.stats["references"]
+
+    def test_detects_newly_introduced_problem(self, compiler):
+        checker = DeltaChecker(compiler.tree)
+        checker.check(compiler.compile(campus_internet()).specification)
+        outcome = checker.check(
+            compiler.compile(campus_internet(noc_frequency_minutes=1.0)).specification
+        )
+        assert not outcome.consistent
+        assert outcome.stats["rechecked"] > 0
+
+    def test_detects_fixed_problem(self, compiler):
+        checker = DeltaChecker(compiler.tree)
+        first = checker.check(
+            compiler.compile(
+                campus_internet(include_noc_permission=False)
+            ).specification
+        )
+        assert not first.consistent
+        second = checker.check(compiler.compile(campus_internet()).specification)
+        assert second.consistent
+
+    def test_partial_recheck_on_local_change(self, compiler):
+        """Changing one domain's export leaves other references untouched."""
+        checker = DeltaChecker(compiler.tree)
+        base = SyntheticInternet(
+            InternetParameters(n_domains=6, systems_per_domain=2)
+        )
+        checker.check(base.specification())
+        # Silence one domain: only the pollers targeting it are affected.
+        changed = SyntheticInternet(
+            InternetParameters(n_domains=6, systems_per_domain=2, silent_domains=(3,))
+        )
+        outcome = checker.check(changed.specification())
+        assert not outcome.consistent
+        assert 0 < outcome.stats["rechecked"] < outcome.stats["references"]
+        assert outcome.stats["reused"] > 0
+
+
+class TestDeltaEquivalence:
+    """The delta check must agree with a from-scratch full check."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        before_silent=st.sets(st.integers(0, 3), max_size=1).map(tuple),
+        after_silent=st.sets(st.integers(0, 3), max_size=2).map(tuple),
+        after_fast=st.sets(st.integers(0, 7), max_size=2).map(tuple),
+    )
+    def test_equivalence(self, before_silent, after_silent, after_fast):
+        compiler = NmslCompiler(CompilerOptions(register_codegen=False))
+        before = SyntheticInternet(
+            InternetParameters(
+                n_domains=4, systems_per_domain=2, silent_domains=before_silent
+            )
+        ).specification()
+        after_params = InternetParameters(
+            n_domains=4,
+            systems_per_domain=2,
+            silent_domains=after_silent,
+            fast_pollers=after_fast,
+        )
+        after = SyntheticInternet(after_params).specification()
+
+        delta = DeltaChecker(compiler.tree)
+        delta.check(before)
+        incremental = delta.check(after)
+        full = ConsistencyChecker(after, compiler.tree).check()
+        assert incremental.consistent == full.consistent
+        assert len(incremental.inconsistencies) == len(full.inconsistencies)

@@ -1,0 +1,148 @@
+"""Tests for the specification linter."""
+
+import pytest
+
+from repro.consistency.lint import LintKind, lint_specification
+from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+from repro.workloads.paper import PAPER_SPEC_TEXT
+from repro.workloads.scenarios import campus_internet
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return NmslCompiler(CompilerOptions(register_codegen=False))
+
+
+def lint(compiler, text, strict=True):
+    spec = compiler.compile(text, strict=strict).specification
+    return lint_specification(spec, compiler.tree)
+
+
+BASE = """
+process agent ::=
+    supports mgmt.mib.system, mgmt.mib.ip;
+end process agent.
+system "server.example" ::=
+    cpu sparc;
+    interface ie0 net lan type ethernet-csmacd speed 10000000 bps;
+    opsys SunOS version 4.0.1;
+    supports mgmt.mib.system, mgmt.mib.ip;
+    process agent;
+end system "server.example".
+"""
+
+
+class TestUnusedProcess:
+    def test_flagged(self, compiler):
+        report = lint(
+            compiler,
+            BASE + "process ghost ::= supports mgmt.mib.udp; end process ghost.",
+        )
+        findings = report.by_kind(LintKind.UNUSED_PROCESS)
+        assert [finding.subject for finding in findings] == ["ghost"]
+
+    def test_instantiated_not_flagged(self, compiler):
+        report = lint(compiler, BASE)
+        assert not report.by_kind(LintKind.UNUSED_PROCESS)
+
+
+class TestUnmanagedElement:
+    def test_element_without_agent(self, compiler):
+        text = BASE + """
+system "dumb.example" ::=
+    cpu z80;
+    interface p0 net lan type ethernet-csmacd speed 10000000 bps;
+    opsys firmware version 1;
+    supports mgmt.mib.interfaces;
+end system "dumb.example".
+"""
+        report = lint(compiler, text)
+        findings = report.by_kind(LintKind.UNMANAGED_ELEMENT)
+        assert [finding.subject for finding in findings] == ["dumb.example"]
+
+    def test_proxied_element_is_managed(self, compiler):
+        text = BASE.replace(
+            "    supports mgmt.mib.system, mgmt.mib.ip;\nend process agent.",
+            "    supports mgmt.mib.system, mgmt.mib.ip;\n"
+            "    proxies dumb.example via direct;\nend process agent.",
+        ) + """
+system "dumb.example" ::=
+    cpu z80;
+    interface p0 net lan type ethernet-csmacd speed 10000000 bps;
+    opsys firmware version 1;
+    supports mgmt.mib.ip;
+end system "dumb.example".
+"""
+        report = lint(compiler, text)
+        assert not report.by_kind(LintKind.UNMANAGED_ELEMENT)
+
+
+class TestUnusedPermission:
+    def test_export_without_references(self, compiler):
+        text = BASE.replace(
+            "end process agent.",
+            '    exports mgmt.mib.ip to "nowhere-domain"\n'
+            "        access ReadOnly frequency >= 5 minutes;\n"
+            "end process agent.",
+        )
+        report = lint(compiler, text, strict=False)
+        assert report.by_kind(LintKind.UNUSED_PERMISSION)
+
+    def test_used_export_not_flagged(self, compiler):
+        text = BASE + """
+process watcher(T: Process) ::=
+    queries T requests mgmt.mib.ip frequency >= 10 minutes;
+end process watcher.
+domain servers ::=
+    system server.example;
+    exports mgmt.mib.ip to clients access ReadOnly frequency >= 5 minutes;
+end domain servers.
+domain clients ::= process watcher(server.example); end domain clients.
+"""
+        report = lint(compiler, text)
+        unused = report.by_kind(LintKind.UNUSED_PERMISSION)
+        assert not any("servers" in finding.subject for finding in unused)
+
+
+class TestOverbroadGrant:
+    def test_readwrite_to_public(self, compiler):
+        text = BASE.replace(
+            "end process agent.",
+            '    exports mgmt.mib.ip to "public"\n'
+            "        access ReadWrite frequency >= 5 minutes;\n"
+            "end process agent.",
+        )
+        report = lint(compiler, text)
+        assert report.by_kind(LintKind.OVERBROAD_GRANT)
+
+    def test_readonly_to_public_fine(self, compiler):
+        text = BASE.replace(
+            "end process agent.",
+            '    exports mgmt.mib.ip to "public"\n'
+            "        access ReadOnly frequency >= 5 minutes;\n"
+            "end process agent.",
+        )
+        report = lint(compiler, text)
+        assert not report.by_kind(LintKind.OVERBROAD_GRANT)
+
+
+class TestScenarios:
+    def test_campus_is_clean_except_snmpaddr_style_gaps(self, compiler):
+        report = lint(compiler, campus_internet())
+        # The campus has no unused processes or unmanaged elements.
+        assert not report.by_kind(LintKind.UNUSED_PROCESS)
+        assert not report.by_kind(LintKind.UNMANAGED_ELEMENT)
+        assert not report.by_kind(LintKind.OVERBROAD_GRANT)
+
+    def test_report_rendering(self, compiler):
+        report = lint(
+            compiler,
+            BASE + "process ghost ::= supports mgmt.mib.udp; end process ghost.",
+        )
+        assert "[unused-process] ghost" in report.render()
+        assert len(report) >= 1
+
+    def test_clean_report_rendering(self, compiler):
+        report = lint(compiler, campus_internet())
+        text = report.render()
+        assert isinstance(text, str)

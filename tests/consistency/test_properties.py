@@ -1,0 +1,129 @@
+"""Property-based tests on consistency-model invariants.
+
+The laws the paper's model implies:
+
+* **permission monotonicity** — adding permissions never introduces an
+  inconsistency; removing permissions never removes one;
+* **frequency monotonicity** — a client slowing down never makes a
+  consistent specification inconsistent;
+* **umbrella neutrality** — wrapping domains in grant-nothing ancestors
+  changes no verdict;
+* **verdict determinism** — checking twice gives identical reports.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.checker import ConsistencyChecker
+from repro.mib.tree import Access
+from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+from repro.nmsl.frequency import FrequencySpec
+from repro.nmsl.specs import ExportSpec
+from repro.workloads.generator import InternetParameters, SyntheticInternet
+
+_COMPILER = NmslCompiler(CompilerOptions(register_codegen=False))
+
+parameter_sets = st.builds(
+    InternetParameters,
+    n_domains=st.integers(2, 4),
+    systems_per_domain=st.integers(1, 3),
+    applications_per_domain=st.integers(1, 2),
+    silent_domains=st.sets(st.integers(0, 3), max_size=2).map(tuple),
+    fast_pollers=st.sets(st.integers(0, 7), max_size=2).map(tuple),
+    egp_pollers=st.sets(st.integers(0, 7), max_size=1).map(tuple),
+)
+
+
+def check(specification):
+    return ConsistencyChecker(specification, _COMPILER.tree).check()
+
+
+def add_public_export_everywhere(specification):
+    """Grant everything to everyone: the maximal permission set."""
+    grant = ExportSpec(
+        variables=("mgmt.mib",),
+        to_domain="public",
+        access=Access.ANY,
+        frequency=FrequencySpec.unconstrained(),
+    )
+    for name, domain in list(specification.domains.items()):
+        specification.domains[name] = dataclasses.replace(
+            domain, exports=domain.exports + (grant,)
+        )
+    return specification
+
+
+def drop_all_exports(specification):
+    for name, domain in list(specification.domains.items()):
+        specification.domains[name] = dataclasses.replace(domain, exports=())
+    for name, process in list(specification.processes.items()):
+        specification.processes[name] = dataclasses.replace(process, exports=())
+    return specification
+
+
+class TestMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(parameter_sets)
+    def test_adding_permissions_never_hurts(self, parameters):
+        internet = SyntheticInternet(parameters)
+        before = check(internet.specification())
+        widened = add_public_export_everywhere(internet.specification())
+        after = check(widened)
+        # Every problem that remains must be a support problem, not a
+        # permission problem — and the count cannot grow.
+        assert len(after.inconsistencies) <= len(before.inconsistencies)
+        for problem in after.inconsistencies:
+            assert "support" in problem.kind.value or problem.kind.value in (
+                "no-server",
+            ), problem.kind
+
+    @settings(max_examples=20, deadline=None)
+    @given(parameter_sets)
+    def test_removing_permissions_never_helps(self, parameters):
+        internet = SyntheticInternet(parameters)
+        before = check(internet.specification())
+        stripped = drop_all_exports(internet.specification())
+        after = check(stripped)
+        assert len(after.inconsistencies) >= len(before.inconsistencies)
+
+    @settings(max_examples=15, deadline=None)
+    @given(parameter_sets, st.floats(min_value=1.0, max_value=10.0))
+    def test_slower_clients_never_hurt(self, parameters, factor):
+        internet = SyntheticInternet(parameters)
+        before = check(internet.specification())
+        slowed = dataclasses.replace(
+            parameters, query_period_s=parameters.query_period_s * factor
+        )
+        after = check(SyntheticInternet(slowed).specification())
+        assert len(after.inconsistencies) <= len(before.inconsistencies)
+
+
+class TestNeutrality:
+    @settings(max_examples=15, deadline=None)
+    @given(parameter_sets, st.integers(2, 3))
+    def test_umbrellas_change_nothing(self, parameters, fanout):
+        flat = SyntheticInternet(parameters).specification()
+        nested = SyntheticInternet(
+            dataclasses.replace(parameters, umbrella_fanout=fanout)
+        ).specification()
+        flat_outcome = check(flat)
+        nested_outcome = check(nested)
+        assert flat_outcome.consistent == nested_outcome.consistent
+        assert len(flat_outcome.inconsistencies) == len(
+            nested_outcome.inconsistencies
+        )
+
+
+class TestDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(parameter_sets)
+    def test_check_is_deterministic(self, parameters):
+        specification = SyntheticInternet(parameters).specification()
+        first = check(specification)
+        second = check(specification)
+        assert first.consistent == second.consistent
+        assert [p.message for p in first.inconsistencies] == [
+            p.message for p in second.inconsistencies
+        ]

@@ -1,0 +1,109 @@
+"""Tests for the speculative (what-if / reverse) modes of Section 4.2."""
+
+import pytest
+
+from repro.consistency.checker import ConsistencyChecker
+from repro.consistency.speculative import SpeculativeChecker, solve_for_frequency
+from repro.errors import ConsistencyError
+from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+from repro.workloads.scenarios import campus_internet, new_organization
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return NmslCompiler(CompilerOptions(register_codegen=False))
+
+
+@pytest.fixture(scope="module")
+def campus(compiler):
+    return compiler.compile(campus_internet()).specification
+
+
+class TestWhatIf:
+    def test_compatible_addition(self, compiler, campus):
+        candidate = compiler.compile(
+            new_organization(query_minutes=15), strict=False
+        ).specification
+        outcome = SpeculativeChecker(campus, compiler.tree).check_addition(candidate)
+        assert outcome.consistent
+        assert outcome.stats["new_problems"] == 0
+
+    def test_incompatible_addition(self, compiler, campus):
+        candidate = compiler.compile(
+            new_organization(query_minutes=1), strict=False
+        ).specification
+        outcome = SpeculativeChecker(campus, compiler.tree).check_addition(candidate)
+        assert not outcome.consistent
+        assert all(
+            "deptPoller" in (problem.reference.origin if problem.reference else "")
+            for problem in outcome.inconsistencies
+        )
+
+    def test_existing_problems_not_reattributed(self, compiler):
+        broken = compiler.compile(
+            campus_internet(include_noc_permission=False)
+        ).specification
+        candidate = compiler.compile(
+            new_organization(query_minutes=15), strict=False
+        ).specification
+        checker = SpeculativeChecker(broken, compiler.tree)
+        outcome = checker.check_addition(candidate)
+        # The pre-existing NOC problems are not blamed on the new org.
+        assert outcome.consistent
+        assert outcome.stats["existing_problems"] > 0
+
+    def test_estimated_load(self, compiler, campus):
+        candidate = compiler.compile(
+            new_organization(query_minutes=15), strict=False
+        ).specification
+        load = SpeculativeChecker(campus, compiler.tree).estimated_new_load(candidate)
+        # One poller at 1/900s times 8192 bits ~ 9.1 bps.
+        assert 1.0 < load < 100.0
+
+
+class TestReverseMode:
+    TEXT = """
+process agent ::= supports mgmt.mib.ip; end process agent.
+system "server.example" ::=
+    cpu sparc;
+    interface ie0 net n type ethernet-csmacd speed 10000000 bps;
+    opsys SunOS version 4.0.1;
+    supports mgmt.mib.ip;
+    process agent;
+end system "server.example".
+process watcher(T: Process) ::=
+    queries T requests mgmt.mib.ip frequency >= 10 minutes;
+end process watcher.
+domain servers ::=
+    system server.example;
+    exports mgmt.mib.ip to clients access ReadOnly frequency >= 5 minutes;
+end domain servers.
+domain clients ::= process watcher(server.example); end domain clients.
+"""
+
+    def test_solves_for_period_bound(self, compiler):
+        specification = compiler.compile(self.TEXT).specification
+        bounds = solve_for_frequency(
+            specification, compiler.tree, "watcher", "agent"
+        )
+        assert any(
+            bound.op == ">=" and bound.seconds == pytest.approx(300.0)
+            for bound in bounds
+        )
+
+    def test_missing_instances_raise(self, compiler):
+        specification = compiler.compile(self.TEXT).specification
+        with pytest.raises(ConsistencyError, match="instance"):
+            solve_for_frequency(specification, compiler.tree, "ghost", "agent")
+
+    def test_client_without_queries_raises(self, compiler):
+        specification = compiler.compile(self.TEXT).specification
+        with pytest.raises(ConsistencyError, match="no queries"):
+            solve_for_frequency(specification, compiler.tree, "agent", "agent")
+
+    def test_bound_description(self, compiler):
+        specification = compiler.compile(self.TEXT).specification
+        bounds = solve_for_frequency(
+            specification, compiler.tree, "watcher", "agent"
+        )
+        assert any("period >=" in bound.describe() for bound in bounds)

@@ -1,0 +1,123 @@
+"""Tests for the per-agent instance store."""
+
+import pytest
+
+from repro.asn1.types import Asn1Module
+from repro.errors import MibError
+from repro.mib.instances import InstanceStore
+from repro.mib.mib1 import build_mib1
+from repro.mib.oid import Oid
+from repro.mib.view import MibView
+
+SYS_DESCR = "1.3.6.1.2.1.1.1.0"
+SYS_UPTIME = "1.3.6.1.2.1.1.3.0"
+IF_ADMIN = "1.3.6.1.2.1.2.2.1.7.1"  # ifAdminStatus.1 (read-write)
+IP_AD_ENT_ADDR = "1.3.6.1.2.1.4.20.1.1"  # column OID; rows add IP index
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_mib1()
+
+
+@pytest.fixture
+def store(tree):
+    return InstanceStore(tree, module=Asn1Module())
+
+
+class TestBindGet:
+    def test_bind_and_get(self, store):
+        store.bind(SYS_DESCR, b"SunOS 4.0.1")
+        assert store.get(SYS_DESCR) == b"SunOS 4.0.1"
+
+    def test_get_unbound_raises(self, store):
+        with pytest.raises(MibError, match="no such instance"):
+            store.get(SYS_DESCR)
+
+    def test_validation_rejects_wrong_type(self, store):
+        with pytest.raises(Exception):
+            store.bind(SYS_UPTIME, b"not a number")
+
+    def test_table_row_instances(self, store):
+        row = Oid(IP_AD_ENT_ADDR) + "128.105.1.1"
+        store.bind(row, b"\x80\x69\x01\x01")
+        assert store.get(row) == b"\x80\x69\x01\x01"
+
+    def test_object_for_instance(self, store):
+        assert store.object_for_instance(SYS_DESCR).name == "sysDescr"
+
+    def test_instance_without_object_raises(self, store):
+        with pytest.raises(MibError, match="no leaf object"):
+            store.object_for_instance("9.9.9.0")
+
+    def test_unbind(self, store):
+        store.bind(SYS_DESCR, b"x")
+        store.unbind(SYS_DESCR)
+        assert not store.contains(SYS_DESCR)
+
+    def test_unbind_missing_raises(self, store):
+        with pytest.raises(MibError):
+            store.unbind(SYS_DESCR)
+
+
+class TestViewEnforcement:
+    def test_binding_outside_view_rejected(self, tree):
+        view = MibView(tree, ("mgmt.mib.system",))
+        store = InstanceStore(tree, view=view)
+        store.bind(SYS_DESCR, b"ok")
+        with pytest.raises(MibError, match="outside the supported view"):
+            store.bind("1.3.6.1.2.1.7.1.0", 1)  # udpInDatagrams
+
+
+class TestSetSemantics:
+    def test_set_writable_object(self, store):
+        store.bind(IF_ADMIN, 1)
+        store.set(IF_ADMIN, 2)
+        assert store.get(IF_ADMIN) == 2
+
+    def test_set_readonly_object_rejected(self, store):
+        with pytest.raises(MibError, match="not writable"):
+            store.set(SYS_DESCR, b"nope")
+
+
+class TestGetNext:
+    def test_get_next_walks_in_order(self, store):
+        store.bind(SYS_DESCR, b"a")
+        store.bind(SYS_UPTIME, 10)
+        found, value = store.get_next("1.3.6.1.2.1.1")
+        assert found == Oid(SYS_DESCR)
+        assert value == b"a"
+        found2, _ = store.get_next(found)
+        assert found2 == Oid(SYS_UPTIME)
+
+    def test_get_next_past_end(self, store):
+        store.bind(SYS_DESCR, b"a")
+        assert store.get_next("9.9") is None
+
+    def test_get_next_skips_equal(self, store):
+        store.bind(SYS_DESCR, b"a")
+        assert store.get_next(SYS_DESCR) is None
+
+    def test_walk_prefix(self, store):
+        store.bind(SYS_DESCR, b"a")
+        store.bind(SYS_UPTIME, 5)
+        store.bind("1.3.6.1.2.1.7.1.0", 9)
+        system_only = list(store.walk("1.3.6.1.2.1.1"))
+        assert len(system_only) == 2
+
+
+class TestPopulateDefaults:
+    def test_populates_scalars_not_columns(self, tree):
+        store = InstanceStore(tree, view=MibView(tree, ("mgmt.mib.system", "mgmt.mib.ip")))
+        created = store.populate_defaults()
+        assert created > 0
+        assert store.contains("1.3.6.1.2.1.1.1.0")  # sysDescr.0
+        # ipAdEntAddr is a table column: no .0 instance.
+        assert not store.contains("1.3.6.1.2.1.4.20.1.1.0")
+
+    def test_populate_is_idempotent(self, tree):
+        store = InstanceStore(tree, view=MibView(tree, ("mgmt.mib.udp",)))
+        first = store.populate_defaults()
+        second = store.populate_defaults()
+        assert first == 4
+        assert second == 0

@@ -1,0 +1,87 @@
+"""Tests for the RFC 1066 MIB-I definition."""
+
+import pytest
+
+from repro.asn1.nodes import SequenceOfType, SequenceType
+from repro.asn1.types import Asn1Module
+from repro.mib.mib1 import GROUP_NAMES, build_mib1
+from repro.mib.oid import Oid
+from repro.mib.tree import Access
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_mib1()
+
+
+class TestStructure:
+    def test_all_groups_present(self, tree):
+        for group in GROUP_NAMES:
+            assert tree.knows(f"mgmt.mib.{group}")
+
+    def test_group_oids(self, tree):
+        assert tree.resolve("mgmt.mib.system").oid == Oid("1.3.6.1.2.1.1")
+        assert tree.resolve("mgmt.mib.egp").oid == Oid("1.3.6.1.2.1.8")
+
+    def test_system_variables(self, tree):
+        node = tree.resolve("mgmt.mib.system.sysUpTime")
+        assert node.oid == Oid("1.3.6.1.2.1.1.3")
+        assert node.access is Access.READ_ONLY
+
+    def test_paper_figure_42_path_resolves(self, tree):
+        node = tree.resolve("mgmt.mib.ip.ipAddrTable.IpAddrEntry.ipAdEntAddr")
+        assert node.oid == Oid("1.3.6.1.2.1.4.20.1.1")
+
+    def test_entry_alias_and_rfc_name_agree(self, tree):
+        via_alias = tree.resolve("mgmt.mib.ip.ipAddrTable.IpAddrEntry")
+        via_name = tree.resolve("mgmt.mib.ip.ipAddrTable.ipAddrEntry")
+        assert via_alias is via_name
+
+    def test_table_syntax_is_sequence_of_entry(self, tree):
+        table = tree.resolve("mgmt.mib.ip.ipAddrTable")
+        assert isinstance(table.syntax, SequenceOfType)
+        assert isinstance(table.syntax.element, SequenceType)
+        assert "ipAdEntAddr" in table.syntax.element.field_names()
+
+    def test_if_admin_status_writable(self, tree):
+        assert tree.resolve("mgmt.mib.interfaces.ifTable.ifEntry.ifAdminStatus").access is Access.READ_WRITE
+
+    def test_icmp_counter_count(self, tree):
+        leaves = list(tree.leaves(tree.resolve("mgmt.mib.icmp").oid))
+        assert len(leaves) == 26
+
+    def test_udp_group(self, tree):
+        assert tree.resolve("mgmt.mib.udp.udpInDatagrams").oid == Oid("1.3.6.1.2.1.7.1")
+
+    def test_route_table_writable_columns(self, tree):
+        node = tree.resolve("mgmt.mib.ip.ipRoutingTable.IpRouteEntry.ipRouteNextHop")
+        assert node.access is Access.READ_WRITE
+
+    def test_leaf_count_matches_mib1_scale(self, tree):
+        total = sum(1 for _ in tree.leaves(Oid("1.3.6.1.2.1")))
+        # MIB-I defines roughly one hundred objects.
+        assert 90 <= total <= 130
+
+    def test_root_aliases(self, tree):
+        assert tree.resolve("internet.mgmt.mib.system").name == "system"
+        assert tree.resolve("iso.org.dod.internet").name == "internet"
+
+
+class TestModuleIntegration:
+    def test_entry_types_defined_in_module(self):
+        module = Asn1Module()
+        build_mib1(module)
+        for name in ("IpAddrEntry", "IfEntry", "AtEntry", "IpRouteEntry",
+                     "TcpConnEntry", "EgpNeighEntry"):
+            assert name in module
+
+    def test_entry_type_fields(self):
+        module = Asn1Module()
+        build_mib1(module)
+        entry = module.lookup("IpAddrEntry")
+        assert entry.field_names() == (
+            "ipAdEntAddr",
+            "ipAdEntIfIndex",
+            "ipAdEntNetMask",
+            "ipAdEntBcastAddr",
+        )

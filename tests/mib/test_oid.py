@@ -1,0 +1,108 @@
+"""Tests for Oid, including property-based ordering/prefix laws."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import OidError
+from repro.mib.oid import INTERNET, MGMT, MIB, Oid
+
+oids = st.lists(st.integers(0, 1000), max_size=10).map(Oid)
+
+
+class TestConstruction:
+    def test_from_string(self):
+        assert Oid("1.3.6.1").components == (1, 3, 6, 1)
+
+    def test_from_iterable(self):
+        assert Oid([1, 3, 6]).components == (1, 3, 6)
+
+    def test_from_oid_is_identity(self):
+        original = Oid("1.2.3")
+        assert Oid(original) == original
+
+    def test_leading_trailing_dots_tolerated(self):
+        assert Oid(".1.3.6.") == Oid("1.3.6")
+
+    def test_empty(self):
+        assert len(Oid()) == 0
+        assert str(Oid("")) == ""
+
+    def test_malformed_string(self):
+        with pytest.raises(OidError):
+            Oid("1.x.3")
+
+    def test_negative_component(self):
+        with pytest.raises(OidError):
+            Oid([1, -2])
+
+
+class TestStructure:
+    def test_child(self):
+        assert MGMT.child(1) == MIB
+
+    def test_parent(self):
+        assert MIB.parent == MGMT
+
+    def test_parent_of_empty_raises(self):
+        with pytest.raises(OidError):
+            _ = Oid().parent
+
+    def test_add_oid(self):
+        assert MGMT + Oid("1.4") == Oid("1.3.6.1.2.1.4")
+
+    def test_add_string(self):
+        assert MGMT + "1" == MIB
+
+    def test_starts_with(self):
+        assert MIB.starts_with(INTERNET)
+        assert MIB.starts_with(MIB)
+        assert not INTERNET.starts_with(MIB)
+
+    def test_strip_prefix(self):
+        assert MIB.strip_prefix(MGMT) == Oid("1")
+
+    def test_strip_non_prefix_raises(self):
+        with pytest.raises(OidError):
+            INTERNET.strip_prefix(MIB)
+
+    def test_indexing(self):
+        assert MIB[0] == 1
+        assert MIB[1:3] == Oid("3.6")
+
+
+class TestValueSemantics:
+    def test_equality_with_tuple(self):
+        assert Oid("1.2") == (1, 2)
+
+    def test_hashable(self):
+        assert len({Oid("1.2"), Oid("1.2"), Oid("1.3")}) == 2
+
+    def test_ordering_is_lexicographic(self):
+        assert Oid("1.2") < Oid("1.2.0")
+        assert Oid("1.2.9") < Oid("1.10")
+
+    def test_str_and_repr(self):
+        assert str(Oid("1.3.6")) == "1.3.6"
+        assert "1.3.6" in repr(Oid("1.3.6"))
+
+
+class TestProperties:
+    @given(oids, oids)
+    def test_concat_then_startswith(self, a, b):
+        assert (a + b).starts_with(a)
+
+    @given(oids, oids)
+    def test_strip_inverts_concat(self, a, b):
+        assert (a + b).strip_prefix(a) == b
+
+    @given(oids)
+    def test_string_roundtrip(self, oid):
+        assert Oid(str(oid)) == oid
+
+    @given(oids, oids)
+    def test_ordering_matches_tuples(self, a, b):
+        assert (a < b) == (a.components < b.components)
+
+    @given(oids, st.integers(0, 100))
+    def test_child_parent_inverse(self, oid, component):
+        assert oid.child(component).parent == oid

@@ -1,0 +1,112 @@
+"""Tests for MIB views."""
+
+import pytest
+
+from repro.errors import MibError
+from repro.mib.mib1 import build_mib1
+from repro.mib.view import MibView
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_mib1()
+
+
+class TestConstruction:
+    def test_full_view(self, tree):
+        view = MibView.full(tree)
+        assert view.covers_path("mgmt.mib.system.sysDescr")
+        assert view.covers_path("mgmt.mib.egp")
+
+    def test_empty_view(self, tree):
+        view = MibView.empty(tree)
+        assert view.is_empty()
+        assert not view
+        assert not view.covers_path("mgmt.mib.system")
+
+    def test_unknown_path_raises(self, tree):
+        with pytest.raises(MibError):
+            MibView(tree, ("mgmt.mib.nosuch",))
+
+    def test_nested_subtree_normalised_away(self, tree):
+        view = MibView(tree, ("mgmt.mib.ip", "mgmt.mib.ip.ipAddrTable"))
+        assert len(view.root_oids()) == 1
+
+    def test_duplicates_removed(self, tree):
+        view = MibView(tree, ("mgmt.mib.udp", "mgmt.mib.udp"))
+        assert len(view.root_oids()) == 1
+
+
+class TestCoverage:
+    def test_group_view_covers_variable(self, tree):
+        view = MibView(tree, ("mgmt.mib.ip",))
+        assert view.covers_path("mgmt.mib.ip.ipAddrTable.IpAddrEntry.ipAdEntAddr")
+        assert not view.covers_path("mgmt.mib.tcp.tcpInSegs")
+
+    def test_covers_view_subset(self, tree):
+        big = MibView(tree, ("mgmt.mib",))
+        small = MibView(tree, ("mgmt.mib.ip", "mgmt.mib.udp"))
+        assert big.covers_view(small)
+        assert not small.covers_view(big)
+
+    def test_paper_figure_46_view_excludes_egp(self, tree):
+        romano = MibView(
+            tree,
+            (
+                "mgmt.mib.system",
+                "mgmt.mib.at",
+                "mgmt.mib.interfaces",
+                "mgmt.mib.ip",
+                "mgmt.mib.icmp",
+                "mgmt.mib.tcp",
+                "mgmt.mib.udp",
+            ),
+        )
+        assert romano.covers_path("mgmt.mib.tcp.tcpInSegs")
+        assert not romano.covers_path("mgmt.mib.egp.egpInMsgs")
+
+    def test_node_for(self, tree):
+        view = MibView(tree, ("mgmt.mib.udp",))
+        assert view.node_for("mgmt.mib.udp.udpInErrors").name == "udpInErrors"
+        assert view.node_for("mgmt.mib.tcp.tcpInSegs") is None
+        assert view.node_for("bogus.path") is None
+
+
+class TestAlgebra:
+    def test_union(self, tree):
+        view = MibView(tree, ("mgmt.mib.udp",)).union(MibView(tree, ("mgmt.mib.tcp",)))
+        assert view.covers_path("mgmt.mib.udp.udpNoPorts")
+        assert view.covers_path("mgmt.mib.tcp.tcpMaxConn")
+
+    def test_intersection_nested(self, tree):
+        ip = MibView(tree, ("mgmt.mib.ip",))
+        table = MibView(tree, ("mgmt.mib.ip.ipAddrTable",))
+        both = ip.intersection(table)
+        assert both.covers_path("mgmt.mib.ip.ipAddrTable.IpAddrEntry.ipAdEntAddr")
+        assert not both.covers_path("mgmt.mib.ip.ipForwarding")
+
+    def test_intersection_disjoint_is_empty(self, tree):
+        udp = MibView(tree, ("mgmt.mib.udp",))
+        tcp = MibView(tree, ("mgmt.mib.tcp",))
+        assert udp.intersection(tcp).is_empty()
+
+    def test_equality_and_hash(self, tree):
+        a = MibView(tree, ("mgmt.mib.udp", "mgmt.mib.tcp"))
+        b = MibView(tree, ("mgmt.mib.tcp", "mgmt.mib.udp"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestEnumeration:
+    def test_leaves_unique_and_ordered(self, tree):
+        view = MibView(tree, ("mgmt.mib.udp", "mgmt.mib.udp.udpInErrors"))
+        leaves = list(view.leaves())
+        assert [leaf.name for leaf in leaves] == [
+            "udpInDatagrams",
+            "udpNoPorts",
+            "udpInErrors",
+            "udpOutDatagrams",
+        ]
+
+    def test_variable_count(self, tree):
+        assert MibView(tree, ("mgmt.mib.udp",)).variable_count() == 4

@@ -1,0 +1,110 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5, lambda: fired.append("b"))
+        sim.schedule(1, lambda: fired.append("a"))
+        sim.schedule(9, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_keep_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule(1, lambda tag=tag: fired.append(tag))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3]
+
+    def test_callbacks_may_reschedule(self):
+        sim = Simulator()
+        count = [0]
+
+        def again():
+            count[0] += 1
+            if count[0] < 3:
+                sim.schedule(1, again)
+
+        sim.schedule(1, again)
+        sim.run()
+        assert count[0] == 3
+        assert sim.now == 3
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1, lambda: None)
+
+
+class TestRunUntil:
+    def test_horizon_respected(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, lambda: fired.append(1))
+        sim.schedule(10, lambda: fired.append(10))
+        processed = sim.run_until(5)
+        assert processed == 1
+        assert fired == [1]
+        assert sim.now == 5
+        assert sim.pending() == 1
+
+    def test_resume_after_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.run_until(5)
+        sim.run_until(20)
+        assert fired == [10]
+
+
+class TestPeriodic:
+    def test_schedule_every(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_every(10, lambda: times.append(sim.now), until=35)
+        sim.run_until(100)
+        assert times == [10, 20, 30]
+
+    def test_custom_start(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_every(10, lambda: times.append(sim.now), start=5, until=30)
+        sim.run_until(100)
+        assert times == [5, 15, 25]
+
+    def test_bad_period(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_every(0, lambda: None)
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1, forever)
+
+        sim.schedule(1, forever)
+        with pytest.raises(SimulationError, match="exceeded"):
+            sim.run(max_events=100)

@@ -1,0 +1,129 @@
+"""Tests for the frequency interval algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NmslSemanticError
+from repro.nmsl.frequency import (
+    FrequencySpec,
+    INFREQUENT_PERIOD_SECONDS,
+)
+
+
+class TestConstruction:
+    def test_from_clause_ge_minutes(self):
+        spec = FrequencySpec.from_clause(">=", 5, "minutes")
+        assert spec.min_period == 300
+        assert spec.max_period is None
+
+    def test_from_clause_le(self):
+        spec = FrequencySpec.from_clause("<=", 2, "hours")
+        assert spec.min_period == 0
+        assert spec.max_period == 7200
+
+    def test_from_clause_eq(self):
+        spec = FrequencySpec.from_clause("=", 30, "seconds")
+        assert spec.as_tuple() == (30, 30)
+
+    def test_from_clause_bare_value_reads_as_equal(self):
+        spec = FrequencySpec.from_clause("", 10, "seconds")
+        assert spec.as_tuple() == (10, 10)
+
+    def test_strict_ops(self):
+        assert FrequencySpec.from_clause(">", 1, "minutes").min_period == 60
+        assert FrequencySpec.from_clause("<", 1, "minutes").max_period == 60
+
+    def test_infrequent(self):
+        spec = FrequencySpec.infrequent()
+        assert spec.min_period == INFREQUENT_PERIOD_SECONDS
+
+    def test_unknown_unit(self):
+        with pytest.raises(NmslSemanticError):
+            FrequencySpec.from_clause(">=", 5, "fortnights")
+
+    def test_nonpositive_value(self):
+        with pytest.raises(NmslSemanticError):
+            FrequencySpec.from_clause(">=", 0, "minutes")
+
+    def test_unconstrained(self):
+        assert FrequencySpec.unconstrained().is_unconstrained()
+
+
+class TestCoverage:
+    def test_infrequent_covered_by_5min_export(self):
+        """The paper's own pairing: infrequent client, >=5min export."""
+        reference = FrequencySpec.infrequent()
+        permission = FrequencySpec.from_clause(">=", 5, "minutes")
+        assert reference.covered_by(permission)
+
+    def test_fast_reference_not_covered(self):
+        reference = FrequencySpec.from_clause("=", 30, "seconds")
+        permission = FrequencySpec.from_clause(">=", 5, "minutes")
+        assert not reference.covered_by(permission)
+
+    def test_equal_bounds_covered(self):
+        reference = FrequencySpec.from_clause(">=", 5, "minutes")
+        permission = FrequencySpec.from_clause(">=", 5, "minutes")
+        assert reference.covered_by(permission)
+
+    def test_unbounded_reference_not_covered_by_bounded_permission(self):
+        reference = FrequencySpec.from_clause(">=", 10, "minutes")
+        permission = FrequencySpec.from_clause("=", 10, "minutes")
+        assert not reference.covered_by(permission)
+
+    def test_anything_covered_by_unconstrained(self):
+        assert FrequencySpec.from_clause("=", 1, "seconds").covered_by(
+            FrequencySpec.unconstrained()
+        )
+
+
+class TestAlgebra:
+    def test_intersect_overlapping(self):
+        a = FrequencySpec.at_most_every(300)
+        b = FrequencySpec.at_least_every(900)
+        both = a.intersect(b)
+        assert both is not None
+        assert both.as_tuple() == (300, 900)
+
+    def test_intersect_empty(self):
+        a = FrequencySpec.at_most_every(900)  # period >= 900
+        b = FrequencySpec.at_least_every(300)  # period <= 300
+        assert a.intersect(b) is None
+
+    def test_max_rate(self):
+        assert FrequencySpec.at_most_every(300).max_rate_per_second() == pytest.approx(
+            1 / 300
+        )
+        assert FrequencySpec.unconstrained().max_rate_per_second() == math.inf
+
+    def test_describe_forms(self):
+        assert "5" in FrequencySpec.from_clause(">=", 5, "minutes").describe()
+        assert "unconstrained" in FrequencySpec.unconstrained().describe()
+        assert "infrequent" in FrequencySpec.infrequent().describe()
+
+
+class TestProperties:
+    periods = st.floats(min_value=1, max_value=10_000)
+
+    @given(periods, periods)
+    def test_coverage_matches_interval_containment(self, ref_min, perm_min):
+        reference = FrequencySpec.at_most_every(ref_min)
+        permission = FrequencySpec.at_most_every(perm_min)
+        assert reference.covered_by(permission) == (ref_min >= perm_min)
+
+    @given(periods, periods)
+    def test_intersection_is_commutative(self, a_min, b_min):
+        a = FrequencySpec.at_most_every(a_min)
+        b = FrequencySpec.at_most_every(b_min)
+        left = a.intersect(b)
+        right = b.intersect(a)
+        assert (left is None) == (right is None)
+        if left is not None:
+            assert left.as_tuple() == right.as_tuple()
+
+    @given(periods)
+    def test_self_coverage(self, period):
+        spec = FrequencySpec.at_most_every(period)
+        assert spec.covered_by(spec)

@@ -1,0 +1,136 @@
+"""Tests for the pass-1 generalized parser (paper Figure 6.1)."""
+
+import pytest
+
+from repro.errors import NmslSyntaxError
+from repro.nmsl.generic import parse_generic
+from repro.workloads.paper import (
+    FIG_42_TYPE_SPECS,
+    FIG_44_PROCESS_SPECS,
+    FIG_46_SYSTEM_SPEC,
+    FIG_48_DOMAIN_SPEC,
+    PAPER_SPEC_TEXT,
+)
+
+
+class TestBasicShape:
+    def test_single_declaration(self):
+        (decl,) = parse_generic("process p ::= supports mgmt.mib; end process p.")
+        assert decl.decltype == "process"
+        assert decl.name == "p"
+        assert len(decl.clauses) == 1
+
+    def test_multiple_declarations(self):
+        decls = parse_generic(
+            "process a ::= supports x; end process a. "
+            "domain b ::= system s; end domain b."
+        )
+        assert [d.decltype for d in decls] == ["process", "domain"]
+
+    def test_quoted_name(self):
+        (decl,) = parse_generic(
+            'system "host.example.com" ::= cpu sparc; end system "host.example.com".'
+        )
+        assert decl.name == "host.example.com"
+
+    def test_params_parsed(self):
+        (decl,) = parse_generic(
+            "process p(A: Process; B: IpAddress) ::= "
+            "queries A requests x frequency infrequent; end process p."
+        )
+        assert len(decl.params) == 2
+        assert [t.text for t in decl.params[0]] == ["A", ":", "Process"]
+
+    def test_empty_params(self):
+        (decl,) = parse_generic(
+            "process p() ::= supports mgmt.mib; end process p."
+        )
+        assert decl.params == []
+
+    def test_clause_raw_text_preserved(self):
+        text = "type T ::= SEQUENCE of Foo; end type T."
+        (decl,) = parse_generic(text)
+        assert decl.clauses[0].raw_text == "SEQUENCE of Foo"
+
+    def test_nested_parens_inside_clause(self):
+        (decl,) = parse_generic(
+            "type T ::= SEQUENCE ( a INTEGER, b SEQUENCE ( c INTEGER ) ); end type T."
+        )
+        assert len(decl.clauses) == 1
+
+    def test_clauses_starting_helper(self):
+        (decl,) = parse_generic(
+            "system s ::= cpu sparc; process a; process b; end system s."
+        )
+        assert len(decl.clauses_starting("process")) == 2
+
+
+class TestErrors:
+    def test_mismatched_end_type(self):
+        with pytest.raises(NmslSyntaxError, match="does not match"):
+            parse_generic("process p ::= supports x; end domain p.")
+
+    def test_mismatched_end_name(self):
+        with pytest.raises(NmslSyntaxError, match="does not match"):
+            parse_generic("process p ::= supports x; end process q.")
+
+    def test_missing_final_period(self):
+        with pytest.raises(NmslSyntaxError):
+            parse_generic("process p ::= supports x; end process p")
+
+    def test_missing_assignment(self):
+        with pytest.raises(NmslSyntaxError, match="::="):
+            parse_generic("process p supports x; end process p.")
+
+    def test_unterminated_clause(self):
+        with pytest.raises(NmslSyntaxError):
+            parse_generic("process p ::= supports x end")
+
+    def test_missing_end(self):
+        with pytest.raises(NmslSyntaxError, match="terminated"):
+            parse_generic("process p ::= supports x;")
+
+    def test_unbalanced_paren_in_clause(self):
+        with pytest.raises(NmslSyntaxError, match="unbalanced"):
+            parse_generic("process p ::= supports x); end process p.")
+
+    def test_empty_clause(self):
+        with pytest.raises(NmslSyntaxError, match="empty clause"):
+            parse_generic("process p ::= ; end process p.")
+
+    def test_generalized_grammar_accepts_unknown_decltypes(self):
+        """Pass 1 accepts any decltype; differentiation is pass 2's job."""
+        (decl,) = parse_generic(
+            "gadget g ::= whirr quietly; end gadget g."
+        )
+        assert decl.decltype == "gadget"
+
+
+class TestPaperFigures:
+    def test_figure_42_parses(self):
+        decls = parse_generic(FIG_42_TYPE_SPECS)
+        assert [d.name for d in decls] == ["ipAddrTable", "IpAddrEntry"]
+        # first clause of the first type is the ASN.1 body
+        assert decls[0].clauses[0].raw_text.startswith("SEQUENCE of")
+
+    def test_figure_44_parses(self):
+        decls = parse_generic(FIG_44_PROCESS_SPECS)
+        assert [d.name for d in decls] == ["snmpdReadOnly", "snmpaddr"]
+        snmpaddr = decls[1]
+        assert len(snmpaddr.params) == 2
+
+    def test_figure_46_parses(self):
+        (decl,) = parse_generic(FIG_46_SYSTEM_SPEC)
+        assert decl.decltype == "system"
+        assert decl.name == "romano.cs.wisc.edu"
+        assert len(decl.clauses) == 5  # cpu, interface, opsys, supports, process
+
+    def test_figure_48_parses(self):
+        (decl,) = parse_generic(FIG_48_DOMAIN_SPEC)
+        assert decl.decltype == "domain"
+        assert decl.name == "wisc-cs"
+        assert len(decl.clauses) == 4  # two systems, one process, one exports
+
+    def test_all_figures_together(self):
+        decls = parse_generic(PAPER_SPEC_TEXT)
+        assert len(decls) == 7

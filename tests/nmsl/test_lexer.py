@@ -1,0 +1,132 @@
+"""Tests for the NMSL tokenizer."""
+
+import pytest
+
+from repro.errors import NmslSyntaxError
+from repro.nmsl.lexer import (
+    EOF,
+    NUMBER,
+    PERIOD,
+    PUNCT,
+    STRING,
+    WORD,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [token.text for token in tokenize(text)[:-1]]
+
+
+class TestWords:
+    def test_keyword(self):
+        (token,) = tokenize("process")[:-1]
+        assert token.kind == WORD
+
+    def test_dotted_path(self):
+        (token,) = tokenize("mgmt.mib.ip.ipAddrTable")[:-1]
+        assert token.kind == WORD
+        assert token.text == "mgmt.mib.ip.ipAddrTable"
+
+    def test_hyphenated(self):
+        (token,) = tokenize("wisc-research")[:-1]
+        assert token.text == "wisc-research"
+
+    def test_version_like_word(self):
+        (token,) = tokenize("4.0.1")[:-1]
+        assert token.kind == WORD  # not a number: two dots
+        assert token.text == "4.0.1"
+
+    def test_trailing_dot_split_off(self):
+        tokens = tokenize("ipAddrTable.")[:-1]
+        assert [t.kind for t in tokens] == [WORD, PERIOD]
+
+    def test_trailing_dot_after_path(self):
+        tokens = tokenize("end domain wisc-cs.")[:-1]
+        assert [t.text for t in tokens] == ["end", "domain", "wisc-cs", "."]
+
+    def test_wrapped_path_produces_period(self):
+        tokens = tokenize("mgmt.mib.ip.\n    IpAddrEntry")[:-1]
+        assert [t.kind for t in tokens] == [WORD, PERIOD, WORD]
+
+
+class TestNumbersAndStrings:
+    def test_integer(self):
+        (token,) = tokenize("10000000")[:-1]
+        assert token.kind == NUMBER
+
+    def test_decimal(self):
+        (token,) = tokenize("2.5")[:-1]
+        assert token.kind == NUMBER
+
+    def test_string(self):
+        (token,) = tokenize('"romano.cs.wisc.edu"')[:-1]
+        assert token.kind == STRING
+        assert token.text == "romano.cs.wisc.edu"
+
+    def test_unterminated_string(self):
+        with pytest.raises(NmslSyntaxError):
+            tokenize('"oops')
+
+    def test_newline_in_string(self):
+        with pytest.raises(NmslSyntaxError):
+            tokenize('"a\nb"')
+
+
+class TestPunctuation:
+    def test_assignment(self):
+        assert texts("::=") == ["::="]
+
+    def test_becomes(self):
+        assert texts(":=") == [":="]
+
+    def test_comparisons(self):
+        assert texts(">= <= < > =") == [">=", "<=", "<", ">", "="]
+
+    def test_star(self):
+        assert texts("(*, *)") == ["(", "*", ",", "*", ")"]
+
+    def test_semicolon_comma_colon(self):
+        assert texts("; , :") == [";", ",", ":"]
+
+
+class TestCommentsAndLayout:
+    def test_comment_to_eol(self):
+        assert texts("supports mgmt.mib; -- entire MIB subtree\nexports") == [
+            "supports",
+            "mgmt.mib",
+            ";",
+            "exports",
+        ]
+
+    def test_empty_input(self):
+        assert tokenize("")[-1].kind == EOF
+
+    def test_offsets_allow_raw_slicing(self):
+        text = "type  Foo ::= INTEGER ;"
+        tokens = tokenize(text)[:-1]
+        for token in tokens:
+            assert text[token.start : token.end] == token.text or token.kind == STRING
+
+
+class TestPaperFigures:
+    def test_figure_44_frequency_clause(self):
+        tokens = texts("frequency >= 5 minutes;")
+        assert tokens == ["frequency", ">=", "5", "minutes", ";"]
+
+    def test_figure_44_using_assignment(self):
+        tokens = texts("ipAdEntAddr := Dest")
+        assert tokens == ["ipAdEntAddr", ":=", "Dest"]
+
+    def test_figure_46_interface_clause(self):
+        tokens = texts("interface ie0 net wisc-research speed 10000000 bps;")
+        assert tokens[:4] == ["interface", "ie0", "net", "wisc-research"]
+        assert tokens[4:] == ["speed", "10000000", "bps", ";"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(NmslSyntaxError):
+            tokenize("a @ b")

@@ -1,0 +1,167 @@
+"""Agent/manager integration: real BER exchanges against a MIB store."""
+
+import pytest
+
+from repro.asn1.types import Asn1Module
+from repro.errors import SnmpError
+from repro.mib.instances import InstanceStore
+from repro.mib.mib1 import build_mib1
+from repro.mib.oid import Oid
+from repro.mib.view import MibView
+from repro.snmp.agent import SnmpAgent
+from repro.snmp.community import CommunityPolicy
+from repro.snmp.manager import SnmpManager
+
+SYS_DESCR = "1.3.6.1.2.1.1.1.0"
+SYS_UPTIME = "1.3.6.1.2.1.1.3.0"
+IF_ADMIN_1 = "1.3.6.1.2.1.2.2.1.7.1"
+UDP_IN = "1.3.6.1.2.1.7.1.0"
+
+CONF = """
+view full include mgmt.mib
+view sys include mgmt.mib.system
+community public sys ReadOnly min-interval 0
+community ops full ReadWrite min-interval 0
+community slow sys ReadOnly min-interval 60
+"""
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_mib1()
+
+
+@pytest.fixture
+def agent(tree):
+    store = InstanceStore(tree, module=Asn1Module())
+    store.bind(SYS_DESCR, b"SunOS 4.0.1")
+    store.bind(SYS_UPTIME, 12345)
+    store.bind(IF_ADMIN_1, 1)
+    store.bind(UDP_IN, 777)
+    agent = SnmpAgent("agent-under-test", store, tree=tree)
+    agent.load_config(CONF, tree)
+    return agent
+
+
+def manager_for(agent, community="public", clock=None):
+    def send(octets: bytes) -> bytes:
+        now = clock() if clock is not None else None
+        return agent.handle_octets(octets, now=now)
+
+    return SnmpManager(community, send)
+
+
+class TestGet:
+    def test_get_value(self, agent):
+        manager = manager_for(agent)
+        assert manager.get_one(SYS_DESCR) == b"SunOS 4.0.1"
+
+    def test_get_multiple(self, agent):
+        manager = manager_for(agent)
+        bindings = manager.get([SYS_DESCR, SYS_UPTIME])
+        assert [binding.value for binding in bindings] == [b"SunOS 4.0.1", 12345]
+
+    def test_get_missing_instance(self, agent):
+        manager = manager_for(agent)
+        with pytest.raises(SnmpError, match="noSuchName"):
+            manager.get(["1.3.6.1.2.1.1.2.0"])
+
+    def test_get_outside_view(self, agent):
+        manager = manager_for(agent)  # public sees only system group
+        with pytest.raises(SnmpError, match="noSuchName"):
+            manager.get([UDP_IN])
+
+    def test_unknown_community(self, agent):
+        manager = manager_for(agent, community="ghost")
+        with pytest.raises(SnmpError, match="noSuchName"):
+            manager.get([SYS_DESCR])
+        assert agent.stats.auth_failures == 1
+
+
+class TestGetNext:
+    def test_steps_to_first_instance(self, agent):
+        manager = manager_for(agent)
+        bindings = manager.get_next(["1.3.6.1.2.1.1"])
+        assert bindings[0].oid == Oid(SYS_DESCR)
+
+    def test_skips_instances_outside_view(self, agent):
+        """public's view is the system group; get-next past it must not
+        leak ifAdminStatus or udpInDatagrams."""
+        manager = manager_for(agent)
+        with pytest.raises(SnmpError, match="noSuchName"):
+            manager.get_next([SYS_UPTIME])
+
+    def test_full_view_walk(self, agent):
+        manager = manager_for(agent, community="ops")
+        result = manager.walk("1.3.6.1.2.1")
+        assert len(result.bindings) == 4
+        assert result.requests_sent == 5  # 4 hits + 1 off-the-end
+
+    def test_subtree_walk(self, agent):
+        manager = manager_for(agent, community="ops")
+        result = manager.walk("1.3.6.1.2.1.1")
+        assert [str(b.oid) for b in result.bindings] == [SYS_DESCR, SYS_UPTIME]
+
+
+class TestSet:
+    def test_set_writable(self, agent):
+        manager = manager_for(agent, community="ops")
+        manager.set([(IF_ADMIN_1, 2)])
+        assert manager.get_one(IF_ADMIN_1) == 2
+
+    def test_set_readonly_object(self, agent):
+        manager = manager_for(agent, community="ops")
+        with pytest.raises(SnmpError, match="readOnly"):
+            manager.set([(SYS_DESCR, b"nope")])
+
+    def test_set_denied_for_readonly_community(self, agent):
+        manager = manager_for(agent, community="public")
+        with pytest.raises(SnmpError, match="noSuchName"):
+            manager.set([("1.3.6.1.2.1.1.1.0", b"x")])
+
+
+class TestRateLimiting:
+    def test_too_fast_gets_generr(self, agent):
+        clock_value = [0.0]
+        manager = manager_for(agent, community="slow", clock=lambda: clock_value[0])
+        manager.get([SYS_DESCR])
+        clock_value[0] = 5.0
+        with pytest.raises(SnmpError, match="genErr"):
+            manager.get([SYS_DESCR])
+        assert agent.stats.rate_violations == 1
+
+    def test_spaced_requests_fine(self, agent):
+        clock_value = [0.0]
+        manager = manager_for(agent, community="slow", clock=lambda: clock_value[0])
+        manager.get([SYS_DESCR])
+        clock_value[0] = 61.0
+        manager.get([SYS_DESCR])
+        assert agent.stats.rate_violations == 0
+
+
+class TestStats:
+    def test_counters(self, agent):
+        manager = manager_for(agent)
+        manager.get([SYS_DESCR])
+        try:
+            manager.get([UDP_IN])
+        except SnmpError:
+            pass
+        assert agent.stats.requests == 2
+        assert agent.stats.responses == 2
+        assert agent.stats.errors == 1
+        assert manager.requests_sent == 2
+        assert manager.errors_received == 1
+
+    def test_request_id_matching_enforced(self, agent, tree):
+        from repro.snmp.codec import decode_message, encode_message
+        from repro.snmp.messages import Message
+
+        def bad_send(octets: bytes) -> bytes:
+            response = decode_message(agent.handle_octets(octets))
+            response.pdu.request_id += 1
+            return encode_message(response)
+
+        manager = SnmpManager("public", bad_send)
+        with pytest.raises(SnmpError, match="does not match"):
+            manager.get([SYS_DESCR])

@@ -1,0 +1,143 @@
+"""Tests for the SNMP wire codec, including RFC 1067 tag structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SnmpError
+from repro.mib.oid import Oid
+from repro.snmp.codec import decode_message, encode_message
+from repro.snmp.messages import (
+    ErrorStatus,
+    Message,
+    Pdu,
+    PduType,
+    VarBind,
+)
+
+
+def roundtrip(message):
+    return decode_message(encode_message(message))
+
+
+class TestWireFormat:
+    def test_message_is_universal_sequence(self):
+        octets = encode_message(Message.get("public", 1, ["1.3.6.1.2.1.1.1.0"]))
+        assert octets[0] == 0x30
+
+    def test_pdu_context_tags(self):
+        get = encode_message(Message.get("public", 1, ["1.3"]))
+        get_next = encode_message(Message.get_next("public", 1, ["1.3"]))
+        set_req = encode_message(Message.set("public", 1, [("1.3", 5)]))
+        # After version (02 01 00) and community (04 06 public) comes the
+        # context-tagged PDU: a0/a1/a3.
+        assert 0xA0 in get
+        assert 0xA1 in get_next
+        assert 0xA3 in set_req
+
+    def test_version_encoded_as_zero(self):
+        octets = encode_message(Message.get("c", 1, ["1.3"]))
+        assert octets[2:5] == b"\x02\x01\x00"
+
+
+class TestRoundTrips:
+    def test_get_request(self):
+        message = Message.get("public", 42, ["1.3.6.1.2.1.1.1.0"])
+        back = roundtrip(message)
+        assert back.community == "public"
+        assert back.pdu.pdu_type == PduType.GET_REQUEST
+        assert back.pdu.request_id == 42
+        assert back.pdu.bindings[0].oid == Oid("1.3.6.1.2.1.1.1.0")
+        assert back.pdu.bindings[0].value is None
+
+    def test_response_with_values(self):
+        pdu = Pdu(
+            PduType.GET_RESPONSE,
+            7,
+            bindings=(
+                VarBind.of("1.3.6.1.2.1.1.1.0", b"SunOS"),
+                VarBind.of("1.3.6.1.2.1.1.3.0", 123456),
+                VarBind.of("1.3.6.1.2.1.1.2.0", Oid("1.3.6.1.4.1.42")),
+            ),
+        )
+        back = roundtrip(Message("public", pdu))
+        values = [binding.value for binding in back.pdu.bindings]
+        assert values == [b"SunOS", 123456, Oid("1.3.6.1.4.1.42")]
+
+    def test_error_status_preserved(self):
+        pdu = Pdu(
+            PduType.GET_RESPONSE,
+            9,
+            error_status=ErrorStatus.NO_SUCH_NAME,
+            error_index=2,
+            bindings=(VarBind.of("1.3"),),
+        )
+        back = roundtrip(Message("c", pdu))
+        assert back.pdu.error_status == ErrorStatus.NO_SUCH_NAME
+        assert back.pdu.error_index == 2
+
+    def test_set_request(self):
+        message = Message.set("private", 3, [("1.3.6.1.2.1.1.4.0", b"admin")])
+        back = roundtrip(message)
+        assert back.pdu.pdu_type == PduType.SET_REQUEST
+        assert back.pdu.bindings[0].value == b"admin"
+
+    def test_negative_integer_value(self):
+        pdu = Pdu(PduType.GET_RESPONSE, 1, bindings=(VarBind.of("1.3", -5),))
+        assert roundtrip(Message("c", pdu)).pdu.bindings[0].value == -5
+
+    def test_empty_bindings(self):
+        pdu = Pdu(PduType.GET_REQUEST, 1)
+        back = roundtrip(Message("c", pdu))
+        assert back.pdu.bindings == ()
+
+
+class TestErrors:
+    def test_malformed_octets(self):
+        with pytest.raises(SnmpError, match="malformed"):
+            decode_message(b"\x30\x03\x02\x01")
+
+    def test_unencodable_value(self):
+        pdu = Pdu(PduType.GET_RESPONSE, 1, bindings=(VarBind.of("1.3", object()),))
+        with pytest.raises(SnmpError):
+            encode_message(Message("c", pdu))
+
+    def test_trap_not_supported(self):
+        pdu = Pdu(PduType.TRAP, 1)
+        with pytest.raises(SnmpError, match="cannot encode"):
+            encode_message(Message("c", pdu))
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(SnmpError, match="version"):
+            Message("c", Pdu(PduType.GET_REQUEST, 1), version=1)
+
+
+class TestPropertyBased:
+    oids = st.lists(st.integers(0, 10_000), min_size=0, max_size=8).map(
+        lambda rest: Oid((1, 3) + tuple(rest))
+    )
+    values = st.one_of(
+        st.none(),
+        st.integers(-(2**31), 2**31 - 1),
+        st.binary(max_size=64),
+        st.lists(st.integers(0, 1000), max_size=6).map(
+            lambda rest: Oid((1, 3) + tuple(rest))
+        ),
+    )
+
+    @given(
+        st.integers(0, 2**30),
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126), max_size=16
+        ),
+        st.lists(st.tuples(oids, values), max_size=6),
+    )
+    def test_arbitrary_message_roundtrip(self, request_id, community, pairs):
+        pdu = Pdu(
+            PduType.GET_RESPONSE,
+            request_id,
+            bindings=tuple(VarBind(oid, value) for oid, value in pairs),
+        )
+        back = roundtrip(Message(community, pdu))
+        assert back.community == community
+        assert back.pdu.request_id == request_id
+        assert back.pdu.bindings == pdu.bindings

@@ -1,0 +1,123 @@
+"""Protocol-based configuration installation (paper Section 5, literal)."""
+
+import pytest
+
+from repro.asn1.types import Asn1Module
+from repro.errors import SnmpError
+from repro.mib.instances import InstanceStore
+from repro.mib.mib1 import build_mib1
+from repro.snmp.agent import (
+    ADMIN_COMMUNITY,
+    NMSL_CONFIG_APPLY,
+    NMSL_CONFIG_TEXT,
+    SnmpAgent,
+)
+from repro.snmp.manager import SnmpManager
+from repro.snmp.messages import GenericTrap
+
+CONF = """
+view v include mgmt.mib.system
+community ops v ReadOnly min-interval 60
+"""
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_mib1()
+
+
+@pytest.fixture
+def agent(tree):
+    store = InstanceStore(tree, module=Asn1Module())
+    store.bind("1.3.6.1.2.1.1.1.0", b"x")
+    return SnmpAgent("a", store, tree=tree)
+
+
+def admin(agent):
+    return SnmpManager(ADMIN_COMMUNITY, agent.handle_octets)
+
+
+class TestInstallFlow:
+    def test_single_chunk_install(self, agent):
+        manager = admin(agent)
+        manager.set([(NMSL_CONFIG_TEXT, CONF.encode())])
+        manager.set([(NMSL_CONFIG_APPLY, 1)])
+        assert agent.configs_applied == 1
+        assert agent.policy.communities() == ("ops",)
+
+    def test_chunked_install(self, agent):
+        manager = admin(agent)
+        octets = CONF.encode()
+        middle = len(octets) // 2
+        manager.set([(NMSL_CONFIG_TEXT, octets[:middle])])
+        manager.set([(NMSL_CONFIG_TEXT, octets[middle:])])
+        manager.set([(NMSL_CONFIG_APPLY, 1)])
+        assert agent.policy.communities() == ("ops",)
+
+    def test_installed_policy_enforced(self, agent, tree):
+        admin(agent).set([(NMSL_CONFIG_TEXT, CONF.encode())])
+        admin(agent).set([(NMSL_CONFIG_APPLY, 1)])
+        ops = SnmpManager("ops", agent.handle_octets)
+        assert ops.get_one("1.3.6.1.2.1.1.1.0") == b"x"
+        with pytest.raises(SnmpError):
+            SnmpManager("stranger", agent.handle_octets).get(
+                ["1.3.6.1.2.1.1.1.0"]
+            )
+
+    def test_apply_emits_cold_start(self, tree):
+        traps = []
+        store = InstanceStore(tree, module=Asn1Module())
+        agent = SnmpAgent("a", store, tree=tree, trap_sink=traps.append)
+        manager = admin(agent)
+        manager.set([(NMSL_CONFIG_TEXT, CONF.encode())])
+        manager.set([(NMSL_CONFIG_APPLY, 1)])
+        assert [t.pdu.generic_trap for t in traps] == [GenericTrap.COLD_START]
+
+    def test_pending_readable_before_apply(self, agent):
+        manager = admin(agent)
+        manager.set([(NMSL_CONFIG_TEXT, b"view v include mgmt.mib\n")])
+        assert manager.get_one(NMSL_CONFIG_TEXT) == b"view v include mgmt.mib\n"
+        assert manager.get_one(NMSL_CONFIG_APPLY) == 0
+
+
+class TestRejections:
+    def test_wrong_community_rejected(self, agent):
+        stranger = SnmpManager("public", agent.handle_octets)
+        with pytest.raises(SnmpError, match="noSuchName"):
+            stranger.set([(NMSL_CONFIG_TEXT, b"x")])
+        assert agent.stats.auth_failures == 1
+        assert agent.configs_applied == 0
+
+    def test_bad_apply_value(self, agent):
+        manager = admin(agent)
+        with pytest.raises(SnmpError, match="badValue"):
+            manager.set([(NMSL_CONFIG_APPLY, 7)])
+
+    def test_malformed_config_rejected_and_not_applied(self, agent):
+        manager = admin(agent)
+        manager.set([(NMSL_CONFIG_TEXT, b"community broken")])
+        with pytest.raises(SnmpError, match="badValue"):
+            manager.set([(NMSL_CONFIG_APPLY, 1)])
+        assert agent.configs_applied == 0
+
+    def test_non_bytes_config_rejected(self, agent):
+        manager = admin(agent)
+        with pytest.raises(SnmpError, match="badValue"):
+            manager.set([(NMSL_CONFIG_TEXT, 42)])
+
+
+class TestRuntimeViaProtocol:
+    def test_campus_installs_over_the_wire(self):
+        from repro.netsim.processes import ManagementRuntime
+        from repro.nmsl.compiler import NmslCompiler
+        from repro.workloads.scenarios import campus_internet
+
+        compiler = NmslCompiler()
+        runtime = ManagementRuntime(compiler, compiler.compile(campus_internet()))
+        configured = runtime.install_configuration(via_protocol=True)
+        assert configured == 5
+        assert all(agent.configs_applied == 1 for agent in runtime.agents.values())
+        # The installed policies behave identically to the direct path.
+        runtime.start(duration_s=1800)
+        runtime.run(1800)
+        assert set(runtime.outcomes()) == {"ok"}

@@ -1,0 +1,132 @@
+"""Tests for the SNMPv1 Trap-PDU and agent trap emission."""
+
+import pytest
+
+from repro.asn1.types import Asn1Module
+from repro.errors import SnmpError
+from repro.mib.instances import InstanceStore
+from repro.mib.mib1 import build_mib1
+from repro.mib.oid import Oid
+from repro.snmp.agent import NMSL_ENTERPRISE, SnmpAgent
+from repro.snmp.codec import decode_message, encode_message
+from repro.snmp.manager import SnmpManager
+from repro.snmp.messages import GenericTrap, Message, TrapPdu, VarBind
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_mib1()
+
+
+class TestTrapCodec:
+    def make_trap(self, **overrides):
+        defaults = dict(
+            community="public",
+            enterprise="1.3.6.1.4.1.42989",
+            agent_addr=b"\x0a\x00\x00\x01",
+            generic_trap=GenericTrap.LINK_DOWN,
+            specific_trap=0,
+            time_stamp=12345,
+            bindings=(VarBind.of("1.3.6.1.2.1.2.2.1.1.2", 2),),
+        )
+        defaults.update(overrides)
+        return Message.trap(**defaults)
+
+    def test_roundtrip(self):
+        message = self.make_trap()
+        back = decode_message(encode_message(message))
+        assert back.is_trap()
+        pdu = back.pdu
+        assert pdu.enterprise == Oid("1.3.6.1.4.1.42989")
+        assert pdu.agent_addr == b"\x0a\x00\x00\x01"
+        assert pdu.generic_trap == GenericTrap.LINK_DOWN
+        assert pdu.time_stamp == 12345
+        assert pdu.bindings[0].value == 2
+
+    def test_context_tag_is_a4(self):
+        octets = encode_message(self.make_trap())
+        assert 0xA4 in octets
+
+    def test_all_generic_codes_roundtrip(self):
+        for code in GenericTrap:
+            message = self.make_trap(generic_trap=code, bindings=())
+            assert decode_message(encode_message(message)).pdu.generic_trap == code
+
+    def test_bad_agent_addr_rejected(self):
+        with pytest.raises(SnmpError, match="4 octets"):
+            TrapPdu(
+                enterprise=Oid("1.3"),
+                agent_addr=b"\x01\x02",
+                generic_trap=GenericTrap.COLD_START,
+            )
+
+    def test_requests_are_not_traps(self):
+        message = Message.get("c", 1, ["1.3"])
+        assert not message.is_trap()
+
+
+class TestAgentTrapEmission:
+    CONF = """
+view v include mgmt.mib.system
+community public v ReadOnly min-interval 0
+"""
+
+    def make_agent(self, tree, sink):
+        store = InstanceStore(tree, module=Asn1Module())
+        store.bind("1.3.6.1.2.1.1.1.0", b"x")
+        agent = SnmpAgent(
+            "a", store, tree=tree, trap_sink=sink, agent_addr=b"\x0a\x00\x00\x02"
+        )
+        agent.load_config(self.CONF, tree)
+        return agent
+
+    def test_cold_start_on_demand(self, tree):
+        traps = []
+        agent = self.make_agent(tree, traps.append)
+        agent.emit_cold_start(now=1.5)
+        (trap,) = traps
+        assert trap.pdu.generic_trap == GenericTrap.COLD_START
+        assert trap.pdu.time_stamp == 150  # TimeTicks are 1/100 s
+        assert trap.pdu.enterprise == NMSL_ENTERPRISE
+        assert agent.stats.traps_sent == 1
+
+    def test_authentication_failure_trap(self, tree):
+        traps = []
+        agent = self.make_agent(tree, traps.append)
+        manager = SnmpManager("wrong-community", agent.handle_octets)
+        with pytest.raises(SnmpError):
+            manager.get(["1.3.6.1.2.1.1.1.0"])
+        assert len(traps) == 1
+        assert traps[0].pdu.generic_trap == GenericTrap.AUTHENTICATION_FAILURE
+
+    def test_view_misses_do_not_trap(self, tree):
+        """Only auth failures trap; an OID outside the view is noSuchName."""
+        traps = []
+        agent = self.make_agent(tree, traps.append)
+        manager = SnmpManager("public", agent.handle_octets)
+        with pytest.raises(SnmpError):
+            manager.get(["1.3.6.1.2.1.7.1.0"])  # udp, outside view
+        assert traps == []
+
+    def test_no_sink_is_silent(self, tree):
+        store = InstanceStore(tree, module=Asn1Module())
+        agent = SnmpAgent("a", store, tree=tree)
+        agent.emit_cold_start()
+        assert agent.stats.traps_sent == 0
+
+
+class TestRuntimeTraps:
+    def test_cold_start_on_install(self):
+        from repro.netsim.processes import ManagementRuntime
+        from repro.nmsl.compiler import NmslCompiler
+        from repro.workloads.scenarios import campus_internet
+
+        compiler = NmslCompiler()
+        runtime = ManagementRuntime(compiler, compiler.compile(campus_internet()))
+        runtime.install_configuration()
+        cold_starts = [
+            record
+            for record in runtime.traps
+            if record[2].pdu.generic_trap == GenericTrap.COLD_START
+        ]
+        assert len(cold_starts) == 5

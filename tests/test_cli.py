@@ -1,0 +1,159 @@
+"""Tests for the nmslc command line."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.paper import PAPER_SPEC_TEXT
+from repro.workloads.scenarios import campus_internet
+
+BILLING_EXTENSION = """
+extension billing;
+keyword billing in process;
+output acct-report for process.billing emit "charge {name} {arg0}";
+"""
+
+
+@pytest.fixture
+def paper_file(tmp_path):
+    path = tmp_path / "paper.nmsl"
+    path.write_text(PAPER_SPEC_TEXT)
+    return path
+
+
+class TestCompileOnly:
+    def test_success(self, paper_file, capsys):
+        assert main([str(paper_file)]) == 0
+        out = capsys.readouterr().out
+        assert "2 processes" in out
+        assert "2 systems" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "none.nmsl")]) == 2
+
+    def test_syntax_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.nmsl"
+        bad.write_text("process broken ::= supports")
+        assert main([str(bad)]) == 2
+
+    def test_semantic_error_lax(self, tmp_path, capsys):
+        bad = tmp_path / "bad.nmsl"
+        bad.write_text("process p ::= supports mgmt.mib.nosuch; end process p.")
+        assert main([str(bad), "--lax"]) == 1
+        assert "unknown MIB path" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_consistent(self, paper_file, capsys):
+        assert main([str(paper_file), "--check"]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_inconsistent_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "campus.nmsl"
+        path.write_text(campus_internet(include_noc_permission=False))
+        assert main([str(path), "--check"]) == 1
+        assert "INCONSISTENT" in capsys.readouterr().out
+
+    def test_clpr_engine(self, paper_file, capsys):
+        assert main([str(paper_file), "--check", "--engine", "clpr"]) == 0
+
+
+class TestOutput:
+    def test_consistency_facts_to_stdout(self, paper_file, capsys):
+        assert main([str(paper_file), "--output", "consistency"]) == 0
+        assert "proc_supports(snmpdReadOnly" in capsys.readouterr().out
+
+    def test_snmpd_output(self, paper_file, capsys):
+        assert main([str(paper_file), "--output", "BartsSnmpd"]) == 0
+        assert "snmpd.conf for romano" in capsys.readouterr().out
+
+    def test_ship_dir(self, paper_file, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        assert (
+            main([str(paper_file), "--output", "BartsSnmpd", "--ship-dir", str(spool)])
+            == 0
+        )
+        assert (spool / "romano.cs.wisc.edu.conf").exists()
+        assert "shipped" in capsys.readouterr().out
+
+    def test_mail_dir(self, paper_file, tmp_path, capsys):
+        spool = tmp_path / "mail"
+        assert (
+            main([str(paper_file), "--output", "BartsSnmpd", "--mail-dir", str(spool)])
+            == 0
+        )
+        assert list(spool.glob("msg-*.eml"))
+
+    def test_unknown_tag(self, paper_file, capsys):
+        assert main([str(paper_file), "--output", "bogus"]) == 2
+        assert "no output actions" in capsys.readouterr().err
+
+
+class TestFormatAndLint:
+    def test_format_round_trips(self, paper_file, capsys, tmp_path):
+        assert main([str(paper_file), "--format"]) == 0
+        rendered = capsys.readouterr().out
+        assert rendered.startswith("type ipAddrTable ::=")
+        # The formatted output recompiles to the same counts.
+        reformatted = tmp_path / "fmt.nmsl"
+        reformatted.write_text(rendered)
+        assert main([str(reformatted)]) == 0
+
+    def test_list_tags(self, paper_file, capsys):
+        assert main([str(paper_file), "--list-tags"]) == 0
+        out = capsys.readouterr().out.split()
+        assert {"consistency", "BartsSnmpd", "acl-table", "osi"} <= set(out)
+
+    def test_lint(self, tmp_path, capsys):
+        spec = tmp_path / "spec.nmsl"
+        spec.write_text(
+            "process ghost ::= supports mgmt.mib; end process ghost."
+        )
+        assert main([str(spec), "--lint"]) == 0
+        assert "[unused-process] ghost" in capsys.readouterr().out
+
+    def test_capacity_flag(self, paper_file, capsys):
+        assert main([str(paper_file), "--check", "--capacity"]) == 0
+
+
+class TestDiffAgainst:
+    def test_breaking_change_flagged(self, tmp_path, capsys):
+        old = tmp_path / "old.nmsl"
+        old.write_text(campus_internet())
+        new = tmp_path / "new.nmsl"
+        new.write_text(campus_internet(noc_frequency_minutes=1.0))
+        assert main([str(new), "--diff-against", str(old)]) == 1
+        out = capsys.readouterr().out
+        assert "changed process nocMonitor" in out
+        assert "introduced:" in out
+
+    def test_fixing_change_passes(self, tmp_path, capsys):
+        old = tmp_path / "old.nmsl"
+        old.write_text(campus_internet(include_noc_permission=False))
+        new = tmp_path / "new.nmsl"
+        new.write_text(campus_internet())
+        assert main([str(new), "--diff-against", str(old)]) == 0
+        out = capsys.readouterr().out
+        assert "fixed:" in out
+
+    def test_no_change(self, tmp_path, capsys):
+        old = tmp_path / "old.nmsl"
+        old.write_text(campus_internet())
+        new = tmp_path / "new.nmsl"
+        new.write_text(campus_internet())
+        assert main([str(new), "--diff-against", str(old)]) == 0
+        assert "no changes" in capsys.readouterr().out
+
+
+class TestExtensions:
+    def test_extension_file(self, tmp_path, capsys):
+        ext = tmp_path / "billing.nmslx"
+        ext.write_text(BILLING_EXTENSION)
+        spec = tmp_path / "spec.nmsl"
+        spec.write_text(
+            "process p ::= supports mgmt.mib; billing 5; end process p."
+        )
+        assert (
+            main([str(spec), "--extensions", str(ext), "--output", "acct-report"])
+            == 0
+        )
+        assert "charge p 5" in capsys.readouterr().out

@@ -1,0 +1,59 @@
+"""Tests for the error hierarchy and source locations."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_located_errors(self):
+        for cls in (
+            errors.Asn1Error,
+            errors.NmslSyntaxError,
+            errors.NmslSemanticError,
+            errors.ClprSyntaxError,
+        ):
+            assert issubclass(cls, errors.LocatedError)
+
+    def test_clpr_syntax_error_is_clpr_error(self):
+        assert issubclass(errors.ClprSyntaxError, errors.ClprError)
+
+    def test_oid_error_is_mib_error(self):
+        assert issubclass(errors.OidError, errors.MibError)
+
+
+class TestSourceLocation:
+    def test_str_format(self):
+        location = errors.SourceLocation("spec.nmsl", 12, 3)
+        assert str(location) == "spec.nmsl:12:3"
+
+    def test_defaults(self):
+        assert str(errors.SourceLocation()) == "<input>:1:1"
+
+    def test_located_error_message(self):
+        exc = errors.NmslSyntaxError(
+            "unexpected token", errors.SourceLocation("f.nmsl", 4, 7)
+        )
+        assert str(exc) == "f.nmsl:4:7: unexpected token"
+        assert exc.message == "unexpected token"
+        assert exc.location.line == 4
+
+    def test_located_error_without_location(self):
+        exc = errors.NmslSemanticError("boom")
+        assert "<input>:1:1" in str(exc)
+
+
+class TestCatchability:
+    def test_single_except_clause_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.BerError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.SimulationError("y")
+        with pytest.raises(errors.ReproError):
+            raise errors.NmslSyntaxError("z")

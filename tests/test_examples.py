@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as the library's acceptance tests — each exercises a
+whole aspect of the paper end to end.  They are executed as subprocesses
+exactly as a user would run them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", "specification is consistent"),
+    ("campus_network.py", "INCONSISTENT"),
+    ("speculative_planning.py", "period >= 600 seconds"),
+    ("extension_demo.py", "billing_rate(meteredAgent, 12)."),
+    ("proxy_bridge.py", "proxy-for bridge1.example via bridgeTalk"),
+    ("runtime_verification.py", "network adheres to specification"),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, expected):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert expected in completed.stdout

@@ -1,0 +1,63 @@
+"""Tests for the canned scenarios."""
+
+import pytest
+
+from repro.consistency.checker import ConsistencyChecker
+from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+from repro.workloads.paper import PAPER_SPEC_TEXT
+from repro.workloads.scenarios import campus_internet, new_organization
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return NmslCompiler(CompilerOptions(register_codegen=False))
+
+
+class TestPaperText:
+    def test_compiles_clean(self, compiler):
+        result = compiler.compile(PAPER_SPEC_TEXT)
+        assert result.ok
+        assert result.specification.counts() == {
+            "types": 2,
+            "processes": 2,
+            "systems": 2,
+            "domains": 1,
+        }
+
+
+class TestCampus:
+    def test_default_consistent(self, compiler):
+        result = compiler.compile(campus_internet())
+        assert ConsistencyChecker(result.specification, compiler.tree).check().consistent
+
+    def test_nested_domains(self, compiler):
+        result = compiler.compile(campus_internet())
+        campus = result.specification.domains["campus"]
+        assert set(campus.subdomains) == {"cs-domain", "engr-domain", "noc-domain"}
+
+    def test_knobs_are_independent(self, compiler):
+        broken_both = compiler.compile(
+            campus_internet(include_noc_permission=False, noc_frequency_minutes=1)
+        )
+        outcome = ConsistencyChecker(
+            broken_both.specification, compiler.tree
+        ).check()
+        assert len(outcome.inconsistencies) >= 3
+
+
+class TestNewOrganization:
+    def test_merges_with_campus(self, compiler):
+        result = compiler.compile(campus_internet() + new_organization())
+        assert result.ok
+        assert "newdept-domain" in result.specification.domains
+
+    def test_combined_consistent_at_default(self, compiler):
+        result = compiler.compile(campus_internet() + new_organization())
+        assert ConsistencyChecker(result.specification, compiler.tree).check().consistent
+
+    def test_combined_inconsistent_when_fast(self, compiler):
+        result = compiler.compile(
+            campus_internet() + new_organization(query_minutes=1)
+        )
+        outcome = ConsistencyChecker(result.specification, compiler.tree).check()
+        assert not outcome.consistent

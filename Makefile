@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-quick clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Full engine comparison: scan vs indexed vs incremental, all sizes.
+bench:
+	$(PYTHON) benchmarks/bench_consistency.py --output BENCH_consistency.json
+
+## CI smoke: small workloads only.
+bench-quick:
+	$(PYTHON) benchmarks/bench_consistency.py --quick --output BENCH_consistency.json
+
+clean:
+	rm -rf .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -2,10 +2,19 @@
 
 Reproduces the Figure 4.9 model: the six relations are generated from the
 paper's example internet, a missing permission is injected and its cause
-reported, and the two checker implementations (closure fast path vs the
-CLP(R) engine the paper actually describes) are compared on identical
-workloads.
+reported, and the checker implementations (indexed closure, unindexed
+scan, and the CLP(R) engine the paper actually describes) are compared on
+identical workloads.
+
+Run as a script to emit ``BENCH_consistency.json``::
+
+    PYTHONPATH=src python benchmarks/bench_consistency.py [--quick]
 """
+
+import argparse
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -100,3 +109,170 @@ class TestEngineAblation:
             "the ablation DESIGN.md calls out: the paper's generic logic "
             "engine pays an order of magnitude over the pre-reduced closure"
         )
+
+
+#: The scaling workload for the indexed-vs-scan comparison (large enough
+#: that the scan's O(refs × edges) behaviour shows).
+SCALING = InternetParameters(
+    n_domains=64,
+    systems_per_domain=16,
+    applications_per_domain=4,
+    silent_domains=(1,),
+    fast_pollers=(2,),
+)
+
+
+class TestIndexedEngine:
+    """The PermissionIndex path vs the unindexed reference scan."""
+
+    def test_scan_engine_scaling(self, benchmark, bare_compiler):
+        spec = SyntheticInternet(SCALING).specification()
+
+        def check():
+            return ConsistencyChecker(
+                spec, bare_compiler.tree, engine="scan"
+            ).check()
+
+        outcome = benchmark.pedantic(check, rounds=3, iterations=1)
+        assert not outcome.consistent
+        benchmark.extra_info["engine"] = "scan (seed baseline, no index)"
+
+    def test_indexed_engine_scaling(self, benchmark, bare_compiler):
+        spec = SyntheticInternet(SCALING).specification()
+
+        def check():
+            return ConsistencyChecker(spec, bare_compiler.tree).check()
+
+        outcome = benchmark.pedantic(check, rounds=3, iterations=1)
+        assert not outcome.consistent
+        benchmark.extra_info["engine"] = "indexed (PermissionIndex + memoized closure)"
+
+    def test_engines_agree_on_scaling_workload(self, bare_compiler):
+        spec = SyntheticInternet(SCALING).specification()
+        scan = ConsistencyChecker(spec, bare_compiler.tree, engine="scan").check()
+        indexed = ConsistencyChecker(spec, bare_compiler.tree).check()
+        assert scan.consistent == indexed.consistent
+        assert [
+            (p.kind, p.message, p.causes) for p in scan.inconsistencies
+        ] == [(p.kind, p.message, p.causes) for p in indexed.inconsistencies]
+
+
+# ----------------------------------------------------------------------
+# The BENCH_consistency.json emitter (``make bench`` / CI smoke).
+# ----------------------------------------------------------------------
+
+def _timed_check(spec, tree, engine, jobs=1):
+    started = time.perf_counter()
+    outcome = ConsistencyChecker(spec, tree, engine=engine).check(jobs=jobs)
+    return time.perf_counter() - started, outcome
+
+
+def run_scaling(quick: bool = False, jobs: int = 1) -> dict:
+    """Time scan vs indexed vs incremental across workload sizes."""
+    from repro.consistency.evolution import DeltaChecker
+    from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+
+    compiler = NmslCompiler(CompilerOptions(register_codegen=False))
+    sizes = [(16, 8, 4), (64, 16, 4)]
+    if not quick:
+        sizes.append((256, 32, 8))
+    rows = []
+    for n_domains, per_domain, apps in sizes:
+        params = InternetParameters(
+            n_domains=n_domains,
+            systems_per_domain=per_domain,
+            applications_per_domain=apps,
+            silent_domains=(1,),
+            fast_pollers=(2,),
+        )
+        spec = SyntheticInternet(params).specification()
+        scan_s, scan = _timed_check(spec, compiler.tree, "scan")
+        indexed_s, indexed = _timed_check(spec, compiler.tree, "indexed", jobs)
+        assert scan.consistent == indexed.consistent
+        assert len(scan.inconsistencies) == len(indexed.inconsistencies)
+
+        # Incremental: silence one more domain, recheck via the delta API.
+        delta_checker = DeltaChecker(compiler.tree, jobs=jobs)
+        delta_checker.check(spec)
+        changed = SyntheticInternet(
+            InternetParameters(
+                n_domains=n_domains,
+                systems_per_domain=per_domain,
+                applications_per_domain=apps,
+                silent_domains=(1, 3),
+                fast_pollers=(2,),
+            )
+        ).specification()
+        started = time.perf_counter()
+        incremental = delta_checker.check(changed)
+        incremental_s = time.perf_counter() - started
+
+        rows.append(
+            {
+                "workload": {
+                    "n_domains": n_domains,
+                    "systems_per_domain": per_domain,
+                    "applications_per_domain": apps,
+                    "references": scan.stats["references"],
+                },
+                "scan_seconds": round(scan_s, 4),
+                "indexed_seconds": round(indexed_s, 4),
+                "speedup": round(scan_s / indexed_s, 2) if indexed_s else None,
+                "incremental_seconds": round(incremental_s, 4),
+                "incremental": {
+                    "rechecked": incremental.stats["rechecked"],
+                    "reused": incremental.stats["reused"],
+                    "facts_expanded": incremental.stats.get("facts_expanded"),
+                    "facts_reused": incremental.stats.get("facts_reused"),
+                },
+            }
+        )
+    largest = rows[-1]
+    return {
+        "benchmark": "consistency-engine",
+        "mode": "quick" if quick else "full",
+        "jobs": jobs,
+        "rows": rows,
+        "largest_speedup": largest["speedup"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Indexed/incremental consistency engine benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads only (CI smoke)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="reduction shards (threads)"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_consistency.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_scaling(quick=args.quick, jobs=args.jobs)
+    Path(args.output).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    for row in report["rows"]:
+        workload = row["workload"]
+        print(
+            f"{workload['n_domains']}x{workload['systems_per_domain']}"
+            f"x{workload['applications_per_domain']} "
+            f"({workload['references']} refs): "
+            f"scan {row['scan_seconds']}s, indexed {row['indexed_seconds']}s "
+            f"({row['speedup']}x), incremental {row['incremental_seconds']}s "
+            f"(rechecked {row['incremental']['rechecked']}, "
+            f"reused {row['incremental']['reused']})"
+        )
+    print(f"wrote {args.output} (largest speedup {report['largest_speedup']}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

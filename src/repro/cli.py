@@ -43,10 +43,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("closure", "clpr"),
+        choices=("closure", "scan", "clpr"),
         default="closure",
-        help="consistency engine: scalable closure (default) or the "
-        "faithful CLP(R) path",
+        help="consistency engine: indexed closure (default), the "
+        "unindexed reference scan (ablation baseline), or the faithful "
+        "CLP(R) path",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the consistency reduction step per administrative "
+        "domain across N worker threads (closure engines only)",
     )
     parser.add_argument(
         "--output",
@@ -168,8 +177,14 @@ def _run(args: argparse.Namespace) -> int:
         if args.engine == "clpr":
             outcome = check_with_clpr(result.specification, compiler.tree)
         else:
-            checker = ConsistencyChecker(result.specification, compiler.tree)
-            outcome = checker.check(check_capacity=args.capacity)
+            checker = ConsistencyChecker(
+                result.specification,
+                compiler.tree,
+                engine="scan" if args.engine == "scan" else "indexed",
+            )
+            outcome = checker.check(
+                check_capacity=args.capacity, jobs=args.jobs
+            )
         print(outcome.render())
         if not outcome.consistent:
             status = 1

@@ -1,12 +1,18 @@
 """The Consistency Checker: prove inconsistency, report causes.
 
-Two implementations of the paper's model:
+Three implementations of the paper's model:
 
-* :class:`ConsistencyChecker` — the scalable path.  Containment closure
-  and reference/permission expansion are computed in Python (they are the
-  transitivity/distribution rules applied to ground facts), and the
-  reduction step is a closed-world set check: every reference must find a
-  covering permission.  This is what the Section 3.1 scale goal demands.
+* :class:`ConsistencyChecker` with ``engine="indexed"`` (the default) —
+  the scalable path.  Reference→permission coverage goes through the
+  :class:`~repro.consistency.index.PermissionIndex` (per-server OID-prefix
+  buckets instead of permission scans), views are interned, coverage
+  verdicts are memoized per reference shape, and the reduction step can
+  be sharded per administrative domain across a thread pool (``jobs``).
+  This is what the Section 3.1 scale goal demands.
+
+* ``engine="scan"`` — the original closure implementation kept verbatim
+  as the ablation baseline: containment closure and expansion in Python,
+  reduction by scanning each reference's candidate permissions.
 
 * :func:`check_with_clpr` — the faithful path.  The compiler's CLP(R)
   consistency output (:meth:`FactSet.to_clpr_text`) plus the rule text of
@@ -16,17 +22,38 @@ Two implementations of the paper's model:
   are outside this path (their values are unknown until run time); the
   scalable path checks them existentially.
 
-The ablation benchmark ``benchmarks/bench_consistency.py`` compares both.
+Whatever the engine, reports are identical: the indexed path decides
+coverage fast and falls back to the scan's detailed cause analysis only
+for the (rare) uncovered references, so the differential test suite can
+hold all paths to the same verdicts *and* the same rendered causes.
+
+The checker's fact set, view cache and verdict memos are keyed by the
+specification fingerprint (:meth:`Specification.fingerprint`), so
+mutating the specification between ``check()`` calls is safe — the next
+check regenerates what the mutation staled.
+
+The ablation benchmark ``benchmarks/bench_consistency.py`` compares the
+engines; ``ConsistencyChecker.recheck`` is the incremental API used by
+:class:`repro.consistency.evolution.DeltaChecker`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.clpr.program import parse_program
 from repro.clpr.solver import Engine
-from repro.consistency.facts import FactGenerator, FactSet, InstanceId
+from repro.clpr.terms import Struct
+from repro.consistency.facts import (
+    FactGenerator,
+    FactSet,
+    IncrementalFactGenerator,
+    InstanceId,
+)
+from repro.consistency.index import PermissionIndex
 from repro.consistency.relations import (
     Permission,
     Reference,
@@ -42,6 +69,9 @@ from repro.mib.tree import MibTree
 from repro.mib.view import MibView
 from repro.nmsl.specs import Specification, PUBLIC_DOMAIN
 
+#: Below this many references a shard pool costs more than it saves.
+_MIN_REFERENCES_PER_JOB = 64
+
 
 class ConsistencyChecker:
     """Closure-based consistency checking over a typed specification."""
@@ -51,47 +81,368 @@ class ConsistencyChecker:
         specification: Specification,
         tree: MibTree,
         public_domain: str = PUBLIC_DOMAIN,
+        *,
+        engine: str = "indexed",
+        generator: Optional[IncrementalFactGenerator] = None,
     ):
+        if engine not in ("indexed", "scan"):
+            raise ValueError(f"unknown consistency engine {engine!r}")
         self._spec = specification
         self._tree = tree
         self._public = public_domain
+        self._engine = engine
+        self._generator = generator or (
+            IncrementalFactGenerator(tree) if engine == "indexed" else None
+        )
         self._facts: Optional[FactSet] = None
+        self._facts_fingerprint: Optional[int] = None
         self._view_cache: Dict[Tuple[str, ...], MibView] = {}
+        #: reference key -> verdict tuple from the last check (recheck fuel).
+        self._verdicts: Dict[Tuple, Tuple[Inconsistency, ...]] = {}
+        # Per-fact-set state (reset whenever the fingerprint changes):
+        self._index: Optional[PermissionIndex] = None
+        self._candidate_memo: Dict[str, Tuple] = {}
+        self._shape_memo: Dict[Tuple, Tuple[Inconsistency, ...]] = {}
+        # Pure view-pair memos (views are interned; results never stale):
+        self._cover_memo: Dict[Tuple[int, int], bool] = {}
+        self._fit_memo: Dict[Tuple[int, int], Tuple] = {}
+        self._memo_pins: List[MibView] = []  # keep ids in the memos alive
+
+    @property
+    def engine(self) -> str:
+        return self._engine
+
+    @property
+    def specification(self) -> Specification:
+        return self._spec
 
     @property
     def facts(self) -> FactSet:
-        if self._facts is None:
-            self._facts = FactGenerator(self._spec, self._tree).generate()
+        """The expanded fact set, keyed by the specification fingerprint.
+
+        Regenerated (and all per-fact-set memos dropped) whenever the
+        specification's structural fingerprint changes — including
+        in-place mutation of the specification the checker was built
+        with.
+        """
+        fp_tuple = self._spec.fingerprint_tuple()
+        fingerprint = hash(fp_tuple)
+        if self._facts is None or fingerprint != self._facts_fingerprint:
+            if self._generator is not None:
+                self._facts = self._generator.generate(
+                    self._spec, fingerprint_tuple=fp_tuple
+                )
+            else:
+                self._facts = FactGenerator(self._spec, self._tree).generate()
+            self._facts_fingerprint = fingerprint
+            self._view_cache = {}
+            self._index = None
+            self._candidate_memo = {}
+            self._shape_memo = {}
+        elif self._facts.expansion:
+            # Wholesale reuse: this access expanded no declarations.
+            declarations = self._facts.expansion.get("declarations", 0)
+            self._facts.expansion = {
+                "expanded": 0,
+                "reused": declarations,
+                "declarations": declarations,
+            }
         return self._facts
 
     # ------------------------------------------------------------------
     # The check.
     # ------------------------------------------------------------------
-    def check(self, check_capacity: bool = False) -> ConsistencyResult:
+    def check(
+        self, check_capacity: bool = False, jobs: int = 1
+    ) -> ConsistencyResult:
         started = time.perf_counter()
         facts = self.facts
         problems: List[Inconsistency] = []
         warnings: List[str] = list(facts.warnings)
 
         problems.extend(self._check_instantiations(facts, warnings))
-        for reference in facts.references:
-            problems.extend(self._check_reference(reference, facts))
+        verdicts = self._reduce(facts, list(enumerate(facts.references)), jobs)
+        self._verdicts = {
+            self._reference_key(reference): verdicts[position]
+            for position, reference in enumerate(facts.references)
+        }
+        for position in range(len(facts.references)):
+            problems.extend(verdicts[position])
         if check_capacity:
             warnings.extend(self._check_capacity(facts))
 
         elapsed = time.perf_counter() - started
+        stats = {
+            "instances": len(facts.instances),
+            "references": len(facts.references),
+            "permissions": len(facts.permissions),
+            "containment_edges": len(facts.containment),
+            "engine": self._engine,
+            "jobs": jobs,
+            "seconds": elapsed,
+        }
+        stats.update(
+            {f"facts_{key}": value for key, value in facts.expansion.items()}
+        )
         return ConsistencyResult(
             consistent=not problems,
             inconsistencies=problems,
             warnings=warnings,
-            stats={
-                "instances": len(facts.instances),
-                "references": len(facts.references),
-                "permissions": len(facts.permissions),
-                "containment_edges": len(facts.containment),
-                "seconds": elapsed,
-            },
+            stats=stats,
         )
+
+    # ------------------------------------------------------------------
+    # Incremental re-checking (the evolution API).
+    # ------------------------------------------------------------------
+    def recheck(
+        self,
+        delta,
+        check_capacity: bool = False,
+        jobs: int = 1,
+    ) -> ConsistencyResult:
+        """Re-check after an evolution delta, reusing unaffected verdicts.
+
+        *delta* is an :class:`repro.consistency.evolution.EvolutionDelta`
+        (or a plain new :class:`Specification`, diffed against the
+        current one).  Fact expansion is incremental — only declarations
+        the delta touched are re-expanded (see
+        :class:`IncrementalFactGenerator`) — and only references whose
+        client, server or containing domains changed are re-reduced; the
+        rest reuse their remembered verdicts.  The result is equal to a
+        from-scratch :meth:`check` of the new specification (asserted by
+        the differential and property suites).
+        """
+        from repro.consistency.evolution import (
+            EvolutionDelta,
+            affected_entities,
+            diff_specifications,
+            reference_affected,
+        )
+
+        if isinstance(delta, Specification):
+            delta = EvolutionDelta(
+                specification=delta,
+                diff=diff_specifications(self._spec, delta),
+            )
+        started = time.perf_counter()
+        previous_verdicts = self._verdicts if self._facts is not None else None
+        self._spec = delta.specification
+        facts = self.facts
+        problems: List[Inconsistency] = []
+        warnings: List[str] = list(facts.warnings)
+        problems.extend(self._check_instantiations(facts, warnings))
+
+        rechecked = reused = 0
+        new_verdicts: Dict[Tuple, Tuple[Inconsistency, ...]] = {}
+        if previous_verdicts is None:
+            pending = list(enumerate(facts.references))
+            affected = None
+        else:
+            affected = affected_entities(delta.diff, facts)
+            pending = []
+            for position, reference in enumerate(facts.references):
+                key = self._reference_key(reference)
+                if key in previous_verdicts and not reference_affected(
+                    reference, affected
+                ):
+                    new_verdicts[key] = previous_verdicts[key]
+                    reused += 1
+                else:
+                    pending.append((position, reference))
+        computed = self._reduce(facts, pending, jobs)
+        for position, reference in pending:
+            new_verdicts[self._reference_key(reference)] = computed[position]
+            rechecked += 1
+        self._verdicts = new_verdicts
+        for reference in facts.references:
+            problems.extend(new_verdicts[self._reference_key(reference)])
+        if check_capacity:
+            warnings.extend(self._check_capacity(facts))
+
+        elapsed = time.perf_counter() - started
+        stats = {
+            "instances": len(facts.instances),
+            "references": len(facts.references),
+            "permissions": len(facts.permissions),
+            "rechecked": rechecked,
+            "reused": reused,
+            "diff_entries": len(delta.diff),
+            "engine": self._engine,
+            "jobs": jobs,
+            "seconds": elapsed,
+        }
+        stats.update(
+            {f"facts_{key}": value for key, value in facts.expansion.items()}
+        )
+        return ConsistencyResult(
+            consistent=not problems,
+            inconsistencies=problems,
+            warnings=warnings,
+            stats=stats,
+        )
+
+    @staticmethod
+    def _reference_key(reference: Reference) -> Tuple:
+        return (
+            reference.client,
+            reference.server,
+            reference.variables,
+            reference.access,
+            reference.frequency.as_tuple(),
+            reference.client_domains,
+        )
+
+    # ------------------------------------------------------------------
+    # The reduction step, optionally sharded per administrative domain.
+    # ------------------------------------------------------------------
+    def _reduce(
+        self,
+        facts: FactSet,
+        pending: List[Tuple[int, Reference]],
+        jobs: int = 1,
+    ) -> Dict[int, Tuple[Inconsistency, ...]]:
+        """Verdicts (by reference position) for the pending references."""
+        if jobs <= 1 or len(pending) < _MIN_REFERENCES_PER_JOB:
+            return {
+                position: self._reference_problems(reference, facts)
+                for position, reference in pending
+            }
+        shards: Dict[str, List[Tuple[int, Reference]]] = {}
+        for position, reference in pending:
+            key = (
+                reference.client_domains[0]
+                if reference.client_domains
+                else reference.client
+            )
+            shards.setdefault(key, []).append((position, reference))
+
+        def reduce_shard(shard: List[Tuple[int, Reference]]):
+            return [
+                (position, self._reference_problems(reference, facts))
+                for position, reference in shard
+            ]
+
+        verdicts: Dict[int, Tuple[Inconsistency, ...]] = {}
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            for chunk in pool.map(reduce_shard, shards.values()):
+                for position, verdict in chunk:
+                    verdicts[position] = verdict
+        return verdicts
+
+    def _reference_problems(
+        self, reference: Reference, facts: FactSet
+    ) -> Tuple[Inconsistency, ...]:
+        """This reference's problems, via the engine selected at build."""
+        if self._engine == "scan":
+            return tuple(self._check_reference(reference, facts))
+        key = (
+            reference.server,
+            reference.variables,
+            reference.access,
+            reference.frequency.as_tuple(),
+            reference.client_domains,
+            facts.direct_domains_map().get(reference.client, ()),
+        )
+        verdict = self._shape_memo.get(key)
+        if verdict is None:
+            if self._covered_fast(reference, facts):
+                verdict = ()
+            else:
+                # Fall back to the scan for byte-identical cause reports.
+                verdict = tuple(self._check_reference(reference, facts))
+            self._shape_memo[key] = verdict
+        return tuple(
+            dataclasses.replace(problem, reference=reference)
+            if problem.reference is not None
+            else problem
+            for problem in verdict
+        )
+
+    # ------------------------------------------------------------------
+    # The indexed fast path: decide coverage without building reports.
+    # ------------------------------------------------------------------
+    def _covered_fast(self, reference: Reference, facts: FactSet) -> bool:
+        candidates, existential, data_system = self._candidates(
+            reference, facts
+        )
+        if candidates is None:  # unknown/external target: cannot check
+            return True
+        if not candidates:
+            return False
+        reference_view = self._view(reference.variables)
+        for server in candidates:
+            ok = self._server_covers(
+                reference, server, reference_view, facts, data_system
+            )
+            if existential:
+                if ok:
+                    return True
+            elif not ok:
+                return False
+        return not existential
+
+    def _server_covers(
+        self,
+        reference: Reference,
+        server: InstanceId,
+        reference_view: MibView,
+        facts: FactSet,
+        data_system: Optional[str],
+    ) -> bool:
+        """Mirror of :meth:`_check_against_server`, verdict only."""
+        process_view = facts.instance_supports[server.id]
+        if not self._covers(process_view, reference_view):
+            return False
+        element_name = data_system
+        if element_name is None and server.owner_kind == "system":
+            element_name = server.owner
+        if element_name is not None:
+            element_view = facts.system_supports.get(element_name)
+            if element_view is not None and not self._covers(
+                element_view, reference_view
+            ):
+                return False
+        direct = facts.direct_domains_map()
+        client_direct = direct.get(reference.client, ())
+        server_direct = direct.get(f"instance:{server.id}", ())
+        for domain in client_direct:
+            if domain in server_direct:
+                return True
+        index = self._permission_index(facts)
+        return (
+            index.covering_permission(server, reference, reference_view)
+            is not None
+        )
+
+    def _covers(self, container: MibView, contained: MibView) -> bool:
+        """Memoized ``container.covers_view(contained)`` over interned views."""
+        key = (id(container), id(contained))
+        got = self._cover_memo.get(key)
+        if got is None:
+            got = container.covers_view(contained)
+            self._cover_memo[key] = got
+            self._memo_pins.append(container)
+            self._memo_pins.append(contained)
+        return got
+
+    def _permission_index(self, facts: FactSet) -> PermissionIndex:
+        if self._index is None:
+            self._index = PermissionIndex(
+                facts, self._view, public_domain=self._public
+            )
+        return self._index
+
+    def _candidates(
+        self, reference: Reference, facts: FactSet
+    ) -> Tuple[Optional[List[InstanceId]], bool, Optional[str]]:
+        """Candidate servers, memoized per target when indexed."""
+        if self._engine == "scan":
+            return self._candidate_servers(reference, facts)
+        got = self._candidate_memo.get(reference.server)
+        if got is None:
+            got = self._candidate_servers(reference, facts)
+            self._candidate_memo[reference.server] = got
+        return got
 
     # ------------------------------------------------------------------
     # Instantiation consistency: a process must fit its network element.
@@ -115,10 +466,10 @@ class ConsistencyChecker:
             element_view = facts.system_supports.get(instance.owner)
             if element_view is None or supported.is_empty():
                 continue
-            if element_view.covers_view(supported):
+            state, effective_paths = self._fit(supported, element_view)
+            if state == "ok":
                 continue
-            effective = supported.intersection(element_view)
-            if effective.is_empty():
+            if state == "empty":
                 problems.append(
                     Inconsistency(
                         kind=InconsistencyKind.INSTANTIATION_CONFLICT,
@@ -134,17 +485,43 @@ class ConsistencyChecker:
                 warnings.append(
                     f"process {instance.process_name!r} on {instance.owner!r}: "
                     "supported view clipped to what the element supports "
-                    f"({sorted(effective.paths())})"
+                    f"({effective_paths})"
                 )
         return problems
 
+    def _fit(
+        self, supported: MibView, element_view: MibView
+    ) -> Tuple[str, Optional[List[str]]]:
+        """Classify a (process view, element view) pair, memoized when
+        indexed: ``ok`` (covered), ``clipped`` (non-empty intersection,
+        with its sorted paths) or ``empty``."""
+        if self._engine == "indexed":
+            key = (id(supported), id(element_view))
+            got = self._fit_memo.get(key)
+            if got is not None:
+                return got
+        if element_view.covers_view(supported):
+            result: Tuple[str, Optional[List[str]]] = ("ok", None)
+        else:
+            effective = supported.intersection(element_view)
+            if effective.is_empty():
+                result = ("empty", None)
+            else:
+                result = ("clipped", sorted(effective.paths()))
+        if self._engine == "indexed":
+            self._fit_memo[key] = result
+            self._memo_pins.append(supported)
+            self._memo_pins.append(element_view)
+        return result
+
     # ------------------------------------------------------------------
-    # Reference reduction.
+    # Reference reduction (the scan path, and the cause reporter for the
+    # indexed path's uncovered references).
     # ------------------------------------------------------------------
     def _check_reference(
         self, reference: Reference, facts: FactSet
     ) -> List[Inconsistency]:
-        candidates, existential, data_system = self._candidate_servers(
+        candidates, existential, data_system = self._candidates(
             reference, facts
         )
         if candidates is None:  # unknown/external target: cannot check
@@ -351,7 +728,7 @@ class ConsistencyChecker:
             rate = reference.frequency.max_rate_per_second()
             if rate == float("inf"):
                 continue
-            candidates, _existential, _data_system = self._candidate_servers(
+            candidates, _existential, _data_system = self._candidates(
                 reference, facts
             )
             for server in candidates or ():
@@ -372,6 +749,8 @@ class ConsistencyChecker:
         return warnings
 
     def _view(self, paths: Sequence[str]) -> MibView:
+        if self._generator is not None:
+            return self._generator.view(paths)
         key = tuple(paths)
         cached = self._view_cache.get(key)
         if cached is None:
@@ -396,14 +775,24 @@ def check_with_clpr(
     problems: List[Inconsistency] = []
     seen = set()
     for answer in engine.solve("inconsistent(R)", limit=limit):
-        rendered = repr(answer.value("R"))
+        term = answer.value("R")
+        rendered = repr(term)
         if rendered in seen:
             continue
         seen.add(rendered)
+        causes: Tuple[str, ...] = ()
+        if isinstance(term, Struct) and term.functor == "ref" and len(term.args) == 5:
+            client, server, variable, _access, _period = term.args
+            causes = (
+                f"client {client!r}",
+                f"server {server!r}",
+                f"variable {variable!r}",
+            )
         problems.append(
             Inconsistency(
                 kind=InconsistencyKind.MISSING_PERMISSION,
                 message=f"CLP(R) proved: inconsistent({rendered})",
+                causes=causes,
             )
         )
     elapsed = time.perf_counter() - started
@@ -416,3 +805,24 @@ def check_with_clpr(
             "engine": "clpr-sld",
         },
     )
+
+
+def failing_clients(result: ConsistencyResult) -> frozenset:
+    """The client instance ids implicated by a result's inconsistencies.
+
+    Works across engines: the closure engines name the client via the
+    offending :class:`Reference`; the CLP(R) path names it in the
+    structured ``client ...`` cause.  Used by the differential oracle to
+    compare *causes*, not just verdicts.
+    """
+    clients = set()
+    for problem in result.inconsistencies:
+        if problem.reference is not None and problem.reference.client.startswith(
+            "instance:"
+        ):
+            clients.add(problem.reference.client.split(":", 1)[1])
+            continue
+        for cause in problem.causes:
+            if cause.startswith("client "):
+                clients.add(cause.split(" ", 1)[1].strip("'"))
+    return frozenset(clients)

@@ -6,12 +6,21 @@ true of re-checking consistency.  This module provides:
 
 * :class:`SpecificationDiff` — a structural diff between two versions of
   an internet specification: added/removed/changed processes, systems
-  and domains;
-* :class:`DeltaChecker` — incremental consistency checking: only the
-  references that could be affected by the changed declarations are
-  re-checked, and the remembered verdicts of untouched references are
-  reused.  A reference is affected when its client instance, its target,
-  or any domain containing either changed.
+  and domains (each declaration compared by its
+  :meth:`~repro.nmsl.specs.ProcessSpec.fingerprint_tuple`);
+* :class:`EvolutionDelta` — a new specification version paired with its
+  diff against the previous one: the unit
+  :meth:`ConsistencyChecker.recheck` consumes;
+* :func:`affected_entities` / :func:`reference_affected` — the
+  affectedness analysis shared by the incremental engine: which entity
+  tags a diff taints, and whether a reference touches any of them;
+* :class:`DeltaChecker` — the convenience wrapper: feed it successive
+  specification versions and it keeps one persistent
+  :class:`ConsistencyChecker` warm, so fact expansion is incremental
+  (only declarations the diff touched are re-expanded) and only the
+  references that could be affected are re-reduced, with untouched
+  verdicts reused.  A reference is affected when its client instance,
+  its target, or any domain containing either changed.
 
 The delta check is exact (proved by the equivalence test-suite and by
 construction: coverage of a reference depends only on the entities the
@@ -20,20 +29,14 @@ affectedness test tracks).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.consistency.checker import ConsistencyChecker
 from repro.consistency.facts import FactSet
-from repro.consistency.report import ConsistencyResult, Inconsistency
+from repro.consistency.report import ConsistencyResult
 from repro.mib.tree import MibTree
-from repro.nmsl.specs import (
-    DomainSpec,
-    ProcessSpec,
-    Specification,
-    SystemSpec,
-)
+from repro.nmsl.specs import Specification
 
 
 @dataclass(frozen=True)
@@ -77,40 +80,9 @@ def _spec_tables(specification: Specification):
 
 def _fingerprint(spec_obj) -> Tuple:
     """A comparable value-summary of one declaration."""
-    if isinstance(spec_obj, ProcessSpec):
-        return (
-            spec_obj.params,
-            tuple(sorted(spec_obj.supports)),
-            tuple(
-                (e.variables, e.to_domain, e.access, e.frequency.as_tuple())
-                for e in spec_obj.exports
-            ),
-            tuple(
-                (q.target, q.requests, q.kind, q.access, q.frequency.as_tuple())
-                for q in spec_obj.queries
-            ),
-            tuple((p.target_system, p.protocol) for p in spec_obj.proxies),
-        )
-    if isinstance(spec_obj, SystemSpec):
-        return (
-            spec_obj.cpu,
-            tuple(
-                (i.name, i.network, i.if_type, i.speed_bps)
-                for i in spec_obj.interfaces
-            ),
-            tuple(sorted(spec_obj.supports)),
-            tuple((p.process_name, p.args) for p in spec_obj.processes),
-        )
-    if isinstance(spec_obj, DomainSpec):
-        return (
-            tuple(sorted(spec_obj.systems)),
-            tuple(sorted(spec_obj.subdomains)),
-            tuple((p.process_name, p.args) for p in spec_obj.processes),
-            tuple(
-                (e.variables, e.to_domain, e.access, e.frequency.as_tuple())
-                for e in spec_obj.exports
-            ),
-        )
+    fingerprint_tuple = getattr(spec_obj, "fingerprint_tuple", None)
+    if fingerprint_tuple is not None:
+        return fingerprint_tuple()
     return (repr(spec_obj),)
 
 
@@ -132,6 +104,65 @@ def diff_specifications(
     return diff
 
 
+@dataclass(frozen=True)
+class EvolutionDelta:
+    """A specification version plus its diff from the previous version."""
+
+    specification: Specification
+    diff: SpecificationDiff
+
+    @classmethod
+    def between(
+        cls, old: Specification, new: Specification
+    ) -> "EvolutionDelta":
+        return cls(specification=new, diff=diff_specifications(old, new))
+
+
+def affected_entities(diff: SpecificationDiff, facts: FactSet) -> Set[str]:
+    """Entity tags whose involvement forces a re-check.
+
+    Changed domains taint everything they transitively contain (their
+    exports and memberships gate coverage); changed systems taint their
+    instances; changed processes taint their instances; and the
+    transitive-ancestor expansion makes grantee-side changes visible too.
+    """
+    affected: Set[str] = set()
+    for name in diff.changed_names("domain"):
+        affected.add(f"domain:{name}")
+    for name in diff.changed_names("system"):
+        affected.add(f"system:{name}")
+    changed_processes = diff.changed_names("process")
+    for name in changed_processes:
+        affected.add(f"process:{name}")
+    for instance in facts.instances:
+        if instance.process_name in changed_processes:
+            affected.add(f"instance:{instance.id}")
+            # A changed agent process changes what its host can serve.
+            if instance.owner_kind == "system":
+                affected.add(f"system:{instance.owner}")
+    # Expand domain taint downward: members of changed domains.
+    containment = facts.transitive_containment()
+    for child, parents in containment.items():
+        if parents & affected:
+            affected.add(child)
+    return affected
+
+
+def reference_affected(reference, affected: Set[str]) -> bool:
+    """Could this reference's verdict have changed under the taint set?"""
+    if reference.client in affected:
+        return True
+    if reference.server in affected:
+        return True
+    if reference.server == "*":
+        # Wildcard coverage can shift with any change at all.
+        return bool(affected)
+    for domain in reference.client_domains:
+        if f"domain:{domain}" in affected:
+            return True
+    return False
+
+
 class DeltaChecker:
     """Incremental consistency checking across specification versions.
 
@@ -140,126 +171,39 @@ class DeltaChecker:
         checker = DeltaChecker(tree)
         first  = checker.check(version1)   # full check, verdicts remembered
         second = checker.check(version2)   # only affected references re-run
+
+    A thin convenience wrapper over one persistent
+    :class:`ConsistencyChecker` and its :meth:`~ConsistencyChecker.recheck`
+    — the checker's memoized views, containment closures and per-shape
+    verdicts stay warm across versions.
     """
 
-    def __init__(self, tree: MibTree):
+    def __init__(self, tree: MibTree, engine: str = "indexed", jobs: int = 1):
         self._tree = tree
-        self._previous: Optional[Specification] = None
-        #: reference key -> problems from the last check.
-        self._verdicts: Dict[Tuple, List[Inconsistency]] = {}
+        self._engine = engine
+        self._jobs = jobs
+        self._checker: Optional[ConsistencyChecker] = None
         self.last_rechecked = 0
         self.last_reused = 0
 
-    @staticmethod
-    def _reference_key(reference) -> Tuple:
-        return (
-            reference.client,
-            reference.server,
-            reference.variables,
-            reference.access,
-            reference.frequency.as_tuple(),
-            reference.client_domains,
-        )
+    @property
+    def checker(self) -> Optional[ConsistencyChecker]:
+        """The persistent engine (None before the first check)."""
+        return self._checker
 
     def check(self, specification: Specification) -> ConsistencyResult:
-        started = time.perf_counter()
-        checker = ConsistencyChecker(specification, self._tree)
-        facts = checker.facts
-        if self._previous is None:
-            result = checker.check()
-            self._remember(facts, checker)
-            self._previous = specification
-            self.last_rechecked = len(facts.references)
+        if self._checker is None:
+            self._checker = ConsistencyChecker(
+                specification, self._tree, engine=self._engine
+            )
+            result = self._checker.check(jobs=self._jobs)
+            self.last_rechecked = result.stats["references"]
             self.last_reused = 0
             return result
-
-        diff = diff_specifications(self._previous, specification)
-        affected = self._affected_entities(diff, facts)
-        problems: List[Inconsistency] = []
-        warnings: List[str] = []
-        problems.extend(checker._check_instantiations(facts, warnings))
-        rechecked = reused = 0
-        new_verdicts: Dict[Tuple, List[Inconsistency]] = {}
-        for reference in facts.references:
-            key = self._reference_key(reference)
-            if key in self._verdicts and not self._is_affected(
-                reference, affected
-            ):
-                verdict = self._verdicts[key]
-                reused += 1
-            else:
-                verdict = checker._check_reference(reference, facts)
-                rechecked += 1
-            new_verdicts[key] = verdict
-            problems.extend(verdict)
-        self._verdicts = new_verdicts
-        self._previous = specification
-        self.last_rechecked = rechecked
-        self.last_reused = reused
-        elapsed = time.perf_counter() - started
-        return ConsistencyResult(
-            consistent=not problems,
-            inconsistencies=problems,
-            warnings=warnings,
-            stats={
-                "instances": len(facts.instances),
-                "references": len(facts.references),
-                "permissions": len(facts.permissions),
-                "rechecked": rechecked,
-                "reused": reused,
-                "diff_entries": len(diff),
-                "seconds": elapsed,
-            },
+        delta = EvolutionDelta.between(
+            self._checker.specification, specification
         )
-
-    def _remember(self, facts: FactSet, checker: ConsistencyChecker) -> None:
-        self._verdicts = {}
-        for reference in facts.references:
-            self._verdicts[self._reference_key(reference)] = (
-                checker._check_reference(reference, facts)
-            )
-
-    def _affected_entities(
-        self, diff: SpecificationDiff, facts: FactSet
-    ) -> Set[str]:
-        """Entity tags whose involvement forces a re-check.
-
-        Changed domains taint everything they transitively contain (their
-        exports and memberships gate coverage); changed systems taint
-        their instances; changed processes taint their instances; and the
-        transitive-ancestor expansion makes grantee-side changes visible
-        too.
-        """
-        affected: Set[str] = set()
-        for name in diff.changed_names("domain"):
-            affected.add(f"domain:{name}")
-        for name in diff.changed_names("system"):
-            affected.add(f"system:{name}")
-        changed_processes = diff.changed_names("process")
-        for name in changed_processes:
-            affected.add(f"process:{name}")
-        for instance in facts.instances:
-            if instance.process_name in changed_processes:
-                affected.add(f"instance:{instance.id}")
-                # A changed agent process changes what its host can serve.
-                if instance.owner_kind == "system":
-                    affected.add(f"system:{instance.owner}")
-        # Expand domain taint downward: members of changed domains.
-        containment = facts.transitive_containment()
-        for child, parents in containment.items():
-            if parents & affected:
-                affected.add(child)
-        return affected
-
-    def _is_affected(self, reference, affected: Set[str]) -> bool:
-        if reference.client in affected:
-            return True
-        if reference.server in affected:
-            return True
-        if reference.server == "*":
-            # Wildcard coverage can shift with any change at all.
-            return bool(affected)
-        for domain in reference.client_domains:
-            if f"domain:{domain}" in affected:
-                return True
-        return False
+        result = self._checker.recheck(delta, jobs=self._jobs)
+        self.last_rechecked = result.stats["rechecked"]
+        self.last_reused = result.stats["reused"]
+        return result

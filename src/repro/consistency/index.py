@@ -1,0 +1,186 @@
+"""Indexed reference→permission coverage lookup.
+
+The paper's reduction step asks, for every reference, whether some
+permission covers it.  The scan engine answers by walking the candidate
+permission list per reference — O(refs × perms) in the worst case.  The
+:class:`PermissionIndex` here drops that to near-O(refs):
+
+* per server instance, the applicable permissions (its own exports plus
+  every containing domain's) are collected once and their views resolved
+  once;
+* within a server's permission set, permissions are bucketed by the OID
+  components of their view roots, so "which permissions could cover this
+  requested subtree" is answered by walking the subtree's OID prefixes —
+  O(depth) dictionary probes instead of a scan;
+* the surviving candidates (usually zero or one) are then filtered by
+  grantee domain, access mode and frequency interval, exactly the
+  conditions of :func:`repro.consistency.relations.permission_covers`.
+
+The index answers the *positive* question only ("is the reference
+covered, and by which permission").  Cause reporting for uncovered
+references stays with the checker's detailed scan, so inconsistency
+reports are byte-identical between engines.
+
+Index entries are built lazily per server: a check that never references
+a server never pays for indexing its permissions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.consistency.facts import FactSet, InstanceId
+from repro.consistency.relations import Permission, Reference
+from repro.mib.view import MibView
+
+#: Resolves a paths-tuple to a (preferably interned) MibView.
+ViewResolver = Callable[[Sequence[str]], MibView]
+
+#: One indexed permission: the permission plus its resolved view.
+IndexedPermission = Tuple[Permission, MibView]
+
+#: Per-server index: the entry list plus OID-prefix buckets mapping a
+#: permission-view root (as an OID component tuple) to entry positions.
+_ServerIndex = Tuple[
+    Tuple[IndexedPermission, ...],
+    Dict[Tuple[int, ...], List[int]],
+]
+
+
+class PermissionIndex:
+    """Permissions keyed by (server, grantee domain, OID prefix, access).
+
+    Built against one :class:`FactSet`; the consistency checker discards
+    it whenever the specification fingerprint changes, so it can cache
+    aggressively.
+    """
+
+    def __init__(
+        self,
+        facts: FactSet,
+        view_of: ViewResolver,
+        public_domain: str = "public",
+    ):
+        self._facts = facts
+        self._view_of = view_of
+        self._public = public_domain
+        self._servers: Dict[str, _ServerIndex] = {}
+        #: id(view) -> its root OIDs as component tuples (views are
+        #: interned by the checker, so id-keying is safe; the pin list
+        #: keeps them alive for the index's lifetime).
+        self._root_components: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
+        self._pins: List[MibView] = []
+
+    # ------------------------------------------------------------------
+    # Build (lazy, per server).
+    # ------------------------------------------------------------------
+    def permissions_for(self, server: InstanceId) -> List[Permission]:
+        """Every permission applicable to *server*, in index order."""
+        entries, _buckets = self._server_index(server)
+        return [permission for permission, _view in entries]
+
+    def _server_index(self, server: InstanceId) -> _ServerIndex:
+        got = self._servers.get(server.id)
+        if got is None:
+            by_grantor = self._facts.permissions_by_grantor()
+            containment = self._facts.transitive_containment()
+            permissions: List[Permission] = list(
+                by_grantor.get(f"instance:{server.id}", ())
+            )
+            for container in containment.get(f"instance:{server.id}", ()):
+                if container.startswith("domain:"):
+                    permissions.extend(by_grantor.get(container, ()))
+            entries = tuple(
+                (permission, self._view_of(permission.variables))
+                for permission in permissions
+            )
+            buckets: Dict[Tuple[int, ...], List[int]] = {}
+            for position, (_permission, view) in enumerate(entries):
+                for oid in view.root_oids():
+                    buckets.setdefault(oid.components, []).append(position)
+            got = (entries, buckets)
+            self._servers[server.id] = got
+        return got
+
+    # ------------------------------------------------------------------
+    # Lookup.
+    # ------------------------------------------------------------------
+    def covering_permission(
+        self,
+        server: InstanceId,
+        reference: Reference,
+        reference_view: MibView,
+    ) -> Optional[Permission]:
+        """A permission at *server* covering *reference*, if any exists.
+
+        Agrees with :func:`permission_covers` over the server's candidate
+        list: returns a permission iff the scan would find one.
+        """
+        entries, buckets = self._server_index(server)
+        if not entries:
+            return None
+        roots = self._roots_of(reference_view)
+        if len(roots) == 1:
+            components = roots[0]
+            positions: List[int] = []
+            for depth in range(len(components) + 1):
+                hits = buckets.get(components[:depth])
+                if hits:
+                    positions.extend(hits)
+            if not positions:
+                return None
+            ordered = (
+                sorted(set(positions)) if len(positions) > 1 else positions
+            )
+        elif roots:
+            candidates: Optional[set] = None
+            for components in roots:
+                found: set = set()
+                for depth in range(len(components) + 1):
+                    hits = buckets.get(components[:depth])
+                    if hits:
+                        found.update(hits)
+                candidates = (
+                    found if candidates is None else candidates & found
+                )
+                if not candidates:
+                    return None
+            ordered = sorted(candidates)
+        else:
+            # An empty view (nothing resolvable) is covered by any
+            # permission that passes the scalar conditions, matching
+            # covers_view's all-of-nothing semantics.
+            ordered = range(len(entries))
+        client_domains = reference.client_domains
+        for position in ordered:
+            permission, _view = entries[position]
+            if (
+                permission.grantee_domain != self._public
+                and permission.grantee_domain not in client_domains
+            ):
+                continue
+            if not permission.access.permits(reference.access):
+                continue
+            if not reference.frequency.covered_by(permission.frequency):
+                continue
+            return permission
+        return None
+
+    def _roots_of(
+        self, view: MibView
+    ) -> Tuple[Tuple[int, ...], ...]:
+        key = id(view)
+        got = self._root_components.get(key)
+        if got is None:
+            got = tuple(oid.components for oid in view.root_oids())
+            self._root_components[key] = got
+            self._pins.append(view)
+        return got
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "indexed_servers": len(self._servers),
+            "indexed_permissions": sum(
+                len(entries) for entries, _buckets in self._servers.values()
+            ),
+        }

@@ -35,6 +35,10 @@ class TypeSpec:
     access: Optional[Access] = None
     location: SourceLocation = field(default_factory=SourceLocation)
 
+    def fingerprint_tuple(self) -> Tuple:
+        """A hashable value-summary of this declaration (see module note)."""
+        return ("type", self.name, repr(self.asn1_type), self.access)
+
 
 @dataclass
 class QuerySpec:
@@ -115,6 +119,24 @@ class ProcessSpec:
     def param_names(self) -> Tuple[str, ...]:
         return tuple(name for name, _type in self.params)
 
+    def fingerprint_tuple(self) -> Tuple:
+        return (
+            "process",
+            self.name,
+            self.params,
+            tuple(sorted(self.supports)),
+            tuple(
+                (e.variables, e.to_domain, e.access, e.frequency.as_tuple())
+                for e in self.exports
+            ),
+            tuple(
+                (q.target, q.requests, q.using, q.kind, q.access,
+                 q.frequency.as_tuple())
+                for q in self.queries
+            ),
+            tuple((p.target_system, p.protocol) for p in self.proxies),
+        )
+
 
 @dataclass
 class ProcessInvocation:
@@ -166,6 +188,21 @@ class SystemSpec:
     def total_speed_bps(self) -> int:
         return sum(interface.speed_bps for interface in self.interfaces)
 
+    def fingerprint_tuple(self) -> Tuple:
+        return (
+            "system",
+            self.name,
+            self.cpu,
+            self.opsys,
+            self.opsys_version,
+            tuple(
+                (i.name, i.network, i.if_type, i.speed_bps, i.protocols)
+                for i in self.interfaces
+            ),
+            tuple(sorted(self.supports)),
+            tuple((p.process_name, p.args) for p in self.processes),
+        )
+
 
 @dataclass
 class DomainSpec:
@@ -180,6 +217,19 @@ class DomainSpec:
 
     def member_names(self) -> Tuple[str, ...]:
         return self.systems + self.subdomains
+
+    def fingerprint_tuple(self) -> Tuple:
+        return (
+            "domain",
+            self.name,
+            tuple(sorted(self.systems)),
+            tuple(sorted(self.subdomains)),
+            tuple((p.process_name, p.args) for p in self.processes),
+            tuple(
+                (e.variables, e.to_domain, e.access, e.frequency.as_tuple())
+                for e in self.exports
+            ),
+        )
 
 
 #: The name of the implicit domain every internet exports to.
@@ -265,6 +315,49 @@ class Specification:
             for spec in source.domains.values():
                 merged.add_domain(spec)
         return merged
+
+    # ------------------------------------------------------------------
+    # Fingerprints (stale-cache keys for the consistency engine).
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> int:
+        """A process-local fingerprint of the whole specification.
+
+        Two specifications with equal declaration *values* fingerprint
+        equally even when the objects differ; any structural mutation
+        changes the fingerprint.  The consistency engine keys its fact
+        and view caches on this, so callers may mutate a specification in
+        place and the next check sees the change.  (Process-local: built
+        on ``hash``, so not stable across interpreter runs.)
+        """
+        return hash(self.fingerprint_tuple())
+
+    def fingerprint_tuple(self) -> Tuple:
+        return (
+            tuple(
+                spec.fingerprint_tuple()
+                for _name, spec in sorted(self.types.items())
+            ),
+            tuple(
+                spec.fingerprint_tuple()
+                for _name, spec in sorted(self.processes.items())
+            ),
+            tuple(
+                spec.fingerprint_tuple()
+                for _name, spec in sorted(self.systems.items())
+            ),
+            tuple(
+                spec.fingerprint_tuple()
+                for _name, spec in sorted(self.domains.items())
+            ),
+            tuple(
+                (name, tuple(repr(item) for item in items))
+                for name, items in sorted(self.extras.items())
+            ),
+            tuple(
+                (key, tuple(clauses))
+                for key, clauses in sorted(self.extension_clauses.items())
+            ),
+        )
 
     def counts(self) -> Dict[str, int]:
         return {

@@ -1,0 +1,52 @@
+"""Golden-file snapshots of the prescriptive output.
+
+The consistency engine rework must not silently change what the
+configuration generators emit: these tests pin the ``BartsSnmpd`` and
+``acl-table`` output for the two checked-in example internets byte for
+byte.
+
+To regenerate after an *intentional* output change::
+
+    UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/codegen/test_golden.py
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.nmsl.compiler import NmslCompiler
+
+_EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+_GOLDEN = Path(__file__).resolve().parent / "golden"
+
+CASES = [
+    ("campus", "BartsSnmpd", "snmpd"),
+    ("campus", "acl-table", "acl"),
+    ("paper_internet", "BartsSnmpd", "snmpd"),
+    ("paper_internet", "acl-table", "acl"),
+]
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return NmslCompiler()
+
+
+@pytest.mark.parametrize(
+    "stem, tag, suffix", CASES, ids=[f"{s}-{x}" for s, _t, x in CASES]
+)
+def test_codegen_matches_golden(compiler, stem, tag, suffix):
+    source = (_EXAMPLES / f"{stem}.nmsl").read_text(encoding="utf-8")
+    result = compiler.compile(source)
+    assert result.ok, result.report.errors
+    generated = compiler.generate(tag, result).text()
+
+    golden_path = _GOLDEN / f"{stem}.{suffix}.txt"
+    if os.environ.get("UPDATE_GOLDEN"):
+        golden_path.write_text(generated, encoding="utf-8")
+    expected = golden_path.read_text(encoding="utf-8")
+    assert generated == expected, (
+        f"{tag} output for examples/{stem}.nmsl deviates from "
+        f"{golden_path.name}; run with UPDATE_GOLDEN=1 if intentional"
+    )

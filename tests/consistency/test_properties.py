@@ -8,7 +8,13 @@ The laws the paper's model implies:
   consistent specification inconsistent;
 * **umbrella neutrality** — wrapping domains in grant-nothing ancestors
   changes no verdict;
-* **verdict determinism** — checking twice gives identical reports.
+* **verdict determinism** — checking twice gives identical reports;
+* **incremental exactness** — ``recheck(delta)`` equals a from-scratch
+  check of the delta's specification;
+* **coverage reflexivity / monotonicity** — a permission granting
+  exactly what a reference requests covers it, and widening the
+  permitted view to OID-prefix ancestors (moving up the containment
+  closure) never loses coverage.
 """
 
 import dataclasses
@@ -17,7 +23,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.consistency.checker import ConsistencyChecker
+from repro.consistency.relations import (
+    Permission,
+    Reference,
+    permission_covers,
+)
 from repro.mib.tree import Access
+from repro.mib.view import MibView
 from repro.nmsl.compiler import CompilerOptions, NmslCompiler
 from repro.nmsl.frequency import FrequencySpec
 from repro.nmsl.specs import ExportSpec
@@ -127,3 +139,136 @@ class TestDeterminism:
         assert [p.message for p in first.inconsistencies] == [
             p.message for p in second.inconsistencies
         ]
+
+
+class TestIncrementalExactness:
+    """``recheck(delta)`` must equal a from-scratch check of the delta."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(parameter_sets, parameter_sets)
+    def test_recheck_equals_from_scratch(self, before, after):
+        before_spec = SyntheticInternet(before).specification()
+        after_spec = SyntheticInternet(after).specification()
+
+        checker = ConsistencyChecker(before_spec, _COMPILER.tree)
+        checker.check()
+        incremental = checker.recheck(after_spec)
+        scratch = check(after_spec)
+
+        assert incremental.consistent == scratch.consistent
+        assert sorted(p.message for p in incremental.inconsistencies) == (
+            sorted(p.message for p in scratch.inconsistencies)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(parameter_sets)
+    def test_recheck_of_identical_spec_reuses_everything(self, parameters):
+        specification = SyntheticInternet(parameters).specification()
+        checker = ConsistencyChecker(specification, _COMPILER.tree)
+        baseline = checker.check()
+        again = checker.recheck(
+            SyntheticInternet(parameters).specification()
+        )
+        assert again.consistent == baseline.consistent
+        assert again.stats["rechecked"] == 0
+        assert again.stats["reused"] == again.stats["references"]
+        assert again.stats["facts_expanded"] == 0
+
+
+#: Resolvable MIB paths, deepest-first: index i's OID-prefix ancestors
+#: are the later entries of its chain.
+_PATH_CHAINS = (
+    ("mgmt.mib.ip.ipAddrTable.IpAddrEntry", "mgmt.mib.ip", "mgmt.mib"),
+    ("mgmt.mib.tcp", "mgmt.mib"),
+    ("mgmt.mib.system", "mgmt.mib"),
+    ("mgmt.mib.interfaces", "mgmt.mib"),
+)
+
+_access_modes = st.sampled_from(
+    [Access.READ_ONLY, Access.READ_WRITE, Access.ANY]
+)
+_frequencies = st.sampled_from(
+    [
+        FrequencySpec.unconstrained(),
+        FrequencySpec.at_most_every(60.0),
+        FrequencySpec.at_most_every(900.0),
+    ]
+)
+
+
+def _reference(paths, access, frequency):
+    return Reference(
+        client="instance:client#1",
+        client_domains=("engr",),
+        server="system:server",
+        variables=paths,
+        access=access,
+        frequency=frequency,
+    )
+
+
+def _permission(paths, access, frequency, grantee="engr"):
+    return Permission(
+        grantor="system:server",
+        grantor_domains=("engr",),
+        grantee_domain=grantee,
+        variables=paths,
+        access=access,
+        frequency=frequency,
+    )
+
+
+class TestCoverageLaws:
+    """Reflexivity and closure-monotonicity of ``permission_covers``."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        chain=st.sampled_from(_PATH_CHAINS),
+        access=_access_modes,
+        frequency=_frequencies,
+    )
+    def test_reflexive_under_oid_prefix_identity(
+        self, chain, access, frequency
+    ):
+        """A permission granting exactly the requested subtree, mode and
+        interval covers the reference."""
+        paths = (chain[0],)
+        view = MibView(_COMPILER.tree, list(paths))
+        verdict = permission_covers(
+            _reference(paths, access, frequency),
+            _permission(paths, access, frequency),
+            view,
+            view,
+        )
+        assert verdict.covered, verdict.reason
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        chain=st.sampled_from(_PATH_CHAINS),
+        ancestor_depth=st.integers(1, 2),
+        access=_access_modes,
+        frequency=_frequencies,
+    )
+    def test_monotone_under_containment_closure(
+        self, chain, ancestor_depth, access, frequency
+    ):
+        """Widening the permitted view to an OID-prefix ancestor (a step
+        up the containment closure) never loses coverage."""
+        requested = (chain[0],)
+        ancestor = (chain[min(ancestor_depth, len(chain) - 1)],)
+        reference_view = MibView(_COMPILER.tree, list(requested))
+        ancestor_view = MibView(_COMPILER.tree, list(ancestor))
+        exact = permission_covers(
+            _reference(requested, access, frequency),
+            _permission(requested, access, frequency),
+            reference_view,
+            MibView(_COMPILER.tree, list(requested)),
+        )
+        widened = permission_covers(
+            _reference(requested, access, frequency),
+            _permission(ancestor, access, frequency),
+            reference_view,
+            ancestor_view,
+        )
+        assert exact.covered
+        assert widened.covered, widened.reason

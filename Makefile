@@ -1,10 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick clean
+.PHONY: test analyze bench bench-quick clean
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Static-analysis gate: fails on non-baselined error diagnostics.
+analyze:
+	$(PYTHON) -m repro.cli analyze examples/campus.nmsl examples/paper_internet.nmsl \
+		--baseline examples/analysis-baseline.json
+	$(PYTHON) -m repro.cli analyze examples/campus.nmsl examples/paper_internet.nmsl \
+		--baseline examples/analysis-baseline.json --format sarif > analysis.sarif
 
 ## Full engine comparison: scan vs indexed vs incremental, all sizes.
 bench:
@@ -15,5 +22,5 @@ bench-quick:
 	$(PYTHON) benchmarks/bench_consistency.py --quick --output BENCH_consistency.json
 
 clean:
-	rm -rf .pytest_cache .benchmarks
+	rm -rf .pytest_cache .benchmarks analysis.sarif
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,96 @@
+"""Baseline suppression for analysis findings.
+
+A baseline file freezes the currently-known findings of a specification
+corpus: the CI gate then fails only on findings *not* in the baseline,
+so a new rule (or a newly sharpened one) can land without first fixing
+every historical finding.
+
+Entries are matched on :meth:`Diagnostic.fingerprint` — (code, subject,
+message) — deliberately ignoring line/column, so edits that merely move
+a declaration do not invalidate the baseline.  The file is JSON with
+human-reviewable entries::
+
+    {
+      "version": 1,
+      "tool": "nmslc-analyze",
+      "suppressions": [
+        {"code": "NM201", "subject": "process snmpAgent",
+         "message": "export of ... matches no specified reference"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import FrozenSet, Iterable, List, Tuple, Union
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+
+Fingerprint = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file."""
+
+
+class Baseline:
+    """A set of suppressed finding fingerprints."""
+
+    def __init__(self, fingerprints: Iterable[Fingerprint] = ()):
+        self._fingerprints: FrozenSet[Fingerprint] = frozenset(fingerprints)
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    def __contains__(self, diagnostic: Diagnostic) -> bool:
+        return diagnostic.fingerprint() in self._fingerprints
+
+    @classmethod
+    def from_report(cls, report: AnalysisReport) -> "Baseline":
+        return cls(d.fingerprint() for d in report.diagnostics)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+        if not isinstance(payload, dict) or "suppressions" not in payload:
+            raise BaselineError(
+                f"{path}: expected an object with a 'suppressions' list"
+            )
+        fingerprints: List[Fingerprint] = []
+        for entry in payload["suppressions"]:
+            try:
+                fingerprints.append(
+                    (entry["code"], entry["subject"], entry["message"])
+                )
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"{path}: suppression entries need code/subject/message"
+                ) from exc
+        return cls(fingerprints)
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": 1,
+            "tool": "nmslc-analyze",
+            "suppressions": [
+                {"code": code, "subject": subject, "message": message}
+                for code, subject, message in sorted(self._fingerprints)
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def apply(self, report: AnalysisReport) -> AnalysisReport:
+        """A copy of *report* with baselined findings marked suppressed."""
+        return AnalysisReport(
+            [
+                d.with_suppressed() if d in self else d
+                for d in report.diagnostics
+            ]
+        )

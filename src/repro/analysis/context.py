@@ -1,0 +1,88 @@
+"""Shared analysis state handed to every pass.
+
+An :class:`AnalysisContext` wraps one compiled specification plus the MIB
+tree and lazily derives the expensive structures the semantic passes
+share: the consistency :class:`FactSet`, interned :class:`MibView`
+objects, and the PR-1 :class:`PermissionIndex`.  Building the context is
+cheap; each derived structure is computed on first use and reused by all
+passes in the run.
+
+Extension-table information (``extensions``, ``keyword_table``,
+``extension_decltypes``) is optional: it is present when the context is
+built through :meth:`repro.nmsl.compiler.NmslCompiler.analysis_context`
+and absent for bare ``Specification`` objects, in which case the
+dead-extension pass simply has nothing to analyze.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.consistency.facts import FactGenerator, FactSet
+from repro.consistency.index import PermissionIndex
+from repro.mib.tree import MibTree
+from repro.mib.view import MibView
+from repro.nmsl.actions import KeywordTable
+from repro.nmsl.extension import Extension
+from repro.nmsl.specs import PUBLIC_DOMAIN, Specification
+
+
+@dataclass
+class AnalysisContext:
+    """Everything an analysis pass may consult."""
+
+    specification: Specification
+    tree: MibTree
+    filename: str = "<nmsl>"
+    public_domain: str = PUBLIC_DOMAIN
+    extensions: Tuple[Extension, ...] = ()
+    extension_files: Tuple[str, ...] = ()
+    extension_decltypes: Tuple[str, ...] = ()
+    keyword_table: Optional[KeywordTable] = None
+
+    _facts: Optional[FactSet] = field(default=None, init=False, repr=False)
+    _index: Optional[PermissionIndex] = field(
+        default=None, init=False, repr=False
+    )
+    _views: Dict[Tuple[str, ...], MibView] = field(
+        default_factory=dict, init=False, repr=False
+    )
+
+    @property
+    def facts(self) -> FactSet:
+        if self._facts is None:
+            self._facts = FactGenerator(
+                self.specification, self.tree, view_of=self.view
+            ).generate()
+        return self._facts
+
+    @property
+    def index(self) -> PermissionIndex:
+        if self._index is None:
+            self._index = PermissionIndex(
+                self.facts, self.view, self.public_domain
+            )
+        return self._index
+
+    def view(self, paths: Sequence[str]) -> MibView:
+        """The interned view for a paths-tuple (unknown paths dropped)."""
+        key = tuple(paths)
+        got = self._views.get(key)
+        if got is None:
+            got = MibView(
+                self.tree, [path for path in key if self.tree.knows(path)]
+            )
+            self._views[key] = got
+        return got
+
+    def is_user_type_path(self, path: str) -> bool:
+        """Does *path* name a user-specified type rather than MIB data?
+
+        Mirrors the compiler's lookup rule (paper Figure 4.2 defines
+        ``ipAddrTable`` as a type of its own): the head segment or the
+        whole path may name a ``type`` specification.
+        """
+        head = path.split(".")[0]
+        types = self.specification.types
+        return head in types or path in types

@@ -1,0 +1,148 @@
+"""The diagnostic model of the static-analysis framework.
+
+A :class:`Diagnostic` is one finding of one analysis pass: a stable code
+(``NM101``), a human slug (``unused-process``), a severity, the subject
+declaration it concerns, a message, the :class:`SourceLocation` span of
+the declaring clause, and an optional suggested fix.  Codes are grouped
+by family:
+
+* ``NM1xx`` — specification hygiene,
+* ``NM2xx`` — permission analyses,
+* ``NM3xx`` — frequency and type/access analyses.
+
+Diagnostics are plain values: renderers (:mod:`repro.analysis.render`)
+turn a report into text, JSON or SARIF, and the baseline mechanism
+(:mod:`repro.analysis.baseline`) marks known findings ``suppressed``
+without removing them, so counts stay honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SourceLocation
+
+
+class Severity(Enum):
+    """Finding severities, aligned with SARIF result levels."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    def sarif_level(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis pass."""
+
+    code: str  # stable, e.g. "NM201"
+    slug: str  # human name, e.g. "unused-permission"
+    severity: Severity
+    subject: str  # the declaration concerned, e.g. "process snmpAgent"
+    message: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+    suggestion: str = ""
+    suppressed: bool = False  # baselined: reported but not gating
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """The baseline identity of this finding.
+
+        Deliberately excludes line/column so that unrelated edits moving
+        a declaration do not invalidate the baseline entry.
+        """
+        return (self.code, self.subject, self.message)
+
+    def sort_key(self) -> Tuple:
+        return (
+            self.location.filename,
+            self.location.line,
+            self.location.column,
+            self.code,
+            self.subject,
+            self.message,
+        )
+
+    def render(self) -> str:
+        line = (
+            f"{self.location}: {self.severity.value} {self.code} "
+            f"[{self.slug}] {self.subject}: {self.message}"
+        )
+        if self.suggestion:
+            line += f"\n    fix: {self.suggestion}"
+        return line
+
+    def with_suppressed(self, suppressed: bool = True) -> "Diagnostic":
+        return replace(self, suppressed=suppressed)
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one analyzer run, in stable order."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    def unsuppressed(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if not d.suppressed]
+
+    def gating(self) -> List[Diagnostic]:
+        """Findings that should fail a CI gate: non-baselined errors."""
+        return [
+            d
+            for d in self.diagnostics
+            if d.severity is Severity.ERROR and not d.suppressed
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        counts = {
+            "findings": len(self.diagnostics),
+            "errors": 0,
+            "warnings": 0,
+            "notes": 0,
+            "suppressed": 0,
+        }
+        plural = {
+            Severity.ERROR: "errors",
+            Severity.WARNING: "warnings",
+            Severity.NOTE: "notes",
+        }
+        for diagnostic in self.diagnostics:
+            counts[plural[diagnostic.severity]] += 1
+            if diagnostic.suppressed:
+                counts["suppressed"] += 1
+        return counts
+
+    def summary_line(self) -> str:
+        counts = self.counts()
+        summary = (
+            f"{counts['findings']} finding(s): {counts['errors']} error(s), "
+            f"{counts['warnings']} warning(s), {counts['notes']} note(s)"
+        )
+        if counts["suppressed"]:
+            summary += f" ({counts['suppressed']} baselined)"
+        return summary
+
+    def render(self) -> str:
+        from repro.analysis.render import render_text
+
+        return render_text(self)
+
+    def merged_with(self, other: "AnalysisReport") -> "AnalysisReport":
+        """Concatenate two reports (multi-file analyzer runs)."""
+        return AnalysisReport(list(self.diagnostics) + list(other.diagnostics))

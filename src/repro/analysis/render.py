@@ -1,0 +1,152 @@
+"""Renderers for analysis reports: text, JSON and SARIF 2.1.0.
+
+The text form is the human CLI output (and the golden-snapshot format);
+JSON is a flat machine-readable dump; SARIF 2.1.0 is the interchange
+format CI systems ingest (one ``run``, one rule per registered pass,
+one ``result`` per finding, baselined findings carried as external
+suppressions).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.registry import AnalysisPass
+
+TOOL_NAME = "nmslc-analyze"
+TOOL_VERSION = "1.0.0"
+TOOL_URI = "https://github.com/nmsl-repro/nmsl"
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(report: AnalysisReport) -> str:
+    """The human-readable form, one (or two) lines per finding."""
+    if not report.diagnostics:
+        return "no analysis findings"
+    lines: List[str] = []
+    for diagnostic in report.diagnostics:
+        rendered = diagnostic.render()
+        if diagnostic.suppressed:
+            rendered += "  (baselined)"
+        lines.append(rendered)
+    lines.append(report.summary_line())
+    return "\n".join(lines)
+
+
+def _diagnostic_dict(diagnostic: Diagnostic) -> Dict:
+    return {
+        "code": diagnostic.code,
+        "slug": diagnostic.slug,
+        "severity": diagnostic.severity.value,
+        "subject": diagnostic.subject,
+        "message": diagnostic.message,
+        "file": diagnostic.location.filename,
+        "line": diagnostic.location.line,
+        "column": diagnostic.location.column,
+        "suggestion": diagnostic.suggestion,
+        "suppressed": diagnostic.suppressed,
+    }
+
+
+def render_json(report: AnalysisReport) -> str:
+    payload = {
+        "tool": TOOL_NAME,
+        "version": 1,
+        "findings": [_diagnostic_dict(d) for d in report.diagnostics],
+        "summary": report.counts(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def _sarif_rule(analysis_pass: AnalysisPass) -> Dict:
+    return {
+        "id": analysis_pass.code,
+        "name": analysis_pass.slug,
+        "shortDescription": {"text": analysis_pass.summary},
+        "properties": {"category": analysis_pass.category},
+        "defaultConfiguration": {
+            "level": analysis_pass.severity.sarif_level()
+        },
+    }
+
+
+def _sarif_result(diagnostic: Diagnostic, rule_index: Dict[str, int]) -> Dict:
+    message = f"{diagnostic.subject}: {diagnostic.message}"
+    if diagnostic.suggestion:
+        message += f" (fix: {diagnostic.suggestion})"
+    result: Dict = {
+        "ruleId": diagnostic.code,
+        "level": diagnostic.severity.sarif_level(),
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diagnostic.location.filename
+                    },
+                    "region": {
+                        "startLine": diagnostic.location.line,
+                        "startColumn": diagnostic.location.column,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "nmslFingerprint/v1": "::".join(diagnostic.fingerprint())
+        },
+    }
+    if diagnostic.code in rule_index:
+        result["ruleIndex"] = rule_index[diagnostic.code]
+    if diagnostic.suppressed:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def render_sarif(
+    report: AnalysisReport,
+    passes: Sequence[AnalysisPass] = (),
+) -> str:
+    """A SARIF 2.1.0 log with one run covering the whole report."""
+    rules = [_sarif_rule(p) for p in passes]
+    rule_index = {rule["id"]: position for position, rule in enumerate(rules)}
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _sarif_result(d, rule_index)
+                    for d in report.diagnostics
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2) + "\n"
+
+
+def render(
+    report: AnalysisReport,
+    format: str = "text",
+    passes: Sequence[AnalysisPass] = (),
+) -> str:
+    if format == "text":
+        return render_text(report)
+    if format == "json":
+        return render_json(report)
+    if format == "sarif":
+        return render_sarif(report, passes)
+    raise ValueError(f"unknown analysis output format {format!r}")

@@ -12,6 +12,16 @@ Examples::
     nmslc internet.nmsl --output BartsSnmpd --ship-dir /var/spool/nmsl
     nmslc internet.nmsl --output consistency       # dump CLP(R) facts
     nmslc internet.nmsl --extensions billing.nmslx --output DavesSnmpd
+
+The static analyzer runs as a subcommand::
+
+    nmslc analyze internet.nmsl
+    nmslc analyze examples/*.nmsl --format sarif > analysis.sarif
+    nmslc analyze examples/*.nmsl --baseline analysis-baseline.json
+
+``analyze`` exits 1 when any non-baselined error-severity diagnostic is
+found (and 2 on compile failure), so it can gate CI.  The old ``--lint``
+flag remains as a deprecated alias.
 """
 
 from __future__ import annotations
@@ -98,8 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--lint",
         action="store_true",
-        help="report hygiene findings (unused processes/permissions, "
-        "unmanaged elements, overbroad grants)",
+        help="deprecated alias for the 'analyze' subcommand: report "
+        "static-analysis findings in text form",
     )
     parser.add_argument(
         "--list-tags",
@@ -115,10 +125,61 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nmslc analyze",
+        description="Static analysis of NMSL specifications: hygiene, "
+        "permission and frequency/type passes with stable diagnostic "
+        "codes (NM1xx/NM2xx/NM3xx)",
+    )
+    parser.add_argument(
+        "specifications", nargs="+", help="NMSL specification file(s)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of suppressed findings; findings in it are "
+        "reported but never fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the --baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated diagnostic codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--extensions",
+        nargs="*",
+        default=(),
+        metavar="FILE",
+        help="extension-language files to prepend",
+    )
+    parser.add_argument(
+        "--lax",
+        action="store_true",
+        help="analyze even when the specification has semantic errors",
+    )
+    return parser
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
     try:
+        if argv and argv[0] == "analyze":
+            args = build_analyze_parser().parse_args(argv[1:])
+            return _run_analyze(args)
+        args = build_parser().parse_args(argv)
         return _run(args)
     except ReproError as exc:
         print(f"nmslc: error: {exc}", file=sys.stderr)
@@ -168,10 +229,16 @@ def _run(args: argparse.Namespace) -> int:
         status = max(status, _diff_against(args, compiler, result))
 
     if args.lint:
-        from repro.consistency.lint import lint_specification
+        from repro.analysis import default_registry, render_text
 
-        report = lint_specification(result.specification, compiler.tree)
-        print(report.render())
+        print(
+            "nmslc: warning: --lint is deprecated; use 'nmslc analyze'",
+            file=sys.stderr,
+        )
+        report = default_registry().run(compiler.analysis_context(result))
+        print(render_text(report))
+        if report.gating():
+            status = max(status, 1)
 
     if args.check:
         if args.engine == "clpr":
@@ -206,6 +273,68 @@ def _run(args: argparse.Namespace) -> int:
             bundle = compiler.generate(args.output, result)
             sys.stdout.write(bundle.text())
     return status
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    """The ``nmslc analyze`` subcommand: the static-analysis CI gate."""
+    from repro.analysis import (
+        AnalysisReport,
+        Baseline,
+        default_registry,
+        render,
+    )
+
+    codes: Optional[Sequence[str]] = None
+    if args.select:
+        codes = tuple(
+            code.strip() for code in args.select.split(",") if code.strip()
+        )
+    extensions = tuple(
+        parse_extension(Path(name).read_text(encoding="utf-8"))
+        for name in args.extensions
+    )
+    registry = default_registry()
+    merged = AnalysisReport()
+    for spec_path in args.specifications:
+        text = Path(spec_path).read_text(encoding="utf-8")
+        compiler = NmslCompiler(
+            CompilerOptions(
+                filename=spec_path,
+                strict=not args.lax,
+                extensions=extensions,
+                extension_files=tuple(args.extensions),
+            )
+        )
+        result = compiler.compile(text)
+        if result.report.errors and not args.lax:
+            for error in result.report.errors:
+                print(f"nmslc: error: {error}", file=sys.stderr)
+            return 2
+        report = registry.run(compiler.analysis_context(result), codes=codes)
+        merged = merged.merged_with(report)
+
+    if args.write_baseline:
+        if not args.baseline:
+            print(
+                "nmslc: error: --write-baseline needs --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = Baseline.from_report(merged)
+        baseline.save(args.baseline)
+        print(
+            f"wrote {len(baseline)} suppression(s) to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline and Path(args.baseline).exists():
+        merged = Baseline.load(args.baseline).apply(merged)
+
+    sys.stdout.write(render(merged, args.format, registry.passes()))
+    if args.format == "text":
+        sys.stdout.write("\n")
+    return 1 if merged.gating() else 0
 
 
 def _diff_against(args, compiler, result) -> int:

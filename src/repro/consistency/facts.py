@@ -502,6 +502,7 @@ class FactGenerator:
                         access=export.access,
                         frequency=export.frequency,
                         origin=f"process {process.name} exports",
+                        location=export.location,
                     )
                 )
         for domain in self._spec.domains.values():
@@ -515,6 +516,7 @@ class FactGenerator:
                         access=export.access,
                         frequency=export.frequency,
                         origin=f"domain {domain.name} exports",
+                        location=export.location,
                     )
                 )
 
@@ -546,6 +548,7 @@ class FactGenerator:
                             f"process {process.name} queries {query.target} "
                             f"({instance.id})"
                         ),
+                        location=query.location,
                     )
                 )
 
@@ -641,6 +644,7 @@ class _InternedFactGenerator(FactGenerator):
                         access=export.access,
                         frequency=export.frequency,
                         origin=f"process {process.name} exports",
+                        location=export.location,
                     )
                 )
         for domain in self._spec.domains.values():
@@ -654,6 +658,7 @@ class _InternedFactGenerator(FactGenerator):
                         access=export.access,
                         frequency=export.frequency,
                         origin=f"domain {domain.name} exports",
+                        location=export.location,
                     )
                 )
 
@@ -677,6 +682,7 @@ class _InternedFactGenerator(FactGenerator):
                             f"process {process.name} queries {query.target} "
                             f"({instance.id})"
                         ),
+                        location=query.location,
                     )
                 )
 

@@ -1,18 +1,12 @@
-"""Specification lint: hygiene findings beyond the consistency model.
+"""Specification lint: compatibility shim over :mod:`repro.analysis`.
 
-The consistency checker answers "is every reference permitted?"; the
-linter answers the administrator's complementary questions about drift
-and over-provisioning:
-
-* **unused-process** — a process specification no system or domain ever
-  instantiates;
-* **unmanaged-element** — a network element with no agent and no proxy:
-  nothing can answer management queries for it;
-* **unused-permission** — an export no instantiated reference could ever
-  use (granted to a domain with no querying clients, or over data nobody
-  requests): the least-privilege principle says tighten it;
-* **overbroad-grant** — write access (or ``Any``) exported to the public
-  domain.
+The seed linter's four passes — **unused-process**, **unmanaged-element**,
+**unused-permission**, **overbroad-grant** — now live in the static-
+analysis framework as passes NM101, NM102, NM201 and NM202, where they
+gained stable codes, severities, source spans and SARIF output.  This
+module keeps the original ``lint_specification`` API (and the
+``[kind] subject: message`` rendering) for existing callers; new code
+should use :func:`repro.analysis.analyze_specification` directly.
 
 Findings are advisory; they never make a specification inconsistent.
 """
@@ -21,14 +15,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional, Set
+from typing import List
 
-from repro.consistency.checker import ConsistencyChecker
-from repro.consistency.facts import FactGenerator, FactSet
-from repro.consistency.relations import permission_covers
-from repro.mib.tree import Access, MibTree
-from repro.mib.view import MibView
-from repro.nmsl.specs import Specification, PUBLIC_DOMAIN
+from repro.mib.tree import MibTree
+from repro.nmsl.specs import Specification
 
 
 class LintKind(Enum):
@@ -36,6 +26,17 @@ class LintKind(Enum):
     UNMANAGED_ELEMENT = "unmanaged-element"
     UNUSED_PERMISSION = "unused-permission"
     OVERBROAD_GRANT = "overbroad-grant"
+
+
+#: Legacy lint kind -> analysis diagnostic code.
+KIND_TO_CODE = {
+    LintKind.UNUSED_PROCESS: "NM101",
+    LintKind.UNMANAGED_ELEMENT: "NM102",
+    LintKind.UNUSED_PERMISSION: "NM201",
+    LintKind.OVERBROAD_GRANT: "NM202",
+}
+
+_CODE_TO_KIND = {code: kind for kind, code in KIND_TO_CODE.items()}
 
 
 @dataclass(frozen=True)
@@ -65,106 +66,27 @@ class LintReport:
 
 
 class SpecificationLinter:
-    """Runs all lint passes over a compiled specification."""
+    """Runs the four legacy lint passes over a compiled specification."""
 
     def __init__(self, specification: Specification, tree: MibTree):
         self._spec = specification
         self._tree = tree
-        self._facts: FactSet = FactGenerator(specification, tree).generate()
 
     def lint(self) -> LintReport:
-        report = LintReport()
-        self._unused_processes(report)
-        self._unmanaged_elements(report)
-        self._unused_permissions(report)
-        self._overbroad_grants(report)
-        return report
+        from repro.analysis import analyze_specification
 
-    # ------------------------------------------------------------------
-    def _unused_processes(self, report: LintReport) -> None:
-        instantiated: Set[str] = {
-            instance.process_name for instance in self._facts.instances
-        }
-        for name in self._spec.processes:
-            if name not in instantiated:
-                report.findings.append(
-                    LintFinding(
-                        LintKind.UNUSED_PROCESS,
-                        name,
-                        "specified but never instantiated on any system "
-                        "or domain",
-                    )
+        report = analyze_specification(
+            self._spec, self._tree, codes=tuple(_CODE_TO_KIND)
+        )
+        return LintReport(
+            [
+                LintFinding(
+                    kind=_CODE_TO_KIND[diagnostic.code],
+                    subject=diagnostic.subject,
+                    message=diagnostic.message,
                 )
-
-    def _unmanaged_elements(self, report: LintReport) -> None:
-        for system_name in self._spec.systems:
-            agents = [
-                instance
-                for instance in self._facts.instances_on_system(system_name)
-                if self._spec.processes[instance.process_name].is_agent()
+                for diagnostic in report.diagnostics
             ]
-            if agents:
-                continue
-            if self._facts.proxies_for_system(system_name):
-                continue
-            report.findings.append(
-                LintFinding(
-                    LintKind.UNMANAGED_ELEMENT,
-                    system_name,
-                    "no agent process and no proxy: management queries "
-                    "cannot be answered for this element",
-                )
-            )
-
-    def _unused_permissions(self, report: LintReport) -> None:
-        for permission in self._facts.permissions:
-            if self._permission_used(permission):
-                continue
-            report.findings.append(
-                LintFinding(
-                    LintKind.UNUSED_PERMISSION,
-                    permission.grantor,
-                    f"export of {', '.join(permission.variables)} to "
-                    f"{permission.grantee_domain!r} matches no specified "
-                    "reference (consider removing or tightening it)",
-                )
-            )
-
-    def _permission_used(self, permission) -> bool:
-        permission_view = self._view(permission.variables)
-        for reference in self._facts.references:
-            # Does the permission's grantor serve any candidate for this
-            # reference?  Approximate grantor reach through the checker's
-            # candidate logic: test coverage directly.
-            verdict = permission_covers(
-                reference,
-                permission,
-                self._view(reference.variables),
-                permission_view,
-                public_domain=PUBLIC_DOMAIN,
-            )
-            if verdict.covered:
-                return True
-        return False
-
-    def _overbroad_grants(self, report: LintReport) -> None:
-        for permission in self._facts.permissions:
-            if permission.grantee_domain != PUBLIC_DOMAIN:
-                continue
-            if permission.access.allows_write():
-                report.findings.append(
-                    LintFinding(
-                        LintKind.OVERBROAD_GRANT,
-                        permission.grantor,
-                        f"exports {permission.access.value} access to the "
-                        "public domain: any administration may modify this "
-                        "data",
-                    )
-                )
-
-    def _view(self, paths) -> MibView:
-        return MibView(
-            self._tree, [path for path in paths if self._tree.knows(path)]
         )
 
 

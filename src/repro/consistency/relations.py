@@ -9,9 +9,10 @@ rules decide whether a permission *covers* a reference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.errors import SourceLocation
 from repro.mib.tree import Access
 from repro.mib.view import MibView
 from repro.nmsl.frequency import FrequencySpec
@@ -47,6 +48,11 @@ class Reference:
     access: Access
     frequency: FrequencySpec
     origin: str = ""  # human-readable source ("process snmpaddr queries ...")
+    #: where the ``queries`` clause was written; excluded from equality so
+    #: value-identical references stay interchangeable across re-parses.
+    location: SourceLocation = field(
+        default_factory=SourceLocation, compare=False
+    )
 
     def describe(self) -> str:
         variables = ", ".join(self.variables)
@@ -67,6 +73,11 @@ class Permission:
     access: Access
     frequency: FrequencySpec
     origin: str = ""
+    #: where the ``exports`` clause was written; excluded from equality so
+    #: value-identical permissions stay interchangeable across re-parses.
+    location: SourceLocation = field(
+        default_factory=SourceLocation, compare=False
+    )
 
     def describe(self) -> str:
         variables = ", ".join(self.variables)

@@ -39,11 +39,17 @@ from repro.nmsl.specs import Specification
 
 @dataclass
 class CompilerOptions:
-    """Configuration for a compiler instance."""
+    """Configuration for a compiler instance.
+
+    ``extension_files`` optionally names the source file of each entry in
+    ``extensions`` (same order); the static analyzer uses it to anchor
+    dead-extension-entry diagnostics.
+    """
 
     filename: str = "<nmsl>"
     strict: bool = True
     extensions: Tuple[Extension, ...] = ()
+    extension_files: Tuple[str, ...] = ()
     register_codegen: bool = True
 
 
@@ -149,6 +155,21 @@ class NmslCompiler:
             declarations=declarations,
             specification=specification,
             report=builder.report,
+        )
+
+    def analysis_context(self, result: CompileResult):
+        """An :class:`AnalysisContext` for this compile, with extension
+        tables attached so every static-analysis pass can run."""
+        from repro.analysis.context import AnalysisContext
+
+        return AnalysisContext(
+            specification=result.specification,
+            tree=self.tree,
+            filename=self.options.filename,
+            extensions=self.options.extensions,
+            extension_files=self.options.extension_files,
+            extension_decltypes=tuple(self.extension_decltypes),
+            keyword_table=self.keyword_table,
         )
 
     # ------------------------------------------------------------------

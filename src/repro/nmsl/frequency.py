@@ -37,7 +37,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.errors import NmslSemanticError
+from repro.errors import NmslSemanticError, SourceLocation
 
 #: Seconds per time unit keyword.
 TIME_UNITS = {"seconds": 1.0, "minutes": 60.0, "hours": 3600.0}
@@ -87,12 +87,24 @@ class FrequencySpec:
         return cls(0.0, float(seconds), f"<= {seconds:g} seconds")
 
     @classmethod
-    def from_clause(cls, op: str, value: float, unit: str) -> "FrequencySpec":
-        """Build from grammar pieces ``BoundSpec Float TimeSpec``."""
+    def from_clause(
+        cls,
+        op: str,
+        value: float,
+        unit: str,
+        location: Optional[SourceLocation] = None,
+    ) -> "FrequencySpec":
+        """Build from grammar pieces ``BoundSpec Float TimeSpec``.
+
+        *location*, when given, anchors any :class:`NmslSemanticError` at
+        the offending token instead of the default ``<input>:1:1``.
+        """
         if unit not in TIME_UNITS:
-            raise NmslSemanticError(f"unknown time unit {unit!r}")
+            raise NmslSemanticError(f"unknown time unit {unit!r}", location)
         if value <= 0:
-            raise NmslSemanticError(f"frequency value must be positive, got {value}")
+            raise NmslSemanticError(
+                f"frequency value must be positive, got {value}", location
+            )
         seconds = value * TIME_UNITS[unit]
         source = f"{op + ' ' if op else ''}{value:g} {unit}"
         if op in (">=", ">"):
@@ -103,7 +115,7 @@ class FrequencySpec:
             return cls(0.0, seconds, source)
         if op == "":
             return cls(seconds, seconds, source)  # bare value reads as "="
-        raise NmslSemanticError(f"unknown frequency bound {op!r}")
+        raise NmslSemanticError(f"unknown frequency bound {op!r}", location)
 
     # ------------------------------------------------------------------
     # Interval algebra.

@@ -650,21 +650,31 @@ class SpecificationBuilder:
         tokens = join_wrapped_paths(subclause.tokens)
         return [token.text for token in tokens if token.kind in (WORD, STRING)]
 
-    def _parse_access(self, subclause: Subclause, context: str) -> Optional[Access]:
+    def _parse_access(
+        self,
+        subclause: Subclause,
+        context: str,
+        location: Optional[SourceLocation] = None,
+    ) -> Optional[Access]:
         words = subclause.words()
+        where = subclause.tokens[0].location if subclause.tokens else location
         if len(words) != 1:
-            self.report.error(f"{context}: access clause needs one mode")
+            self.report.error(
+                f"{context}: access clause needs one mode", where or location
+            )
             return None
         try:
             return Access.parse(words[0])
         except MibError as exc:
-            self.report.error(f"{context}: {exc}")
+            self.report.error(f"{context}: {exc}", where or location)
             return None
 
     def _parse_frequency(
         self, subclause: Subclause, location: SourceLocation
     ) -> FrequencySpec:
         tokens = subclause.tokens
+        if tokens:  # anchor errors at the clause body, not the clause head
+            location = tokens[0].location
         if len(tokens) == 1 and tokens[0].is_word("infrequent"):
             return FrequencySpec.infrequent()
         op = ""
@@ -675,19 +685,20 @@ class SpecificationBuilder:
         if index >= len(tokens) or tokens[index].kind != NUMBER:
             self.report.error("frequency clause needs a numeric value", location)
             return FrequencySpec.unconstrained()
+        value_location = tokens[index].location
         value = float(tokens[index].text)
         index += 1
         if index >= len(tokens) or tokens[index].kind != WORD:
             self.report.error(
                 "frequency clause needs a time unit (hours/minutes/seconds)",
-                location,
+                value_location,
             )
             return FrequencySpec.unconstrained()
         unit = tokens[index].text
         try:
-            return FrequencySpec.from_clause(op, value, unit)
+            return FrequencySpec.from_clause(op, value, unit, value_location)
         except NmslSemanticError as exc:
-            self.report.error(exc.message, location)
+            self.report.error(exc.message, exc.location)
             return FrequencySpec.unconstrained()
 
     def _check_writable(self, path: str, location: SourceLocation) -> None:

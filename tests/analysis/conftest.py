@@ -1,0 +1,43 @@
+"""Shared helpers for the static-analysis test suite."""
+
+import pytest
+
+from repro.analysis import AnalysisContext, default_registry
+from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+
+#: Registry built once: pass registration is pure, so sharing is safe.
+REGISTRY = default_registry()
+
+
+@pytest.fixture(scope="package")
+def compiler():
+    return NmslCompiler(CompilerOptions(register_codegen=False))
+
+
+def analyze(text, codes=None, extensions=(), extension_files=(), strict=True):
+    """Compile *text* and run the (selected) passes over it."""
+    compiler = NmslCompiler(
+        CompilerOptions(
+            filename="fixture.nmsl",
+            strict=strict,
+            extensions=tuple(extensions),
+            extension_files=tuple(extension_files),
+            register_codegen=False,
+        )
+    )
+    result = compiler.compile(text)
+    assert not result.report.errors, result.report.errors
+    return REGISTRY.run(compiler.analysis_context(result), codes=codes)
+
+
+def context_for(text, filename="fixture.nmsl"):
+    compiler = NmslCompiler(
+        CompilerOptions(filename=filename, register_codegen=False)
+    )
+    result = compiler.compile(text)
+    assert not result.report.errors, result.report.errors
+    return AnalysisContext(
+        specification=result.specification,
+        tree=compiler.tree,
+        filename=filename,
+    )

@@ -1,0 +1,105 @@
+"""Baseline-suppression tests, including the seeded repo baseline."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, BaselineError, default_registry
+from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+
+from tests.analysis.conftest import analyze
+
+EXAMPLES = Path(__file__).parents[2] / "examples"
+
+UNUSED_EXPORT = """
+process agent ::=
+    supports mgmt.mib.system, mgmt.mib.ip;
+    exports mgmt.mib.ip to "nowhere-domain"
+        access ReadOnly frequency >= 5 minutes;
+end process agent.
+system "server.example" ::=
+    interface ie0 net lan type ethernet-csmacd speed 10000000 bps;
+    supports mgmt.mib.system, mgmt.mib.ip;
+    process agent;
+end system "server.example".
+"""
+
+
+def analyze_example(stem, codes=None):
+    path = EXAMPLES / f"{stem}.nmsl"
+    compiler = NmslCompiler(
+        CompilerOptions(filename=str(path), register_codegen=False)
+    )
+    result = compiler.compile(path.read_text(encoding="utf-8"))
+    assert result.ok
+    return default_registry().run(
+        compiler.analysis_context(result), codes=codes
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_apply(self, tmp_path):
+        report = analyze(UNUSED_EXPORT, strict=False)
+        assert len(report) >= 1
+        baseline = Baseline.from_report(report)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        reloaded = Baseline.load(path)
+        assert len(reloaded) == len(baseline)
+        suppressed = reloaded.apply(report)
+        assert all(d.suppressed for d in suppressed.diagnostics)
+        assert not suppressed.gating()
+        assert not suppressed.unsuppressed()
+
+    def test_file_is_human_reviewable(self, tmp_path):
+        report = analyze(UNUSED_EXPORT, strict=False)
+        path = tmp_path / "baseline.json"
+        Baseline.from_report(report).save(path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["tool"] == "nmslc-analyze"
+        for entry in payload["suppressions"]:
+            assert set(entry) == {"code", "subject", "message"}
+
+    def test_fingerprint_ignores_line_moves(self, tmp_path):
+        report = analyze(UNUSED_EXPORT, strict=False)
+        baseline = Baseline.from_report(report)
+        moved = analyze("\n\n\n" + UNUSED_EXPORT, strict=False)
+        assert all(d in baseline for d in moved.diagnostics)
+
+
+class TestMalformed:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_missing_suppressions(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 1}')
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_entry_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"suppressions": [{"code": "NM201"}]}')
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+
+class TestSeededRepoBaseline:
+    """examples/analysis-baseline.json keeps the shipped examples clean."""
+
+    def test_campus_fully_baselined(self):
+        report = analyze_example("campus")
+        baseline = Baseline.load(EXAMPLES / "analysis-baseline.json")
+        suppressed = baseline.apply(report)
+        assert not suppressed.unsuppressed(), [
+            d.render() for d in suppressed.unsuppressed()
+        ]
+
+    def test_paper_internet_clean_without_baseline(self):
+        report = analyze_example("paper_internet")
+        assert len(report) == 0, [d.render() for d in report]

@@ -1,0 +1,130 @@
+"""Renderer tests: text spans, JSON shape, SARIF 2.1.0 validity."""
+
+import json
+import re
+
+from repro.analysis import render, render_json, render_sarif, render_text
+from repro.analysis.render import SARIF_SCHEMA, SARIF_VERSION, TOOL_NAME
+
+from tests.analysis.conftest import REGISTRY, analyze
+
+#: A fixture that lights up warnings (NM101) and errors (NM202) at once.
+MIXED = """
+process agent ::=
+    supports mgmt.mib.system, mgmt.mib.ip;
+    exports mgmt.mib.ip to "public" access ReadWrite frequency >= 5 minutes;
+end process agent.
+process ghost ::= supports mgmt.mib.udp; end process ghost.
+system "server.example" ::=
+    cpu sparc;
+    interface ie0 net lan type ethernet-csmacd speed 10000000 bps;
+    opsys SunOS version 4.0.1;
+    supports mgmt.mib.system, mgmt.mib.ip;
+    process agent;
+end system "server.example".
+"""
+
+#: Every text finding line: file:line:col: severity CODE [slug] ...
+TEXT_LINE = re.compile(
+    r"^\S+:\d+:\d+: (error|warning|note) NM\d{3} \[[a-z-]+\] "
+)
+
+
+class TestTextRenderer:
+    def test_every_finding_carries_a_real_span(self):
+        report = analyze(MIXED, strict=False)
+        assert len(report) >= 2
+        lines = render_text(report).splitlines()
+        finding_lines = [
+            line
+            for line in lines
+            if not line.startswith(("    fix:", " "))
+            and "finding(s)" not in line
+        ]
+        assert finding_lines
+        for line in finding_lines:
+            assert TEXT_LINE.match(line), line
+            filename, line_no, column = line.split(":")[:3]
+            assert filename == "fixture.nmsl"
+            assert int(line_no) >= 1
+            assert int(column) >= 1
+
+    def test_summary_line(self):
+        report = analyze(MIXED, strict=False)
+        text = render_text(report)
+        assert re.search(r"\d+ finding\(s\): \d+ error\(s\)", text)
+
+    def test_empty_report(self):
+        report = analyze("process p ::= supports mgmt.mib; end process p.\n"
+                         + MIXED.split("process ghost")[0].split("process agent")[0],
+                         codes=["NM301"])
+        assert render_text(report) == "no analysis findings"
+
+
+class TestJsonRenderer:
+    def test_shape(self):
+        report = analyze(MIXED, strict=False)
+        payload = json.loads(render_json(report))
+        assert payload["tool"] == TOOL_NAME
+        assert payload["version"] == 1
+        assert len(payload["findings"]) == len(report)
+        for finding in payload["findings"]:
+            assert re.match(r"NM\d{3}$", finding["code"])
+            assert finding["severity"] in ("error", "warning", "note")
+            assert finding["file"] == "fixture.nmsl"
+            assert finding["line"] >= 1
+            assert finding["column"] >= 1
+
+
+class TestSarifRenderer:
+    def run_sarif(self):
+        report = analyze(MIXED, strict=False)
+        return report, json.loads(render_sarif(report, REGISTRY.passes()))
+
+    def test_sarif_2_1_0_envelope(self):
+        _, sarif = self.run_sarif()
+        assert sarif["version"] == SARIF_VERSION == "2.1.0"
+        assert sarif["$schema"] == SARIF_SCHEMA
+        assert len(sarif["runs"]) == 1
+
+    def test_driver_declares_all_rules(self):
+        _, sarif = self.run_sarif()
+        driver = sarif["runs"][0]["tool"]["driver"]
+        assert driver["name"] == TOOL_NAME
+        assert driver["version"]
+        assert driver["informationUri"]
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids) or rule_ids  # stable order
+        assert set(rule_ids) == {
+            rule.code for rule in REGISTRY.passes()
+        }
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+
+    def test_results_reference_rules_and_spans(self):
+        report, sarif = self.run_sarif()
+        driver = sarif["runs"][0]["tool"]["driver"]
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        results = sarif["runs"][0]["results"]
+        assert len(results) == len(report)
+        for result in results:
+            assert result["ruleId"] in rule_ids
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+            assert result["level"] in ("error", "warning", "note")
+            assert result["message"]["text"]
+            (location,) = result["locations"]
+            physical = location["physicalLocation"]
+            assert physical["artifactLocation"]["uri"]
+            region = physical["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+            assert result["partialFingerprints"]["nmslFingerprint/v1"]
+
+    def test_dispatcher(self):
+        report = analyze(MIXED, strict=False)
+        assert render(report, "text", REGISTRY.passes()) == render_text(
+            report
+        )
+        assert json.loads(render(report, "sarif", REGISTRY.passes()))[
+            "version"
+        ] == "2.1.0"

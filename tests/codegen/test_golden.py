@@ -3,7 +3,8 @@
 The consistency engine rework must not silently change what the
 configuration generators emit: these tests pin the ``BartsSnmpd`` and
 ``acl-table`` output for the two checked-in example internets byte for
-byte.
+byte.  The static analyzer's text report for ``campus.nmsl`` is pinned
+the same way (``campus.analyze.txt``).
 
 To regenerate after an *intentional* output change::
 
@@ -48,5 +49,33 @@ def test_codegen_matches_golden(compiler, stem, tag, suffix):
     expected = golden_path.read_text(encoding="utf-8")
     assert generated == expected, (
         f"{tag} output for examples/{stem}.nmsl deviates from "
+        f"{golden_path.name}; run with UPDATE_GOLDEN=1 if intentional"
+    )
+
+
+def test_analyzer_text_matches_golden():
+    """Pin the static analyzer's text report for campus.nmsl."""
+    from repro.analysis import default_registry, render_text
+    from repro.nmsl.compiler import CompilerOptions
+
+    stem = "campus"
+    # A repo-relative filename keeps the golden stable across checkouts.
+    compiler = NmslCompiler(
+        CompilerOptions(
+            filename=f"examples/{stem}.nmsl", register_codegen=False
+        )
+    )
+    source = (_EXAMPLES / f"{stem}.nmsl").read_text(encoding="utf-8")
+    result = compiler.compile(source)
+    assert result.ok, result.report.errors
+    report = default_registry().run(compiler.analysis_context(result))
+    generated = render_text(report) + "\n"
+
+    golden_path = _GOLDEN / f"{stem}.analyze.txt"
+    if os.environ.get("UPDATE_GOLDEN"):
+        golden_path.write_text(generated, encoding="utf-8")
+    expected = golden_path.read_text(encoding="utf-8")
+    assert generated == expected, (
+        f"analyzer output for examples/{stem}.nmsl deviates from "
         f"{golden_path.name}; run with UPDATE_GOLDEN=1 if intentional"
     )

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze bench bench-quick clean
+.PHONY: test analyze bench bench-quick chaos clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,10 @@ bench:
 bench-quick:
 	$(PYTHON) benchmarks/bench_consistency.py --quick --output BENCH_consistency.json
 
+## Fault-injected rollout campaigns across 3 fixed seeds (see docs/ROLLOUT.md).
+chaos:
+	$(PYTHON) benchmarks/chaos_rollout.py --output BENCH_chaos.json
+
 clean:
-	rm -rf .pytest_cache .benchmarks analysis.sarif
+	rm -rf .pytest_cache .benchmarks analysis.sarif BENCH_chaos.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,134 @@
+"""Chaos rollout benchmark: fault-injected campaigns across fixed seeds.
+
+Runs the acceptance scenario from the chaos suite — 20% message loss
+everywhere, one agent crashing mid-apply, one agent wedged past the
+timeout — against the campus internet, once per fixed seed, and emits a
+combined JSON report (one ``RolloutReport`` per seed plus a convergence
+summary).  The CI chaos job runs this and uploads ``BENCH_chaos.json``
+as an artifact; ``make chaos`` does the same locally.
+
+Each run is fully deterministic: the script asserts that repeating a
+seed reproduces a bit-identical report before writing anything.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/chaos_rollout.py [--output BENCH_chaos.json]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.netsim.faults import FaultInjector, FaultSpec
+from repro.netsim.processes import ManagementRuntime
+from repro.nmsl.compiler import NmslCompiler
+from repro.rollout import RetryPolicy
+from repro.workloads.scenarios import campus_internet
+
+SEEDS = (42, 7, 1989)
+POLICY = RetryPolicy(max_attempts=8, exchange_retries=2)
+V2_MARKER = "# generation-2 rollout marker\n"
+
+
+def build_runtime(compiler):
+    runtime = ManagementRuntime(compiler, compiler.compile(campus_internet()))
+    runtime.install_configuration()  # baseline = last-known-good everywhere
+    return runtime
+
+
+def chaos_campaign(compiler, seed):
+    """One fault-injected campaign: loss + crash-mid-apply + wedge."""
+    runtime = build_runtime(compiler)
+    targets = sorted(runtime.rollout_targets())
+    crashed, wedged = targets[0], targets[1]
+    injector = FaultInjector(
+        seed=seed,
+        default=FaultSpec(loss_rate=0.2),
+        per_element={
+            crashed: FaultSpec(loss_rate=0.2, crash_after=4),
+            wedged: FaultSpec(stall_after=0),
+        },
+    )
+    configs = {
+        target: text + "\n" + V2_MARKER
+        for target, text in runtime.rollout_targets().items()
+    }
+    report = runtime.rollout(
+        policy=POLICY, jobs=4, seed=seed, injector=injector, configs=configs
+    )
+    return runtime, report, injector, crashed, wedged
+
+
+def run_seed(compiler, seed):
+    runtime, report, injector, crashed, wedged = chaos_campaign(compiler, seed)
+    _runtime, repeat, _i, _c, _w = chaos_campaign(compiler, seed)
+    assert report.to_json() == repeat.to_json(), (
+        f"seed {seed} is not deterministic"
+    )
+    reachable = sorted(set(report.elements) - {crashed, wedged})
+    converged = all(
+        runtime.target_agent(target).last_good_config.endswith(V2_MARKER)
+        for target in reachable
+    )
+    return {
+        "seed": seed,
+        "scenario": {
+            "loss_rate": 0.2,
+            "crashed": crashed,
+            "wedged": wedged,
+        },
+        "reachable_converged": converged,
+        "dead_letter": list(report.dead_letter()),
+        "faults_injected": {
+            element: dict(sorted(counts.items()))
+            for element, counts in sorted(injector.injected.items())
+        },
+        "report": report.as_dict(),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="BENCH_chaos.json",
+        metavar="FILE",
+        help="combined JSON report path (default: BENCH_chaos.json)",
+    )
+    args = parser.parse_args(argv)
+
+    compiler = NmslCompiler()
+    runs = [run_seed(compiler, seed) for seed in SEEDS]
+    combined = {
+        "benchmark": "chaos_rollout",
+        "policy": {
+            "max_attempts": POLICY.max_attempts,
+            "exchange_retries": POLICY.exchange_retries,
+            "timeout_s": POLICY.timeout_s,
+        },
+        "seeds": list(SEEDS),
+        "runs": runs,
+    }
+    Path(args.output).write_text(
+        json.dumps(combined, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    failures = 0
+    for run in runs:
+        expected_dead = sorted(
+            (run["scenario"]["crashed"], run["scenario"]["wedged"])
+        )
+        ok = run["reachable_converged"] and run["dead_letter"] == expected_dead
+        failures += 0 if ok else 1
+        print(
+            f"seed {run['seed']}: "
+            f"{'ok' if ok else 'FAIL'} "
+            f"(dead letter: {', '.join(run['dead_letter']) or 'none'})"
+        )
+    print(f"wrote {args.output}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,9 +46,17 @@ from repro.codegen.transport import (
     CallbackTransport,
     FileDropTransport,
     MailSpoolTransport,
+    ReliableTransport,
 )
 from repro.netsim.processes import ManagementRuntime
 from repro.netsim.monitor import RuntimeVerifier
+from repro.netsim.faults import FaultInjector, FaultSpec
+from repro.rollout import (
+    RetryPolicy,
+    RolloutCoordinator,
+    RolloutReport,
+    RolloutState,
+)
 
 __version__ = "1.0.0"
 
@@ -61,12 +69,19 @@ __all__ = [
     "ConsistencyResult",
     "Extension",
     "ExtensionAction",
+    "FaultInjector",
+    "FaultSpec",
     "FileDropTransport",
     "Inconsistency",
     "InconsistencyKind",
     "MailSpoolTransport",
     "ManagementRuntime",
     "NmslCompiler",
+    "ReliableTransport",
+    "RetryPolicy",
+    "RolloutCoordinator",
+    "RolloutReport",
+    "RolloutState",
     "RuntimeVerifier",
     "SpeculativeChecker",
     "check_with_clpr",

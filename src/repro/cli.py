@@ -22,6 +22,17 @@ The static analyzer runs as a subcommand::
 ``analyze`` exits 1 when any non-baselined error-severity diagnostic is
 found (and 2 on compile failure), so it can gate CI.  The old ``--lint``
 flag remains as a deprecated alias.
+
+Fault-tolerant configuration rollout is also a subcommand::
+
+    nmslc rollout internet.nmsl --output BartsSnmpd --jobs 8
+    nmslc rollout internet.nmsl --max-attempts 8 --timeout 1.0 \
+        --report json --chaos-loss 0.2 --chaos-crash gw.cs.campus.edu:4
+
+``rollout`` drives the two-phase protocol install (stage, verify
+fingerprint, apply, confirm generation) against simulated agents built
+from the specification, with retry/backoff, rollback and a dead-letter
+list; it exits 1 when any element lands in the dead letter.
 """
 
 from __future__ import annotations
@@ -172,6 +183,102 @@ def build_analyze_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_rollout_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nmslc rollout",
+        description="Fault-tolerant configuration rollout: transactional "
+        "two-phase delivery with retry/backoff, rollback to "
+        "last-known-good, and a dead-letter list",
+    )
+    parser.add_argument("specification", help="NMSL specification file")
+    parser.add_argument(
+        "--output",
+        metavar="TAG",
+        default="BartsSnmpd",
+        help="configuration output type to roll out (default: BartsSnmpd)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="delivery attempts per element before dead-lettering (default: 5)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="per-exchange deadline in logical seconds (default: 2.0)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="bounded in-flight concurrency (default: 4)",
+    )
+    parser.add_argument(
+        "--report",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--report-file",
+        metavar="FILE",
+        help="also write the JSON RolloutReport to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1989,
+        metavar="N",
+        help="seed for backoff jitter and chaos injection (default: 1989)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1024,
+        metavar="OCTETS",
+        help="staging chunk size per Set (default: 1024)",
+    )
+    parser.add_argument(
+        "--baseline-install",
+        action="store_true",
+        help="direct-install the configuration first so every agent has a "
+        "last-known-good to roll back to (simulates a brownfield campus)",
+    )
+    chaos = parser.add_argument_group("chaos injection (seeded, deterministic)")
+    chaos.add_argument(
+        "--chaos-loss", type=float, default=0.0, metavar="RATE",
+        help="drop this fraction of deliveries (timeout)",
+    )
+    chaos.add_argument(
+        "--chaos-stall", type=float, default=0.0, metavar="RATE",
+        help="stall this fraction of responses past the deadline",
+    )
+    chaos.add_argument(
+        "--chaos-corrupt", type=float, default=0.0, metavar="RATE",
+        help="corrupt one octet of this fraction of deliveries",
+    )
+    chaos.add_argument(
+        "--chaos-duplicate", type=float, default=0.0, metavar="RATE",
+        help="deliver this fraction of requests twice",
+    )
+    chaos.add_argument(
+        "--chaos-crash", action="append", default=[], metavar="ELEMENT[:N]",
+        help="crash ELEMENT's agent after N delivered messages (default 3); "
+        "repeatable",
+    )
+    chaos.add_argument(
+        "--chaos-wedge", action="append", default=[], metavar="ELEMENT[:N]",
+        help="stall every response from ELEMENT after N messages "
+        "(default 0); repeatable",
+    )
+    return parser
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -179,6 +286,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if argv and argv[0] == "analyze":
             args = build_analyze_parser().parse_args(argv[1:])
             return _run_analyze(args)
+        if argv and argv[0] == "rollout":
+            args = build_rollout_parser().parse_args(argv[1:])
+            return _run_rollout(args)
         args = build_parser().parse_args(argv)
         return _run(args)
     except ReproError as exc:
@@ -335,6 +445,90 @@ def _run_analyze(args: argparse.Namespace) -> int:
     if args.format == "text":
         sys.stdout.write("\n")
     return 1 if merged.gating() else 0
+
+
+def _parse_chaos_targets(entries, default_count):
+    targets = {}
+    for entry in entries:
+        element, _, count = entry.partition(":")
+        try:
+            targets[element] = int(count) if count else default_count
+        except ValueError:
+            raise ReproError(
+                f"malformed chaos target {entry!r} (want ELEMENT[:N])"
+            ) from None
+    return targets
+
+
+def _run_rollout(args: argparse.Namespace) -> int:
+    """The ``nmslc rollout`` subcommand: fault-tolerant delivery."""
+    from repro.netsim.faults import FaultInjector, FaultSpec
+    from repro.netsim.processes import ManagementRuntime
+    from repro.rollout import RetryPolicy
+
+    text = Path(args.specification).read_text(encoding="utf-8")
+    compiler = NmslCompiler(CompilerOptions(filename=args.specification))
+    result = compiler.compile(text)
+    if result.report.errors:
+        for error in result.report.errors:
+            print(f"nmslc: error: {error}", file=sys.stderr)
+        return 2
+    runtime = ManagementRuntime(compiler, result)
+    if args.baseline_install:
+        runtime.install_configuration(tag=args.output)
+
+    injector = None
+    crash = _parse_chaos_targets(args.chaos_crash, default_count=3)
+    wedge = _parse_chaos_targets(args.chaos_wedge, default_count=0)
+    default_spec = FaultSpec(
+        loss_rate=args.chaos_loss,
+        stall_rate=args.chaos_stall,
+        corrupt_rate=args.chaos_corrupt,
+        duplicate_rate=args.chaos_duplicate,
+    )
+    per_element = {}
+    for element, after in crash.items():
+        per_element[element] = FaultSpec(
+            loss_rate=args.chaos_loss,
+            stall_rate=args.chaos_stall,
+            corrupt_rate=args.chaos_corrupt,
+            duplicate_rate=args.chaos_duplicate,
+            crash_after=after,
+        )
+    for element, after in wedge.items():
+        per_element[element] = FaultSpec(stall_after=after)
+    if per_element or any(
+        (
+            args.chaos_loss,
+            args.chaos_stall,
+            args.chaos_corrupt,
+            args.chaos_duplicate,
+        )
+    ):
+        injector = FaultInjector(
+            seed=args.seed, default=default_spec, per_element=per_element
+        )
+
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts, timeout_s=args.timeout
+    )
+    report = runtime.rollout(
+        tag=args.output,
+        policy=policy,
+        jobs=args.jobs,
+        seed=args.seed,
+        injector=injector,
+        chunk_size=args.chunk_size,
+    )
+    if args.report == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    if args.report_file:
+        Path(args.report_file).write_text(
+            report.to_json() + "\n", encoding="utf-8"
+        )
+    return 0 if report.complete else 1
 
 
 def _diff_against(args, compiler, result) -> int:

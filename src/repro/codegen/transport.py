@@ -3,17 +3,27 @@
 Paper Section 5 lists three delivery methods: via the management protocol
 itself (the ideal), copying a file to the element, or electronic mail to
 the element's administrator.  The protocol method is implemented live in
-:mod:`repro.netsim.processes`; this module provides the other two as
-spool-directory simulations plus an in-memory callback transport for
-tests.
+:mod:`repro.netsim.processes` (hardened by :mod:`repro.rollout`); this
+module provides the other two as spool-directory simulations plus an
+in-memory callback transport for tests.
+
+All transports report sizes in encoded UTF-8 octets (what actually goes
+on the wire or disk), the file transport writes atomically (temp file +
+``os.replace``) so a crash never leaves a torn ``.conf`` on the spool,
+and :class:`ReliableTransport` wraps any of them with the same
+retry/backoff/acknowledgement plumbing the protocol rollout uses.
 """
 
 from __future__ import annotations
 
+import os
 import re
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from typing import Callable, List, Optional
+
+from repro.errors import TransportError
 
 
 @dataclass(frozen=True)
@@ -24,6 +34,7 @@ class ShipmentRecord:
     method: str
     destination: str
     octets: int
+    attempts: int = 1
 
 
 class Transport:
@@ -34,10 +45,26 @@ class Transport:
     def deliver(self, element: str, text: str) -> ShipmentRecord:
         raise NotImplementedError
 
+    def acknowledge(self, record: ShipmentRecord, text: str) -> bool:
+        """Post-delivery verification (the transport's read-back check).
+
+        Default: trust the delivery.  Spool transports override this to
+        re-read what landed on disk, mirroring the protocol path's
+        fingerprint verification.
+        """
+        return True
+
 
 def _safe_name(element: str) -> str:
     cleaned = re.sub(r"[^A-Za-z0-9._-]", "_", element)
     return cleaned or "unnamed"
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write *data* to *path* without ever exposing a torn file."""
+    temporary = path.with_name(path.name + ".tmp")
+    temporary.write_bytes(data)
+    os.replace(temporary, path)
 
 
 class FileDropTransport(Transport):
@@ -50,10 +77,20 @@ class FileDropTransport(Transport):
         self._spool = Path(spool_dir)
         self._spool.mkdir(parents=True, exist_ok=True)
 
+    def _path_for(self, element: str) -> Path:
+        return self._spool / f"{_safe_name(element)}.conf"
+
     def deliver(self, element: str, text: str) -> ShipmentRecord:
-        path = self._spool / f"{_safe_name(element)}.conf"
-        path.write_text(text, encoding="utf-8")
-        return ShipmentRecord(element, self.method, str(path), len(text))
+        path = self._path_for(element)
+        data = text.encode("utf-8")
+        _atomic_write(path, data)
+        return ShipmentRecord(element, self.method, str(path), len(data))
+
+    def acknowledge(self, record: ShipmentRecord, text: str) -> bool:
+        try:
+            return Path(record.destination).read_bytes() == text.encode("utf-8")
+        except OSError:
+            return False
 
 
 class MailSpoolTransport(Transport):
@@ -67,6 +104,7 @@ class MailSpoolTransport(Transport):
         self._spool.mkdir(parents=True, exist_ok=True)
         self._sender = sender
         self._sequence = 0
+        self._spooled: dict = {}  # element -> last spool path
 
     def deliver(self, element: str, text: str) -> ShipmentRecord:
         self._sequence += 1
@@ -79,8 +117,19 @@ class MailSpoolTransport(Transport):
             f"{text}\n"
         )
         path = self._spool / f"msg-{self._sequence:04d}-{_safe_name(element)}.eml"
-        path.write_text(message, encoding="utf-8")
-        return ShipmentRecord(element, self.method, recipient, len(message))
+        data = message.encode("utf-8")
+        _atomic_write(path, data)
+        self._spooled[element] = path
+        return ShipmentRecord(element, self.method, recipient, len(data))
+
+    def acknowledge(self, record: ShipmentRecord, text: str) -> bool:
+        path = self._spooled.get(record.element)
+        if path is None:
+            return False
+        try:
+            return text in path.read_text(encoding="utf-8")
+        except OSError:
+            return False
 
 
 class CallbackTransport(Transport):
@@ -94,4 +143,69 @@ class CallbackTransport(Transport):
 
     def deliver(self, element: str, text: str) -> ShipmentRecord:
         self._receiver(element, text)
-        return ShipmentRecord(element, self.method, "callback", len(text))
+        return ShipmentRecord(
+            element, self.method, "callback", len(text.encode("utf-8"))
+        )
+
+
+class ReliableTransport(Transport):
+    """Retry/acknowledgement wrapper sharing the rollout's backoff policy.
+
+    Wraps any :class:`Transport`: each shipment is delivered, then
+    acknowledged (read back); failures and unacknowledged deliveries are
+    retried under the :class:`~repro.rollout.retry.RetryPolicy` backoff
+    schedule (deterministic jitter, same semantics as the protocol
+    path).  Elements that exhaust the budget land in
+    :attr:`dead_letter` and raise :class:`TransportError`.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        policy=None,
+        seed: int = 1989,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        from repro.rollout.retry import RetryPolicy
+
+        self._inner = inner
+        self._policy = policy or RetryPolicy(
+            base_backoff_s=0.01, max_backoff_s=0.1
+        )
+        self._seed = seed
+        self._sleep = sleep
+        self.dead_letter: List[str] = []
+
+    @property
+    def method(self):  # type: ignore[override]
+        return self._inner.method
+
+    def deliver(self, element: str, text: str) -> ShipmentRecord:
+        last_error: Optional[str] = None
+        for attempt in range(1, self._policy.max_attempts + 1):
+            try:
+                record = self._inner.deliver(element, text)
+            except (OSError, TransportError) as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+            else:
+                if self._inner.acknowledge(record, text):
+                    return ShipmentRecord(
+                        record.element,
+                        record.method,
+                        record.destination,
+                        record.octets,
+                        attempts=attempt,
+                    )
+                last_error = "delivery not acknowledged"
+            if attempt < self._policy.max_attempts:
+                self._sleep(
+                    self._policy.backoff(attempt, key=element, seed=self._seed)
+                )
+        self.dead_letter.append(element)
+        raise TransportError(
+            f"delivery to {element!r} failed after "
+            f"{self._policy.max_attempts} attempt(s): {last_error}"
+        )
+
+    def acknowledge(self, record: ShipmentRecord, text: str) -> bool:
+        return self._inner.acknowledge(record, text)

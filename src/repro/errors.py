@@ -83,9 +83,29 @@ class CodegenError(ReproError):
     """Error while generating or shipping configuration output."""
 
 
+class TransportError(CodegenError):
+    """A configuration shipment could not be delivered (after retries)."""
+
+
 class SnmpError(ReproError):
     """Error in the SNMP substrate."""
 
 
+class AgentDownError(SnmpError):
+    """The addressed agent has crashed and is not serving requests."""
+
+
 class SimulationError(ReproError):
     """Error in the discrete-event network simulator."""
+
+
+class RolloutError(ReproError):
+    """Error in the fault-tolerant configuration rollout layer."""
+
+
+class DeliveryError(RolloutError):
+    """A protocol exchange with an element failed outright."""
+
+
+class DeliveryTimeout(DeliveryError):
+    """A protocol exchange produced no answer within the deadline."""

@@ -13,15 +13,20 @@ network".
 * :mod:`repro.netsim.network` — topology and message delay;
 * :mod:`repro.netsim.processes` — the management runtime built from a
   compiled :class:`~repro.nmsl.specs.Specification`;
-* :mod:`repro.netsim.monitor` — the runtime verifier.
+* :mod:`repro.netsim.monitor` — the runtime verifier;
+* :mod:`repro.netsim.faults` — seeded chaos injection (loss, stall,
+  corruption, duplication, crash/restart) for the rollout path.
 """
 
 from repro.netsim.sim import Simulator
 from repro.netsim.network import Internet, SimElement, SimNetwork
 from repro.netsim.processes import ManagementRuntime, QueryRecord
 from repro.netsim.monitor import RuntimeVerifier, Violation
+from repro.netsim.faults import FaultInjector, FaultSpec
 
 __all__ = [
+    "FaultInjector",
+    "FaultSpec",
     "Internet",
     "ManagementRuntime",
     "QueryRecord",

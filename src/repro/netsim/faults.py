@@ -1,0 +1,193 @@
+"""Chaos injection for the configuration rollout path.
+
+A :class:`FaultInjector` wraps each element's protocol channel (request
+octets in, response octets out) and perturbs deliveries according to a
+seeded, fully deterministic plan:
+
+* **loss** — the request never reaches the agent (the caller observes a
+  timeout);
+* **stall** — the agent processes the request but the response arrives
+  after the caller's deadline (timeout with side effects — the nasty
+  case for idempotency);
+* **corruption** — one octet of the request is flipped in flight; if the
+  mangled BER still decodes the agent stages garbage (caught later by
+  fingerprint read-back), otherwise the agent drops the datagram
+  (another timeout);
+* **duplication** — the request is delivered twice (a duplicated staging
+  chunk also surfaces as a fingerprint mismatch);
+* **crash / restart** — after N delivered messages the element's agent
+  crashes, losing staged state; optionally it restarts after a further M
+  contact attempts, restoring its last-known-good configuration.
+
+Randomness is drawn from one ``random.Random`` per element seeded with
+``(seed, element)``, so outcomes do not depend on how the coordinator
+interleaves elements — the whole chaos run is bit-identical per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import random
+
+from repro.errors import AgentDownError, DeliveryError, DeliveryTimeout
+
+SendFunction = Callable[[bytes], bytes]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What can go wrong on one element's channel."""
+
+    loss_rate: float = 0.0
+    stall_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    #: Crash the agent just before it would process delivered message N
+    #: (1-based count of messages that reached the agent).
+    crash_after: Optional[int] = None
+    #: After crashing, come back up on the M-th contact attempt.
+    restart_after: Optional[int] = None
+    #: Stall every message after the N-th delivered one (a wedged agent).
+    stall_after: Optional[int] = None
+
+
+@dataclass
+class _ElementChaosState:
+    delivered: int = 0
+    crashed: bool = False
+    crashes: int = 0  # a crash_after spec fires exactly once
+    attempts_while_down: int = 0
+    rng: random.Random = field(default_factory=random.Random)
+
+
+class FaultInjector:
+    """Deterministic, per-element chaos on top of protocol channels."""
+
+    def __init__(
+        self,
+        seed: int = 1989,
+        default: Optional[FaultSpec] = None,
+        per_element: Optional[Dict[str, FaultSpec]] = None,
+    ):
+        self.seed = seed
+        self.default = default or FaultSpec()
+        self.per_element = dict(per_element or {})
+        self._states: Dict[str, _ElementChaosState] = {}
+        #: Observable trace of injected faults: (element, kind) counts.
+        self.injected: Dict[str, Dict[str, int]] = {}
+
+    def spec_for(self, element: str) -> FaultSpec:
+        return self.per_element.get(element, self.default)
+
+    def _state(self, element: str) -> _ElementChaosState:
+        if element not in self._states:
+            self._states[element] = _ElementChaosState(
+                rng=random.Random(f"{self.seed}:{element}")
+            )
+        return self._states[element]
+
+    def _count(self, element: str, kind: str) -> None:
+        bucket = self.injected.setdefault(element, {})
+        bucket[kind] = bucket.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Channel wrapping.
+    # ------------------------------------------------------------------
+    def wrap(
+        self,
+        element: str,
+        send: SendFunction,
+        crash_hook: Optional[Callable[[], None]] = None,
+        restart_hook: Optional[Callable[[], None]] = None,
+    ) -> SendFunction:
+        """Wrap *send* with this injector's faults for *element*.
+
+        ``crash_hook`` / ``restart_hook`` let the injector take the
+        element's agent down (losing its staged state) and bring it back
+        up (restoring last-known-good) — usually bound to
+        :meth:`SnmpAgent.crash` and :meth:`SnmpAgent.restart`.
+        """
+        spec = self.spec_for(element)
+        state = self._state(element)
+
+        def chaotic_send(octets: bytes) -> bytes:
+            # Down? Either stay down or restart on this contact attempt.
+            if state.crashed:
+                state.attempts_while_down += 1
+                if (
+                    spec.restart_after is not None
+                    and state.attempts_while_down >= spec.restart_after
+                ):
+                    state.crashed = False
+                    state.attempts_while_down = 0
+                    self._count(element, "restart")
+                    if restart_hook is not None:
+                        restart_hook()
+                else:
+                    raise DeliveryError(f"agent on {element} is down")
+            # Crash fires once the element has processed its quota.
+            if (
+                spec.crash_after is not None
+                and state.delivered >= spec.crash_after
+                and not state.crashed
+                and state.crashes == 0
+            ):
+                state.crashed = True
+                state.crashes += 1
+                self._count(element, "crash")
+                if crash_hook is not None:
+                    crash_hook()
+                raise DeliveryError(f"agent on {element} crashed mid-apply")
+            # Loss: the request never arrives.
+            if spec.loss_rate and state.rng.random() < spec.loss_rate:
+                self._count(element, "loss")
+                raise DeliveryTimeout(f"request to {element} lost")
+            # Corruption: flip one octet in flight.
+            deliver_octets = octets
+            if spec.corrupt_rate and state.rng.random() < spec.corrupt_rate:
+                self._count(element, "corrupt")
+                position = state.rng.randrange(len(octets))
+                flipped = octets[position] ^ 0xFF
+                deliver_octets = (
+                    octets[:position] + bytes([flipped]) + octets[position + 1 :]
+                )
+            # Deliver (possibly twice).
+            try:
+                state.delivered += 1
+                response = send(deliver_octets)
+                if (
+                    spec.duplicate_rate
+                    and state.rng.random() < spec.duplicate_rate
+                ):
+                    self._count(element, "duplicate")
+                    state.delivered += 1
+                    send(deliver_octets)
+            except AgentDownError as exc:
+                raise DeliveryError(str(exc)) from exc
+            except DeliveryError:
+                raise
+            except Exception as exc:
+                # A mangled datagram the agent could not parse: real
+                # agents drop it silently, so the caller sees a timeout.
+                self._count(element, "rejected")
+                raise DeliveryTimeout(
+                    f"agent on {element} dropped an undecodable datagram "
+                    f"({type(exc).__name__})"
+                ) from exc
+            # Stall: the response misses the deadline (side effects stay!).
+            stalled = bool(
+                spec.stall_after is not None
+                and state.delivered > spec.stall_after
+            )
+            if not stalled and spec.stall_rate:
+                stalled = state.rng.random() < spec.stall_rate
+            if stalled:
+                self._count(element, "stall")
+                raise DeliveryTimeout(
+                    f"response from {element} stalled past the deadline"
+                )
+            return response
+
+        return chaotic_send

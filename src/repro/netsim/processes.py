@@ -21,7 +21,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.asn1.types import Asn1Module
 from repro.codegen.base import ConfigurationGenerator
@@ -96,6 +96,12 @@ class ManagementRuntime:
         #: (time, agent instance id, trap message) — unsolicited traps.
         self.traps: List[tuple] = []
         self._request_ids = itertools.count(1)
+        # id -> instance, prebuilt once: install sweeps resolve instances
+        # per (config, agent) pair, and a linear scan is O(n^2) over a
+        # large campus.
+        self._instances_by_id: Dict[str, InstanceId] = {
+            instance.id: instance for instance in self.facts.instances
+        }
         self._build_agents()
         self._build_drivers()
 
@@ -168,16 +174,25 @@ class ManagementRuntime:
         (chunked), then triggers an apply — real BER on the wire.  The
         default is the equivalent direct install (faster for large
         sweeps).
+
+        The protocol path truncates each agent's staging buffer before
+        writing (a previously failed install must never leave a longer
+        predecessor's tail under a shorter config) and checks the error
+        status of every Set response; any failure raises
+        :class:`SimulationError` naming the element, after the remaining
+        elements have been attempted.
         """
         from repro.snmp.agent import (
             ADMIN_COMMUNITY,
             NMSL_CONFIG_APPLY,
+            NMSL_CONFIG_RESET,
             NMSL_CONFIG_TEXT,
         )
         from repro.snmp.manager import SnmpManager
 
         generator = ConfigurationGenerator(self.compiler, self.result)
         configured = 0
+        failures: List[str] = []
         for config in generator.generate(tag):
             for instance_id, agent in self.agents.items():
                 instance = self._instance(instance_id)
@@ -186,22 +201,147 @@ class ManagementRuntime:
                 if via_protocol:
                     manager = SnmpManager(ADMIN_COMMUNITY, agent.handle_octets)
                     octets = config.text.encode("utf-8")
-                    for start in range(0, len(octets), chunk_size):
-                        manager.set(
-                            [(NMSL_CONFIG_TEXT, octets[start : start + chunk_size])]
+                    try:
+                        manager.set([(NMSL_CONFIG_RESET, 1)])
+                        for start in range(0, len(octets), chunk_size):
+                            manager.set(
+                                [
+                                    (
+                                        NMSL_CONFIG_TEXT,
+                                        octets[start : start + chunk_size],
+                                    )
+                                ]
+                            )
+                        manager.set([(NMSL_CONFIG_APPLY, 1)])
+                    except SnmpError as exc:
+                        failures.append(
+                            f"{config.element} ({instance_id}): {exc}"
                         )
-                    manager.set([(NMSL_CONFIG_APPLY, 1)])
+                        continue
                 else:
                     agent.load_config(config.text, self.tree)
                     agent.emit_cold_start(self.simulator.now)
                 configured += 1
+        if failures:
+            raise SimulationError(
+                "protocol install failed for "
+                + "; ".join(sorted(failures))
+            )
         return configured
 
     def _instance(self, instance_id: str) -> InstanceId:
-        for instance in self.facts.instances:
-            if instance.id == instance_id:
-                return instance
-        raise SimulationError(f"unknown instance {instance_id!r}")
+        instance = self._instances_by_id.get(instance_id)
+        if instance is None:
+            raise SimulationError(f"unknown instance {instance_id!r}")
+        return instance
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant rollout (the hardened prescriptive loop).
+    # ------------------------------------------------------------------
+    def rollout_targets(self, tag: str = "BartsSnmpd") -> Dict[str, str]:
+        """Per-target configuration text for a rollout campaign.
+
+        Targets are keyed by element name; when an element runs several
+        agents each becomes its own ``element/agent-id`` target so the
+        coordinator tracks them independently.
+        """
+        generator = ConfigurationGenerator(self.compiler, self.result)
+        merged: Dict[str, List[str]] = {}
+        for config in generator.generate(tag):
+            merged.setdefault(config.element, []).append(config.text)
+        targets: Dict[str, str] = {}
+        for element, chunks in merged.items():
+            text = "\n".join(chunks)
+            for target in self._element_targets(element):
+                targets[target] = text
+        return targets
+
+    def _element_targets(self, element: str) -> List[str]:
+        agents = self._agents_of_element(element)
+        if not agents:
+            return []
+        if len(agents) == 1:
+            return [element]
+        return [f"{element}/{instance_id}" for instance_id, _ in agents]
+
+    def _agents_of_element(self, element: str) -> List[Tuple[str, SnmpAgent]]:
+        return sorted(
+            (instance_id, agent)
+            for instance_id, agent in self.agents.items()
+            if self._instance(instance_id).owner == element
+        )
+
+    def target_agent(self, target: str) -> SnmpAgent:
+        element, _, instance_id = target.partition("/")
+        agents = self._agents_of_element(element)
+        if instance_id:
+            for candidate_id, agent in agents:
+                if candidate_id == instance_id:
+                    return agent
+            raise SimulationError(f"unknown rollout target {target!r}")
+        if not agents:
+            raise SimulationError(f"no agent for rollout target {target!r}")
+        return agents[0][1]
+
+    def rollout_channels(
+        self, targets: Sequence[str], injector=None
+    ) -> Dict[str, Callable[[bytes], bytes]]:
+        """Protocol channels for the coordinator, optionally chaos-wrapped."""
+        channels = {}
+        for target in targets:
+            agent = self.target_agent(target)
+
+            def send(octets: bytes, _agent=agent) -> bytes:
+                return _agent.handle_octets(octets, now=self.simulator.now)
+
+            if injector is not None:
+                send = injector.wrap(
+                    target,
+                    send,
+                    crash_hook=agent.crash,
+                    restart_hook=agent.restart,
+                )
+            channels[target] = send
+        return channels
+
+    def rollout(
+        self,
+        tag: str = "BartsSnmpd",
+        policy=None,
+        jobs: int = 4,
+        seed: int = 1989,
+        injector=None,
+        chunk_size: int = 1024,
+        configs: Optional[Dict[str, str]] = None,
+    ):
+        """Run a fault-tolerant rollout campaign over every agent.
+
+        Builds per-element two-phase delivery through a
+        :class:`~repro.rollout.coordinator.RolloutCoordinator`; each
+        agent's current committed configuration (if any) is its
+        last-known-good for rollback.  ``configs`` overrides the
+        generated target texts (keyed like :meth:`rollout_targets`).
+        Returns the :class:`~repro.rollout.state.RolloutReport`.
+        """
+        from repro.rollout import RolloutCoordinator
+
+        targets = configs if configs is not None else self.rollout_targets(tag)
+        channels = self.rollout_channels(sorted(targets), injector=injector)
+        last_known_good = {}
+        for target in targets:
+            good = self.target_agent(target).last_good_config
+            if good is not None:
+                last_known_good[target] = good
+        coordinator = RolloutCoordinator(
+            channels=channels,
+            configs=targets,
+            policy=policy,
+            jobs=jobs,
+            seed=seed,
+            last_known_good=last_known_good,
+            chunk_size=chunk_size,
+        )
+        return coordinator.run()
 
     # ------------------------------------------------------------------
     # Application drivers.

@@ -1,0 +1,45 @@
+"""Fault-tolerant configuration rollout (the prescriptive loop, hardened).
+
+The paper's Section 5 ships compiled configuration to running network
+managers; this package makes that delivery transactional and
+fault-tolerant:
+
+* :mod:`repro.rollout.retry` — shared retry budgets and deterministic
+  exponential backoff (also used by the file/mail transports);
+* :mod:`repro.rollout.state` — the per-element delivery state machine
+  (pending → staged → verified → committed | failed → rolled-back) and
+  the structured :class:`RolloutReport`;
+* :mod:`repro.rollout.coordinator` — the :class:`RolloutCoordinator`
+  that drives two-phase apply (chunked staging, fingerprint read-back,
+  atomic apply trigger, generation confirm) with bounded concurrency,
+  rollback to last-known-good, and a dead-letter list.
+
+See ``docs/ROLLOUT.md`` for the state machine diagram and failure-mode
+catalogue; chaos-test it with :class:`repro.netsim.faults.FaultInjector`.
+"""
+
+from repro.rollout.coordinator import (
+    RolloutCoordinator,
+    SendFunction,
+    config_fingerprint,
+)
+from repro.rollout.retry import RetryPolicy
+from repro.rollout.state import (
+    AttemptRecord,
+    ElementRollout,
+    RolloutReport,
+    RolloutState,
+    TRANSITIONS,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "ElementRollout",
+    "RetryPolicy",
+    "RolloutCoordinator",
+    "RolloutReport",
+    "RolloutState",
+    "SendFunction",
+    "TRANSITIONS",
+    "config_fingerprint",
+]

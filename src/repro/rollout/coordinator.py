@@ -1,0 +1,316 @@
+"""The rollout coordinator: fault-tolerant two-phase configuration delivery.
+
+The paper ships compiled configuration "via the normal network management
+protocol" (Section 5); this module makes that path survive a hostile
+internet.  For each element the coordinator performs a two-phase apply
+over plain SNMP Sets/Gets against the agent's enterprise staging objects:
+
+1. **stage** — read the element's current config generation, truncate the
+   staging object, then write the configuration text in bounded chunks;
+2. **verify** — read back the staged text's SHA-256 fingerprint and
+   compare it against the locally computed one (catching corrupted,
+   duplicated, or torn chunk deliveries);
+3. **apply** — trigger the atomic apply object;
+4. **confirm** — read the generation number again and require it to have
+   advanced.
+
+Any failed exchange fails the whole attempt; attempts retry under an
+exponential-backoff schedule with deterministic jitter
+(:class:`~repro.rollout.retry.RetryPolicy`).  Elements that exhaust the
+budget are rolled back to their last-known-good configuration (same
+two-phase machinery) and land in the dead-letter list either way, so a
+campus-wide sweep degrades to partial success with a structured
+:class:`~repro.rollout.state.RolloutReport` instead of aborting.
+
+Time is logical: successful exchanges cost ``policy.rtt_s``, timeouts
+cost ``policy.timeout_s``, and a deterministic event loop interleaves at
+most ``jobs`` elements at once — the whole campaign is a pure function of
+(channels, configs, policy, seed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    DeliveryError,
+    DeliveryTimeout,
+    RolloutError,
+    SnmpError,
+)
+from repro.rollout.retry import RetryPolicy
+from repro.rollout.state import (
+    AttemptRecord,
+    ElementRollout,
+    RolloutReport,
+    RolloutState,
+    TRANSITIONS,
+)
+
+#: A protocol channel to one element: request octets in, response octets out.
+SendFunction = Callable[[bytes], bytes]
+
+
+def config_fingerprint(text: str) -> bytes:
+    """The fingerprint the agent must echo for a staged configuration."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest().encode("ascii")
+
+
+class _AttemptFailed(RolloutError):
+    """Internal: one delivery attempt failed in a named phase."""
+
+    def __init__(self, phase: str, reason: str):
+        super().__init__(f"{phase}: {reason}")
+        self.phase = phase
+        self.reason = reason
+
+
+class RolloutCoordinator:
+    """Drives a configuration campaign across many elements."""
+
+    def __init__(
+        self,
+        channels: Dict[str, SendFunction],
+        configs: Dict[str, str],
+        policy: Optional[RetryPolicy] = None,
+        jobs: int = 4,
+        seed: int = 1989,
+        last_known_good: Optional[Dict[str, str]] = None,
+        chunk_size: int = 1024,
+    ):
+        if jobs < 1:
+            raise RolloutError(f"jobs must be at least 1, got {jobs}")
+        if chunk_size < 1:
+            raise RolloutError(f"chunk_size must be at least 1, got {chunk_size}")
+        missing = sorted(set(configs) - set(channels))
+        if missing:
+            raise RolloutError(
+                "no delivery channel for element(s): " + ", ".join(missing)
+            )
+        self.channels = channels
+        self.configs = configs
+        self.policy = policy or RetryPolicy()
+        self.jobs = jobs
+        self.seed = seed
+        self.last_known_good = dict(last_known_good or {})
+        self.chunk_size = chunk_size
+        self._rollback_attempts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # The campaign event loop.
+    # ------------------------------------------------------------------
+    def run(self) -> RolloutReport:
+        """Deliver every configuration; never raises for per-element faults."""
+        report = RolloutReport(
+            seed=self.seed,
+            jobs=self.jobs,
+            elements={
+                name: ElementRollout(name) for name in sorted(self.configs)
+            },
+        )
+        waiting = deque(sorted(self.configs))
+        in_flight: List[Tuple[float, str]] = []  # (ready_at, element) heap
+        finished_at = 0.0
+        now = 0.0
+        while in_flight or waiting:
+            while len(in_flight) < self.jobs and waiting:
+                heapq.heappush(in_flight, (now, waiting.popleft()))
+            ready_at, element = heapq.heappop(in_flight)
+            now = max(now, ready_at)
+            next_ready = self._step(element, now, report)
+            finished_at = max(finished_at, now)
+            if next_ready is not None:
+                heapq.heappush(in_flight, (next_ready, element))
+        report.duration_s = max(
+            finished_at,
+            max(
+                (
+                    record.history[-1].at_s
+                    for record in report.elements.values()
+                    if record.history
+                ),
+                default=0.0,
+            ),
+        )
+        return report
+
+    def _step(
+        self, element: str, now: float, report: RolloutReport
+    ) -> Optional[float]:
+        """Run one attempt for *element*; returns the next wake-up time,
+        or None when the element reached a terminal state."""
+        record = report.elements[element]
+        if record.state is RolloutState.FAILED:
+            return self._step_rollback(element, now, record)
+        return self._step_forward(element, now, record)
+
+    def _step_forward(
+        self, element: str, now: float, record: ElementRollout
+    ) -> Optional[float]:
+        record.attempts += 1
+        outcome = self._deliver(
+            element, self.configs[element], record, rollback=False
+        )
+        phase, reason, elapsed, exchanges, generation = outcome
+        at = now + elapsed
+        ok = phase is None
+        record.history.append(
+            AttemptRecord(
+                attempt=record.attempts,
+                phase=phase or "commit",
+                outcome="ok" if ok else reason,
+                at_s=at,
+                exchanges=exchanges,
+            )
+        )
+        if ok:
+            record.generation = generation
+            return None
+        if record.attempts < self.policy.max_attempts:
+            self._move(record, RolloutState.PENDING)
+            return at + self.policy.backoff(
+                record.attempts, key=element, seed=self.seed
+            )
+        # Budget exhausted: dead-letter; try to restore last-known-good.
+        self._move(record, RolloutState.FAILED)
+        if self.last_known_good.get(element):
+            return at + self.policy.backoff(
+                self.policy.max_attempts, key=element, seed=self.seed
+            )
+        return None
+
+    def _step_rollback(
+        self, element: str, now: float, record: ElementRollout
+    ) -> Optional[float]:
+        attempt = self._rollback_attempts.get(element, 0) + 1
+        self._rollback_attempts[element] = attempt
+        outcome = self._deliver(
+            element, self.last_known_good[element], record, rollback=True
+        )
+        phase, reason, elapsed, exchanges, _generation = outcome
+        at = now + elapsed
+        ok = phase is None
+        record.history.append(
+            AttemptRecord(
+                attempt=attempt,
+                phase="rollback",
+                outcome="ok" if ok else f"{phase}: {reason}",
+                at_s=at,
+                exchanges=exchanges,
+            )
+        )
+        if ok:
+            self._move(record, RolloutState.ROLLED_BACK)
+            return None
+        if attempt < self.policy.rollback_attempts:
+            return at + self.policy.backoff(
+                attempt, key=f"{element}#rollback", seed=self.seed
+            )
+        return None  # stays FAILED: nothing more we can do from here
+
+    # ------------------------------------------------------------------
+    # One two-phase delivery attempt.
+    # ------------------------------------------------------------------
+    def _deliver(
+        self,
+        element: str,
+        text: str,
+        record: ElementRollout,
+        rollback: bool,
+    ) -> Tuple[Optional[str], str, float, int, Optional[int]]:
+        """Stage, verify, apply, confirm.  Returns
+        ``(failed_phase | None, reason, elapsed_s, exchanges, generation)``."""
+        from repro.snmp.agent import (
+            ADMIN_COMMUNITY,
+            NMSL_CONFIG_APPLY,
+            NMSL_CONFIG_DIGEST,
+            NMSL_CONFIG_GENERATION,
+            NMSL_CONFIG_RESET,
+            NMSL_CONFIG_TEXT,
+        )
+        from repro.snmp.manager import SnmpManager
+
+        manager = SnmpManager(ADMIN_COMMUNITY, self.channels[element])
+        elapsed = 0.0
+        exchanges = 0
+
+        def exchange(op, phase: str):
+            nonlocal elapsed, exchanges
+            retries = self.policy.exchange_retries
+            while True:
+                exchanges += 1
+                try:
+                    result = op()
+                except DeliveryTimeout as exc:
+                    elapsed += self.policy.timeout_s
+                    if retries <= 0:
+                        raise _AttemptFailed(phase, f"timeout: {exc}") from exc
+                    retries -= 1
+                    continue
+                except DeliveryError as exc:
+                    elapsed += self.policy.rtt_s
+                    raise _AttemptFailed(phase, f"delivery: {exc}") from exc
+                except SnmpError as exc:
+                    elapsed += self.policy.rtt_s
+                    raise _AttemptFailed(phase, f"protocol: {exc}") from exc
+                elapsed += self.policy.rtt_s
+                return result
+
+        octets = text.encode("utf-8")
+        try:
+            generation_before = exchange(
+                lambda: manager.get_one(NMSL_CONFIG_GENERATION), "stage"
+            )
+            exchange(lambda: manager.set([(NMSL_CONFIG_RESET, 1)]), "stage")
+            for start in range(0, len(octets), self.chunk_size):
+                chunk = octets[start : start + self.chunk_size]
+                exchange(
+                    lambda c=chunk: manager.set([(NMSL_CONFIG_TEXT, c)]),
+                    "stage",
+                )
+            if not rollback:
+                self._move(record, RolloutState.STAGED)
+            staged_digest = exchange(
+                lambda: manager.get_one(NMSL_CONFIG_DIGEST), "verify"
+            )
+            if bytes(staged_digest) != config_fingerprint(text):
+                raise _AttemptFailed(
+                    "verify", "fingerprint mismatch on staged configuration"
+                )
+            if not rollback:
+                self._move(record, RolloutState.VERIFIED)
+            exchange(lambda: manager.set([(NMSL_CONFIG_APPLY, 1)]), "apply")
+            generation_after = exchange(
+                lambda: manager.get_one(NMSL_CONFIG_GENERATION), "confirm"
+            )
+            if not isinstance(generation_after, int) or (
+                isinstance(generation_before, int)
+                and generation_after <= generation_before
+            ):
+                raise _AttemptFailed(
+                    "confirm",
+                    f"generation did not advance "
+                    f"({generation_before!r} -> {generation_after!r})",
+                )
+            if not rollback:
+                self._move(record, RolloutState.COMMITTED)
+            return None, "", elapsed, exchanges, generation_after
+        except _AttemptFailed as failure:
+            return failure.phase, failure.reason, elapsed, exchanges, None
+
+    # ------------------------------------------------------------------
+    # State machine enforcement.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _move(record: ElementRollout, state: RolloutState) -> None:
+        if record.state is state:
+            return
+        if state not in TRANSITIONS[record.state]:
+            raise RolloutError(
+                f"illegal transition {record.state.value} -> {state.value} "
+                f"for {record.element}"
+            )
+        record.state = state

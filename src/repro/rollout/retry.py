@@ -1,0 +1,93 @@
+"""Retry budgets and deterministic exponential backoff.
+
+One :class:`RetryPolicy` is shared by everything that re-delivers
+configuration: the protocol-path :class:`~repro.rollout.coordinator.
+RolloutCoordinator` and the file/mail :class:`~repro.codegen.transport.
+ReliableTransport`.  Backoff grows exponentially and is jittered, but the
+jitter is a pure function of ``(seed, key, attempt)`` — two runs with the
+same seed produce bit-identical schedules regardless of scheduling order,
+which is what lets the chaos suite assert reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import RolloutError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving an element up to the dead letter list.
+
+    ``max_attempts``
+        Full two-phase delivery attempts per element (stage, verify,
+        apply, confirm).  Exhaustion triggers rollback.
+    ``exchange_retries``
+        Retransmissions of a single protocol exchange on timeout before
+        the whole attempt is failed — SNMP runs over a datagram service,
+        so a lost request is retransmitted like any UDP manager would.
+    ``timeout_s``
+        Per-exchange deadline; a stalled or lost exchange costs this much
+        logical time.
+    ``rtt_s``
+        Logical cost of one successful exchange.
+    ``base_backoff_s`` / ``multiplier`` / ``max_backoff_s``
+        Exponential backoff between attempts: attempt *n* (1-based) waits
+        ``base * multiplier**(n-1)`` capped at ``max_backoff_s``.
+    ``jitter``
+        Fraction of the backoff added as deterministic jitter in
+        ``[0, jitter * backoff)``.
+    ``rollback_attempts``
+        Delivery attempts granted to the restore of the last-known-good
+        configuration after the forward budget is exhausted.
+    """
+
+    max_attempts: int = 5
+    exchange_retries: int = 2
+    timeout_s: float = 2.0
+    rtt_s: float = 0.05
+    base_backoff_s: float = 0.5
+    multiplier: float = 2.0
+    max_backoff_s: float = 30.0
+    jitter: float = 0.1
+    rollback_attempts: int = 2
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise RolloutError("max_attempts must be at least 1")
+        if self.exchange_retries < 0:
+            raise RolloutError("exchange_retries must be non-negative")
+        if self.timeout_s <= 0:
+            raise RolloutError("timeout_s must be positive")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise RolloutError("backoff bounds must be non-negative")
+        if self.multiplier < 1.0:
+            raise RolloutError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise RolloutError("jitter must be in [0, 1)")
+
+    def backoff(self, attempt: int, key: str = "", seed: int = 0) -> float:
+        """Delay before retry number *attempt* (1-based) of *key*.
+
+        The jitter draw is seeded from ``(seed, key, attempt)`` alone so
+        the schedule does not depend on how tasks interleave.
+        """
+        if attempt < 1:
+            raise RolloutError(f"attempt numbers are 1-based, got {attempt}")
+        base = min(
+            self.base_backoff_s * (self.multiplier ** (attempt - 1)),
+            self.max_backoff_s,
+        )
+        if not self.jitter or not base:
+            return base
+        draw = random.Random(f"{seed}:{key}:{attempt}").random()
+        return base * (1.0 + self.jitter * draw)
+
+    def schedule(self, key: str = "", seed: int = 0) -> tuple:
+        """The full backoff schedule for *key* (one entry per retry gap)."""
+        return tuple(
+            self.backoff(attempt, key=key, seed=seed)
+            for attempt in range(1, self.max_attempts)
+        )

@@ -1,0 +1,189 @@
+"""Rollout state machine vocabulary and the structured report.
+
+Every element moves through an explicit state machine::
+
+    pending -> staged -> verified -> committed
+        \\________________________/
+                  |  (any phase fails: retry with backoff)
+                  v
+                failed -> rolled-back
+
+``committed`` and ``rolled-back`` are terminal successes of their
+respective goals; ``failed`` is terminal only when the retry budget is
+exhausted *and* no last-known-good configuration could be restored.
+Elements that do not reach ``committed`` land in the dead-letter list so
+a campus-wide sweep degrades to partial success instead of aborting.
+
+The :class:`RolloutReport` is pure data — logical times only, keys
+sorted — so a run with a fixed seed serialises bit-identically across
+repeats (the chaos suite asserts exactly that).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class RolloutState(enum.Enum):
+    """Where one element is in its delivery lifecycle."""
+
+    PENDING = "pending"
+    STAGED = "staged"
+    VERIFIED = "verified"
+    COMMITTED = "committed"
+    FAILED = "failed"
+    ROLLED_BACK = "rolled-back"
+
+    def terminal(self) -> bool:
+        return self in (
+            RolloutState.COMMITTED,
+            RolloutState.FAILED,
+            RolloutState.ROLLED_BACK,
+        )
+
+
+#: Legal transitions — the coordinator asserts every move against this.
+TRANSITIONS = {
+    RolloutState.PENDING: {RolloutState.STAGED, RolloutState.FAILED},
+    RolloutState.STAGED: {
+        RolloutState.VERIFIED,
+        RolloutState.PENDING,  # verify failed: restage on the next attempt
+        RolloutState.FAILED,
+    },
+    RolloutState.VERIFIED: {
+        RolloutState.COMMITTED,
+        RolloutState.PENDING,  # apply/confirm failed: retry
+        RolloutState.FAILED,
+    },
+    RolloutState.FAILED: {RolloutState.ROLLED_BACK},
+    RolloutState.COMMITTED: set(),
+    RolloutState.ROLLED_BACK: set(),
+}
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One delivery attempt (or rollback attempt) against one element."""
+
+    attempt: int
+    phase: str  # "stage" | "verify" | "apply" | "confirm" | "rollback"
+    outcome: str  # "ok" or an error description
+    at_s: float  # logical time the attempt finished
+    exchanges: int  # protocol exchanges the attempt consumed
+
+    def as_dict(self) -> dict:
+        return {
+            "attempt": self.attempt,
+            "phase": self.phase,
+            "outcome": self.outcome,
+            "at_s": round(self.at_s, 6),
+            "exchanges": self.exchanges,
+        }
+
+
+@dataclass
+class ElementRollout:
+    """Everything that happened to one element during the campaign."""
+
+    element: str
+    state: RolloutState = RolloutState.PENDING
+    attempts: int = 0
+    generation: Optional[int] = None  # confirmed generation, when committed
+    history: List[AttemptRecord] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "generation": self.generation,
+            "history": [record.as_dict() for record in self.history],
+        }
+
+
+@dataclass
+class RolloutReport:
+    """The structured outcome of one rollout campaign."""
+
+    seed: int
+    jobs: int
+    elements: Dict[str, ElementRollout] = field(default_factory=dict)
+    duration_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Derived views.
+    # ------------------------------------------------------------------
+    def committed(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(
+                name
+                for name, element in self.elements.items()
+                if element.state is RolloutState.COMMITTED
+            )
+        )
+
+    def dead_letter(self) -> Tuple[str, ...]:
+        """Elements that exhausted their retry budget short of the target."""
+        return tuple(
+            sorted(
+                name
+                for name, element in self.elements.items()
+                if element.state
+                in (RolloutState.FAILED, RolloutState.ROLLED_BACK)
+            )
+        )
+
+    @property
+    def complete(self) -> bool:
+        return not self.dead_letter()
+
+    def outcomes(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for element in self.elements.values():
+            counts[element.state.value] = counts.get(element.state.value, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # ------------------------------------------------------------------
+    # Serialisation.
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "duration_s": round(self.duration_s, 6),
+            "outcomes": self.outcomes(),
+            "committed": list(self.committed()),
+            "dead_letter": list(self.dead_letter()),
+            "elements": {
+                name: self.elements[name].as_dict()
+                for name in sorted(self.elements)
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable summary, one line per element."""
+        lines = [
+            f"rollout: {len(self.committed())}/{len(self.elements)} committed"
+            f" in {self.duration_s:.2f}s (seed {self.seed}, jobs {self.jobs})"
+        ]
+        for name in sorted(self.elements):
+            element = self.elements[name]
+            generation = (
+                f" gen {element.generation}"
+                if element.generation is not None
+                else ""
+            )
+            last = element.history[-1].outcome if element.history else "-"
+            lines.append(
+                f"  {name}: {element.state.value} after "
+                f"{element.attempts} attempt(s){generation}"
+                + ("" if last == "ok" else f" [{last}]")
+            )
+        if self.dead_letter():
+            lines.append("dead letter: " + ", ".join(self.dead_letter()))
+        return "\n".join(lines)

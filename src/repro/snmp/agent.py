@@ -9,10 +9,11 @@ counts feed the runtime verifier.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.errors import MibError, SnmpError
+from repro.errors import AgentDownError, MibError, SnmpError
 from repro.mib.instances import InstanceStore
 from repro.mib.tree import MibTree
 from repro.snmp.codec import decode_message, encode_message
@@ -35,8 +36,16 @@ NMSL_ENTERPRISE = Oid("1.3.6.1.4.1.42989")
 #: management protocol").  A manager writes the configuration text into
 #: nmslConfigText (possibly in several chunks) and then sets
 #: nmslConfigApply to 1; the agent replaces its policy atomically.
+#: The rollout coordinator's two-phase apply additionally uses:
+#: nmslConfigReset (set 1: truncate the staging buffer), nmslConfigDigest
+#: (get: SHA-256 hex fingerprint of the staged text, for read-back
+#: verification) and nmslConfigGeneration (get: how many configurations
+#: this agent has committed — the apply trigger advances it).
 NMSL_CONFIG_TEXT = NMSL_ENTERPRISE + "1.1.0"
 NMSL_CONFIG_APPLY = NMSL_ENTERPRISE + "1.2.0"
+NMSL_CONFIG_RESET = NMSL_ENTERPRISE + "1.3.0"
+NMSL_CONFIG_DIGEST = NMSL_ENTERPRISE + "1.4.0"
+NMSL_CONFIG_GENERATION = NMSL_ENTERPRISE + "1.5.0"
 
 #: The bootstrap community through which configuration arrives.
 ADMIN_COMMUNITY = "nmsl-admin"
@@ -77,6 +86,8 @@ class SnmpAgent:
         self._tree = tree
         self._pending_config: List[bytes] = []
         self.configs_applied = 0
+        self.crashed = False
+        self._last_good_config: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Traps (RFC 1067 Section 4.1.6).
@@ -105,18 +116,64 @@ class SnmpAgent:
     # Configuration installation (the prescriptive loop).
     # ------------------------------------------------------------------
     def load_config(self, text: str, tree: MibTree) -> None:
-        """Replace the agent's policy from generated snmpd.conf text."""
+        """Replace the agent's policy from generated snmpd.conf text.
+
+        A successfully applied configuration becomes the last-known-good
+        snapshot that :meth:`restart` restores after a crash and that a
+        rollout coordinator rolls back to.
+        """
         self.policy = CommunityPolicy.from_snmpd_conf(text, tree)
+        self._last_good_config = text
+
+    @property
+    def last_good_config(self) -> Optional[str]:
+        """The most recently committed configuration text, if any."""
+        return self._last_good_config
+
+    def staged_digest(self) -> bytes:
+        """SHA-256 hex fingerprint of the staging buffer (read-back check)."""
+        return (
+            hashlib.sha256(b"".join(self._pending_config))
+            .hexdigest()
+            .encode("ascii")
+        )
+
+    # ------------------------------------------------------------------
+    # Crash / restart (driven by the chaos-injection harness).
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Stop serving.  In-memory staging state is lost on restart."""
+        self.crashed = True
+
+    def restart(self, now: Optional[float] = None) -> None:
+        """Come back up: discard staged state, restore last-known-good.
+
+        Mirrors a real agent rereading its on-disk configuration after a
+        reboot — the half-staged (uncommitted) text never survives, so a
+        crash mid-rollout can only ever leave the element at its previous
+        committed configuration.
+        """
+        self.crashed = False
+        self._pending_config = []
+        if self._last_good_config is not None and self._tree is not None:
+            self.policy = CommunityPolicy.from_snmpd_conf(
+                self._last_good_config, self._tree
+            )
+        self.emit_cold_start(now)
 
     # ------------------------------------------------------------------
     # Message handling.
     # ------------------------------------------------------------------
     def handle_octets(self, octets: bytes, now: Optional[float] = None) -> bytes:
         """Wire-level entry point: BER in, BER out."""
+        if self.crashed:
+            raise AgentDownError(f"agent {self.name!r} is down")
         return encode_message(self.handle(decode_message(octets), now))
 
     def handle(self, message: Message, now: Optional[float] = None) -> Message:
         """Process one request message, returning the response message."""
+        if self.crashed:
+            raise AgentDownError(f"agent {self.name!r} is down")
         self.stats.requests += 1
         pdu = message.pdu
         admin = self._handle_admin(message, now)
@@ -151,7 +208,13 @@ class SnmpAgent:
         if not pdu.bindings:
             return None
         oids = set(pdu.oids())
-        config_oids = {NMSL_CONFIG_TEXT, NMSL_CONFIG_APPLY}
+        config_oids = {
+            NMSL_CONFIG_TEXT,
+            NMSL_CONFIG_APPLY,
+            NMSL_CONFIG_RESET,
+            NMSL_CONFIG_DIGEST,
+            NMSL_CONFIG_GENERATION,
+        }
         if not oids & config_oids:
             return None
         if message.community != ADMIN_COMMUNITY:
@@ -167,8 +230,14 @@ class SnmpAgent:
                     results.append(
                         VarBind(binding.oid, b"".join(self._pending_config))
                     )
-                elif binding.oid == NMSL_CONFIG_APPLY:
+                elif binding.oid in (NMSL_CONFIG_APPLY, NMSL_CONFIG_GENERATION):
                     results.append(VarBind(binding.oid, self.configs_applied))
+                elif binding.oid == NMSL_CONFIG_DIGEST:
+                    results.append(VarBind(binding.oid, self.staged_digest()))
+                elif binding.oid == NMSL_CONFIG_RESET:
+                    results.append(
+                        VarBind(binding.oid, len(self._pending_config))
+                    )
                 else:
                     return pdu.response(error_status=ErrorStatus.NO_SUCH_NAME)
             return pdu.response(bindings=results)
@@ -181,8 +250,24 @@ class SnmpAgent:
                         error_status=ErrorStatus.BAD_VALUE, error_index=index
                     )
                 self._pending_config.append(bytes(binding.value))
+            elif binding.oid == NMSL_CONFIG_RESET:
+                if binding.value != 1:
+                    return pdu.response(
+                        error_status=ErrorStatus.BAD_VALUE, error_index=index
+                    )
+                self._pending_config = []
+            elif binding.oid in (NMSL_CONFIG_DIGEST, NMSL_CONFIG_GENERATION):
+                return pdu.response(
+                    error_status=ErrorStatus.READ_ONLY, error_index=index
+                )
             elif binding.oid == NMSL_CONFIG_APPLY:
                 if binding.value != 1:
+                    return pdu.response(
+                        error_status=ErrorStatus.BAD_VALUE, error_index=index
+                    )
+                if not self._pending_config:
+                    # Nothing staged: a duplicated or retransmitted apply
+                    # trigger must never re-commit an empty configuration.
                     return pdu.response(
                         error_status=ErrorStatus.BAD_VALUE, error_index=index
                     )

@@ -1,0 +1,221 @@
+"""Seeded chaos suite: the rollout must converge under injected faults.
+
+The acceptance scenario: with 20% message loss, one agent crashed
+mid-apply, and one stalled past the timeout, the coordinator leaves every
+reachable agent at the target configuration generation, the crashed
+agent's last-known-good configuration is restored on restart, the stalled
+agent lands in the dead-letter list — and the entire run is bit-identical
+across repeats with the same seed.
+"""
+
+import pytest
+
+from repro.errors import AgentDownError, SimulationError
+from repro.netsim.faults import FaultInjector, FaultSpec
+from repro.netsim.processes import ManagementRuntime
+from repro.nmsl.compiler import NmslCompiler
+from repro.rollout import RetryPolicy, RolloutState
+from repro.workloads.scenarios import campus_internet
+
+V2_MARKER = "# generation-2 rollout marker\n"
+CHAOS_POLICY = RetryPolicy(max_attempts=8, exchange_retries=2)
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return NmslCompiler()
+
+
+def make_runtime(compiler):
+    """A campus with a baseline configuration committed on every agent."""
+    runtime = ManagementRuntime(compiler, compiler.compile(campus_internet()))
+    runtime.install_configuration()
+    return runtime
+
+
+def v2_configs(runtime):
+    return {
+        target: text + "\n" + V2_MARKER
+        for target, text in runtime.rollout_targets().items()
+    }
+
+
+def acceptance_injector(targets, seed):
+    """20% loss everywhere; first target crashes mid-apply, second wedges."""
+    crashed, stalled = targets[0], targets[1]
+    return (
+        FaultInjector(
+            seed=seed,
+            default=FaultSpec(loss_rate=0.2),
+            per_element={
+                crashed: FaultSpec(loss_rate=0.2, crash_after=4),
+                stalled: FaultSpec(stall_after=0),
+            },
+        ),
+        crashed,
+        stalled,
+    )
+
+
+def run_acceptance(compiler, seed):
+    runtime = make_runtime(compiler)
+    targets = sorted(runtime.rollout_targets())
+    injector, crashed, stalled = acceptance_injector(targets, seed)
+    report = runtime.rollout(
+        policy=CHAOS_POLICY,
+        jobs=4,
+        seed=seed,
+        injector=injector,
+        configs=v2_configs(runtime),
+    )
+    return runtime, report, crashed, stalled
+
+
+class TestAcceptanceScenario:
+    SEED = 42
+
+    def test_reachable_agents_reach_target_generation(self, compiler):
+        runtime, report, crashed, stalled = run_acceptance(compiler, self.SEED)
+        reachable = sorted(set(report.elements) - {crashed, stalled})
+        assert report.committed() == tuple(reachable)
+        for target in reachable:
+            agent = runtime.target_agent(target)
+            assert agent.configs_applied == 1
+            assert agent.last_good_config.endswith(V2_MARKER)
+            assert report.elements[target].generation == 1
+
+    def test_crashed_agent_restores_last_known_good_on_restart(self, compiler):
+        runtime, report, crashed, _stalled = run_acceptance(compiler, self.SEED)
+        agent = runtime.target_agent(crashed)
+        baseline = runtime.rollout_targets()[crashed]
+        assert agent.crashed
+        with pytest.raises(AgentDownError):
+            agent.handle_octets(b"\x30\x00")
+        agent.restart()
+        assert not agent.crashed
+        # The half-staged v2 text is gone; the committed baseline survives.
+        assert agent.last_good_config == baseline
+        assert agent.staged_digest() == __import__("hashlib").sha256(
+            b""
+        ).hexdigest().encode("ascii")
+        assert agent.policy.communities() == (
+            runtime.target_agent(crashed).policy.communities()
+        )
+
+    def test_crashed_and_stalled_agents_dead_lettered(self, compiler):
+        _runtime, report, crashed, stalled = run_acceptance(compiler, self.SEED)
+        assert set(report.dead_letter()) == {crashed, stalled}
+        assert report.elements[crashed].state in (
+            RolloutState.FAILED,
+            RolloutState.ROLLED_BACK,
+        )
+        stalled_record = report.elements[stalled]
+        assert stalled_record.state is RolloutState.FAILED
+        assert stalled_record.attempts == CHAOS_POLICY.max_attempts
+        assert "stalled" in stalled_record.history[0].outcome
+
+    def test_run_is_bit_identical_across_repeats(self, compiler):
+        _r1, first, _c1, _s1 = run_acceptance(compiler, self.SEED)
+        _r2, second, _c2, _s2 = run_acceptance(compiler, self.SEED)
+        assert first.to_json() == second.to_json()
+
+    def test_different_seed_differs(self, compiler):
+        _r1, first, _c1, _s1 = run_acceptance(compiler, self.SEED)
+        _r2, second, _c2, _s2 = run_acceptance(compiler, 43)
+        assert first.to_json() != second.to_json()
+
+
+class TestLossOnly:
+    @pytest.mark.parametrize("seed", [7, 23, 1989])
+    def test_converges_under_20_percent_loss(self, compiler, seed):
+        runtime = make_runtime(compiler)
+        report = runtime.rollout(
+            policy=CHAOS_POLICY,
+            jobs=4,
+            seed=seed,
+            injector=FaultInjector(seed=seed, default=FaultSpec(loss_rate=0.2)),
+            configs=v2_configs(runtime),
+        )
+        assert report.complete, report.render()
+        for target in report.elements:
+            agent = runtime.target_agent(target)
+            assert agent.last_good_config.endswith(V2_MARKER)
+
+
+class TestCorruptionAndDuplication:
+    def test_fingerprint_defeats_corruption_and_duplicates(self, compiler):
+        runtime = make_runtime(compiler)
+        injector = FaultInjector(
+            seed=11,
+            default=FaultSpec(corrupt_rate=0.25, duplicate_rate=0.25),
+        )
+        report = runtime.rollout(
+            policy=CHAOS_POLICY,
+            jobs=4,
+            seed=11,
+            injector=injector,
+            configs=v2_configs(runtime),
+        )
+        assert report.complete, report.render()
+        injected_kinds = {
+            kind
+            for counts in injector.injected.values()
+            for kind in counts
+        }
+        assert injected_kinds & {"corrupt", "duplicate"}
+        # No agent ever committed a corrupted text.
+        for target in report.elements:
+            agent = runtime.target_agent(target)
+            assert agent.last_good_config == v2_configs(runtime)[target]
+
+
+class TestCrashRestartMidRollout:
+    def test_agent_restarting_during_campaign_converges(self, compiler):
+        """A crash that heals within the retry budget still converges —
+        the restarted agent loses its staged chunks but the next attempt
+        restages from scratch."""
+        runtime = make_runtime(compiler)
+        targets = sorted(runtime.rollout_targets())
+        victim = targets[0]
+        injector = FaultInjector(
+            seed=5,
+            per_element={
+                victim: FaultSpec(crash_after=4, restart_after=2)
+            },
+        )
+        report = runtime.rollout(
+            policy=CHAOS_POLICY,
+            jobs=4,
+            seed=5,
+            injector=injector,
+            configs=v2_configs(runtime),
+        )
+        assert report.complete, report.render()
+        record = report.elements[victim]
+        assert record.attempts > 1
+        assert runtime.target_agent(victim).last_good_config.endswith(
+            V2_MARKER
+        )
+        assert injector.injected[victim]["crash"] == 1
+        assert injector.injected[victim]["restart"] == 1
+
+
+class TestProtocolInstallSurfacesFailures:
+    def test_crashed_agent_fails_install_with_element_named(self, compiler):
+        runtime = ManagementRuntime(
+            compiler, compiler.compile(campus_internet())
+        )
+        victim_id, victim = sorted(runtime.agents.items())[0]
+        victim.crash()
+        with pytest.raises(SimulationError, match="protocol install failed"):
+            try:
+                runtime.install_configuration(via_protocol=True)
+            except SimulationError as exc:
+                assert victim_id in str(exc)
+                raise
+
+    def test_healthy_campus_installs_and_counts(self, compiler):
+        runtime = ManagementRuntime(
+            compiler, compiler.compile(campus_internet())
+        )
+        assert runtime.install_configuration(via_protocol=True) == 5

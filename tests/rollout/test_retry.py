@@ -1,0 +1,72 @@
+"""RetryPolicy: budgets, exponential backoff, deterministic jitter."""
+
+import pytest
+
+from repro.errors import RolloutError
+from repro.rollout import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"exchange_retries": -1},
+            {"timeout_s": 0.0},
+            {"base_backoff_s": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(RolloutError):
+            RetryPolicy(**kwargs)
+
+    def test_attempt_numbers_are_one_based(self):
+        with pytest.raises(RolloutError):
+            RetryPolicy().backoff(0)
+
+
+class TestBackoff:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0, multiplier=2.0, jitter=0.0, max_backoff_s=100.0
+        )
+        assert policy.backoff(1) == 1.0
+        assert policy.backoff(2) == 2.0
+        assert policy.backoff(3) == 4.0
+        assert policy.backoff(4) == 8.0
+
+    def test_capped_at_max_backoff(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0, multiplier=10.0, jitter=0.0, max_backoff_s=5.0
+        )
+        assert policy.backoff(5) == 5.0
+
+    def test_jitter_is_bounded(self):
+        policy = RetryPolicy(base_backoff_s=1.0, multiplier=1.0, jitter=0.25)
+        for attempt in range(1, 20):
+            delay = policy.backoff(attempt, key="elem", seed=3)
+            assert 1.0 <= delay < 1.25
+
+    def test_jitter_deterministic_per_seed_key_attempt(self):
+        policy = RetryPolicy(jitter=0.5)
+        assert policy.backoff(2, key="a", seed=9) == policy.backoff(
+            2, key="a", seed=9
+        )
+
+    def test_jitter_varies_across_keys_and_seeds(self):
+        policy = RetryPolicy(jitter=0.5)
+        baseline = policy.backoff(2, key="a", seed=9)
+        assert policy.backoff(2, key="b", seed=9) != baseline
+        assert policy.backoff(2, key="a", seed=10) != baseline
+
+    def test_schedule_has_one_gap_per_retry(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.0)
+        schedule = policy.schedule(key="x", seed=1)
+        assert len(schedule) == 4
+        assert list(schedule) == sorted(schedule)  # monotone growth

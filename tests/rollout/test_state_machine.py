@@ -1,0 +1,311 @@
+"""The rollout state machine: two-phase apply, retries, rollback."""
+
+import pytest
+
+from repro.asn1.types import Asn1Module
+from repro.errors import DeliveryTimeout, RolloutError
+from repro.mib.instances import InstanceStore
+from repro.mib.mib1 import build_mib1
+from repro.rollout import (
+    RetryPolicy,
+    RolloutCoordinator,
+    RolloutState,
+    config_fingerprint,
+)
+from repro.rollout.state import ElementRollout
+from repro.snmp.agent import NMSL_CONFIG_APPLY, SnmpAgent
+from repro.snmp.codec import decode_message
+from repro.snmp.messages import PduType
+
+CONF_OLD = """view v include mgmt.mib.system
+community ops v ReadOnly min-interval 60
+"""
+
+CONF_NEW = """view v include mgmt.mib.system
+community fleet v ReadOnly min-interval 30
+"""
+
+FAST = RetryPolicy(max_attempts=3, exchange_retries=1, base_backoff_s=0.1)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_mib1()
+
+
+def make_agent(tree, name="a"):
+    store = InstanceStore(tree, module=Asn1Module())
+    return SnmpAgent(name, store, tree=tree)
+
+
+def plain_channel(agent):
+    return lambda octets: agent.handle_octets(octets)
+
+
+class TestHappyPath:
+    def test_all_elements_committed(self, tree):
+        agents = {name: make_agent(tree, name) for name in ("a", "b", "c")}
+        coordinator = RolloutCoordinator(
+            channels={n: plain_channel(agent) for n, agent in agents.items()},
+            configs={n: CONF_NEW for n in agents},
+            policy=FAST,
+        )
+        report = coordinator.run()
+        assert report.complete
+        assert report.committed() == ("a", "b", "c")
+        assert report.dead_letter() == ()
+        for record in report.elements.values():
+            assert record.state is RolloutState.COMMITTED
+            assert record.attempts == 1
+            assert record.generation == 1
+            assert [r.outcome for r in record.history] == ["ok"]
+        for agent in agents.values():
+            assert agent.policy.communities() == ("fleet",)
+            assert agent.last_good_config == CONF_NEW
+
+    def test_chunked_staging(self, tree):
+        agent = make_agent(tree)
+        coordinator = RolloutCoordinator(
+            channels={"a": plain_channel(agent)},
+            configs={"a": CONF_NEW},
+            policy=FAST,
+            chunk_size=7,
+        )
+        report = coordinator.run()
+        assert report.complete
+        assert agent.policy.communities() == ("fleet",)
+
+    def test_generation_advances_per_campaign(self, tree):
+        agent = make_agent(tree)
+        channels = {"a": plain_channel(agent)}
+        RolloutCoordinator(channels, {"a": CONF_OLD}, policy=FAST).run()
+        report = RolloutCoordinator(channels, {"a": CONF_NEW}, policy=FAST).run()
+        assert report.elements["a"].generation == 2
+
+    def test_empty_campaign(self):
+        report = RolloutCoordinator(channels={}, configs={}).run()
+        assert report.complete
+        assert report.elements == {}
+
+
+class TestRetry:
+    def test_corrupted_chunk_caught_by_fingerprint_then_retried(self, tree):
+        agent = make_agent(tree)
+        state = {"corrupted": False}
+
+        def channel(octets):
+            message = decode_message(octets)
+            binding = message.pdu.bindings[0]
+            # Corrupt the first staged chunk of the first attempt only.
+            if (
+                not state["corrupted"]
+                and message.pdu.pdu_type is PduType.SET_REQUEST
+                and isinstance(binding.value, bytes)
+                and binding.value.startswith(b"view")
+            ):
+                state["corrupted"] = True
+                agent._pending_config.append(b"garbage")
+                return agent.handle_octets(octets)
+            return agent.handle_octets(octets)
+
+        coordinator = RolloutCoordinator(
+            channels={"a": channel}, configs={"a": CONF_NEW}, policy=FAST
+        )
+        report = coordinator.run()
+        record = report.elements["a"]
+        assert record.state is RolloutState.COMMITTED
+        assert record.attempts == 2
+        assert record.history[0].phase == "verify"
+        assert "fingerprint mismatch" in record.history[0].outcome
+        assert agent.policy.communities() == ("fleet",)
+
+    def test_transient_timeouts_absorbed_by_retransmission(self, tree):
+        agent = make_agent(tree)
+        drops = {"remaining": 1}
+
+        def flaky(octets):
+            if drops["remaining"]:
+                drops["remaining"] -= 1
+                raise DeliveryTimeout("lost")
+            return agent.handle_octets(octets)
+
+        report = RolloutCoordinator(
+            channels={"a": flaky}, configs={"a": CONF_NEW}, policy=FAST
+        ).run()
+        record = report.elements["a"]
+        assert record.state is RolloutState.COMMITTED
+        assert record.attempts == 1  # absorbed below the attempt level
+        assert record.history[0].exchanges > 5
+
+    def test_timeouts_cost_more_than_successes(self, tree):
+        agent = make_agent(tree)
+        drops = {"remaining": 2}
+
+        def flaky(octets):
+            if drops["remaining"]:
+                drops["remaining"] -= 1
+                raise DeliveryTimeout("lost")
+            return agent.handle_octets(octets)
+
+        clean = RolloutCoordinator(
+            channels={"a": plain_channel(make_agent(tree))},
+            configs={"a": CONF_NEW},
+            policy=FAST,
+        ).run()
+        dirty = RolloutCoordinator(
+            channels={"a": flaky}, configs={"a": CONF_NEW}, policy=FAST
+        ).run()
+        assert dirty.duration_s > clean.duration_s
+
+
+class TestRollback:
+    def make_apply_blocker(self, agent, blocked_text):
+        """A channel that drops every apply of *blocked_text* (only)."""
+        fingerprint = config_fingerprint(blocked_text)
+
+        def channel(octets):
+            message = decode_message(octets)
+            if (
+                message.pdu.pdu_type is PduType.SET_REQUEST
+                and message.pdu.bindings[0].oid == NMSL_CONFIG_APPLY
+                and agent.staged_digest() == fingerprint
+            ):
+                raise DeliveryTimeout("apply dropped")
+            return agent.handle_octets(octets)
+
+        return channel
+
+    def test_exhaustion_rolls_back_to_last_known_good(self, tree):
+        agent = make_agent(tree)
+        agent.load_config(CONF_OLD, tree)
+        report = RolloutCoordinator(
+            channels={"a": self.make_apply_blocker(agent, CONF_NEW)},
+            configs={"a": CONF_NEW},
+            policy=FAST,
+            last_known_good={"a": CONF_OLD},
+        ).run()
+        record = report.elements["a"]
+        assert record.state is RolloutState.ROLLED_BACK
+        assert record.attempts == FAST.max_attempts
+        assert report.dead_letter() == ("a",)
+        assert record.history[-1].phase == "rollback"
+        assert record.history[-1].outcome == "ok"
+        # The agent is back on the old configuration, atomically.
+        assert agent.policy.communities() == ("ops",)
+        assert agent.last_good_config == CONF_OLD
+
+    def test_no_last_known_good_means_plain_failure(self, tree):
+        agent = make_agent(tree)
+        report = RolloutCoordinator(
+            channels={"a": self.make_apply_blocker(agent, CONF_NEW)},
+            configs={"a": CONF_NEW},
+            policy=FAST,
+        ).run()
+        record = report.elements["a"]
+        assert record.state is RolloutState.FAILED
+        assert report.dead_letter() == ("a",)
+        assert all(r.phase != "rollback" for r in record.history)
+
+    def test_failed_rollback_stays_failed(self, tree):
+        agent = make_agent(tree)
+
+        def dead(octets):
+            raise DeliveryTimeout("black hole")
+
+        report = RolloutCoordinator(
+            channels={"a": dead},
+            configs={"a": CONF_NEW},
+            policy=FAST,
+            last_known_good={"a": CONF_OLD},
+        ).run()
+        record = report.elements["a"]
+        assert record.state is RolloutState.FAILED
+        rollbacks = [r for r in record.history if r.phase == "rollback"]
+        assert len(rollbacks) == FAST.rollback_attempts
+        assert all(r.outcome != "ok" for r in rollbacks)
+
+
+class TestConcurrencyAndDeterminism:
+    def test_jobs_one_serialises_elements(self, tree):
+        contacts = []
+        channels = {}
+        for name in ("a", "b", "c"):
+            agent = make_agent(tree, name)
+
+            def send(octets, _name=name, _agent=agent):
+                contacts.append(_name)
+                return _agent.handle_octets(octets)
+
+            channels[name] = send
+        RolloutCoordinator(
+            channels, {n: CONF_NEW for n in channels}, policy=FAST, jobs=1
+        ).run()
+        # With one slot, all of a's exchanges precede b's, etc.
+        boundaries = [contacts.index(n) for n in ("a", "b", "c")]
+        assert boundaries == sorted(boundaries)
+        assert contacts == sorted(contacts)
+
+    def test_jobs_bound_respected_under_backoff(self, tree):
+        """With 2 slots and a slow first element, the third element is
+        only admitted after one of the first two finishes."""
+        first_contact = []
+        channels = {}
+        for name in ("a", "b", "c"):
+            agent = make_agent(tree, name)
+
+            def send(octets, _name=name, _agent=agent):
+                if _name not in first_contact:
+                    first_contact.append(_name)
+                if _name == "a":
+                    raise DeliveryTimeout("a is unreachable")
+                return _agent.handle_octets(octets)
+
+            channels[name] = send
+        RolloutCoordinator(
+            channels, {n: CONF_NEW for n in channels}, policy=FAST, jobs=2
+        ).run()
+        assert first_contact[:2] == ["a", "b"]
+
+    def test_report_identical_across_repeats(self, tree):
+        def run_once():
+            agents = {n: make_agent(tree, n) for n in ("a", "b", "c", "d")}
+            drops = {"budget": 3}
+
+            def make_channel(agent):
+                def send(octets):
+                    if drops["budget"]:
+                        drops["budget"] -= 1
+                        raise DeliveryTimeout("lost")
+                    return agent.handle_octets(octets)
+
+                return send
+
+            return RolloutCoordinator(
+                channels={n: make_channel(a) for n, a in agents.items()},
+                configs={n: CONF_NEW for n in agents},
+                policy=FAST,
+                jobs=2,
+                seed=77,
+            ).run()
+
+        assert run_once().to_json() == run_once().to_json()
+
+
+class TestGuards:
+    def test_missing_channel_rejected(self, tree):
+        with pytest.raises(RolloutError, match="no delivery channel"):
+            RolloutCoordinator(channels={}, configs={"a": CONF_NEW})
+
+    def test_bad_jobs_rejected(self, tree):
+        agent = make_agent(tree)
+        with pytest.raises(RolloutError, match="jobs"):
+            RolloutCoordinator(
+                channels={"a": plain_channel(agent)},
+                configs={"a": CONF_NEW},
+                jobs=0,
+            )
+
+    def test_illegal_transition_rejected(self):
+        record = ElementRollout("a", state=RolloutState.COMMITTED)
+        with pytest.raises(RolloutError, match="illegal transition"):
+            RolloutCoordinator._move(record, RolloutState.PENDING)

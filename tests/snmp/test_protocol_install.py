@@ -2,13 +2,18 @@
 
 import pytest
 
+import hashlib
+
 from repro.asn1.types import Asn1Module
-from repro.errors import SnmpError
+from repro.errors import AgentDownError, SnmpError
 from repro.mib.instances import InstanceStore
 from repro.mib.mib1 import build_mib1
 from repro.snmp.agent import (
     ADMIN_COMMUNITY,
     NMSL_CONFIG_APPLY,
+    NMSL_CONFIG_DIGEST,
+    NMSL_CONFIG_GENERATION,
+    NMSL_CONFIG_RESET,
     NMSL_CONFIG_TEXT,
     SnmpAgent,
 )
@@ -104,6 +109,104 @@ class TestRejections:
         manager = admin(agent)
         with pytest.raises(SnmpError, match="badValue"):
             manager.set([(NMSL_CONFIG_TEXT, 42)])
+
+    def test_apply_with_nothing_staged_rejected(self, agent):
+        """A duplicated or retransmitted apply trigger must never commit
+        an empty configuration."""
+        manager = admin(agent)
+        manager.set([(NMSL_CONFIG_TEXT, CONF.encode())])
+        manager.set([(NMSL_CONFIG_APPLY, 1)])
+        with pytest.raises(SnmpError, match="badValue"):
+            manager.set([(NMSL_CONFIG_APPLY, 1)])
+        assert agent.configs_applied == 1
+        assert agent.last_good_config == CONF
+
+
+class TestStagingObjects:
+    def test_digest_tracks_staging_buffer(self, agent):
+        manager = admin(agent)
+        empty = hashlib.sha256(b"").hexdigest().encode("ascii")
+        assert manager.get_one(NMSL_CONFIG_DIGEST) == empty
+        manager.set([(NMSL_CONFIG_TEXT, b"view v ")])
+        manager.set([(NMSL_CONFIG_TEXT, b"include mgmt.mib\n")])
+        staged = hashlib.sha256(b"view v include mgmt.mib\n").hexdigest()
+        assert manager.get_one(NMSL_CONFIG_DIGEST) == staged.encode("ascii")
+
+    def test_reset_clears_staging_buffer(self, agent):
+        manager = admin(agent)
+        manager.set([(NMSL_CONFIG_TEXT, b"half a config")])
+        manager.set([(NMSL_CONFIG_RESET, 1)])
+        empty = hashlib.sha256(b"").hexdigest().encode("ascii")
+        assert manager.get_one(NMSL_CONFIG_DIGEST) == empty
+        assert manager.get_one(NMSL_CONFIG_RESET) == 0
+
+    def test_generation_counts_committed_applies(self, agent):
+        manager = admin(agent)
+        assert manager.get_one(NMSL_CONFIG_GENERATION) == 0
+        manager.set([(NMSL_CONFIG_TEXT, CONF.encode())])
+        manager.set([(NMSL_CONFIG_APPLY, 1)])
+        assert manager.get_one(NMSL_CONFIG_GENERATION) == 1
+        manager.set([(NMSL_CONFIG_TEXT, CONF.encode())])
+        manager.set([(NMSL_CONFIG_APPLY, 1)])
+        assert manager.get_one(NMSL_CONFIG_GENERATION) == 2
+
+    def test_rejected_apply_does_not_advance_generation(self, agent):
+        manager = admin(agent)
+        manager.set([(NMSL_CONFIG_TEXT, b"community broken")])
+        with pytest.raises(SnmpError, match="badValue"):
+            manager.set([(NMSL_CONFIG_APPLY, 1)])
+        assert manager.get_one(NMSL_CONFIG_GENERATION) == 0
+
+    @pytest.mark.parametrize(
+        "oid", [NMSL_CONFIG_DIGEST, NMSL_CONFIG_GENERATION]
+    )
+    def test_read_only_objects_reject_sets(self, agent, oid):
+        with pytest.raises(SnmpError, match="readOnly"):
+            admin(agent).set([(oid, 1)])
+
+    def test_staging_objects_hidden_from_other_communities(self, agent):
+        stranger = SnmpManager("public", agent.handle_octets)
+        with pytest.raises(SnmpError, match="noSuchName"):
+            stranger.get([NMSL_CONFIG_DIGEST])
+
+
+class TestCrashRestart:
+    def test_crashed_agent_refuses_all_traffic(self, agent):
+        agent.crash()
+        with pytest.raises(AgentDownError):
+            agent.handle_octets(b"\x30\x00")
+        with pytest.raises(AgentDownError):
+            admin(agent).get([NMSL_CONFIG_GENERATION])
+
+    def test_restart_restores_last_known_good(self, agent):
+        manager = admin(agent)
+        manager.set([(NMSL_CONFIG_TEXT, CONF.encode())])
+        manager.set([(NMSL_CONFIG_APPLY, 1)])
+        # Half-stage a second generation, then crash before the apply.
+        manager.set([(NMSL_CONFIG_TEXT, b"view w include mgmt.mib\n")])
+        agent.crash()
+        agent.restart()
+        assert not agent.crashed
+        assert agent.last_good_config == CONF
+        assert agent.policy.communities() == ("ops",)
+        # The staged text is gone; the buffer digests as empty.
+        empty = hashlib.sha256(b"").hexdigest().encode("ascii")
+        assert admin(agent).get_one(NMSL_CONFIG_DIGEST) == empty
+
+    def test_restart_emits_cold_start(self, tree):
+        traps = []
+        store = InstanceStore(tree, module=Asn1Module())
+        agent = SnmpAgent("a", store, tree=tree, trap_sink=traps.append)
+        agent.crash()
+        agent.restart()
+        assert [t.pdu.generic_trap for t in traps] == [GenericTrap.COLD_START]
+
+    def test_restart_before_any_commit_leaves_default_policy(self, agent):
+        before = agent.policy.communities()
+        agent.crash()
+        agent.restart()
+        assert agent.last_good_config is None
+        assert agent.policy.communities() == before
 
 
 class TestRuntimeViaProtocol:

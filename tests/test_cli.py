@@ -144,6 +144,77 @@ class TestDiffAgainst:
         assert "no changes" in capsys.readouterr().out
 
 
+class TestRollout:
+    def test_clean_rollout_exits_zero(self, paper_file, capsys):
+        assert main(["rollout", str(paper_file)]) == 0
+        out = capsys.readouterr().out
+        assert "committed" in out
+        assert "romano.cs.wisc.edu" in out
+
+    def test_json_report(self, paper_file, capsys):
+        import json
+
+        assert main(["rollout", str(paper_file), "--report", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dead_letter"] == []
+        assert set(report["elements"]) == {
+            "romano.cs.wisc.edu",
+            "cs.wisc.edu",
+        }
+        assert report["outcomes"] == {"committed": 2}
+
+    def test_report_file_written(self, paper_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "report.json"
+        assert (
+            main(["rollout", str(paper_file), "--report-file", str(out_path)])
+            == 0
+        )
+        assert json.loads(out_path.read_text())["dead_letter"] == []
+
+    def test_wedged_element_dead_letters_and_exits_one(
+        self, paper_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    "rollout",
+                    str(paper_file),
+                    "--max-attempts",
+                    "2",
+                    "--chaos-wedge",
+                    "romano.cs.wisc.edu",
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "dead letter" in out
+        assert "romano.cs.wisc.edu" in out
+
+    def test_rollout_is_deterministic_per_seed(self, paper_file, capsys):
+        args = [
+            "rollout",
+            str(paper_file),
+            "--report",
+            "json",
+            "--chaos-loss",
+            "0.2",
+            "--seed",
+            "9",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_compile_failure_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.nmsl"
+        bad.write_text("process broken ::= supports")
+        assert main(["rollout", str(bad)]) == 2
+
+
 class TestExtensions:
     def test_extension_file(self, tmp_path, capsys):
         ext = tmp_path / "billing.nmslx"

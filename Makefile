@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze bench bench-quick chaos clean
+.PHONY: test analyze bench bench-quick chaos profile clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,8 +23,16 @@ bench-quick:
 
 ## Fault-injected rollout campaigns across 3 fixed seeds (see docs/ROLLOUT.md).
 chaos:
-	$(PYTHON) benchmarks/chaos_rollout.py --output BENCH_chaos.json
+	$(PYTHON) benchmarks/chaos_rollout.py --output BENCH_chaos.json \
+		--trace TRACE_chaos.jsonl --metrics METRICS_chaos.prom
+
+## Where does the time go?  Per-phase/per-rule breakdown + Perfetto trace.
+profile:
+	$(PYTHON) -m repro.cli profile examples/campus.nmsl --engine datalog \
+		--output consistency --trace TRACE_profile.json
 
 clean:
-	rm -rf .pytest_cache .benchmarks analysis.sarif BENCH_chaos.json
+	rm -rf .pytest_cache .benchmarks analysis.sarif BENCH_chaos.json \
+		TRACE_chaos.jsonl METRICS_chaos.prom TRACE_profile.json \
+		TRACE_consistency.json METRICS_consistency.prom
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -12,12 +12,14 @@ Run as a script to emit ``BENCH_consistency.json``::
 """
 
 import argparse
+import contextlib
 import json
 import time
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.consistency.checker import ConsistencyChecker, check_with_clpr
 from repro.consistency.facts import FactGenerator
 from repro.consistency.report import InconsistencyKind
@@ -167,6 +169,10 @@ def _timed_check(spec, tree, engine, jobs=1):
     return time.perf_counter() - started, outcome
 
 
+def _counter_value(o, name) -> float:
+    return o.metrics.value(name) or 0
+
+
 def run_scaling(quick: bool = False, jobs: int = 1) -> dict:
     """Time scan vs indexed vs incremental across workload sizes."""
     from repro.consistency.evolution import DeltaChecker
@@ -176,6 +182,32 @@ def run_scaling(quick: bool = False, jobs: int = 1) -> dict:
     sizes = [(16, 8, 4), (64, 16, 4)]
     if not quick:
         sizes.append((256, 32, 8))
+    rows = []
+    with contextlib.ExitStack() as stack:
+        o = obs.current()
+        if not o.enabled:
+            # No session installed by the caller: keep one for the loop so
+            # the per-row index/cache figures below are always available.
+            o = stack.enter_context(obs.scope())
+        rows = _scaling_rows(compiler, sizes, jobs, o)
+    largest = rows[-1]
+    return {
+        "benchmark": "consistency-engine",
+        "mode": "quick" if quick else "full",
+        "jobs": jobs,
+        "rows": rows,
+        "largest_speedup": largest["speedup"],
+        "metrics_snapshot": {
+            name: family
+            for name, family in o.metrics.snapshot().items()
+            if name.startswith("repro_consistency")
+        },
+    }
+
+
+def _scaling_rows(compiler, sizes, jobs, o) -> list:
+    from repro.consistency.evolution import DeltaChecker
+
     rows = []
     for n_domains, per_domain, apps in sizes:
         params = InternetParameters(
@@ -187,7 +219,20 @@ def run_scaling(quick: bool = False, jobs: int = 1) -> dict:
         )
         spec = SyntheticInternet(params).specification()
         scan_s, scan = _timed_check(spec, compiler.tree, "scan")
+        hits_before = _counter_value(o, "repro_consistency_index_hits_total")
+        misses_before = _counter_value(
+            o, "repro_consistency_index_misses_total"
+        )
         indexed_s, indexed = _timed_check(spec, compiler.tree, "indexed", jobs)
+        index_hits = (
+            _counter_value(o, "repro_consistency_index_hits_total")
+            - hits_before
+        )
+        index_misses = (
+            _counter_value(o, "repro_consistency_index_misses_total")
+            - misses_before
+        )
+        cache_hit_ratio = o.metrics.value("repro_consistency_cache_hit_ratio")
         assert scan.consistent == indexed.consistent
         assert len(scan.inconsistencies) == len(indexed.inconsistencies)
 
@@ -225,16 +270,14 @@ def run_scaling(quick: bool = False, jobs: int = 1) -> dict:
                     "facts_expanded": incremental.stats.get("facts_expanded"),
                     "facts_reused": incremental.stats.get("facts_reused"),
                 },
+                "metrics": {
+                    "index_hits": int(index_hits),
+                    "index_misses": int(index_misses),
+                    "cache_hit_ratio": cache_hit_ratio,
+                },
             }
         )
-    largest = rows[-1]
-    return {
-        "benchmark": "consistency-engine",
-        "mode": "quick" if quick else "full",
-        "jobs": jobs,
-        "rows": rows,
-        "largest_speedup": largest["speedup"],
-    }
+    return rows
 
 
 def main(argv=None) -> int:
@@ -254,8 +297,25 @@ def main(argv=None) -> int:
         default="BENCH_consistency.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="also write a trace of the benchmark run (.jsonl or Chrome)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="also write the full metrics registry as Prometheus text",
+    )
     args = parser.parse_args(argv)
-    report = run_scaling(quick=args.quick, jobs=args.jobs)
+    with obs.scope() as session:
+        report = run_scaling(quick=args.quick, jobs=args.jobs)
+    if args.trace:
+        session.tracer.write(args.trace)
+        print(f"wrote trace to {args.trace}")
+    if args.metrics:
+        session.metrics.write(args.metrics)
+        print(f"wrote metrics to {args.metrics}")
     Path(args.output).write_text(
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
     )

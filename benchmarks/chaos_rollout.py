@@ -20,6 +20,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.netsim.faults import FaultInjector, FaultSpec
 from repro.netsim.processes import ManagementRuntime
 from repro.nmsl.compiler import NmslCompiler
@@ -96,10 +97,29 @@ def main(argv=None):
         metavar="FILE",
         help="combined JSON report path (default: BENCH_chaos.json)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a deterministic (logical-clock) trace of the campaigns",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write campaign metrics as Prometheus text",
+    )
     args = parser.parse_args(argv)
 
     compiler = NmslCompiler()
-    runs = [run_seed(compiler, seed) for seed in SEEDS]
+    # A logical clock keeps the exported trace and metrics deterministic:
+    # re-running this benchmark yields byte-identical artifacts.
+    with obs.scope(clock=obs.LogicalClock()) as session:
+        runs = [run_seed(compiler, seed) for seed in SEEDS]
+    if args.trace:
+        session.tracer.write(args.trace)
+        print(f"wrote trace to {args.trace}")
+    if args.metrics:
+        session.metrics.write(args.metrics)
+        print(f"wrote metrics to {args.metrics}")
     combined = {
         "benchmark": "chaos_rollout",
         "policy": {

@@ -38,16 +38,83 @@ list; it exits 1 when any element lands in the dead letter.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
+from repro import obs
 from repro.codegen.base import ConfigurationGenerator
 from repro.codegen.transport import FileDropTransport, MailSpoolTransport
 from repro.consistency.checker import ConsistencyChecker, check_with_clpr
 from repro.errors import ReproError
 from repro.nmsl.compiler import CompilerOptions, NmslCompiler
 from repro.nmsl.extension import parse_extension
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability surface, available on every command."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a trace of this run to FILE (.jsonl for one span per "
+        "line, anything else for Chrome trace_event JSON / Perfetto)",
+    )
+    group.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write run metrics to FILE in Prometheus text exposition",
+    )
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log progress to stderr (-v info, -vv debug)",
+    )
+    group.add_argument(
+        "--clock",
+        choices=("wall", "logical"),
+        default="wall",
+        help="trace timestamps: wall time (default) or a deterministic "
+        "logical clock (bit-identical traces for fixed seeds)",
+    )
+
+
+@contextlib.contextmanager
+def _obs_session(
+    args: argparse.Namespace, force: bool = False
+) -> Iterator[Optional[obs.Observability]]:
+    """Install an :class:`Observability` for one CLI command.
+
+    Exports the trace and metrics files on the way out.  Without any
+    observability flags (and without *force*) the command runs on the
+    null observability — the instrumented paths cost one attribute read.
+    """
+    obs.configure_logging(getattr(args, "verbose", 0))
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    if not (force or trace or metrics):
+        yield None
+        return
+    clock = (
+        obs.LogicalClock()
+        if getattr(args, "clock", "wall") == "logical"
+        else obs.WallClock()
+    )
+    session = obs.Observability(clock=clock)
+    previous = obs.set_current(session)
+    try:
+        yield session
+    finally:
+        obs.set_current(previous)
+        if trace:
+            fmt = session.tracer.write(trace)
+            print(f"nmslc: wrote {fmt} trace to {trace}", file=sys.stderr)
+        if metrics:
+            session.metrics.write(metrics)
+            print(f"nmslc: wrote metrics to {metrics}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -133,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="show what changed relative to OLDFILE and which consistency "
         "problems the change introduces or fixes",
     )
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -180,6 +248,7 @@ def build_analyze_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="analyze even when the specification has semantic errors",
     )
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -276,6 +345,56 @@ def build_rollout_parser() -> argparse.ArgumentParser:
         help="stall every response from ELEMENT after N messages "
         "(default 0); repeatable",
     )
+    _add_obs_arguments(parser)
+    return parser
+
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nmslc profile",
+        description="Profile a compile + consistency check (+ optional "
+        "codegen): per-phase time breakdown from the tracer, per-rule "
+        "and per-keyword detail from the metrics registry",
+    )
+    parser.add_argument("specification", help="NMSL specification file")
+    parser.add_argument(
+        "--engine",
+        choices=("closure", "scan", "clpr", "datalog"),
+        default="closure",
+        help="consistency engine to profile (default: closure)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="reduction worker threads (closure engines only)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="TAG",
+        help="also profile generating output of this type",
+    )
+    parser.add_argument(
+        "--extensions",
+        nargs="*",
+        default=(),
+        metavar="FILE",
+        help="extension-language files to prepend",
+    )
+    parser.add_argument(
+        "--lax",
+        action="store_true",
+        help="profile even when the specification has semantic errors",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows in the per-rule and per-keyword tables (default: 10)",
+    )
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -285,12 +404,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if argv and argv[0] == "analyze":
             args = build_analyze_parser().parse_args(argv[1:])
-            return _run_analyze(args)
+            with _obs_session(args):
+                return _run_analyze(args)
         if argv and argv[0] == "rollout":
             args = build_rollout_parser().parse_args(argv[1:])
-            return _run_rollout(args)
+            with _obs_session(args):
+                return _run_rollout(args)
+        if argv and argv[0] == "profile":
+            args = build_profile_parser().parse_args(argv[1:])
+            with _obs_session(args, force=True) as session:
+                return _run_profile(args, session)
         args = build_parser().parse_args(argv)
-        return _run(args)
+        with _obs_session(args):
+            return _run(args)
     except ReproError as exc:
         print(f"nmslc: error: {exc}", file=sys.stderr)
         return 2
@@ -328,7 +454,7 @@ def _run(args: argparse.Namespace) -> int:
         + ", ".join(f"{count} {kind}" for kind, count in counts.items())
     )
     for warning in result.report.warnings:
-        print(f"warning: {warning}")
+        print(f"warning: {warning}", file=sys.stderr)
     if result.report.errors:
         for error in result.report.errors:
             print(f"error: {error}", file=sys.stderr)
@@ -529,6 +655,111 @@ def _run_rollout(args: argparse.Namespace) -> int:
             report.to_json() + "\n", encoding="utf-8"
         )
     return 0 if report.complete else 1
+
+
+def _run_profile(args: argparse.Namespace, session: obs.Observability) -> int:
+    """The ``nmslc profile`` subcommand: where does the time go?
+
+    Runs compile → check (→ generate) under one top-level span and
+    prints a per-phase breakdown (from the tracer), a per-rule table
+    (datalog engine), and the keyword-dispatch counts (from metrics).
+    """
+    text = Path(args.specification).read_text(encoding="utf-8")
+    extensions = tuple(
+        parse_extension(Path(name).read_text(encoding="utf-8"))
+        for name in args.extensions
+    )
+    outcome = None
+    with session.span("profile", file=args.specification) as top:
+        with session.span("profile.setup"):
+            compiler = NmslCompiler(
+                CompilerOptions(
+                    filename=args.specification,
+                    strict=not args.lax,
+                    extensions=extensions,
+                )
+            )
+        result = compiler.compile(text)
+        if result.report.errors and not args.lax:
+            for error in result.report.errors:
+                print(f"nmslc: error: {error}", file=sys.stderr)
+            return 2
+        if args.engine == "clpr":
+            outcome = check_with_clpr(result.specification, compiler.tree)
+        elif args.engine == "datalog":
+            from repro.consistency.datalog_path import check_with_datalog
+
+            outcome = check_with_datalog(result.specification, compiler.tree)
+        else:
+            checker = ConsistencyChecker(
+                result.specification,
+                compiler.tree,
+                engine="scan" if args.engine == "scan" else "indexed",
+            )
+            outcome = checker.check(jobs=args.jobs)
+        if args.output:
+            compiler.generate(args.output, result)
+
+    records = session.tracer.finished()
+    total = top.elapsed
+    phases: dict = {}
+    for record in records:
+        if record.depth != 1:
+            continue
+        seconds, spans = phases.get(record.name, (0.0, 0))
+        phases[record.name] = (seconds + record.duration_s, spans + 1)
+
+    print(f"profile: {args.specification} (engine={args.engine})")
+    print(f"{'phase':<28} {'seconds':>12} {'share':>7} {'spans':>6}")
+    accounted = 0.0
+    for name, (seconds, spans) in sorted(
+        phases.items(), key=lambda item: -item[1][0]
+    ):
+        accounted += seconds
+        share = 100.0 * seconds / total if total else 0.0
+        print(f"  {name:<26} {seconds:>12.6f} {share:>6.1f}% {spans:>6}")
+    if total:
+        untraced = max(0.0, total - accounted)
+        print(
+            f"  {'(untraced)':<26} {untraced:>12.6f} "
+            f"{100.0 * untraced / total:>6.1f}%"
+        )
+    print(f"{'total':<28} {total:>12.6f}")
+
+    rule_stats = (outcome.stats or {}).get("rule_stats") if outcome else None
+    if rule_stats:
+        print()
+        print(f"top rules by time ({args.engine}):")
+        print(f"  {'rule':<34} {'firings':>8} {'seconds':>12}")
+        ranked = sorted(
+            rule_stats.items(), key=lambda item: -item[1]["seconds"]
+        )
+        for rule, stats in ranked[: args.top]:
+            print(
+                f"  {rule:<34} {int(stats['firings']):>8} "
+                f"{stats['seconds']:>12.6f}"
+            )
+
+    snapshot = session.metrics.snapshot()
+    keywords = snapshot.get("repro_compile_declarations_total", {}).get(
+        "samples", {}
+    )
+    if keywords:
+        print()
+        print("keyword dispatch (pass 2):")
+        ranked = sorted(keywords.items(), key=lambda item: (-item[1], item[0]))
+        for label_text, count in ranked[: args.top]:
+            keyword = label_text.partition("=")[2] or label_text
+            print(f"  {keyword:<26} {int(count):>8}")
+
+    if outcome is not None and not outcome.consistent:
+        print()
+        print(
+            f"note: specification is inconsistent "
+            f"({len(outcome.inconsistencies)} problem(s)); timings above "
+            "cover the full check"
+        )
+    return 0
 
 
 def _diff_against(args, compiler, result) -> int:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.clpr.program import Clause
 from repro.clpr.terms import Num, Struct, Term, Var, indicator_of
 from repro.clpr.unify import Bindings, unify_or_undo
@@ -53,6 +54,9 @@ class FactBase:
         self._facts: Dict[Tuple[str, int], Set[Term]] = {}
         self._why: Dict[Term, Justification] = {}
         self._by_first_arg: Dict[Tuple[Tuple[str, int], Term], Set[Term]] = {}
+        #: Per-rule evaluation stats filled in by :func:`forward_chain`:
+        #: rule label -> {"firings": new facts derived, "seconds": time}.
+        self.rule_stats: Dict[str, Dict[str, float]] = {}
 
     def add(self, fact: Term, why: Justification) -> bool:
         """Insert; returns True if the fact is new."""
@@ -184,6 +188,8 @@ def forward_chain(
                 delta.append(fact)
 
     rules = [clause for clause in rules if not clause.is_fact()]
+    labels = _rule_labels(rules)
+    clock = obs.current().clock
     rounds = 0
     while delta:
         rounds += 1
@@ -193,10 +199,29 @@ def forward_chain(
         for fact in delta:
             delta_by_indicator.setdefault(indicator_of(fact), []).append(fact)
         new_delta: List[Term] = []
-        for clause in rules:
+        for clause, label in zip(rules, labels):
+            before = len(new_delta)
+            started = clock.now()
             _fire_rule(clause, fb, delta_by_indicator, new_delta)
+            stats = fb.rule_stats.setdefault(
+                label, {"firings": 0, "seconds": 0.0}
+            )
+            stats["firings"] += len(new_delta) - before
+            stats["seconds"] += clock.now() - started
         delta = new_delta
     return fb
+
+
+def _rule_labels(rules: Sequence[Clause]) -> List[str]:
+    """Stable per-clause labels: head indicator plus clause ordinal."""
+    seen: Dict[Tuple[str, int], int] = {}
+    labels: List[str] = []
+    for clause in rules:
+        name, arity = indicator_of(clause.head)
+        ordinal = seen.get((name, arity), 0)
+        seen[(name, arity)] = ordinal + 1
+        labels.append(f"{name}/{arity}#{ordinal}")
+    return labels
 
 
 def _is_guard(goal: Term) -> bool:

@@ -61,6 +61,12 @@ class Engine:
     def __init__(self, program: Program, max_depth: int = 4000):
         self._program = program
         self._max_depth = max_depth
+        #: Plain-int work tallies (unification attempts, constraints
+        #: pushed to the store) — read by callers feeding repro.obs.
+        self.stats: Dict[str, int] = {
+            "unifications": 0,
+            "constraint_propagations": 0,
+        }
 
     @property
     def program(self) -> Program:
@@ -185,6 +191,7 @@ class Engine:
         for clause in clauses:
             renamed = clause.fresh()
             mark_b, mark_c = bindings.mark(), store.mark()
+            self.stats["unifications"] += 1
             if unify(goal, renamed.head, bindings):
                 new_goals = list(renamed.body) + rest
                 yield from self._solve_goals(new_goals, bindings, store, depth + 1)
@@ -196,6 +203,7 @@ class Engine:
     # ------------------------------------------------------------------
     def _builtin_unify(self, goal, rest, bindings, store, depth):
         mark_b = bindings.mark()
+        self.stats["unifications"] += 1
         if unify(goal.args[0], goal.args[1], bindings):
             yield from self._solve_goals(rest, bindings, store, depth + 1)
         bindings.undo_to(mark_b)
@@ -216,6 +224,7 @@ class Engine:
         if truth is False:
             return
         mark_c = store.mark()
+        self.stats["constraint_propagations"] += 1
         if store.add(constraint):
             yield from self._solve_goals(rest, bindings, store, depth + 1)
         store.undo_to(mark_c)
@@ -242,6 +251,7 @@ class Engine:
         if truth is False:
             return
         mark_c = store.mark()
+        self.stats["constraint_propagations"] += 1
         if store.add(constraint):
             yield from self._solve_goals(rest, bindings, store, depth + 1)
         store.undo_to(mark_c)

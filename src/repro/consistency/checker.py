@@ -40,9 +40,10 @@ engines; ``ConsistencyChecker.recheck`` is the incremental API used by
 from __future__ import annotations
 
 import dataclasses
-import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
 
 from repro.clpr.program import parse_program
 from repro.clpr.solver import Engine
@@ -107,6 +108,16 @@ class ConsistencyChecker:
         self._cover_memo: Dict[Tuple[int, int], bool] = {}
         self._fit_memo: Dict[Tuple[int, int], Tuple] = {}
         self._memo_pins: List[MibView] = []  # keep ids in the memos alive
+        # Plain-int memo tallies — cheap enough to keep unconditionally;
+        # published to repro.obs after each check when enabled.
+        self._memo_hits: Dict[str, int] = {
+            "shape": 0, "cover": 0, "fit": 0, "candidate": 0
+        }
+        self._memo_misses: Dict[str, int] = {
+            "shape": 0, "cover": 0, "fit": 0, "candidate": 0
+        }
+        self._published: Dict[Tuple, float] = {}
+        self._published_registry = None
 
     @property
     def engine(self) -> str:
@@ -155,23 +166,28 @@ class ConsistencyChecker:
     def check(
         self, check_capacity: bool = False, jobs: int = 1
     ) -> ConsistencyResult:
-        started = time.perf_counter()
-        facts = self.facts
-        problems: List[Inconsistency] = []
-        warnings: List[str] = list(facts.warnings)
+        o = obs.current()
+        with o.span("consistency.check", engine=self._engine, jobs=jobs) as span:
+            with o.span("consistency.facts"):
+                facts = self.facts
+            problems: List[Inconsistency] = []
+            warnings: List[str] = list(facts.warnings)
 
-        problems.extend(self._check_instantiations(facts, warnings))
-        verdicts = self._reduce(facts, list(enumerate(facts.references)), jobs)
-        self._verdicts = {
-            self._reference_key(reference): verdicts[position]
-            for position, reference in enumerate(facts.references)
-        }
-        for position in range(len(facts.references)):
-            problems.extend(verdicts[position])
-        if check_capacity:
-            warnings.extend(self._check_capacity(facts))
+            problems.extend(self._check_instantiations(facts, warnings))
+            with o.span("consistency.reduce", references=len(facts.references)):
+                verdicts = self._reduce(
+                    facts, list(enumerate(facts.references)), jobs
+                )
+            self._verdicts = {
+                self._reference_key(reference): verdicts[position]
+                for position, reference in enumerate(facts.references)
+            }
+            for position in range(len(facts.references)):
+                problems.extend(verdicts[position])
+            if check_capacity:
+                warnings.extend(self._check_capacity(facts))
+            span.annotate(inconsistencies=len(problems))
 
-        elapsed = time.perf_counter() - started
         stats = {
             "instances": len(facts.instances),
             "references": len(facts.references),
@@ -179,11 +195,13 @@ class ConsistencyChecker:
             "containment_edges": len(facts.containment),
             "engine": self._engine,
             "jobs": jobs,
-            "seconds": elapsed,
+            "seconds": span.elapsed,
         }
         stats.update(
             {f"facts_{key}": value for key, value in facts.expansion.items()}
         )
+        if o.enabled:
+            self._publish_metrics(o, facts, consistent=not problems)
         return ConsistencyResult(
             consistent=not problems,
             inconsistencies=problems,
@@ -224,42 +242,51 @@ class ConsistencyChecker:
                 specification=delta,
                 diff=diff_specifications(self._spec, delta),
             )
-        started = time.perf_counter()
-        previous_verdicts = self._verdicts if self._facts is not None else None
-        self._spec = delta.specification
-        facts = self.facts
-        problems: List[Inconsistency] = []
-        warnings: List[str] = list(facts.warnings)
-        problems.extend(self._check_instantiations(facts, warnings))
+        o = obs.current()
+        with o.span(
+            "consistency.recheck", engine=self._engine, jobs=jobs
+        ) as span:
+            previous_verdicts = (
+                self._verdicts if self._facts is not None else None
+            )
+            self._spec = delta.specification
+            with o.span("consistency.facts"):
+                facts = self.facts
+            problems: List[Inconsistency] = []
+            warnings: List[str] = list(facts.warnings)
+            problems.extend(self._check_instantiations(facts, warnings))
 
-        rechecked = reused = 0
-        new_verdicts: Dict[Tuple, Tuple[Inconsistency, ...]] = {}
-        if previous_verdicts is None:
-            pending = list(enumerate(facts.references))
-            affected = None
-        else:
-            affected = affected_entities(delta.diff, facts)
-            pending = []
-            for position, reference in enumerate(facts.references):
-                key = self._reference_key(reference)
-                if key in previous_verdicts and not reference_affected(
-                    reference, affected
-                ):
-                    new_verdicts[key] = previous_verdicts[key]
-                    reused += 1
-                else:
-                    pending.append((position, reference))
-        computed = self._reduce(facts, pending, jobs)
-        for position, reference in pending:
-            new_verdicts[self._reference_key(reference)] = computed[position]
-            rechecked += 1
-        self._verdicts = new_verdicts
-        for reference in facts.references:
-            problems.extend(new_verdicts[self._reference_key(reference)])
-        if check_capacity:
-            warnings.extend(self._check_capacity(facts))
+            rechecked = reused = 0
+            new_verdicts: Dict[Tuple, Tuple[Inconsistency, ...]] = {}
+            if previous_verdicts is None:
+                pending = list(enumerate(facts.references))
+                affected = None
+            else:
+                affected = affected_entities(delta.diff, facts)
+                pending = []
+                for position, reference in enumerate(facts.references):
+                    key = self._reference_key(reference)
+                    if key in previous_verdicts and not reference_affected(
+                        reference, affected
+                    ):
+                        new_verdicts[key] = previous_verdicts[key]
+                        reused += 1
+                    else:
+                        pending.append((position, reference))
+            with o.span("consistency.reduce", references=len(pending)):
+                computed = self._reduce(facts, pending, jobs)
+            for position, reference in pending:
+                new_verdicts[self._reference_key(reference)] = computed[
+                    position
+                ]
+                rechecked += 1
+            self._verdicts = new_verdicts
+            for reference in facts.references:
+                problems.extend(new_verdicts[self._reference_key(reference)])
+            if check_capacity:
+                warnings.extend(self._check_capacity(facts))
+            span.annotate(rechecked=rechecked, reused=reused)
 
-        elapsed = time.perf_counter() - started
         stats = {
             "instances": len(facts.instances),
             "references": len(facts.references),
@@ -269,17 +296,95 @@ class ConsistencyChecker:
             "diff_entries": len(delta.diff),
             "engine": self._engine,
             "jobs": jobs,
-            "seconds": elapsed,
+            "seconds": span.elapsed,
         }
         stats.update(
             {f"facts_{key}": value for key, value in facts.expansion.items()}
         )
+        if o.enabled:
+            self._publish_metrics(o, facts, consistent=not problems)
         return ConsistencyResult(
             consistent=not problems,
             inconsistencies=problems,
             warnings=warnings,
             stats=stats,
         )
+
+    # ------------------------------------------------------------------
+    # Metrics publication (tallies stay plain ints on the hot path).
+    # ------------------------------------------------------------------
+    def _publish_metrics(self, o, facts: FactSet, consistent: bool) -> None:
+        """Flush cumulative tallies into the active metrics registry.
+
+        Tallies accumulate for the checker's lifetime; only the delta
+        since the last publish to *this* registry is added, so repeated
+        checks never double-count and a fresh ``obs.scope()`` starts
+        from zero.
+        """
+        if self._published_registry is not o.metrics:
+            self._published = {}
+            self._published_registry = o.metrics
+        o.counter(
+            "repro_consistency_checks_total",
+            "consistency checks run",
+            engine=self._engine,
+        ).inc()
+        for kind, count in (
+            ("instances", len(facts.instances)),
+            ("references", len(facts.references)),
+            ("permissions", len(facts.permissions)),
+            ("containment_edges", len(facts.containment)),
+        ):
+            o.gauge(
+                "repro_consistency_facts",
+                "fact counts from the last checked fact set",
+                kind=kind,
+            ).set(count)
+        hits = misses = 0
+        for memo in sorted(self._memo_hits):
+            hits += self._memo_hits[memo]
+            misses += self._memo_misses[memo]
+            self._flush_counter(
+                o,
+                "repro_consistency_memo_hits_total",
+                self._memo_hits[memo],
+                "coverage-memo lookups answered from cache",
+                memo=memo,
+            )
+            self._flush_counter(
+                o,
+                "repro_consistency_memo_misses_total",
+                self._memo_misses[memo],
+                "coverage-memo lookups computed fresh",
+                memo=memo,
+            )
+        if self._index is not None:
+            self._flush_counter(
+                o,
+                "repro_consistency_index_hits_total",
+                self._index.hits,
+                "PermissionIndex lookups that found a covering permission",
+            )
+            self._flush_counter(
+                o,
+                "repro_consistency_index_misses_total",
+                self._index.misses,
+                "PermissionIndex lookups that found none",
+            )
+        if hits + misses:
+            o.gauge(
+                "repro_consistency_cache_hit_ratio",
+                "memo hits / lookups over this checker's lifetime",
+            ).set(round(hits / (hits + misses), 9))
+
+    def _flush_counter(
+        self, o, name: str, value: float, help_text: str, **labels: str
+    ) -> None:
+        key = (name, tuple(sorted(labels.items())))
+        last = self._published.get(key, 0)
+        if value > last:
+            o.counter(name, help_text, **labels).inc(value - last)
+            self._published[key] = value
 
     @staticmethod
     def _reference_key(reference: Reference) -> Tuple:
@@ -345,12 +450,15 @@ class ConsistencyChecker:
         )
         verdict = self._shape_memo.get(key)
         if verdict is None:
+            self._memo_misses["shape"] += 1
             if self._covered_fast(reference, facts):
                 verdict = ()
             else:
                 # Fall back to the scan for byte-identical cause reports.
                 verdict = tuple(self._check_reference(reference, facts))
             self._shape_memo[key] = verdict
+        else:
+            self._memo_hits["shape"] += 1
         return tuple(
             dataclasses.replace(problem, reference=reference)
             if problem.reference is not None
@@ -419,10 +527,13 @@ class ConsistencyChecker:
         key = (id(container), id(contained))
         got = self._cover_memo.get(key)
         if got is None:
+            self._memo_misses["cover"] += 1
             got = container.covers_view(contained)
             self._cover_memo[key] = got
             self._memo_pins.append(container)
             self._memo_pins.append(contained)
+        else:
+            self._memo_hits["cover"] += 1
         return got
 
     def _permission_index(self, facts: FactSet) -> PermissionIndex:
@@ -440,8 +551,11 @@ class ConsistencyChecker:
             return self._candidate_servers(reference, facts)
         got = self._candidate_memo.get(reference.server)
         if got is None:
+            self._memo_misses["candidate"] += 1
             got = self._candidate_servers(reference, facts)
             self._candidate_memo[reference.server] = got
+        else:
+            self._memo_hits["candidate"] += 1
         return got
 
     # ------------------------------------------------------------------
@@ -499,7 +613,9 @@ class ConsistencyChecker:
             key = (id(supported), id(element_view))
             got = self._fit_memo.get(key)
             if got is not None:
+                self._memo_hits["fit"] += 1
                 return got
+            self._memo_misses["fit"] += 1
         if element_view.covers_view(supported):
             result: Tuple[str, Optional[List[str]]] = ("ok", None)
         else:
@@ -767,42 +883,65 @@ def check_with_clpr(
     limit: int = 1000,
 ) -> ConsistencyResult:
     """The faithful CLP(R) path: facts text + rules text -> engine query."""
-    started = time.perf_counter()
-    facts = FactGenerator(specification, tree).generate()
-    program_text = facts.to_clpr_text() + CONSISTENCY_RULES
-    program = parse_program(program_text)
-    engine = Engine(program, max_depth=100_000)
-    problems: List[Inconsistency] = []
-    seen = set()
-    for answer in engine.solve("inconsistent(R)", limit=limit):
-        term = answer.value("R")
-        rendered = repr(term)
-        if rendered in seen:
-            continue
-        seen.add(rendered)
-        causes: Tuple[str, ...] = ()
-        if isinstance(term, Struct) and term.functor == "ref" and len(term.args) == 5:
-            client, server, variable, _access, _period = term.args
-            causes = (
-                f"client {client!r}",
-                f"server {server!r}",
-                f"variable {variable!r}",
-            )
-        problems.append(
-            Inconsistency(
-                kind=InconsistencyKind.MISSING_PERMISSION,
-                message=f"CLP(R) proved: inconsistent({rendered})",
-                causes=causes,
-            )
-        )
-    elapsed = time.perf_counter() - started
+    o = obs.current()
+    with o.span("consistency.check", engine="clpr") as span:
+        with o.span("consistency.facts"):
+            facts = FactGenerator(specification, tree).generate()
+            program_text = facts.to_clpr_text() + CONSISTENCY_RULES
+            program = parse_program(program_text)
+        engine = Engine(program, max_depth=100_000)
+        problems: List[Inconsistency] = []
+        seen = set()
+        with o.span("consistency.solve", clauses=len(program)):
+            for answer in engine.solve("inconsistent(R)", limit=limit):
+                term = answer.value("R")
+                rendered = repr(term)
+                if rendered in seen:
+                    continue
+                seen.add(rendered)
+                causes: Tuple[str, ...] = ()
+                if (
+                    isinstance(term, Struct)
+                    and term.functor == "ref"
+                    and len(term.args) == 5
+                ):
+                    client, server, variable, _access, _period = term.args
+                    causes = (
+                        f"client {client!r}",
+                        f"server {server!r}",
+                        f"variable {variable!r}",
+                    )
+                problems.append(
+                    Inconsistency(
+                        kind=InconsistencyKind.MISSING_PERMISSION,
+                        message=f"CLP(R) proved: inconsistent({rendered})",
+                        causes=causes,
+                    )
+                )
+        span.annotate(**engine.stats)
+    if o.enabled:
+        o.counter(
+            "repro_consistency_checks_total",
+            "consistency checks run",
+            engine="clpr",
+        ).inc()
+        o.counter(
+            "repro_clpr_unifications_total",
+            "head/argument unification attempts in the SLD engine",
+        ).inc(engine.stats["unifications"])
+        o.counter(
+            "repro_clpr_constraint_propagations_total",
+            "linear constraints pushed to the store",
+        ).inc(engine.stats["constraint_propagations"])
     return ConsistencyResult(
         consistent=not problems,
         inconsistencies=problems,
         stats={
             "clauses": len(program),
-            "seconds": elapsed,
+            "seconds": span.elapsed,
             "engine": "clpr-sld",
+            "unifications": engine.stats["unifications"],
+            "constraint_propagations": engine.stats["constraint_propagations"],
         },
     )
 

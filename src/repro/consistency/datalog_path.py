@@ -15,9 +15,9 @@ reference (the "immediate causes" of Section 4.2).
 
 from __future__ import annotations
 
-import time
 from typing import List
 
+from repro import obs
 from repro.clpr.datalog import forward_chain
 from repro.clpr.program import parse_clauses, parse_program
 from repro.clpr.terms import Struct, Term
@@ -95,43 +95,66 @@ def check_with_datalog(
     tree: MibTree,
 ) -> ConsistencyResult:
     """Bottom-up consistency check; same model as the CLP(R) path."""
-    started = time.perf_counter()
-    facts = FactGenerator(specification, tree).generate()
-    # Parse the fact text once, collecting every ground head.
-    program = parse_program(facts.to_clpr_text())
-    base_facts: List[Term] = [
-        clause.head
-        for indicator in program.indicators()
-        for clause in program.clauses_for(indicator)
-        if clause.is_fact()
-    ]
-    rules = parse_clauses(POSITIVE_RULES)
-    fb = forward_chain(base_facts, rules)
+    o = obs.current()
+    with o.span("consistency.check", engine="datalog") as span:
+        with o.span("consistency.facts"):
+            facts = FactGenerator(specification, tree).generate()
+            # Parse the fact text once, collecting every ground head.
+            program = parse_program(facts.to_clpr_text())
+            base_facts: List[Term] = [
+                clause.head
+                for indicator in program.indicators()
+                for clause in program.clauses_for(indicator)
+                if clause.is_fact()
+            ]
+            rules = parse_clauses(POSITIVE_RULES)
+        with o.span("consistency.forward_chain"):
+            fb = forward_chain(base_facts, rules)
 
-    # Closed-world step: ref_inst without a matching ok.
-    ok_tuples = {fact.args for fact in fb.facts_for(("ok", 5))}
-    problems: List[Inconsistency] = []
-    for fact in sorted(fb.facts_for(("ref_inst", 5)), key=repr):
-        if fact.args not in ok_tuples:
-            assert isinstance(fact, Struct)
-            derivation = "\n".join(fb.explain(fact, depth=3)[:4])
-            problems.append(
-                Inconsistency(
-                    kind=InconsistencyKind.MISSING_PERMISSION,
-                    message=(
-                        f"datalog proved: reference without permission "
-                        f"{fact!r}"
-                    ),
-                    causes=(derivation,),
+        # Closed-world step: ref_inst without a matching ok.
+        ok_tuples = {fact.args for fact in fb.facts_for(("ok", 5))}
+        problems: List[Inconsistency] = []
+        for fact in sorted(fb.facts_for(("ref_inst", 5)), key=repr):
+            if fact.args not in ok_tuples:
+                assert isinstance(fact, Struct)
+                derivation = "\n".join(fb.explain(fact, depth=3)[:4])
+                problems.append(
+                    Inconsistency(
+                        kind=InconsistencyKind.MISSING_PERMISSION,
+                        message=(
+                            f"datalog proved: reference without permission "
+                            f"{fact!r}"
+                        ),
+                        causes=(derivation,),
+                    )
                 )
-            )
-    elapsed = time.perf_counter() - started
+        span.annotate(derived_facts=len(fb))
+    if o.enabled:
+        o.counter(
+            "repro_consistency_checks_total",
+            "consistency checks run",
+            engine="datalog",
+        ).inc()
+        for rule in sorted(fb.rule_stats):
+            stats = fb.rule_stats[rule]
+            if stats["firings"]:
+                o.counter(
+                    "repro_datalog_rule_firings_total",
+                    "new facts derived per rule",
+                    rule=rule,
+                ).inc(stats["firings"])
+            o.histogram(
+                "repro_datalog_rule_seconds",
+                _help="per-rule evaluation time across rounds",
+                rule=rule,
+            ).observe(round(stats["seconds"], 9))
     return ConsistencyResult(
         consistent=not problems,
         inconsistencies=problems,
         stats={
             "engine": "datalog-seminaive",
             "derived_facts": len(fb),
-            "seconds": elapsed,
+            "seconds": span.elapsed,
+            "rule_stats": fb.rule_stats,
         },
     )

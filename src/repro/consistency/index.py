@@ -70,6 +70,10 @@ class PermissionIndex:
         #: keeps them alive for the index's lifetime).
         self._root_components: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
         self._pins: List[MibView] = []
+        #: Plain-int lookup tallies (a hit is a covering permission found)
+        #: kept cheap here and published to repro.obs by the checker.
+        self.hits = 0
+        self.misses = 0
 
     # ------------------------------------------------------------------
     # Build (lazy, per server).
@@ -116,6 +120,19 @@ class PermissionIndex:
         Agrees with :func:`permission_covers` over the server's candidate
         list: returns a permission iff the scan would find one.
         """
+        found = self._lookup(server, reference, reference_view)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def _lookup(
+        self,
+        server: InstanceId,
+        reference: Reference,
+        reference_view: MibView,
+    ) -> Optional[Permission]:
         entries, buckets = self._server_index(server)
         if not entries:
             return None
@@ -183,4 +200,6 @@ class PermissionIndex:
             "indexed_permissions": sum(
                 len(entries) for entries, _buckets in self._servers.values()
             ),
+            "lookup_hits": self.hits,
+            "lookup_misses": self.misses,
         }

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Optional
 
 import random
 
+from repro import obs
 from repro.errors import AgentDownError, DeliveryError, DeliveryTimeout
 
 SendFunction = Callable[[bytes], bytes]
@@ -91,6 +92,14 @@ class FaultInjector:
     def _count(self, element: str, kind: str) -> None:
         bucket = self.injected.setdefault(element, {})
         bucket[kind] = bucket.get(kind, 0) + 1
+        o = obs.current()
+        if o.enabled:
+            o.counter(
+                "repro_netsim_faults_injected_total",
+                "chaos faults injected, by element and kind",
+                element=element,
+                kind=kind,
+            ).inc()
 
     # ------------------------------------------------------------------
     # Channel wrapping.

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.asn1.types import Asn1Module
 from repro.codegen.base import ConfigurationGenerator
 from repro.consistency.facts import FactGenerator, FactSet, InstanceId
@@ -104,6 +105,17 @@ class ManagementRuntime:
         }
         self._build_agents()
         self._build_drivers()
+
+    def _log_query(self, record: QueryRecord) -> None:
+        """Append to the query log, counting outcomes for observability."""
+        self.log.append(record)
+        o = obs.current()
+        if o.enabled:
+            o.counter(
+                "repro_netsim_queries_total",
+                "application queries executed, by outcome",
+                outcome=record.outcome,
+            ).inc()
 
     # ------------------------------------------------------------------
     # Agents.
@@ -193,35 +205,41 @@ class ManagementRuntime:
         generator = ConfigurationGenerator(self.compiler, self.result)
         configured = 0
         failures: List[str] = []
-        for config in generator.generate(tag):
-            for instance_id, agent in self.agents.items():
-                instance = self._instance(instance_id)
-                if instance.owner != config.element:
-                    continue
-                if via_protocol:
-                    manager = SnmpManager(ADMIN_COMMUNITY, agent.handle_octets)
-                    octets = config.text.encode("utf-8")
-                    try:
-                        manager.set([(NMSL_CONFIG_RESET, 1)])
-                        for start in range(0, len(octets), chunk_size):
-                            manager.set(
-                                [
-                                    (
-                                        NMSL_CONFIG_TEXT,
-                                        octets[start : start + chunk_size],
-                                    )
-                                ]
-                            )
-                        manager.set([(NMSL_CONFIG_APPLY, 1)])
-                    except SnmpError as exc:
-                        failures.append(
-                            f"{config.element} ({instance_id}): {exc}"
-                        )
+        with obs.current().span(
+            "netsim.install_configuration", tag=tag, via_protocol=via_protocol
+        ) as span:
+            for config in generator.generate(tag):
+                for instance_id, agent in self.agents.items():
+                    instance = self._instance(instance_id)
+                    if instance.owner != config.element:
                         continue
-                else:
-                    agent.load_config(config.text, self.tree)
-                    agent.emit_cold_start(self.simulator.now)
-                configured += 1
+                    if via_protocol:
+                        manager = SnmpManager(
+                            ADMIN_COMMUNITY, agent.handle_octets
+                        )
+                        octets = config.text.encode("utf-8")
+                        try:
+                            manager.set([(NMSL_CONFIG_RESET, 1)])
+                            for start in range(0, len(octets), chunk_size):
+                                manager.set(
+                                    [
+                                        (
+                                            NMSL_CONFIG_TEXT,
+                                            octets[start : start + chunk_size],
+                                        )
+                                    ]
+                                )
+                            manager.set([(NMSL_CONFIG_APPLY, 1)])
+                        except SnmpError as exc:
+                            failures.append(
+                                f"{config.element} ({instance_id}): {exc}"
+                            )
+                            continue
+                    else:
+                        agent.load_config(config.text, self.tree)
+                        agent.emit_cold_start(self.simulator.now)
+                    configured += 1
+            span.annotate(configured=configured, failures=len(failures))
         if failures:
             raise SimulationError(
                 "protocol install failed for "
@@ -493,7 +511,7 @@ class ManagementRuntime:
         agent = self.agents.get(driver.target_agent.id)
         now = self.simulator.now
         if agent is None:
-            self.log.append(
+            self._log_query(
                 QueryRecord(
                     now,
                     driver.instance.id,
@@ -519,7 +537,7 @@ class ManagementRuntime:
                 driver.source_element, driver.target_agent.owner, len(octets)
             )
         except SimulationError:
-            self.log.append(
+            self._log_query(
                 QueryRecord(
                     now,
                     driver.instance.id,
@@ -534,7 +552,7 @@ class ManagementRuntime:
 
         loss_rate = getattr(self, "_loss_rate", 0.0)
         if loss_rate and self._rng.random() < loss_rate:
-            self.log.append(
+            self._log_query(
                 QueryRecord(
                     now,
                     driver.instance.id,
@@ -559,7 +577,7 @@ class ManagementRuntime:
             # Records carry the SEND time: the verifier measures the
             # client's promised inter-query period, and mixing send and
             # arrival timestamps would skew intervals by the path delay.
-            self.log.append(
+            self._log_query(
                 QueryRecord(
                     now,
                     driver.instance.id,

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.asn1.types import Asn1Module
 from repro.errors import CodegenError, NmslSemanticError
 from repro.mib.mib1 import build_mib1
@@ -138,19 +139,40 @@ class NmslCompiler:
     # ------------------------------------------------------------------
     def parse(self, text: str) -> List[Declaration]:
         """Pass 1 only."""
-        return parse_generic(text, self.options.filename)
+        with obs.current().span("compile.pass1", file=self.options.filename):
+            return parse_generic(text, self.options.filename)
 
     def compile(self, text: str, strict: Optional[bool] = None) -> CompileResult:
         """Pass 1 + pass 2: returns the typed specification."""
-        declarations = self.parse(text)
-        builder = SpecificationBuilder(
-            self.tree,
-            self.module,
-            self.keyword_table,
-            extension_decltypes=self.extension_decltypes,
-        )
-        effective_strict = self.options.strict if strict is None else strict
-        specification = builder.build(declarations, strict=effective_strict)
+        o = obs.current()
+        with o.span("compile", file=self.options.filename) as span:
+            declarations = self.parse(text)
+            builder = SpecificationBuilder(
+                self.tree,
+                self.module,
+                self.keyword_table,
+                extension_decltypes=self.extension_decltypes,
+            )
+            effective_strict = self.options.strict if strict is None else strict
+            with o.span("compile.pass2", declarations=len(declarations)):
+                specification = builder.build(
+                    declarations, strict=effective_strict
+                )
+            span.annotate(
+                declarations=len(declarations),
+                errors=len(builder.report.errors),
+                warnings=len(builder.report.warnings),
+            )
+        if o.enabled:
+            o.counter("repro_compile_runs_total", "compile invocations").inc()
+            if builder.report.errors:
+                o.counter(
+                    "repro_compile_errors_total", "semantic errors reported"
+                ).inc(len(builder.report.errors))
+            if builder.report.warnings:
+                o.counter(
+                    "repro_compile_warnings_total", "semantic warnings reported"
+                ).inc(len(builder.report.warnings))
         return CompileResult(
             declarations=declarations,
             specification=specification,
@@ -177,46 +199,76 @@ class NmslCompiler:
     # ------------------------------------------------------------------
     def generate(self, tag: str, result: CompileResult) -> OutputBundle:
         """Run the output-specific actions for *tag* over every declaration."""
-        specification = result.specification
-        context = OutputContext(
-            specification=specification,
-            options={"tree": self.tree, "module": self.module},
-        )
-        bundle = OutputBundle(tag=tag)
-        produced_any = False
-        for declaration in result.declarations:
-            spec_obj = self._typed_spec_for(specification, declaration)
-            chunks: List[str] = []
-            action = self.registry.lookup(tag, declaration.decltype)
-            if action is not None and spec_obj is not None:
-                context.declaration = declaration
-                chunk = action(context, spec_obj)
-                if chunk:
-                    chunks.append(chunk)
-            chunks.extend(
-                self._clause_chunks(tag, declaration, specification)
+        o = obs.current()
+        with o.span("codegen.generate", tag=tag) as span:
+            specification = result.specification
+            context = OutputContext(
+                specification=specification,
+                options={"tree": self.tree, "module": self.module},
             )
-            if chunks:
-                produced_any = True
-                bundle.units.append(
-                    OutputUnit(
-                        name=declaration.name,
-                        decltype=declaration.decltype,
-                        text="\n".join(chunks),
-                    )
+            bundle = OutputBundle(tag=tag)
+            produced_any = False
+            for declaration in result.declarations:
+                spec_obj = self._typed_spec_for(specification, declaration)
+                chunks: List[str] = []
+                action = self.registry.lookup(tag, declaration.decltype)
+                if action is not None and spec_obj is not None:
+                    context.declaration = declaration
+                    if o.enabled:
+                        with o.span(
+                            "codegen.action",
+                            tag=tag,
+                            decltype=declaration.decltype,
+                            declaration=declaration.name,
+                        ):
+                            chunk = action(context, spec_obj)
+                        o.counter(
+                            "repro_codegen_actions_total",
+                            "output-specific actions dispatched",
+                            tag=tag,
+                            decltype=declaration.decltype,
+                        ).inc()
+                    else:
+                        chunk = action(context, spec_obj)
+                    if chunk:
+                        chunks.append(chunk)
+                chunks.extend(
+                    self._clause_chunks(tag, declaration, specification)
                 )
-        epilogue = self.registry.lookup(tag, EPILOGUE)
-        if epilogue is not None:
-            context.declaration = None
-            chunk = epilogue(context, specification)
-            if chunk:
-                produced_any = True
-                bundle.units.append(OutputUnit("", EPILOGUE, chunk))
-        if not produced_any and tag not in self.registry.tags():
-            known = ", ".join(sorted(set(self.registry.tags())))
-            raise CodegenError(
-                f"no output actions registered for tag {tag!r} (known: {known})"
-            )
+                if chunks:
+                    produced_any = True
+                    bundle.units.append(
+                        OutputUnit(
+                            name=declaration.name,
+                            decltype=declaration.decltype,
+                            text="\n".join(chunks),
+                        )
+                    )
+            epilogue = self.registry.lookup(tag, EPILOGUE)
+            if epilogue is not None:
+                context.declaration = None
+                chunk = epilogue(context, specification)
+                if chunk:
+                    produced_any = True
+                    bundle.units.append(OutputUnit("", EPILOGUE, chunk))
+            if not produced_any and tag not in self.registry.tags():
+                known = ", ".join(sorted(set(self.registry.tags())))
+                raise CodegenError(
+                    f"no output actions registered for tag {tag!r} "
+                    f"(known: {known})"
+                )
+            span.annotate(units=len(bundle.units))
+        if o.enabled:
+            o.histogram(
+                "repro_codegen_generate_seconds",
+                _help="per-generator (per-tag) output time",
+                tag=tag,
+            ).observe(round(span.elapsed, 9))
+            o.counter(
+                "repro_codegen_units_total",
+                "output units produced",
+                tag=tag,
+            ).inc(len(bundle.units))
         return bundle
 
     def _clause_chunks(

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.asn1.parser import parse_type as parse_asn1_type
 from repro.asn1.types import Asn1Module
 from repro.errors import (
@@ -133,6 +134,13 @@ class SpecificationBuilder:
         return self._spec
 
     def _build_declaration(self, declaration: Declaration) -> None:
+        o = obs.current()
+        if o.enabled:
+            o.counter(
+                "repro_compile_declarations_total",
+                "declarations dispatched by keyword (pass 2)",
+                decltype=declaration.decltype,
+            ).inc()
         handler = {
             "type": self._build_type,
             "process": self._build_process,

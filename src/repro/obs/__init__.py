@@ -1,0 +1,55 @@
+"""``repro.obs`` — the unified tracing & metrics substrate.
+
+One import surface for every instrumented layer::
+
+    from repro import obs
+
+    o = obs.current()
+    with o.span("compile.pass1", path=str(path)):
+        ...
+    if o.enabled:
+        o.counter("repro_compile_runs_total").inc()
+
+See ``docs/OBSERVABILITY.md`` for the span model, metric naming
+convention and file formats.
+"""
+
+from repro.obs.clock import LogicalClock, WallClock
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.observability import (
+    NullObservability,
+    Observability,
+    configure_logging,
+    current,
+    logical_observability,
+    scope,
+    set_current,
+)
+from repro.obs.tracer import MAX_SPANS, Span, SpanRecord, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MAX_SPANS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LogicalClock",
+    "MetricsRegistry",
+    "NullObservability",
+    "Observability",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "WallClock",
+    "configure_logging",
+    "current",
+    "logical_observability",
+    "scope",
+    "set_current",
+]

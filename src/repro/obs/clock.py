@@ -1,0 +1,65 @@
+"""Pluggable clocks for the observability substrate.
+
+Two implementations of one tiny contract (``now() -> float`` seconds):
+
+* :class:`WallClock` — ``time.perf_counter``; what real ``nmslc`` runs
+  use, so profile output and trace durations reflect actual CPU/wall
+  time;
+* :class:`LogicalClock` — a deterministic clock for tests and chaos
+  runs.  It holds a logical time (advanced explicitly by whoever owns
+  simulated time, e.g. the rollout coordinator's event loop) and adds a
+  strictly increasing sub-microsecond sequence offset per read, so span
+  timestamps are unique and monotone yet a re-run with the same seed
+  reads byte-identical values.  Two same-seed chaos campaigns therefore
+  serialise byte-identical traces — the property
+  ``tests/obs/test_determinism.py`` locks in.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClock:
+    """Real time, via the highest-resolution monotonic clock."""
+
+    deterministic = False
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class LogicalClock:
+    """Deterministic time: explicit advances plus a per-read tick.
+
+    ``resolution`` is the tick added per ``now()`` read (default 1 ns in
+    seconds).  ``set_at_least`` never moves time backwards, so readings
+    are monotone even when several components feed it logical times out
+    of order.
+    """
+
+    deterministic = True
+
+    def __init__(self, start: float = 0.0, resolution: float = 1e-9):
+        self._time = float(start)
+        self._reads = 0
+        self._resolution = resolution
+
+    def now(self) -> float:
+        self._reads += 1
+        return self._time + self._reads * self._resolution
+
+    def advance(self, delta_s: float) -> None:
+        if delta_s < 0:
+            raise ValueError(f"cannot advance time by {delta_s}")
+        self._time += delta_s
+
+    def set_at_least(self, at_s: float) -> None:
+        """Move logical time forward to *at_s* (never backwards)."""
+        if at_s > self._time:
+            self._time = at_s
+
+    @property
+    def time(self) -> float:
+        """The current logical time, without consuming a read tick."""
+        return self._time

@@ -1,0 +1,282 @@
+"""Counters, gauges and fixed-bucket histograms with Prometheus exposition.
+
+The naming convention across the codebase is
+``repro_<subsystem>_<name>`` with ``_total`` for counters (see
+``docs/OBSERVABILITY.md``); the registry validates names against the
+Prometheus grammar but leaves the convention to callers.
+
+Instruments are memoized by ``(name, sorted labels)`` so hot paths can
+re-fetch them cheaply, and serialisation is deterministic: families and
+samples are emitted in sorted order, integers render without a decimal
+point, and :meth:`MetricsRegistry.snapshot` round-trips through
+``json.dumps(..., sort_keys=True)`` byte-identically for identical runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds) — tuned for compiler/checker phases.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ReproError(f"counters only go up (inc by {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed cumulative buckets plus sum and count."""
+
+    __slots__ = ("buckets", "bucket_counts", "total", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        ordered = tuple(sorted(float(b) for b in buckets))
+        if not ordered:
+            raise ReproError("histogram needs at least one bucket bound")
+        self.buckets = ordered
+        self.bucket_counts = [0] * len(ordered)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[position] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, ending with +Inf."""
+        pairs = list(zip(self.buckets, self.bucket_counts))
+        pairs.append((math.inf, self.count))
+        return pairs
+
+
+class _Family:
+    """All instruments sharing one metric name."""
+
+    __slots__ = ("name", "kind", "help", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.children: Dict[LabelSet, object] = {}
+
+
+class MetricsRegistry:
+    """The process-wide (or scope-wide) instrument store."""
+
+    def __init__(self):
+        self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (create on first use, memoized after).
+    # ------------------------------------------------------------------
+    def counter(self, name: str, _help: str = "", **labels: str) -> Counter:
+        return self._child(name, "counter", _help, labels, Counter)
+
+    def gauge(self, name: str, _help: str = "", **labels: str) -> Gauge:
+        return self._child(name, "gauge", _help, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        _help: str = "",
+        **labels: str,
+    ) -> Histogram:
+        return self._child(
+            name, "histogram", _help, labels, lambda: Histogram(buckets)
+        )
+
+    def _child(self, name, kind, help_text, labels, factory):
+        key: LabelSet = tuple(
+            sorted((label, str(value)) for label, value in labels.items())
+        )
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    if not _NAME_RE.match(name):
+                        raise ReproError(f"invalid metric name {name!r}")
+                    for label, _value in key:
+                        if not _LABEL_RE.match(label):
+                            raise ReproError(f"invalid label name {label!r}")
+                    family = _Family(name, kind, help_text)
+                    self._families[name] = family
+        if family.kind != kind:
+            raise ReproError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        child = family.children.get(key)
+        if child is None:
+            with self._lock:
+                child = family.children.get(key)
+                if child is None:
+                    child = factory()
+                    family.children[key] = child
+        return child
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels: str) -> Optional[float]:
+        """The current value of a counter/gauge, or None if absent."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        key: LabelSet = tuple(
+            sorted((label, str(value)) for label, value in labels.items())
+        )
+        child = family.children.get(key)
+        if child is None or isinstance(child, Histogram):
+            return None
+        return child.value
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._families))
+
+    # ------------------------------------------------------------------
+    # Serialisation.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A pure-data, deterministic dump of every instrument."""
+        out: Dict[str, dict] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples = {}
+            for key in sorted(family.children):
+                child = family.children[key]
+                label_text = ",".join(f"{k}={v}" for k, v in key) or ""
+                if isinstance(child, Histogram):
+                    samples[label_text] = {
+                        "count": child.count,
+                        "sum": round(child.total, 9),
+                        "buckets": {
+                            _format_value(bound): count
+                            for bound, count in child.cumulative()
+                        },
+                    }
+                else:
+                    value = child.value
+                    samples[label_text] = (
+                        round(value, 9) if isinstance(value, float) else value
+                    )
+            out[name] = {"type": family.kind, "samples": samples}
+        return out
+
+    def snapshot_json(self) -> str:
+        return json.dumps(
+            self.snapshot(), sort_keys=True, separators=(",", ":")
+        )
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.children):
+                child = family.children[key]
+                label_text = _render_labels(key)
+                if isinstance(child, Histogram):
+                    for bound, count in child.cumulative():
+                        bucket_labels = _render_labels(
+                            key + (("le", _format_value(bound)),)
+                        )
+                        lines.append(f"{name}_bucket{bucket_labels} {count}")
+                    lines.append(
+                        f"{name}_sum{label_text} {_format_value(child.total)}"
+                    )
+                    lines.append(f"{name}_count{label_text} {child.count}")
+                else:
+                    lines.append(
+                        f"{name}{label_text} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_prometheus(), encoding="utf-8")
+
+
+def _render_labels(key: LabelSet) -> str:
+    if not key:
+        return ""
+    parts = []
+    for label, value in sorted(key):
+        escaped = (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        parts.append(f'{label}="{escaped}"')
+    return "{" + ",".join(parts) + "}"

@@ -1,0 +1,218 @@
+"""The observability facade and its process-wide plumbing.
+
+Instrumented code never imports the tracer or registry directly; it asks
+for the *current* observability::
+
+    from repro import obs
+
+    o = obs.current()
+    with o.span("consistency.check", engine=engine):
+        if o.enabled:
+            o.counter("repro_consistency_checks_total").inc()
+
+When nothing is configured, :func:`current` returns a shared
+:class:`NullObservability` whose instruments are no-ops and whose spans
+still measure wall time (so ``span.elapsed`` stays correct for report
+fields like ``stats["seconds"]``) but record nothing.  Hot loops guard
+on ``o.enabled`` so the disabled path costs one attribute read.
+
+The CLI installs a real :class:`Observability` for the duration of a
+command; tests use :func:`scope` to install one without leaking state.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.clock import LogicalClock, WallClock
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import Span, Tracer
+
+
+class Observability:
+    """A live clock + tracer + metrics registry behind one handle."""
+
+    enabled = True
+
+    def __init__(self, clock=None, process_name: str = "nmslc"):
+        self.clock = clock if clock is not None else WallClock()
+        self.tracer = Tracer(clock=self.clock, process_name=process_name)
+        self.metrics = MetricsRegistry()
+
+    # -- tracing -------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> Span:
+        return self.tracer.span(name, **attrs)
+
+    # -- metrics -------------------------------------------------------
+    def counter(self, name: str, _help: str = "", **labels: str) -> Counter:
+        return self.metrics.counter(name, _help, **labels)
+
+    def gauge(self, name: str, _help: str = "", **labels: str) -> Gauge:
+        return self.metrics.gauge(name, _help, **labels)
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, _help: str = "", **labels: str) -> Histogram:
+        return self.metrics.histogram(name, buckets, _help, **labels)
+
+    # -- time ----------------------------------------------------------
+    def set_time(self, at_s: float) -> None:
+        """Feed simulated time forward (no-op for wall clocks)."""
+        set_at_least = getattr(self.clock, "set_at_least", None)
+        if set_at_least is not None:
+            set_at_least(at_s)
+
+    @property
+    def deterministic(self) -> bool:
+        return bool(getattr(self.clock, "deterministic", False))
+
+
+class _NullSpan:
+    """Records nothing but still measures elapsed wall time.
+
+    ``checker.py`` reads ``span.elapsed`` for its ``seconds`` stats even
+    when observability is off, so the null span keeps a perf_counter
+    start; everything else is a no-op.
+    """
+
+    __slots__ = ("_start", "_end")
+
+    def __init__(self):
+        self._start = time.perf_counter()
+        self._end: Optional[float] = None
+
+    def __enter__(self) -> "_NullSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._end = time.perf_counter()
+        return False
+
+    def annotate(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        end = self._end if self._end is not None else time.perf_counter()
+        return end - self._start
+
+
+class _NullInstrument:
+    """Accepts every instrument method and does nothing."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullObservability:
+    """The disabled substrate: near-zero overhead, valid ``elapsed``."""
+
+    enabled = False
+    deterministic = False
+    clock = WallClock()
+    tracer = None
+    metrics = None
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NullSpan()
+
+    def counter(self, name: str, _help: str = "", **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, _help: str = "", **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, _help: str = "", **labels: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def set_time(self, at_s: float) -> None:
+        pass
+
+
+_NULL = NullObservability()
+_current: object = _NULL
+
+
+def current():
+    """The active observability (a :class:`NullObservability` if none)."""
+    return _current
+
+
+def set_current(obs) -> object:
+    """Install *obs* (or None to disable); returns the previous one."""
+    global _current
+    previous = _current
+    _current = obs if obs is not None else _NULL
+    return previous
+
+
+@contextmanager
+def scope(obs: Optional[Observability] = None, clock=None) -> Iterator[Observability]:
+    """Install an observability for a ``with`` block, then restore.
+
+    ``scope()`` builds a fresh wall-clock :class:`Observability`;
+    ``scope(clock=LogicalClock())`` builds a deterministic one; or pass
+    a prepared instance.
+    """
+    if obs is None:
+        obs = Observability(clock=clock)
+    previous = set_current(obs)
+    try:
+        yield obs
+    finally:
+        set_current(previous)
+
+
+def logical_observability(start: float = 0.0) -> Observability:
+    """An :class:`Observability` on a fresh :class:`LogicalClock`."""
+    return Observability(clock=LogicalClock(start=start))
+
+
+def configure_logging(verbose: int = 0, stream=None) -> None:
+    """Wire stdlib logging for the ``repro`` namespace.
+
+    ``verbose=0`` → WARNING, ``1`` → INFO, ``2+`` → DEBUG.  Handlers are
+    installed once on the ``repro`` logger (not the root), so embedding
+    applications keep control of their own logging.
+    """
+    level = logging.WARNING
+    if verbose == 1:
+        level = logging.INFO
+    elif verbose >= 2:
+        level = logging.DEBUG
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    else:
+        for handler in logger.handlers:
+            if stream is not None and isinstance(handler, logging.StreamHandler):
+                handler.stream = stream
+    logger.propagate = False

@@ -1,0 +1,242 @@
+"""Nested spans with deterministic JSONL and Chrome ``trace_event`` export.
+
+A :class:`Tracer` produces :class:`Span` context managers::
+
+    with tracer.span("consistency.check", engine="indexed") as span:
+        ...
+    elapsed = span.elapsed
+
+Spans nest per thread (a per-thread stack tracks depth and parentage) and
+are recorded when they close.  Export formats:
+
+* :meth:`Tracer.to_jsonl` — one JSON object per line, keys sorted,
+  compact separators: the queryable event log chaos tests assert
+  byte-identity on;
+* :meth:`Tracer.to_chrome` — the Chrome ``trace_event`` array format
+  (``ph: "X"`` complete events with ``pid``/``tid``/``ts``/``dur`` in
+  microseconds), loadable in Perfetto / ``chrome://tracing``.
+
+Timestamps come from the tracer's pluggable clock
+(:mod:`repro.obs.clock`): wall time for real runs, logical time for
+deterministic ones.  Thread ids are assigned in first-seen order so a
+single-threaded deterministic run always labels everything ``tid 0``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.clock import WallClock
+
+#: Hard cap on retained spans; beyond it spans are counted, not stored,
+#: so a runaway loop cannot exhaust memory through its own telemetry.
+MAX_SPANS = 1_000_000
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, ready for export."""
+
+    name: str
+    start_s: float
+    end_s: float
+    tid: int
+    depth: int
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class Span:
+    """A live span; use as a context manager, annotate freely."""
+
+    __slots__ = ("_tracer", "name", "attrs", "start_s", "end_s", "depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.start_s: Optional[float] = None
+        self.end_s: Optional[float] = None
+        self.depth = 0
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self)
+        return False
+
+    def annotate(self, **attrs: object) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the span opened (final duration once closed)."""
+        if self.start_s is None:
+            return 0.0
+        if self.end_s is not None:
+            return self.end_s - self.start_s
+        return self._tracer.clock.now() - self.start_s
+
+
+class Tracer:
+    """Collects spans from any number of threads."""
+
+    def __init__(self, clock=None, process_name: str = "nmslc"):
+        self.clock = clock if clock is not None else WallClock()
+        self.process_name = process_name
+        self._records: List[SpanRecord] = []
+        self._dropped = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._tids: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Span lifecycle (driven by Span.__enter__/__exit__).
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> Span:
+        return Span(self, name, attrs)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids))
+        return tid
+
+    def _open(self, span: Span) -> None:
+        stack = self._stack()
+        span.depth = len(stack)
+        stack.append(span)
+        span.start_s = self.clock.now()
+
+    def _close(self, span: Span) -> None:
+        span.end_s = self.clock.now()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # mis-nested exit: drop it and everything above
+            del stack[stack.index(span) :]
+        record = SpanRecord(
+            name=span.name,
+            start_s=span.start_s or 0.0,
+            end_s=span.end_s,
+            tid=self._tid(),
+            depth=span.depth,
+            attrs=tuple(sorted(span.attrs.items())),
+        )
+        with self._lock:
+            if len(self._records) < MAX_SPANS:
+                self._records.append(record)
+            else:
+                self._dropped += 1
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def finished(self) -> Tuple[SpanRecord, ...]:
+        """All recorded spans, parents before children, time-ordered."""
+        with self._lock:
+            records = list(self._records)
+        return tuple(
+            sorted(
+                records,
+                key=lambda r: (r.start_s, -r.end_s, r.tid, r.depth, r.name),
+            )
+        )
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Export.
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One compact JSON object per span, deterministic byte-for-byte."""
+        lines = []
+        for record in self.finished():
+            lines.append(
+                json.dumps(
+                    {
+                        "name": record.name,
+                        "ts": round(record.start_s, 9),
+                        "dur": round(record.duration_s, 9),
+                        "tid": record.tid,
+                        "depth": record.depth,
+                        "args": dict(record.attrs),
+                    },
+                    sort_keys=True,
+                    separators=(",", ":"),
+                    default=str,
+                )
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome(self) -> str:
+        """Chrome ``trace_event`` JSON (Perfetto-loadable)."""
+        events = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": self.process_name},
+            }
+        ]
+        for record in self.finished():
+            events.append(
+                {
+                    "name": record.name,
+                    "cat": record.name.split(".", 1)[0],
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": record.tid,
+                    "ts": round(record.start_s * 1e6, 3),
+                    "dur": round(record.duration_s * 1e6, 3),
+                    "args": dict(record.attrs),
+                }
+            )
+        return json.dumps(
+            {"traceEvents": events, "displayTimeUnit": "ms"},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+
+    def write(self, path, fmt: Optional[str] = None) -> str:
+        """Write the trace to *path*; format from *fmt* or the suffix.
+
+        ``.jsonl`` means the JSONL event log; anything else gets the
+        Chrome ``trace_event`` JSON.  Returns the format used.
+        """
+        from pathlib import Path
+
+        path = Path(path)
+        if fmt is None:
+            fmt = "jsonl" if path.suffix == ".jsonl" else "chrome"
+        text = self.to_jsonl() if fmt == "jsonl" else self.to_chrome()
+        path.write_text(text, encoding="utf-8")
+        return fmt

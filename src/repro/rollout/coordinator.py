@@ -35,6 +35,7 @@ import heapq
 from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import (
     DeliveryError,
     DeliveryTimeout,
@@ -104,6 +105,7 @@ class RolloutCoordinator:
     # ------------------------------------------------------------------
     def run(self) -> RolloutReport:
         """Deliver every configuration; never raises for per-element faults."""
+        o = obs.current()
         report = RolloutReport(
             seed=self.seed,
             jobs=self.jobs,
@@ -111,30 +113,54 @@ class RolloutCoordinator:
                 name: ElementRollout(name) for name in sorted(self.configs)
             },
         )
-        waiting = deque(sorted(self.configs))
-        in_flight: List[Tuple[float, str]] = []  # (ready_at, element) heap
-        finished_at = 0.0
-        now = 0.0
-        while in_flight or waiting:
-            while len(in_flight) < self.jobs and waiting:
-                heapq.heappush(in_flight, (now, waiting.popleft()))
-            ready_at, element = heapq.heappop(in_flight)
-            now = max(now, ready_at)
-            next_ready = self._step(element, now, report)
-            finished_at = max(finished_at, now)
-            if next_ready is not None:
-                heapq.heappush(in_flight, (next_ready, element))
-        report.duration_s = max(
-            finished_at,
-            max(
-                (
-                    record.history[-1].at_s
-                    for record in report.elements.values()
-                    if record.history
+        with o.span(
+            "rollout.run",
+            elements=len(self.configs),
+            jobs=self.jobs,
+            seed=self.seed,
+        ) as span:
+            waiting = deque(sorted(self.configs))
+            in_flight: List[Tuple[float, str]] = []  # (ready_at, element) heap
+            finished_at = 0.0
+            now = 0.0
+            while in_flight or waiting:
+                while len(in_flight) < self.jobs and waiting:
+                    heapq.heappush(in_flight, (now, waiting.popleft()))
+                ready_at, element = heapq.heappop(in_flight)
+                now = max(now, ready_at)
+                # Feed simulated time to the observability clock so spans
+                # recorded under a logical clock track campaign time.
+                o.set_time(now)
+                next_ready = self._step(element, now, report)
+                finished_at = max(finished_at, now)
+                if next_ready is not None:
+                    heapq.heappush(in_flight, (next_ready, element))
+            report.duration_s = max(
+                finished_at,
+                max(
+                    (
+                        record.history[-1].at_s
+                        for record in report.elements.values()
+                        if record.history
+                    ),
+                    default=0.0,
                 ),
-                default=0.0,
-            ),
-        )
+            )
+            o.set_time(report.duration_s)
+            span.annotate(
+                committed=sum(
+                    record.state is RolloutState.COMMITTED
+                    for record in report.elements.values()
+                ),
+                dead_letters=len(report.dead_letter()),
+            )
+        if o.enabled:
+            for record in report.elements.values():
+                o.counter(
+                    "repro_rollout_elements_total",
+                    "campaign elements by terminal state",
+                    state=record.state.value,
+                ).inc()
         return report
 
     def _step(
@@ -150,13 +176,21 @@ class RolloutCoordinator:
     def _step_forward(
         self, element: str, now: float, record: ElementRollout
     ) -> Optional[float]:
+        o = obs.current()
         record.attempts += 1
-        outcome = self._deliver(
-            element, self.configs[element], record, rollback=False
-        )
-        phase, reason, elapsed, exchanges, generation = outcome
-        at = now + elapsed
-        ok = phase is None
+        with o.span(
+            "rollout.attempt", element=element, attempt=record.attempts
+        ) as span:
+            outcome = self._deliver(
+                element, self.configs[element], record, rollback=False
+            )
+            phase, reason, elapsed, exchanges, generation = outcome
+            at = now + elapsed
+            o.set_time(at)
+            ok = phase is None
+            span.annotate(
+                phase=phase or "commit", outcome="ok" if ok else reason
+            )
         record.history.append(
             AttemptRecord(
                 attempt=record.attempts,
@@ -171,6 +205,12 @@ class RolloutCoordinator:
             return None
         if record.attempts < self.policy.max_attempts:
             self._move(record, RolloutState.PENDING)
+            if o.enabled:
+                o.counter(
+                    "repro_rollout_retries_total",
+                    "attempt-level retries scheduled",
+                    element=element,
+                ).inc()
             return at + self.policy.backoff(
                 record.attempts, key=element, seed=self.seed
             )
@@ -236,19 +276,38 @@ class RolloutCoordinator:
         manager = SnmpManager(ADMIN_COMMUNITY, self.channels[element])
         elapsed = 0.0
         exchanges = 0
+        o = obs.current()
 
         def exchange(op, phase: str):
             nonlocal elapsed, exchanges
             retries = self.policy.exchange_retries
             while True:
                 exchanges += 1
+                if o.enabled:
+                    o.counter(
+                        "repro_rollout_exchanges_total",
+                        "protocol exchanges attempted, by delivery phase",
+                        phase=phase,
+                    ).inc()
                 try:
                     result = op()
                 except DeliveryTimeout as exc:
                     elapsed += self.policy.timeout_s
+                    if o.enabled:
+                        o.counter(
+                            "repro_rollout_timeouts_total",
+                            "exchanges that timed out",
+                            phase=phase,
+                        ).inc()
                     if retries <= 0:
                         raise _AttemptFailed(phase, f"timeout: {exc}") from exc
                     retries -= 1
+                    if o.enabled:
+                        o.counter(
+                            "repro_rollout_retransmissions_total",
+                            "exchange-level retransmissions after a timeout",
+                            phase=phase,
+                        ).inc()
                     continue
                 except DeliveryError as exc:
                     elapsed += self.policy.rtt_s
@@ -313,4 +372,12 @@ class RolloutCoordinator:
                 f"illegal transition {record.state.value} -> {state.value} "
                 f"for {record.element}"
             )
+        o = obs.current()
+        if o.enabled:
+            o.counter(
+                "repro_rollout_transitions_total",
+                "per-element state-machine transitions",
+                from_state=record.state.value,
+                to_state=state.value,
+            ).inc()
         record.state = state

@@ -13,12 +13,14 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.errors import AgentDownError, MibError, SnmpError
 from repro.mib.instances import InstanceStore
 from repro.mib.tree import MibTree
 from repro.snmp.codec import decode_message, encode_message
 from repro.snmp.community import CommunityPolicy, PolicyDecision
 from repro.snmp.messages import (
+    ERROR_STATUS_NAMES,
     ErrorStatus,
     GenericTrap,
     Message,
@@ -98,6 +100,14 @@ class SnmpAgent:
         if self.trap_sink is None:
             return
         self.stats.traps_sent += 1
+        o = obs.current()
+        if o.enabled:
+            o.counter(
+                "repro_snmp_traps_total",
+                "traps emitted by agents, by generic-trap code",
+                agent=self.name,
+                trap=generic_trap.name,
+            ).inc()
         self.trap_sink(
             Message.trap(
                 community="public",
@@ -176,23 +186,42 @@ class SnmpAgent:
             raise AgentDownError(f"agent {self.name!r} is down")
         self.stats.requests += 1
         pdu = message.pdu
-        admin = self._handle_admin(message, now)
-        if admin is not None:
-            self.stats.responses += 1
-            if admin.error_status != ErrorStatus.NO_ERROR:
-                self.stats.errors += 1
-            return Message(message.community, admin)
-        if pdu.pdu_type == PduType.GET_REQUEST:
-            response = self._serve(message, write=False, next_=False, now=now)
-        elif pdu.pdu_type == PduType.GET_NEXT_REQUEST:
-            response = self._serve(message, write=False, next_=True, now=now)
-        elif pdu.pdu_type == PduType.SET_REQUEST:
-            response = self._serve(message, write=True, next_=False, now=now)
-        else:
-            response = pdu.response(error_status=ErrorStatus.GEN_ERR)
+        response = self._handle_admin(message, now)
+        if response is None:
+            if pdu.pdu_type == PduType.GET_REQUEST:
+                response = self._serve(
+                    message, write=False, next_=False, now=now
+                )
+            elif pdu.pdu_type == PduType.GET_NEXT_REQUEST:
+                response = self._serve(
+                    message, write=False, next_=True, now=now
+                )
+            elif pdu.pdu_type == PduType.SET_REQUEST:
+                response = self._serve(
+                    message, write=True, next_=False, now=now
+                )
+            else:
+                response = pdu.response(error_status=ErrorStatus.GEN_ERR)
+        # Single exit: every response — admin or serve, success or error —
+        # is accounted here, so no error status can bypass the counters.
+        self.stats.responses += 1
         if response.error_status != ErrorStatus.NO_ERROR:
             self.stats.errors += 1
-        self.stats.responses += 1
+        o = obs.current()
+        if o.enabled:
+            o.counter(
+                "repro_snmp_pdus_total",
+                "PDUs handled by agents, by request type",
+                agent=self.name,
+                type=pdu.pdu_type.name,
+            ).inc()
+            if response.error_status != ErrorStatus.NO_ERROR:
+                o.counter(
+                    "repro_snmp_errors_total",
+                    "agent error responses, by error-status",
+                    agent=self.name,
+                    status=ERROR_STATUS_NAMES[response.error_status],
+                ).inc()
         return Message(message.community, response)
 
     def _handle_admin(
@@ -225,7 +254,7 @@ class SnmpAgent:
             )
         if pdu.pdu_type == PduType.GET_REQUEST:
             results = []
-            for binding in pdu.bindings:
+            for index, binding in enumerate(pdu.bindings, start=1):
                 if binding.oid == NMSL_CONFIG_TEXT:
                     results.append(
                         VarBind(binding.oid, b"".join(self._pending_config))
@@ -239,7 +268,11 @@ class SnmpAgent:
                         VarBind(binding.oid, len(self._pending_config))
                     )
                 else:
-                    return pdu.response(error_status=ErrorStatus.NO_SUCH_NAME)
+                    # RFC 1067: error-index names the offending binding.
+                    return pdu.response(
+                        error_status=ErrorStatus.NO_SUCH_NAME,
+                        error_index=index,
+                    )
             return pdu.response(bindings=results)
         if pdu.pdu_type != PduType.SET_REQUEST:
             return pdu.response(error_status=ErrorStatus.GEN_ERR)
@@ -312,6 +345,19 @@ class SnmpAgent:
                 error_status=ErrorStatus.NO_SUCH_NAME, error_index=1
             )
         results: List[VarBind] = []
+        # RFC 1067 Sets are all-or-nothing: "if ... the value of any
+        # variable named cannot be altered, then no variables' values are
+        # altered."  Remember each applied write so a later failing
+        # binding rolls the earlier ones back.
+        applied: List[Tuple[Oid, bool, object]] = []
+
+        def undo_writes() -> None:
+            for oid, had_old, old_value in reversed(applied):
+                if had_old:
+                    self.store.bind(oid, old_value, validate=False)
+                else:
+                    self.store.unbind(oid)
+
         for index, binding in enumerate(pdu.bindings, start=1):
             if index > 1:
                 # Per-object view check for the remaining bindings
@@ -320,12 +366,19 @@ class SnmpAgent:
                     message.community, binding.oid, write, now=None
                 )
                 if not decision.allowed:
+                    undo_writes()
                     return pdu.response(
                         error_status=ErrorStatus.NO_SUCH_NAME, error_index=index
                     )
+            if write:
+                had_old = self.store.contains(binding.oid)
+                old_value = self.store.get(binding.oid) if had_old else None
             outcome = self._serve_binding(binding, write, next_)
             if isinstance(outcome, ErrorStatus):
+                undo_writes()
                 return pdu.response(error_status=outcome, error_index=index)
+            if write:
+                applied.append((binding.oid, had_old, old_value))
             # Get-next may step outside the community's view: skip forward.
             if next_:
                 outcome = self._skip_outside_view(

@@ -12,10 +12,12 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import SnmpError
 from repro.mib.oid import Oid, OidLike
 from repro.snmp.codec import decode_message, encode_message
 from repro.snmp.messages import (
+    ERROR_STATUS_NAMES,
     BindValue,
     ErrorStatus,
     Message,
@@ -106,6 +108,13 @@ class SnmpManager:
     # ------------------------------------------------------------------
     def _exchange(self, message: Message) -> Message:
         self.requests_sent += 1
+        o = obs.current()
+        if o.enabled:
+            o.counter(
+                "repro_snmp_manager_requests_total",
+                "requests sent by managers, by request type",
+                type=message.pdu.pdu_type.name,
+            ).inc()
         response = decode_message(self._send(encode_message(message)))
         pdu = response.pdu
         if pdu.pdu_type != PduType.GET_RESPONSE:
@@ -117,14 +126,14 @@ class SnmpManager:
             )
         if pdu.error_status != ErrorStatus.NO_ERROR:
             self.errors_received += 1
-            name = {
-                ErrorStatus.TOO_BIG: "tooBig",
-                ErrorStatus.NO_SUCH_NAME: "noSuchName",
-                ErrorStatus.BAD_VALUE: "badValue",
-                ErrorStatus.READ_ONLY: "readOnly",
-                ErrorStatus.GEN_ERR: "genErr",
-            }[pdu.error_status]
+            if o.enabled:
+                o.counter(
+                    "repro_snmp_manager_errors_total",
+                    "error responses received by managers, by error-status",
+                    status=ERROR_STATUS_NAMES[pdu.error_status],
+                ).inc()
             raise SnmpError(
-                f"agent returned {name} (index {pdu.error_index})"
+                f"agent returned {ERROR_STATUS_NAMES[pdu.error_status]} "
+                f"(index {pdu.error_index})"
             )
         return response

@@ -40,6 +40,18 @@ class ErrorStatus(IntEnum):
     GEN_ERR = 5
 
 
+#: RFC 1067 wire names, shared by manager error messages and the
+#: ``repro_snmp_*`` metric labels.
+ERROR_STATUS_NAMES = {
+    ErrorStatus.NO_ERROR: "noError",
+    ErrorStatus.TOO_BIG: "tooBig",
+    ErrorStatus.NO_SUCH_NAME: "noSuchName",
+    ErrorStatus.BAD_VALUE: "badValue",
+    ErrorStatus.READ_ONLY: "readOnly",
+    ErrorStatus.GEN_ERR: "genErr",
+}
+
+
 BindValue = Union[int, bytes, None, Tuple[int, ...], Oid]
 
 

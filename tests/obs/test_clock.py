@@ -1,0 +1,59 @@
+"""The pluggable clocks: wall time for real runs, logical for tests."""
+
+import pytest
+
+from repro.obs import LogicalClock, WallClock
+
+
+class TestWallClock:
+    def test_monotone(self):
+        clock = WallClock()
+        readings = [clock.now() for _ in range(10)]
+        assert readings == sorted(readings)
+
+    def test_not_deterministic(self):
+        assert WallClock.deterministic is False
+
+
+class TestLogicalClock:
+    def test_reads_are_strictly_monotone(self):
+        clock = LogicalClock()
+        readings = [clock.now() for _ in range(100)]
+        assert all(a < b for a, b in zip(readings, readings[1:]))
+
+    def test_two_clocks_read_identically(self):
+        """The determinism contract: same operations, same readings."""
+        a, b = LogicalClock(), LogicalClock()
+        for _ in range(5):
+            assert a.now() == b.now()
+        a.advance(1.5)
+        b.advance(1.5)
+        assert a.now() == b.now()
+
+    def test_advance_moves_time(self):
+        clock = LogicalClock(start=10.0)
+        clock.advance(2.5)
+        assert clock.time == 12.5
+        assert clock.now() > 12.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalClock().advance(-1.0)
+
+    def test_set_at_least_never_moves_backwards(self):
+        clock = LogicalClock()
+        clock.set_at_least(5.0)
+        assert clock.time == 5.0
+        clock.set_at_least(3.0)  # stale feed: ignored
+        assert clock.time == 5.0
+        clock.set_at_least(7.0)
+        assert clock.time == 7.0
+
+    def test_time_property_does_not_tick(self):
+        clock = LogicalClock()
+        before = clock.time
+        _ = clock.time
+        assert clock.now() == pytest.approx(before + 1e-9)
+
+    def test_deterministic_flag(self):
+        assert LogicalClock.deterministic is True

@@ -1,0 +1,142 @@
+"""The metrics registry: instruments, exposition, determinism."""
+
+import json
+import re
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc(self, registry):
+        counter = registry.counter("repro_test_total")
+        counter.inc()
+        counter.inc(4)
+        assert registry.value("repro_test_total") == 5
+
+    def test_negative_inc_rejected(self, registry):
+        with pytest.raises(ReproError, match="only go up"):
+            registry.counter("repro_test_total").inc(-1)
+
+    def test_memoized_per_label_set(self, registry):
+        a = registry.counter("repro_test_total", engine="clpr")
+        b = registry.counter("repro_test_total", engine="clpr")
+        c = registry.counter("repro_test_total", engine="scan")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_does_not_matter(self, registry):
+        a = registry.counter("repro_t_total", x="1", y="2")
+        b = registry.counter("repro_t_total", y="2", x="1")
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("repro_test_facts")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert registry.value("repro_test_facts") == 12
+
+
+class TestHistogram:
+    def test_cumulative_buckets_end_with_inf(self, registry):
+        histogram = registry.histogram("repro_test_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(99.0)
+        pairs = histogram.cumulative()
+        assert [count for _bound, count in pairs] == [1, 2, 3]
+        assert pairs[-1][0] == float("inf")
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(99.55)
+
+    def test_empty_buckets_rejected(self, registry):
+        with pytest.raises(ReproError):
+            registry.histogram("repro_test_seconds", buckets=())
+
+
+class TestValidation:
+    def test_bad_metric_name(self, registry):
+        with pytest.raises(ReproError, match="invalid metric name"):
+            registry.counter("bad name!")
+
+    def test_bad_label_name(self, registry):
+        with pytest.raises(ReproError, match="invalid label name"):
+            registry.counter("repro_ok_total", **{"bad-label": "x"})
+
+    def test_kind_mismatch(self, registry):
+        registry.counter("repro_test_total")
+        with pytest.raises(ReproError, match="is a counter"):
+            registry.gauge("repro_test_total")
+
+
+class TestPrometheusExposition:
+    def test_help_type_and_samples(self, registry):
+        registry.counter("repro_x_total", "things done", kind="a").inc(2)
+        text = registry.to_prometheus()
+        assert "# HELP repro_x_total things done" in text
+        assert "# TYPE repro_x_total counter" in text
+        assert 'repro_x_total{kind="a"} 2' in text
+
+    def test_histogram_lines(self, registry):
+        registry.histogram("repro_x_seconds", buckets=(0.5,)).observe(0.1)
+        lines = registry.to_prometheus().splitlines()
+        assert 'repro_x_seconds_bucket{le="0.5"} 1' in lines
+        assert 'repro_x_seconds_bucket{le="+Inf"} 1' in lines
+        assert "repro_x_seconds_sum 0.1" in lines
+        assert "repro_x_seconds_count 1" in lines
+
+    def test_label_values_escaped(self, registry):
+        registry.counter("repro_x_total", path='a"b\\c\nd').inc()
+        text = registry.to_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_every_sample_line_parses(self, registry):
+        registry.counter("repro_a_total", engine="clpr").inc()
+        registry.gauge("repro_b").set(1.5)
+        registry.histogram("repro_c_seconds").observe(0.2)
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.+eEinf]+$"
+        )
+        for line in registry.to_prometheus().splitlines():
+            if line.startswith("#"):
+                continue
+            assert sample.match(line), line
+
+    def test_write(self, registry, tmp_path):
+        registry.counter("repro_x_total").inc()
+        path = tmp_path / "m.prom"
+        registry.write(path)
+        assert "repro_x_total 1" in path.read_text()
+
+
+class TestSnapshot:
+    def test_snapshot_is_pure_data(self, registry):
+        registry.counter("repro_a_total", engine="clpr").inc(3)
+        registry.histogram("repro_b_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_a_total"]["samples"]["engine=clpr"] == 3
+        histogram = snapshot["repro_b_seconds"]["samples"][""]
+        assert histogram["count"] == 1
+        assert histogram["buckets"]["+Inf"] == 1
+
+    def test_snapshot_json_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("repro_z_total").inc()
+            registry.counter("repro_a_total", b="2", a="1").inc(2)
+            registry.gauge("repro_m").set(0.25)
+            return registry.snapshot_json()
+
+        first, second = build(), build()
+        assert first == second
+        json.loads(first)

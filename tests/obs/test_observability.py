@@ -1,0 +1,88 @@
+"""The facade: current()/scope() plumbing and the null substrate."""
+
+import time
+
+from repro import obs
+
+
+class TestCurrent:
+    def test_default_is_null(self):
+        assert obs.current().enabled is False
+
+    def test_scope_installs_and_restores(self):
+        before = obs.current()
+        with obs.scope() as session:
+            assert obs.current() is session
+            assert session.enabled is True
+        assert obs.current() is before
+
+    def test_scope_restores_on_exception(self):
+        before = obs.current()
+        try:
+            with obs.scope():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert obs.current() is before
+
+    def test_nested_scopes(self):
+        with obs.scope() as outer:
+            with obs.scope() as inner:
+                assert obs.current() is inner
+            assert obs.current() is outer
+
+    def test_set_current_returns_previous(self):
+        session = obs.Observability()
+        previous = obs.set_current(session)
+        try:
+            assert obs.current() is session
+        finally:
+            obs.set_current(previous)
+
+
+class TestObservability:
+    def test_span_records_into_tracer(self):
+        with obs.scope(clock=obs.LogicalClock()) as session:
+            with session.span("work", key="value"):
+                pass
+        (record,) = session.tracer.finished()
+        assert record.name == "work"
+
+    def test_instrument_shortcuts_share_registry(self):
+        session = obs.Observability()
+        session.counter("repro_x_total").inc()
+        assert session.metrics.value("repro_x_total") == 1
+
+    def test_set_time_feeds_logical_clock(self):
+        session = obs.logical_observability()
+        session.set_time(42.0)
+        assert session.clock.time == 42.0
+        session.set_time(1.0)  # never backwards
+        assert session.clock.time == 42.0
+
+    def test_set_time_noop_on_wall_clock(self):
+        obs.Observability(clock=obs.WallClock()).set_time(42.0)
+
+    def test_deterministic_flag(self):
+        assert obs.logical_observability().deterministic is True
+        assert obs.Observability().deterministic is False
+
+
+class TestNullObservability:
+    def test_instruments_are_noops(self):
+        null = obs.NullObservability()
+        null.counter("anything").inc()
+        null.gauge("anything").set(5)
+        null.histogram("anything").observe(0.1)
+        assert null.counter("anything").value == 0
+
+    def test_null_span_still_measures_elapsed(self):
+        null = obs.NullObservability()
+        with null.span("work") as span:
+            time.sleep(0.01)
+        assert span.elapsed >= 0.009
+
+    def test_null_span_annotate_is_noop(self):
+        null = obs.NullObservability()
+        with null.span("work") as span:
+            span.annotate(key="value")

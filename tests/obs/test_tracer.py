@@ -1,0 +1,135 @@
+"""Tracer behaviour: nesting, annotation, export formats, bounds."""
+
+import json
+
+import pytest
+
+from repro.obs import LogicalClock, Tracer
+import repro.obs.tracer as tracer_module
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(clock=LogicalClock())
+
+
+class TestNesting:
+    def test_depth_tracks_the_span_stack(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("innermost"):
+                    pass
+        depths = {r.name: r.depth for r in tracer.finished()}
+        assert depths == {"outer": 0, "inner": 1, "innermost": 2}
+
+    def test_parents_sort_before_children(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [r.name for r in tracer.finished()]
+        assert names == ["outer", "inner"]
+
+    def test_sibling_spans_share_depth(self, tracer):
+        with tracer.span("parent"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        depths = {r.name: r.depth for r in tracer.finished()}
+        assert depths["first"] == depths["second"] == 1
+
+    def test_mis_nested_exit_drops_orphans(self, tracer):
+        """Closing a parent before its child must not corrupt the stack."""
+        outer = tracer.span("outer").__enter__()
+        tracer.span("inner").__enter__()
+        outer.__exit__(None, None, None)  # inner never closed
+        with tracer.span("after"):
+            pass
+        by_name = {r.name: r for r in tracer.finished()}
+        assert set(by_name) == {"outer", "after"}
+        assert by_name["after"].depth == 0
+
+
+class TestSpanSemantics:
+    def test_annotate_lands_in_attrs(self, tracer):
+        with tracer.span("work", engine="indexed") as span:
+            span.annotate(problems=3)
+        (record,) = tracer.finished()
+        assert dict(record.attrs) == {"engine": "indexed", "problems": 3}
+
+    def test_exception_recorded_as_error_attr(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (record,) = tracer.finished()
+        assert dict(record.attrs)["error"] == "RuntimeError"
+
+    def test_elapsed_live_and_closed(self):
+        clock = LogicalClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work") as span:
+            clock.advance(2.0)
+            assert span.elapsed >= 2.0
+        closed = span.elapsed
+        clock.advance(100.0)
+        assert span.elapsed == closed  # frozen once closed
+
+    def test_unopened_span_elapsed_is_zero(self, tracer):
+        assert tracer.span("never").elapsed == 0.0
+
+
+class TestExport:
+    def test_jsonl_shape(self, tracer):
+        with tracer.span("compile.pass1", file="x.nmsl"):
+            pass
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 1
+        event = json.loads(lines[0])
+        assert event["name"] == "compile.pass1"
+        assert event["args"] == {"file": "x.nmsl"}
+        assert set(event) == {"name", "ts", "dur", "tid", "depth", "args"}
+
+    def test_jsonl_is_byte_deterministic(self):
+        def run():
+            tracer = Tracer(clock=LogicalClock())
+            with tracer.span("a", k="v"):
+                with tracer.span("b"):
+                    pass
+            return tracer.to_jsonl()
+
+        assert run() == run()
+
+    def test_chrome_trace_loads_and_has_metadata(self, tracer):
+        with tracer.span("consistency.check"):
+            pass
+        doc = json.loads(tracer.to_chrome())
+        assert doc["displayTimeUnit"] == "ms"
+        phases = [event["ph"] for event in doc["traceEvents"]]
+        assert phases.count("M") == 1  # process_name metadata
+        assert phases.count("X") == 1
+
+    def test_chrome_category_is_span_prefix(self, tracer):
+        with tracer.span("consistency.check"):
+            pass
+        doc = json.loads(tracer.to_chrome())
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["cat"] == "consistency"
+        assert event["ts"] >= 0 and event["dur"] >= 0  # microseconds
+
+    def test_write_picks_format_from_suffix(self, tracer, tmp_path):
+        with tracer.span("s"):
+            pass
+        assert tracer.write(tmp_path / "t.jsonl") == "jsonl"
+        assert tracer.write(tmp_path / "t.json") == "chrome"
+        json.loads((tmp_path / "t.json").read_text())
+        json.loads((tmp_path / "t.jsonl").read_text().splitlines()[0])
+
+
+class TestBounds:
+    def test_span_cap_counts_drops(self, tracer, monkeypatch):
+        monkeypatch.setattr(tracer_module, "MAX_SPANS", 3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 2

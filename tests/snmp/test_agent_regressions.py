@@ -1,0 +1,187 @@
+"""Regression tests for the agent error-path sweep.
+
+Two bugs fixed alongside the error-status metrics audit:
+
+* the admin (enterprise-config) GET answered unknown OIDs with
+  ``noSuchName`` but never set the error-index, so a manager could not
+  tell which binding of a multi-binding request was at fault;
+* multi-binding Sets were applied left to right and kept the early
+  writes when a later binding failed — RFC 1067 requires "if ... the
+  value of any variable named cannot be altered, then no variables'
+  values are altered."
+
+And the audit itself: every error response an agent produces must show
+up in ``repro_snmp_errors_total`` labelled with its error-status.
+"""
+
+import pytest
+
+from repro import obs
+from repro.asn1.types import Asn1Module
+from repro.errors import SnmpError
+from repro.mib.instances import InstanceStore
+from repro.mib.mib1 import build_mib1
+from repro.snmp.agent import ADMIN_COMMUNITY, NMSL_CONFIG_DIGEST, SnmpAgent
+from repro.snmp.manager import SnmpManager
+from repro.snmp.messages import ErrorStatus, Message, PduType
+
+SYS_DESCR = "1.3.6.1.2.1.1.1.0"
+SYS_UPTIME = "1.3.6.1.2.1.1.3.0"
+IF_ADMIN_1 = "1.3.6.1.2.1.2.2.1.7.1"
+UDP_IN = "1.3.6.1.2.1.7.1.0"
+
+CONF = """
+view full include mgmt.mib
+view sys include mgmt.mib.system
+community public sys ReadOnly min-interval 0
+community ops full ReadWrite min-interval 0
+community slow sys ReadOnly min-interval 60
+"""
+
+
+@pytest.fixture
+def tree():
+    return build_mib1()
+
+
+@pytest.fixture
+def agent(tree):
+    store = InstanceStore(tree, module=Asn1Module())
+    store.bind(SYS_DESCR, b"SunOS 4.0.1")
+    store.bind(SYS_UPTIME, 12345)
+    store.bind(IF_ADMIN_1, 1)
+    store.bind(UDP_IN, 777)
+    agent = SnmpAgent("regression-agent", store, tree=tree)
+    agent.load_config(CONF, tree)
+    return agent
+
+
+def manager_for(agent, community="ops", clock=None):
+    def send(octets: bytes) -> bytes:
+        now = clock() if clock is not None else None
+        return agent.handle_octets(octets, now=now)
+
+    return SnmpManager(community, send)
+
+
+class TestAdminGetErrorIndex:
+    def test_unknown_oid_reports_its_position(self, agent):
+        """A GET mixing config objects with an unknown OID must name the
+        offending binding (position 2), not leave the index unset."""
+        request = Message.get(
+            ADMIN_COMMUNITY, 1, [NMSL_CONFIG_DIGEST, "1.3.6.1.4.1.42989.9.9.0"]
+        )
+        response = agent.handle(request).pdu
+        assert response.error_status == ErrorStatus.NO_SUCH_NAME
+        assert response.error_index == 2
+
+
+class TestAllOrNothingSet:
+    def test_later_readonly_binding_rolls_back_earlier_write(self, agent):
+        manager = manager_for(agent)
+        with pytest.raises(SnmpError, match="readOnly"):
+            manager.set([(IF_ADMIN_1, 2), (SYS_DESCR, b"nope")])
+        # The first write must not survive the failed message.
+        assert manager.get_one(IF_ADMIN_1) == 1
+
+    def test_later_out_of_view_binding_rolls_back_earlier_write(self, tree):
+        store = InstanceStore(tree, module=Asn1Module())
+        store.bind(IF_ADMIN_1, 1)
+        agent = SnmpAgent("rollback-agent", store, tree=tree)
+        agent.load_config(
+            "view ifonly include mgmt.mib.interfaces\n"
+            "community ifops ifonly ReadWrite min-interval 0\n",
+            tree,
+        )
+        manager = manager_for(agent, community="ifops")
+        with pytest.raises(SnmpError, match="noSuchName"):
+            # udpInDatagrams is outside the ifonly view.
+            manager.set([(IF_ADMIN_1, 2), (UDP_IN, 1)])
+        assert manager.get_one(IF_ADMIN_1) == 1
+
+    def test_created_binding_is_unbound_on_rollback(self, agent):
+        """A Set that *created* an instance removes it again, rather than
+        leaving a stale binding behind."""
+        if_admin_2 = "1.3.6.1.2.1.2.2.1.7.2"
+        manager = manager_for(agent)
+        # Writable and unbound: a lone Set would create this instance.
+        manager.set([(if_admin_2, 1)])
+        assert agent.store.contains(if_admin_2)
+        agent.store.unbind(if_admin_2)
+        with pytest.raises(SnmpError):
+            manager.set([(if_admin_2, 1), (SYS_DESCR, b"nope")])
+        assert not agent.store.contains(if_admin_2)
+
+    def test_successful_multi_set_still_applies_everything(self, agent):
+        manager = manager_for(agent)
+        manager.set([(IF_ADMIN_1, 2)])
+        assert manager.get_one(IF_ADMIN_1) == 2
+
+
+class TestErrorStatusMetrics:
+    """Every error-status path increments repro_snmp_errors_total."""
+
+    def errors(self, session, status):
+        return session.metrics.value(
+            "repro_snmp_errors_total", agent="regression-agent", status=status
+        )
+
+    def test_no_such_name_counted(self, agent):
+        with obs.scope() as session:
+            manager = manager_for(agent, community="public")
+            with pytest.raises(SnmpError):
+                manager.get(["1.3.6.1.2.1.1.2.0"])
+            assert self.errors(session, "noSuchName") == 1
+
+    def test_read_only_counted(self, agent):
+        with obs.scope() as session:
+            manager = manager_for(agent)
+            with pytest.raises(SnmpError):
+                manager.set([(SYS_DESCR, b"nope")])
+            assert self.errors(session, "readOnly") == 1
+
+    def test_gen_err_from_rate_violation_counted(self, agent):
+        with obs.scope() as session:
+            clock_value = [0.0]
+            manager = manager_for(
+                agent, community="slow", clock=lambda: clock_value[0]
+            )
+            manager.get([SYS_DESCR])
+            clock_value[0] = 5.0
+            with pytest.raises(SnmpError, match="genErr"):
+                manager.get([SYS_DESCR])
+            assert self.errors(session, "genErr") == 1
+
+    def test_gen_err_from_unsupported_pdu_counted(self, agent):
+        with obs.scope() as session:
+            request = Message.get("public", 1, [SYS_DESCR])
+            request.pdu.pdu_type = PduType.GET_RESPONSE
+            response = agent.handle(request).pdu
+            assert response.error_status == ErrorStatus.GEN_ERR
+            assert self.errors(session, "genErr") == 1
+
+    def test_bad_value_from_admin_path_counted(self, agent):
+        with obs.scope() as session:
+            request = Message.set(
+                ADMIN_COMMUNITY, 1, [("1.3.6.1.4.1.42989.1.2.0", 99)]
+            )
+            response = agent.handle(request).pdu
+            assert response.error_status == ErrorStatus.BAD_VALUE
+            assert self.errors(session, "badValue") == 1
+
+    def test_auth_failure_on_admin_objects_counted(self, agent):
+        with obs.scope() as session:
+            request = Message.get("public", 1, [NMSL_CONFIG_DIGEST])
+            response = agent.handle(request).pdu
+            assert response.error_status == ErrorStatus.NO_SUCH_NAME
+            assert self.errors(session, "noSuchName") == 1
+
+    def test_successful_request_counts_no_error(self, agent):
+        with obs.scope() as session:
+            manager_for(agent).get([SYS_DESCR])
+            assert session.metrics.value(
+                "repro_snmp_pdus_total",
+                agent="regression-agent",
+                type="GET_REQUEST",
+            ) == 1
+            assert self.errors(session, "noSuchName") is None

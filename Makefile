@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze bench bench-quick chaos profile clean
+.PHONY: test analyze bench bench-quick chaos heal profile clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,14 @@ chaos:
 	$(PYTHON) benchmarks/chaos_rollout.py --output BENCH_chaos.json \
 		--trace TRACE_chaos.jsonl --metrics METRICS_chaos.prom
 
+## Self-healing demo: chaos-injected heal loop over the paper internet
+## (bit-rot on one element, 10% loss) until zero drift (see docs/HEALING.md).
+heal:
+	$(PYTHON) -m repro.cli heal examples/paper_internet.nmsl \
+		--install --rounds 8 --chaos-loss 0.1 \
+		--chaos-corrupt-store romano.cs.wisc.edu:0 \
+		--report text --report-file HEAL_report.json
+
 ## Where does the time go?  Per-phase/per-rule breakdown + Perfetto trace.
 profile:
 	$(PYTHON) -m repro.cli profile examples/campus.nmsl --engine datalog \
@@ -34,5 +42,5 @@ profile:
 clean:
 	rm -rf .pytest_cache .benchmarks analysis.sarif BENCH_chaos.json \
 		TRACE_chaos.jsonl METRICS_chaos.prom TRACE_profile.json \
-		TRACE_consistency.json METRICS_consistency.prom
+		TRACE_consistency.json METRICS_consistency.prom HEAL_report.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,11 +1,17 @@
 """Chaos rollout benchmark: fault-injected campaigns across fixed seeds.
 
-Runs the acceptance scenario from the chaos suite — 20% message loss
-everywhere, one agent crashing mid-apply, one agent wedged past the
-timeout — against the campus internet, once per fixed seed, and emits a
-combined JSON report (one ``RolloutReport`` per seed plus a convergence
-summary).  The CI chaos job runs this and uploads ``BENCH_chaos.json``
-as an artifact; ``make chaos`` does the same locally.
+Runs two acceptance scenarios against the campus internet, once per
+fixed seed, and emits a combined JSON report.  The CI chaos job runs
+this and uploads ``BENCH_chaos.json`` as an artifact; ``make chaos``
+does the same locally.
+
+* **rollout** — 20% message loss everywhere, one agent crashing
+  mid-apply, one agent wedged past the timeout: the campaign must
+  converge on every reachable agent and dead-letter the rest.
+* **heal** — 10% loss, one agent's store bit-rotted, one permanently
+  dead, one flapping: the reconciliation loop must reach zero drift on
+  every reachable element within the round budget and quarantine the
+  dead one.  The per-seed heal-round counts are part of the report.
 
 Each run is fully deterministic: the script asserts that repeating a
 seed reproduces a bit-identical report before writing anything.
@@ -89,6 +95,70 @@ def run_seed(compiler, seed):
     }
 
 
+def heal_campaign(compiler, seed):
+    """One fault-injected heal run: loss + bit-rot + dead + flapping."""
+    from repro.heal import HealthRegistry
+
+    runtime = ManagementRuntime(compiler, compiler.compile(campus_internet()))
+    # Protocol install: each agent's generation counter starts at 1, so a
+    # restarted (flapped) agent regresses visibly to 0.
+    runtime.install_configuration(via_protocol=True)
+    targets = sorted(runtime.rollout_targets())
+    rotted, dead, flapping = targets[0], targets[1], targets[2]
+    injector = FaultInjector(
+        seed=seed,
+        default=FaultSpec(loss_rate=0.1),
+        per_element={
+            rotted: FaultSpec(corrupt_store_after=0),
+            dead: FaultSpec(crash_after=0),
+            flapping: FaultSpec(flap_after=2, flap_restart_after=1),
+        },
+    )
+    registry = HealthRegistry(
+        targets,
+        failure_threshold=2,
+        cooldown_s=45.0,
+        quarantine_after=2,
+    )
+    report = runtime.heal(
+        policy=POLICY,
+        jobs=4,
+        seed=seed,
+        injector=injector,
+        registry=registry,
+        interval_s=30.0,
+        rounds=12,
+    )
+    return report, injector, rotted, dead, flapping
+
+
+def run_heal_seed(compiler, seed):
+    report, injector, rotted, dead, flapping = heal_campaign(compiler, seed)
+    repeat, _i, _r, _d, _f = heal_campaign(compiler, seed)
+    assert report.to_json() == repeat.to_json(), (
+        f"heal seed {seed} is not deterministic"
+    )
+    return {
+        "seed": seed,
+        "scenario": {
+            "loss_rate": 0.1,
+            "bit_rotted": rotted,
+            "dead": dead,
+            "flapping": flapping,
+        },
+        "converged": report.converged,
+        "rounds_used": report.rounds_used,
+        "drift_detected": report.drift_detected(),
+        "drift_repaired": report.drift_repaired(),
+        "quarantined": list(report.quarantined),
+        "faults_injected": {
+            element: dict(sorted(counts.items()))
+            for element, counts in sorted(injector.injected.items())
+        },
+        "report": report.as_dict(),
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -114,6 +184,7 @@ def main(argv=None):
     # re-running this benchmark yields byte-identical artifacts.
     with obs.scope(clock=obs.LogicalClock()) as session:
         runs = [run_seed(compiler, seed) for seed in SEEDS]
+        heal_runs = [run_heal_seed(compiler, seed) for seed in SEEDS]
     if args.trace:
         session.tracer.write(args.trace)
         print(f"wrote trace to {args.trace}")
@@ -129,6 +200,10 @@ def main(argv=None):
         },
         "seeds": list(SEEDS),
         "runs": runs,
+        "heal_runs": heal_runs,
+        "heal_rounds": {
+            str(run["seed"]): run["rounds_used"] for run in heal_runs
+        },
     }
     Path(args.output).write_text(
         json.dumps(combined, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -145,6 +220,18 @@ def main(argv=None):
             f"seed {run['seed']}: "
             f"{'ok' if ok else 'FAIL'} "
             f"(dead letter: {', '.join(run['dead_letter']) or 'none'})"
+        )
+    for run in heal_runs:
+        ok = run["converged"] and run["quarantined"] == [
+            run["scenario"]["dead"]
+        ]
+        failures += 0 if ok else 1
+        print(
+            f"heal seed {run['seed']}: "
+            f"{'ok' if ok else 'FAIL'} "
+            f"({run['rounds_used']} round(s), "
+            f"{run['drift_repaired']}/{run['drift_detected']} repaired, "
+            f"quarantined: {', '.join(run['quarantined']) or 'none'})"
         )
     print(f"wrote {args.output}")
     return 1 if failures else 0

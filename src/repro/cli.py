@@ -32,7 +32,26 @@ Fault-tolerant configuration rollout is also a subcommand::
 ``rollout`` drives the two-phase protocol install (stage, verify
 fingerprint, apply, confirm generation) against simulated agents built
 from the specification, with retry/backoff, rollback and a dead-letter
-list; it exits 1 when any element lands in the dead letter.
+list; it exits 1 when any element lands in the dead letter.  With
+``--journal FILE`` the campaign is write-ahead-logged and an interrupted
+run (e.g. ``--chaos-crash-coordinator N``) can be continued with
+``--resume``.
+
+The self-healing loop and the runtime verifier are subcommands too::
+
+    nmslc heal internet.nmsl --rounds 8 --interval 30 --report json
+    nmslc heal internet.nmsl --resume campaign.journal
+    nmslc verify-runtime internet.nmsl --duration 1800
+    nmslc verify-runtime internet.nmsl --misbehave bart.watcher:5 --format json
+
+``heal`` polls every element's running-config digest + generation,
+re-drives drifted elements, and quarantines unreachable ones through
+per-element circuit breakers; it exits 0 on convergence (zero drift on
+reachable elements), 1 when the round budget runs out first, 2 on
+errors.  ``verify-runtime`` replays the paper's verification aspect —
+run the simulated internet, then check the observed query streams
+against the specification's frequency promises — and exits 1 when the
+network violates its specification.
 """
 
 from __future__ import annotations
@@ -318,6 +337,23 @@ def build_rollout_parser() -> argparse.ArgumentParser:
         help="direct-install the configuration first so every agent has a "
         "last-known-good to roll back to (simulates a brownfield campus)",
     )
+    parser.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="write-ahead-log every campaign event to FILE (JSONL); makes "
+        "the campaign resumable after a coordinator crash",
+    )
+    parser.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync the journal after every record (durability over speed)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the interrupted campaign recorded in --journal FILE "
+        "instead of starting fresh",
+    )
     chaos = parser.add_argument_group("chaos injection (seeded, deterministic)")
     chaos.add_argument(
         "--chaos-loss", type=float, default=0.0, metavar="RATE",
@@ -344,6 +380,178 @@ def build_rollout_parser() -> argparse.ArgumentParser:
         "--chaos-wedge", action="append", default=[], metavar="ELEMENT[:N]",
         help="stall every response from ELEMENT after N messages "
         "(default 0); repeatable",
+    )
+    chaos.add_argument(
+        "--chaos-flap", action="append", default=[], metavar="ELEMENT[:N]",
+        help="flap ELEMENT's agent: crash after every N delivered messages "
+        "(default 6), restarting on the next contact; repeatable",
+    )
+    chaos.add_argument(
+        "--chaos-corrupt-store", action="append", default=[],
+        metavar="ELEMENT[:N]",
+        help="corrupt ELEMENT's persisted config store after N delivered "
+        "messages (default 6); repeatable",
+    )
+    chaos.add_argument(
+        "--chaos-crash-coordinator", type=int, metavar="N",
+        help="kill the coordinator itself after N journaled events "
+        "(exit 2; combine with --journal, then --resume)",
+    )
+    _add_obs_arguments(parser)
+    return parser
+
+
+def build_heal_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nmslc heal",
+        description="Self-healing reconciliation loop: poll every "
+        "element's running-config digest and generation, re-drive "
+        "drifted elements through the rollout machinery, and quarantine "
+        "persistently unreachable ones via circuit breakers",
+    )
+    parser.add_argument("specification", help="NMSL specification file")
+    parser.add_argument(
+        "--output",
+        metavar="TAG",
+        default="BartsSnmpd",
+        help="configuration output type to reconcile (default: BartsSnmpd)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=10,
+        metavar="N",
+        help="reconciliation round budget (default: 10)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="logical seconds between rounds (default: 30)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        help="first finish the interrupted rollout campaign recorded in "
+        "JOURNAL, then reconcile",
+    )
+    parser.add_argument(
+        "--report",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--report-file",
+        metavar="FILE",
+        help="also write the JSON HealReport to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1989, metavar="N",
+        help="seed for backoff jitter and chaos injection (default: 1989)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="re-drive concurrency (default: 4)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=5, metavar="N",
+        help="delivery attempts per re-driven element (default: 5)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=2.0, metavar="SECONDS",
+        help="per-exchange deadline in logical seconds (default: 2.0)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=1024, metavar="OCTETS",
+        help="staging chunk size per Set (default: 1024)",
+    )
+    parser.add_argument(
+        "--install",
+        action="store_true",
+        help="direct-install the configuration first (otherwise round 1 "
+        "treats every element as drifted and converges by re-driving)",
+    )
+    breaker = parser.add_argument_group("circuit breakers")
+    breaker.add_argument(
+        "--failure-threshold", type=int, default=3, metavar="N",
+        help="consecutive failures that open an element's breaker "
+        "(default: 3)",
+    )
+    breaker.add_argument(
+        "--cooldown", type=float, default=60.0, metavar="SECONDS",
+        help="base breaker cool-down, doubling per open (default: 60)",
+    )
+    breaker.add_argument(
+        "--quarantine-after", type=int, default=3, metavar="N",
+        help="breaker opens before an element is quarantined (default: 3)",
+    )
+    chaos = parser.add_argument_group("chaos injection (seeded, deterministic)")
+    chaos.add_argument(
+        "--chaos-loss", type=float, default=0.0, metavar="RATE",
+        help="drop this fraction of deliveries (timeout)",
+    )
+    chaos.add_argument(
+        "--chaos-stall", type=float, default=0.0, metavar="RATE",
+        help="stall this fraction of responses past the deadline",
+    )
+    chaos.add_argument(
+        "--chaos-crash", action="append", default=[], metavar="ELEMENT[:N]",
+        help="crash ELEMENT's agent (permanently) after N delivered "
+        "messages (default 3); repeatable",
+    )
+    chaos.add_argument(
+        "--chaos-flap", action="append", default=[], metavar="ELEMENT[:N]",
+        help="flap ELEMENT's agent every N delivered messages (default 6); "
+        "repeatable",
+    )
+    chaos.add_argument(
+        "--chaos-corrupt-store", action="append", default=[],
+        metavar="ELEMENT[:N]",
+        help="corrupt ELEMENT's persisted config store after N delivered "
+        "messages (default 6); repeatable",
+    )
+    _add_obs_arguments(parser)
+    return parser
+
+
+def build_verify_runtime_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nmslc verify-runtime",
+        description="The paper's verification aspect: run the simulated "
+        "internet under the installed configuration, then check the "
+        "observed query streams against the specification's frequency "
+        "promises",
+    )
+    parser.add_argument("specification", help="NMSL specification file")
+    parser.add_argument(
+        "--duration", type=float, default=1800.0, metavar="SECONDS",
+        help="simulated runtime (default: 1800)",
+    )
+    parser.add_argument(
+        "--misbehave", action="append", default=[],
+        metavar="INSTANCE[:PERIOD]",
+        help="make INSTANCE query every PERIOD seconds (default 1), "
+        "violating its promise; repeatable",
+    )
+    parser.add_argument(
+        "--loss", type=float, default=0.0, metavar="RATE",
+        help="drop this fraction of queries in the network (default: 0)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1989, metavar="N",
+        help="seed for loss injection (default: 1989)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=1e-6, metavar="SECONDS",
+        help="slack when comparing inter-arrival times (default: 1e-6)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
     )
     _add_obs_arguments(parser)
     return parser
@@ -410,6 +618,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args = build_rollout_parser().parse_args(argv[1:])
             with _obs_session(args):
                 return _run_rollout(args)
+        if argv and argv[0] == "heal":
+            args = build_heal_parser().parse_args(argv[1:])
+            with _obs_session(args):
+                return _run_heal(args)
+        if argv and argv[0] == "verify-runtime":
+            args = build_verify_runtime_parser().parse_args(argv[1:])
+            with _obs_session(args):
+                return _run_verify_runtime(args)
         if argv and argv[0] == "profile":
             args = build_profile_parser().parse_args(argv[1:])
             with _obs_session(args, force=True) as session:
@@ -586,11 +802,54 @@ def _parse_chaos_targets(entries, default_count):
     return targets
 
 
-def _run_rollout(args: argparse.Namespace) -> int:
-    """The ``nmslc rollout`` subcommand: fault-tolerant delivery."""
+def _build_injector(args: argparse.Namespace):
+    """Shared chaos-flag handling for ``rollout`` and ``heal``."""
+    import dataclasses
+
     from repro.netsim.faults import FaultInjector, FaultSpec
+
+    loss = getattr(args, "chaos_loss", 0.0)
+    stall = getattr(args, "chaos_stall", 0.0)
+    corrupt = getattr(args, "chaos_corrupt", 0.0)
+    duplicate = getattr(args, "chaos_duplicate", 0.0)
+    default_spec = FaultSpec(
+        loss_rate=loss,
+        stall_rate=stall,
+        corrupt_rate=corrupt,
+        duplicate_rate=duplicate,
+    )
+    per_element = {}
+
+    def update(element, **changes):
+        spec = per_element.get(element, default_spec)
+        per_element[element] = dataclasses.replace(spec, **changes)
+
+    for element, after in _parse_chaos_targets(
+        getattr(args, "chaos_crash", []), default_count=3
+    ).items():
+        update(element, crash_after=after)
+    for element, after in _parse_chaos_targets(
+        getattr(args, "chaos_wedge", []), default_count=0
+    ).items():
+        per_element[element] = FaultSpec(stall_after=after)
+    for element, after in _parse_chaos_targets(
+        getattr(args, "chaos_flap", []), default_count=6
+    ).items():
+        update(element, flap_after=after, flap_restart_after=1)
+    for element, after in _parse_chaos_targets(
+        getattr(args, "chaos_corrupt_store", []), default_count=6
+    ).items():
+        update(element, corrupt_store_after=after)
+    if per_element or any((loss, stall, corrupt, duplicate)):
+        return FaultInjector(
+            seed=args.seed, default=default_spec, per_element=per_element
+        )
+    return None
+
+
+def _compile_for_runtime(args: argparse.Namespace):
+    """Compile a specification and build its simulated runtime, or None."""
     from repro.netsim.processes import ManagementRuntime
-    from repro.rollout import RetryPolicy
 
     text = Path(args.specification).read_text(encoding="utf-8")
     compiler = NmslCompiler(CompilerOptions(filename=args.specification))
@@ -598,54 +857,54 @@ def _run_rollout(args: argparse.Namespace) -> int:
     if result.report.errors:
         for error in result.report.errors:
             print(f"nmslc: error: {error}", file=sys.stderr)
+        return None
+    return ManagementRuntime(compiler, result)
+
+
+def _run_rollout(args: argparse.Namespace) -> int:
+    """The ``nmslc rollout`` subcommand: fault-tolerant delivery."""
+    from repro.rollout import RetryPolicy, RolloutJournal
+
+    runtime = _compile_for_runtime(args)
+    if runtime is None:
         return 2
-    runtime = ManagementRuntime(compiler, result)
     if args.baseline_install:
         runtime.install_configuration(tag=args.output)
 
-    injector = None
-    crash = _parse_chaos_targets(args.chaos_crash, default_count=3)
-    wedge = _parse_chaos_targets(args.chaos_wedge, default_count=0)
-    default_spec = FaultSpec(
-        loss_rate=args.chaos_loss,
-        stall_rate=args.chaos_stall,
-        corrupt_rate=args.chaos_corrupt,
-        duplicate_rate=args.chaos_duplicate,
-    )
-    per_element = {}
-    for element, after in crash.items():
-        per_element[element] = FaultSpec(
-            loss_rate=args.chaos_loss,
-            stall_rate=args.chaos_stall,
-            corrupt_rate=args.chaos_corrupt,
-            duplicate_rate=args.chaos_duplicate,
-            crash_after=after,
-        )
-    for element, after in wedge.items():
-        per_element[element] = FaultSpec(stall_after=after)
-    if per_element or any(
-        (
-            args.chaos_loss,
-            args.chaos_stall,
-            args.chaos_corrupt,
-            args.chaos_duplicate,
-        )
-    ):
-        injector = FaultInjector(
-            seed=args.seed, default=default_spec, per_element=per_element
-        )
-
+    injector = _build_injector(args)
     policy = RetryPolicy(
         max_attempts=args.max_attempts, timeout_s=args.timeout
     )
-    report = runtime.rollout(
-        tag=args.output,
-        policy=policy,
-        jobs=args.jobs,
-        seed=args.seed,
-        injector=injector,
-        chunk_size=args.chunk_size,
-    )
+    journal = None
+    resume_from = None
+    if args.resume:
+        if not args.journal:
+            raise ReproError("--resume needs --journal FILE")
+        resume_from = RolloutJournal.load(args.journal)
+        resume_from.fsync = args.fsync
+    elif args.journal:
+        # A fresh campaign must not append onto a stale journal.
+        journal_path = Path(args.journal)
+        if journal_path.exists():
+            journal_path.unlink()
+        journal = RolloutJournal(path=args.journal, fsync=args.fsync)
+    try:
+        report = runtime.rollout(
+            tag=args.output,
+            policy=policy,
+            jobs=args.jobs,
+            seed=args.seed,
+            injector=injector,
+            chunk_size=args.chunk_size,
+            journal=journal,
+            crash_coordinator_after=args.chaos_crash_coordinator,
+            resume_from=resume_from,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+        if resume_from is not None:
+            resume_from.close()
     if args.report == "json":
         print(report.to_json())
     else:
@@ -655,6 +914,132 @@ def _run_rollout(args: argparse.Namespace) -> int:
             report.to_json() + "\n", encoding="utf-8"
         )
     return 0 if report.complete else 1
+
+
+def _run_heal(args: argparse.Namespace) -> int:
+    """The ``nmslc heal`` subcommand: the drift-reconciliation loop."""
+    from repro.heal import HealthRegistry
+    from repro.rollout import RetryPolicy, RolloutJournal
+
+    runtime = _compile_for_runtime(args)
+    if runtime is None:
+        return 2
+    if args.install:
+        runtime.install_configuration(tag=args.output)
+
+    injector = _build_injector(args)
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts, timeout_s=args.timeout
+    )
+    if args.resume:
+        journal = RolloutJournal.load(args.resume)
+        try:
+            campaign = runtime.rollout(
+                tag=args.output,
+                policy=policy,
+                jobs=args.jobs,
+                seed=args.seed,
+                injector=injector,
+                chunk_size=args.chunk_size,
+                resume_from=journal,
+            )
+        finally:
+            journal.close()
+        print(
+            f"nmslc: resumed campaign from {args.resume}: "
+            f"{len(campaign.committed())}/{len(campaign.elements)} committed",
+            file=sys.stderr,
+        )
+    targets = runtime.rollout_targets(args.output)
+    registry = HealthRegistry(
+        sorted(targets),
+        failure_threshold=args.failure_threshold,
+        cooldown_s=args.cooldown,
+        quarantine_after=args.quarantine_after,
+    )
+    heal = runtime.heal(
+        tag=args.output,
+        policy=policy,
+        jobs=args.jobs,
+        seed=args.seed,
+        injector=injector,
+        chunk_size=args.chunk_size,
+        registry=registry,
+        interval_s=args.interval,
+        rounds=args.rounds,
+    )
+    if args.report == "json":
+        print(heal.to_json())
+    else:
+        print(heal.render())
+    if args.report_file:
+        Path(args.report_file).write_text(
+            heal.to_json() + "\n", encoding="utf-8"
+        )
+    return 0 if heal.converged else 1
+
+
+def _run_verify_runtime(args: argparse.Namespace) -> int:
+    """The ``nmslc verify-runtime`` subcommand: adherence checking."""
+    import json
+
+    from repro.netsim.monitor import RuntimeVerifier
+
+    runtime = _compile_for_runtime(args)
+    if runtime is None:
+        return 2
+    runtime.install_configuration()
+    misbehaving = {}
+    for entry in args.misbehave:
+        instance, _, period = entry.partition(":")
+        try:
+            misbehaving[instance] = float(period) if period else 1.0
+        except ValueError:
+            raise ReproError(
+                f"malformed --misbehave {entry!r} (want INSTANCE[:PERIOD])"
+            ) from None
+    runtime.start(
+        duration_s=args.duration,
+        misbehaving=misbehaving or None,
+        loss_rate=args.loss,
+        seed=args.seed,
+    )
+    runtime.run(args.duration)
+    verifier = RuntimeVerifier(runtime.specification, runtime.facts)
+    report = verifier.verify(runtime.log, tolerance=args.tolerance)
+    traps = verifier.trap_summary(runtime.traps)
+    discrepancies = verifier.cross_check_enforcement(runtime.log, report)
+    if args.format == "json":
+        payload = {
+            "adheres": report.adheres,
+            "observed_queries": report.observed_queries,
+            "checked_pairs": report.checked_pairs,
+            "rate_limited_queries": report.rate_limited_queries,
+            "violating_clients": list(report.violating_clients),
+            "violations": [
+                {
+                    "client": violation.client,
+                    "server_agent": violation.server_agent,
+                    "observed_interval_s": violation.observed_interval_s,
+                    "promised_min_period_s": violation.promised_min_period_s,
+                    "at_time": violation.at_time,
+                }
+                for violation in report.violations
+            ],
+            "traps": {str(key): value for key, value in traps.items()},
+            "enforcement_discrepancies": list(discrepancies),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        for line in discrepancies:
+            print(f"enforcement: {line}")
+        for agent_id, counts in sorted(traps.items()):
+            rendered = ", ".join(
+                f"{name}={count}" for name, count in sorted(counts.items())
+            )
+            print(f"traps[{agent_id}]: {rendered}")
+    return 0 if report.adheres else 1
 
 
 def _run_profile(args: argparse.Namespace, session: obs.Observability) -> int:

@@ -109,3 +109,20 @@ class DeliveryError(RolloutError):
 
 class DeliveryTimeout(DeliveryError):
     """A protocol exchange produced no answer within the deadline."""
+
+
+class JournalError(RolloutError):
+    """The rollout journal is unreadable, inconsistent, or mismatched."""
+
+
+class CoordinatorCrash(RolloutError):
+    """The coordinator process was killed mid-campaign (chaos hook).
+
+    Raised by :class:`~repro.rollout.coordinator.RolloutCoordinator` when
+    its ``crash_coordinator_after`` chaos hook fires; the durable journal
+    written up to that point is what :meth:`resume` recovers from.
+    """
+
+
+class HealError(ReproError):
+    """Error in the self-healing reconciliation layer."""

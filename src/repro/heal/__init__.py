@@ -1,0 +1,45 @@
+"""Self-healing management runtime: drift reconciliation with back-pressure.
+
+The paper's prescriptive loop (Section 6) assumes the shipped
+configuration *stays* applied; its verification goal demands noticing
+when it doesn't.  This package closes that loop with level-based
+reconciliation in the style of declarative network controllers:
+
+* :mod:`repro.heal.breaker` — per-element closed/open/half-open circuit
+  breakers with deterministic, escalating cool-downs on the campaign
+  clock, so a dead element is probed ever more rarely instead of being
+  hammered every round;
+* :mod:`repro.heal.registry` — the :class:`HealthRegistry` tracking each
+  element as healthy/degraded/quarantined; both the rollout coordinator
+  and the reconciler consult it (quarantined elements are skipped);
+* :mod:`repro.heal.reconciler` — the :class:`Reconciler` loop: poll each
+  element's running-config digest and generation over SNMP, classify
+  drift (digest mismatch, generation regression after an agent restart,
+  unreachable), re-drive only the drifted elements through a
+  :class:`~repro.rollout.coordinator.RolloutCoordinator`, and repeat
+  until convergence (zero drift on reachable elements) or quarantine.
+
+Everything runs on logical time and seeded randomness: two same-seed
+heal runs produce byte-identical :class:`HealReport`\\ s and metrics
+snapshots.  See ``docs/HEALING.md``.
+"""
+
+from repro.heal.breaker import BreakerState, CircuitBreaker
+from repro.heal.registry import HealthRegistry, HealthStatus
+from repro.heal.reconciler import (
+    DriftKind,
+    HealReport,
+    Reconciler,
+    RoundReport,
+)
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "DriftKind",
+    "HealReport",
+    "HealthRegistry",
+    "HealthStatus",
+    "Reconciler",
+    "RoundReport",
+]

@@ -1,0 +1,122 @@
+"""Per-element circuit breakers on the campaign's logical clock.
+
+A breaker protects the reconciler (and the elements themselves) from
+futile work: after ``failure_threshold`` consecutive failures the
+breaker **opens** and the element is left alone for a cool-down period;
+once the cool-down elapses the breaker goes **half-open** and admits
+probe traffic; a success closes it again, a failure re-opens it with an
+escalated cool-down (exponential, capped).  All decisions are pure
+functions of the logical clock and the failure history — no wall time,
+no randomness — so heal runs stay byte-identical per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+
+class BreakerState(Enum):
+    """The classic three circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+#: Stable numeric encoding for the breaker-state gauge (Prometheus
+#: convention: bigger is worse).
+BREAKER_GAUGE_VALUES = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
+
+
+@dataclass
+class CircuitBreaker:
+    """One element's breaker; all times are campaign-clock seconds."""
+
+    element: str
+    #: Consecutive failures that trip a closed breaker open.
+    failure_threshold: int = 3
+    #: Cool-down after the first open; doubles (by ``cooldown_multiplier``)
+    #: on every subsequent open, capped at ``max_cooldown_s``.
+    cooldown_s: float = 60.0
+    cooldown_multiplier: float = 2.0
+    max_cooldown_s: float = 900.0
+    #: Successes needed in half-open before the breaker closes again.
+    half_open_successes: int = 1
+
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    opens: int = 0
+    opened_at: Optional[float] = None
+    _half_open_streak: int = 0
+
+    def current_cooldown(self) -> float:
+        """The cool-down in force for the most recent open."""
+        if self.opens == 0:
+            return self.cooldown_s
+        scaled = self.cooldown_s * (
+            self.cooldown_multiplier ** (self.opens - 1)
+        )
+        return min(scaled, self.max_cooldown_s)
+
+    def allow(self, now: float) -> bool:
+        """May the element be contacted at *now*?  (May move open→half-open.)"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if (
+                self.opened_at is not None
+                and now >= self.opened_at + self.current_cooldown()
+            ):
+                self.state = BreakerState.HALF_OPEN
+                self._half_open_streak = 0
+                return True
+            return False
+        return True  # HALF_OPEN admits probe traffic
+
+    def record_success(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._half_open_streak += 1
+            if self._half_open_streak >= self.half_open_successes:
+                self.state = BreakerState.CLOSED
+                self.consecutive_failures = 0
+                self.opened_at = None
+        else:
+            self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            # The probe failed: re-open with an escalated cool-down.
+            self._trip(now)
+            return
+        self.consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self.opens += 1
+        self.opened_at = now
+        self.consecutive_failures = 0
+        self._half_open_streak = 0
+
+    def gauge_value(self) -> int:
+        return BREAKER_GAUGE_VALUES[self.state]
+
+    def as_dict(self) -> dict:
+        return {
+            "element": self.element,
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "opens": self.opens,
+            "opened_at": self.opened_at,
+            "cooldown_s": self.current_cooldown(),
+        }

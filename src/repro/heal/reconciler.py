@@ -1,0 +1,425 @@
+"""The drift reconciler: poll, classify, re-drive, converge (or quarantine).
+
+Level-based reconciliation over the rollout machinery.  Each **round**
+the reconciler advances its campaign clock by ``interval_s`` and, for
+every element the :class:`~repro.heal.registry.HealthRegistry` allows,
+performs one SNMP poll of the enterprise drift objects
+(``nmslConfigRunningDigest`` + ``nmslConfigGeneration``, a single Get).
+The answer is classified:
+
+* **in-sync** — running digest matches the desired text and the
+  generation did not regress;
+* **digest-mismatch** — the persisted store differs from the desired
+  configuration (bit-rot, out-of-band edits, a lost commit): the element
+  is re-driven through a fresh
+  :class:`~repro.rollout.coordinator.RolloutCoordinator` this round;
+* **generation-regression** — the generation counter went backwards but
+  the digest still matches: the agent restarted and reloaded its (good)
+  persisted config; the reconciler re-baselines its expectation without
+  touching the wire;
+* **unreachable** — the poll failed: a breaker failure; enough of those
+  opens the breaker (cool-down, half-open probing) and eventually
+  quarantines the element.
+
+A heal run **converges** when some round finds every element either
+in-sync or quarantined.  Time is logical (polls cost ``policy.rtt_s``,
+timeouts ``policy.timeout_s``, re-drives their campaign duration), so
+two same-seed runs yield byte-identical :class:`HealReport`\\ s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import json
+
+from repro import obs
+from repro.errors import HealError, RolloutError, SnmpError
+from repro.heal.registry import HealthRegistry
+from repro.rollout.coordinator import (
+    RolloutCoordinator,
+    SendFunction,
+    config_fingerprint,
+)
+from repro.rollout.retry import RetryPolicy
+from repro.rollout.state import RolloutState
+
+
+class DriftKind:
+    """Classification labels for one element poll (plain constants)."""
+
+    IN_SYNC = "in-sync"
+    DIGEST_MISMATCH = "digest-mismatch"
+    GENERATION_REGRESSION = "generation-regression"
+    UNREACHABLE = "unreachable"
+    COOLING = "cooling"  # breaker open: not polled this round
+    QUARANTINED = "quarantined"  # written off: not polled, ever
+
+    #: Kinds that count as detected drift (and must be repaired).
+    DRIFT = (DIGEST_MISMATCH, GENERATION_REGRESSION)
+
+
+@dataclass
+class Observation:
+    """One element's verdict in one round."""
+
+    element: str
+    kind: str
+    detail: str = ""
+    generation: Optional[int] = None
+    repaired: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "element": self.element,
+            "kind": self.kind,
+            "detail": self.detail,
+            "generation": self.generation,
+            "repaired": self.repaired,
+        }
+
+
+@dataclass
+class RoundReport:
+    """What one reconciliation round saw and did."""
+
+    number: int
+    at_s: float
+    observations: List[Observation] = field(default_factory=list)
+    redriven: Tuple[str, ...] = ()
+    repaired: Tuple[str, ...] = ()
+    failed: Tuple[str, ...] = ()
+    quarantined: Tuple[str, ...] = ()
+    duration_s: float = 0.0
+
+    @property
+    def drift(self) -> List[Observation]:
+        return [o for o in self.observations if o.kind in DriftKind.DRIFT]
+
+    @property
+    def clean(self) -> bool:
+        """True when every element is either in-sync or quarantined."""
+        return all(
+            o.kind in (DriftKind.IN_SYNC, DriftKind.QUARANTINED)
+            for o in self.observations
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "number": self.number,
+            "at_s": round(self.at_s, 6),
+            "observations": [o.as_dict() for o in self.observations],
+            "redriven": list(self.redriven),
+            "repaired": list(self.repaired),
+            "failed": list(self.failed),
+            "quarantined": list(self.quarantined),
+            "duration_s": round(self.duration_s, 6),
+        }
+
+
+@dataclass
+class HealReport:
+    """The structured outcome of one heal run."""
+
+    seed: int
+    interval_s: float
+    rounds: List[RoundReport] = field(default_factory=list)
+    converged: bool = False
+    duration_s: float = 0.0
+    quarantined: Tuple[str, ...] = ()
+    health: dict = field(default_factory=dict)
+
+    @property
+    def rounds_used(self) -> int:
+        return len(self.rounds)
+
+    def drift_detected(self) -> int:
+        return sum(len(r.drift) for r in self.rounds)
+
+    def drift_repaired(self) -> int:
+        return sum(
+            sum(1 for o in r.observations if o.repaired) for r in self.rounds
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "interval_s": self.interval_s,
+            "converged": self.converged,
+            "rounds_used": self.rounds_used,
+            "drift_detected": self.drift_detected(),
+            "drift_repaired": self.drift_repaired(),
+            "quarantined": list(self.quarantined),
+            "duration_s": round(self.duration_s, 6),
+            "rounds": [r.as_dict() for r in self.rounds],
+            "health": self.health,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [
+            f"heal run (seed {self.seed}, interval {self.interval_s:g}s): "
+            + ("converged" if self.converged else "DID NOT CONVERGE")
+            + f" after {self.rounds_used} round(s), "
+            + f"{self.drift_detected()} drift event(s), "
+            + f"{self.drift_repaired()} repaired"
+        ]
+        for round_ in self.rounds:
+            verdicts = ", ".join(
+                f"{o.element}:{o.kind}" for o in round_.observations
+            )
+            lines.append(
+                f"  round {round_.number} @ {round_.at_s:10.3f}s  {verdicts}"
+            )
+        if self.quarantined:
+            lines.append("  quarantined: " + ", ".join(self.quarantined))
+        return "\n".join(lines)
+
+
+class Reconciler:
+    """Polls elements for drift and re-drives the drifted ones."""
+
+    def __init__(
+        self,
+        channels: Dict[str, SendFunction],
+        configs: Dict[str, str],
+        policy: Optional[RetryPolicy] = None,
+        seed: int = 1989,
+        jobs: int = 4,
+        registry: Optional[HealthRegistry] = None,
+        interval_s: float = 30.0,
+        max_rounds: int = 10,
+        chunk_size: int = 1024,
+        expected_generations: Optional[Dict[str, int]] = None,
+    ):
+        if max_rounds < 1:
+            raise HealError(f"max_rounds must be at least 1, got {max_rounds}")
+        if interval_s <= 0:
+            raise HealError(f"interval_s must be positive, got {interval_s}")
+        missing = sorted(set(configs) - set(channels))
+        if missing:
+            raise HealError(
+                "no channel for element(s): " + ", ".join(missing)
+            )
+        self.channels = channels
+        self.configs = configs
+        self.policy = policy or RetryPolicy()
+        self.seed = seed
+        self.jobs = jobs
+        self.registry = registry or HealthRegistry(sorted(configs))
+        self.interval_s = interval_s
+        self.max_rounds = max_rounds
+        self.chunk_size = chunk_size
+        self._expected: Dict[str, int] = dict(expected_generations or {})
+        self._redrives = 0
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # One poll.
+    # ------------------------------------------------------------------
+    def poll(self, element: str) -> Observation:
+        """One drift probe: a single Get of running digest + generation."""
+        from repro.snmp.agent import (
+            ADMIN_COMMUNITY,
+            NMSL_CONFIG_GENERATION,
+            NMSL_CONFIG_RUNNING_DIGEST,
+        )
+        from repro.snmp.manager import SnmpManager
+
+        o = obs.current()
+        manager = SnmpManager(ADMIN_COMMUNITY, self.channels[element])
+        try:
+            values = manager.get(
+                [NMSL_CONFIG_RUNNING_DIGEST, NMSL_CONFIG_GENERATION]
+            )
+        except (SnmpError, RolloutError) as exc:
+            self.now += self.policy.timeout_s
+            return Observation(
+                element,
+                DriftKind.UNREACHABLE,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            if o.enabled:
+                o.counter(
+                    "repro_heal_polls_total",
+                    "drift-detection polls issued",
+                    element=element,
+                ).inc()
+        self.now += self.policy.rtt_s
+        digest, generation = (binding.value for binding in values)
+        expected_digest = config_fingerprint(self.configs[element])
+        generation = generation if isinstance(generation, int) else None
+        expected_generation = self._expected.get(element)
+        if bytes(digest) != expected_digest:
+            return Observation(
+                element,
+                DriftKind.DIGEST_MISMATCH,
+                detail="persisted store differs from desired configuration",
+                generation=generation,
+            )
+        if (
+            expected_generation is not None
+            and generation is not None
+            and generation < expected_generation
+        ):
+            return Observation(
+                element,
+                DriftKind.GENERATION_REGRESSION,
+                detail=(
+                    f"generation {generation} < expected "
+                    f"{expected_generation}: agent restarted"
+                ),
+                generation=generation,
+            )
+        if generation is not None:
+            self._expected[element] = generation
+        return Observation(element, DriftKind.IN_SYNC, generation=generation)
+
+    # ------------------------------------------------------------------
+    # The heal loop.
+    # ------------------------------------------------------------------
+    def run(self, rounds: Optional[int] = None) -> HealReport:
+        """Reconcile until convergence or the round budget runs out."""
+        budget = rounds if rounds is not None else self.max_rounds
+        if budget < 1:
+            raise HealError(f"rounds must be at least 1, got {budget}")
+        o = obs.current()
+        report = HealReport(seed=self.seed, interval_s=self.interval_s)
+        for number in range(1, budget + 1):
+            self.now += self.interval_s
+            round_report = self._round(number)
+            report.rounds.append(round_report)
+            if o.enabled:
+                o.counter(
+                    "repro_heal_rounds_total", "reconciliation rounds run"
+                ).inc()
+            if round_report.clean:
+                report.converged = True
+                break
+        report.duration_s = self.now
+        report.quarantined = tuple(self.registry.quarantined())
+        report.health = self.registry.snapshot()
+        o.set_time(self.now)
+        return report
+
+    def _round(self, number: int) -> RoundReport:
+        o = obs.current()
+        started = self.now
+        with o.span("heal.round", number=number) as span:
+            observations: List[Observation] = []
+            drifted: List[str] = []
+            for element in sorted(self.configs):
+                observation = self._observe(element)
+                observations.append(observation)
+                if observation.kind == DriftKind.DIGEST_MISMATCH:
+                    drifted.append(element)
+            repaired, failed = self._redrive(drifted, observations)
+            round_report = RoundReport(
+                number=number,
+                at_s=started,
+                observations=observations,
+                redriven=tuple(drifted),
+                repaired=tuple(repaired),
+                failed=tuple(failed),
+                quarantined=tuple(self.registry.quarantined()),
+                duration_s=self.now - started,
+            )
+            span.annotate(
+                drift=len(round_report.drift),
+                repaired=len(repaired),
+                clean=round_report.clean,
+            )
+        return round_report
+
+    def _observe(self, element: str) -> Observation:
+        o = obs.current()
+        if self.registry.is_quarantined(element):
+            return Observation(element, DriftKind.QUARANTINED)
+        if not self.registry.allow(element, self.now):
+            breaker = self.registry.breaker(element)
+            return Observation(
+                element,
+                DriftKind.COOLING,
+                detail=(
+                    f"breaker open for another "
+                    f"{breaker.opened_at + breaker.current_cooldown() - self.now:.1f}s"
+                ),
+            )
+        observation = self.poll(element)
+        if observation.kind == DriftKind.UNREACHABLE:
+            self.registry.note_failure(element, self.now)
+        else:
+            self.registry.note_success(element, self.now)
+        if observation.kind in DriftKind.DRIFT and o.enabled:
+            o.counter(
+                "repro_heal_drift_detected_total",
+                "drift observations, by element and kind",
+                element=element,
+                kind=observation.kind,
+            ).inc()
+        if observation.kind == DriftKind.GENERATION_REGRESSION:
+            # The store still matches: the agent merely restarted and
+            # reloaded it.  Re-baseline our expectation; no wire work.
+            if observation.generation is not None:
+                self._expected[element] = observation.generation
+            observation.repaired = True
+            if o.enabled:
+                o.counter(
+                    "repro_heal_drift_repaired_total",
+                    "drift events repaired, by element and kind",
+                    element=element,
+                    kind=observation.kind,
+                ).inc()
+        return observation
+
+    def _redrive(
+        self, drifted: List[str], observations: List[Observation]
+    ) -> Tuple[List[str], List[str]]:
+        """Re-apply the desired configuration to digest-drifted elements."""
+        if not drifted:
+            return [], []
+        o = obs.current()
+        # Deliberately no last_known_good: rolling a drifted element back
+        # to its (corrupted) stored text would institutionalise the drift.
+        coordinator = RolloutCoordinator(
+            channels={e: self.channels[e] for e in drifted},
+            configs={e: self.configs[e] for e in drifted},
+            policy=self.policy,
+            jobs=self.jobs,
+            seed=self.seed + self._redrive_seed(),
+            chunk_size=self.chunk_size,
+            health=self.registry,
+        )
+        campaign = coordinator.run()
+        self.now += campaign.duration_s
+        repaired: List[str] = []
+        failed: List[str] = []
+        by_element = {obs_.element: obs_ for obs_ in observations}
+        for element in drifted:
+            record = campaign.elements[element]
+            if record.state is RolloutState.COMMITTED:
+                repaired.append(element)
+                if record.generation is not None:
+                    self._expected[element] = record.generation
+                by_element[element].repaired = True
+                self.registry.note_success(element, self.now)
+                if o.enabled:
+                    o.counter(
+                        "repro_heal_drift_repaired_total",
+                        "drift events repaired, by element and kind",
+                        element=element,
+                        kind=DriftKind.DIGEST_MISMATCH,
+                    ).inc()
+            else:
+                failed.append(element)
+                self.registry.note_failure(element, self.now)
+        return repaired, failed
+
+    def _redrive_seed(self) -> int:
+        """A distinct, deterministic sub-campaign seed per redrive."""
+        self._redrives += 1
+        return self._redrives * 7919

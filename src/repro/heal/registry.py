@@ -1,0 +1,153 @@
+"""The health registry: one shared verdict per element.
+
+The :class:`HealthRegistry` owns a :class:`~repro.heal.breaker.CircuitBreaker`
+per element and distils it into three statuses:
+
+* **healthy** — breaker closed, no recent failures;
+* **degraded** — the breaker has seen failures, is cooling down, or is
+  probing half-open;
+* **quarantined** — the breaker opened ``quarantine_after`` times; the
+  element is written off until an operator intervenes.  Both the rollout
+  coordinator (via its ``health=`` hook) and the reconciler skip
+  quarantined elements, so a dead router can never stall a campaign.
+
+The registry is the single writer of breaker state; callers report
+outcomes through :meth:`note_success` / :meth:`note_failure` and ask
+permission through :meth:`allow`.  Breaker-state gauges are published
+through :mod:`repro.obs` on every change.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Iterable, List
+
+from repro import obs
+from repro.heal.breaker import BreakerState, CircuitBreaker
+
+
+class HealthStatus(Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    QUARANTINED = "quarantined"
+
+
+class HealthRegistry:
+    """Tracks per-element health; consulted by rollout and reconciler."""
+
+    def __init__(
+        self,
+        elements: Iterable[str] = (),
+        failure_threshold: int = 3,
+        cooldown_s: float = 60.0,
+        cooldown_multiplier: float = 2.0,
+        max_cooldown_s: float = 900.0,
+        half_open_successes: int = 1,
+        quarantine_after: int = 3,
+    ):
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.cooldown_multiplier = cooldown_multiplier
+        self.max_cooldown_s = max_cooldown_s
+        self.half_open_successes = half_open_successes
+        self.quarantine_after = quarantine_after
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self._quarantined: Dict[str, bool] = {}
+        for element in elements:
+            self.breaker(element)
+
+    def breaker(self, element: str) -> CircuitBreaker:
+        if element not in self.breakers:
+            self.breakers[element] = CircuitBreaker(
+                element=element,
+                failure_threshold=self.failure_threshold,
+                cooldown_s=self.cooldown_s,
+                cooldown_multiplier=self.cooldown_multiplier,
+                max_cooldown_s=self.max_cooldown_s,
+                half_open_successes=self.half_open_successes,
+            )
+            self._publish(self.breakers[element])
+        return self.breakers[element]
+
+    # ------------------------------------------------------------------
+    # Outcome reporting.
+    # ------------------------------------------------------------------
+    def note_success(self, element: str, now: float) -> None:
+        breaker = self.breaker(element)
+        breaker.record_success(now)
+        self._publish(breaker)
+
+    def note_failure(self, element: str, now: float) -> None:
+        breaker = self.breaker(element)
+        breaker.record_failure(now)
+        if (
+            breaker.opens >= self.quarantine_after
+            and not self._quarantined.get(element)
+        ):
+            self.quarantine(element)
+        self._publish(breaker)
+
+    def quarantine(self, element: str) -> None:
+        """Write the element off; only an operator brings it back."""
+        if self._quarantined.get(element):
+            return
+        self._quarantined[element] = True
+        o = obs.current()
+        if o.enabled:
+            o.counter(
+                "repro_heal_quarantined_total",
+                "elements quarantined by the health registry",
+                element=element,
+            ).inc()
+
+    def release(self, element: str) -> None:
+        """Operator override: lift a quarantine and reset the breaker."""
+        self._quarantined.pop(element, None)
+        self.breakers.pop(element, None)
+        self.breaker(element)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def allow(self, element: str, now: float) -> bool:
+        """May the element be contacted at *now*?"""
+        if self.is_quarantined(element):
+            return False
+        return self.breaker(element).allow(now)
+
+    def is_quarantined(self, element: str) -> bool:
+        return bool(self._quarantined.get(element))
+
+    def status(self, element: str) -> HealthStatus:
+        if self.is_quarantined(element):
+            return HealthStatus.QUARANTINED
+        breaker = self.breaker(element)
+        if (
+            breaker.state is not BreakerState.CLOSED
+            or breaker.consecutive_failures > 0
+        ):
+            return HealthStatus.DEGRADED
+        return HealthStatus.HEALTHY
+
+    def quarantined(self) -> List[str]:
+        return sorted(e for e, q in self._quarantined.items() if q)
+
+    def snapshot(self) -> dict:
+        """Deterministic, JSON-ready view of every tracked element."""
+        return {
+            element: {
+                "status": self.status(element).value,
+                "breaker": self.breakers[element].as_dict(),
+            }
+            for element in sorted(self.breakers)
+        }
+
+    def _publish(self, breaker: CircuitBreaker) -> None:
+        o = obs.current()
+        if o.enabled:
+            o.gauge(
+                "repro_heal_breaker_state",
+                "circuit-breaker state per element "
+                "(0=closed, 1=half-open, 2=open)",
+                element=breaker.element,
+            ).set(breaker.gauge_value())

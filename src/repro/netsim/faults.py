@@ -17,7 +17,14 @@ seeded, fully deterministic plan:
   chunk also surfaces as a fingerprint mismatch);
 * **crash / restart** — after N delivered messages the element's agent
   crashes, losing staged state; optionally it restarts after a further M
-  contact attempts, restoring its last-known-good configuration.
+  contact attempts, restoring its last-known-good configuration;
+* **flap** — like crash/restart but *recurring*: the agent goes down
+  after every N messages delivered since it last came up, cycling
+  forever (the classic unstable element a reconciler must tolerate);
+* **corrupt_store** — one-shot out-of-band mutation of the agent's
+  persisted configuration store after its N-th delivered message
+  (post-commit bit-rot: the running policy keeps serving, but the
+  stored config — and hence its digest — has silently drifted).
 
 Randomness is drawn from one ``random.Random`` per element seeded with
 ``(seed, element)``, so outcomes do not depend on how the coordinator
@@ -52,13 +59,25 @@ class FaultSpec:
     restart_after: Optional[int] = None
     #: Stall every message after the N-th delivered one (a wedged agent).
     stall_after: Optional[int] = None
+    #: Flap: crash after every N messages delivered since the agent last
+    #: came up.  Unlike ``crash_after`` this repeats indefinitely.
+    flap_after: Optional[int] = None
+    #: After a flap crash, come back up on the M-th contact attempt
+    #: (falls back to ``restart_after`` when unset).
+    flap_restart_after: Optional[int] = None
+    #: Corrupt the agent's persisted config store (once) after its N-th
+    #: delivered message — needs a ``corrupt_hook`` on :meth:`wrap`.
+    corrupt_store_after: Optional[int] = None
 
 
 @dataclass
 class _ElementChaosState:
     delivered: int = 0
+    delivered_since_up: int = 0
     crashed: bool = False
     crashes: int = 0  # a crash_after spec fires exactly once
+    flap_down: bool = False  # current outage came from flap_after
+    store_corrupted: bool = False  # corrupt_store_after fires exactly once
     attempts_while_down: int = 0
     rng: random.Random = field(default_factory=random.Random)
 
@@ -110,6 +129,7 @@ class FaultInjector:
         send: SendFunction,
         crash_hook: Optional[Callable[[], None]] = None,
         restart_hook: Optional[Callable[[], None]] = None,
+        corrupt_hook: Optional[Callable[[], None]] = None,
     ) -> SendFunction:
         """Wrap *send* with this injector's faults for *element*.
 
@@ -117,20 +137,40 @@ class FaultInjector:
         element's agent down (losing its staged state) and bring it back
         up (restoring last-known-good) — usually bound to
         :meth:`SnmpAgent.crash` and :meth:`SnmpAgent.restart`.
+        ``corrupt_hook`` mutates the agent's persisted config store for
+        the ``corrupt_store_after`` fault — usually
+        :meth:`SnmpAgent.corrupt_store`.
         """
         spec = self.spec_for(element)
         state = self._state(element)
 
         def chaotic_send(octets: bytes) -> bytes:
+            # Bit-rot happens out-of-band, even while the agent is down.
+            if (
+                spec.corrupt_store_after is not None
+                and not state.store_corrupted
+                and state.delivered >= spec.corrupt_store_after
+            ):
+                state.store_corrupted = True
+                self._count(element, "corrupt_store")
+                if corrupt_hook is not None:
+                    corrupt_hook()
             # Down? Either stay down or restart on this contact attempt.
             if state.crashed:
                 state.attempts_while_down += 1
+                restart_after = (
+                    spec.flap_restart_after
+                    if state.flap_down and spec.flap_restart_after is not None
+                    else spec.restart_after
+                )
                 if (
-                    spec.restart_after is not None
-                    and state.attempts_while_down >= spec.restart_after
+                    restart_after is not None
+                    and state.attempts_while_down >= restart_after
                 ):
                     state.crashed = False
+                    state.flap_down = False
                     state.attempts_while_down = 0
+                    state.delivered_since_up = 0
                     self._count(element, "restart")
                     if restart_hook is not None:
                         restart_hook()
@@ -149,6 +189,19 @@ class FaultInjector:
                 if crash_hook is not None:
                     crash_hook()
                 raise DeliveryError(f"agent on {element} crashed mid-apply")
+            # Flap: recurring outage every N deliveries since last up.
+            if (
+                spec.flap_after is not None
+                and not state.crashed
+                and state.delivered_since_up >= spec.flap_after
+            ):
+                state.crashed = True
+                state.flap_down = True
+                state.crashes += 1
+                self._count(element, "flap")
+                if crash_hook is not None:
+                    crash_hook()
+                raise DeliveryError(f"agent on {element} flapped down")
             # Loss: the request never arrives.
             if spec.loss_rate and state.rng.random() < spec.loss_rate:
                 self._count(element, "loss")
@@ -165,6 +218,7 @@ class FaultInjector:
             # Deliver (possibly twice).
             try:
                 state.delivered += 1
+                state.delivered_since_up += 1
                 response = send(deliver_octets)
                 if (
                     spec.duplicate_rate
@@ -172,6 +226,7 @@ class FaultInjector:
                 ):
                     self._count(element, "duplicate")
                     state.delivered += 1
+                    state.delivered_since_up += 1
                     send(deliver_octets)
             except AgentDownError as exc:
                 raise DeliveryError(str(exc)) from exc

@@ -318,6 +318,7 @@ class ManagementRuntime:
                     send,
                     crash_hook=agent.crash,
                     restart_hook=agent.restart,
+                    corrupt_hook=agent.corrupt_store,
                 )
             channels[target] = send
         return channels
@@ -331,6 +332,10 @@ class ManagementRuntime:
         injector=None,
         chunk_size: int = 1024,
         configs: Optional[Dict[str, str]] = None,
+        journal=None,
+        crash_coordinator_after: Optional[int] = None,
+        health=None,
+        resume_from=None,
     ):
         """Run a fault-tolerant rollout campaign over every agent.
 
@@ -339,7 +344,12 @@ class ManagementRuntime:
         agent's current committed configuration (if any) is its
         last-known-good for rollback.  ``configs`` overrides the
         generated target texts (keyed like :meth:`rollout_targets`).
-        Returns the :class:`~repro.rollout.state.RolloutReport`.
+        ``journal`` write-ahead-logs the campaign (making it resumable),
+        ``crash_coordinator_after`` kills the coordinator after N
+        journaled events (chaos), ``health`` skips quarantined elements,
+        and ``resume_from`` (a journal or path) continues an interrupted
+        campaign instead of starting fresh.  Returns the
+        :class:`~repro.rollout.state.RolloutReport`.
         """
         from repro.rollout import RolloutCoordinator
 
@@ -358,8 +368,56 @@ class ManagementRuntime:
             seed=seed,
             last_known_good=last_known_good,
             chunk_size=chunk_size,
+            journal=journal,
+            crash_coordinator_after=crash_coordinator_after,
+            health=health,
         )
+        if resume_from is not None:
+            return coordinator.resume(resume_from)
         return coordinator.run()
+
+    def heal(
+        self,
+        tag: str = "BartsSnmpd",
+        policy=None,
+        jobs: int = 4,
+        seed: int = 1989,
+        injector=None,
+        chunk_size: int = 1024,
+        configs: Optional[Dict[str, str]] = None,
+        registry=None,
+        interval_s: float = 30.0,
+        rounds: int = 10,
+    ):
+        """Run the drift-reconciliation loop over every agent.
+
+        Builds a :class:`~repro.heal.reconciler.Reconciler` whose desired
+        state is the generated (or supplied) target configurations and
+        whose generation expectations are seeded from each agent's
+        current commit count.  Returns the
+        :class:`~repro.heal.reconciler.HealReport`.
+        """
+        from repro.heal import HealthRegistry, Reconciler
+
+        targets = configs if configs is not None else self.rollout_targets(tag)
+        channels = self.rollout_channels(sorted(targets), injector=injector)
+        expected = {
+            target: self.target_agent(target).configs_applied
+            for target in targets
+        }
+        reconciler = Reconciler(
+            channels=channels,
+            configs=targets,
+            policy=policy,
+            seed=seed,
+            jobs=jobs,
+            registry=registry or HealthRegistry(sorted(targets)),
+            interval_s=interval_s,
+            max_rounds=rounds,
+            chunk_size=chunk_size,
+            expected_generations=expected,
+        )
+        return reconciler.run()
 
     # ------------------------------------------------------------------
     # Application drivers.

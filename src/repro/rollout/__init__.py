@@ -12,7 +12,10 @@ fault-tolerant:
 * :mod:`repro.rollout.coordinator` — the :class:`RolloutCoordinator`
   that drives two-phase apply (chunked staging, fingerprint read-back,
   atomic apply trigger, generation confirm) with bounded concurrency,
-  rollback to last-known-good, and a dead-letter list.
+  rollback to last-known-good, and a dead-letter list;
+* :mod:`repro.rollout.journal` — the durable :class:`RolloutJournal`
+  write-ahead log behind :meth:`RolloutCoordinator.resume`: a crashed
+  coordinator replays it and finishes the campaign byte-identically.
 
 See ``docs/ROLLOUT.md`` for the state machine diagram and failure-mode
 catalogue; chaos-test it with :class:`repro.netsim.faults.FaultInjector`.
@@ -22,6 +25,14 @@ from repro.rollout.coordinator import (
     RolloutCoordinator,
     SendFunction,
     config_fingerprint,
+)
+from repro.rollout.journal import (
+    ElementJournalState,
+    InterruptedAttempt,
+    JournalState,
+    RolloutJournal,
+    SCHEMA_VERSION,
+    config_digest,
 )
 from repro.rollout.retry import RetryPolicy
 from repro.rollout.state import (
@@ -34,12 +45,18 @@ from repro.rollout.state import (
 
 __all__ = [
     "AttemptRecord",
+    "ElementJournalState",
     "ElementRollout",
+    "InterruptedAttempt",
+    "JournalState",
     "RetryPolicy",
     "RolloutCoordinator",
+    "RolloutJournal",
     "RolloutReport",
     "RolloutState",
+    "SCHEMA_VERSION",
     "SendFunction",
     "TRANSITIONS",
+    "config_digest",
     "config_fingerprint",
 ]

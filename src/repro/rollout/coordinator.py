@@ -26,6 +26,24 @@ Time is logical: successful exchanges cost ``policy.rtt_s``, timeouts
 cost ``policy.timeout_s``, and a deterministic event loop interleaves at
 most ``jobs`` elements at once — the whole campaign is a pure function of
 (channels, configs, policy, seed).
+
+**Durability.**  Given a :class:`~repro.rollout.journal.RolloutJournal`,
+the coordinator write-ahead-logs every admission, attempt start,
+protocol exchange outcome, state transition, and retry decision before
+acting on it.  A coordinator killed at any point (the
+``crash_coordinator_after`` chaos hook raises
+:class:`~repro.errors.CoordinatorCrash` after N journaled events) can be
+reincarnated with :meth:`RolloutCoordinator.resume`: committed elements
+are skipped outright, a half-finished delivery attempt replays its
+journaled exchanges and continues live from the next one — re-verifying
+any staged-but-unapplied text with a fresh digest read-back, and
+disambiguating an in-doubt apply trigger with a generation read-back so
+no element ever receives a duplicate apply.  Under the logical clock the
+resumed campaign's report is byte-identical to an uninterrupted run.
+
+A :class:`~repro.heal.registry.HealthRegistry` may be attached; elements
+it has quarantined are dead-lettered immediately instead of being
+hammered — the reconciler (``repro.heal``) owns moving them back.
 """
 
 from __future__ import annotations
@@ -33,14 +51,24 @@ from __future__ import annotations
 import hashlib
 import heapq
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.errors import (
+    CoordinatorCrash,
     DeliveryError,
     DeliveryTimeout,
+    JournalError,
     RolloutError,
     SnmpError,
+)
+from repro.rollout.journal import (
+    InterruptedAttempt,
+    JournalState,
+    RolloutJournal,
+    SCHEMA_VERSION,
+    config_digest,
 )
 from repro.rollout.retry import RetryPolicy
 from repro.rollout.state import (
@@ -69,6 +97,22 @@ class _AttemptFailed(RolloutError):
         self.reason = reason
 
 
+def _encode_result(value) -> object:
+    """JSON-safe encoding of an exchange result for the journal."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return {"bytes": bytes(value).decode("latin-1")}
+    return None  # sets return bindings the replay never needs
+
+
+def _decode_result(value) -> object:
+    if isinstance(value, dict):
+        octets = value.get("bytes")
+        return octets.encode("latin-1") if octets is not None else None
+    return value
+
+
 class RolloutCoordinator:
     """Drives a configuration campaign across many elements."""
 
@@ -81,11 +125,19 @@ class RolloutCoordinator:
         seed: int = 1989,
         last_known_good: Optional[Dict[str, str]] = None,
         chunk_size: int = 1024,
+        journal: Optional[RolloutJournal] = None,
+        crash_coordinator_after: Optional[int] = None,
+        health=None,
     ):
         if jobs < 1:
             raise RolloutError(f"jobs must be at least 1, got {jobs}")
         if chunk_size < 1:
             raise RolloutError(f"chunk_size must be at least 1, got {chunk_size}")
+        if crash_coordinator_after is not None and crash_coordinator_after < 1:
+            raise RolloutError(
+                "crash_coordinator_after must be at least 1, got "
+                f"{crash_coordinator_after}"
+            )
         missing = sorted(set(configs) - set(channels))
         if missing:
             raise RolloutError(
@@ -98,14 +150,112 @@ class RolloutCoordinator:
         self.seed = seed
         self.last_known_good = dict(last_known_good or {})
         self.chunk_size = chunk_size
+        self.journal = journal
+        self.crash_coordinator_after = crash_coordinator_after
+        self.health = health
         self._rollback_attempts: Dict[str, int] = {}
+        self._replays: Dict[str, List[dict]] = {}
+        self._events = 0
+
+    # ------------------------------------------------------------------
+    # Journaling and the coordinator-crash chaos hook.
+    # ------------------------------------------------------------------
+    def _journal_record(self, record: dict) -> None:
+        """Append one WAL record, then maybe die (chaos hook).
+
+        The crash fires *after* the append so the journal always holds
+        the record — mirroring a process killed right after a durable
+        write, the worst point for a non-journaled coordinator.
+        """
+        if self.journal is not None:
+            self.journal.append(record)
+        self._events += 1
+        if (
+            self.crash_coordinator_after is not None
+            and self._events >= self.crash_coordinator_after
+        ):
+            raise CoordinatorCrash(
+                f"coordinator killed after {self._events} journaled event(s)"
+            )
+
+    def _journal_header(self) -> None:
+        self._journal_record(
+            {
+                "type": "campaign",
+                "schema": SCHEMA_VERSION,
+                "seed": self.seed,
+                "jobs": self.jobs,
+                "chunk_size": self.chunk_size,
+                "policy": {
+                    "max_attempts": self.policy.max_attempts,
+                    "exchange_retries": self.policy.exchange_retries,
+                    "timeout_s": self.policy.timeout_s,
+                    "rtt_s": self.policy.rtt_s,
+                    "base_backoff_s": self.policy.base_backoff_s,
+                    "multiplier": self.policy.multiplier,
+                    "max_backoff_s": self.policy.max_backoff_s,
+                    "jitter": self.policy.jitter,
+                    "rollback_attempts": self.policy.rollback_attempts,
+                },
+                "elements": {
+                    name: config_digest(text)
+                    for name, text in sorted(self.configs.items())
+                },
+            }
+        )
+
+    def _journal_exchange(
+        self,
+        element: str,
+        phase: str,
+        op: str,
+        outcome: str,
+        elapsed: float,
+        result=None,
+        reason: Optional[str] = None,
+    ) -> None:
+        record = {
+            "type": "exchange",
+            "element": element,
+            "phase": phase,
+            "op": op,
+            "outcome": outcome,
+            "elapsed": elapsed,
+        }
+        if result is not None:
+            record["result"] = _encode_result(result)
+        if reason is not None:
+            record["reason"] = reason
+        self._journal_record(record)
+
+    def _journal_attempt(
+        self,
+        element: str,
+        entry: AttemptRecord,
+        rollback: bool,
+        next_ready: Optional[float],
+        generation: Optional[int] = None,
+    ) -> None:
+        self._journal_record(
+            {
+                "type": "attempt",
+                "element": element,
+                "attempt": entry.attempt,
+                "phase": entry.phase,
+                "outcome": entry.outcome,
+                "at_s": entry.at_s,
+                "exchanges": entry.exchanges,
+                "rollback": rollback,
+                "next_ready": next_ready,
+                "generation": generation,
+            }
+        )
 
     # ------------------------------------------------------------------
     # The campaign event loop.
     # ------------------------------------------------------------------
     def run(self) -> RolloutReport:
         """Deliver every configuration; never raises for per-element faults."""
-        o = obs.current()
         report = RolloutReport(
             seed=self.seed,
             jobs=self.jobs,
@@ -113,25 +263,65 @@ class RolloutCoordinator:
                 name: ElementRollout(name) for name in sorted(self.configs)
             },
         )
+        self._journal_header()
+        quarantined = self._quarantined(report)
+        waiting = deque(
+            name for name in sorted(self.configs) if name not in quarantined
+        )
+        return self._run_loop(report, waiting, [], 0.0, 0.0)
+
+    def _quarantined(self, report: RolloutReport) -> set:
+        """Dead-letter elements the health registry has quarantined."""
+        if self.health is None:
+            return set()
+        names = {
+            name
+            for name in self.configs
+            if self.health.is_quarantined(name)
+        }
+        for name in sorted(names):
+            record = report.elements[name]
+            self._transition(record, RolloutState.FAILED)
+            entry = AttemptRecord(
+                attempt=0,
+                phase="quarantine",
+                outcome="quarantined by health registry",
+                at_s=0.0,
+                exchanges=0,
+            )
+            record.history.append(entry)
+            self._journal_attempt(name, entry, rollback=False, next_ready=None)
+        return names
+
+    def _run_loop(
+        self,
+        report: RolloutReport,
+        waiting: deque,
+        in_flight: List[Tuple[float, str]],
+        now: float,
+        finished_at: float,
+    ) -> RolloutReport:
+        o = obs.current()
         with o.span(
             "rollout.run",
             elements=len(self.configs),
             jobs=self.jobs,
             seed=self.seed,
         ) as span:
-            waiting = deque(sorted(self.configs))
-            in_flight: List[Tuple[float, str]] = []  # (ready_at, element) heap
-            finished_at = 0.0
-            now = 0.0
+            heapq.heapify(in_flight)
             while in_flight or waiting:
                 while len(in_flight) < self.jobs and waiting:
-                    heapq.heappush(in_flight, (now, waiting.popleft()))
+                    element = waiting.popleft()
+                    self._journal_record(
+                        {"type": "admit", "element": element, "at": now}
+                    )
+                    heapq.heappush(in_flight, (now, element))
                 ready_at, element = heapq.heappop(in_flight)
                 now = max(now, ready_at)
                 # Feed simulated time to the observability clock so spans
                 # recorded under a logical clock track campaign time.
                 o.set_time(now)
-                next_ready = self._step(element, now, report)
+                next_ready = self._step(element, ready_at, now, report)
                 finished_at = max(finished_at, now)
                 if next_ready is not None:
                     heapq.heappush(in_flight, (next_ready, element))
@@ -147,6 +337,7 @@ class RolloutCoordinator:
                 ),
             )
             o.set_time(report.duration_s)
+            self._journal_record({"type": "end", "duration_s": report.duration_s})
             span.annotate(
                 committed=sum(
                     record.state is RolloutState.COMMITTED
@@ -163,26 +354,208 @@ class RolloutCoordinator:
                 ).inc()
         return report
 
+    # ------------------------------------------------------------------
+    # Crash-resume.
+    # ------------------------------------------------------------------
+    def resume(
+        self, journal: Union[RolloutJournal, str, Path]
+    ) -> RolloutReport:
+        """Continue a journaled campaign where a dead coordinator stopped.
+
+        Rebuilds the scheduler (waiting queue, in-flight heap with the
+        original ready times, logical clock, retry counters) and each
+        element's record from the journal, skips elements the journal
+        proves terminal, replays any half-finished attempt's journaled
+        exchanges and continues it live, then re-enters the ordinary
+        event loop.  The coordinator must be constructed with the same
+        configs, policy, seed, jobs and chunk size as the original —
+        the campaign header is cross-checked and a mismatch raises
+        :class:`~repro.errors.JournalError`.
+        """
+        if isinstance(journal, (str, Path)):
+            journal = RolloutJournal.load(journal)
+        state = journal.replay()
+        self._validate_resume(state)
+        if self.journal is None:
+            self.journal = journal
+        else:
+            self._journal_header()
+        if state.finished:
+            return state.report()
+        report = RolloutReport(seed=self.seed, jobs=self.jobs, elements={})
+        waiting_names: List[str] = []
+        in_flight: List[Tuple[float, str]] = []
+        self._replays = {}
+        for name in sorted(self.configs):
+            journaled = state.elements[name]
+            record = journaled.as_rollout()
+            report.elements[name] = record
+            if journaled.rollback_attempts:
+                self._rollback_attempts[name] = journaled.rollback_attempts
+            interrupted = journaled.interrupted
+            if interrupted is not None:
+                # The attempt re-executes: journaled exchanges replay,
+                # the rest run live.  Roll the record back to the state
+                # it had when the attempt started.
+                if interrupted.rollback:
+                    record.state = RolloutState.FAILED
+                    self._rollback_attempts[name] = interrupted.attempt - 1
+                else:
+                    record.state = RolloutState.PENDING
+                    record.attempts = interrupted.attempt - 1
+                self._replays[name] = self._build_replay(name, interrupted)
+                heapq.heappush(in_flight, (interrupted.ready_at, name))
+            elif record.state in (
+                RolloutState.COMMITTED,
+                RolloutState.ROLLED_BACK,
+            ):
+                continue  # proven terminal: never re-applied
+            elif record.state is RolloutState.FAILED and (
+                journaled.next_ready is None
+            ):
+                continue  # dead-lettered with no rollback pending
+            elif journaled.started:
+                ready = (
+                    journaled.next_ready
+                    if journaled.next_ready is not None
+                    else journaled.admitted_at
+                )
+                heapq.heappush(in_flight, (ready, name))
+            else:
+                waiting_names.append(name)
+        self._journal_record({"type": "resume", "replayed_events": state.events})
+        return self._run_loop(
+            report, deque(waiting_names), in_flight, state.now, state.now
+        )
+
+    def _validate_resume(self, state: JournalState) -> None:
+        header = state.header
+        mismatches = []
+        for key, mine in (
+            ("seed", self.seed),
+            ("jobs", self.jobs),
+            ("chunk_size", self.chunk_size),
+        ):
+            if header.get(key) != mine:
+                mismatches.append(f"{key}: journal {header.get(key)!r} != {mine!r}")
+        journaled = header.get("elements", {})
+        if set(journaled) != set(self.configs):
+            mismatches.append(
+                "element set differs "
+                f"(journal {sorted(journaled)}, campaign {sorted(self.configs)})"
+            )
+        else:
+            for name, text in self.configs.items():
+                if journaled[name] != config_digest(text):
+                    mismatches.append(f"configuration for {name} changed")
+        policy = header.get("policy", {})
+        if policy.get("max_attempts") != self.policy.max_attempts or (
+            policy.get("exchange_retries") != self.policy.exchange_retries
+        ):
+            mismatches.append("retry policy differs")
+        if mismatches:
+            raise JournalError(
+                "journal does not match this campaign: " + "; ".join(mismatches)
+            )
+
+    def _build_replay(
+        self, element: str, interrupted: InterruptedAttempt
+    ) -> List[dict]:
+        """Decide which journaled exchanges replay and which rerun live.
+
+        * apply journaled **ok** — the agent committed; replay everything
+          and continue at confirm (never re-apply).
+        * apply intent journaled but no outcome — in doubt: a live
+          generation read-back decides.  If the generation advanced the
+          apply landed (synthesize its success); otherwise fall through.
+        * otherwise — replay only the staging prefix, so the digest
+          read-back runs live again and **re-verifies** whatever is
+          actually in the agent's staging store (which may have drifted,
+          or evaporated with an agent restart, while the coordinator was
+          down).
+        """
+        events = list(interrupted.exchanges)
+        apply_ok = any(
+            event.get("op") == "apply" and event.get("outcome") == "ok"
+            for event in events
+        )
+        if apply_ok:
+            return events
+        if interrupted.apply_intent:
+            generation_before = next(
+                (
+                    event.get("result")
+                    for event in events
+                    if event.get("op") == "generation-before"
+                    and event.get("outcome") == "ok"
+                ),
+                None,
+            )
+            probed = self._probe_generation(element)
+            if (
+                isinstance(generation_before, int)
+                and isinstance(probed, int)
+                and probed > generation_before
+            ):
+                return events + [
+                    {
+                        "type": "exchange",
+                        "element": element,
+                        "phase": "apply",
+                        "op": "apply",
+                        "outcome": "ok",
+                        "elapsed": self.policy.rtt_s,
+                    }
+                ]
+        return [event for event in events if event.get("phase") == "stage"]
+
+    def _probe_generation(self, element: str) -> Optional[int]:
+        """Out-of-band generation read-back for in-doubt apply triggers."""
+        from repro.snmp.agent import ADMIN_COMMUNITY, NMSL_CONFIG_GENERATION
+        from repro.snmp.manager import SnmpManager
+
+        manager = SnmpManager(ADMIN_COMMUNITY, self.channels[element])
+        try:
+            value = manager.get_one(NMSL_CONFIG_GENERATION)
+        except (SnmpError, RolloutError):
+            return None
+        return value if isinstance(value, int) else None
+
+    # ------------------------------------------------------------------
+    # Per-element steps.
+    # ------------------------------------------------------------------
     def _step(
-        self, element: str, now: float, report: RolloutReport
+        self, element: str, ready_at: float, now: float, report: RolloutReport
     ) -> Optional[float]:
         """Run one attempt for *element*; returns the next wake-up time,
         or None when the element reached a terminal state."""
         record = report.elements[element]
         if record.state is RolloutState.FAILED:
-            return self._step_rollback(element, now, record)
-        return self._step_forward(element, now, record)
+            return self._step_rollback(element, ready_at, now, record)
+        return self._step_forward(element, ready_at, now, record)
 
     def _step_forward(
-        self, element: str, now: float, record: ElementRollout
+        self, element: str, ready_at: float, now: float, record: ElementRollout
     ) -> Optional[float]:
         o = obs.current()
         record.attempts += 1
+        self._journal_record(
+            {
+                "type": "attempt_start",
+                "element": element,
+                "attempt": record.attempts,
+                "ready_at": ready_at,
+                "now": now,
+                "rollback": False,
+            }
+        )
+        replay = self._replays.pop(element, None)
         with o.span(
             "rollout.attempt", element=element, attempt=record.attempts
         ) as span:
             outcome = self._deliver(
-                element, self.configs[element], record, rollback=False
+                element, self.configs[element], record, rollback=False,
+                replay=replay,
             )
             phase, reason, elapsed, exchanges, generation = outcome
             at = now + elapsed
@@ -191,64 +564,93 @@ class RolloutCoordinator:
             span.annotate(
                 phase=phase or "commit", outcome="ok" if ok else reason
             )
-        record.history.append(
-            AttemptRecord(
-                attempt=record.attempts,
-                phase=phase or "commit",
-                outcome="ok" if ok else reason,
-                at_s=at,
-                exchanges=exchanges,
-            )
+        entry = AttemptRecord(
+            attempt=record.attempts,
+            phase=phase or "commit",
+            outcome="ok" if ok else reason,
+            at_s=at,
+            exchanges=exchanges,
         )
+        record.history.append(entry)
         if ok:
             record.generation = generation
+            self._journal_attempt(
+                element, entry, rollback=False, next_ready=None,
+                generation=generation,
+            )
             return None
         if record.attempts < self.policy.max_attempts:
-            self._move(record, RolloutState.PENDING)
+            self._transition(record, RolloutState.PENDING)
             if o.enabled:
                 o.counter(
                     "repro_rollout_retries_total",
                     "attempt-level retries scheduled",
                     element=element,
                 ).inc()
-            return at + self.policy.backoff(
+            next_ready = at + self.policy.backoff(
                 record.attempts, key=element, seed=self.seed
             )
+            self._journal_attempt(
+                element, entry, rollback=False, next_ready=next_ready
+            )
+            return next_ready
         # Budget exhausted: dead-letter; try to restore last-known-good.
-        self._move(record, RolloutState.FAILED)
+        self._transition(record, RolloutState.FAILED)
         if self.last_known_good.get(element):
-            return at + self.policy.backoff(
+            next_ready = at + self.policy.backoff(
                 self.policy.max_attempts, key=element, seed=self.seed
             )
+            self._journal_attempt(
+                element, entry, rollback=False, next_ready=next_ready
+            )
+            return next_ready
+        self._journal_attempt(element, entry, rollback=False, next_ready=None)
         return None
 
     def _step_rollback(
-        self, element: str, now: float, record: ElementRollout
+        self, element: str, ready_at: float, now: float, record: ElementRollout
     ) -> Optional[float]:
         attempt = self._rollback_attempts.get(element, 0) + 1
         self._rollback_attempts[element] = attempt
+        self._journal_record(
+            {
+                "type": "attempt_start",
+                "element": element,
+                "attempt": attempt,
+                "ready_at": ready_at,
+                "now": now,
+                "rollback": True,
+            }
+        )
+        replay = self._replays.pop(element, None)
         outcome = self._deliver(
-            element, self.last_known_good[element], record, rollback=True
+            element, self.last_known_good[element], record, rollback=True,
+            replay=replay,
         )
         phase, reason, elapsed, exchanges, _generation = outcome
         at = now + elapsed
         ok = phase is None
-        record.history.append(
-            AttemptRecord(
-                attempt=attempt,
-                phase="rollback",
-                outcome="ok" if ok else f"{phase}: {reason}",
-                at_s=at,
-                exchanges=exchanges,
-            )
+        entry = AttemptRecord(
+            attempt=attempt,
+            phase="rollback",
+            outcome="ok" if ok else f"{phase}: {reason}",
+            at_s=at,
+            exchanges=exchanges,
         )
+        record.history.append(entry)
         if ok:
-            self._move(record, RolloutState.ROLLED_BACK)
+            self._transition(record, RolloutState.ROLLED_BACK)
+            self._journal_attempt(element, entry, rollback=True, next_ready=None)
             return None
         if attempt < self.policy.rollback_attempts:
-            return at + self.policy.backoff(
+            next_ready = at + self.policy.backoff(
                 attempt, key=f"{element}#rollback", seed=self.seed
             )
+            self._journal_attempt(
+                element, entry, rollback=True, next_ready=next_ready
+            )
+            return next_ready
+        self._journal_attempt(element, entry, rollback=True, next_ready=None)
         return None  # stays FAILED: nothing more we can do from here
 
     # ------------------------------------------------------------------
@@ -260,9 +662,16 @@ class RolloutCoordinator:
         text: str,
         record: ElementRollout,
         rollback: bool,
+        replay: Optional[List[dict]] = None,
     ) -> Tuple[Optional[str], str, float, int, Optional[int]]:
         """Stage, verify, apply, confirm.  Returns
-        ``(failed_phase | None, reason, elapsed_s, exchanges, generation)``."""
+        ``(failed_phase | None, reason, elapsed_s, exchanges, generation)``.
+
+        ``replay`` is the journaled exchange tail of an interrupted
+        attempt: those outcomes are consumed positionally instead of
+        touching the wire, and the attempt continues live from the first
+        un-journaled exchange.
+        """
         from repro.snmp.agent import (
             ADMIN_COMMUNITY,
             NMSL_CONFIG_APPLY,
@@ -277,12 +686,32 @@ class RolloutCoordinator:
         elapsed = 0.0
         exchanges = 0
         o = obs.current()
+        replay_queue = deque(replay or ())
 
-        def exchange(op, phase: str):
+        def exchange(op, phase: str, opname: str):
             nonlocal elapsed, exchanges
             retries = self.policy.exchange_retries
             while True:
                 exchanges += 1
+                if replay_queue:
+                    event = replay_queue.popleft()
+                    if event.get("op") != opname:
+                        raise JournalError(
+                            f"journal replay for {element} expected exchange "
+                            f"{opname!r}, found {event.get('op')!r}"
+                        )
+                    elapsed += event.get("elapsed", 0.0)
+                    outcome = event.get("outcome")
+                    if outcome == "ok":
+                        return _decode_result(event.get("result"))
+                    if outcome == "timeout":
+                        if retries <= 0:
+                            raise _AttemptFailed(
+                                phase, event.get("reason", "timeout")
+                            )
+                        retries -= 1
+                        continue
+                    raise _AttemptFailed(phase, event.get("reason", outcome))
                 if o.enabled:
                     o.counter(
                         "repro_rollout_exchanges_total",
@@ -293,6 +722,11 @@ class RolloutCoordinator:
                     result = op()
                 except DeliveryTimeout as exc:
                     elapsed += self.policy.timeout_s
+                    reason = f"timeout: {exc}"
+                    self._journal_exchange(
+                        element, phase, opname, "timeout",
+                        self.policy.timeout_s, reason=reason,
+                    )
                     if o.enabled:
                         o.counter(
                             "repro_rollout_timeouts_total",
@@ -300,7 +734,7 @@ class RolloutCoordinator:
                             phase=phase,
                         ).inc()
                     if retries <= 0:
-                        raise _AttemptFailed(phase, f"timeout: {exc}") from exc
+                        raise _AttemptFailed(phase, reason) from exc
                     retries -= 1
                     if o.enabled:
                         o.counter(
@@ -311,39 +745,67 @@ class RolloutCoordinator:
                     continue
                 except DeliveryError as exc:
                     elapsed += self.policy.rtt_s
-                    raise _AttemptFailed(phase, f"delivery: {exc}") from exc
+                    reason = f"delivery: {exc}"
+                    self._journal_exchange(
+                        element, phase, opname, "delivery",
+                        self.policy.rtt_s, reason=reason,
+                    )
+                    raise _AttemptFailed(phase, reason) from exc
                 except SnmpError as exc:
                     elapsed += self.policy.rtt_s
-                    raise _AttemptFailed(phase, f"protocol: {exc}") from exc
+                    reason = f"protocol: {exc}"
+                    self._journal_exchange(
+                        element, phase, opname, "protocol",
+                        self.policy.rtt_s, reason=reason,
+                    )
+                    raise _AttemptFailed(phase, reason) from exc
                 elapsed += self.policy.rtt_s
+                self._journal_exchange(
+                    element, phase, opname, "ok", self.policy.rtt_s,
+                    result=result,
+                )
                 return result
 
         octets = text.encode("utf-8")
         try:
             generation_before = exchange(
-                lambda: manager.get_one(NMSL_CONFIG_GENERATION), "stage"
+                lambda: manager.get_one(NMSL_CONFIG_GENERATION),
+                "stage",
+                "generation-before",
             )
-            exchange(lambda: manager.set([(NMSL_CONFIG_RESET, 1)]), "stage")
-            for start in range(0, len(octets), self.chunk_size):
+            exchange(
+                lambda: manager.set([(NMSL_CONFIG_RESET, 1)]), "stage", "reset"
+            )
+            for index, start in enumerate(range(0, len(octets), self.chunk_size)):
                 chunk = octets[start : start + self.chunk_size]
                 exchange(
                     lambda c=chunk: manager.set([(NMSL_CONFIG_TEXT, c)]),
                     "stage",
+                    f"chunk-{index}",
                 )
             if not rollback:
-                self._move(record, RolloutState.STAGED)
+                self._transition(record, RolloutState.STAGED)
             staged_digest = exchange(
-                lambda: manager.get_one(NMSL_CONFIG_DIGEST), "verify"
+                lambda: manager.get_one(NMSL_CONFIG_DIGEST), "verify", "digest"
             )
             if bytes(staged_digest) != config_fingerprint(text):
                 raise _AttemptFailed(
                     "verify", "fingerprint mismatch on staged configuration"
                 )
             if not rollback:
-                self._move(record, RolloutState.VERIFIED)
-            exchange(lambda: manager.set([(NMSL_CONFIG_APPLY, 1)]), "apply")
+                self._transition(record, RolloutState.VERIFIED)
+            if not replay_queue:
+                # WAL the in-doubt window: if we die between this record
+                # and the apply outcome, resume asks the agent whether
+                # the trigger landed instead of guessing.
+                self._journal_record({"type": "apply_intent", "element": element})
+            exchange(
+                lambda: manager.set([(NMSL_CONFIG_APPLY, 1)]), "apply", "apply"
+            )
             generation_after = exchange(
-                lambda: manager.get_one(NMSL_CONFIG_GENERATION), "confirm"
+                lambda: manager.get_one(NMSL_CONFIG_GENERATION),
+                "confirm",
+                "generation-after",
             )
             if not isinstance(generation_after, int) or (
                 isinstance(generation_before, int)
@@ -355,7 +817,7 @@ class RolloutCoordinator:
                     f"({generation_before!r} -> {generation_after!r})",
                 )
             if not rollback:
-                self._move(record, RolloutState.COMMITTED)
+                self._transition(record, RolloutState.COMMITTED)
             return None, "", elapsed, exchanges, generation_after
         except _AttemptFailed as failure:
             return failure.phase, failure.reason, elapsed, exchanges, None
@@ -363,6 +825,25 @@ class RolloutCoordinator:
     # ------------------------------------------------------------------
     # State machine enforcement.
     # ------------------------------------------------------------------
+    def _transition(self, record: ElementRollout, state: RolloutState) -> None:
+        """Journal, then apply, one state-machine move."""
+        if record.state is state:
+            return
+        if state not in TRANSITIONS[record.state]:
+            raise RolloutError(
+                f"illegal transition {record.state.value} -> {state.value} "
+                f"for {record.element}"
+            )
+        self._journal_record(
+            {
+                "type": "transition",
+                "element": record.element,
+                "from": record.state.value,
+                "to": state.value,
+            }
+        )
+        self._move(record, state)
+
     @staticmethod
     def _move(record: ElementRollout, state: RolloutState) -> None:
         if record.state is state:

@@ -1,0 +1,309 @@
+"""The durable campaign journal: a write-ahead log for rollouts.
+
+A :class:`RolloutJournal` records every observable decision a
+:class:`~repro.rollout.coordinator.RolloutCoordinator` makes — campaign
+parameters, element admissions, attempt starts, per-exchange outcomes,
+state transitions, retry decisions, and terminal outcomes — as one JSON
+object per line (JSONL).  Each line is appended with a single ``write``
+call and flushed immediately (optionally ``fsync``-ed), so a coordinator
+killed at any point leaves a prefix-consistent journal behind.
+
+The journal exists for exactly one reason: **crash-resume**.
+:meth:`RolloutCoordinator.resume` replays a journal to rebuild the
+campaign's scheduler state (which elements are waiting, in flight, or
+terminal; the logical clock; retry schedules; even a half-finished
+delivery attempt's per-exchange position) and then continues the event
+loop where the dead coordinator stopped.  Because every record carries
+logical times and the whole campaign runs under a deterministic clock,
+an interrupted-then-resumed campaign produces a
+:class:`~repro.rollout.state.RolloutReport` byte-identical to an
+uninterrupted run of the same seed.
+
+Records are schema-versioned (the leading ``campaign`` header carries
+``schema``); replay rejects unknown schema versions and skips unknown
+record types, so old journals stay readable as fields are added.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import JournalError
+from repro.rollout.state import (
+    AttemptRecord,
+    ElementRollout,
+    RolloutReport,
+    RolloutState,
+)
+
+#: Journal format version; bumped when record semantics change.
+SCHEMA_VERSION = 1
+
+
+def config_digest(text: str) -> str:
+    """Hex fingerprint of one target's configuration text (header field)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class RolloutJournal:
+    """An append-only JSONL journal, written ahead of every decision.
+
+    ``path=None`` keeps the journal in memory only (tests, and campaigns
+    that want resumability within one process without touching disk).
+    With a path, every :meth:`append` writes one complete line and
+    flushes; ``fsync=True`` additionally forces the line to stable
+    storage before returning — the classic durability/throughput trade,
+    off by default because the simulated campaigns are logical-time.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        fsync: bool = False,
+        records: Optional[List[dict]] = None,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.fsync = fsync
+        self.records: List[dict] = list(records or [])
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> dict:
+        """Durably append one record (single write + flush, fsync opt-in)."""
+        self.records.append(record)
+        if self.path is not None:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RolloutJournal":
+        """Read a journal back from disk (appends will extend the file)."""
+        records = []
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise JournalError(f"cannot read journal {path}: {exc}") from exc
+        for number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise JournalError(
+                    f"{path}:{number}: malformed journal line: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise JournalError(
+                    f"{path}:{number}: journal records must be objects"
+                )
+            records.append(record)
+        return cls(path=path, records=records)
+
+    def replay(self) -> "JournalState":
+        """Fold the record stream into a :class:`JournalState`."""
+        return JournalState.from_records(self.records, source=str(self.path))
+
+
+@dataclass
+class InterruptedAttempt:
+    """A journaled ``attempt_start`` with no completing ``attempt`` record.
+
+    The coordinator died mid-delivery; the per-exchange events say how
+    far it got, and ``apply_intent`` whether the atomic apply trigger may
+    already have reached the agent (the one exchange whose replay must
+    never be guessed — resume disambiguates it with a live generation
+    read-back).
+    """
+
+    attempt: int
+    ready_at: float
+    now: float
+    rollback: bool
+    exchanges: List[dict] = field(default_factory=list)
+    apply_intent: bool = False
+
+
+@dataclass
+class ElementJournalState:
+    """Everything the journal knows about one element."""
+
+    element: str
+    state: RolloutState = RolloutState.PENDING
+    attempts: int = 0
+    rollback_attempts: int = 0
+    generation: Optional[int] = None
+    history: List[AttemptRecord] = field(default_factory=list)
+    admitted_at: Optional[float] = None
+    next_ready: Optional[float] = None
+    interrupted: Optional[InterruptedAttempt] = None
+
+    @property
+    def started(self) -> bool:
+        return self.admitted_at is not None
+
+    def as_rollout(self) -> ElementRollout:
+        """The element's exact :class:`ElementRollout` at journal end."""
+        return ElementRollout(
+            element=self.element,
+            state=self.state,
+            attempts=self.attempts,
+            generation=self.generation,
+            history=list(self.history),
+        )
+
+
+@dataclass
+class JournalState:
+    """A replayed journal: campaign header plus per-element positions."""
+
+    header: dict
+    elements: Dict[str, ElementJournalState]
+    now: float = 0.0
+    finished: bool = False
+    duration_s: Optional[float] = None
+    events: int = 0
+
+    @classmethod
+    def from_records(
+        cls, records: List[dict], source: str = "<memory>"
+    ) -> "JournalState":
+        if not records:
+            raise JournalError(f"{source}: journal is empty")
+        header = records[0]
+        if header.get("type") != "campaign":
+            raise JournalError(
+                f"{source}: first record must be the campaign header, "
+                f"got {header.get('type')!r}"
+            )
+        schema = header.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise JournalError(
+                f"{source}: unsupported journal schema {schema!r} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        state = cls(
+            header=header,
+            elements={
+                name: ElementJournalState(name)
+                for name in header.get("elements", {})
+            },
+        )
+        for record in records[1:]:
+            state._apply(record, source)
+            state.events += 1
+        return state
+
+    def _element(self, record: dict, source: str) -> ElementJournalState:
+        name = record.get("element")
+        element = self.elements.get(name)
+        if element is None:
+            raise JournalError(
+                f"{source}: record names unknown element {name!r}"
+            )
+        return element
+
+    def _apply(self, record: dict, source: str) -> None:
+        kind = record.get("type")
+        if kind == "admit":
+            element = self._element(record, source)
+            element.admitted_at = record["at"]
+        elif kind == "attempt_start":
+            element = self._element(record, source)
+            element.interrupted = InterruptedAttempt(
+                attempt=record["attempt"],
+                ready_at=record["ready_at"],
+                now=record["now"],
+                rollback=record.get("rollback", False),
+            )
+            if element.admitted_at is None:
+                element.admitted_at = record["ready_at"]
+            self.now = max(self.now, record["now"])
+        elif kind == "exchange":
+            element = self._element(record, source)
+            if element.interrupted is not None:
+                element.interrupted.exchanges.append(record)
+        elif kind == "apply_intent":
+            element = self._element(record, source)
+            if element.interrupted is not None:
+                element.interrupted.apply_intent = True
+        elif kind == "transition":
+            element = self._element(record, source)
+            element.state = RolloutState(record["to"])
+        elif kind == "attempt":
+            element = self._element(record, source)
+            element.interrupted = None
+            element.history.append(
+                AttemptRecord(
+                    attempt=record["attempt"],
+                    phase=record["phase"],
+                    outcome=record["outcome"],
+                    at_s=record["at_s"],
+                    exchanges=record["exchanges"],
+                )
+            )
+            if record.get("rollback", False):
+                element.rollback_attempts = max(
+                    element.rollback_attempts, record["attempt"]
+                )
+            else:
+                element.attempts = max(element.attempts, record["attempt"])
+            if record.get("generation") is not None:
+                element.generation = record["generation"]
+            element.next_ready = record.get("next_ready")
+        elif kind == "end":
+            self.finished = True
+            self.duration_s = record.get("duration_s")
+        # Unknown record types (e.g. "resume" markers, future additions)
+        # are deliberately skipped: old readers stay compatible.
+
+    # ------------------------------------------------------------------
+    # Derived views.
+    # ------------------------------------------------------------------
+    def report(self) -> RolloutReport:
+        """Reconstruct the campaign's :class:`RolloutReport` so far.
+
+        For a finished journal this is byte-identical to the report the
+        live coordinator returned — the journal round-trip property the
+        test suite locks in.
+        """
+        return RolloutReport(
+            seed=self.header.get("seed", 0),
+            jobs=self.header.get("jobs", 1),
+            elements={
+                name: element.as_rollout()
+                for name, element in sorted(self.elements.items())
+            },
+            duration_s=self.duration_s or 0.0,
+        )
+
+    def committed(self) -> List[str]:
+        """Elements the journal proves committed — resume skips these."""
+        return sorted(
+            name
+            for name, element in self.elements.items()
+            if element.state is RolloutState.COMMITTED
+        )

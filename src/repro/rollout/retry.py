@@ -76,10 +76,13 @@ class RetryPolicy:
         """
         if attempt < 1:
             raise RolloutError(f"attempt numbers are 1-based, got {attempt}")
-        base = min(
-            self.base_backoff_s * (self.multiplier ** (attempt - 1)),
-            self.max_backoff_s,
-        )
+        try:
+            scaled = self.base_backoff_s * (self.multiplier ** (attempt - 1))
+        except OverflowError:
+            # Large attempt numbers overflow the float pow; the ceiling
+            # would have clamped the result anyway.
+            scaled = self.max_backoff_s
+        base = min(scaled, self.max_backoff_s)
         if not self.jitter or not base:
             return base
         draw = random.Random(f"{seed}:{key}:{attempt}").random()

@@ -42,12 +42,16 @@ NMSL_ENTERPRISE = Oid("1.3.6.1.4.1.42989")
 #: nmslConfigReset (set 1: truncate the staging buffer), nmslConfigDigest
 #: (get: SHA-256 hex fingerprint of the staged text, for read-back
 #: verification) and nmslConfigGeneration (get: how many configurations
-#: this agent has committed — the apply trigger advances it).
+#: this agent has committed since it last booted — the apply trigger
+#: advances it; a reboot resets it, which is how a reconciler notices a
+#: restart).  nmslConfigRunningDigest (get: fingerprint of the committed
+#: configuration store) is what the drift detector polls.
 NMSL_CONFIG_TEXT = NMSL_ENTERPRISE + "1.1.0"
 NMSL_CONFIG_APPLY = NMSL_ENTERPRISE + "1.2.0"
 NMSL_CONFIG_RESET = NMSL_ENTERPRISE + "1.3.0"
 NMSL_CONFIG_DIGEST = NMSL_ENTERPRISE + "1.4.0"
 NMSL_CONFIG_GENERATION = NMSL_ENTERPRISE + "1.5.0"
+NMSL_CONFIG_RUNNING_DIGEST = NMSL_ENTERPRISE + "1.6.0"
 
 #: The bootstrap community through which configuration arrives.
 ADMIN_COMMUNITY = "nmsl-admin"
@@ -148,6 +152,26 @@ class SnmpAgent:
             .encode("ascii")
         )
 
+    def running_digest(self) -> bytes:
+        """SHA-256 hex fingerprint of the persisted configuration store.
+
+        This is what drift detection polls: it covers the committed
+        (last-known-good) text, so out-of-band store corruption shows up
+        here even while the in-memory policy keeps serving.
+        """
+        text = self._last_good_config or ""
+        return hashlib.sha256(text.encode("utf-8")).hexdigest().encode("ascii")
+
+    def corrupt_store(self, mutation: str = "\n# bit-rot\n") -> None:
+        """Mutate the persisted config store out-of-band (chaos hook).
+
+        Models post-commit bit-rot or a hand edit behind the manager's
+        back: the running policy is untouched, but the stored text — the
+        one :meth:`restart` would reload and :meth:`running_digest`
+        fingerprints — has drifted.
+        """
+        self._last_good_config = (self._last_good_config or "") + mutation
+
     # ------------------------------------------------------------------
     # Crash / restart (driven by the chaos-injection harness).
     # ------------------------------------------------------------------
@@ -161,10 +185,13 @@ class SnmpAgent:
         Mirrors a real agent rereading its on-disk configuration after a
         reboot — the half-staged (uncommitted) text never survives, so a
         crash mid-rollout can only ever leave the element at its previous
-        committed configuration.
+        committed configuration.  The generation counter is in-memory on
+        real agents, so it regresses to zero here: that regression is the
+        signal a reconciler uses to notice the restart.
         """
         self.crashed = False
         self._pending_config = []
+        self.configs_applied = 0
         if self._last_good_config is not None and self._tree is not None:
             self.policy = CommunityPolicy.from_snmpd_conf(
                 self._last_good_config, self._tree
@@ -243,6 +270,7 @@ class SnmpAgent:
             NMSL_CONFIG_RESET,
             NMSL_CONFIG_DIGEST,
             NMSL_CONFIG_GENERATION,
+            NMSL_CONFIG_RUNNING_DIGEST,
         }
         if not oids & config_oids:
             return None
@@ -263,6 +291,8 @@ class SnmpAgent:
                     results.append(VarBind(binding.oid, self.configs_applied))
                 elif binding.oid == NMSL_CONFIG_DIGEST:
                     results.append(VarBind(binding.oid, self.staged_digest()))
+                elif binding.oid == NMSL_CONFIG_RUNNING_DIGEST:
+                    results.append(VarBind(binding.oid, self.running_digest()))
                 elif binding.oid == NMSL_CONFIG_RESET:
                     results.append(
                         VarBind(binding.oid, len(self._pending_config))
@@ -289,7 +319,11 @@ class SnmpAgent:
                         error_status=ErrorStatus.BAD_VALUE, error_index=index
                     )
                 self._pending_config = []
-            elif binding.oid in (NMSL_CONFIG_DIGEST, NMSL_CONFIG_GENERATION):
+            elif binding.oid in (
+                NMSL_CONFIG_DIGEST,
+                NMSL_CONFIG_GENERATION,
+                NMSL_CONFIG_RUNNING_DIGEST,
+            ):
                 return pdu.response(
                     error_status=ErrorStatus.READ_ONLY, error_index=index
                 )

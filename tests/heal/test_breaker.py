@@ -1,0 +1,118 @@
+"""Circuit breakers: deterministic trip, cool-down, half-open probing."""
+
+import pytest
+
+from repro.heal import BreakerState, CircuitBreaker
+
+
+def make(**overrides):
+    kwargs = dict(
+        element="e",
+        failure_threshold=3,
+        cooldown_s=60.0,
+        cooldown_multiplier=2.0,
+        max_cooldown_s=900.0,
+        half_open_successes=1,
+    )
+    kwargs.update(overrides)
+    return CircuitBreaker(**kwargs)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker = make()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(0.0)
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = make()
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 2
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make()
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        breaker.record_success(3.0)
+        assert breaker.consecutive_failures == 0
+        breaker.record_failure(4.0)
+        breaker.record_failure(5.0)
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestTripAndCooldown:
+    def test_threshold_trips_open(self):
+        breaker = make()
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 1
+        assert breaker.opened_at == 3.0
+
+    def test_open_blocks_until_cooldown_elapses(self):
+        breaker = make()
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert not breaker.allow(3.0)
+        assert not breaker.allow(62.9)
+        assert breaker.allow(63.0)  # 3.0 + 60s
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        breaker = make()
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert breaker.allow(63.0)
+        breaker.record_success(63.1)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+        assert breaker.opened_at is None
+
+    def test_half_open_failure_reopens_with_escalated_cooldown(self):
+        breaker = make()
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert breaker.allow(63.0)
+        breaker.record_failure(63.1)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 2
+        assert breaker.current_cooldown() == 120.0
+        assert not breaker.allow(120.0)
+        assert breaker.allow(63.1 + 120.0)
+
+    def test_cooldown_escalation_is_capped(self):
+        breaker = make(cooldown_s=100.0, max_cooldown_s=250.0)
+        breaker.opens = 5
+        assert breaker.current_cooldown() == 250.0
+
+    def test_multiple_half_open_successes_required(self):
+        breaker = make(failure_threshold=1, half_open_successes=2)
+        breaker.record_failure(0.0)
+        assert breaker.allow(60.0)
+        breaker.record_success(60.1)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(60.2)
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestTelemetry:
+    def test_gauge_values_are_stable(self):
+        breaker = make(failure_threshold=1)
+        assert breaker.gauge_value() == 0
+        breaker.record_failure(0.0)
+        assert breaker.gauge_value() == 2
+        breaker.allow(60.0)
+        assert breaker.gauge_value() == 1
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        breaker = make(failure_threshold=1)
+        breaker.record_failure(5.0)
+        payload = breaker.as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["state"] == "open"
+        assert payload["opens"] == 1
+        assert payload["opened_at"] == 5.0

@@ -1,0 +1,269 @@
+"""The heal loop: drift detection, repair, quarantine, convergence.
+
+The acceptance scenario: four elements behind chaos — ``a`` on a lossy
+link, ``b`` suffering store bit-rot, ``c`` permanently dead, ``d``
+flapping (its restarts reset the generation counter) — must reach zero
+drift on every reachable element within the round budget, quarantine the
+dead one, and do all of it byte-identically across same-seed runs.
+"""
+
+import pytest
+
+from repro import obs
+from repro.asn1.types import Asn1Module
+from repro.errors import HealError
+from repro.heal import (
+    DriftKind,
+    HealthRegistry,
+    HealthStatus,
+    Reconciler,
+)
+from repro.mib.instances import InstanceStore
+from repro.mib.mib1 import build_mib1
+from repro.netsim.faults import FaultInjector, FaultSpec
+from repro.rollout import RetryPolicy, RolloutCoordinator
+
+CONF = """view v include mgmt.mib.system
+community fleet v ReadOnly min-interval 30
+"""
+
+FAST = RetryPolicy(max_attempts=3, exchange_retries=1, base_backoff_s=0.1)
+
+#: The acceptance chaos menu, counted in messages through the injector
+#: (the heal phase only — the baseline install uses clean channels).
+CHAOS = {
+    "a": FaultSpec(loss_rate=0.1),
+    "b": FaultSpec(corrupt_store_after=0),  # bit-rot before the 1st poll
+    "c": FaultSpec(crash_after=0),  # dead from the 1st poll, never back
+    "d": FaultSpec(flap_after=2, flap_restart_after=1),
+}
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_mib1()
+
+
+def build_fleet(tree, chaos=None, seed=7):
+    """Agents with CONF installed; heal-phase channels wear the chaos."""
+    agents = {}
+    channels = {}
+    names = sorted(chaos) if chaos else ("a", "b", "c", "d")
+    for name in names:
+        store = InstanceStore(tree, module=Asn1Module())
+        from repro.snmp.agent import SnmpAgent
+
+        agents[name] = SnmpAgent(name, store, tree=tree)
+        channels[name] = agents[name].handle_octets
+    install = RolloutCoordinator(
+        channels=channels,
+        configs={n: CONF for n in names},
+        policy=FAST,
+        seed=11,
+    ).run()
+    assert install.complete
+    if chaos:
+        injector = FaultInjector(seed=seed, per_element=dict(chaos))
+        channels = {
+            name: injector.wrap(
+                name,
+                agent.handle_octets,
+                crash_hook=agent.crash,
+                restart_hook=agent.restart,
+                corrupt_hook=agent.corrupt_store,
+            )
+            for name, agent in agents.items()
+        }
+    return agents, channels
+
+
+def make_reconciler(channels, names, registry=None, **overrides):
+    kwargs = dict(
+        channels=channels,
+        configs={n: CONF for n in names},
+        policy=FAST,
+        seed=42,
+        registry=registry
+        or HealthRegistry(
+            sorted(names),
+            failure_threshold=2,
+            cooldown_s=45.0,
+            quarantine_after=2,
+        ),
+        interval_s=30.0,
+        max_rounds=12,
+        expected_generations={n: 1 for n in names},
+    )
+    kwargs.update(overrides)
+    return Reconciler(**kwargs)
+
+
+def run_acceptance(tree, seed=7):
+    agents, channels = build_fleet(tree, CHAOS, seed=seed)
+    reconciler = make_reconciler(channels, sorted(CHAOS))
+    return agents, reconciler, reconciler.run()
+
+
+class TestAcceptanceScenario:
+    def test_converges_within_the_round_budget(self, tree):
+        _, _, report = run_acceptance(tree)
+        assert report.converged
+        assert report.rounds_used <= 12
+
+    def test_every_drift_class_is_exercised(self, tree):
+        _, _, report = run_acceptance(tree)
+        kinds = {
+            (o.element, o.kind)
+            for r in report.rounds
+            for o in r.observations
+        }
+        assert ("b", DriftKind.DIGEST_MISMATCH) in kinds
+        assert ("c", DriftKind.UNREACHABLE) in kinds
+        assert ("d", DriftKind.GENERATION_REGRESSION) in kinds
+
+    def test_bit_rot_is_repaired_on_the_wire(self, tree):
+        agents, _, report = run_acceptance(tree)
+        assert "b" in {e for r in report.rounds for e in r.repaired}
+        assert agents["b"].last_good_config == CONF
+
+    def test_dead_element_is_quarantined_not_retried_forever(self, tree):
+        _, reconciler, report = run_acceptance(tree)
+        assert report.quarantined == ("c",)
+        assert (
+            reconciler.registry.status("c") is HealthStatus.QUARANTINED
+        )
+        final = report.rounds[-1]
+        for observation in final.observations:
+            assert observation.kind in (
+                DriftKind.IN_SYNC,
+                DriftKind.QUARANTINED,
+            )
+
+    def test_flap_rebaselines_generation_without_wire_work(self, tree):
+        _, _, report = run_acceptance(tree)
+        regressions = [
+            o
+            for r in report.rounds
+            for o in r.observations
+            if o.kind == DriftKind.GENERATION_REGRESSION
+        ]
+        assert regressions and all(o.repaired for o in regressions)
+        # Generation regressions are never re-driven (no redundant
+        # campaign): only digest mismatches enter the redrive list.
+        for round_ in report.rounds:
+            assert "d" not in round_.redriven
+
+    def test_drift_accounting_balances(self, tree):
+        _, _, report = run_acceptance(tree)
+        assert report.drift_detected() >= 2
+        assert report.drift_repaired() == report.drift_detected()
+
+    def test_same_seed_runs_are_byte_identical(self, tree):
+        def artifacts():
+            with obs.scope(clock=obs.LogicalClock()) as session:
+                _, _, report = run_acceptance(tree)
+                return (
+                    report.to_json(),
+                    session.metrics.snapshot_json(),
+                    session.tracer.to_jsonl(),
+                )
+
+        first = artifacts()
+        second = artifacts()
+        assert first[0] == second[0], "heal reports differ between runs"
+        assert first[1] == second[1], "metrics snapshots differ"
+        assert first[2] == second[2], "traces differ"
+
+    def test_heal_metrics_are_published(self, tree):
+        import json
+
+        with obs.scope(clock=obs.LogicalClock()) as session:
+            run_acceptance(tree)
+            metrics = json.loads(session.metrics.snapshot_json())
+        assert "repro_heal_polls_total" in metrics
+        assert "repro_heal_rounds_total" in metrics
+        assert "repro_heal_drift_detected_total" in metrics
+        assert "repro_heal_drift_repaired_total" in metrics
+        assert "repro_heal_breaker_state" in metrics
+        assert "repro_heal_quarantined_total" in metrics
+
+
+class TestQuietNetwork:
+    def test_clean_fleet_converges_in_one_round(self, tree):
+        _, channels = build_fleet(tree)
+        report = make_reconciler(channels, ("a", "b", "c", "d")).run()
+        assert report.converged
+        assert report.rounds_used == 1
+        assert report.drift_detected() == 0
+
+    def test_rounds_override_caps_the_budget(self, tree):
+        _, channels = build_fleet(tree)
+        report = make_reconciler(channels, ("a", "b", "c", "d")).run(rounds=1)
+        assert report.rounds_used == 1
+
+
+class TestSingleFaultScenarios:
+    def test_manual_store_corruption_is_detected_and_repaired(self, tree):
+        agents, channels = build_fleet(tree, chaos={"a": FaultSpec()})
+        agents["a"].corrupt_store()
+        report = make_reconciler(channels, ("a",)).run()
+        assert report.converged
+        first = report.rounds[0].observations[0]
+        assert first.kind == DriftKind.DIGEST_MISMATCH
+        assert report.rounds[0].redriven == ("a",)
+        assert agents["a"].last_good_config == CONF
+
+    def test_agent_restart_is_a_benign_regression(self, tree):
+        agents, channels = build_fleet(tree, chaos={"a": FaultSpec()})
+        agents["a"].restart()
+        report = make_reconciler(channels, ("a",)).run()
+        assert report.converged
+        first = report.rounds[0].observations[0]
+        assert first.kind == DriftKind.GENERATION_REGRESSION
+        assert first.repaired
+        assert report.rounds[0].redriven == ()  # no wire work
+
+    def test_unreachable_without_quarantine_budget_does_not_converge(
+        self, tree
+    ):
+        _, channels = build_fleet(
+            tree, chaos={"a": FaultSpec(crash_after=0)}
+        )
+        registry = HealthRegistry(
+            ("a",), failure_threshold=99, cooldown_s=1.0
+        )
+        report = make_reconciler(
+            channels, ("a",), registry=registry, max_rounds=3
+        ).run()
+        assert not report.converged
+        assert report.quarantined == ()
+
+    def test_pre_quarantined_elements_are_never_polled(self, tree):
+        _, channels = build_fleet(tree, chaos={"a": FaultSpec()})
+        polled = []
+        original = channels["a"]
+        channels["a"] = lambda octets: polled.append(1) or original(octets)
+        registry = HealthRegistry(("a",))
+        registry.quarantine("a")
+        report = make_reconciler(channels, ("a",), registry=registry).run()
+        assert report.converged  # all-quarantined counts as settled
+        assert polled == []
+        assert report.rounds[0].observations[0].kind == DriftKind.QUARANTINED
+
+
+class TestValidation:
+    def test_missing_channel_rejected(self, tree):
+        with pytest.raises(HealError):
+            Reconciler(channels={}, configs={"a": CONF})
+
+    def test_bad_round_budget_rejected(self, tree):
+        _, channels = build_fleet(tree, chaos={"a": FaultSpec()})
+        with pytest.raises(HealError):
+            make_reconciler(channels, ("a",), max_rounds=0)
+        with pytest.raises(HealError):
+            make_reconciler(channels, ("a",)).run(rounds=0)
+
+    def test_bad_interval_rejected(self, tree):
+        _, channels = build_fleet(tree, chaos={"a": FaultSpec()})
+        with pytest.raises(HealError):
+            make_reconciler(channels, ("a",), interval_s=0.0)

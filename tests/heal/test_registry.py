@@ -1,0 +1,92 @@
+"""The health registry: statuses, auto-quarantine, operator release."""
+
+from repro.heal import HealthRegistry, HealthStatus
+
+
+def make(**overrides):
+    kwargs = dict(
+        elements=("a", "b"),
+        failure_threshold=2,
+        cooldown_s=10.0,
+        quarantine_after=2,
+    )
+    kwargs.update(overrides)
+    return HealthRegistry(**kwargs)
+
+
+class TestStatuses:
+    def test_fresh_elements_are_healthy(self):
+        registry = make()
+        assert registry.status("a") is HealthStatus.HEALTHY
+        assert registry.allow("a", 0.0)
+
+    def test_failures_degrade(self):
+        registry = make()
+        registry.note_failure("a", 1.0)
+        assert registry.status("a") is HealthStatus.DEGRADED
+        assert registry.status("b") is HealthStatus.HEALTHY
+        assert registry.allow("a", 1.0)  # degraded is still contactable
+
+    def test_success_restores_health(self):
+        registry = make()
+        registry.note_failure("a", 1.0)
+        registry.note_success("a", 2.0)
+        assert registry.status("a") is HealthStatus.HEALTHY
+
+    def test_open_breaker_blocks_contact(self):
+        registry = make()
+        registry.note_failure("a", 1.0)
+        registry.note_failure("a", 2.0)  # threshold 2 -> open
+        assert registry.status("a") is HealthStatus.DEGRADED
+        assert not registry.allow("a", 2.0)
+        assert registry.allow("a", 12.0)  # cool-down elapsed -> half-open
+
+
+class TestQuarantine:
+    def trip_twice(self, registry, element):
+        registry.note_failure(element, 1.0)
+        registry.note_failure(element, 2.0)  # open #1
+        assert registry.allow(element, 12.0)  # half-open probe
+        registry.note_failure(element, 12.5)  # open #2 -> quarantine
+
+    def test_auto_quarantine_after_repeated_opens(self):
+        registry = make()
+        self.trip_twice(registry, "a")
+        assert registry.is_quarantined("a")
+        assert registry.status("a") is HealthStatus.QUARANTINED
+        assert registry.quarantined() == ["a"]
+        assert not registry.allow("a", 1e9)  # no amount of waiting helps
+
+    def test_manual_quarantine(self):
+        registry = make()
+        registry.quarantine("b")
+        assert registry.is_quarantined("b")
+        registry.quarantine("b")  # idempotent
+        assert registry.quarantined() == ["b"]
+
+    def test_release_resets_the_breaker(self):
+        registry = make()
+        self.trip_twice(registry, "a")
+        registry.release("a")
+        assert not registry.is_quarantined("a")
+        assert registry.status("a") is HealthStatus.HEALTHY
+        assert registry.breaker("a").opens == 0
+        assert registry.allow("a", 0.0)
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_json_ready(self):
+        import json
+
+        registry = make(elements=("b", "a"))
+        registry.note_failure("b", 1.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "b"]
+        assert snapshot["a"]["status"] == "healthy"
+        assert snapshot["b"]["status"] == "degraded"
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_unknown_elements_get_breakers_lazily(self):
+        registry = make(elements=())
+        assert registry.status("new") is HealthStatus.HEALTHY
+        assert "new" in registry.snapshot()

@@ -1,0 +1,156 @@
+"""Per-kind unit tests for the chaos injector's stateful faults.
+
+``flap`` and ``corrupt_store`` join the menu in this PR; each is pinned
+down at the channel level with a counting stub, plus one test against a
+real :class:`SnmpAgent` for the store-corruption semantics the
+reconciler relies on (digest drifts, running policy keeps serving).
+"""
+
+import pytest
+
+from repro.asn1.types import Asn1Module
+from repro.errors import DeliveryError
+from repro.mib.instances import InstanceStore
+from repro.mib.mib1 import build_mib1
+from repro.netsim.faults import FaultInjector, FaultSpec
+from repro.rollout import RetryPolicy, RolloutCoordinator
+from repro.snmp.agent import SnmpAgent
+
+CONF = """view v include mgmt.mib.system
+community fleet v ReadOnly min-interval 30
+"""
+
+
+def make_channel(spec, crash_hook=None, restart_hook=None, corrupt_hook=None):
+    injector = FaultInjector(seed=1, per_element={"e": spec})
+    delivered = []
+
+    def send(octets):
+        delivered.append(octets)
+        return b"response"
+
+    wrapped = injector.wrap(
+        "e",
+        send,
+        crash_hook=crash_hook,
+        restart_hook=restart_hook,
+        corrupt_hook=corrupt_hook,
+    )
+    return wrapped, delivered, injector
+
+
+class TestFlap:
+    def test_crashes_after_n_messages_since_up(self):
+        crashes = []
+        send, delivered, injector = make_channel(
+            FaultSpec(flap_after=3), crash_hook=lambda: crashes.append(1)
+        )
+        for _ in range(3):
+            assert send(b"x") == b"response"
+        with pytest.raises(DeliveryError):
+            send(b"x")
+        assert len(delivered) == 3
+        assert crashes == [1]
+        assert injector.injected["e"]["flap"] == 1
+
+    def test_restarts_after_flap_restart_after_attempts(self):
+        restarts = []
+        send, delivered, injector = make_channel(
+            FaultSpec(flap_after=1, flap_restart_after=2),
+            restart_hook=lambda: restarts.append(1),
+        )
+        assert send(b"x") == b"response"
+        with pytest.raises(DeliveryError):  # the flap itself
+            send(b"x")
+        with pytest.raises(DeliveryError):  # down, attempt 1 of 2
+            send(b"x")
+        assert send(b"x") == b"response"  # attempt 2 restarts + delivers
+        assert restarts == [1]
+        assert injector.injected["e"]["restart"] == 1
+
+    def test_flap_recurs_indefinitely(self):
+        send, _, injector = make_channel(
+            FaultSpec(flap_after=2, flap_restart_after=1)
+        )
+        outcomes = []
+        for _ in range(12):
+            try:
+                send(b"x")
+                outcomes.append("ok")
+            except DeliveryError:
+                outcomes.append("down")
+        # up 2, down (flap), restart+deliver, up 1 more, flap again...
+        assert injector.injected["e"]["flap"] >= 2
+        assert injector.injected["e"]["restart"] >= 2
+        assert outcomes.count("ok") >= 6
+
+    def test_falls_back_to_restart_after_when_unset(self):
+        send, _, injector = make_channel(
+            FaultSpec(flap_after=1, restart_after=1)
+        )
+        assert send(b"x") == b"response"
+        with pytest.raises(DeliveryError):
+            send(b"x")
+        assert send(b"x") == b"response"
+        assert injector.injected["e"]["restart"] == 1
+
+    def test_without_restart_the_element_stays_down(self):
+        send, _, _ = make_channel(FaultSpec(flap_after=1))
+        assert send(b"x") == b"response"
+        for _ in range(5):
+            with pytest.raises(DeliveryError):
+                send(b"x")
+
+
+class TestCorruptStore:
+    def test_fires_once_after_nth_delivery(self):
+        corruptions = []
+        send, _, injector = make_channel(
+            FaultSpec(corrupt_store_after=2),
+            corrupt_hook=lambda: corruptions.append(1),
+        )
+        send(b"x")
+        send(b"x")
+        assert corruptions == []  # armed, not yet fired
+        for _ in range(4):
+            send(b"x")
+        assert corruptions == [1]  # one-shot
+        assert injector.injected["e"]["corrupt_store"] == 1
+
+    def test_zero_threshold_fires_before_first_delivery(self):
+        corruptions = []
+        send, delivered, _ = make_channel(
+            FaultSpec(corrupt_store_after=0),
+            corrupt_hook=lambda: corruptions.append(1),
+        )
+        send(b"x")
+        assert corruptions == [1]
+        assert len(delivered) == 1
+
+    def test_fires_even_while_the_agent_is_down(self):
+        corruptions = []
+        send, _, _ = make_channel(
+            FaultSpec(crash_after=1, corrupt_store_after=1),
+            corrupt_hook=lambda: corruptions.append(1),
+        )
+        send(b"x")
+        with pytest.raises(DeliveryError):  # crash fires
+            send(b"x")
+        assert corruptions == [1]  # bit-rot is out-of-band
+
+    def test_agent_store_corruption_drifts_digest_not_policy(self):
+        tree = build_mib1()
+        store = InstanceStore(tree, module=Asn1Module())
+        agent = SnmpAgent("e", store, tree=tree)
+        report = RolloutCoordinator(
+            channels={"e": agent.handle_octets},
+            configs={"e": CONF},
+            policy=RetryPolicy(max_attempts=2),
+        ).run()
+        assert report.complete
+        before = agent.running_digest()
+        agent.corrupt_store()
+        assert agent.running_digest() != before
+        assert agent.last_good_config != CONF
+        # The running policy was compiled before the bit-rot: it serves on.
+        assert agent.policy.communities() == ("fleet",)

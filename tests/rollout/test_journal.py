@@ -1,0 +1,231 @@
+"""The durable campaign journal and crash-resume.
+
+Acceptance criteria exercised here:
+
+* a finished journal replays to a byte-identical ``RolloutReport``;
+* killing the coordinator after the N-th journal append and resuming
+  from the journal yields a byte-identical report at **every** crash
+  point of a clean campaign (the surviving agents keep their state —
+  only the coordinator process died);
+* under lossy chaos the same holds except at provably *in-doubt* crash
+  points (an apply intent was journaled but no apply success), where
+  resume must probe the element live and thereby consumes fault RNG;
+* resume never applies a configuration twice — each agent ends at the
+  same generation as the uninterrupted baseline;
+* a journal from a different campaign (seed, configs, policy) is
+  rejected.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asn1.types import Asn1Module
+from repro.errors import CoordinatorCrash, JournalError
+from repro.mib.instances import InstanceStore
+from repro.mib.mib1 import build_mib1
+from repro.netsim.faults import FaultInjector, FaultSpec
+from repro.rollout import (
+    JournalState,
+    RetryPolicy,
+    RolloutCoordinator,
+    RolloutJournal,
+)
+from repro.snmp.agent import SnmpAgent
+
+CONF_NEW = """view v include mgmt.mib.system
+community fleet v ReadOnly min-interval 30
+"""
+
+FAST = RetryPolicy(max_attempts=3, exchange_retries=1, base_backoff_s=0.1)
+
+NAMES = ("a", "b", "c")
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_mib1()
+
+
+def fresh_fleet(tree, spec=None, seed=7):
+    """Three agents, optionally behind per-element chaos."""
+    agents = {}
+    channels = {}
+    for name in NAMES:
+        store = InstanceStore(tree, module=Asn1Module())
+        agent = SnmpAgent(name, store, tree=tree)
+        send = agent.handle_octets
+        if spec is not None:
+            injector = FaultInjector(seed=seed, per_element={name: spec})
+            send = injector.wrap(
+                name,
+                send,
+                crash_hook=agent.crash,
+                restart_hook=agent.restart,
+            )
+        agents[name] = agent
+        channels[name] = send
+    return agents, channels
+
+
+def coordinator_for(channels, journal=None, crash_after=None, **overrides):
+    kwargs = dict(
+        channels=channels,
+        configs={n: CONF_NEW for n in NAMES},
+        policy=FAST,
+        jobs=2,
+        seed=42,
+        journal=journal,
+        crash_coordinator_after=crash_after,
+    )
+    kwargs.update(overrides)
+    return RolloutCoordinator(**kwargs)
+
+
+def in_doubt_points(journal):
+    """Crash points whose interrupted attempt has an unresolved apply."""
+    points = set()
+    for crash_at in range(1, len(journal)):
+        state = JournalState.from_records(journal.records[:crash_at])
+        for element in state.elements.values():
+            interrupted = element.interrupted
+            if interrupted is None or not interrupted.apply_intent:
+                continue
+            applied = any(
+                exchange.get("op") == "apply"
+                and exchange.get("outcome") == "ok"
+                for exchange in interrupted.exchanges
+            )
+            if not applied:
+                points.add(crash_at)
+    return points
+
+
+def sweep(tree, spec):
+    """Crash at every journal event; resume; compare against baseline."""
+    base_journal = RolloutJournal()
+    baseline = coordinator_for(
+        fresh_fleet(tree, spec)[1], journal=base_journal
+    ).run()
+    base_json = baseline.to_json()
+
+    mismatches = []
+    for crash_at in range(1, len(base_journal)):
+        agents, channels = fresh_fleet(tree, spec)
+        journal = RolloutJournal()
+        with pytest.raises(CoordinatorCrash):
+            coordinator_for(channels, journal=journal, crash_after=crash_at).run()
+        resumed = coordinator_for(channels).resume(journal)
+        if resumed.to_json() != base_json:
+            mismatches.append(crash_at)
+        for name, record in resumed.elements.items():
+            # No duplicate apply: the agent sits exactly at the reported
+            # generation, however the campaign was interrupted.
+            assert agents[name].configs_applied == record.generation, (
+                f"crash_at={crash_at}: {name} applied "
+                f"{agents[name].configs_applied} times, reported "
+                f"generation {record.generation}"
+            )
+    return baseline, base_journal, mismatches
+
+
+class TestRoundTrip:
+    def test_finished_journal_replays_to_identical_report(self, tree):
+        journal = RolloutJournal()
+        report = coordinator_for(fresh_fleet(tree)[1], journal=journal).run()
+        state = journal.replay()
+        assert state.finished
+        assert state.report().to_json() == report.to_json()
+
+    def test_file_backed_journal_survives_reload(self, tree, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        journal = RolloutJournal(path=path, fsync=True)
+        report = coordinator_for(fresh_fleet(tree)[1], journal=journal).run()
+        journal.close()
+        reloaded = RolloutJournal.load(path)
+        assert reloaded.replay().report().to_json() == report.to_json()
+
+    def test_unknown_record_types_are_skipped(self, tree):
+        journal = RolloutJournal()
+        report = coordinator_for(fresh_fleet(tree)[1], journal=journal).run()
+        journal.records.insert(1, {"type": "future-extension", "x": 1})
+        assert journal.replay().report().to_json() == report.to_json()
+
+
+class TestCrashResume:
+    def test_clean_campaign_resumes_byte_identical_everywhere(self, tree):
+        baseline, journal, mismatches = sweep(tree, spec=None)
+        assert baseline.complete
+        assert len(journal) >= 10  # well over the three required points
+        assert mismatches == []
+
+    def test_lossy_campaign_resumes_identical_outside_in_doubt(self, tree):
+        spec = FaultSpec(loss_rate=0.3)
+        baseline, journal, mismatches = sweep(tree, spec)
+        assert baseline.complete
+        unexplained = [
+            point
+            for point in mismatches
+            if point not in in_doubt_points(journal)
+        ]
+        assert unexplained == []
+
+    def test_resume_of_finished_journal_is_a_no_op(self, tree):
+        journal = RolloutJournal()
+        agents, channels = fresh_fleet(tree)
+        report = coordinator_for(channels, journal=journal).run()
+        resumed = coordinator_for(channels).resume(journal)
+        assert resumed.to_json() == report.to_json()
+        for name, agent in agents.items():
+            assert agent.configs_applied == 1
+
+
+class TestValidation:
+    def test_seed_mismatch_rejected(self, tree):
+        journal = RolloutJournal()
+        _, channels = fresh_fleet(tree)
+        with pytest.raises(CoordinatorCrash):
+            coordinator_for(channels, journal=journal, crash_after=3).run()
+        with pytest.raises(JournalError):
+            coordinator_for(channels, seed=43).resume(journal)
+
+    def test_config_drift_rejected(self, tree):
+        journal = RolloutJournal()
+        _, channels = fresh_fleet(tree)
+        with pytest.raises(CoordinatorCrash):
+            coordinator_for(channels, journal=journal, crash_after=3).run()
+        with pytest.raises(JournalError):
+            coordinator_for(
+                channels, configs={n: CONF_NEW + "# v2\n" for n in NAMES}
+            ).resume(journal)
+
+    def test_policy_mismatch_rejected(self, tree):
+        journal = RolloutJournal()
+        _, channels = fresh_fleet(tree)
+        with pytest.raises(CoordinatorCrash):
+            coordinator_for(channels, journal=journal, crash_after=3).run()
+        with pytest.raises(JournalError):
+            coordinator_for(
+                channels, policy=RetryPolicy(max_attempts=9)
+            ).resume(journal)
+
+
+class TestJournalProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        chunk_size=st.integers(min_value=5, max_value=256),
+        jobs=st.integers(min_value=1, max_value=4),
+    )
+    def test_round_trip_for_arbitrary_campaigns(self, tree, seed, chunk_size, jobs):
+        journal = RolloutJournal()
+        _, channels = fresh_fleet(tree)
+        report = coordinator_for(
+            channels,
+            journal=journal,
+            seed=seed,
+            chunk_size=chunk_size,
+            jobs=jobs,
+        ).run()
+        state = journal.replay()
+        assert state.finished
+        assert state.report().to_json() == report.to_json()

@@ -70,3 +70,82 @@ class TestBackoff:
         schedule = policy.schedule(key="x", seed=1)
         assert len(schedule) == 4
         assert list(schedule) == sorted(schedule)  # monotone growth
+
+
+class TestEdgeCases:
+    def test_single_attempt_policy_has_an_empty_schedule(self):
+        policy = RetryPolicy(max_attempts=1)
+        assert policy.schedule(key="x", seed=1) == ()
+
+    def test_huge_attempt_numbers_stay_at_the_ceiling(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.5, multiplier=2.0, jitter=0.0, max_backoff_s=30.0
+        )
+        assert policy.backoff(10_000) == 30.0
+
+    def test_jittered_backoff_never_exceeds_ceiling_plus_jitter(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0, multiplier=3.0, jitter=0.2, max_backoff_s=10.0
+        )
+        for attempt in range(1, 50):
+            delay = policy.backoff(attempt, key="k", seed=5)
+            assert delay < 10.0 * 1.2
+
+    def test_zero_base_backoff_stays_zero_despite_jitter(self):
+        policy = RetryPolicy(base_backoff_s=0.0, jitter=0.5)
+        assert policy.backoff(1, key="k", seed=5) == 0.0
+        assert policy.backoff(7, key="k", seed=5) == 0.0
+
+    def test_jitter_is_a_pure_function_not_instance_state(self):
+        first = RetryPolicy(jitter=0.5)
+        second = RetryPolicy(jitter=0.5)
+        # Draining one policy's "sequence" must not shift the other's.
+        for attempt in range(1, 10):
+            first.backoff(attempt, key="a", seed=1)
+        assert first.backoff(3, key="a", seed=1) == second.backoff(
+            3, key="a", seed=1
+        )
+
+    def test_attempt_cap_exhaustion_dead_letters_and_rolls_back(self):
+        from repro.asn1.types import Asn1Module
+        from repro.errors import DeliveryTimeout
+        from repro.mib.instances import InstanceStore
+        from repro.mib.mib1 import build_mib1
+        from repro.rollout import RolloutCoordinator, RolloutState
+        from repro.snmp.agent import SnmpAgent
+
+        tree = build_mib1()
+        store = InstanceStore(tree, module=Asn1Module())
+        agent = SnmpAgent("a", store, tree=tree)
+        calls = {"n": 0}
+
+        def black_hole(octets):
+            calls["n"] += 1
+            raise DeliveryTimeout("void")
+
+        policy = RetryPolicy(
+            max_attempts=3,
+            exchange_retries=1,
+            base_backoff_s=0.1,
+            rollback_attempts=2,
+        )
+        report = RolloutCoordinator(
+            channels={"a": black_hole},
+            configs={
+                "a": "view v include mgmt.mib.system\n"
+                "community fleet v ReadOnly min-interval 30\n"
+            },
+            last_known_good={
+                "a": "view v include mgmt.mib.system\n"
+                "community ops v ReadOnly min-interval 60\n"
+            },
+            policy=policy,
+        ).run()
+        record = report.elements["a"]
+        assert record.state is RolloutState.FAILED
+        assert record.attempts == policy.max_attempts
+        assert report.dead_letter() == ("a",)
+        # Each delivery attempt costs 1 + exchange_retries transmissions
+        # of the first exchange; the rollback budget spends on top.
+        forward = policy.max_attempts * (1 + policy.exchange_retries)
+        assert calls["n"] > forward

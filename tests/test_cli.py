@@ -215,6 +215,199 @@ class TestRollout:
         assert main(["rollout", str(bad)]) == 2
 
 
+class TestRolloutJournal:
+    def test_crash_then_resume_completes_campaign(
+        self, paper_file, tmp_path, capsys
+    ):
+        journal = tmp_path / "campaign.jsonl"
+        assert (
+            main(
+                [
+                    "rollout",
+                    str(paper_file),
+                    "--journal",
+                    str(journal),
+                    "--chaos-crash-coordinator",
+                    "9",
+                ]
+            )
+            == 2
+        )
+        assert "coordinator killed" in capsys.readouterr().err
+        assert journal.exists()
+        assert (
+            main(
+                ["rollout", str(paper_file), "--journal", str(journal), "--resume"]
+            )
+            == 0
+        )
+        assert "2/2 committed" in capsys.readouterr().out
+
+    def test_resume_without_journal_is_usage_error(self, paper_file, capsys):
+        assert main(["rollout", str(paper_file), "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_fresh_run_truncates_stale_journal(
+        self, paper_file, tmp_path, capsys
+    ):
+        import json
+
+        journal = tmp_path / "campaign.jsonl"
+        for _ in range(2):
+            assert (
+                main(["rollout", str(paper_file), "--journal", str(journal)])
+                == 0
+            )
+            capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in journal.read_text().splitlines()
+            if line
+        ]
+        assert sum(1 for r in records if r["type"] == "campaign") == 1
+        assert records[-1]["type"] == "end"
+
+
+class TestHeal:
+    def test_clean_network_converges_in_one_round(self, paper_file, capsys):
+        assert (
+            main(["heal", str(paper_file), "--install", "--rounds", "3"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "converged after 1 round(s)" in out
+
+    def test_corrupt_store_detected_and_repaired(self, paper_file, capsys):
+        assert (
+            main(
+                [
+                    "heal",
+                    str(paper_file),
+                    "--install",
+                    "--rounds",
+                    "8",
+                    "--chaos-corrupt-store",
+                    "romano.cs.wisc.edu:0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "digest-mismatch" in out
+        assert "1 repaired" in out
+
+    def test_unconverged_drift_exits_one(self, paper_file, capsys):
+        # A permanently dead element with an absurdly patient breaker
+        # stays unreachable (never quarantined) past the round budget.
+        assert (
+            main(
+                [
+                    "heal",
+                    str(paper_file),
+                    "--install",
+                    "--rounds",
+                    "2",
+                    "--chaos-crash",
+                    "romano.cs.wisc.edu:0",
+                    "--failure-threshold",
+                    "99",
+                ]
+            )
+            == 1
+        )
+        assert "unreachable" in capsys.readouterr().out
+
+    def test_json_report(self, paper_file, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "heal",
+                    str(paper_file),
+                    "--install",
+                    "--rounds",
+                    "3",
+                    "--report",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["converged"] is True
+        assert report["rounds"]
+
+
+class TestVerifyRuntime:
+    @pytest.fixture
+    def campus_file(self, tmp_path):
+        path = tmp_path / "campus.nmsl"
+        path.write_text(campus_internet())
+        return path
+
+    def test_adherent_network_exits_zero(self, campus_file, capsys):
+        assert (
+            main(["verify-runtime", str(campus_file), "--duration", "1800"])
+            == 0
+        )
+        assert "adheres" in capsys.readouterr().out
+
+    def test_misbehaving_manager_exits_one(self, campus_file, capsys):
+        assert (
+            main(
+                [
+                    "verify-runtime",
+                    str(campus_file),
+                    "--duration",
+                    "1800",
+                    "--misbehave",
+                    "nocMonitor@noc-domain#1:5",
+                ]
+            )
+            == 1
+        )
+        assert "VIOLATES" in capsys.readouterr().out
+
+    def test_json_format(self, campus_file, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "verify-runtime",
+                    str(campus_file),
+                    "--duration",
+                    "1800",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["adheres"] is True
+        assert payload["observed_queries"] > 0
+
+    def test_malformed_misbehave_exits_two(self, campus_file, capsys):
+        assert (
+            main(
+                [
+                    "verify-runtime",
+                    str(campus_file),
+                    "--misbehave",
+                    "noc:fast",
+                ]
+            )
+            == 2
+        )
+        assert "misbehave" in capsys.readouterr().err
+
+    def test_compile_failure_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.nmsl"
+        bad.write_text("process broken ::= supports")
+        assert main(["verify-runtime", str(bad)]) == 2
+
+
 class TestExtensions:
     def test_extension_file(self, tmp_path, capsys):
         ext = tmp_path / "billing.nmslx"

@@ -59,6 +59,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import sys
+from collections import Counter
 from pathlib import Path
 from typing import Iterator, Optional, Sequence
 
@@ -162,7 +163,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="shard the consistency reduction step per administrative "
-        "domain across N worker threads (closure engines only)",
+        "domain across N worker processes (closure engines only; "
+        "verdicts are byte-identical to a serial check)",
     )
     parser.add_argument(
         "--output",
@@ -1159,20 +1161,33 @@ def _diff_against(args, compiler, result) -> int:
     checker = DeltaChecker(compiler.tree)
     old_outcome = checker.check(old_result.specification)
     new_outcome = checker.check(result.specification)
-    old_problems = {p.message for p in old_outcome.inconsistencies}
-    new_problems = {p.message for p in new_outcome.inconsistencies}
+    # Count problems by (kind, message, causes) — headline messages
+    # alone collide (every uncoverable reference says "no instantiated
+    # server ..."), which would let a breaking change slip through as
+    # "0 introduced" whenever an identical-looking problem already
+    # existed elsewhere.
+    def problem_counts(outcome):
+        return Counter(
+            (p.kind.value, p.message, p.causes)
+            for p in outcome.inconsistencies
+        )
+
+    old_problems = problem_counts(old_outcome)
+    new_problems = problem_counts(new_outcome)
     introduced = new_problems - old_problems
     fixed = old_problems - new_problems
     print(
-        f"--- verdict: {len(introduced)} problem(s) introduced, "
-        f"{len(fixed)} fixed "
+        f"--- verdict: {sum(introduced.values())} problem(s) introduced, "
+        f"{sum(fixed.values())} fixed "
         f"(re-checked {new_outcome.stats.get('rechecked', '?')} of "
         f"{new_outcome.stats.get('references', '?')} references) ---"
     )
-    for message in sorted(introduced):
-        print(f"introduced: {message}")
-    for message in sorted(fixed):
-        print(f"fixed:      {message}")
+    for (kind, message, _causes), count in sorted(introduced.items()):
+        suffix = f" (x{count})" if count > 1 else ""
+        print(f"introduced: [{kind}] {message}{suffix}")
+    for (kind, message, _causes), count in sorted(fixed.items()):
+        suffix = f" (x{count})" if count > 1 else ""
+        print(f"fixed:      [{kind}] {message}{suffix}")
     return 1 if introduced else 0
 
 

@@ -40,6 +40,8 @@ engines; ``ConsistencyChecker.recheck`` is the incremental API used by
 from __future__ import annotations
 
 import dataclasses
+import gc
+import multiprocessing
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -73,6 +75,47 @@ from repro.nmsl.specs import Specification, PUBLIC_DOMAIN
 #: Below this many references a shard pool costs more than it saves.
 _MIN_REFERENCES_PER_JOB = 64
 
+#: Fork-inherited state for reduction workers: (checker, facts, buckets).
+#: Set immediately before the pool forks and cleared after the merge, so
+#: workers read the parent's checker without pickling the fact set.
+_WORKER_STATE: Optional[Tuple] = None
+
+
+def _reduce_shard_worker(bucket_index: int):
+    """Reduce one shard bucket inside a forked worker process.
+
+    Returns ``(verdicts, tallies)``: the per-position verdict tuples and
+    the memo/index counter deltas this worker accrued, which the parent
+    folds back into its own tallies so obs metrics aggregate across
+    workers.  Module-level so the fork-context pool can name it.
+    """
+    checker, facts, buckets = _WORKER_STATE
+    hits_before = dict(checker._memo_hits)
+    misses_before = dict(checker._memo_misses)
+    index = (
+        checker._permission_index(facts)
+        if checker._engine == "indexed"
+        else None
+    )
+    index_before = (index.hits, index.misses) if index is not None else (0, 0)
+    results = [
+        (position, checker._reference_problems(reference, facts))
+        for position, reference in buckets[bucket_index]
+    ]
+    tallies = {
+        "memo_hits": {
+            memo: checker._memo_hits[memo] - hits_before[memo]
+            for memo in checker._memo_hits
+        },
+        "memo_misses": {
+            memo: checker._memo_misses[memo] - misses_before[memo]
+            for memo in checker._memo_misses
+        },
+        "index_hits": (index.hits - index_before[0]) if index else 0,
+        "index_misses": (index.misses - index_before[1]) if index else 0,
+    }
+    return results, tallies
+
 
 class ConsistencyChecker:
     """Closure-based consistency checking over a typed specification."""
@@ -85,6 +128,7 @@ class ConsistencyChecker:
         *,
         engine: str = "indexed",
         generator: Optional[IncrementalFactGenerator] = None,
+        shard_threshold: Optional[int] = None,
     ):
         if engine not in ("indexed", "scan"):
             raise ValueError(f"unknown consistency engine {engine!r}")
@@ -95,11 +139,20 @@ class ConsistencyChecker:
         self._generator = generator or (
             IncrementalFactGenerator(tree) if engine == "indexed" else None
         )
+        #: Minimum pending references before ``jobs`` shards the
+        #: reduction; overridable so the sharding oracle tests can force
+        #: multi-process reduction on small corpora.
+        self._shard_threshold = (
+            _MIN_REFERENCES_PER_JOB if shard_threshold is None
+            else shard_threshold
+        )
         self._facts: Optional[FactSet] = None
-        self._facts_fingerprint: Optional[int] = None
+        self._facts_fingerprint: Optional[Tuple] = None
         self._view_cache: Dict[Tuple[str, ...], MibView] = {}
-        #: reference key -> verdict tuple from the last check (recheck fuel).
-        self._verdicts: Dict[Tuple, Tuple[Inconsistency, ...]] = {}
+        #: Verdicts of the last check, aligned by position with the
+        #: reference list they were computed over (recheck fuel).
+        self._verdict_list: Optional[List[Tuple[Inconsistency, ...]]] = None
+        self._checked_references: Optional[List[Reference]] = None
         # Per-fact-set state (reset whenever the fingerprint changes):
         self._index: Optional[PermissionIndex] = None
         self._candidate_memo: Dict[str, Tuple] = {}
@@ -108,6 +161,13 @@ class ConsistencyChecker:
         self._cover_memo: Dict[Tuple[int, int], bool] = {}
         self._fit_memo: Dict[Tuple[int, int], Tuple] = {}
         self._memo_pins: List[MibView] = []  # keep ids in the memos alive
+        #: Instantiation verdicts for the current fact-set object; an
+        #: exports-only patch leaves instances and views untouched, so
+        #: the recheck path reuses these instead of re-walking every
+        #: instance (identity-keyed: regeneration makes a new FactSet).
+        self._instantiation_memo: Optional[
+            Tuple[FactSet, Tuple[Inconsistency, ...], Tuple[str, ...]]
+        ] = None
         # Plain-int memo tallies — cheap enough to keep unconditionally;
         # published to repro.obs after each check when enabled.
         self._memo_hits: Dict[str, int] = {
@@ -137,15 +197,16 @@ class ConsistencyChecker:
         with.
         """
         fp_tuple = self._spec.fingerprint_tuple()
-        fingerprint = hash(fp_tuple)
-        if self._facts is None or fingerprint != self._facts_fingerprint:
+        if self._facts is None or not self._fingerprints_match(
+            self._facts_fingerprint, fp_tuple
+        ):
             if self._generator is not None:
                 self._facts = self._generator.generate(
                     self._spec, fingerprint_tuple=fp_tuple
                 )
             else:
                 self._facts = FactGenerator(self._spec, self._tree).generate()
-            self._facts_fingerprint = fingerprint
+            self._facts_fingerprint = fp_tuple
             self._view_cache = {}
             self._index = None
             self._candidate_memo = {}
@@ -160,6 +221,23 @@ class ConsistencyChecker:
             }
         return self._facts
 
+    @staticmethod
+    def _fingerprints_match(old: Optional[Tuple], new: Tuple) -> bool:
+        """Whether two whole-spec fingerprint tuples are equal.
+
+        Identity-aware: the per-table memo in
+        :meth:`Specification.fingerprint_tuple` returns the *same* table
+        tuples while a table is unchanged, so the common case is a few
+        pointer comparisons — hashing a 100,000-entry fingerprint on
+        every ``facts`` access is exactly what the paper-scale budget
+        cannot afford.  Falls back to value equality per element.
+        """
+        if old is None or len(old) != len(new):
+            return False
+        if old is new:
+            return True
+        return all(a is b or a == b for a, b in zip(old, new))
+
     # ------------------------------------------------------------------
     # The check.
     # ------------------------------------------------------------------
@@ -173,17 +251,25 @@ class ConsistencyChecker:
             problems: List[Inconsistency] = []
             warnings: List[str] = list(facts.warnings)
 
-            problems.extend(self._check_instantiations(facts, warnings))
+            inst_problems, inst_warnings = self._instantiation_problems(facts)
+            problems.extend(inst_problems)
+            warnings.extend(inst_warnings)
             with o.span("consistency.reduce", references=len(facts.references)):
                 verdicts = self._reduce(
                     facts, list(enumerate(facts.references)), jobs
                 )
-            self._verdicts = {
-                self._reference_key(reference): verdicts[position]
-                for position, reference in enumerate(facts.references)
-            }
-            for position in range(len(facts.references)):
-                problems.extend(verdicts[position])
+            self._verdict_list = [
+                verdicts[position]
+                for position in range(len(facts.references))
+            ]
+            self._checked_references = facts.references
+            for verdict in self._verdict_list:
+                problems.extend(verdict)
+            if self._engine == "indexed":
+                # Prime the per-domain taint index now, while we are on
+                # the full-check clock, so the first incremental recheck
+                # does not pay for building it.
+                facts.domain_reference_taint()
             if check_capacity:
                 warnings.extend(self._check_capacity(facts))
             span.annotate(inconsistencies=len(problems))
@@ -246,22 +332,50 @@ class ConsistencyChecker:
         with o.span(
             "consistency.recheck", engine=self._engine, jobs=jobs
         ) as span:
-            previous_verdicts = (
-                self._verdicts if self._facts is not None else None
+            previous_list = (
+                self._verdict_list if self._facts is not None else None
             )
+            previous_references = self._checked_references
+            # The exports-only fast path: a delta that touches nothing
+            # but domain export clauses patches the cached fact set in
+            # place (references, instances, containment and views are
+            # untouched by construction), so the millisecond budget is
+            # spent on the few re-reduced references, not on fact
+            # regeneration.
+            patched = self._try_export_patch(delta)
             self._spec = delta.specification
             with o.span("consistency.facts"):
-                facts = self.facts
+                facts = self._facts if patched else self.facts
             problems: List[Inconsistency] = []
             warnings: List[str] = list(facts.warnings)
-            problems.extend(self._check_instantiations(facts, warnings))
+            inst_problems, inst_warnings = self._instantiation_problems(facts)
+            problems.extend(inst_problems)
+            warnings.extend(inst_warnings)
 
             rechecked = reused = 0
-            new_verdicts: Dict[Tuple, Tuple[Inconsistency, ...]] = {}
-            if previous_verdicts is None:
+            new_list: List[Tuple[Inconsistency, ...]] = (
+                [()] * len(facts.references)
+            )
+            if previous_list is None or previous_references is None:
                 pending = list(enumerate(facts.references))
-                affected = None
+            elif patched:
+                # Same reference list, so verdicts are reusable by
+                # position; only positions the changed domains taint
+                # (per the precomputed taint index) are re-reduced.
+                tainted = self._tainted_positions(delta.diff, facts)
+                pending = [
+                    (position, facts.references[position])
+                    for position in sorted(tainted)
+                ]
+                for position in range(len(facts.references)):
+                    if position not in tainted:
+                        new_list[position] = previous_list[position]
+                        reused += 1
             else:
+                previous_verdicts = {
+                    self._reference_key(reference): previous_list[position]
+                    for position, reference in enumerate(previous_references)
+                }
                 affected = affected_entities(delta.diff, facts)
                 pending = []
                 for position, reference in enumerate(facts.references):
@@ -269,23 +383,22 @@ class ConsistencyChecker:
                     if key in previous_verdicts and not reference_affected(
                         reference, affected
                     ):
-                        new_verdicts[key] = previous_verdicts[key]
+                        new_list[position] = previous_verdicts[key]
                         reused += 1
                     else:
                         pending.append((position, reference))
             with o.span("consistency.reduce", references=len(pending)):
                 computed = self._reduce(facts, pending, jobs)
-            for position, reference in pending:
-                new_verdicts[self._reference_key(reference)] = computed[
-                    position
-                ]
+            for position, _reference in pending:
+                new_list[position] = computed[position]
                 rechecked += 1
-            self._verdicts = new_verdicts
-            for reference in facts.references:
-                problems.extend(new_verdicts[self._reference_key(reference)])
+            self._verdict_list = new_list
+            self._checked_references = facts.references
+            for verdict in new_list:
+                problems.extend(verdict)
             if check_capacity:
                 warnings.extend(self._check_capacity(facts))
-            span.annotate(rechecked=rechecked, reused=reused)
+            span.annotate(rechecked=rechecked, reused=reused, patched=patched)
 
         stats = {
             "instances": len(facts.instances),
@@ -294,6 +407,7 @@ class ConsistencyChecker:
             "rechecked": rechecked,
             "reused": reused,
             "diff_entries": len(delta.diff),
+            "patched": patched,
             "engine": self._engine,
             "jobs": jobs,
             "seconds": span.elapsed,
@@ -398,7 +512,167 @@ class ConsistencyChecker:
         )
 
     # ------------------------------------------------------------------
-    # The reduction step, optionally sharded per administrative domain.
+    # Incremental helpers: the exports-only patch and its taint set.
+    # ------------------------------------------------------------------
+    def _instantiation_problems(
+        self, facts: FactSet
+    ) -> Tuple[Tuple[Inconsistency, ...], Tuple[str, ...]]:
+        """Instantiation verdicts, memoized per fact-set object.
+
+        Valid as long as the fact set's instances and views are the ones
+        the verdicts were computed over — exactly the identity of the
+        ``FactSet`` (regeneration builds a new one; the exports-only
+        patch leaves instances and views alone).
+        """
+        memo = self._instantiation_memo
+        if memo is not None and memo[0] is facts:
+            return memo[1], memo[2]
+        warnings: List[str] = []
+        problems = tuple(self._check_instantiations(facts, warnings))
+        self._instantiation_memo = (facts, problems, tuple(warnings))
+        return problems, self._instantiation_memo[2]
+
+    def _tainted_positions(self, diff, facts: FactSet) -> Set[int]:
+        """Reference positions a patched domain delta could re-verdict."""
+        index, wildcard = facts.domain_reference_taint()
+        tainted: Set[int] = set(wildcard)
+        for name in diff.changed_names("domain"):
+            tainted.update(index.get(name, ()))
+        return tainted
+
+    def _try_export_patch(self, delta) -> bool:
+        """Patch the cached facts in place for an exports-only delta.
+
+        Sound only when the delta changes *nothing but domain export
+        clauses*: instances, containment, references and views are then
+        functions of unchanged declarations, so swapping the domain-
+        granted permissions (and the specification pointer) yields
+        exactly the fact set a cold generation of the new specification
+        would build — in microseconds instead of a full expansion.
+        Returns False (leaving all state untouched) in every other case.
+        """
+        facts = self._facts
+        if (
+            facts is None
+            or self._engine != "indexed"
+            or self._verdict_list is None
+            or self._checked_references is not facts.references
+            or not delta.diff.entries
+        ):
+            return False
+        old_spec, new_spec = self._spec, delta.specification
+        changed: Dict[str, object] = {}
+        for entry in delta.diff.entries:
+            if entry.kind != "domain" or entry.change != "changed":
+                return False
+            old = old_spec.domains.get(entry.name)
+            new = new_spec.domains.get(entry.name)
+            if old is None or new is None:
+                return False
+            if (
+                sorted(old.systems) != sorted(new.systems)
+                or sorted(old.subdomains) != sorted(new.subdomains)
+                or [(p.process_name, p.args) for p in old.processes]
+                != [(p.process_name, p.args) for p in new.processes]
+            ):
+                return False
+            changed[entry.name] = new
+        # The diff tracks processes/systems/domains; everything else in
+        # the fingerprint must be shared or value-equal for the patch to
+        # be sound.
+        if not self._same_entries(old_spec.types, new_spec.types):
+            return False
+        if (
+            old_spec.extras != new_spec.extras
+            or old_spec.extension_clauses != new_spec.extension_clauses
+        ):
+            return False
+        # Domain-granted permissions form the tail of the permission
+        # list (generation order: instance grants first); rebuild just
+        # that tail in the new specification's declaration order.
+        by_grantor = facts.permissions_by_grantor()
+        split = len(facts.permissions)
+        while split and facts.permissions[split - 1].grantor.startswith(
+            "domain:"
+        ):
+            split -= 1
+        new_permissions = facts.permissions[:split]
+        new_grants: Dict[str, List[Permission]] = {}
+        for domain in new_spec.domains.values():
+            replacement = changed.get(domain.name)
+            if replacement is None:
+                new_permissions.extend(
+                    by_grantor.get(f"domain:{domain.name}", ())
+                )
+                continue
+            grants: List[Permission] = []
+            for export in replacement.exports:
+                grants.append(
+                    Permission(
+                        grantor=f"domain:{domain.name}",
+                        grantor_domains=(domain.name,),
+                        grantee_domain=export.to_domain,
+                        variables=export.variables,
+                        access=export.access,
+                        frequency=export.frequency,
+                        origin=f"domain {domain.name} exports",
+                        location=export.location,
+                    )
+                )
+            new_permissions.extend(grants)
+            new_grants[domain.name] = grants
+        facts.permissions = new_permissions
+        # Patch the grantor index in place: every unchanged entry still
+        # holds the exact Permission objects in new_permissions, so only
+        # the changed domains' grants move (rebuilding the index walks
+        # every permission — a paper-scale internet has 100,000+).
+        for name, grants in new_grants.items():
+            key = f"domain:{name}"
+            if grants:
+                by_grantor[key] = grants
+            else:
+                by_grantor.pop(key, None)
+        facts.specification = new_spec
+        declarations = (
+            len(new_spec.processes)
+            + len(new_spec.systems)
+            + len(new_spec.domains)
+        )
+        facts.expansion = {
+            "expanded": len(changed),
+            "reused": declarations - len(changed),
+            "declarations": declarations,
+        }
+        # Permission-dependent state restarts; views, candidate sets and
+        # the containment closure survive (none read permissions).
+        self._index = None
+        self._shape_memo = {}
+        if self._generator is not None:
+            for name in changed:
+                domain = new_spec.domains[name]
+                self._generator.note_declaration(
+                    "domain", name, domain.fingerprint_tuple()
+                )
+        # Splice the changed domains' entry fingerprints into old_spec's
+        # memoised table fingerprints rather than re-walking every
+        # declaration — at paper scale the full walk dominates an
+        # incremental recheck's budget.
+        new_spec.adopt_patched_fingerprints(old_spec, changed)
+        self._facts_fingerprint = new_spec.fingerprint_tuple()
+        return True
+
+    @staticmethod
+    def _same_entries(old: Dict, new: Dict) -> bool:
+        """Whether two declaration tables hold identical entry objects."""
+        if old is new:
+            return True
+        if len(old) != len(new):
+            return False
+        return all(new.get(name) is spec for name, spec in old.items())
+
+    # ------------------------------------------------------------------
+    # The reduction step, optionally sharded per administrative domain
+    # across forked worker processes.
     # ------------------------------------------------------------------
     def _reduce(
         self,
@@ -406,8 +680,20 @@ class ConsistencyChecker:
         pending: List[Tuple[int, Reference]],
         jobs: int = 1,
     ) -> Dict[int, Tuple[Inconsistency, ...]]:
-        """Verdicts (by reference position) for the pending references."""
-        if jobs <= 1 or len(pending) < _MIN_REFERENCES_PER_JOB:
+        """Verdicts (by reference position) for the pending references.
+
+        With ``jobs > 1`` and enough pending work, references are
+        sharded by client administrative domain, shards are dealt
+        round-robin (in sorted key order) onto ``jobs`` buckets, and the
+        buckets reduce in parallel — in forked worker processes where
+        the platform has ``fork``, threads otherwise.  The merge is
+        deterministic: verdicts are keyed by reference position, and
+        every verdict is a pure function of (reference, facts), so the
+        result is byte-identical to a serial reduction regardless of
+        worker scheduling.  Worker memo/index tallies are folded back
+        into the parent so obs metrics aggregate across workers.
+        """
+        if jobs <= 1 or len(pending) < self._shard_threshold:
             return {
                 position: self._reference_problems(reference, facts)
                 for position, reference in pending
@@ -420,18 +706,61 @@ class ConsistencyChecker:
                 else reference.client
             )
             shards.setdefault(key, []).append((position, reference))
-
-        def reduce_shard(shard: List[Tuple[int, Reference]]):
-            return [
-                (position, self._reference_problems(reference, facts))
-                for position, reference in shard
-            ]
+        buckets: List[List[Tuple[int, Reference]]] = [[] for _ in range(jobs)]
+        for shard_index, key in enumerate(sorted(shards)):
+            buckets[shard_index % jobs].extend(shards[key])
+        buckets = [bucket for bucket in buckets if bucket]
 
         verdicts: Dict[int, Tuple[Inconsistency, ...]] = {}
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
-            for chunk in pool.map(reduce_shard, shards.values()):
-                for position, verdict in chunk:
+        if "fork" in multiprocessing.get_all_start_methods():
+            global _WORKER_STATE
+            # Build the shared lazy structures once in the parent so
+            # every worker inherits them via copy-on-write instead of
+            # rebuilding its own.
+            if self._engine == "indexed":
+                self._permission_index(facts)
+            facts.direct_domains_map()
+            facts.transitive_containment()
+            facts.permissions_by_grantor()
+            _WORKER_STATE = (self, facts, buckets)
+            # Freeze the heap so the collector never rewrites object
+            # headers in the workers: at paper scale the fact set is
+            # hundreds of MB, and every page a worker's GC pass touches
+            # is a page copy-on-write duplicates.
+            gc.collect()
+            gc.freeze()
+            try:
+                context = multiprocessing.get_context("fork")
+                with context.Pool(processes=len(buckets)) as pool:
+                    outcomes = pool.map(
+                        _reduce_shard_worker, range(len(buckets))
+                    )
+            finally:
+                _WORKER_STATE = None
+                gc.unfreeze()
+            for results, tallies in outcomes:
+                for position, verdict in results:
                     verdicts[position] = verdict
+                for memo, delta in tallies["memo_hits"].items():
+                    self._memo_hits[memo] += delta
+                for memo, delta in tallies["memo_misses"].items():
+                    self._memo_misses[memo] += delta
+                if self._index is not None:
+                    self._index.hits += tallies["index_hits"]
+                    self._index.misses += tallies["index_misses"]
+        else:
+            # No fork on this platform: same shards, same merge, worker
+            # threads instead of processes.
+            def reduce_bucket(bucket: List[Tuple[int, Reference]]):
+                return [
+                    (position, self._reference_problems(reference, facts))
+                    for position, reference in bucket
+                ]
+
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                for chunk in pool.map(reduce_bucket, buckets):
+                    for position, verdict in chunk:
+                        verdicts[position] = verdict
         return verdicts
 
     def _reference_problems(
@@ -573,11 +902,13 @@ class ConsistencyChecker:
         as an inconsistency.
         """
         problems: List[Inconsistency] = []
+        instance_supports = facts.instance_supports
+        system_supports = facts.system_supports
         for instance in facts.instances:
             if instance.owner_kind != "system":
                 continue
-            supported = facts.instance_supports[instance.id]
-            element_view = facts.system_supports.get(instance.owner)
+            supported = instance_supports[instance.id]
+            element_view = system_supports.get(instance.owner)
             if element_view is None or supported.is_empty():
                 continue
             state, effective_paths = self._fit(supported, element_view)
@@ -777,8 +1108,21 @@ class ConsistencyChecker:
         # ancestor (an umbrella domain) grants nothing.
         client_instance = self._instance_by_tag(reference.client, facts)
         if client_instance is not None:
-            client_direct = set(facts.direct_domains_of_instance(client_instance))
-            server_direct = set(facts.direct_domains_of_instance(server))
+            if self._engine == "scan":
+                client_direct = set(
+                    facts.direct_domains_of_instance(client_instance)
+                )
+                server_direct = set(
+                    facts.direct_domains_of_instance(server)
+                )
+            else:
+                direct = facts.direct_domains_map()
+                client_direct = set(
+                    direct.get(f"instance:{client_instance.id}", ())
+                )
+                server_direct = set(
+                    direct.get(f"instance:{server.id}", ())
+                )
             if client_direct.intersection(server_direct):
                 return None
         permissions = self._permissions_for_server(server, facts)

@@ -1,12 +1,16 @@
 """The datalog path: bottom-up evaluation of the consistency rules.
 
-A third engine between the closure fast path and full SLD resolution: the
-same facts and (positive) rules as the CLP(R) path, evaluated bottom-up
-with semi-naive iteration (:mod:`repro.clpr.datalog`).  The closed-world
-negation of the ``inconsistent`` rule is applied afterwards as a set
-difference: every derived ``ref_inst`` without a matching ``ok`` is an
-inconsistency — which is exactly what negation-as-failure computes over a
-finite model.
+A third engine between the closure fast path and full SLD resolution:
+the same facts and (positive) rules as the CLP(R) path, evaluated
+bottom-up with semi-naive iteration over interned fact tuples
+(:mod:`repro.consistency.seminaive`).  The rule text below is still the
+single source of truth — it is parsed with the CLP(R) parser and
+translated mechanically into the tuple engine's compiled-rule IR, so
+the two logical paths cannot drift apart.  The closed-world negation of
+the ``inconsistent`` rule is applied afterwards as a set difference:
+every derived ``ref_inst`` without a matching ``ok`` is an
+inconsistency — which is exactly what negation-as-failure computes over
+a finite model.
 
 Provenance comes for free: the fact base records why each fact was
 derived, so the report can show the derivation of the offending
@@ -15,18 +19,26 @@ reference (the "immediate causes" of Section 4.2).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro import obs
-from repro.clpr.datalog import forward_chain
-from repro.clpr.program import parse_clauses, parse_program
-from repro.clpr.terms import Struct, Term
+from repro.clpr.program import Clause, parse_clauses
+from repro.clpr.terms import Atom, Num, Struct, Term
+from repro.clpr.terms import Var as ClprVar
 from repro.consistency.facts import FactGenerator
 from repro.consistency.report import (
     ConsistencyResult,
     Inconsistency,
     InconsistencyKind,
 )
+from repro.consistency.seminaive import (
+    Guard,
+    Literal,
+    Rule,
+    Var,
+    seminaive_fixpoint,
+)
+from repro.errors import ClprError
 from repro.mib.tree import MibTree
 from repro.nmsl.specs import Specification
 
@@ -89,6 +101,71 @@ covered(I, J, V, A, T) :-
 ok(I, J, V, A, T) :- covered(I, J, V, A, T), server_ok(J, V).
 """
 
+_GUARD_FUNCTORS = {"<", "=<", ">", ">=", "=:=", "=\\="}
+
+
+def _pattern_of(term: Term):
+    """CLP(R) term -> tuple-engine pattern."""
+    if isinstance(term, ClprVar):
+        # Keep the parser's identity: distinct anonymous ``_`` variables
+        # carry distinct ids and must stay distinct.
+        return Var(f"{term.name}.{term.id}")
+    if isinstance(term, Atom):
+        return term.name
+    if isinstance(term, Num):
+        value = term.value
+        return int(value) if value.denominator == 1 else float(value)
+    if isinstance(term, Struct):
+        return (term.functor,) + tuple(
+            _pattern_of(arg) for arg in term.args
+        )
+    raise ClprError(f"cannot translate term {term!r} to the tuple engine")
+
+
+def _literal_of(term: Term) -> Literal:
+    if not isinstance(term, Struct):
+        raise ClprError(f"rule literal {term!r} is not a compound term")
+    return Literal(
+        term.functor, tuple(_pattern_of(arg) for arg in term.args)
+    )
+
+
+def translate_clauses(clauses: Sequence[Clause]) -> List[Rule]:
+    """Parsed CLP(R) rule clauses -> tuple-engine rules, semantics kept."""
+    rules: List[Rule] = []
+    for clause in clauses:
+        body: List[Literal] = []
+        guards: List[Guard] = []
+        for goal in clause.body:
+            if (
+                isinstance(goal, Struct)
+                and goal.functor in _GUARD_FUNCTORS
+                and len(goal.args) == 2
+            ):
+                guards.append(
+                    Guard(
+                        goal.functor,
+                        _pattern_of(goal.args[0]),
+                        _pattern_of(goal.args[1]),
+                    )
+                )
+            else:
+                body.append(_literal_of(goal))
+        rules.append(
+            Rule(_literal_of(clause.head), tuple(body), tuple(guards))
+        )
+    return rules
+
+
+_COMPILED_RULES: List[Rule] = []
+
+
+def consistency_rules() -> List[Rule]:
+    """The translated POSITIVE_RULES (parsed and translated once)."""
+    if not _COMPILED_RULES:
+        _COMPILED_RULES.extend(translate_clauses(parse_clauses(POSITIVE_RULES)))
+    return _COMPILED_RULES
+
 
 def check_with_datalog(
     specification: Specification,
@@ -99,24 +176,16 @@ def check_with_datalog(
     with o.span("consistency.check", engine="datalog") as span:
         with o.span("consistency.facts"):
             facts = FactGenerator(specification, tree).generate()
-            # Parse the fact text once, collecting every ground head.
-            program = parse_program(facts.to_clpr_text())
-            base_facts: List[Term] = [
-                clause.head
-                for indicator in program.indicators()
-                for clause in program.clauses_for(indicator)
-                if clause.is_fact()
-            ]
-            rules = parse_clauses(POSITIVE_RULES)
+            base_facts = facts.to_tuples()
+            rules = consistency_rules()
         with o.span("consistency.forward_chain"):
-            fb = forward_chain(base_facts, rules)
+            fb = seminaive_fixpoint(base_facts, rules)
 
         # Closed-world step: ref_inst without a matching ok.
-        ok_tuples = {fact.args for fact in fb.facts_for(("ok", 5))}
+        ok_tuples = {fact[1:] for fact in fb.facts_for("ok")}
         problems: List[Inconsistency] = []
-        for fact in sorted(fb.facts_for(("ref_inst", 5)), key=repr):
-            if fact.args not in ok_tuples:
-                assert isinstance(fact, Struct)
+        for fact in sorted(fb.facts_for("ref_inst"), key=repr):
+            if fact[1:] not in ok_tuples:
                 derivation = "\n".join(fb.explain(fact, depth=3)[:4])
                 problems.append(
                     Inconsistency(

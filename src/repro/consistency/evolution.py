@@ -94,11 +94,18 @@ def diff_specifications(
     for (kind, old_table), (_kind2, new_table) in zip(
         _spec_tables(old), _spec_tables(new)
     ):
+        if old_table is new_table:
+            # A shared table (the clone-one-table evolution idiom) needs
+            # no per-entry walk — at paper scale the unchanged 100,000-
+            # system table dominates the diff otherwise.
+            continue
         for name in sorted(set(old_table) | set(new_table)):
             if name not in new_table:
                 diff.entries.append(DiffEntry(kind, name, "removed"))
             elif name not in old_table:
                 diff.entries.append(DiffEntry(kind, name, "added"))
+            elif old_table[name] is new_table[name]:
+                continue
             elif _fingerprint(old_table[name]) != _fingerprint(new_table[name]):
                 diff.entries.append(DiffEntry(kind, name, "changed"))
     return diff
@@ -145,6 +152,18 @@ def affected_entities(diff: SpecificationDiff, facts: FactSet) -> Set[str]:
     for child, parents in containment.items():
         if parents & affected:
             affected.add(child)
+    # A tainted instance taints the targets it can answer for: a literal
+    # ``process:P`` reference is covered universally over P's instances,
+    # and a proxied element is served from wherever its proxies live —
+    # so a domain change around any such instance must re-verdict those
+    # references even when client and literal target are elsewhere.
+    for instance in facts.instances:
+        if f"instance:{instance.id}" in affected:
+            affected.add(f"process:{instance.process_name}")
+            process = facts.specification.processes.get(instance.process_name)
+            if process is not None:
+                for proxied in process.proxied_systems():
+                    affected.add(f"system:{proxied}")
     return affected
 
 

@@ -19,6 +19,7 @@ names, or system names.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConsistencyError
@@ -47,8 +48,11 @@ class InstanceId:
     ordinal: int
     args: Tuple[object, ...] = ()
 
-    @property
+    @cached_property
     def id(self) -> str:
+        # cached_property writes to the instance __dict__ directly, which
+        # a frozen dataclass permits: the id string is built once, not on
+        # every lookup (the checker keys several hot dicts on it).
         return f"{self.process_name}@{self.owner}#{self.ordinal}"
 
     def __str__(self) -> str:
@@ -83,26 +87,39 @@ class FactSet:
     _containment_cache: Optional[Dict[str, Set[str]]] = None
 
     def transitive_containment(self) -> Dict[str, Set[str]]:
-        """child -> set of all (transitive) containers (computed once)."""
+        """child -> set of all (transitive) containers (computed once).
+
+        Entities whose *direct* parent sets are identical share one
+        ancestor set object: at paper scale the ten thousand systems of
+        a domain (and the instances on them) would otherwise each build
+        an identical set.  Callers treat the returned sets as read-only.
+        """
         if self._containment_cache is not None:
             return self._containment_cache
         parents: Dict[str, Set[str]] = {}
         direct: Dict[str, Set[str]] = {}
         for parent, child in self.containment:
             direct.setdefault(child, set()).add(parent)
+        #: canonical direct-parent key -> the shared ancestor set.
+        shared: Dict[Tuple[str, ...], Set[str]] = {}
 
         def collect(child: str) -> Set[str]:
-            if child in parents:
-                return parents[child]
+            got = parents.get(child)
+            if got is not None:
+                return got
             parents[child] = set()  # cycle guard (cycles reported elsewhere)
-            result: Set[str] = set()
-            for parent in direct.get(child, ()):
-                result.add(parent)
-                result.update(collect(parent))
+            key = tuple(sorted(direct.get(child, ())))
+            result = shared.get(key)
+            if result is None:
+                result = set()
+                for parent in key:
+                    result.add(parent)
+                    result.update(collect(parent))
+                shared[key] = result
             parents[child] = result
             return result
 
-        for _parent, child in self.containment:
+        for child in direct:
             collect(child)
         self._containment_cache = parents
         return parents
@@ -113,6 +130,58 @@ class FactSet:
         self._grantor_cache = None
         self._instance_cache = None
         self._direct_domains_cache = None
+        self._taint_cache = None
+
+    _taint_cache: Optional[Tuple[Dict[str, Set[int]], Set[int]]] = None
+
+    def domain_reference_taint(
+        self,
+    ) -> Tuple[Dict[str, Set[int]], Set[int]]:
+        """domain name -> positions of references its exports may affect.
+
+        Returns ``(index, wildcard)``: a conservative superset — every
+        reference whose verdict could change when the named domain's
+        export clauses change appears in its position set; ``wildcard``
+        holds the positions of run-time (``*``) targets, affected by any
+        delta.  A function of references, containment and instances
+        only, so it survives an exports-only permission patch; the
+        checker uses it to re-reduce a handful of references after a
+        one-domain delta instead of the whole internet.
+        """
+        if self._taint_cache is not None:
+            return self._taint_cache
+        closure = self.transitive_containment()
+        index: Dict[str, Set[int]] = {}
+        wildcard: Set[int] = set()
+        for position, reference in enumerate(self.references):
+            server = reference.server
+            if server == "*":
+                wildcard.add(position)
+                continue
+            # The client's domains grant implicit/exported access...
+            domains = set(reference.client_domains)
+            kind, _sep, name = server.partition(":")
+            if kind == "domain":
+                # ...and so do the server side's containing domains.
+                domains.add(name)
+                for parent in closure.get(server, ()):
+                    if parent.startswith("domain:"):
+                        domains.add(parent.split(":", 1)[1])
+            elif kind == "system":
+                for parent in closure.get(f"system:{name}", ()):
+                    if parent.startswith("domain:"):
+                        domains.add(parent.split(":", 1)[1])
+                # An agentless element may be proxy-managed from another
+                # domain; taint the proxies' domains too.
+                for proxy in self.proxies_for_system(name):
+                    domains.update(self.domains_of_instance(proxy))
+            elif kind == "process":
+                for instance in self.instances_of_process(name):
+                    domains.update(self.domains_of_instance(instance))
+            for domain in domains:
+                index.setdefault(domain, set()).add(position)
+        self._taint_cache = (index, wildcard)
+        return self._taint_cache
 
     _grantor_cache: Optional[Dict[str, List[Permission]]] = None
 
@@ -181,13 +250,21 @@ class FactSet:
                     by_system.setdefault(
                         child.split(":", 1)[1], []
                     ).append(parent.split(":", 1)[1])
+            # Sort each system's domain list once (it is almost always a
+            # single domain), not once per instance on the system.
+            system_domains: Dict[str, Tuple[str, ...]] = {
+                name: tuple(domains) if len(domains) == 1
+                else tuple(sorted(domains))
+                for name, domains in by_system.items()
+            }
             mapping: Dict[str, Tuple[str, ...]] = {}
+            empty: Tuple[str, ...] = ()
             for instance in self.instances:
                 if instance.owner_kind == "domain":
                     mapping[f"instance:{instance.id}"] = (instance.owner,)
                 else:
-                    mapping[f"instance:{instance.id}"] = tuple(
-                        sorted(by_system.get(instance.owner, ()))
+                    mapping[f"instance:{instance.id}"] = system_domains.get(
+                        instance.owner, empty
                     )
             self._direct_domains_cache = mapping
         return self._direct_domains_cache
@@ -322,6 +399,12 @@ class FactSet:
 
     def _data_containment_facts(self) -> List[str]:
         """``data_covers(Parent, Child)`` for every mentioned path pair."""
+        return [
+            f"data_covers({_atom(parent)}, {_atom(child)})."
+            for parent, child in self._data_containment_pairs()
+        ]
+
+    def _data_containment_pairs(self) -> List[Tuple[str, str]]:
         mentioned: Set[str] = set()
         spec = self.specification
         for process in spec.processes.values():
@@ -336,15 +419,123 @@ class FactSet:
             for export in domain.exports:
                 mentioned.update(export.variables)
         resolvable = [path for path in sorted(mentioned) if self.tree.knows(path)]
-        lines = []
+        pairs = []
         for parent in resolvable:
             parent_oid = self.tree.resolve(parent).oid
             for child in resolvable:
                 if self.tree.resolve(child).oid.starts_with(parent_oid):
-                    lines.append(
-                        f"data_covers({_atom(parent)}, {_atom(child)})."
+                    pairs.append((parent, child))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Tuple rendering (the semi-naive datalog engine's native format).
+    # ------------------------------------------------------------------
+    def to_tuples(self) -> List[tuple]:
+        """The same base facts as :meth:`to_clpr_text`, as plain tuples.
+
+        Feeds :func:`repro.consistency.seminaive.seminaive_fixpoint`
+        directly — no text round-trip, no parser.  Schemas mirror the
+        CLP(R) rendering exactly (tagged entities become ``(tag, name)``
+        pairs, periods stay numeric) except that the ``speed`` facts are
+        omitted: no consistency rule reads them.
+        """
+        facts: List[tuple] = []
+        spec = self.specification
+        for name, process in sorted(spec.processes.items()):
+            for path in process.supports:
+                facts.append(("proc_supports", name, path))
+            for export in process.exports:
+                access = access_atom(export.access)
+                period = export.frequency.min_period
+                for path in export.variables:
+                    facts.append(
+                        ("proc_export", name, export.to_domain, path,
+                         access, period)
                     )
-        return lines
+            for query in process.queries:
+                target = self._target_tuple(process, query.target)
+                access = access_atom(query.access)
+                period = query.frequency.min_period
+                for path in query.requests:
+                    facts.append(
+                        ("proc_query", name, target, path, access, period)
+                    )
+            for proxy in process.proxies:
+                facts.append(
+                    ("proxy_for", name, ("system", proxy.target_system),
+                     proxy.protocol or "direct")
+                )
+        for instance in self.instances:
+            facts.append(
+                ("instance", instance.id, instance.owner,
+                 instance.process_name)
+            )
+            for index, arg in enumerate(instance.args):
+                if arg == WILDCARD:
+                    continue
+                value = str(arg)
+                if value in spec.systems:
+                    tag = "system"
+                elif value in spec.processes:
+                    tag = "proc"
+                elif value in spec.domains:
+                    tag = "domain"
+                else:
+                    tag = "val"
+                facts.append(("inst_arg", instance.id, index, (tag, value)))
+        for system_name, view in sorted(self.system_supports.items()):
+            for path in sorted(view.paths()):
+                facts.append(("system_supports", system_name, path))
+        for parent, child in self.containment:
+            facts.append(
+                ("contains", _entity_tuple(parent), _entity_tuple(child))
+            )
+        for domain in spec.domains.values():
+            for export in domain.exports:
+                access = access_atom(export.access)
+                period = export.frequency.min_period
+                for path in export.variables:
+                    facts.append(
+                        ("dom_export", domain.name, export.to_domain, path,
+                         access, period)
+                    )
+        for parent, child in self._data_containment_pairs():
+            facts.append(("data_covers", parent, child))
+        facts.extend(ACCESS_COVER_TUPLES)
+        return facts
+
+    def _target_tuple(self, process: ProcessSpec, target: str) -> tuple:
+        names = process.param_names()
+        if target in names:
+            return ("param", names.index(target))
+        return ("proc", target)
+
+
+_ACCESS_COVER_PAIRS = [
+    ("any", "readonly"),
+    ("any", "writeonly"),
+    ("any", "readwrite"),
+    ("any", "any"),
+    ("any", "none"),
+    ("readwrite", "readonly"),
+    ("readwrite", "writeonly"),
+    ("readwrite", "readwrite"),
+    ("readwrite", "none"),
+    ("readonly", "readonly"),
+    ("readonly", "none"),
+    ("writeonly", "writeonly"),
+    ("writeonly", "none"),
+    ("none", "none"),
+]
+
+ACCESS_COVER_TUPLES = [
+    ("access_covers", broad, narrow) for broad, narrow in _ACCESS_COVER_PAIRS
+]
+
+
+def _entity_tuple(tagged: str) -> tuple:
+    kind, _sep, name = tagged.partition(":")
+    return (kind, name)
 
 
 _ACCESS_COVER_FACTS = [
@@ -766,6 +957,16 @@ class IncrementalFactGenerator:
         }
         self._seen = fingerprints
         return facts
+
+    def note_declaration(self, kind: str, name: str, fingerprint: Tuple) -> None:
+        """Record that a declaration's current fingerprint has been seen.
+
+        Used by the checker's exports-only patch path, which updates the
+        cached fact set without a :meth:`generate` call: noting the
+        patched declarations keeps the expanded/reused accounting of the
+        *next* full generation honest.
+        """
+        self._seen[(kind, name)] = fingerprint
 
     def _closure(self, edges, facts: FactSet) -> Dict[str, Set[str]]:
         got = self._closures.get(edges)

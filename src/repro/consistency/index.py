@@ -100,8 +100,11 @@ class PermissionIndex:
             )
             buckets: Dict[Tuple[int, ...], List[int]] = {}
             for position, (_permission, view) in enumerate(entries):
-                for oid in view.root_oids():
-                    buckets.setdefault(oid.components, []).append(position)
+                # Views are interned, so the root-OID memo answers for
+                # every server sharing a permission view — at paper
+                # scale the same export view backs thousands of servers.
+                for components in self._roots_of(view):
+                    buckets.setdefault(components, []).append(position)
             got = (entries, buckets)
             self._servers[server.id] = got
         return got

@@ -9,6 +9,7 @@ fails to cover the reference.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Tuple
@@ -83,3 +84,45 @@ class ConsistencyResult:
 
     def kinds(self) -> List[InconsistencyKind]:
         return [item.kind for item in self.inconsistencies]
+
+    #: Stats that legitimately vary between two checks of the same
+    #: specification (timings, worker counts) — everything else must be
+    #: a pure function of the specification.
+    VOLATILE_STATS = ("seconds", "jobs")
+
+    def to_json(self) -> str:
+        """Canonical JSON for byte-level comparison of two checks.
+
+        Two checks of the same specification must serialize to the same
+        bytes regardless of engine internals, shard count or worker
+        scheduling, so the volatile stats (:data:`VOLATILE_STATS`) are
+        dropped and all keys are emitted sorted.
+        """
+        payload = {
+            "consistent": self.consistent,
+            "inconsistencies": [
+                {
+                    "kind": item.kind.value,
+                    "message": item.message,
+                    "reference": (
+                        None
+                        if item.reference is None
+                        else item.reference.describe()
+                    ),
+                    "origin": (
+                        None
+                        if item.reference is None
+                        else item.reference.origin
+                    ),
+                    "causes": list(item.causes),
+                }
+                for item in self.inconsistencies
+            ],
+            "warnings": list(self.warnings),
+            "stats": {
+                key: value
+                for key, value in self.stats.items()
+                if key not in self.VOLATILE_STATS
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)

@@ -8,8 +8,9 @@ consumed by the consistency checker and the configuration generators.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.asn1.nodes import Asn1Type
 from repro.errors import NmslSemanticError, SourceLocation
@@ -20,6 +21,24 @@ from repro.nmsl.frequency import FrequencySpec
 WILDCARD = "*"
 
 ParamValue = Union[str, int, float]
+
+
+def _cached_fingerprint(spec, compute) -> Tuple:
+    """Memoize a declaration's fingerprint tuple on the instance.
+
+    Declaration objects are treated as immutable values once
+    fingerprinted: the supported mutation idiom (used throughout the
+    tests and the evolution API) replaces the declaration object in the
+    specification table via :func:`dataclasses.replace`, which produces
+    a fresh object with an empty cache.  This turns the whole-spec
+    fingerprint from O(declaration size) per declaration per check into
+    a dict lookup, which the paper-scale checker depends on.
+    """
+    got = spec.__dict__.get("_fingerprint_cache")
+    if got is None:
+        got = compute()
+        spec.__dict__["_fingerprint_cache"] = got
+    return got
 
 
 @dataclass
@@ -37,7 +56,10 @@ class TypeSpec:
 
     def fingerprint_tuple(self) -> Tuple:
         """A hashable value-summary of this declaration (see module note)."""
-        return ("type", self.name, repr(self.asn1_type), self.access)
+        return _cached_fingerprint(
+            self,
+            lambda: ("type", self.name, repr(self.asn1_type), self.access),
+        )
 
 
 @dataclass
@@ -120,6 +142,9 @@ class ProcessSpec:
         return tuple(name for name, _type in self.params)
 
     def fingerprint_tuple(self) -> Tuple:
+        return _cached_fingerprint(self, self._fingerprint)
+
+    def _fingerprint(self) -> Tuple:
         return (
             "process",
             self.name,
@@ -189,6 +214,9 @@ class SystemSpec:
         return sum(interface.speed_bps for interface in self.interfaces)
 
     def fingerprint_tuple(self) -> Tuple:
+        return _cached_fingerprint(self, self._fingerprint)
+
+    def _fingerprint(self) -> Tuple:
         return (
             "system",
             self.name,
@@ -219,6 +247,9 @@ class DomainSpec:
         return self.systems + self.subdomains
 
     def fingerprint_tuple(self) -> Tuple:
+        return _cached_fingerprint(self, self._fingerprint)
+
+    def _fingerprint(self) -> Tuple:
         return (
             "domain",
             self.name,
@@ -259,15 +290,22 @@ class Specification:
     # ------------------------------------------------------------------
     def add_type(self, spec: TypeSpec) -> None:
         self._add(self.types, spec.name, spec, "type")
+        self._forget_fingerprint("types")
 
     def add_process(self, spec: ProcessSpec) -> None:
         self._add(self.processes, spec.name, spec, "process")
+        self._forget_fingerprint("processes")
 
     def add_system(self, spec: SystemSpec) -> None:
         self._add(self.systems, spec.name, spec, "system")
+        self._forget_fingerprint("systems")
 
     def add_domain(self, spec: DomainSpec) -> None:
         self._add(self.domains, spec.name, spec, "domain")
+        self._forget_fingerprint("domains")
+
+    def _forget_fingerprint(self, name: str) -> None:
+        self._table_fingerprints.pop(name, None)
 
     @staticmethod
     def _add(table: Dict, name: str, spec, kind: str) -> None:
@@ -323,32 +361,115 @@ class Specification:
         """A process-local fingerprint of the whole specification.
 
         Two specifications with equal declaration *values* fingerprint
-        equally even when the objects differ; any structural mutation
-        changes the fingerprint.  The consistency engine keys its fact
-        and view caches on this, so callers may mutate a specification in
-        place and the next check sees the change.  (Process-local: built
-        on ``hash``, so not stable across interpreter runs.)
+        equally even when the objects differ; replacing, adding or
+        removing declarations in the tables changes the fingerprint.
+        The consistency engine keys its fact and view caches on this,
+        so callers may mutate a specification between checks and the
+        next check sees the change.  Mutation granularity is the
+        declaration object: replace table entries (the
+        ``dataclasses.replace`` idiom) rather than mutating a
+        declaration's fields in place after it has been checked.
+        (Process-local: built on ``hash``, so not stable across
+        interpreter runs.)
         """
         return hash(self.fingerprint_tuple())
 
+    # Per-table fingerprint memo: table name -> (identity signature,
+    # fingerprint tuple).  The signature is a cheap one-pass function of
+    # the table's entry identities, so a 100,000-system internet whose
+    # delta touched only a domain re-sorts and re-fingerprints only the
+    # domain table.
+    #: name -> (signature, fingerprint tuple, sorted entry names).  The
+    #: signature is recomputed on *every* lookup — it is the mechanism
+    #: that makes in-place table mutation visible — but it is one
+    #: ``id()`` per entry, while re-deriving the fingerprint would sort
+    #: and walk every declaration.  The sorted names ride along so an
+    #: exports-only patch can splice one entry's fingerprint by binary
+    #: search instead of rebuilding a 10,000-element tuple from the
+    #: table.
+    _table_fingerprints: Dict[
+        str, Tuple[Tuple[int, int], Tuple, Tuple[str, ...]]
+    ] = field(default_factory=dict, repr=False, compare=False, init=False)
+
+    def adopt_fingerprints(self, other: "Specification") -> None:
+        """Seed this specification's table-fingerprint memo from *other*.
+
+        For every table whose entry identities match *other*'s memoized
+        signature the cached fingerprint carries over — so a clone that
+        shares three of four tables with its parent re-fingerprints only
+        the table it replaced.  Safe unconditionally: entries that do
+        not match are simply recomputed on demand.
+        """
+        for name, table in (
+            ("types", self.types),
+            ("processes", self.processes),
+            ("systems", self.systems),
+            ("domains", self.domains),
+        ):
+            if name in self._table_fingerprints:
+                continue
+            cached = other._table_fingerprints.get(name)
+            if cached is not None and self._table_signature(table) == cached[0]:
+                self._table_fingerprints[name] = cached
+
+    def adopt_patched_fingerprints(
+        self, other: "Specification", changed_domains: Iterable[str]
+    ) -> None:
+        """Seed the memo when only the named domain entries changed.
+
+        The caller (the checker's exports-only patch) has already proved
+        that types/processes/systems hold identical entry objects and
+        that the domain table differs from *other*'s exactly in
+        ``changed_domains`` (same key set, entries replaced).  Identical
+        entry objects have an identical identity-signature, so those
+        memo entries copy over verbatim; the domains fingerprint is the
+        parent's with the changed positions spliced — no table walk.
+        """
+        for name in ("types", "processes", "systems"):
+            cached = other._table_fingerprints.get(name)
+            if cached is not None and name not in self._table_fingerprints:
+                self._table_fingerprints[name] = cached
+        cached = other._table_fingerprints.get("domains")
+        if cached is None:
+            return
+        _signature, fingerprints, names = cached
+        spliced = list(fingerprints)
+        for domain_name in changed_domains:
+            position = bisect_left(names, domain_name)
+            spliced[position] = self.domains[domain_name].fingerprint_tuple()
+        self._table_fingerprints["domains"] = (
+            self._table_signature(self.domains),
+            tuple(spliced),
+            names,
+        )
+
+    @staticmethod
+    def _table_signature(table: Dict) -> Tuple[int, int]:
+        signature = 0
+        for spec in table.values():
+            signature ^= id(spec)
+        return (len(table), signature)
+
+    def _table_fingerprint(self, name: str, table: Dict) -> Tuple:
+        signature = self._table_signature(table)
+        cached = self._table_fingerprints.get(name)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        entries = sorted(table.items())
+        fingerprint = tuple(spec.fingerprint_tuple() for _name, spec in entries)
+        self._table_fingerprints[name] = (
+            signature,
+            fingerprint,
+            tuple(entry_name for entry_name, _spec in entries),
+        )
+        return fingerprint
+
     def fingerprint_tuple(self) -> Tuple:
         return (
-            tuple(
-                spec.fingerprint_tuple()
-                for _name, spec in sorted(self.types.items())
-            ),
-            tuple(
-                spec.fingerprint_tuple()
-                for _name, spec in sorted(self.processes.items())
-            ),
-            tuple(
-                spec.fingerprint_tuple()
-                for _name, spec in sorted(self.systems.items())
-            ),
-            tuple(
-                spec.fingerprint_tuple()
-                for _name, spec in sorted(self.domains.items())
-            ),
+            self._table_fingerprint("types", self.types),
+            self._table_fingerprint("processes", self.processes),
+            self._table_fingerprint("systems", self.systems),
+            self._table_fingerprint("domains", self.domains),
             tuple(
                 (name, tuple(repr(item) for item in items))
                 for name, items in sorted(self.extras.items())

@@ -16,6 +16,8 @@ from repro.workloads.paper import (
     FIG_46_SYSTEM_SPEC,
     FIG_48_DOMAIN_SPEC,
     PAPER_SPEC_TEXT,
+    PaperScaleInternet,
+    PaperScaleParameters,
 )
 from repro.workloads.generator import InternetParameters, SyntheticInternet
 from repro.workloads.scenarios import campus_internet, new_organization
@@ -27,6 +29,8 @@ __all__ = [
     "FIG_48_DOMAIN_SPEC",
     "InternetParameters",
     "PAPER_SPEC_TEXT",
+    "PaperScaleInternet",
+    "PaperScaleParameters",
     "SyntheticInternet",
     "campus_internet",
     "new_organization",

@@ -108,6 +108,39 @@ def test_engines_agree(parameters):
 
 @pytest.mark.parametrize(
     "parameters",
+    _corpus(),
+    ids=[f"spec{i:02d}" for i in range(CORPUS_SIZE)],
+)
+def test_sharded_reduction_is_byte_identical(parameters):
+    """``--jobs N`` must be invisible in the output: verdicts, causes
+    and the canonical report JSON are byte-identical to a single-process
+    check for every spec in the corpus.
+
+    ``shard_threshold=1`` forces the multi-process sharded reduction
+    even on these small corpora (the production threshold would keep
+    them serial); the merge is then exercised with both fewer and more
+    buckets than shard keys.
+    """
+    specification = SyntheticInternet(parameters).specification()
+    tree = _COMPILER.tree
+
+    serial = ConsistencyChecker(specification, tree).check(jobs=1)
+    baseline = serial.to_json()
+    for jobs in (2, 8):
+        sharded = ConsistencyChecker(
+            specification, tree, shard_threshold=1
+        ).check(jobs=jobs)
+        assert sharded.to_json() == baseline, (
+            f"jobs={jobs} report diverges on {parameters!r}"
+        )
+        assert [
+            (p.kind, p.message, p.causes) for p in sharded.inconsistencies
+        ] == [(p.kind, p.message, p.causes) for p in serial.inconsistencies]
+        assert failing_clients(sharded) == failing_clients(serial)
+
+
+@pytest.mark.parametrize(
+    "parameters",
     _corpus()[:10],
     ids=[f"spec{i:02d}" for i in range(10)],
 )

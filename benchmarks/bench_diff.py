@@ -1,0 +1,168 @@
+"""SEC-diff — relational spec diff at paper scale.
+
+The differential-verification pass must stay near-O(change): on the
+10,000-domain / 100,000-system :class:`PaperScaleInternet`, diffing a
+one-domain edit (``nmslc diff``'s core, minus parsing) has to complete
+within ``RATIO_BUDGET`` times a warm one-domain incremental *recheck* —
+the floor set by the consistency machinery itself — not within some
+multiple of a full check.  The run also proves the rendered NM4xx
+report is byte-identical across two independent analyzer pipelines over
+the same revision pair.
+
+Writes ``BENCH_diff.json`` (committed artifact)::
+
+    python benchmarks/bench_diff.py            # the 10k-domain figure
+    python benchmarks/bench_diff.py --quick    # 100-domain sanity run
+
+Exits 1 when the ratio budget or the byte-identity check fails.
+"""
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parents[1] / "src"))
+
+from repro.analysis import relational_registry, relational_report, render_json
+from repro.consistency.checker import ConsistencyChecker
+from repro.consistency.impact import ImpactAnalyzer
+from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+from repro.workloads.paper import PaperScaleInternet, PaperScaleParameters
+
+#: analyze() may cost at most this multiple of a warm one-domain recheck.
+RATIO_BUDGET = 5.0
+
+#: Domains edited for the warm-up and the measured delta.
+WARMUP_DOMAIN = 250
+MEASURED_DOMAIN = 500
+
+
+def _drop_exports(spec, index):
+    name = sorted(spec.domains)[index]
+    domains = dict(spec.domains)
+    domains[name] = dataclasses.replace(domains[name], exports=())
+    return dataclasses.replace(spec, domains=domains)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="100-domain sanity run (does not overwrite the committed "
+        "artifact unless --output says so)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="artifact path (default: BENCH_diff.json, or stdout-only "
+        "with --quick)",
+    )
+    args = parser.parse_args(argv)
+
+    parameters = (
+        PaperScaleParameters(n_domains=100, hub_count=8)
+        if args.quick
+        else PaperScaleParameters()
+    )
+    build_start = time.perf_counter()
+    spec_a = PaperScaleInternet(parameters).specification()
+    t_build = time.perf_counter() - build_start
+    spec_b1 = _drop_exports(spec_a, WARMUP_DOMAIN % parameters.n_domains)
+    spec_b2 = _drop_exports(spec_b1, MEASURED_DOMAIN % parameters.n_domains)
+
+    tree = NmslCompiler(CompilerOptions(register_codegen=False)).tree
+    print(
+        f"internet: {parameters.n_domains} domains, "
+        f"{parameters.n_domains * parameters.systems_per_domain} systems "
+        f"(built in {t_build:.2f}s)"
+    )
+
+    # ---- the floor: a warm one-domain incremental recheck.
+    reference = ConsistencyChecker(spec_a, tree)
+    start = time.perf_counter()
+    reference.check()
+    t_full = time.perf_counter() - start
+    reference.recheck(spec_b1)  # warm the delta path
+    start = time.perf_counter()
+    reference.recheck(spec_b2)
+    t_recheck = time.perf_counter() - start
+    print(f"full check: {t_full:.3f}s, warm one-domain recheck: "
+          f"{t_recheck * 1000:.1f}ms")
+
+    # ---- the measured pass: impact analysis of the same warm edit.
+    analyzer = ImpactAnalyzer(tree, tags=("BartsSnmpd",))
+    analyzer.baseline(spec_a)
+    analyzer.analyze(spec_b1)  # warm-up edit
+    start = time.perf_counter()
+    impact = analyzer.analyze(spec_b2)
+    t_impact = time.perf_counter() - start
+    ratio = t_impact / t_recheck if t_recheck > 0 else float("inf")
+    print(f"impact analysis: {t_impact * 1000:.1f}ms "
+          f"({ratio:.2f}x recheck, budget {RATIO_BUDGET:g}x)")
+
+    registry = relational_registry()
+    report = relational_report(impact, registry=registry)
+    rendered = render_json(report)
+
+    # ---- determinism: an independent pipeline over the same pair must
+    # render byte-identically.
+    repeat = ImpactAnalyzer(tree, tags=("BartsSnmpd",))
+    repeat.baseline(spec_b1)
+    rendered_again = render_json(
+        relational_report(repeat.analyze(spec_b2), registry=registry)
+    )
+    identical = rendered == rendered_again
+    print(f"report byte-identical across runs: {identical}")
+
+    payload = {
+        "benchmark": "relational_diff",
+        "parameters": {
+            "n_domains": parameters.n_domains,
+            "systems_per_domain": parameters.systems_per_domain,
+            "edit": "drop one domain's exports (warm, one-domain delta)",
+        },
+        "timings": {
+            "build_model_s": round(t_build, 4),
+            "full_check_s": round(t_full, 4),
+            "warm_recheck_s": round(t_recheck, 6),
+            "impact_analyze_s": round(t_impact, 6),
+            "ratio_impact_over_recheck": round(ratio, 3),
+            "ratio_budget": RATIO_BUDGET,
+        },
+        "impact": {
+            key: value
+            for key, value in impact.stats.items()
+            if key != "seconds"
+        },
+        "findings": report.counts(),
+        "report_byte_identical": identical,
+    }
+    output = args.output
+    if output is None and not args.quick:
+        output = str(Path(__file__).parents[1] / "BENCH_diff.json")
+    if output:
+        Path(output).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {output}")
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+
+    if not identical:
+        print("FAIL: report not byte-identical across runs")
+        return 1
+    if ratio > RATIO_BUDGET:
+        print(f"FAIL: ratio {ratio:.2f} over budget {RATIO_BUDGET:g}")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

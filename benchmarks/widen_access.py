@@ -1,0 +1,48 @@
+"""Scripted access-widening mutation for the CI diff gate.
+
+Takes a committed specification and raises the first domain-level
+``exports ... access ReadOnly`` grant to ``ReadWrite`` — the exact
+change class ``nmslc diff`` must refuse to ship unwaived (NM401)::
+
+    python benchmarks/widen_access.py examples/campus.nmsl widened.nmsl
+
+The mutation is textual on purpose: the gate has to catch a plausible
+hand edit of the source file, not a synthetic model transform.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def widen(text: str) -> str:
+    marker = "exports"
+    needle = "access ReadOnly"
+    start = text.find(marker)
+    while start != -1:
+        position = text.find(needle, start)
+        if position == -1:
+            break
+        return (
+            text[:position]
+            + "access ReadWrite"
+            + text[position + len(needle):]
+        )
+    raise ValueError("no 'access ReadOnly' export clause to widen")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("source", help="committed NMSL specification")
+    parser.add_argument("output", help="where to write the widened revision")
+    args = parser.parse_args(argv)
+
+    text = Path(args.source).read_text(encoding="utf-8")
+    mutated = widen(text)
+    Path(args.output).write_text(mutated, encoding="utf-8")
+    print(f"widened one grant: {args.source} -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

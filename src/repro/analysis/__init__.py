@@ -27,6 +27,12 @@ from repro.analysis.registry import (
     PassRegistry,
     default_registry,
 )
+from repro.analysis.relational import (
+    Waiver,
+    register_relational_passes,
+    relational_registry,
+    relational_report,
+)
 from repro.analysis.render import (
     render,
     render_json,
@@ -43,8 +49,12 @@ __all__ = [
     "Diagnostic",
     "PassRegistry",
     "Severity",
+    "Waiver",
     "analyze_specification",
     "default_registry",
+    "register_relational_passes",
+    "relational_registry",
+    "relational_report",
     "render",
     "render_json",
     "render_sarif",

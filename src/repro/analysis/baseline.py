@@ -11,13 +11,16 @@ a declaration do not invalidate the baseline.  The file is JSON with
 human-reviewable entries::
 
     {
-      "version": 1,
+      "schema": 1,
       "tool": "nmslc-analyze",
       "suppressions": [
         {"code": "NM201", "subject": "process snmpAgent",
          "message": "export of ... matches no specified reference"}
       ]
     }
+
+Files written before the ``schema`` field existed are read as schema 1;
+unknown schemas are rejected with a :class:`BaselineError`.
 """
 
 from __future__ import annotations
@@ -37,6 +40,15 @@ class BaselineError(ValueError):
 
 class Baseline:
     """A set of suppressed finding fingerprints."""
+
+    #: Baseline file schema this build reads and writes.  Files written
+    #: before the field existed are treated as schema 1; anything else is
+    #: rejected outright — silently ignoring a future schema would
+    #: un-suppress (or worse, over-suppress) findings.
+    SCHEMA = 1
+    #: The tool whose findings this baseline suppresses; subclasses (the
+    #: diff waiver) override it so files cannot be cross-wired.
+    TOOL = "nmslc-analyze"
 
     def __init__(self, fingerprints: Iterable[Fingerprint] = ()):
         self._fingerprints: FrozenSet[Fingerprint] = frozenset(fingerprints)
@@ -61,6 +73,17 @@ class Baseline:
             raise BaselineError(
                 f"{path}: expected an object with a 'suppressions' list"
             )
+        schema = payload.get("schema", payload.get("version", cls.SCHEMA))
+        if schema != cls.SCHEMA:
+            raise BaselineError(
+                f"{path}: unsupported baseline schema {schema!r} "
+                f"(this build supports schema {cls.SCHEMA})"
+            )
+        tool = payload.get("tool")
+        if tool is not None and tool != cls.TOOL:
+            raise BaselineError(
+                f"{path}: baseline written by {tool!r}, expected {cls.TOOL!r}"
+            )
         fingerprints: List[Fingerprint] = []
         for entry in payload["suppressions"]:
             try:
@@ -75,8 +98,9 @@ class Baseline:
 
     def save(self, path: Union[str, Path]) -> None:
         payload = {
-            "version": 1,
-            "tool": "nmslc-analyze",
+            "schema": self.SCHEMA,
+            "version": self.SCHEMA,  # legacy readers predating "schema"
+            "tool": self.TOOL,
             "suppressions": [
                 {"code": code, "subject": subject, "message": message}
                 for code, subject, message in sorted(self._fingerprints)

@@ -9,7 +9,9 @@ suppressions).
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
@@ -76,6 +78,37 @@ def _sarif_rule(analysis_pass: AnalysisPass) -> Dict:
     }
 
 
+def _artifact_uri(filename: str, base: Optional[str] = None) -> str:
+    """A checkout-portable artifact URI for a diagnostic's file.
+
+    Absolute paths are relativized against *base* (the working directory
+    by default) so the same SARIF log is produced — and the same CI
+    annotations resolve — no matter where the repository is checked out.
+    Paths escaping the base stay absolute rather than growing ``..``
+    chains that would differ per machine anyway.
+    """
+    if not filename:
+        return filename
+    if os.path.isabs(filename):
+        relative = os.path.relpath(filename, base or os.getcwd())
+        if not relative.startswith(".."):
+            filename = relative
+    return filename.replace(os.sep, "/")
+
+
+def _partial_fingerprints(diagnostic: Diagnostic) -> Dict[str, str]:
+    """Stable SARIF result identity: a digest of the baseline fingerprint.
+
+    The fingerprint (code, subject, message) contains no file paths, so
+    the digest survives checkouts at different absolute paths; hashing
+    keeps it fixed-length and free of separator collisions.
+    """
+    digest = hashlib.sha256(
+        "::".join(diagnostic.fingerprint()).encode("utf-8")
+    ).hexdigest()
+    return {"nmslFingerprint/v2": digest}
+
+
 def _sarif_result(diagnostic: Diagnostic, rule_index: Dict[str, int]) -> Dict:
     message = f"{diagnostic.subject}: {diagnostic.message}"
     if diagnostic.suggestion:
@@ -88,7 +121,7 @@ def _sarif_result(diagnostic: Diagnostic, rule_index: Dict[str, int]) -> Dict:
             {
                 "physicalLocation": {
                     "artifactLocation": {
-                        "uri": diagnostic.location.filename
+                        "uri": _artifact_uri(diagnostic.location.filename)
                     },
                     "region": {
                         "startLine": diagnostic.location.line,
@@ -97,9 +130,7 @@ def _sarif_result(diagnostic: Diagnostic, rule_index: Dict[str, int]) -> Dict:
                 }
             }
         ],
-        "partialFingerprints": {
-            "nmslFingerprint/v1": "::".join(diagnostic.fingerprint())
-        },
+        "partialFingerprints": _partial_fingerprints(diagnostic),
     }
     if diagnostic.code in rule_index:
         result["ruleIndex"] = rule_index[diagnostic.code]

@@ -23,6 +23,21 @@ The static analyzer runs as a subcommand::
 found (and 2 on compile failure), so it can gate CI.  The old ``--lint``
 flag remains as a deprecated alias.
 
+The relational diff verifies the *delta* between two revisions::
+
+    nmslc diff old.nmsl new.nmsl
+    nmslc diff old.nmsl new.nmsl --format sarif > diff.sarif
+    nmslc diff old.nmsl new.nmsl --waiver approved-widenings.json
+
+``diff`` computes the impact set — which permissions widened or
+tightened (NM401/NM404), which references flipped verdict (NM402),
+which generated configurations change byte-wise, which elements need
+redrive (NM405) — and exits 1 on unwaived gating findings, 2 on
+compile failure.  ``--update-waiver`` records the current gating
+findings as explicitly approved; ``rollout --diff-base OLD.nmsl``
+consumes the same impact set to stage only impacted elements and
+refuse unwaived access widenings.
+
 Fault-tolerant configuration rollout is also a subcommand::
 
     nmslc rollout internet.nmsl --output BartsSnmpd --jobs 8
@@ -253,6 +268,11 @@ def build_analyze_parser() -> argparse.ArgumentParser:
         help="write the current findings to the --baseline file and exit 0",
     )
     parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="alias for --write-baseline",
+    )
+    parser.add_argument(
         "--select",
         metavar="CODES",
         help="comma-separated diagnostic codes to run (default: all)",
@@ -268,6 +288,78 @@ def build_analyze_parser() -> argparse.ArgumentParser:
         "--lax",
         action="store_true",
         help="analyze even when the specification has semantic errors",
+    )
+    _add_obs_arguments(parser)
+    return parser
+
+
+def build_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nmslc diff",
+        description="Relational spec diff: verify the delta between two "
+        "specification revisions — permission widenings/tightenings, "
+        "verdict flips, configuration rewrites and redrives — reported "
+        "as NM4xx diagnostics",
+    )
+    parser.add_argument("old", help="baseline (A-side) NMSL specification")
+    parser.add_argument("new", help="revised (B-side) NMSL specification")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--waiver",
+        metavar="FILE",
+        help="waiver file of explicitly approved findings (same format "
+        "as an analysis baseline, tool 'nmslc-diff'); waived findings "
+        "are reported but never fail the run",
+    )
+    parser.add_argument(
+        "--update-waiver",
+        action="store_true",
+        help="write the current gating findings to the --waiver file "
+        "and exit 0",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="TAGS",
+        default="BartsSnmpd",
+        help="comma-separated configuration output tags to fingerprint "
+        "for byte-wise change detection (default: BartsSnmpd)",
+    )
+    parser.add_argument(
+        "--full-config-scan",
+        action="store_true",
+        help="fingerprint every element, not just impacted ones; "
+        "enables NM403 (config rewrite without spec cause) at the cost "
+        "of two full generation runs",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("indexed", "scan"),
+        default="indexed",
+        help="consistency engine for the baseline check (default: indexed)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the baseline check (default: 1)",
+    )
+    parser.add_argument(
+        "--extensions",
+        nargs="*",
+        default=(),
+        metavar="FILE",
+        help="extension-language files to prepend to both revisions",
+    )
+    parser.add_argument(
+        "--report-file",
+        metavar="FILE",
+        help="also write the JSON diagnostic report to FILE (CI artifact)",
     )
     _add_obs_arguments(parser)
     return parser
@@ -338,6 +430,19 @@ def build_rollout_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="direct-install the configuration first so every agent has a "
         "last-known-good to roll back to (simulates a brownfield campus)",
+    )
+    parser.add_argument(
+        "--diff-base",
+        metavar="FILE",
+        help="previously shipped specification revision; the campaign "
+        "stages only elements impacted by the delta and refuses to "
+        "ship unwaived access widenings (NM401)",
+    )
+    parser.add_argument(
+        "--waiver",
+        metavar="FILE",
+        help="waiver file of approved relational findings "
+        "(see nmslc diff --update-waiver); only used with --diff-base",
     )
     parser.add_argument(
         "--journal",
@@ -616,6 +721,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args = build_analyze_parser().parse_args(argv[1:])
             with _obs_session(args):
                 return _run_analyze(args)
+        if argv and argv[0] == "diff":
+            args = build_diff_parser().parse_args(argv[1:])
+            with _obs_session(args):
+                return _run_diff(args)
         if argv and argv[0] == "rollout":
             args = build_rollout_parser().parse_args(argv[1:])
             with _obs_session(args):
@@ -767,7 +876,7 @@ def _run_analyze(args: argparse.Namespace) -> int:
         report = registry.run(compiler.analysis_context(result), codes=codes)
         merged = merged.merged_with(report)
 
-    if args.write_baseline:
+    if args.write_baseline or args.update_baseline:
         if not args.baseline:
             print(
                 "nmslc: error: --write-baseline needs --baseline FILE",
@@ -789,6 +898,122 @@ def _run_analyze(args: argparse.Namespace) -> int:
     if args.format == "text":
         sys.stdout.write("\n")
     return 1 if merged.gating() else 0
+
+
+def _compile_revision(path, extensions, extension_files, lax=False):
+    """Compile one revision for the diff; None + stderr on errors."""
+    text = Path(path).read_text(encoding="utf-8")
+    compiler = NmslCompiler(
+        CompilerOptions(
+            filename=str(path),
+            strict=not lax,
+            extensions=extensions,
+            extension_files=extension_files,
+        )
+    )
+    result = compiler.compile(text)
+    if result.report.errors:
+        for error in result.report.errors:
+            print(f"nmslc: error: {error}", file=sys.stderr)
+        return None
+    return compiler, result
+
+
+def _run_diff(args: argparse.Namespace) -> int:
+    """The ``nmslc diff`` subcommand: relational differential verify."""
+    from repro.analysis import (
+        Waiver,
+        relational_registry,
+        relational_report,
+        render,
+        render_json,
+    )
+    from repro.consistency.impact import ImpactAnalyzer
+
+    extensions = tuple(
+        parse_extension(Path(name).read_text(encoding="utf-8"))
+        for name in args.extensions
+    )
+    extension_files = tuple(args.extensions)
+    old = _compile_revision(args.old, extensions, extension_files)
+    if old is None:
+        return 2
+    new = _compile_revision(args.new, extensions, extension_files)
+    if new is None:
+        return 2
+    old_compiler, old_result = old
+    _, new_result = new
+
+    tags = tuple(
+        tag.strip() for tag in args.output.split(",") if tag.strip()
+    )
+    analyzer = ImpactAnalyzer(
+        old_compiler.tree,
+        engine=args.engine,
+        jobs=args.jobs,
+        tags=tags,
+        config_scope="full" if args.full_config_scan else "impacted",
+    )
+    analyzer.baseline(old_result.specification)
+    impact = analyzer.analyze(new_result.specification)
+
+    registry = relational_registry()
+    report = relational_report(impact, registry=registry)
+
+    if args.update_waiver:
+        if not args.waiver:
+            print(
+                "nmslc: error: --update-waiver needs --waiver FILE",
+                file=sys.stderr,
+            )
+            return 2
+        waiver = Waiver.from_gating(report)
+        waiver.save(args.waiver)
+        print(
+            f"wrote {len(waiver)} waiver(s) to {args.waiver}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.waiver and Path(args.waiver).exists():
+        report = Waiver.load(args.waiver).apply(report)
+
+    sys.stdout.write(render(report, args.format, registry.passes()))
+    if args.format == "text":
+        sys.stdout.write("\n")
+    stats = impact.stats
+    print(
+        f"nmslc: diff: {stats.get('diff_entries', 0)} spec delta "
+        f"entr{'y' if stats.get('diff_entries', 0) == 1 else 'ies'}, "
+        f"{len(impact.impacted_elements)} impacted element(s), "
+        f"{len(impact.redrive_elements())} redrive(s), "
+        f"{len(report.diagnostics)} finding(s)",
+        file=sys.stderr,
+    )
+    if args.report_file:
+        Path(args.report_file).write_text(
+            render_json(report), encoding="utf-8"
+        )
+    return 1 if report.gating() else 0
+
+
+def _build_rollout_gate(args: argparse.Namespace, runtime):
+    """Relational gate for ``rollout --diff-base``; (gate, report)."""
+    from repro.analysis import Waiver, relational_report
+    from repro.consistency.impact import ImpactAnalyzer
+    from repro.rollout import RolloutGate
+
+    base = _compile_revision(args.diff_base, (), ())
+    if base is None:
+        return None
+    base_compiler, base_result = base
+    analyzer = ImpactAnalyzer(base_compiler.tree, tags=(args.output,))
+    analyzer.baseline(base_result.specification)
+    impact = analyzer.analyze(runtime.result.specification)
+    report = relational_report(impact)
+    if args.waiver and Path(args.waiver).exists():
+        report = Waiver.load(args.waiver).apply(report)
+    return RolloutGate.from_impact(impact, report), report
 
 
 def _parse_chaos_targets(entries, default_count):
@@ -870,6 +1095,29 @@ def _run_rollout(args: argparse.Namespace) -> int:
     runtime = _compile_for_runtime(args)
     if runtime is None:
         return 2
+
+    gate = None
+    if args.diff_base:
+        from repro.analysis import render_text
+
+        gated = _build_rollout_gate(args, runtime)
+        if gated is None:
+            return 2
+        gate, gate_report = gated
+        if not gate.permits():
+            print(render_text(gate_report))
+            print(
+                "nmslc: rollout refused: the delta widens access without "
+                "a waiver (see nmslc diff --update-waiver)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"nmslc: relational gate: staging "
+            f"{len(gate.impacted_elements)} impacted element(s)",
+            file=sys.stderr,
+        )
+
     if args.baseline_install:
         runtime.install_configuration(tag=args.output)
 
@@ -901,6 +1149,7 @@ def _run_rollout(args: argparse.Namespace) -> int:
             journal=journal,
             crash_coordinator_after=args.chaos_crash_coordinator,
             resume_from=resume_from,
+            gate=gate,
         )
     finally:
         if journal is not None:

@@ -24,6 +24,10 @@ latter two simulated as spool directories.
 """
 
 from repro.codegen.base import ConfigurationGenerator, GeneratedConfig
+from repro.codegen.fingerprints import (
+    config_fingerprints,
+    default_fingerprint_registry,
+)
 from repro.codegen.snmpd import SNMPD_TAG, register_snmpd_outputs
 from repro.codegen.acl import ACL_TAG, register_acl_outputs
 from repro.codegen.osi import OSI_TAG, register_osi_outputs
@@ -54,6 +58,8 @@ __all__ = [
     "SNMPD_TAG",
     "ShipmentRecord",
     "Transport",
+    "config_fingerprints",
+    "default_fingerprint_registry",
     "register_acl_outputs",
     "register_all",
     "register_osi_outputs",

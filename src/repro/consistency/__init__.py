@@ -58,37 +58,39 @@ from repro.consistency.evolution import (
     SpecificationDiff,
     diff_specifications,
 )
-from repro.consistency.lint import (
-    LintFinding,
-    LintKind,
-    LintReport,
-    SpecificationLinter,
-    lint_specification,
+from repro.consistency.impact import (
+    ConfigChange,
+    ImpactAnalyzer,
+    ImpactSet,
+    PermissionChange,
+    VerdictFlip,
+    impacted_elements,
 )
 from repro.consistency.report import Inconsistency, InconsistencyKind
 from repro.consistency.speculative import SpeculativeChecker, solve_for_frequency
 
 __all__ = [
     "ACCESS_ORDER",
+    "ConfigChange",
     "ConsistencyChecker",
     "ConsistencyResult",
     "DeltaChecker",
     "FactGenerator",
+    "ImpactAnalyzer",
+    "ImpactSet",
     "SpecificationDiff",
     "diff_specifications",
     "Inconsistency",
     "InconsistencyKind",
     "InstanceId",
-    "LintFinding",
-    "LintKind",
-    "LintReport",
     "Permission",
+    "PermissionChange",
     "Reference",
-    "SpecificationLinter",
-    "lint_specification",
     "SpeculativeChecker",
+    "VerdictFlip",
     "access_atom",
     "check_with_clpr",
     "check_with_datalog",
+    "impacted_elements",
     "solve_for_frequency",
 ]

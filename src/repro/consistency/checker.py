@@ -1220,6 +1220,26 @@ class ConsistencyChecker:
             self._view_cache[key] = cached
         return cached
 
+    # ------------------------------------------------------------------
+    # Public accessors for differential clients (repro.consistency.impact).
+    # ------------------------------------------------------------------
+    def view(self, paths: Sequence[str]) -> MibView:
+        """A (cached) MIB view over ``paths``, sharing the checker's memo."""
+        return self._view(paths)
+
+    def reference_verdicts(self):
+        """Per-reference verdicts from the last check/recheck.
+
+        Returns a list of ``(reference, problems)`` pairs aligned with the
+        checked reference list, or ``None`` if no check has run yet.  The
+        returned list is a snapshot: a subsequent :meth:`recheck` replaces
+        the underlying storage rather than mutating it, so callers may
+        hold the result across a recheck to compare old vs new verdicts.
+        """
+        if self._verdict_list is None or self._checked_references is None:
+            return None
+        return list(zip(self._checked_references, self._verdict_list))
+
 
 def check_with_clpr(
     specification: Specification,

@@ -1,97 +1,47 @@
-"""Specification lint: compatibility shim over :mod:`repro.analysis`.
+"""Deprecated: the seed linter now lives in :mod:`repro.analysis`.
 
-The seed linter's four passes — **unused-process**, **unmanaged-element**,
-**unused-permission**, **overbroad-grant** — now live in the static-
-analysis framework as passes NM101, NM102, NM201 and NM202, where they
-gained stable codes, severities, source spans and SARIF output.  This
-module keeps the original ``lint_specification`` API (and the
-``[kind] subject: message`` rendering) for existing callers; new code
-should use :func:`repro.analysis.analyze_specification` directly.
-
-Findings are advisory; they never make a specification inconsistent.
+The four original passes — unused-process, unmanaged-element,
+unused-permission, overbroad-grant — are analysis passes NM101, NM102,
+NM201 and NM202.  This module survives for one release as a warning
+wrapper: :func:`lint_specification` delegates to
+:func:`repro.analysis.analyze_specification` (returning its
+:class:`~repro.analysis.diagnostics.AnalysisReport`) and emits a
+:class:`DeprecationWarning`.  The legacy ``LintKind``/``LintReport``
+value types are gone; filter the report with
+:meth:`~repro.analysis.diagnostics.AnalysisReport.by_code` instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from enum import Enum
-from typing import List
+import warnings
 
 from repro.mib.tree import MibTree
 from repro.nmsl.specs import Specification
 
-
-class LintKind(Enum):
-    UNUSED_PROCESS = "unused-process"
-    UNMANAGED_ELEMENT = "unmanaged-element"
-    UNUSED_PERMISSION = "unused-permission"
-    OVERBROAD_GRANT = "overbroad-grant"
-
-
-#: Legacy lint kind -> analysis diagnostic code.
-KIND_TO_CODE = {
-    LintKind.UNUSED_PROCESS: "NM101",
-    LintKind.UNMANAGED_ELEMENT: "NM102",
-    LintKind.UNUSED_PERMISSION: "NM201",
-    LintKind.OVERBROAD_GRANT: "NM202",
+#: Legacy lint slug -> analysis diagnostic code, for callers migrating
+#: off the enum-keyed API.
+SLUG_TO_CODE = {
+    "unused-process": "NM101",
+    "unmanaged-element": "NM102",
+    "unused-permission": "NM201",
+    "overbroad-grant": "NM202",
 }
 
-_CODE_TO_KIND = {code: kind for kind, code in KIND_TO_CODE.items()}
 
+def lint_specification(specification: Specification, tree: MibTree):
+    """Deprecated alias for the four legacy analysis passes.
 
-@dataclass(frozen=True)
-class LintFinding:
-    kind: LintKind
-    subject: str
-    message: str
+    Returns the :class:`~repro.analysis.diagnostics.AnalysisReport` of
+    NM101/NM102/NM201/NM202 over *specification*.
+    """
+    warnings.warn(
+        "repro.consistency.lint is deprecated; use "
+        "repro.analysis.analyze_specification",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.analysis import analyze_specification
 
-    def render(self) -> str:
-        return f"[{self.kind.value}] {self.subject}: {self.message}"
-
-
-@dataclass
-class LintReport:
-    findings: List[LintFinding] = field(default_factory=list)
-
-    def by_kind(self, kind: LintKind) -> List[LintFinding]:
-        return [finding for finding in self.findings if finding.kind == kind]
-
-    def render(self) -> str:
-        if not self.findings:
-            return "no lint findings"
-        return "\n".join(finding.render() for finding in self.findings)
-
-    def __len__(self) -> int:
-        return len(self.findings)
-
-
-class SpecificationLinter:
-    """Runs the four legacy lint passes over a compiled specification."""
-
-    def __init__(self, specification: Specification, tree: MibTree):
-        self._spec = specification
-        self._tree = tree
-
-    def lint(self) -> LintReport:
-        from repro.analysis import analyze_specification
-
-        report = analyze_specification(
-            self._spec, self._tree, codes=tuple(_CODE_TO_KIND)
-        )
-        return LintReport(
-            [
-                LintFinding(
-                    kind=_CODE_TO_KIND[diagnostic.code],
-                    subject=diagnostic.subject,
-                    message=diagnostic.message,
-                )
-                for diagnostic in report.diagnostics
-            ]
-        )
-
-
-def lint_specification(
-    specification: Specification, tree: MibTree
-) -> LintReport:
-    """Convenience wrapper."""
-    return SpecificationLinter(specification, tree).lint()
+    return analyze_specification(
+        specification, tree, codes=tuple(sorted(SLUG_TO_CODE.values()))
+    )

@@ -115,6 +115,16 @@ class JournalError(RolloutError):
     """The rollout journal is unreadable, inconsistent, or mismatched."""
 
 
+class RolloutVetoed(RolloutError):
+    """A campaign was refused by its relational gate.
+
+    Raised before any element is touched when the impact set backing a
+    gated rollout contains unwaived blocking findings (an NM401
+    access-widening grant, typically) — shipping would widen access
+    without an explicit waiver.
+    """
+
+
 class CoordinatorCrash(RolloutError):
     """The coordinator process was killed mid-campaign (chaos hook).
 

@@ -336,6 +336,7 @@ class ManagementRuntime:
         crash_coordinator_after: Optional[int] = None,
         health=None,
         resume_from=None,
+        gate=None,
     ):
         """Run a fault-tolerant rollout campaign over every agent.
 
@@ -347,9 +348,11 @@ class ManagementRuntime:
         ``journal`` write-ahead-logs the campaign (making it resumable),
         ``crash_coordinator_after`` kills the coordinator after N
         journaled events (chaos), ``health`` skips quarantined elements,
-        and ``resume_from`` (a journal or path) continues an interrupted
-        campaign instead of starting fresh.  Returns the
-        :class:`~repro.rollout.state.RolloutReport`.
+        ``gate`` (a :class:`~repro.rollout.gate.RolloutGate`) vetoes
+        unwaived access-widening deltas and narrows the campaign to the
+        impacted elements, and ``resume_from`` (a journal or path)
+        continues an interrupted campaign instead of starting fresh.
+        Returns the :class:`~repro.rollout.state.RolloutReport`.
         """
         from repro.rollout import RolloutCoordinator
 
@@ -371,6 +374,7 @@ class ManagementRuntime:
             journal=journal,
             crash_coordinator_after=crash_coordinator_after,
             health=health,
+            gate=gate,
         )
         if resume_from is not None:
             return coordinator.resume(resume_from)

@@ -26,6 +26,7 @@ from repro.rollout.coordinator import (
     SendFunction,
     config_fingerprint,
 )
+from repro.rollout.gate import BLOCKING_CODES, RolloutGate
 from repro.rollout.journal import (
     ElementJournalState,
     InterruptedAttempt,
@@ -45,12 +46,14 @@ from repro.rollout.state import (
 
 __all__ = [
     "AttemptRecord",
+    "BLOCKING_CODES",
     "ElementJournalState",
     "ElementRollout",
     "InterruptedAttempt",
     "JournalState",
     "RetryPolicy",
     "RolloutCoordinator",
+    "RolloutGate",
     "RolloutJournal",
     "RolloutReport",
     "RolloutState",

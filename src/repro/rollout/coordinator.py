@@ -128,6 +128,7 @@ class RolloutCoordinator:
         journal: Optional[RolloutJournal] = None,
         crash_coordinator_after: Optional[int] = None,
         health=None,
+        gate=None,
     ):
         if jobs < 1:
             raise RolloutError(f"jobs must be at least 1, got {jobs}")
@@ -138,6 +139,13 @@ class RolloutCoordinator:
                 "crash_coordinator_after must be at least 1, got "
                 f"{crash_coordinator_after}"
             )
+        if gate is not None:
+            # The relational gate both vetoes (unwaived access widening —
+            # before any element is touched) and narrows the campaign to
+            # the impacted elements, before channel validation so pruned
+            # targets need no channel either.
+            gate.check()
+            configs = gate.filter_targets(configs)
         missing = sorted(set(configs) - set(channels))
         if missing:
             raise RolloutError(
@@ -153,6 +161,7 @@ class RolloutCoordinator:
         self.journal = journal
         self.crash_coordinator_after = crash_coordinator_after
         self.health = health
+        self.gate = gate
         self._rollback_attempts: Dict[str, int] = {}
         self._replays: Dict[str, List[dict]] = {}
         self._events = 0

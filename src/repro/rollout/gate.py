@@ -1,0 +1,94 @@
+"""The relational rollout gate: impact sets decide what ships.
+
+A :class:`RolloutGate` is the contract between differential verification
+(:mod:`repro.consistency.impact`) and the delivery machinery: a campaign
+built from revision B after diffing against revision A
+
+* stages **only the impacted elements** (most real changes are small, so
+  a verified-delta rollout is near-O(change) instead of fleet-wide), and
+* is **refused outright** when the diff contains unwaived blocking
+  findings — an NM401 access-widening grant is the canonical one —
+  before a single element is touched.
+
+Build one with :func:`RolloutGate.from_impact` from an impact set and
+its (waiver-applied) NM4xx report, then hand it to
+:class:`~repro.rollout.coordinator.RolloutCoordinator` (or
+``ManagementRuntime.rollout(..., gate=...)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.consistency.impact import ImpactSet
+from repro.errors import RolloutVetoed
+
+#: Diagnostic codes that veto a campaign when unwaived.
+BLOCKING_CODES = ("NM401",)
+
+
+@dataclass(frozen=True)
+class RolloutGate:
+    """What a relational diff allows a campaign to ship."""
+
+    #: elements the campaign may stage (targets are matched on their
+    #: element part, so per-instance targets like ``host/agent@host#0``
+    #: follow their element).
+    impacted_elements: FrozenSet[str]
+    #: unwaived blocking findings; non-empty means the campaign is vetoed.
+    blocking: Tuple[Diagnostic, ...] = ()
+    description: str = ""
+
+    @classmethod
+    def from_impact(
+        cls, impact: ImpactSet, report: AnalysisReport
+    ) -> "RolloutGate":
+        """Gate a campaign on an impact set and its NM4xx report.
+
+        *report* should already have the waiver applied (via
+        :meth:`~repro.analysis.baseline.Baseline.apply`): a waived NM401
+        is suppressed, hence not gating, hence not blocking here.
+        """
+        blocking = tuple(
+            diagnostic
+            for diagnostic in report.gating()
+            if diagnostic.code in BLOCKING_CODES
+        )
+        return cls(
+            impacted_elements=frozenset(impact.impacted_elements),
+            blocking=blocking,
+            description=(
+                f"relational gate: {len(impact.impacted_elements)} impacted "
+                f"element(s), {len(blocking)} blocking finding(s)"
+            ),
+        )
+
+    def permits(self) -> bool:
+        return not self.blocking
+
+    def check(self) -> None:
+        """Raise :class:`RolloutVetoed` when the campaign may not ship."""
+        if self.blocking:
+            summary = "; ".join(
+                f"{d.code} {d.subject}: {d.message}" for d in self.blocking[:3]
+            )
+            if len(self.blocking) > 3:
+                summary += f" (+{len(self.blocking) - 3} more)"
+            raise RolloutVetoed(
+                f"refusing to ship: {len(self.blocking)} unwaived blocking "
+                f"finding(s) — {summary}"
+            )
+
+    def filter_targets(self, configs: Dict[str, str]) -> Dict[str, str]:
+        """The subset of campaign targets this gate stages.
+
+        Targets are keyed as ``element`` or ``element/instance-id``; a
+        target is staged iff its element part is impacted.
+        """
+        return {
+            target: text
+            for target, text in configs.items()
+            if target.partition("/")[0] in self.impacted_elements
+        }

@@ -118,7 +118,10 @@ class TestSarifRenderer:
             region = physical["region"]
             assert region["startLine"] >= 1
             assert region["startColumn"] >= 1
-            assert result["partialFingerprints"]["nmslFingerprint/v1"]
+            fingerprint = result["partialFingerprints"]["nmslFingerprint/v2"]
+            # Hashed, path-free and fixed-width: stable across checkouts.
+            assert len(fingerprint) == 64
+            assert set(fingerprint) <= set("0123456789abcdef")
 
     def test_dispatcher(self):
         report = analyze(MIXED, strict=False)

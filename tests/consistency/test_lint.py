@@ -1,10 +1,17 @@
-"""Tests for the specification linter."""
+"""Tests for the deprecated lint shim (now backed by repro.analysis).
+
+PR 2 moved the four seed linter passes into :mod:`repro.analysis` as
+NM101/NM102/NM201/NM202; this module keeps the old behavioural coverage
+running through the one-release :func:`lint_specification` shim, plus a
+test pinning the shim's deprecation contract itself.
+"""
+
+import warnings
 
 import pytest
 
-from repro.consistency.lint import LintKind, lint_specification
+from repro.consistency.lint import SLUG_TO_CODE, lint_specification
 from repro.nmsl.compiler import CompilerOptions, NmslCompiler
-from repro.workloads.paper import PAPER_SPEC_TEXT
 from repro.workloads.scenarios import campus_internet
 
 
@@ -15,7 +22,9 @@ def compiler():
 
 def lint(compiler, text, strict=True):
     spec = compiler.compile(text, strict=strict).specification
-    return lint_specification(spec, compiler.tree)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return lint_specification(spec, compiler.tree)
 
 
 BASE = """
@@ -32,18 +41,44 @@ end system "server.example".
 """
 
 
+class TestDeprecationShim:
+    def test_warns_and_delegates(self, compiler):
+        spec = compiler.compile(BASE).specification
+        with pytest.warns(DeprecationWarning, match="repro.analysis"):
+            report = lint_specification(spec, compiler.tree)
+        # The shim returns the analysis report type, not the old
+        # LintReport: AnalysisReport quacks via .diagnostics/.by_code.
+        assert hasattr(report, "by_code")
+        assert hasattr(report, "diagnostics")
+
+    def test_slug_mapping_covers_the_seed_passes(self):
+        assert SLUG_TO_CODE == {
+            "unused-process": "NM101",
+            "unmanaged-element": "NM102",
+            "unused-permission": "NM201",
+            "overbroad-grant": "NM202",
+        }
+
+    def test_runs_only_the_legacy_codes(self, compiler):
+        # The shim must not grow new gate failures: only the four
+        # migrated passes run, nothing from NM103+/NM3xx.
+        report = lint(compiler, campus_internet())
+        allowed = set(SLUG_TO_CODE.values())
+        assert {d.code for d in report.diagnostics} <= allowed
+
+
 class TestUnusedProcess:
     def test_flagged(self, compiler):
         report = lint(
             compiler,
             BASE + "process ghost ::= supports mgmt.mib.udp; end process ghost.",
         )
-        findings = report.by_kind(LintKind.UNUSED_PROCESS)
+        findings = report.by_code("NM101")
         assert [finding.subject for finding in findings] == ["ghost"]
 
     def test_instantiated_not_flagged(self, compiler):
         report = lint(compiler, BASE)
-        assert not report.by_kind(LintKind.UNUSED_PROCESS)
+        assert not report.by_code("NM101")
 
 
 class TestUnmanagedElement:
@@ -57,7 +92,7 @@ system "dumb.example" ::=
 end system "dumb.example".
 """
         report = lint(compiler, text)
-        findings = report.by_kind(LintKind.UNMANAGED_ELEMENT)
+        findings = report.by_code("NM102")
         assert [finding.subject for finding in findings] == ["dumb.example"]
 
     def test_proxied_element_is_managed(self, compiler):
@@ -74,7 +109,7 @@ system "dumb.example" ::=
 end system "dumb.example".
 """
         report = lint(compiler, text)
-        assert not report.by_kind(LintKind.UNMANAGED_ELEMENT)
+        assert not report.by_code("NM102")
 
 
 class TestUnusedPermission:
@@ -86,7 +121,7 @@ class TestUnusedPermission:
             "end process agent.",
         )
         report = lint(compiler, text, strict=False)
-        assert report.by_kind(LintKind.UNUSED_PERMISSION)
+        assert report.by_code("NM201")
 
     def test_used_export_not_flagged(self, compiler):
         text = BASE + """
@@ -100,7 +135,7 @@ end domain servers.
 domain clients ::= process watcher(server.example); end domain clients.
 """
         report = lint(compiler, text)
-        unused = report.by_kind(LintKind.UNUSED_PERMISSION)
+        unused = report.by_code("NM201")
         assert not any("servers" in finding.subject for finding in unused)
 
 
@@ -113,7 +148,7 @@ class TestOverbroadGrant:
             "end process agent.",
         )
         report = lint(compiler, text)
-        assert report.by_kind(LintKind.OVERBROAD_GRANT)
+        assert report.by_code("NM202")
 
     def test_readonly_to_public_fine(self, compiler):
         text = BASE.replace(
@@ -123,16 +158,16 @@ class TestOverbroadGrant:
             "end process agent.",
         )
         report = lint(compiler, text)
-        assert not report.by_kind(LintKind.OVERBROAD_GRANT)
+        assert not report.by_code("NM202")
 
 
 class TestScenarios:
     def test_campus_is_clean_except_snmpaddr_style_gaps(self, compiler):
         report = lint(compiler, campus_internet())
         # The campus has no unused processes or unmanaged elements.
-        assert not report.by_kind(LintKind.UNUSED_PROCESS)
-        assert not report.by_kind(LintKind.UNMANAGED_ELEMENT)
-        assert not report.by_kind(LintKind.OVERBROAD_GRANT)
+        assert not report.by_code("NM101")
+        assert not report.by_code("NM102")
+        assert not report.by_code("NM202")
 
     def test_report_rendering(self, compiler):
         report = lint(

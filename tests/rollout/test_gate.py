@@ -1,0 +1,134 @@
+"""The relational rollout gate: veto, waiver, and impacted-only staging."""
+
+import pytest
+
+from repro.analysis import Waiver, relational_report
+from repro.consistency.impact import ImpactAnalyzer
+from repro.errors import RolloutVetoed
+from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+from repro.rollout import BLOCKING_CODES, RolloutGate
+
+SPEC = """
+process agent ::=
+    supports mgmt.mib.system, mgmt.mib.ip;
+end process agent.
+process watcher(T: Process) ::=
+    queries T requests mgmt.mib.ip frequency >= 10 minutes;
+end process watcher.
+system "server.example" ::=
+    cpu sparc;
+    interface ie0 net lan type ethernet-csmacd speed 10000000 bps;
+    opsys SunOS version 4.0.1;
+    supports mgmt.mib.system, mgmt.mib.ip;
+    process agent;
+end system "server.example".
+system "noc.example" ::=
+    cpu sparc;
+    interface ie0 net lan type ethernet-csmacd speed 10000000 bps;
+    opsys SunOS version 4.0.1;
+    supports mgmt.mib.system, mgmt.mib.ip;
+    process agent;
+end system "noc.example".
+system "idle.example" ::=
+    cpu sparc;
+    interface ie0 net lan type ethernet-csmacd speed 10000000 bps;
+    opsys SunOS version 4.0.1;
+    supports mgmt.mib.system, mgmt.mib.ip;
+    process agent;
+end system "idle.example".
+domain servers ::=
+    system server.example;
+    exports mgmt.mib.ip to clients access {access} frequency >= 5 minutes;
+end domain servers.
+domain clients ::=
+    system noc.example;
+    process watcher(server.example);
+end domain clients.
+domain idle ::=
+    system idle.example;
+end domain idle.
+"""
+
+SPEC_A = SPEC.format(access="ReadOnly")
+SPEC_WIDENED = SPEC.format(access="ReadWrite")
+
+
+def build_gate(text_a, text_b, waiver=None):
+    compiler = NmslCompiler(CompilerOptions(register_codegen=False))
+    spec_a = compiler.compile(text_a, strict=False).specification
+    spec_b = compiler.compile(text_b, strict=False).specification
+    analyzer = ImpactAnalyzer(compiler.tree, tags=())
+    analyzer.baseline(spec_a)
+    impact = analyzer.analyze(spec_b)
+    report = relational_report(impact)
+    if waiver is not None:
+        report = waiver.apply(report)
+    return impact, report, RolloutGate.from_impact(impact, report)
+
+
+class TestGate:
+    def test_unwaived_widening_vetoes(self):
+        _, report, gate = build_gate(SPEC_A, SPEC_WIDENED)
+        assert not gate.permits()
+        with pytest.raises(RolloutVetoed, match="NM401"):
+            gate.check()
+        assert {d.code for d in gate.blocking} <= set(BLOCKING_CODES)
+
+    def test_waiver_unblocks(self):
+        _, report, _ = build_gate(SPEC_A, SPEC_WIDENED)
+        waiver = Waiver.from_gating(report)
+        _, _, gate = build_gate(SPEC_A, SPEC_WIDENED, waiver=waiver)
+        assert gate.permits()
+        gate.check()  # no raise
+
+    def test_targets_filtered_to_impacted_elements(self):
+        _, _, gate = build_gate(SPEC_A, SPEC_WIDENED)
+        configs = {
+            "server.example": "cfg",
+            "server.example/agent@server.example#0": "cfg",
+            "idle.example": "cfg",
+            "idle.example/agent@idle.example#0": "cfg",
+        }
+        staged = gate.filter_targets(configs)
+        # Only the widened domain's member is staged; the untouched
+        # domain's element (and its per-instance target) is skipped.
+        assert set(staged) == {
+            "server.example",
+            "server.example/agent@server.example#0",
+        }
+
+    def test_empty_delta_stages_nothing(self):
+        impact, report, gate = build_gate(SPEC_A, SPEC_A)
+        assert impact.is_empty()
+        assert gate.permits()
+        assert gate.filter_targets({"server.example": "cfg"}) == {}
+
+
+class TestCoordinatorIntegration:
+    def _runtime(self, text):
+        from repro.netsim.processes import ManagementRuntime
+
+        compiler = NmslCompiler(CompilerOptions())
+        result = compiler.compile(text, strict=False)
+        assert not result.report.errors
+        return ManagementRuntime(compiler, result)
+
+    def test_vetoed_campaign_never_touches_an_element(self):
+        runtime = self._runtime(SPEC_WIDENED)
+        _, _, gate = build_gate(SPEC_A, SPEC_WIDENED)
+        with pytest.raises(RolloutVetoed):
+            runtime.rollout(gate=gate)
+
+    def test_gated_campaign_stages_only_impacted(self):
+        runtime = self._runtime(SPEC_WIDENED)
+        _, report, _ = build_gate(SPEC_A, SPEC_WIDENED)
+        waiver = Waiver.from_gating(report)
+        _, _, gate = build_gate(SPEC_A, SPEC_WIDENED, waiver=waiver)
+        full_targets = set(runtime.rollout_targets())
+        rolled = runtime.rollout(gate=gate)
+        assert rolled.complete
+        touched = set(rolled.elements)
+        assert touched  # the impacted subset shipped...
+        assert touched < full_targets  # ...and it is a strict subset
+        for target in touched:
+            assert target.partition("/")[0] in gate.impacted_elements

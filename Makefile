@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test analyze bench bench-quick chaos heal profile clean
+.PHONY: test analyze bench bench-quick chaos heal profile service bench-service clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +34,16 @@ heal:
 		--chaos-corrupt-store romano.cs.wisc.edu:0 \
 		--report text --report-file HEAL_report.json
 
+## Daemon smoke cycle: boot nmsld, check + diff + gated rollout over the
+## socket, graceful SIGTERM drain (see docs/SERVICE.md).
+service:
+	$(PYTHON) benchmarks/service_smoke.py
+
+## Open-loop service load: per-class latency + shed rate on the simulated
+## runtime, sustained req/s against the real daemon.
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py --quick --output BENCH_service.json
+
 ## Where does the time go?  Per-phase/per-rule breakdown + Perfetto trace.
 profile:
 	$(PYTHON) -m repro.cli profile examples/campus.nmsl --engine datalog \
@@ -42,5 +52,6 @@ profile:
 clean:
 	rm -rf .pytest_cache .benchmarks analysis.sarif BENCH_chaos.json \
 		TRACE_chaos.jsonl METRICS_chaos.prom TRACE_profile.json \
-		TRACE_consistency.json METRICS_consistency.prom HEAL_report.json
+		TRACE_consistency.json METRICS_consistency.prom HEAL_report.json \
+		SERVICE_metrics.prom SERVICE_smoke.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

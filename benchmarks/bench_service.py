@@ -1,0 +1,354 @@
+"""Service benchmark: open-loop load against the ``nmsld`` scheduler.
+
+Two sections, one report (``BENCH_service.json``):
+
+* **simulated** — a synthetic million-operator population (scaled by
+  ``--operators``) issues an open-loop request mix against the
+  deterministic simulated runtime: 80% interactive checks, 15%
+  normal-class analyses, 5% bulk campaigns, with bulk offered *above*
+  sustained capacity so the admission controller sheds continuously.
+  Records logical-clock p50/p99 latency per priority class, shed and
+  rejection rates, scheduler wall-clock throughput, and the
+  acceptance ratio p99(interactive, mixed) / p50(interactive,
+  unloaded), which must stay ≤ 5.  Deterministic per seed: the section
+  asserts a repeated seed reproduces identical latency quantiles.
+
+* **daemon** — a real ``AsyncServiceRuntime`` on a TCP socket serves
+  concurrent clients: warm-cache interactive checks racing bulk
+  analyses.  Records sustained req/s and wall-clock p50/p99 per class.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick] \\
+        [--output BENCH_service.json]
+"""
+
+import argparse
+import json
+import random
+import socket
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.service.core import ServiceConfig  # noqa: E402
+from repro.service.runtime import (  # noqa: E402
+    AsyncServiceRuntime,
+    SimulatedServiceRuntime,
+)
+
+CAMPUS = str(Path(__file__).resolve().parents[1] / "examples" / "campus.nmsl")
+SEED = 1989
+
+#: Interactive service cost range (logical seconds) in the sim section.
+INTERACTIVE_COST = (0.002, 0.010)
+NORMAL_COST = (0.020, 0.100)
+BULK_COST = (0.5, 2.0)
+
+
+def percentile(values, fraction):
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+# ----------------------------------------------------------------------
+# Simulated section.
+# ----------------------------------------------------------------------
+def build_sim_workload(operators, seed, mixed=True):
+    """An open-loop arrival schedule for *operators* requests.
+
+    Interactive load is sized to roughly half the worker pool; bulk is
+    offered above remaining capacity so overload is sustained.
+    """
+    rng = random.Random(seed)
+    runtime = SimulatedServiceRuntime(
+        config=ServiceConfig(
+            workers=8,
+            queue_capacity=256,
+            reserved_interactive_workers=2,
+        )
+    )
+    mean_interactive = sum(INTERACTIVE_COST) / 2
+    # lambda * E[cost] = 3 busy workers' worth of interactive load.
+    interactive_rate = 3.0 / mean_interactive
+    horizon_s = operators * 0.8 / interactive_rate if mixed else (
+        operators / interactive_rate
+    )
+    at = 0.0
+    offered = {"interactive": 0, "normal": 0, "bulk": 0}
+    index = 0
+    while index < operators:
+        if mixed:
+            draw = rng.random()
+            if draw < 0.80:
+                cls, op, cost = "interactive", "ping", rng.uniform(
+                    *INTERACTIVE_COST
+                )
+            elif draw < 0.95:
+                cls, op, cost = "normal", "ping", rng.uniform(*NORMAL_COST)
+            else:
+                cls, op, cost = "bulk", "ping", rng.uniform(*BULK_COST)
+        else:
+            cls, op, cost = "interactive", "ping", rng.uniform(
+                *INTERACTIVE_COST
+            )
+        message = {
+            "id": f"{cls[0]}{index}",
+            "op": op,
+            "cost_s": round(cost, 6),
+        }
+        if cls != "interactive":
+            message["class"] = cls
+            message["deadline_s"] = 3600.0  # latency measured, not cut
+        runtime.offer(round(at, 9), message)
+        offered[cls] += 1
+        # Open loop: exponential inter-arrivals over the whole mix.
+        total_rate = interactive_rate / (0.80 if mixed else 1.0)
+        at += rng.expovariate(total_rate)
+        index += 1
+    return runtime, offered, horizon_s
+
+
+def summarize_sim(responses, offered):
+    latencies = {"interactive": [], "normal": [], "bulk": []}
+    outcomes = {}
+    for message in responses:
+        cls = message.get("class") or "invalid"
+        if message["ok"]:
+            kind = "ok"
+            latencies[cls].append(message["timing"]["total_s"])
+        else:
+            kind = message["error"]["kind"]
+        outcomes.setdefault(cls, {}).setdefault(kind, 0)
+        outcomes[cls][kind] += 1
+    summary = {"offered": offered, "outcomes": outcomes, "classes": {}}
+    for cls, values in latencies.items():
+        if not values:
+            continue
+        summary["classes"][cls] = {
+            "completed": len(values),
+            "p50_s": round(percentile(values, 0.50), 6),
+            "p99_s": round(percentile(values, 0.99), 6),
+            "max_s": round(max(values), 6),
+            "mean_s": round(statistics.fmean(values), 6),
+        }
+    shed = sum(
+        counts.get("shed", 0) + counts.get("queue-full", 0)
+        for counts in outcomes.values()
+    )
+    total = sum(sum(counts.values()) for counts in outcomes.values())
+    summary["shed_rate"] = round(shed / total, 6) if total else 0.0
+    return summary
+
+
+def run_simulated(operators, seed=SEED):
+    # Unloaded baseline: interactive-only at the same arrival rate.
+    baseline_runtime, baseline_offered, _ = build_sim_workload(
+        max(2000, operators // 10), seed, mixed=False
+    )
+    baseline_responses = baseline_runtime.run()
+    baseline = summarize_sim(baseline_responses, baseline_offered)
+
+    runtime, offered, horizon_s = build_sim_workload(operators, seed)
+    started = time.perf_counter()
+    responses = runtime.run()
+    wall_s = time.perf_counter() - started
+    summary = summarize_sim(responses, offered)
+
+    # Determinism: a repeated seed reproduces identical quantiles.
+    repeat_runtime, repeat_offered, _ = build_sim_workload(
+        operators, seed
+    )
+    repeat = summarize_sim(repeat_runtime.run(), repeat_offered)
+    assert repeat == summary, "simulated section is not deterministic"
+
+    unloaded_p50 = baseline["classes"]["interactive"]["p50_s"]
+    mixed_p99 = summary["classes"]["interactive"]["p99_s"]
+    ratio = mixed_p99 / unloaded_p50
+    summary.update(
+        {
+            "operators": operators,
+            "seed": seed,
+            "logical_horizon_s": round(horizon_s, 3),
+            "scheduler_wall_s": round(wall_s, 3),
+            "scheduler_req_per_s": round(len(responses) / wall_s, 1),
+            "unloaded_interactive_p50_s": unloaded_p50,
+            "interactive_p99_over_unloaded_p50": round(ratio, 3),
+        }
+    )
+    assert ratio <= 5.0, (
+        f"interactive p99 under mixed load is {ratio:.2f}x the unloaded "
+        "p50 (acceptance bound: 5x)"
+    )
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Real-daemon section.
+# ----------------------------------------------------------------------
+def run_daemon(interactive_requests, bulk_threads=2):
+    from repro.service.client import ServiceClient
+
+    runtime = AsyncServiceRuntime(
+        config=ServiceConfig(
+            workers=4,
+            queue_capacity=128,
+            reserved_interactive_workers=1,
+        ),
+        host="127.0.0.1",
+        port=0,
+    )
+    thread = threading.Thread(target=runtime.run, daemon=True)
+    thread.start()
+    for _ in range(200):
+        if runtime.port:
+            try:
+                socket.create_connection(
+                    ("127.0.0.1", runtime.port), timeout=0.2
+                ).close()
+                break
+            except OSError:
+                pass
+        time.sleep(0.05)
+
+    def client():
+        return ServiceClient(port=runtime.port, timeout_s=120.0)
+
+    # Warm the cache once so the measured checks hit warm state.
+    with client() as warmup:
+        warmup.request("check", {"spec": CAMPUS})
+
+    # Unloaded interactive latency.
+    unloaded = []
+    with client() as session:
+        for _ in range(interactive_requests):
+            started = time.perf_counter()
+            response = session.request("check", {"spec": CAMPUS})
+            assert response["ok"]
+            unloaded.append(time.perf_counter() - started)
+
+    # Mixed load: bulk analyze loops racing interactive checks.
+    stop = threading.Event()
+    bulk_latencies = []
+
+    def bulk_loop():
+        with client() as session:
+            while not stop.is_set():
+                started = time.perf_counter()
+                response = session.request(
+                    "analyze", {"spec": CAMPUS}, cls="bulk"
+                )
+                if response["ok"]:
+                    bulk_latencies.append(
+                        time.perf_counter() - started
+                    )
+
+    workers = [
+        threading.Thread(target=bulk_loop, daemon=True)
+        for _ in range(bulk_threads)
+    ]
+    for worker in workers:
+        worker.start()
+    time.sleep(0.2)  # let bulk load build
+
+    mixed = []
+    started_wall = time.perf_counter()
+    with client() as session:
+        for _ in range(interactive_requests):
+            started = time.perf_counter()
+            response = session.request("check", {"spec": CAMPUS})
+            assert response["ok"]
+            mixed.append(time.perf_counter() - started)
+    elapsed = time.perf_counter() - started_wall
+    stop.set()
+    for worker in workers:
+        worker.join(timeout=30)
+    runtime.request_drain()
+    thread.join(timeout=30)
+
+    return {
+        "interactive_requests": interactive_requests,
+        "bulk_threads": bulk_threads,
+        "bulk_completed": len(bulk_latencies),
+        "unloaded": {
+            "p50_s": round(percentile(unloaded, 0.50), 6),
+            "p99_s": round(percentile(unloaded, 0.99), 6),
+        },
+        "mixed": {
+            "p50_s": round(percentile(mixed, 0.50), 6),
+            "p99_s": round(percentile(mixed, 0.99), 6),
+            "interactive_req_per_s": round(
+                interactive_requests / elapsed, 1
+            ),
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_service.json", type=Path
+    )
+    parser.add_argument(
+        "--operators",
+        type=int,
+        default=1_000_000,
+        help="simulated open-loop request population (default: 1M)",
+    )
+    parser.add_argument(
+        "--interactive-requests",
+        type=int,
+        default=400,
+        help="real-daemon interactive checks per phase",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: 20k simulated operators, 100 daemon checks",
+    )
+    args = parser.parse_args(argv)
+    operators = 20_000 if args.quick else args.operators
+    interactive = 100 if args.quick else args.interactive_requests
+
+    print(f"simulated section: {operators} operators ...", flush=True)
+    simulated = run_simulated(operators)
+    print(
+        "  interactive p50 {p50_s}s p99 {p99_s}s".format(
+            **simulated["classes"]["interactive"]
+        ),
+        f"shed_rate {simulated['shed_rate']}",
+        f"ratio {simulated['interactive_p99_over_unloaded_p50']}x",
+        flush=True,
+    )
+
+    print(f"daemon section: {interactive} checks/phase ...", flush=True)
+    daemon = run_daemon(interactive)
+    print(
+        f"  unloaded p50 {daemon['unloaded']['p50_s']}s"
+        f" mixed p99 {daemon['mixed']['p99_s']}s"
+        f" at {daemon['mixed']['interactive_req_per_s']} req/s",
+        flush=True,
+    )
+
+    report = {
+        "benchmark": "service",
+        "quick": args.quick,
+        "simulated": simulated,
+        "daemon": daemon,
+    }
+    args.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

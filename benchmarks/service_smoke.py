@@ -1,0 +1,212 @@
+"""CI smoke cycle for the ``nmsld`` daemon.
+
+Boots the daemon on a unix socket, then exercises the full client
+surface the way an operator session would:
+
+1. ``ping`` + ``status`` + warm/cold ``check``;
+2. ``diff`` of the campus spec against a scripted access-widening
+   mutation — the relational gate must report NM401 as gating;
+3. a ``rollout`` of the widened revision *with* ``diff_base`` — the
+   service must refuse it with 403 ``vetoed``;
+4. a clean ``rollout`` of the committed spec over a sub-campus element
+   claim — must complete with a journal on disk;
+5. SIGTERM — graceful drain, exit 0, final metrics scrape flushed.
+
+Leaves ``SERVICE_metrics.prom`` and ``SERVICE_smoke.json`` for CI to
+upload.  Exits non-zero on the first violated expectation.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py [--keep-dir DIR]
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+from widen_access import widen  # noqa: E402
+
+CAMPUS = str(REPO_ROOT / "examples" / "campus.nmsl")
+CS_ELEMENTS = ["gw.cs.campus.edu", "db.cs.campus.edu"]
+
+
+def expect(condition, label, context=None):
+    if not condition:
+        print(f"FAIL: {label}: {context}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"ok: {label}")
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--keep-dir",
+        type=Path,
+        help="working directory (default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+    workdir = args.keep_dir or Path(tempfile.mkdtemp(prefix="nmsld-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    widened = workdir / "campus-widened.nmsl"
+    widened.write_text(
+        widen(Path(CAMPUS).read_text(encoding="utf-8")), encoding="utf-8"
+    )
+
+    socket_path = workdir / "nmsld.sock"
+    ready_file = workdir / "ready.json"
+    metrics_file = REPO_ROOT / "SERVICE_metrics.prom"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.daemon",
+            "--socket", str(socket_path),
+            "--http-port", "0",
+            "--ready-file", str(ready_file),
+            "--metrics", str(metrics_file),
+            "--journal-dir", str(workdir / "journals"),
+            "-v",
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        for _ in range(200):
+            if ready_file.exists():
+                break
+            if daemon.poll() is not None:
+                raise SystemExit("daemon died during startup")
+            time.sleep(0.05)
+        else:
+            raise SystemExit("daemon never became ready")
+        ready = json.loads(ready_file.read_text())
+        expect(ready["pid"] == daemon.pid, "daemon ready", ready)
+
+        with ServiceClient(
+            socket_path=str(socket_path), timeout_s=120.0
+        ) as client:
+            expect(client.request("ping")["ok"], "ping")
+
+            cold = client.request("check", {"spec": CAMPUS}, deadline_s=60)
+            expect(
+                cold["ok"] and cold["result"]["consistent"]
+                and cold["result"]["warm"] is False,
+                "cold check consistent", cold,
+            )
+            warm = client.request("check", {"spec": CAMPUS})
+            expect(
+                warm["ok"] and warm["result"]["warm"] is True,
+                "warm cache hit", warm,
+            )
+
+            diff = client.request(
+                "diff", {"old": CAMPUS, "new": str(widened)},
+                deadline_s=120,
+            )
+            expect(
+                diff["ok"] and diff["result"]["gating"],
+                "diff flags widened access as gating", diff,
+            )
+            expect(
+                any(
+                    finding["code"] == "NM401"
+                    for finding in diff["result"]["findings"]
+                ),
+                "NM401 present in diff findings", diff,
+            )
+
+            vetoed = client.request(
+                "rollout",
+                {
+                    "spec": str(widened),
+                    "diff_base": CAMPUS,
+                    "elements": CS_ELEMENTS,
+                },
+            )
+            expect(
+                not vetoed["ok"]
+                and vetoed["error"]["kind"] == "vetoed"
+                and vetoed["error"]["code"] == 403,
+                "gated rollout vetoed", vetoed,
+            )
+
+            clean = client.request(
+                "rollout",
+                {"spec": CAMPUS, "elements": CS_ELEMENTS},
+            )
+            expect(
+                clean["ok"] and clean["result"]["complete"]
+                and clean["result"]["committed"] == sorted(CS_ELEMENTS),
+                "clean rollout completes over the element claim", clean,
+            )
+            expect(
+                clean["result"]["journal"] is not None
+                and Path(clean["result"]["journal"]).exists(),
+                "campaign journal on disk", clean["result"]["journal"],
+            )
+
+            status = client.request("status")
+            expect(
+                status["ok"]
+                and status["result"]["requests_total"] >= 7,
+                "status snapshot", status,
+            )
+
+        base = f"http://127.0.0.1:{ready['http_port']}"
+        scrape = urllib.request.urlopen(base + "/metrics").read().decode()
+        expect(
+            "repro_service_requests_total" in scrape
+            and "repro_service_latency_seconds" in scrape,
+            "live /metrics scrape",
+        )
+        health = json.loads(
+            urllib.request.urlopen(base + "/healthz").read()
+        )
+        expect(health["status"] == "ok", "/healthz", health)
+
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(timeout=30)
+        expect(code == 0, "graceful SIGTERM drain exits 0", code)
+        expect(
+            metrics_file.exists()
+            and "repro_service_requests_total" in metrics_file.read_text(),
+            "final metrics flushed on drain",
+        )
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+    (REPO_ROOT / "SERVICE_smoke.json").write_text(
+        json.dumps(
+            {
+                "smoke": "service",
+                "health": health,
+                "drain_exit_code": code,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print("service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -750,6 +750,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except OSError as exc:
         print(f"nmslc: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Campaign journals are closed by the finally blocks on the
+        # way out, so an interrupted rollout stays resumable; exit with
+        # the conventional 128 + SIGINT instead of a raw traceback.
+        print("nmslc: interrupted", file=sys.stderr)
+        return 130
 
 
 def _run(args: argparse.Namespace) -> int:

@@ -75,6 +75,10 @@ from repro.nmsl.specs import Specification, PUBLIC_DOMAIN
 #: Below this many references a shard pool costs more than it saves.
 _MIN_REFERENCES_PER_JOB = 64
 
+#: Serial reductions between cooperative deadline polls (cheap: one
+#: clock read per poll, so the unloaded path stays unmeasurable).
+_DEADLINE_POLL_REFERENCES = 32
+
 #: Fork-inherited state for reduction workers: (checker, facts, buckets).
 #: Set immediately before the pool forks and cleared after the merge, so
 #: workers read the parent's checker without pickling the fact set.
@@ -242,10 +246,15 @@ class ConsistencyChecker:
     # The check.
     # ------------------------------------------------------------------
     def check(
-        self, check_capacity: bool = False, jobs: int = 1
+        self,
+        check_capacity: bool = False,
+        jobs: int = 1,
+        deadline=None,
     ) -> ConsistencyResult:
         o = obs.current()
         with o.span("consistency.check", engine=self._engine, jobs=jobs) as span:
+            if deadline is not None:
+                deadline.check("consistency.check")
             with o.span("consistency.facts"):
                 facts = self.facts
             problems: List[Inconsistency] = []
@@ -256,7 +265,10 @@ class ConsistencyChecker:
             warnings.extend(inst_warnings)
             with o.span("consistency.reduce", references=len(facts.references)):
                 verdicts = self._reduce(
-                    facts, list(enumerate(facts.references)), jobs
+                    facts,
+                    list(enumerate(facts.references)),
+                    jobs,
+                    deadline=deadline,
                 )
             self._verdict_list = [
                 verdicts[position]
@@ -303,6 +315,7 @@ class ConsistencyChecker:
         delta,
         check_capacity: bool = False,
         jobs: int = 1,
+        deadline=None,
     ) -> ConsistencyResult:
         """Re-check after an evolution delta, reusing unaffected verdicts.
 
@@ -388,7 +401,7 @@ class ConsistencyChecker:
                     else:
                         pending.append((position, reference))
             with o.span("consistency.reduce", references=len(pending)):
-                computed = self._reduce(facts, pending, jobs)
+                computed = self._reduce(facts, pending, jobs, deadline=deadline)
             for position, _reference in pending:
                 new_list[position] = computed[position]
                 rechecked += 1
@@ -679,6 +692,7 @@ class ConsistencyChecker:
         facts: FactSet,
         pending: List[Tuple[int, Reference]],
         jobs: int = 1,
+        deadline=None,
     ) -> Dict[int, Tuple[Inconsistency, ...]]:
         """Verdicts (by reference position) for the pending references.
 
@@ -692,12 +706,26 @@ class ConsistencyChecker:
         result is byte-identical to a serial reduction regardless of
         worker scheduling.  Worker memo/index tallies are folded back
         into the parent so obs metrics aggregate across workers.
+
+        A *deadline* (:class:`repro.deadline.Deadline`) is polled every
+        :data:`_DEADLINE_POLL_REFERENCES` reductions on the serial path
+        and at shard boundaries on the parallel one (deadline clocks are
+        closures and do not cross a fork), so an ``nmsld`` request whose
+        budget expires mid-check aborts with
+        :class:`~repro.errors.DeadlineExceeded` instead of finishing a
+        check nobody is waiting for.
         """
         if jobs <= 1 or len(pending) < self._shard_threshold:
-            return {
-                position: self._reference_problems(reference, facts)
-                for position, reference in pending
-            }
+            verdicts: Dict[int, Tuple[Inconsistency, ...]] = {}
+            for serial, (position, reference) in enumerate(pending):
+                if deadline is not None and (
+                    serial % _DEADLINE_POLL_REFERENCES == 0
+                ):
+                    deadline.check("consistency.reduce")
+                verdicts[position] = self._reference_problems(reference, facts)
+            return verdicts
+        if deadline is not None:
+            deadline.check("consistency.reduce")
         shards: Dict[str, List[Tuple[int, Reference]]] = {}
         for position, reference in pending:
             key = (

@@ -1,0 +1,66 @@
+"""Cooperative per-request deadlines.
+
+A :class:`Deadline` is an absolute expiry instant on *some* clock — wall
+time in service mode, a logical clock in the simulated runtime — plus a
+cheap ``check()`` that long-running engines call at safe points.  The
+clock is injected as a plain ``() -> float`` callable so the same engine
+code runs deterministically under the simulated service runtime and in
+real time under ``nmsld``:
+
+* the consistency checker polls between reference reductions;
+* the rollout coordinator polls between campaign event-loop steps;
+* the heal reconciler polls between rounds.
+
+``check()`` raises :class:`~repro.errors.DeadlineExceeded`; the service
+layer turns that into a structured 504-style response, never a silent
+drop.  A ``None`` deadline everywhere means "no limit", and the helpers
+tolerate it so call sites stay one line (``Deadline.poll(deadline, ...)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import DeadlineExceeded
+
+__all__ = ["Deadline", "DeadlineExceeded"]
+
+
+@dataclass
+class Deadline:
+    """An absolute expiry instant against an injected clock."""
+
+    at_s: float
+    clock: Callable[[], float]
+    label: str = ""
+
+    @classmethod
+    def after(
+        cls, budget_s: float, clock: Callable[[], float], label: str = ""
+    ) -> "Deadline":
+        """A deadline *budget_s* seconds from the clock's current time."""
+        return cls(at_s=clock() + budget_s, clock=clock, label=label)
+
+    def now(self) -> float:
+        return self.clock()
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.at_s - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.clock() >= self.at_s
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        now_s = self.clock()
+        if now_s >= self.at_s:
+            raise DeadlineExceeded(where or self.label, self.at_s, now_s)
+
+    @staticmethod
+    def poll(deadline: Optional["Deadline"], where: str = "") -> None:
+        """``deadline.check(where)`` that tolerates ``None``."""
+        if deadline is not None:
+            deadline.check(where)

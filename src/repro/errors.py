@@ -136,3 +136,27 @@ class CoordinatorCrash(RolloutError):
 
 class HealError(ReproError):
     """Error in the self-healing reconciliation layer."""
+
+
+class ServiceError(ReproError):
+    """Error in the ``nmsld`` management-plane service layer."""
+
+
+class DeadlineExceeded(ServiceError):
+    """A cooperative deadline expired while a request was being served.
+
+    Raised by :meth:`repro.deadline.Deadline.check` — long-running
+    engines (the consistency checker, the rollout coordinator, the heal
+    reconciler) poll their request's deadline at safe points and abort
+    with this instead of running to completion.  The service layer maps
+    it to a structured 504-style response.
+    """
+
+    def __init__(self, where: str, at_s: float, now_s: float):
+        self.where = where
+        self.at_s = at_s
+        self.now_s = now_s
+        super().__init__(
+            f"deadline expired in {where or 'request'}: "
+            f"now={now_s:.6f}s deadline={at_s:.6f}s"
+        )

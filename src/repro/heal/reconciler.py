@@ -194,6 +194,7 @@ class Reconciler:
         max_rounds: int = 10,
         chunk_size: int = 1024,
         expected_generations: Optional[Dict[str, int]] = None,
+        deadline=None,
     ):
         if max_rounds < 1:
             raise HealError(f"max_rounds must be at least 1, got {max_rounds}")
@@ -214,6 +215,10 @@ class Reconciler:
         self.max_rounds = max_rounds
         self.chunk_size = chunk_size
         self._expected: Dict[str, int] = dict(expected_generations or {})
+        #: Optional :class:`repro.deadline.Deadline` — polled between
+        #: reconciliation rounds (service requests abort with a 504
+        #: instead of burning the round budget past their deadline).
+        self.deadline = deadline
         self._redrives = 0
         self.now = 0.0
 
@@ -290,6 +295,8 @@ class Reconciler:
         o = obs.current()
         report = HealReport(seed=self.seed, interval_s=self.interval_s)
         for number in range(1, budget + 1):
+            if self.deadline is not None:
+                self.deadline.check("heal.round")
             self.now += self.interval_s
             round_report = self._round(number)
             report.rounds.append(round_report)

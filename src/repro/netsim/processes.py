@@ -337,6 +337,7 @@ class ManagementRuntime:
         health=None,
         resume_from=None,
         gate=None,
+        deadline=None,
     ):
         """Run a fault-tolerant rollout campaign over every agent.
 
@@ -375,6 +376,7 @@ class ManagementRuntime:
             crash_coordinator_after=crash_coordinator_after,
             health=health,
             gate=gate,
+            deadline=deadline,
         )
         if resume_from is not None:
             return coordinator.resume(resume_from)
@@ -392,6 +394,7 @@ class ManagementRuntime:
         registry=None,
         interval_s: float = 30.0,
         rounds: int = 10,
+        deadline=None,
     ):
         """Run the drift-reconciliation loop over every agent.
 
@@ -420,6 +423,7 @@ class ManagementRuntime:
             max_rounds=rounds,
             chunk_size=chunk_size,
             expected_generations=expected,
+            deadline=deadline,
         )
         return reconciler.run()
 

@@ -129,6 +129,7 @@ class RolloutCoordinator:
         crash_coordinator_after: Optional[int] = None,
         health=None,
         gate=None,
+        deadline=None,
     ):
         if jobs < 1:
             raise RolloutError(f"jobs must be at least 1, got {jobs}")
@@ -162,6 +163,10 @@ class RolloutCoordinator:
         self.crash_coordinator_after = crash_coordinator_after
         self.health = health
         self.gate = gate
+        #: Optional :class:`repro.deadline.Deadline` — polled between
+        #: event-loop steps so an over-budget service campaign aborts
+        #: (journaled, resumable) instead of running to completion.
+        self.deadline = deadline
         self._rollback_attempts: Dict[str, int] = {}
         self._replays: Dict[str, List[dict]] = {}
         self._events = 0
@@ -319,6 +324,8 @@ class RolloutCoordinator:
         ) as span:
             heapq.heapify(in_flight)
             while in_flight or waiting:
+                if self.deadline is not None:
+                    self.deadline.check("rollout.campaign")
                 while len(in_flight) < self.jobs and waiting:
                     element = waiting.popleft()
                     self._journal_record(

@@ -1,0 +1,57 @@
+"""``repro.service`` — the always-on management-plane service (``nmsld``).
+
+Everything the batch CLI does — compile, check, analyze, diff, rollout,
+heal — exposed as requests over a newline-delimited-JSON socket
+protocol, served by a long-running daemon with a warm spec/fact cache,
+admission control, per-class priority queues, bounded queues with
+explicit load shedding, per-request deadlines, per-campaign bulkheads,
+and graceful drain on SIGTERM.
+
+The scheduler/dispatcher is runtime-agnostic: :class:`ServiceCore` holds
+every robustness decision (admit/shed/dispatch/expire/drain) and two
+runtimes drive it behind one :class:`RuntimeProtocol` —
+:class:`SimulatedServiceRuntime` on a deterministic logical clock
+(tests, chaos, benchmarks: byte-identical reports per seed) and
+:class:`AsyncServiceRuntime` on real asyncio wall-clock I/O (service
+mode).  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.admission import AdmissionController, PRIORITY_CLASSES
+from repro.service.bulkhead import CampaignBulkheads
+from repro.service.core import ServiceConfig, ServiceCore, ServiceRequest
+from repro.service.handlers import ServiceHandlers, SpecCache
+from repro.service.protocol import (
+    OP_CLASS,
+    OPS,
+    ProtocolError,
+    encode_message,
+    error_response,
+    parse_request,
+    result_response,
+)
+from repro.service.runtime import (
+    AsyncServiceRuntime,
+    RuntimeProtocol,
+    SimulatedServiceRuntime,
+)
+
+__all__ = [
+    "OPS",
+    "OP_CLASS",
+    "PRIORITY_CLASSES",
+    "AdmissionController",
+    "AsyncServiceRuntime",
+    "CampaignBulkheads",
+    "ProtocolError",
+    "RuntimeProtocol",
+    "ServiceConfig",
+    "ServiceCore",
+    "ServiceHandlers",
+    "ServiceRequest",
+    "SimulatedServiceRuntime",
+    "SpecCache",
+    "encode_message",
+    "error_response",
+    "parse_request",
+    "result_response",
+]

@@ -1,0 +1,136 @@
+"""Per-campaign bulkheads: isolate concurrent rollout/heal campaigns.
+
+A *campaign* (a bulk ``rollout`` or ``heal`` request) claims the set of
+elements it will touch.  The registry admits any number of campaigns up
+to ``max_campaigns`` **as long as their element sets are disjoint** —
+two campuses rolling out at once cannot starve each other — while a
+campaign overlapping an active one waits in its queue (the admission
+controller skips over it, so independent campaigns behind it still
+dispatch).
+
+Repeat offenders are fenced with the heal layer's
+:class:`~repro.heal.breaker.CircuitBreaker` (one per campaign key):
+consecutive failed campaigns open the breaker and later submissions are
+rejected immediately with a structured 503 ``circuit-open`` carrying the
+cool-down, instead of burning a worker on a campaign that keeps dying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro import obs
+from repro.heal.breaker import CircuitBreaker
+
+
+class CampaignBulkheads:
+    """Tracks in-flight campaigns' element claims plus their breakers."""
+
+    def __init__(
+        self,
+        max_campaigns: int = 4,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+    ):
+        if max_campaigns < 1:
+            raise ValueError(
+                f"max_campaigns must be at least 1, got {max_campaigns}"
+            )
+        self.max_campaigns = max_campaigns
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._active: Dict[str, FrozenSet[str]] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.conflicts_total = 0
+
+    # ------------------------------------------------------------------
+    # Breakers (checked at submit time: fast rejection, no queueing).
+    # ------------------------------------------------------------------
+    def breaker(self, key: str) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                element=key,
+                failure_threshold=self.failure_threshold,
+                cooldown_s=self.cooldown_s,
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def allow(self, key: str, now: float) -> bool:
+        """Whether the campaign's breaker admits a new run at *now*."""
+        return self.breaker(key).allow(now)
+
+    def retry_after(self, key: str, now: float) -> float:
+        """Seconds until an open breaker's cool-down elapses."""
+        breaker = self.breaker(key)
+        if breaker.opened_at is None:
+            return 0.0
+        return max(
+            0.0, breaker.opened_at + breaker.current_cooldown() - now
+        )
+
+    # ------------------------------------------------------------------
+    # Claims (checked at dispatch time: blocked campaigns wait).
+    # ------------------------------------------------------------------
+    def can_start(self, key: str, elements: FrozenSet[str]) -> bool:
+        """Disjoint from every active campaign and under the cap?"""
+        if key in self._active:
+            return False  # one run of a given campaign at a time
+        if len(self._active) >= self.max_campaigns:
+            return False
+        for claimed in self._active.values():
+            if claimed & elements:
+                self.conflicts_total += 1
+                return False
+        return True
+
+    def acquire(self, key: str, elements: FrozenSet[str]) -> None:
+        assert self.can_start(key, elements), f"bulkhead denied {key}"
+        self._active[key] = frozenset(elements)
+        self._publish()
+
+    def release(self, key: str, ok: bool, now: float) -> None:
+        self._active.pop(key, None)
+        breaker = self.breaker(key)
+        if ok:
+            breaker.record_success(now)
+        else:
+            breaker.record_failure(now)
+        self._publish()
+        o = obs.current()
+        if o.enabled:
+            o.gauge(
+                "repro_service_campaign_breaker_state",
+                "campaign breaker state (0 closed, 1 half-open, 2 open)",
+                campaign=key,
+            ).set(breaker.gauge_value())
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def active(self) -> Dict[str, FrozenSet[str]]:
+        return dict(self._active)
+
+    def snapshot(self) -> dict:
+        return {
+            "active": {
+                key: sorted(elements)
+                for key, elements in sorted(self._active.items())
+            },
+            "max_campaigns": self.max_campaigns,
+            "conflicts_total": self.conflicts_total,
+            "breakers": {
+                key: breaker.as_dict()
+                for key, breaker in sorted(self._breakers.items())
+                if breaker.opens or breaker.consecutive_failures
+            },
+        }
+
+    def _publish(self) -> None:
+        o = obs.current()
+        if o.enabled:
+            o.gauge(
+                "repro_service_campaigns_active",
+                "bulk campaigns currently holding a bulkhead claim",
+            ).set(len(self._active))

@@ -1,0 +1,140 @@
+"""A minimal synchronous client for the ``nmsld`` NDJSON protocol.
+
+Library use::
+
+    with ServiceClient(socket_path="/run/nmsld.sock") as client:
+        response = client.request("check", {"spec": "internet.nmsl"},
+                                  deadline_s=5.0)
+
+CLI use (the CI smoke test and ad-hoc operators)::
+
+    python -m repro.service.client --socket /run/nmsld.sock \\
+        check spec=examples/campus.nmsl deadline_s=5
+
+Responses print as deterministic one-line JSON; the exit status is 0
+for ``ok`` responses and the error's HTTP-style code divided by 100
+otherwise (503 → 5, 400 → 4), so shell pipelines can branch on class.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+from typing import Optional
+
+from repro.service.protocol import encode_message
+
+
+class ServiceClient:
+    """Blocking NDJSON client over a unix or TCP socket."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout_s: float = 60.0,
+    ):
+        if socket_path:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout_s)
+            self._sock.connect(socket_path)
+        else:
+            if port is None:
+                raise ValueError("need socket_path or port")
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout_s
+            )
+        self._file = self._sock.makefile("rwb")
+        self._seq = 0
+
+    def request(
+        self,
+        op: str,
+        params: Optional[dict] = None,
+        deadline_s: Optional[float] = None,
+        cls: Optional[str] = None,
+        request_id: Optional[str] = None,
+    ) -> dict:
+        """Send one request and block for its response."""
+        self._seq += 1
+        message = {
+            "id": request_id or f"c-{self._seq}",
+            "op": op,
+            "params": params or {},
+        }
+        if deadline_s is not None:
+            message["deadline_s"] = deadline_s
+        if cls is not None:
+            message["class"] = cls
+        self._file.write(encode_message(message).encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _parse_param(raw: str):
+    key, sep, value = raw.partition("=")
+    if not sep:
+        raise SystemExit(f"parameter {raw!r} is not key=value")
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value  # bare string
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.client",
+        description="one-shot nmsld protocol client",
+    )
+    parser.add_argument("--socket", help="unix socket path")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int)
+    parser.add_argument("--deadline", type=float, dest="deadline_s")
+    parser.add_argument("--class", dest="cls", default=None)
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("op", help="operation (ping, check, diff, ...)")
+    parser.add_argument(
+        "params",
+        nargs="*",
+        help="op parameters as key=value (value parsed as JSON if it parses)",
+    )
+    args = parser.parse_args(argv)
+    params = dict(_parse_param(raw) for raw in args.params)
+    with ServiceClient(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        timeout_s=args.timeout,
+    ) as client:
+        response = client.request(
+            args.op, params, deadline_s=args.deadline_s, cls=args.cls
+        )
+    sys.stdout.write(
+        json.dumps(response, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+    if response.get("ok"):
+        return 0
+    return int(response.get("error", {}).get("code", 500)) // 100
+
+
+if __name__ == "__main__":
+    sys.exit(main())

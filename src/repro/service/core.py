@@ -1,0 +1,461 @@
+"""The runtime-agnostic service core: every robustness decision.
+
+:class:`ServiceCore` owns admission (per-class bounded queues with
+explicit shedding), campaign bulkheads and breakers, per-request
+deadlines, drain, and the metrics around all of them.  It is entirely
+passive — it never sleeps, spawns, or reads a wall clock.  A *runtime*
+(:class:`~repro.service.runtime.SimulatedServiceRuntime` or
+:class:`~repro.service.runtime.AsyncServiceRuntime`) drives it through
+four calls:
+
+* :meth:`submit` — a request line arrived; returns the responses that
+  are already decided (rejections, shed victims) and queues the rest;
+* :meth:`next_action` — pick the next startable request (or an expired
+  one to refuse), honouring priority order and bulkhead disjointness;
+* :meth:`execute` — run one request to completion on the caller's
+  thread, returning the wire response;
+* :meth:`begin_drain` / :meth:`drain_responses` — stop admitting and
+  refuse everything still queued, structured, never silent.
+
+Because every decision lives here, the deterministic simulated runtime
+exercises the *same* shed ordering, deadline expiry, and bulkhead logic
+that production ``nmsld`` runs — the chaos suite's byte-identical
+transcripts are transcripts of the real scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro import obs
+from repro.deadline import Deadline
+from repro.errors import DeadlineExceeded, ReproError
+from repro.service.admission import AdmissionController
+from repro.service.bulkhead import CampaignBulkheads
+from repro.service.handlers import ServiceHandlers, SpecCache
+from repro.service.protocol import (
+    CAMPAIGN_OPS,
+    CLASS_RANK,
+    ProtocolError,
+    error_response,
+    parse_request,
+    result_response,
+)
+
+#: Latency histogram buckets (seconds) for per-class service latency.
+LATENCY_BUCKETS_S = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one daemon instance."""
+
+    workers: int = 4
+    queue_capacity: int = 64
+    max_campaigns: int = 4
+    spec_cache_limit: int = 8
+    journal_dir: Optional[str] = None
+    #: Default deadline budget per class when the request names none.
+    #: ``None`` disables the implicit deadline for that class.
+    default_deadline_s: dict = field(
+        default_factory=lambda: {
+            "interactive": 30.0,
+            "normal": 120.0,
+            "bulk": None,
+        }
+    )
+    #: Rough per-request service time used for ``retry_after_s`` hints
+    #: on shed/queue-full refusals.
+    nominal_service_s: float = 0.2
+    #: Workers that only interactive-class requests may occupy: under
+    #: bulk saturation at least this many slots stay free for checks
+    #: and diffs, bounding interactive tail latency.  Clamped to
+    #: ``workers - 1``; 0 disables the reservation.
+    reserved_interactive_workers: int = 0
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
+
+
+@dataclass
+class ServiceRequest:
+    """One admitted (or about-to-be-refused) request."""
+
+    id: object
+    op: str
+    params: dict
+    cls: str
+    rank: int
+    deadline: Optional[Deadline]
+    deadline_s: Optional[float]
+    cost_s: float
+    arrival_s: float
+    seq: int
+    elements: frozenset = frozenset()
+    campaign_key: Optional[str] = None
+    started_s: Optional[float] = None
+    #: Opaque reply handle for the runtime (e.g. the client connection).
+    reply_to: object = None
+
+
+class ServiceCore:
+    """Scheduler state machine shared by both runtimes."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.config = config or ServiceConfig()
+        #: Monotonic clock closure injected by the runtime.
+        self.clock = clock or (lambda: 0.0)
+        self.admission = AdmissionController(
+            capacity=self.config.queue_capacity
+        )
+        self.bulkheads = CampaignBulkheads(
+            max_campaigns=self.config.max_campaigns,
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
+        self.handlers = ServiceHandlers(
+            cache=SpecCache(limit=self.config.spec_cache_limit),
+            journal_dir=self.config.journal_dir,
+        )
+        self.handlers.core = self
+        self.draining = False
+        self.in_flight = 0
+        self._seq = 0
+        self.started_s: Optional[float] = None
+        self.requests_total = 0
+        self.responses_total = 0
+
+    # ------------------------------------------------------------------
+    # Submission.
+    # ------------------------------------------------------------------
+    def submit(
+        self, line: str, reply_to: object = None, arrival_s: float = None
+    ) -> Tuple[Optional[ServiceRequest], List[Tuple[object, dict]]]:
+        """Admit one request line.
+
+        Returns ``(admitted_request_or_None, responses)`` where each
+        response is ``(reply_to, message)`` — refusals of this arrival
+        and/or the shed victim it displaced.  Every refusal is
+        structured; nothing is ever silently dropped.
+        """
+        now = self.clock() if arrival_s is None else arrival_s
+        self.requests_total += 1
+        try:
+            parsed = parse_request(line)
+        except ProtocolError as exc:
+            self._count("invalid", "invalid", "rejected")
+            return None, [
+                (reply_to, error_response(exc.request_id, exc.kind, str(exc)))
+            ]
+        request_id = parsed["id"]
+        if request_id is None:
+            request_id = f"req-{self.requests_total}"
+        op, cls = parsed["op"], parsed["class"]
+
+        if self.draining:
+            self._count(op, cls, "draining")
+            return None, [
+                (
+                    reply_to,
+                    error_response(
+                        request_id, "draining",
+                        "daemon is draining; resubmit to its successor",
+                        op=op, cls=cls,
+                    ),
+                )
+            ]
+
+        deadline_s = parsed["deadline_s"]
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s.get(cls)
+        deadline = (
+            Deadline(at_s=now + deadline_s, clock=self.clock, label=op)
+            if deadline_s is not None
+            else None
+        )
+        self._seq += 1
+        request = ServiceRequest(
+            id=request_id,
+            op=op,
+            params=parsed["params"],
+            cls=cls,
+            rank=CLASS_RANK[cls],
+            deadline=deadline,
+            deadline_s=deadline_s,
+            cost_s=parsed["cost_s"] or 0.0,
+            arrival_s=now,
+            seq=self._seq,
+            reply_to=reply_to,
+        )
+
+        if op in CAMPAIGN_OPS:
+            try:
+                request.campaign_key, request.elements = (
+                    self.handlers.campaign_plan(op, request.params)
+                )
+            except ProtocolError as exc:
+                self._count(op, cls, "rejected")
+                return None, [
+                    (
+                        reply_to,
+                        error_response(
+                            request_id, exc.kind, str(exc), op=op, cls=cls
+                        ),
+                    )
+                ]
+            if not self.bulkheads.allow(request.campaign_key, now):
+                retry = self.bulkheads.retry_after(request.campaign_key, now)
+                self._count(op, cls, "circuit-open")
+                return None, [
+                    (
+                        reply_to,
+                        error_response(
+                            request_id, "circuit-open",
+                            f"campaign {request.campaign_key} breaker open"
+                            " after repeated failures",
+                            op=op, cls=cls,
+                            retry_after_s=round(retry, 6),
+                        ),
+                    )
+                ]
+
+        admitted, victim = self.admission.offer(request)
+        responses: List[Tuple[object, dict]] = []
+        if victim is not None:
+            self._count(victim.op, victim.cls, "shed")
+            o = obs.current()
+            if o.enabled:
+                o.counter(
+                    "repro_service_shed_total",
+                    "requests evicted by higher-priority arrivals",
+                    **{"class": victim.cls},
+                ).inc()
+            responses.append(
+                (
+                    victim.reply_to,
+                    error_response(
+                        victim.id, "shed",
+                        f"shed by higher-priority {request.op} arrival"
+                        " under overload",
+                        op=victim.op, cls=victim.cls,
+                        retry_after_s=self._retry_after_hint(),
+                    ),
+                )
+            )
+        if not admitted:
+            self._count(op, cls, "queue-full")
+            responses.append(
+                (
+                    reply_to,
+                    error_response(
+                        request_id, "queue-full",
+                        f"queue at capacity ({self.admission.capacity})"
+                        " with nothing lower-priority to shed",
+                        op=op, cls=cls,
+                        retry_after_s=self._retry_after_hint(),
+                    ),
+                )
+            )
+            return None, responses
+        return request, responses
+
+    def _retry_after_hint(self) -> float:
+        backlog = self.admission.depth() + self.in_flight
+        workers = max(1, self.config.workers)
+        return round(
+            self.config.nominal_service_s * max(1, backlog) / workers, 6
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+    def next_action(self) -> Optional[Tuple[ServiceRequest, str]]:
+        """The next ``(request, "run" | "expired")``, or None.
+
+        ``"run"`` requests have already acquired their bulkhead claim
+        (if campaigns); the caller must execute then :meth:`finish`.
+        ``"expired"`` requests must be refused via :meth:`expire`.
+        """
+        action = self.admission.pop_next(self.clock(), self._can_start)
+        if action is None:
+            return None
+        request, disposition = action
+        if disposition == "run" and request.campaign_key is not None:
+            self.bulkheads.acquire(request.campaign_key, request.elements)
+        if disposition == "run":
+            self.in_flight += 1
+            request.started_s = self.clock()
+        return request, disposition
+
+    def _can_start(self, request: ServiceRequest) -> bool:
+        if request.rank > 0:
+            reserve = min(
+                self.config.reserved_interactive_workers,
+                self.config.workers - 1,
+            )
+            free = self.config.workers - self.in_flight
+            if free <= reserve:
+                return False  # keep the reserved slots for interactive
+        if request.campaign_key is None:
+            return True
+        return self.bulkheads.can_start(
+            request.campaign_key, request.elements
+        )
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def execute(self, request: ServiceRequest) -> dict:
+        """Run *request*; always returns a wire response message."""
+        try:
+            result = self.handlers.execute(request)
+        except DeadlineExceeded as exc:
+            response = error_response(
+                request.id, "deadline", str(exc),
+                op=request.op, cls=request.cls,
+            )
+            return self.finish(request, response, outcome="deadline")
+        except ProtocolError as exc:
+            response = error_response(
+                request.id, exc.kind, str(exc),
+                op=request.op, cls=request.cls,
+            )
+            return self.finish(request, response, outcome=exc.kind)
+        except ReproError as exc:
+            response = error_response(
+                request.id, "internal", str(exc),
+                op=request.op, cls=request.cls,
+            )
+            return self.finish(request, response, outcome="internal")
+        except Exception as exc:  # noqa: BLE001 - worker must not die
+            response = error_response(
+                request.id, "internal",
+                f"{type(exc).__name__}: {exc}",
+                op=request.op, cls=request.cls,
+            )
+            return self.finish(request, response, outcome="internal")
+        response = result_response(
+            request.id, request.op, request.cls, result,
+            timing=self._timing(request),
+        )
+        ok = self.handlers.campaign_succeeded(request.op, result)
+        return self.finish(
+            request, response, outcome="ok" if ok else "incomplete"
+        )
+
+    def finish(
+        self, request: ServiceRequest, response: dict, outcome: str
+    ) -> dict:
+        now = self.clock()
+        self.in_flight -= 1
+        if request.campaign_key is not None:
+            self.bulkheads.release(
+                request.campaign_key, ok=(outcome == "ok"), now=now
+            )
+        self._count(request.op, request.cls, outcome)
+        o = obs.current()
+        if o.enabled and request.started_s is not None:
+            o.histogram(
+                "repro_service_latency_seconds",
+                buckets=LATENCY_BUCKETS_S,
+                _help="request latency from arrival to response, by class",
+                **{"class": request.cls},
+            ).observe(max(0.0, now - request.arrival_s))
+        self.responses_total += 1
+        return response
+
+    def _timing(self, request: ServiceRequest) -> dict:
+        now = self.clock()
+        started = (
+            request.started_s
+            if request.started_s is not None
+            else request.arrival_s
+        )
+        return {
+            "queued_s": round(max(0.0, started - request.arrival_s), 6),
+            "service_s": round(max(0.0, now - started), 6),
+            "total_s": round(max(0.0, now - request.arrival_s), 6),
+        }
+
+    def expire(self, request: ServiceRequest) -> dict:
+        """Refuse a request whose deadline lapsed while queued."""
+        self._count(request.op, request.cls, "deadline")
+        self.responses_total += 1
+        return error_response(
+            request.id, "deadline",
+            f"deadline ({request.deadline_s}s) expired while queued",
+            op=request.op, cls=request.cls,
+        )
+
+    # ------------------------------------------------------------------
+    # Drain.
+    # ------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        self.draining = True
+        o = obs.current()
+        if o.enabled:
+            o.gauge(
+                "repro_service_draining",
+                "1 while the daemon refuses new work pending shutdown",
+            ).set(1)
+
+    def drain_responses(self) -> List[Tuple[object, dict]]:
+        """Refuse everything still queued (drain flushes the queues)."""
+        responses = []
+        for request in self.admission.queued():
+            self._count(request.op, request.cls, "draining")
+            self.responses_total += 1
+            responses.append(
+                (
+                    request.reply_to,
+                    error_response(
+                        request.id, "draining",
+                        "daemon drained before this request was served",
+                        op=request.op, cls=request.cls,
+                    ),
+                )
+            )
+        # Reset the queues; everything in them has now been answered.
+        for name in list(self.admission._queues):
+            self.admission._queues[name].clear()
+        return responses
+
+    @property
+    def idle(self) -> bool:
+        return self.in_flight == 0 and self.admission.depth() == 0
+
+    # ------------------------------------------------------------------
+    # Introspection / metrics.
+    # ------------------------------------------------------------------
+    def status_snapshot(self) -> dict:
+        return {
+            "draining": self.draining,
+            "in_flight": self.in_flight,
+            "queue": {
+                "depths": self.admission.depths(),
+                "capacity": self.admission.capacity,
+                "admitted_total": self.admission.admitted_total,
+                "shed_total": self.admission.shed_total,
+                "rejected_total": self.admission.rejected_total,
+            },
+            "campaigns": self.bulkheads.snapshot(),
+            "cache": self.handlers.cache.stats(),
+            "requests_total": self.requests_total,
+            "responses_total": self.responses_total,
+        }
+
+    def _count(self, op: str, cls: str, outcome: str) -> None:
+        o = obs.current()
+        if o.enabled:
+            o.counter(
+                "repro_service_requests_total",
+                "requests by op, class and outcome",
+                op=op, outcome=outcome, **{"class": cls},
+            ).inc()

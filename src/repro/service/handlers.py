@@ -1,0 +1,495 @@
+"""Request handlers and the warm spec/fact cache behind them.
+
+The daemon's whole reason to exist over the batch CLI: a
+:class:`SpecCache` keeps the compiled specification, the fact set and a
+warm :class:`~repro.consistency.checker.ConsistencyChecker` (with its
+verdict memos and permission index) alive across requests, so the
+second ``check`` of an unchanged spec costs memo lookups instead of a
+full compile + fact expansion.  Entries are keyed by resolved path and
+invalidated by content hash; a bounded LRU caps resident specs.
+
+:class:`ServiceHandlers` executes each operation against the cache and
+returns a JSON-safe result payload.  Handlers run on worker threads in
+service mode, so each cache entry carries a lock serialising the
+stateful engines (checker memos, the simulated runtime); two campaigns
+over *disjoint* element sets touch disjoint agents and only contend for
+the session lock during runtime construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro import obs
+from repro.deadline import Deadline
+from repro.errors import ReproError, RolloutVetoed
+from repro.service.protocol import ProtocolError
+
+#: Findings/problems included in a response before truncation.
+MAX_REPORTED = 50
+
+
+class SpecSession:
+    """One cached specification: compiler, result, warm engines."""
+
+    def __init__(self, path: str, text: str, text_hash: str):
+        from repro.nmsl.compiler import CompilerOptions, NmslCompiler
+
+        self.path = path
+        self.text_hash = text_hash
+        self.lock = threading.RLock()
+        self.compiler = NmslCompiler(CompilerOptions(filename=path))
+        self.result = self.compiler.compile(text)
+        if self.result.report.errors:
+            raise ProtocolError(
+                "compile",
+                f"{path}: " + "; ".join(
+                    str(error) for error in self.result.report.errors[:5]
+                ),
+            )
+        self.checks = 0
+        self._checker = None
+        self._runtime = None
+
+    @property
+    def checker(self):
+        from repro.consistency.checker import ConsistencyChecker
+
+        if self._checker is None:
+            self._checker = ConsistencyChecker(
+                self.result.specification, self.compiler.tree
+            )
+        return self._checker
+
+    @property
+    def runtime(self):
+        from repro.netsim.processes import ManagementRuntime
+
+        if self._runtime is None:
+            self._runtime = ManagementRuntime(self.compiler, self.result)
+        return self._runtime
+
+    def elements(self) -> Tuple[str, ...]:
+        """Every system element name in the specification."""
+        return tuple(sorted(self.result.specification.systems))
+
+
+class SpecCache:
+    """Bounded LRU of :class:`SpecSession`, invalidated by content hash."""
+
+    def __init__(self, limit: int = 8):
+        if limit < 1:
+            raise ValueError(f"limit must be at least 1, got {limit}")
+        self.limit = limit
+        self._entries: "OrderedDict[str, SpecSession]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, spec: str) -> SpecSession:
+        path = str(Path(spec))
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ProtocolError("bad-request", f"cannot read {spec}: {exc}")
+        text_hash = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        with self._lock:
+            session = self._entries.get(path)
+            if session is not None and session.text_hash == text_hash:
+                self._entries.move_to_end(path)
+                self.hits += 1
+                self._publish()
+                return session
+        # Compile outside the cache lock (it can take seconds at paper
+        # scale); last writer wins on a racing recompile of one path.
+        self.misses += 1
+        session = SpecSession(path, text, text_hash)
+        with self._lock:
+            self._entries[path] = session
+            self._entries.move_to_end(path)
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+            self._publish()
+        return session
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "limit": self.limit,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def _publish(self) -> None:
+        o = obs.current()
+        if o.enabled:
+            o.gauge(
+                "repro_service_spec_cache_entries",
+                "warm compiled specifications resident",
+            ).set(len(self._entries))
+
+
+class ServiceHandlers:
+    """Executes protocol operations against the warm cache."""
+
+    def __init__(self, cache: Optional[SpecCache] = None, journal_dir=None):
+        self.cache = cache or SpecCache()
+        self.journal_dir = Path(journal_dir) if journal_dir else None
+        #: Back-reference installed by :class:`ServiceCore` so ``status``
+        #: can report scheduler state.
+        self.core = None
+
+    # ------------------------------------------------------------------
+    # Campaign planning (submit-time, for bulkhead claims).
+    # ------------------------------------------------------------------
+    def campaign_plan(
+        self, op: str, params: dict
+    ) -> Tuple[str, FrozenSet[str]]:
+        """(campaign key, claimed element set) for a bulk request.
+
+        The claim is at element granularity — the system names the
+        campaign may touch — so disjointness between concurrent
+        campaigns is decidable without building the simulated runtime
+        on the admission path.
+        """
+        session = self.cache.get(self._require(params, "spec"))
+        universe = set(session.elements())
+        requested = params.get("elements")
+        if requested is not None:
+            if not isinstance(requested, list) or not all(
+                isinstance(name, str) for name in requested
+            ):
+                raise ProtocolError(
+                    "bad-request", "elements must be a list of names"
+                )
+            unknown = sorted(set(requested) - universe)
+            if unknown:
+                raise ProtocolError(
+                    "bad-request",
+                    "unknown element(s): " + ", ".join(unknown),
+                )
+            claim = frozenset(requested)
+        else:
+            claim = frozenset(universe)
+        tag = params.get("tag", "BartsSnmpd")
+        digest = hashlib.sha256(
+            ",".join(sorted(claim)).encode("utf-8")
+        ).hexdigest()[:12]
+        return f"{op}:{session.path}:{tag}:{digest}", claim
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+    def execute(self, request) -> dict:
+        """Run *request* and return its JSON-safe result payload.
+
+        Raises :class:`~repro.errors.DeadlineExceeded` on budget expiry
+        and :class:`ProtocolError` on parameter problems; the core maps
+        both to structured error responses.
+        """
+        method = getattr(self, "_op_" + request.op.replace("-", "_"), None)
+        if method is None:  # pragma: no cover - protocol already vets ops
+            raise ProtocolError("unknown-op", f"unhandled op {request.op!r}")
+        self._current_request = request
+        try:
+            return method(request.params, request.deadline)
+        finally:
+            self._current_request = None
+
+    @staticmethod
+    def _require(params: dict, key: str) -> str:
+        value = params.get(key)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError("bad-request", f"params.{key} is required")
+        return value
+
+    # ------------------------------------------------------------------
+    # Interactive operations.
+    # ------------------------------------------------------------------
+    def _op_ping(self, params: dict, deadline: Optional[Deadline]) -> dict:
+        return {"pong": True}
+
+    def _op_status(self, params: dict, deadline: Optional[Deadline]) -> dict:
+        if self.core is None:
+            return {"cache": self.cache.stats()}
+        return self.core.status_snapshot()
+
+    def _op_compile(self, params: dict, deadline: Optional[Deadline]) -> dict:
+        session = self.cache.get(self._require(params, "spec"))
+        Deadline.poll(deadline, "service.compile")
+        counts = session.result.specification.counts()
+        return {
+            "spec": session.path,
+            "counts": dict(counts),
+            "warnings": [
+                str(warning)
+                for warning in session.result.report.warnings[:MAX_REPORTED]
+            ],
+            "fingerprint": session.text_hash,
+        }
+
+    def _op_check(self, params: dict, deadline: Optional[Deadline]) -> dict:
+        session = self.cache.get(self._require(params, "spec"))
+        jobs = int(params.get("jobs", 1))
+        capacity = bool(params.get("capacity", False))
+        with session.lock:
+            warm = session.checks > 0
+            session.checks += 1
+            outcome = session.checker.check(
+                check_capacity=capacity, jobs=jobs, deadline=deadline
+            )
+        problems = [
+            {"kind": problem.kind.value, "message": problem.message}
+            for problem in outcome.inconsistencies[:MAX_REPORTED]
+        ]
+        return {
+            "spec": session.path,
+            "consistent": outcome.consistent,
+            "inconsistencies": len(outcome.inconsistencies),
+            "problems": problems,
+            "warnings": len(outcome.warnings),
+            "warm": warm,
+            # Wall-clock "seconds" is deliberately excluded (cf.
+            # ConsistencyResult.VOLATILE_STATS): simulated-runtime
+            # transcripts must be byte-identical per seed.
+            "stats": {
+                "references": outcome.stats.get("references"),
+                "instances": outcome.stats.get("instances"),
+                "engine": outcome.stats.get("engine"),
+            },
+        }
+
+    def _op_analyze(self, params: dict, deadline: Optional[Deadline]) -> dict:
+        from repro.analysis import default_registry
+
+        specs = params.get("specs")
+        if specs is None:
+            specs = [self._require(params, "spec")]
+        if not isinstance(specs, list) or not specs:
+            raise ProtocolError(
+                "bad-request", "params.specs must be a non-empty list"
+            )
+        codes = params.get("select")
+        registry = default_registry()
+        diagnostics: List[dict] = []
+        gating = False
+        for spec in specs:
+            session = self.cache.get(spec)
+            Deadline.poll(deadline, "service.analyze")
+            with session.lock:
+                report = registry.run(
+                    session.compiler.analysis_context(session.result),
+                    codes=tuple(codes) if codes else None,
+                )
+            gating = gating or bool(report.gating())
+            for diagnostic in report.diagnostics:
+                diagnostics.append(
+                    {
+                        "code": diagnostic.code,
+                        "severity": diagnostic.severity.value,
+                        "message": diagnostic.message,
+                        "location": str(diagnostic.location),
+                    }
+                )
+        return {
+            "specs": [str(Path(spec)) for spec in specs],
+            "findings": len(diagnostics),
+            "gating": gating,
+            "diagnostics": diagnostics[:MAX_REPORTED],
+        }
+
+    def _op_diff(self, params: dict, deadline: Optional[Deadline]) -> dict:
+        from repro.analysis import Waiver, relational_report
+        from repro.consistency.impact import ImpactAnalyzer
+
+        old = self.cache.get(self._require(params, "old"))
+        new = self.cache.get(self._require(params, "new"))
+        Deadline.poll(deadline, "service.diff")
+        tags = tuple(
+            tag.strip()
+            for tag in str(params.get("output", "BartsSnmpd")).split(",")
+            if tag.strip()
+        )
+        with old.lock:
+            analyzer = ImpactAnalyzer(old.compiler.tree, tags=tags)
+            analyzer.baseline(old.result.specification)
+            Deadline.poll(deadline, "service.diff")
+            impact = analyzer.analyze(new.result.specification)
+        report = relational_report(impact)
+        waiver = params.get("waiver")
+        if waiver and Path(waiver).exists():
+            report = Waiver.load(waiver).apply(report)
+        return {
+            "old": old.path,
+            "new": new.path,
+            "findings": [
+                {
+                    "code": diagnostic.code,
+                    "severity": diagnostic.severity.value,
+                    "message": diagnostic.message,
+                }
+                for diagnostic in report.diagnostics[:MAX_REPORTED]
+            ],
+            "gating": bool(report.gating()),
+            "impacted_elements": sorted(impact.impacted_elements),
+            "redrives": sorted(impact.redrive_elements()),
+            "diff_entries": impact.stats.get("diff_entries", 0),
+        }
+
+    # ------------------------------------------------------------------
+    # Bulk campaigns.
+    # ------------------------------------------------------------------
+    def _campaign_configs(
+        self, session: SpecSession, tag: str, params: dict
+    ) -> Dict[str, str]:
+        """Rollout targets narrowed to the request's element claim."""
+        with session.lock:
+            targets = session.runtime.rollout_targets(tag)
+        requested = params.get("elements")
+        if requested is None:
+            return targets
+        claim = set(requested)
+        return {
+            target: text
+            for target, text in targets.items()
+            if target.partition("/")[0] in claim
+        }
+
+    def _campaign_journal(self, request):
+        from repro.rollout import RolloutJournal
+
+        if self.journal_dir is None:
+            return None
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_" else "-"
+            for ch in str(request.id)
+        )
+        path = self.journal_dir / f"campaign-{safe}.jsonl"
+        if path.exists():
+            path.unlink()
+        return RolloutJournal(path=path)
+
+    def _rollout_gate(self, session: SpecSession, params: dict):
+        """The relational gate for ``rollout`` with a ``diff_base``."""
+        from repro.analysis import Waiver, relational_report
+        from repro.consistency.impact import ImpactAnalyzer
+        from repro.rollout import RolloutGate
+
+        diff_base = params.get("diff_base")
+        if not diff_base:
+            return None
+        base = self.cache.get(diff_base)
+        tag = params.get("tag", "BartsSnmpd")
+        with base.lock:
+            analyzer = ImpactAnalyzer(base.compiler.tree, tags=(tag,))
+            analyzer.baseline(base.result.specification)
+            impact = analyzer.analyze(session.result.specification)
+        report = relational_report(impact)
+        waiver = params.get("waiver")
+        if waiver and Path(waiver).exists():
+            report = Waiver.load(waiver).apply(report)
+        return RolloutGate.from_impact(impact, report)
+
+    def _op_rollout(self, params: dict, deadline: Optional[Deadline]) -> dict:
+        import json as _json
+
+        from repro.rollout import RetryPolicy
+
+        session = self.cache.get(self._require(params, "spec"))
+        tag = params.get("tag", "BartsSnmpd")
+        policy = RetryPolicy(
+            max_attempts=int(params.get("max_attempts", 5)),
+            timeout_s=float(params.get("timeout_s", 2.0)),
+        )
+        gate = self._rollout_gate(session, params)
+        configs = self._campaign_configs(session, tag, params)
+        request = getattr(self, "_current_request", None)
+        journal = self._campaign_journal(request) if request else None
+        try:
+            if params.get("baseline_install"):
+                with session.lock:
+                    session.runtime.install_configuration(tag=tag)
+            try:
+                report = session.runtime.rollout(
+                    tag=tag,
+                    policy=policy,
+                    jobs=int(params.get("jobs", 4)),
+                    seed=int(params.get("seed", 1989)),
+                    chunk_size=int(params.get("chunk_size", 1024)),
+                    configs=configs,
+                    journal=journal,
+                    gate=gate,
+                    deadline=deadline,
+                )
+            except RolloutVetoed as exc:
+                raise ProtocolError("vetoed", str(exc))
+        finally:
+            if journal is not None:
+                journal.close()
+        payload = _json.loads(report.to_json())
+        return {
+            "spec": session.path,
+            "tag": tag,
+            "complete": report.complete,
+            "outcomes": payload.get("outcomes", {}),
+            "committed": sorted(report.committed()),
+            "dead_letter": sorted(report.dead_letter()),
+            "duration_s": report.duration_s,
+            "gated": gate is not None,
+            "journal": str(journal.path) if journal is not None else None,
+        }
+
+    def _op_heal(self, params: dict, deadline: Optional[Deadline]) -> dict:
+        import json as _json
+
+        from repro.heal import HealthRegistry
+        from repro.rollout import RetryPolicy
+
+        session = self.cache.get(self._require(params, "spec"))
+        tag = params.get("tag", "BartsSnmpd")
+        policy = RetryPolicy(
+            max_attempts=int(params.get("max_attempts", 5)),
+            timeout_s=float(params.get("timeout_s", 2.0)),
+        )
+        configs = self._campaign_configs(session, tag, params)
+        if params.get("install"):
+            with session.lock:
+                session.runtime.install_configuration(tag=tag)
+        registry = HealthRegistry(sorted(configs))
+        report = session.runtime.heal(
+            tag=tag,
+            policy=policy,
+            jobs=int(params.get("jobs", 4)),
+            seed=int(params.get("seed", 1989)),
+            configs=configs,
+            registry=registry,
+            interval_s=float(params.get("interval_s", 30.0)),
+            rounds=int(params.get("rounds", 10)),
+            deadline=deadline,
+        )
+        payload = _json.loads(report.to_json())
+        return {
+            "spec": session.path,
+            "tag": tag,
+            "converged": report.converged,
+            "rounds": len(report.rounds),
+            "drift_repaired": payload.get("drift_repaired", 0),
+            "quarantined": sorted(report.quarantined),
+            "duration_s": report.duration_s,
+        }
+
+    # ------------------------------------------------------------------
+    # Success predicate for campaign breakers.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def campaign_succeeded(op: str, result: dict) -> bool:
+        if op == "rollout":
+            return bool(result.get("complete"))
+        if op == "heal":
+            return bool(result.get("converged"))
+        return True

@@ -1,0 +1,419 @@
+"""Two drivers for one scheduler: simulated clock and real asyncio.
+
+The CESK-machine idiom from the interpreter literature: keep the whole
+transition function pure (:class:`~repro.service.core.ServiceCore`) and
+put *time* behind a protocol so the same machine can be stepped by a
+deterministic harness or by the operating system.
+
+:class:`SimulatedServiceRuntime`
+    Drives the core on a logical clock with a single event heap.
+    Arrivals are offered at declared times, service costs are declared
+    per request, and the whole run — shed ordering, deadline expiries,
+    bulkhead waits — is a pure function of the offered workload, so two
+    same-seed runs produce byte-identical transcripts.  This is the
+    substrate for the overload chaos suite and the service benchmark.
+
+:class:`AsyncServiceRuntime`
+    The production driver: an asyncio NDJSON socket server plus a tiny
+    HTTP endpoint for ``/metrics`` (Prometheus 0.0.4) and ``/healthz``.
+    Handlers execute on a thread pool (the checker and the simulated
+    rollout fabric are synchronous, CPU-bound code); the event loop does
+    admission, dispatch and replies.  SIGTERM/SIGINT begin a graceful
+    drain: stop admitting, answer everything queued with structured
+    ``draining`` refusals, let in-flight campaigns finish (their
+    journals make crash-resume possible regardless), flush metrics,
+    exit 0.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import logging
+from typing import List, Optional, Protocol, Tuple
+
+from repro import obs
+from repro.service.core import ServiceConfig, ServiceCore, ServiceRequest
+from repro.service.protocol import encode_message
+
+_log = logging.getLogger("repro.service")
+
+
+class RuntimeProtocol(Protocol):
+    """What a driver of :class:`ServiceCore` must provide."""
+
+    core: ServiceCore
+
+    def run(self) -> object:
+        """Serve until drained/stopped; returns a runtime-specific value."""
+
+
+# ----------------------------------------------------------------------
+# Deterministic simulated runtime.
+# ----------------------------------------------------------------------
+class SimulatedServiceRuntime:
+    """Steps the core on a logical clock; fully deterministic.
+
+    Workload is offered up front (or incrementally) with
+    :meth:`offer`; :meth:`run` then executes the discrete-event loop:
+
+    * ``arrival`` events submit the request line to the core (shedding
+      and rejections resolve immediately, deterministically);
+    * free workers pick the next startable request; the clock jumps to
+      ``start + cost_s`` **before** the handler runs, so a deadline
+      shorter than the declared cost genuinely expires *mid-execution*
+      and surfaces as a 504 from inside the checker — the same code
+      path production hits, compressed onto the logical clock;
+    * ``drain_at`` (optional) begins a graceful drain mid-run.
+
+    The transcript — every response in emission order, serialised with
+    the protocol's deterministic encoder — is the unit of comparison
+    for the chaos suite's byte-identical assertions.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        workers: Optional[int] = None,
+        drain_at_s: Optional[float] = None,
+    ):
+        self._now = 0.0
+        self.core = ServiceCore(config=config, clock=lambda: self._now)
+        self.workers = workers or self.core.config.workers
+        self.drain_at_s = drain_at_s
+        self._events: List[Tuple[float, int, str, object]] = []
+        self._eseq = 0
+        self.transcript: List[str] = []
+        self.responses: List[dict] = []
+        if drain_at_s is not None:
+            self._push(drain_at_s, "drain", None)
+
+    # -- workload -------------------------------------------------------
+    def offer(self, at_s: float, message: dict) -> None:
+        """Schedule a request (a protocol message dict) at *at_s*."""
+        self._push(at_s, "arrival", encode_message(message).rstrip("\n"))
+
+    def offer_line(self, at_s: float, line: str) -> None:
+        self._push(at_s, "arrival", line)
+
+    def _push(self, at_s: float, kind: str, payload: object) -> None:
+        self._eseq += 1
+        heapq.heappush(self._events, (at_s, self._eseq, kind, payload))
+
+    # -- engine ---------------------------------------------------------
+    def _emit(self, message: dict) -> None:
+        self.responses.append(message)
+        self.transcript.append(encode_message(message).rstrip("\n"))
+
+    def _dispatch_free_workers(self) -> None:
+        """Start queued work on free workers (busy ones hold a slot)."""
+        while self._busy < self.workers:
+            action = self.core.next_action()
+            if action is None:
+                return
+            request, disposition = action
+            if disposition == "expired":
+                self._emit(self.core.expire(request))
+                continue
+            self._busy += 1
+            # The completion event carries the request; the clock will
+            # be advanced to start + cost before the handler runs.
+            self._push(self._now + request.cost_s, "complete", request)
+
+    def run(self) -> List[dict]:
+        """Drain the event heap; returns every response in order."""
+        self._busy = 0
+        while self._events:
+            at_s, _seq, kind, payload = heapq.heappop(self._events)
+            self._now = max(self._now, at_s)
+            if kind == "arrival":
+                request, responses = self.core.submit(
+                    payload, reply_to=None, arrival_s=self._now
+                )
+                for _reply_to, message in responses:
+                    self._emit(message)
+                self._dispatch_free_workers()
+            elif kind == "complete":
+                request = payload
+                # Clock already at start + cost_s: execute the handler
+                # "at" completion time so cooperative deadline polls
+                # inside the checker observe the elapsed service time.
+                self._emit(self.core.execute(request))
+                self._busy -= 1
+                self._dispatch_free_workers()
+            elif kind == "drain":
+                self.core.begin_drain()
+                for _reply_to, message in self.core.drain_responses():
+                    self._emit(message)
+        return self.responses
+
+    def transcript_text(self) -> str:
+        """The full run as one deterministic NDJSON document."""
+        return "\n".join(self.transcript) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Production asyncio runtime.
+# ----------------------------------------------------------------------
+class AsyncServiceRuntime:
+    """The real daemon: NDJSON socket service + HTTP metrics/health."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        http_port: Optional[int] = None,
+        ready_file: Optional[str] = None,
+        metrics_path: Optional[str] = None,
+    ):
+        import time
+
+        self.core = ServiceCore(config=config, clock=time.monotonic)
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.http_port = http_port
+        self.ready_file = ready_file
+        self.metrics_path = metrics_path
+        self._drain_requested = False
+
+    # -- socket protocol ------------------------------------------------
+    async def _serve_client(self, reader, writer) -> None:
+        import asyncio
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace")
+                if not text.strip():
+                    continue
+                request, responses = self.core.submit(text, reply_to=writer)
+                for reply_to, message in responses:
+                    await self._send(reply_to or writer, message)
+                if request is not None:
+                    self._kick()
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _send(self, writer, message: dict) -> None:
+        if writer is None:
+            return
+        try:
+            writer.write(encode_message(message).encode("utf-8"))
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass  # client went away; response already accounted for
+
+    def _kick(self) -> None:
+        """Wake the dispatcher: queued work may now be startable."""
+        self._work_available.set()
+
+    async def _dispatcher(self) -> None:
+        """Moves startable requests onto the worker thread pool."""
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+
+        def _done(request: ServiceRequest, task: "asyncio.Future") -> None:
+            message = task.result()
+            asyncio.ensure_future(self._send(request.reply_to, message))
+            self._kick()
+
+        while not self._stopped:
+            await self._work_available.wait()
+            self._work_available.clear()
+            while True:
+                if self.core.in_flight >= self.core.config.workers:
+                    break
+                action = self.core.next_action()
+                if action is None:
+                    break
+                request, disposition = action
+                if disposition == "expired":
+                    await self._send(
+                        request.reply_to, self.core.expire(request)
+                    )
+                    continue
+                future = loop.run_in_executor(
+                    self._executor, self.core.execute, request
+                )
+                future.add_done_callback(
+                    lambda task, request=request: _done(request, task)
+                )
+
+    # -- HTTP metrics/health --------------------------------------------
+    async def _serve_http(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            if path.startswith("/metrics"):
+                o = obs.current()
+                body = (
+                    o.metrics.to_prometheus()
+                    if o.enabled
+                    else "# metrics disabled\n"
+                )
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+                status = "200 OK"
+            elif path.startswith("/healthz"):
+                snapshot = self.core.status_snapshot()
+                snapshot["status"] = (
+                    "draining" if self.core.draining else "ok"
+                )
+                body = json.dumps(snapshot, sort_keys=True) + "\n"
+                content_type = "application/json"
+                status = "200 OK"
+            else:
+                body = "not found\n"
+                content_type = "text/plain"
+                status = "404 Not Found"
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + payload
+            )
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    # -- lifecycle ------------------------------------------------------
+    def request_drain(self) -> None:
+        self._drain_requested = True
+
+    async def _run_async(self) -> int:
+        import asyncio
+        import signal
+
+        self._stopped = False
+        self._work_available = asyncio.Event()
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.core.config.workers,
+            thread_name_prefix="nmsld-worker",
+        )
+        loop = asyncio.get_running_loop()
+        drain_event = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, drain_event.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+
+        if self.socket_path:
+            server = await asyncio.start_unix_server(
+                self._serve_client, path=self.socket_path
+            )
+            endpoint = self.socket_path
+        else:
+            server = await asyncio.start_server(
+                self._serve_client, host=self.host, port=self.port
+            )
+            self.port = server.sockets[0].getsockname()[1]
+            endpoint = f"{self.host}:{self.port}"
+
+        http_server = None
+        if self.http_port is not None:
+            http_server = await asyncio.start_server(
+                self._serve_http, host=self.host, port=self.http_port
+            )
+            self.http_port = http_server.sockets[0].getsockname()[1]
+
+        if self.ready_file:
+            import os
+            from pathlib import Path
+
+            # Write-then-rename so a supervisor polling for the file
+            # never observes a partially written payload.
+            ready = Path(self.ready_file)
+            tmp = ready.with_name(ready.name + ".tmp")
+            tmp.write_text(
+                json.dumps(
+                    {
+                        "endpoint": endpoint,
+                        "http_port": self.http_port,
+                        "pid": os.getpid(),
+                    },
+                    sort_keys=True,
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, ready)
+
+        dispatcher = asyncio.ensure_future(self._dispatcher())
+        _log.info(
+            "listening on %s (http: %s)", endpoint, self.http_port
+        )
+
+        # Serve until a drain is requested (signal or request_drain()).
+        while not (drain_event.is_set() or self._drain_requested):
+            try:
+                await asyncio.wait_for(drain_event.wait(), timeout=0.1)
+            except asyncio.TimeoutError:
+                pass
+
+        # Graceful drain: stop admitting, answer the queue, finish
+        # in-flight work, flush metrics, exit 0.
+        self.core.begin_drain()
+        server.close()
+        await server.wait_closed()
+        for reply_to, message in self.core.drain_responses():
+            await self._send(reply_to, message)
+        while self.core.in_flight > 0:
+            await asyncio.sleep(0.05)
+        self._stopped = True
+        self._kick()  # unblock the dispatcher so it can observe _stopped
+        await asyncio.wait_for(dispatcher, timeout=5.0)
+        if http_server is not None:
+            http_server.close()
+            await http_server.wait_closed()
+        self._executor.shutdown(wait=True)
+        if self.metrics_path:
+            self._flush_metrics()
+        _log.info(
+            "drained cleanly after %d responses", self.core.responses_total
+        )
+        return 0
+
+    def _flush_metrics(self) -> None:
+        """Final Prometheus scrape written to disk on drain."""
+        from pathlib import Path
+
+        o = obs.current()
+        if o.enabled and o.metrics is not None:
+            Path(self.metrics_path).write_text(
+                o.metrics.to_prometheus(), encoding="utf-8"
+            )
+
+    def run(self) -> int:
+        import asyncio
+
+        return asyncio.run(self._run_async())

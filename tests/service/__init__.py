@@ -1,0 +1,1 @@
+"""Tests for the ``nmsld`` management-plane service layer."""

@@ -1,0 +1,180 @@
+"""Black-box tests of the ``nmsld`` daemon and its client."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CAMPUS = str(REPO_ROOT / "examples" / "campus.nmsl")
+
+
+def _daemon_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def _run_daemon_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.service.daemon", *argv],
+        env=_daemon_env(),
+        capture_output=True,
+        text=True,
+        timeout=30,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestEntryPoint:
+    def test_help(self):
+        proc = _run_daemon_cli("--help")
+        assert proc.returncode == 0
+        for flag in ("--socket", "--queue-depth", "--max-campaigns",
+                     "--http-port", "--journal-dir"):
+            assert flag in proc.stdout
+
+    def test_version(self):
+        from repro import __version__
+
+        proc = _run_daemon_cli("--version")
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == f"nmsld {__version__}"
+
+    def test_console_script_registered(self):
+        import tomllib
+
+        pyproject = tomllib.loads(
+            (REPO_ROOT / "pyproject.toml").read_text()
+        )
+        scripts = pyproject["project"]["scripts"]
+        assert scripts["nmsld"] == "repro.service.daemon:main"
+        assert scripts["nmslc"] == "repro.cli:main"
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A live daemon on a unix socket with the HTTP endpoint up."""
+    ready_file = tmp_path / "ready.json"
+    socket_path = tmp_path / "nmsld.sock"
+    metrics_path = tmp_path / "metrics.prom"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.daemon",
+            "--socket", str(socket_path),
+            "--http-port", "0",
+            "--ready-file", str(ready_file),
+            "--metrics", str(metrics_path),
+            "--journal-dir", str(tmp_path / "journals"),
+        ],
+        env=_daemon_env(),
+        cwd=REPO_ROOT,
+        stderr=subprocess.PIPE,
+    )
+    for _ in range(200):
+        if ready_file.exists():
+            break
+        if proc.poll() is not None:
+            raise RuntimeError(proc.stderr.read().decode())
+        time.sleep(0.05)
+    else:
+        proc.kill()
+        raise RuntimeError("daemon never became ready")
+    ready = json.loads(ready_file.read_text())
+    yield {
+        "proc": proc,
+        "socket": str(socket_path),
+        "http_port": ready["http_port"],
+        "metrics_path": metrics_path,
+    }
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=10)
+
+
+class TestDaemon:
+    def test_smoke_and_graceful_drain(self, daemon):
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(socket_path=daemon["socket"]) as client:
+            assert client.request("ping")["ok"]
+            first = client.request(
+                "check", {"spec": CAMPUS}, deadline_s=30.0
+            )
+            assert first["ok"] and first["result"]["consistent"]
+            assert first["result"]["warm"] is False
+            second = client.request("check", {"spec": CAMPUS})
+            assert second["result"]["warm"] is True  # warm cache hit
+
+            status = client.request("status")
+            assert status["result"]["queue"]["capacity"] == 64
+
+            bad = client.request("check", {})
+            assert bad["error"]["kind"] == "bad-request"
+
+        base = f"http://127.0.0.1:{daemon['http_port']}"
+        metrics = urllib.request.urlopen(base + "/metrics").read().decode()
+        assert "repro_service_requests_total" in metrics
+        assert "repro_service_latency_seconds" in metrics
+        assert "repro_service_queue_depth" in metrics
+        health = json.loads(
+            urllib.request.urlopen(base + "/healthz").read()
+        )
+        assert health["status"] == "ok"
+        assert health["requests_total"] >= 5
+
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(base + "/nope")
+
+        daemon["proc"].send_signal(signal.SIGTERM)
+        assert daemon["proc"].wait(timeout=20) == 0
+        # The drain flushed a final Prometheus scrape to disk.
+        assert daemon["metrics_path"].exists()
+        assert "repro_service_requests_total" in daemon[
+            "metrics_path"
+        ].read_text()
+
+    def test_rollout_over_the_socket(self, daemon):
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(
+            socket_path=daemon["socket"], timeout_s=120.0
+        ) as client:
+            response = client.request(
+                "rollout",
+                {
+                    "spec": CAMPUS,
+                    "elements": ["gw.cs.campus.edu", "db.cs.campus.edu"],
+                },
+            )
+            assert response["ok"], response
+            assert response["result"]["complete"]
+            assert response["result"]["committed"] == [
+                "db.cs.campus.edu", "gw.cs.campus.edu",
+            ]
+            assert response["result"]["journal"] is not None
+            assert Path(response["result"]["journal"]).exists()
+
+
+class TestClientCli:
+    def test_one_shot_ping(self, daemon):
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.service.client",
+                "--socket", daemon["socket"], "ping",
+            ],
+            env=_daemon_env(),
+            capture_output=True,
+            text=True,
+            timeout=30,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0
+        assert json.loads(proc.stdout)["result"] == {"pong": True}

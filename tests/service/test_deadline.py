@@ -1,0 +1,88 @@
+"""Deadline propagation into the checker, coordinator and reconciler."""
+
+import pytest
+
+from repro.deadline import Deadline
+from repro.errors import DeadlineExceeded, ServiceError
+from repro.workloads.scenarios import campus_internet
+
+
+class TestDeadline:
+    def test_not_expired(self):
+        deadline = Deadline(at_s=10.0, clock=lambda: 3.0)
+        assert not deadline.expired
+        assert deadline.remaining() == 7.0
+        deadline.check("anywhere")  # no raise
+
+    def test_expired_raises_with_context(self):
+        deadline = Deadline(at_s=1.0, clock=lambda: 2.5, label="check")
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("consistency.reduce")
+        assert "consistency.reduce" in str(excinfo.value)
+        assert excinfo.value.at_s == 1.0
+        assert excinfo.value.now_s == 2.5
+
+    def test_is_service_error(self):
+        with pytest.raises(ServiceError):
+            Deadline(at_s=0.0, clock=lambda: 1.0).check()
+
+    def test_after_builds_relative(self):
+        now = [5.0]
+        deadline = Deadline.after(2.0, clock=lambda: now[0])
+        assert not deadline.expired
+        now[0] = 7.5
+        assert deadline.expired
+
+    def test_poll_tolerates_none(self):
+        Deadline.poll(None, "anywhere")  # no raise
+
+
+def _campus_checker():
+    from repro.consistency.checker import ConsistencyChecker
+    from repro.nmsl.compiler import compile_text
+
+    compiler, result = compile_text(campus_internet())
+    return ConsistencyChecker(result.specification, compiler.tree)
+
+
+class TestCheckerDeadline:
+    def test_expired_deadline_aborts_check(self):
+        checker = _campus_checker()
+        with pytest.raises(DeadlineExceeded):
+            checker.check(
+                deadline=Deadline(at_s=0.0, clock=lambda: 1.0)
+            )
+
+    def test_generous_deadline_passes(self):
+        checker = _campus_checker()
+        outcome = checker.check(
+            deadline=Deadline(at_s=1e9, clock=lambda: 0.0)
+        )
+        assert outcome.consistent
+
+
+class TestCampaignDeadline:
+    def test_rollout_deadline_expires(self, tmp_path):
+        from repro.service.handlers import SpecCache
+
+        session = SpecCache().get("examples/campus.nmsl")
+        with pytest.raises(DeadlineExceeded):
+            session.runtime.rollout(
+                tag="BartsSnmpd",
+                deadline=Deadline(at_s=0.0, clock=lambda: 1.0),
+            )
+
+    def test_heal_deadline_expires(self):
+        from repro.heal import HealthRegistry
+        from repro.service.handlers import SpecCache
+
+        session = SpecCache().get("examples/campus.nmsl")
+        configs = session.runtime.rollout_targets("BartsSnmpd")
+        with pytest.raises(DeadlineExceeded):
+            session.runtime.heal(
+                tag="BartsSnmpd",
+                registry=HealthRegistry(sorted(configs)),
+                rounds=3,
+                deadline=Deadline(at_s=0.0, clock=lambda: 1.0),
+            )

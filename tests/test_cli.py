@@ -421,3 +421,53 @@ class TestExtensions:
             == 0
         )
         assert "charge p 5" in capsys.readouterr().out
+
+
+class TestKeyboardInterrupt:
+    def test_ctrl_c_exits_130_without_traceback(
+        self, paper_file, capsys, monkeypatch
+    ):
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_run", interrupted)
+        assert main([str(paper_file)]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+    def test_ctrl_c_mid_rollout_flushes_journal(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """The journal's finally-block close runs before the 130 exit."""
+        from repro.rollout import journal as journal_module
+
+        spec = tmp_path / "paper.nmsl"
+        spec.write_text(PAPER_SPEC_TEXT)
+        journal_path = tmp_path / "rollout.jsonl"
+        closed = []
+        original_close = journal_module.RolloutJournal.close
+
+        def tracking_close(self):
+            closed.append(True)
+            return original_close(self)
+
+        monkeypatch.setattr(
+            journal_module.RolloutJournal, "close", tracking_close
+        )
+
+        import repro.rollout.coordinator as coordinator_module
+
+        def interrupted_run(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            coordinator_module.RolloutCoordinator, "run", interrupted_run
+        )
+        code = main(
+            ["rollout", str(spec), "--journal", str(journal_path)]
+        )
+        assert code == 130
+        assert closed, "journal must be flushed on Ctrl-C"

@@ -25,6 +25,7 @@ transcripts are transcripts of the real scheduler.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple
@@ -131,6 +132,13 @@ class ServiceCore:
         self.started_s: Optional[float] = None
         self.requests_total = 0
         self.responses_total = 0
+        #: Guards all scheduler state (queues, bulkheads, in_flight,
+        #: counters).  The asyncio runtime mutates the core from the
+        #: event loop (submit/next_action via executors) *and* from
+        #: worker threads (execute -> finish); nothing here is safe
+        #: without it.  Reentrant because e.g. submit needs
+        #: _retry_after_hint while already holding the lock.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Submission.
@@ -146,62 +154,61 @@ class ServiceCore:
         structured; nothing is ever silently dropped.
         """
         now = self.clock() if arrival_s is None else arrival_s
-        self.requests_total += 1
-        try:
-            parsed = parse_request(line)
-        except ProtocolError as exc:
-            self._count("invalid", "invalid", "rejected")
-            return None, [
-                (reply_to, error_response(exc.request_id, exc.kind, str(exc)))
-            ]
-        request_id = parsed["id"]
-        if request_id is None:
-            request_id = f"req-{self.requests_total}"
-        op, cls = parsed["op"], parsed["class"]
+        with self._lock:
+            self.requests_total += 1
+            try:
+                parsed = parse_request(line)
+            except ProtocolError as exc:
+                self._count("invalid", "invalid", "rejected")
+                return None, [
+                    (
+                        reply_to,
+                        error_response(exc.request_id, exc.kind, str(exc)),
+                    )
+                ]
+            request_id = parsed["id"]
+            if request_id is None:
+                request_id = f"req-{self.requests_total}"
+            op, cls = parsed["op"], parsed["class"]
 
-        if self.draining:
-            self._count(op, cls, "draining")
-            return None, [
-                (
-                    reply_to,
-                    error_response(
-                        request_id, "draining",
-                        "daemon is draining; resubmit to its successor",
-                        op=op, cls=cls,
-                    ),
-                )
-            ]
+            if self.draining:
+                self._count(op, cls, "draining")
+                return None, [self._draining_refusal(reply_to, request_id, op, cls)]
 
-        deadline_s = parsed["deadline_s"]
-        if deadline_s is None:
-            deadline_s = self.config.default_deadline_s.get(cls)
-        deadline = (
-            Deadline(at_s=now + deadline_s, clock=self.clock, label=op)
-            if deadline_s is not None
-            else None
-        )
-        self._seq += 1
-        request = ServiceRequest(
-            id=request_id,
-            op=op,
-            params=parsed["params"],
-            cls=cls,
-            rank=CLASS_RANK[cls],
-            deadline=deadline,
-            deadline_s=deadline_s,
-            cost_s=parsed["cost_s"] or 0.0,
-            arrival_s=now,
-            seq=self._seq,
-            reply_to=reply_to,
-        )
+            deadline_s = parsed["deadline_s"]
+            if deadline_s is None:
+                deadline_s = self.config.default_deadline_s.get(cls)
+            deadline = (
+                Deadline(at_s=now + deadline_s, clock=self.clock, label=op)
+                if deadline_s is not None
+                else None
+            )
+            self._seq += 1
+            request = ServiceRequest(
+                id=request_id,
+                op=op,
+                params=parsed["params"],
+                cls=cls,
+                rank=CLASS_RANK[cls],
+                deadline=deadline,
+                deadline_s=deadline_s,
+                cost_s=parsed["cost_s"] or 0.0,
+                arrival_s=now,
+                seq=self._seq,
+                reply_to=reply_to,
+            )
 
         if op in CAMPAIGN_OPS:
+            # Campaign planning resolves the element claim through the
+            # spec cache; a cold cache compiles the spec, which can take
+            # seconds at paper scale — never hold the core lock here.
             try:
                 request.campaign_key, request.elements = (
                     self.handlers.campaign_plan(op, request.params)
                 )
             except ProtocolError as exc:
-                self._count(op, cls, "rejected")
+                with self._lock:
+                    self._count(op, cls, "rejected")
                 return None, [
                     (
                         reply_to,
@@ -210,7 +217,17 @@ class ServiceCore:
                         ),
                     )
                 ]
-            if not self.bulkheads.allow(request.campaign_key, now):
+
+        with self._lock:
+            if self.draining:
+                # Drain began while the campaign was being planned; the
+                # queue has already been flushed, so anything admitted
+                # now would never be answered.
+                self._count(op, cls, "draining")
+                return None, [self._draining_refusal(reply_to, request_id, op, cls)]
+            if request.campaign_key is not None and not self.bulkheads.allow(
+                request.campaign_key, now
+            ):
                 retry = self.bulkheads.retry_after(request.campaign_key, now)
                 self._count(op, cls, "circuit-open")
                 return None, [
@@ -226,45 +243,57 @@ class ServiceCore:
                     )
                 ]
 
-        admitted, victim = self.admission.offer(request)
-        responses: List[Tuple[object, dict]] = []
-        if victim is not None:
-            self._count(victim.op, victim.cls, "shed")
-            o = obs.current()
-            if o.enabled:
-                o.counter(
-                    "repro_service_shed_total",
-                    "requests evicted by higher-priority arrivals",
-                    **{"class": victim.cls},
-                ).inc()
-            responses.append(
-                (
-                    victim.reply_to,
-                    error_response(
-                        victim.id, "shed",
-                        f"shed by higher-priority {request.op} arrival"
-                        " under overload",
-                        op=victim.op, cls=victim.cls,
-                        retry_after_s=self._retry_after_hint(),
-                    ),
+            admitted, victim = self.admission.offer(request)
+            responses: List[Tuple[object, dict]] = []
+            if victim is not None:
+                self._count(victim.op, victim.cls, "shed")
+                o = obs.current()
+                if o.enabled:
+                    o.counter(
+                        "repro_service_shed_total",
+                        "requests evicted by higher-priority arrivals",
+                        **{"class": victim.cls},
+                    ).inc()
+                responses.append(
+                    (
+                        victim.reply_to,
+                        error_response(
+                            victim.id, "shed",
+                            f"shed by higher-priority {request.op} arrival"
+                            " under overload",
+                            op=victim.op, cls=victim.cls,
+                            retry_after_s=self._retry_after_hint(),
+                        ),
+                    )
                 )
-            )
-        if not admitted:
-            self._count(op, cls, "queue-full")
-            responses.append(
-                (
-                    reply_to,
-                    error_response(
-                        request_id, "queue-full",
-                        f"queue at capacity ({self.admission.capacity})"
-                        " with nothing lower-priority to shed",
-                        op=op, cls=cls,
-                        retry_after_s=self._retry_after_hint(),
-                    ),
+            if not admitted:
+                self._count(op, cls, "queue-full")
+                responses.append(
+                    (
+                        reply_to,
+                        error_response(
+                            request_id, "queue-full",
+                            f"queue at capacity ({self.admission.capacity})"
+                            " with nothing lower-priority to shed",
+                            op=op, cls=cls,
+                            retry_after_s=self._retry_after_hint(),
+                        ),
+                    )
                 )
-            )
-            return None, responses
-        return request, responses
+                return None, responses
+            return request, responses
+
+    def _draining_refusal(
+        self, reply_to: object, request_id: object, op: str, cls: str
+    ) -> Tuple[object, dict]:
+        return (
+            reply_to,
+            error_response(
+                request_id, "draining",
+                "daemon is draining; resubmit to its successor",
+                op=op, cls=cls,
+            ),
+        )
 
     def _retry_after_hint(self) -> float:
         backlog = self.admission.depth() + self.in_flight
@@ -283,16 +312,17 @@ class ServiceCore:
         (if campaigns); the caller must execute then :meth:`finish`.
         ``"expired"`` requests must be refused via :meth:`expire`.
         """
-        action = self.admission.pop_next(self.clock(), self._can_start)
-        if action is None:
-            return None
-        request, disposition = action
-        if disposition == "run" and request.campaign_key is not None:
-            self.bulkheads.acquire(request.campaign_key, request.elements)
-        if disposition == "run":
-            self.in_flight += 1
-            request.started_s = self.clock()
-        return request, disposition
+        with self._lock:
+            action = self.admission.pop_next(self.clock(), self._can_start)
+            if action is None:
+                return None
+            request, disposition = action
+            if disposition == "run" and request.campaign_key is not None:
+                self.bulkheads.acquire(request.campaign_key, request.elements)
+            if disposition == "run":
+                self.in_flight += 1
+                request.started_s = self.clock()
+            return request, disposition
 
     def _can_start(self, request: ServiceRequest) -> bool:
         if request.rank > 0:
@@ -354,21 +384,22 @@ class ServiceCore:
         self, request: ServiceRequest, response: dict, outcome: str
     ) -> dict:
         now = self.clock()
-        self.in_flight -= 1
-        if request.campaign_key is not None:
-            self.bulkheads.release(
-                request.campaign_key, ok=(outcome == "ok"), now=now
-            )
-        self._count(request.op, request.cls, outcome)
-        o = obs.current()
-        if o.enabled and request.started_s is not None:
-            o.histogram(
-                "repro_service_latency_seconds",
-                buckets=LATENCY_BUCKETS_S,
-                _help="request latency from arrival to response, by class",
-                **{"class": request.cls},
-            ).observe(max(0.0, now - request.arrival_s))
-        self.responses_total += 1
+        with self._lock:
+            self.in_flight -= 1
+            if request.campaign_key is not None:
+                self.bulkheads.release(
+                    request.campaign_key, ok=(outcome == "ok"), now=now
+                )
+            self._count(request.op, request.cls, outcome)
+            o = obs.current()
+            if o.enabled and request.started_s is not None:
+                o.histogram(
+                    "repro_service_latency_seconds",
+                    buckets=LATENCY_BUCKETS_S,
+                    _help="request latency from arrival to response, by class",
+                    **{"class": request.cls},
+                ).observe(max(0.0, now - request.arrival_s))
+            self.responses_total += 1
         return response
 
     def _timing(self, request: ServiceRequest) -> dict:
@@ -386,8 +417,9 @@ class ServiceCore:
 
     def expire(self, request: ServiceRequest) -> dict:
         """Refuse a request whose deadline lapsed while queued."""
-        self._count(request.op, request.cls, "deadline")
-        self.responses_total += 1
+        with self._lock:
+            self._count(request.op, request.cls, "deadline")
+            self.responses_total += 1
         return error_response(
             request.id, "deadline",
             f"deadline ({request.deadline_s}s) expired while queued",
@@ -398,7 +430,8 @@ class ServiceCore:
     # Drain.
     # ------------------------------------------------------------------
     def begin_drain(self) -> None:
-        self.draining = True
+        with self._lock:
+            self.draining = True
         o = obs.current()
         if o.enabled:
             o.gauge(
@@ -409,47 +442,50 @@ class ServiceCore:
     def drain_responses(self) -> List[Tuple[object, dict]]:
         """Refuse everything still queued (drain flushes the queues)."""
         responses = []
-        for request in self.admission.queued():
-            self._count(request.op, request.cls, "draining")
-            self.responses_total += 1
-            responses.append(
-                (
-                    request.reply_to,
-                    error_response(
-                        request.id, "draining",
-                        "daemon drained before this request was served",
-                        op=request.op, cls=request.cls,
-                    ),
+        with self._lock:
+            for request in self.admission.queued():
+                self._count(request.op, request.cls, "draining")
+                self.responses_total += 1
+                responses.append(
+                    (
+                        request.reply_to,
+                        error_response(
+                            request.id, "draining",
+                            "daemon drained before this request was served",
+                            op=request.op, cls=request.cls,
+                        ),
+                    )
                 )
-            )
-        # Reset the queues; everything in them has now been answered.
-        for name in list(self.admission._queues):
-            self.admission._queues[name].clear()
+            # Reset the queues; everything in them has now been answered.
+            for name in list(self.admission._queues):
+                self.admission._queues[name].clear()
         return responses
 
     @property
     def idle(self) -> bool:
-        return self.in_flight == 0 and self.admission.depth() == 0
+        with self._lock:
+            return self.in_flight == 0 and self.admission.depth() == 0
 
     # ------------------------------------------------------------------
     # Introspection / metrics.
     # ------------------------------------------------------------------
     def status_snapshot(self) -> dict:
-        return {
-            "draining": self.draining,
-            "in_flight": self.in_flight,
-            "queue": {
-                "depths": self.admission.depths(),
-                "capacity": self.admission.capacity,
-                "admitted_total": self.admission.admitted_total,
-                "shed_total": self.admission.shed_total,
-                "rejected_total": self.admission.rejected_total,
-            },
-            "campaigns": self.bulkheads.snapshot(),
-            "cache": self.handlers.cache.stats(),
-            "requests_total": self.requests_total,
-            "responses_total": self.responses_total,
-        }
+        with self._lock:
+            return {
+                "draining": self.draining,
+                "in_flight": self.in_flight,
+                "queue": {
+                    "depths": self.admission.depths(),
+                    "capacity": self.admission.capacity,
+                    "admitted_total": self.admission.admitted_total,
+                    "shed_total": self.admission.shed_total,
+                    "rejected_total": self.admission.rejected_total,
+                },
+                "campaigns": self.bulkheads.snapshot(),
+                "cache": self.handlers.cache.stats(),
+                "requests_total": self.requests_total,
+                "responses_total": self.responses_total,
+            }
 
     def _count(self, op: str, cls: str, outcome: str) -> None:
         o = obs.current()

@@ -137,6 +137,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return runtime.run()
         except KeyboardInterrupt:
             return 130
+        except OSError as exc:
+            # e.g. the socket path is owned by a live daemon, or the
+            # bind itself failed: a clean diagnostic, not a traceback.
+            print(f"nmsld: {exc}", file=sys.stderr)
+            return 1
     finally:
         set_current(previous)
 

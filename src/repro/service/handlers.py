@@ -10,10 +10,15 @@ invalidated by content hash; a bounded LRU caps resident specs.
 
 :class:`ServiceHandlers` executes each operation against the cache and
 returns a JSON-safe result payload.  Handlers run on worker threads in
-service mode, so each cache entry carries a lock serialising the
-stateful engines (checker memos, the simulated runtime); two campaigns
-over *disjoint* element sets touch disjoint agents and only contend for
-the session lock during runtime construction.
+service mode, so each cache entry carries two locks: ``lock``
+serialises the stateful engines (checker memos, lazy engine
+construction, impact baselines), and ``campaign_lock`` guarantees that
+at most one campaign (rollout/heal, including their install sweeps)
+mutates the shared :class:`~repro.netsim.processes.ManagementRuntime`
+at a time.  Bulkhead claims keep concurrent campaigns *logically*
+disjoint at element granularity; ``campaign_lock`` is what makes the
+shared simulated fabric safe when two such campaigns land on worker
+threads at the same wall-clock moment.
 """
 
 from __future__ import annotations
@@ -42,6 +47,11 @@ class SpecSession:
         self.path = path
         self.text_hash = text_hash
         self.lock = threading.RLock()
+        #: Held for the duration of any campaign that mutates the
+        #: shared ManagementRuntime (install sweeps, rollout, heal).
+        #: Element-disjoint campaigns on *different* specs run truly
+        #: concurrently; on the same spec they serialise here.
+        self.campaign_lock = threading.Lock()
         self.compiler = NmslCompiler(CompilerOptions(filename=path))
         self.result = self.compiler.compile(text)
         if self.result.report.errors:
@@ -59,19 +69,21 @@ class SpecSession:
     def checker(self):
         from repro.consistency.checker import ConsistencyChecker
 
-        if self._checker is None:
-            self._checker = ConsistencyChecker(
-                self.result.specification, self.compiler.tree
-            )
-        return self._checker
+        with self.lock:
+            if self._checker is None:
+                self._checker = ConsistencyChecker(
+                    self.result.specification, self.compiler.tree
+                )
+            return self._checker
 
     @property
     def runtime(self):
         from repro.netsim.processes import ManagementRuntime
 
-        if self._runtime is None:
-            self._runtime = ManagementRuntime(self.compiler, self.result)
-        return self._runtime
+        with self.lock:
+            if self._runtime is None:
+                self._runtime = ManagementRuntime(self.compiler, self.result)
+            return self._runtime
 
     def elements(self) -> Tuple[str, ...]:
         """Every system element name in the specification."""
@@ -194,11 +206,10 @@ class ServiceHandlers:
         method = getattr(self, "_op_" + request.op.replace("-", "_"), None)
         if method is None:  # pragma: no cover - protocol already vets ops
             raise ProtocolError("unknown-op", f"unhandled op {request.op!r}")
-        self._current_request = request
-        try:
-            return method(request.params, request.deadline)
-        finally:
-            self._current_request = None
+        # The request is threaded through explicitly: handlers run
+        # concurrently on worker threads, so per-request context must
+        # never live in shared instance state.
+        return method(request.params, request.deadline, request)
 
     @staticmethod
     def _require(params: dict, key: str) -> str:
@@ -210,15 +221,21 @@ class ServiceHandlers:
     # ------------------------------------------------------------------
     # Interactive operations.
     # ------------------------------------------------------------------
-    def _op_ping(self, params: dict, deadline: Optional[Deadline]) -> dict:
+    def _op_ping(
+        self, params: dict, deadline: Optional[Deadline], request
+    ) -> dict:
         return {"pong": True}
 
-    def _op_status(self, params: dict, deadline: Optional[Deadline]) -> dict:
+    def _op_status(
+        self, params: dict, deadline: Optional[Deadline], request
+    ) -> dict:
         if self.core is None:
             return {"cache": self.cache.stats()}
         return self.core.status_snapshot()
 
-    def _op_compile(self, params: dict, deadline: Optional[Deadline]) -> dict:
+    def _op_compile(
+        self, params: dict, deadline: Optional[Deadline], request
+    ) -> dict:
         session = self.cache.get(self._require(params, "spec"))
         Deadline.poll(deadline, "service.compile")
         counts = session.result.specification.counts()
@@ -232,7 +249,9 @@ class ServiceHandlers:
             "fingerprint": session.text_hash,
         }
 
-    def _op_check(self, params: dict, deadline: Optional[Deadline]) -> dict:
+    def _op_check(
+        self, params: dict, deadline: Optional[Deadline], request
+    ) -> dict:
         session = self.cache.get(self._require(params, "spec"))
         jobs = int(params.get("jobs", 1))
         capacity = bool(params.get("capacity", False))
@@ -263,7 +282,9 @@ class ServiceHandlers:
             },
         }
 
-    def _op_analyze(self, params: dict, deadline: Optional[Deadline]) -> dict:
+    def _op_analyze(
+        self, params: dict, deadline: Optional[Deadline], request
+    ) -> dict:
         from repro.analysis import default_registry
 
         specs = params.get("specs")
@@ -302,7 +323,9 @@ class ServiceHandlers:
             "diagnostics": diagnostics[:MAX_REPORTED],
         }
 
-    def _op_diff(self, params: dict, deadline: Optional[Deadline]) -> dict:
+    def _op_diff(
+        self, params: dict, deadline: Optional[Deadline], request
+    ) -> dict:
         from repro.analysis import Waiver, relational_report
         from repro.consistency.impact import ImpactAnalyzer
 
@@ -395,7 +418,9 @@ class ServiceHandlers:
             report = Waiver.load(waiver).apply(report)
         return RolloutGate.from_impact(impact, report)
 
-    def _op_rollout(self, params: dict, deadline: Optional[Deadline]) -> dict:
+    def _op_rollout(
+        self, params: dict, deadline: Optional[Deadline], request
+    ) -> dict:
         import json as _json
 
         from repro.rollout import RetryPolicy
@@ -408,26 +433,28 @@ class ServiceHandlers:
         )
         gate = self._rollout_gate(session, params)
         configs = self._campaign_configs(session, tag, params)
-        request = getattr(self, "_current_request", None)
-        journal = self._campaign_journal(request) if request else None
+        journal = self._campaign_journal(request)
         try:
-            if params.get("baseline_install"):
-                with session.lock:
+            # One campaign at a time may mutate the shared runtime;
+            # element-level disjointness (the bulkhead claim) is not a
+            # memory-safety boundary inside the simulated fabric.
+            with session.campaign_lock:
+                if params.get("baseline_install"):
                     session.runtime.install_configuration(tag=tag)
-            try:
-                report = session.runtime.rollout(
-                    tag=tag,
-                    policy=policy,
-                    jobs=int(params.get("jobs", 4)),
-                    seed=int(params.get("seed", 1989)),
-                    chunk_size=int(params.get("chunk_size", 1024)),
-                    configs=configs,
-                    journal=journal,
-                    gate=gate,
-                    deadline=deadline,
-                )
-            except RolloutVetoed as exc:
-                raise ProtocolError("vetoed", str(exc))
+                try:
+                    report = session.runtime.rollout(
+                        tag=tag,
+                        policy=policy,
+                        jobs=int(params.get("jobs", 4)),
+                        seed=int(params.get("seed", 1989)),
+                        chunk_size=int(params.get("chunk_size", 1024)),
+                        configs=configs,
+                        journal=journal,
+                        gate=gate,
+                        deadline=deadline,
+                    )
+                except RolloutVetoed as exc:
+                    raise ProtocolError("vetoed", str(exc))
         finally:
             if journal is not None:
                 journal.close()
@@ -444,7 +471,9 @@ class ServiceHandlers:
             "journal": str(journal.path) if journal is not None else None,
         }
 
-    def _op_heal(self, params: dict, deadline: Optional[Deadline]) -> dict:
+    def _op_heal(
+        self, params: dict, deadline: Optional[Deadline], request
+    ) -> dict:
         import json as _json
 
         from repro.heal import HealthRegistry
@@ -457,21 +486,21 @@ class ServiceHandlers:
             timeout_s=float(params.get("timeout_s", 2.0)),
         )
         configs = self._campaign_configs(session, tag, params)
-        if params.get("install"):
-            with session.lock:
-                session.runtime.install_configuration(tag=tag)
         registry = HealthRegistry(sorted(configs))
-        report = session.runtime.heal(
-            tag=tag,
-            policy=policy,
-            jobs=int(params.get("jobs", 4)),
-            seed=int(params.get("seed", 1989)),
-            configs=configs,
-            registry=registry,
-            interval_s=float(params.get("interval_s", 30.0)),
-            rounds=int(params.get("rounds", 10)),
-            deadline=deadline,
-        )
+        with session.campaign_lock:
+            if params.get("install"):
+                session.runtime.install_configuration(tag=tag)
+            report = session.runtime.heal(
+                tag=tag,
+                policy=policy,
+                jobs=int(params.get("jobs", 4)),
+                seed=int(params.get("seed", 1989)),
+                configs=configs,
+                registry=registry,
+                interval_s=float(params.get("interval_s", 30.0)),
+                rounds=int(params.get("rounds", 10)),
+                deadline=deadline,
+            )
         payload = _json.loads(report.to_json())
         return {
             "spec": session.path,

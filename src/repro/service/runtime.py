@@ -183,6 +183,7 @@ class AsyncServiceRuntime:
     async def _serve_client(self, reader, writer) -> None:
         import asyncio
 
+        loop = asyncio.get_running_loop()
         try:
             while True:
                 try:
@@ -194,7 +195,19 @@ class AsyncServiceRuntime:
                 text = line.decode("utf-8", errors="replace")
                 if not text.strip():
                     continue
-                request, responses = self.core.submit(text, reply_to=writer)
+                # Submission runs on its own small executor: admitting a
+                # campaign resolves its element claim through the spec
+                # cache, and a cold-cache compile takes seconds — it must
+                # never stall the event loop (other clients, dispatch,
+                # /metrics, /healthz).  ServiceCore is lock-protected, so
+                # concurrent submits and finishes are safe.
+                try:
+                    request, responses = await loop.run_in_executor(
+                        self._submit_executor,
+                        self.core.submit, text, writer,
+                    )
+                except RuntimeError:
+                    break  # executor shut down mid-drain; daemon is exiting
                 for reply_to, message in responses:
                     await self._send(reply_to or writer, message)
                 if request is not None:
@@ -307,6 +320,50 @@ class AsyncServiceRuntime:
     def request_drain(self) -> None:
         self._drain_requested = True
 
+    @staticmethod
+    def _remove_stale_socket(path: str) -> None:
+        """Unlink a leftover socket file unless a live daemon owns it.
+
+        asyncio does not remove the socket file on ``server.close()``,
+        and a crash leaves one behind too; without this, every restart
+        with the same ``--socket`` fails with EADDRINUSE.  A file that
+        still answers connections belongs to a running daemon and is
+        left alone (startup fails loudly instead of stealing it).
+        """
+        import os
+        import socket
+        import stat
+
+        try:
+            mode = os.stat(path).st_mode
+        except OSError:
+            return  # nothing there: the normal first-boot case
+        if not stat.S_ISSOCK(mode):
+            raise OSError(
+                f"{path} exists and is not a socket; refusing to replace it"
+            )
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(0.25)
+        try:
+            probe.connect(path)
+        except OSError:
+            AsyncServiceRuntime._unlink_socket(path)  # stale: no listener
+        else:
+            raise OSError(
+                f"{path}: another daemon is already listening"
+            )
+        finally:
+            probe.close()
+
+    @staticmethod
+    def _unlink_socket(path: str) -> None:
+        import os
+
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
     async def _run_async(self) -> int:
         import asyncio
         import signal
@@ -319,6 +376,11 @@ class AsyncServiceRuntime:
             max_workers=self.core.config.workers,
             thread_name_prefix="nmsld-worker",
         )
+        # Dedicated threads for admission so a spec compile during
+        # campaign planning cannot wait behind (or freeze) handler work.
+        self._submit_executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="nmsld-submit"
+        )
         loop = asyncio.get_running_loop()
         drain_event = asyncio.Event()
         for signum in (signal.SIGTERM, signal.SIGINT):
@@ -328,6 +390,7 @@ class AsyncServiceRuntime:
                 pass
 
         if self.socket_path:
+            self._remove_stale_socket(self.socket_path)
             server = await asyncio.start_unix_server(
                 self._serve_client, path=self.socket_path
             )
@@ -385,6 +448,8 @@ class AsyncServiceRuntime:
         self.core.begin_drain()
         server.close()
         await server.wait_closed()
+        if self.socket_path:
+            self._unlink_socket(self.socket_path)
         for reply_to, message in self.core.drain_responses():
             await self._send(reply_to, message)
         while self.core.in_flight > 0:
@@ -395,6 +460,7 @@ class AsyncServiceRuntime:
         if http_server is not None:
             http_server.close()
             await http_server.wait_closed()
+        self._submit_executor.shutdown(wait=True)
         self._executor.shutdown(wait=True)
         if self.metrics_path:
             self._flush_metrics()

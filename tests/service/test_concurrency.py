@@ -1,0 +1,137 @@
+"""Thread-safety regressions: the core and handlers under real threads.
+
+The simulated runtime proves the *policies* deterministically; these
+tests prove the shared-state plumbing those policies run on survives the
+asyncio runtime's actual concurrency — submits racing finishes on the
+scheduler state, and overlapping campaigns journaling under their own
+request ids rather than whichever request happened to execute last.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.service.core import ServiceConfig, ServiceCore
+from repro.service.protocol import encode_message
+
+CAMPUS = "examples/campus.nmsl"
+
+
+def _line(message: dict) -> str:
+    return encode_message(message)
+
+
+class TestCoreThreadSafety:
+    def test_racing_submit_and_finish_never_drift_in_flight(self):
+        """in_flight and the counters stay exact under 8-way churn.
+
+        Unsynchronised ``+=``/``-=`` on the scheduler state loses
+        updates under this load, leaving ``in_flight`` permanently
+        drifted — which would make the daemon's drain loop hang.
+        """
+        core = ServiceCore(
+            config=ServiceConfig(workers=8, queue_capacity=256)
+        )
+        lines = [_line({"id": f"p{i}", "op": "ping"}) for i in range(200)]
+        responses = []
+        responses_lock = threading.Lock()
+
+        def churn(line):
+            request, refusals = core.submit(line)
+            with responses_lock:
+                responses.extend(message for _to, message in refusals)
+            while True:
+                action = core.next_action()
+                if action is None:
+                    break
+                queued, disposition = action
+                message = (
+                    core.expire(queued)
+                    if disposition == "expired"
+                    else core.execute(queued)
+                )
+                with responses_lock:
+                    responses.append(message)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(churn, lines))
+
+        assert core.in_flight == 0
+        assert core.admission.depth() == 0
+        assert len(responses) == len(lines)
+        assert core.responses_total == len(lines)
+        assert {message["id"] for message in responses} == {
+            f"p{i}" for i in range(len(lines))
+        }
+
+    def test_drain_during_campaign_plan_refuses_cleanly(self, monkeypatch):
+        """Drain winning the race against a mid-plan submit still answers.
+
+        Campaign planning runs outside the core lock (it may compile);
+        if drain begins in that window the request must be refused —
+        the drain path has already flushed the queues, so admitting it
+        would leave it unanswered forever.
+        """
+        core = ServiceCore(config=ServiceConfig(workers=1))
+        real_plan = core.handlers.campaign_plan
+
+        def plan_then_drain(op, params):
+            key, claim = real_plan(op, params)
+            core.begin_drain()
+            return key, claim
+
+        monkeypatch.setattr(core.handlers, "campaign_plan", plan_then_drain)
+        request, refusals = core.submit(
+            _line({"id": "race", "op": "rollout",
+                   "params": {"spec": CAMPUS}})
+        )
+        assert request is None
+        (_to, message), = refusals
+        assert message["error"]["kind"] == "draining"
+        assert core.admission.depth() == 0
+
+
+class TestConcurrentCampaignJournals:
+    def test_overlapping_executes_journal_under_their_own_ids(
+        self, tmp_path
+    ):
+        """Two campaigns on worker threads each journal under their id.
+
+        Per-request context routed through shared instance state lets
+        one campaign's journal land under the other's name (or not be
+        written at all), which breaks crash-resume.
+        """
+        core = ServiceCore(
+            config=ServiceConfig(workers=4, journal_dir=str(tmp_path))
+        )
+        for message in (
+            {"id": "cs-campaign", "op": "rollout",
+             "params": {"spec": CAMPUS,
+                        "elements": ["gw.cs.campus.edu",
+                                     "db.cs.campus.edu"]}},
+            {"id": "engr-campaign", "op": "rollout",
+             "params": {"spec": CAMPUS,
+                        "elements": ["gw.engr.campus.edu",
+                                     "sim.engr.campus.edu"]}},
+        ):
+            request, refusals = core.submit(_line(message))
+            assert request is not None and not refusals
+
+        actions = [core.next_action(), core.next_action()]
+        assert all(
+            action is not None and action[1] == "run" for action in actions
+        )
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            results = list(
+                pool.map(lambda action: core.execute(action[0]), actions)
+            )
+
+        by_id = {message["id"]: message for message in results}
+        for request_id in ("cs-campaign", "engr-campaign"):
+            response = by_id[request_id]
+            assert response["ok"], response
+            journal = response["result"]["journal"]
+            assert journal is not None
+            assert f"campaign-{request_id}" in Path(journal).name
+            assert Path(journal).exists()
+        assert core.in_flight == 0

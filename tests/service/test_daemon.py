@@ -135,11 +135,13 @@ class TestDaemon:
 
         daemon["proc"].send_signal(signal.SIGTERM)
         assert daemon["proc"].wait(timeout=20) == 0
-        # The drain flushed a final Prometheus scrape to disk.
+        # The drain flushed a final Prometheus scrape to disk...
         assert daemon["metrics_path"].exists()
         assert "repro_service_requests_total" in daemon[
             "metrics_path"
         ].read_text()
+        # ...and removed the socket file so a successor can bind it.
+        assert not Path(daemon["socket"]).exists()
 
     def test_rollout_over_the_socket(self, daemon):
         from repro.service.client import ServiceClient
@@ -161,6 +163,100 @@ class TestDaemon:
             ]
             assert response["result"]["journal"] is not None
             assert Path(response["result"]["journal"]).exists()
+
+
+class TestSocketLifecycle:
+    """Stale-socket cleanup: restarts must not fail with EADDRINUSE."""
+
+    def test_missing_path_is_a_noop(self, tmp_path):
+        from repro.service.runtime import AsyncServiceRuntime
+
+        AsyncServiceRuntime._remove_stale_socket(
+            str(tmp_path / "never-existed.sock")
+        )
+
+    def test_regular_file_is_refused(self, tmp_path):
+        from repro.service.runtime import AsyncServiceRuntime
+
+        path = tmp_path / "not-a-socket"
+        path.write_text("precious data")
+        with pytest.raises(OSError, match="not a socket"):
+            AsyncServiceRuntime._remove_stale_socket(str(path))
+        assert path.exists()
+
+    def test_stale_socket_is_unlinked(self, tmp_path):
+        import socket as socketlib
+
+        from repro.service.runtime import AsyncServiceRuntime
+
+        path = tmp_path / "stale.sock"
+        crashed = socketlib.socket(
+            socketlib.AF_UNIX, socketlib.SOCK_STREAM
+        )
+        crashed.bind(str(path))
+        crashed.close()  # the file outlives its listener, as on a crash
+        AsyncServiceRuntime._remove_stale_socket(str(path))
+        assert not path.exists()
+
+    def test_live_listener_is_not_stolen(self, tmp_path):
+        import socket as socketlib
+
+        from repro.service.runtime import AsyncServiceRuntime
+
+        path = tmp_path / "live.sock"
+        listener = socketlib.socket(
+            socketlib.AF_UNIX, socketlib.SOCK_STREAM
+        )
+        listener.bind(str(path))
+        listener.listen(1)
+        try:
+            with pytest.raises(OSError, match="already listening"):
+                AsyncServiceRuntime._remove_stale_socket(str(path))
+        finally:
+            listener.close()
+        assert path.exists()
+
+    def test_daemon_boots_over_stale_socket(self, tmp_path):
+        import socket as socketlib
+
+        socket_path = tmp_path / "nmsld.sock"
+        crashed = socketlib.socket(
+            socketlib.AF_UNIX, socketlib.SOCK_STREAM
+        )
+        crashed.bind(str(socket_path))
+        crashed.close()
+
+        ready_file = tmp_path / "ready.json"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.service.daemon",
+                "--socket", str(socket_path),
+                "--ready-file", str(ready_file),
+            ],
+            env=_daemon_env(),
+            cwd=REPO_ROOT,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            for _ in range(200):
+                if ready_file.exists():
+                    break
+                if proc.poll() is not None:
+                    raise RuntimeError(proc.stderr.read().decode())
+                time.sleep(0.05)
+            else:
+                raise RuntimeError("daemon never became ready")
+            from repro.service.client import ServiceClient
+
+            with ServiceClient(socket_path=str(socket_path)) as client:
+                assert client.request("ping")["ok"]
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=20) == 0
+            assert not socket_path.exists()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
 
 
 class TestClientCli:

@@ -10,10 +10,15 @@ surface the way an operator session would:
    service must refuse it with 403 ``vetoed``;
 4. a clean ``rollout`` of the committed spec over a sub-campus element
    claim — must complete with a journal on disk;
-5. SIGTERM — graceful drain, exit 0, final metrics scrape flushed.
+5. ``GET /slo`` + ``GET /metrics`` — the exposition must pass the
+   strict :mod:`repro.obs.promlint` parser with zero problems;
+6. SIGTERM — graceful drain, exit 0, final metrics scrape flushed,
+   and the drained trace must contain one *connected* trace for the
+   warm check (every span reachable from the request's trace id).
 
-Leaves ``SERVICE_metrics.prom`` and ``SERVICE_smoke.json`` for CI to
-upload.  Exits non-zero on the first violated expectation.
+Leaves ``SERVICE_metrics.prom``, ``SERVICE_smoke.json``,
+``SERVICE_audit.jsonl`` and ``SERVICE_trace.jsonl`` for CI to upload.
+Exits non-zero on the first violated expectation.
 
 Run as a script::
 
@@ -33,6 +38,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs.promlint import lint  # noqa: E402
 from repro.service.client import ServiceClient  # noqa: E402
 
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
@@ -70,6 +76,11 @@ def main(argv=None):
     socket_path = workdir / "nmsld.sock"
     ready_file = workdir / "ready.json"
     metrics_file = REPO_ROOT / "SERVICE_metrics.prom"
+    audit_file = REPO_ROOT / "SERVICE_audit.jsonl"
+    trace_file = REPO_ROOT / "SERVICE_trace.jsonl"
+    for stale in (audit_file, trace_file):
+        if stale.exists():
+            stale.unlink()
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     daemon = subprocess.Popen(
@@ -79,6 +90,8 @@ def main(argv=None):
             "--http-port", "0",
             "--ready-file", str(ready_file),
             "--metrics", str(metrics_file),
+            "--audit-log", str(audit_file),
+            "--trace", str(trace_file),
             "--journal-dir", str(workdir / "journals"),
             "-v",
         ],
@@ -112,6 +125,18 @@ def main(argv=None):
             expect(
                 warm["ok"] and warm["result"]["warm"] is True,
                 "warm cache hit", warm,
+            )
+            expect(
+                isinstance(warm.get("traceparent"), str)
+                and warm["traceparent"].startswith("00-"),
+                "response envelope carries traceparent", warm,
+            )
+            warm_trace_id = warm["traceparent"].split("-")[1]
+            resources = warm.get("resources", {})
+            expect(
+                "cpu_s" in resources and "cache_hit_ratio" in resources,
+                "response envelope carries resource accounting",
+                resources,
             )
 
             diff = client.request(
@@ -174,10 +199,22 @@ def main(argv=None):
             and "repro_service_latency_seconds" in scrape,
             "live /metrics scrape",
         )
+        problems = lint(scrape)
+        expect(not problems, "/metrics passes strict promlint", problems)
+        slo = json.loads(urllib.request.urlopen(base + "/slo").read())
+        expect(
+            "interactive" in slo.get("classes", {})
+            and slo["classes"]["interactive"]["windows"],
+            "/slo reports per-class windows", slo,
+        )
         health = json.loads(
             urllib.request.urlopen(base + "/healthz").read()
         )
         expect(health["status"] == "ok", "/healthz", health)
+        expect(
+            "slo" in health and "alerting" in health["slo"],
+            "/healthz embeds the SLO summary", health,
+        )
 
         daemon.send_signal(signal.SIGTERM)
         code = daemon.wait(timeout=30)
@@ -186,6 +223,43 @@ def main(argv=None):
             metrics_file.exists()
             and "repro_service_requests_total" in metrics_file.read_text(),
             "final metrics flushed on drain",
+        )
+        problems = lint(metrics_file.read_text())
+        expect(not problems, "drained metrics pass promlint", problems)
+
+        audit_events = [
+            json.loads(line)
+            for line in audit_file.read_text().splitlines()
+        ]
+        expect(
+            any(e["event"] == "admit" for e in audit_events)
+            and any(e["event"] == "response" for e in audit_events)
+            and any(e["event"] == "veto" for e in audit_events)
+            and any(e["event"] == "apply" for e in audit_events),
+            "audit log records admit/response/veto/apply events",
+            sorted({e["event"] for e in audit_events}),
+        )
+        expect(
+            all("trace_id" in e for e in audit_events),
+            "every audit event carries a trace id",
+        )
+
+        spans = [
+            json.loads(line)
+            for line in trace_file.read_text().splitlines()
+        ]
+        warm_spans = [s for s in spans if s["trace"] == warm_trace_id]
+        # The request's minted context is the (unrecorded) trace root.
+        roots = {"", warm["traceparent"].split("-")[2]}
+        known = {s["span"] for s in warm_spans} | roots
+        expect(
+            any(s["name"] == "service.request" for s in warm_spans),
+            "warm check produced a service.request span", warm_trace_id,
+        )
+        expect(
+            warm_spans and all(s["parent"] in known for s in warm_spans),
+            "warm-check trace is connected (all parents resolve)",
+            warm_spans,
         )
     finally:
         if daemon.poll() is None:
@@ -198,6 +272,9 @@ def main(argv=None):
                 "smoke": "service",
                 "health": health,
                 "drain_exit_code": code,
+                "audit_events": len(audit_events),
+                "trace_spans": len(spans),
+                "warm_check_trace_spans": len(warm_spans),
             },
             indent=2,
             sort_keys=True,

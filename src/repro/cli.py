@@ -148,6 +148,9 @@ def _obs_session(
             fmt = session.tracer.write(trace)
             print(f"nmslc: wrote {fmt} trace to {trace}", file=sys.stderr)
         if metrics:
+            # Mirror tracer counters (span count, cap drops) into the
+            # registry so the export shows when a trace was truncated.
+            session.publish_tracer_stats()
             session.metrics.write(metrics)
             print(f"nmslc: wrote metrics to {metrics}", file=sys.stderr)
 
@@ -713,10 +716,105 @@ def build_profile_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nmslc top",
+        description="Live per-class SLO and queue view of a running "
+        "nmsld: polls the status and slo operations and renders one "
+        "table per tick",
+    )
+    parser.add_argument("--socket", help="nmsld unix socket path")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, help="nmsld TCP port")
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="exit after N ticks (default: run until interrupted)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit raw status+slo snapshots as JSONL instead of tables",
+    )
+    return parser
+
+
+def _render_top(snapshot: dict) -> str:
+    """One tick of ``nmslc top``: summary line + per-class SLO table."""
+    from repro.service.client import render_watch_line
+
+    slo = snapshot.get("slo", {})
+    lines = [render_watch_line(snapshot)]
+    classes = slo.get("classes", {})
+    if classes:
+        lines.append(
+            f"{'class':<12} {'objective':<16} {'avail':>8} "
+            f"{'burn':>8} {'p99_s':>10} {'alert':>8}"
+        )
+    for cls in sorted(classes):
+        entry = classes[cls]
+        objective = entry.get("objective", {})
+        target = (
+            f"{objective.get('latency_s', '-')}s@"
+            f"{objective.get('availability', '-')}"
+            if objective
+            else "-"
+        )
+        windows = entry.get("windows", [])
+        shortest = windows[0] if windows else {}
+        burn = max(
+            (window.get("burn_rate", 0.0) for window in windows),
+            default=0.0,
+        )
+        lines.append(
+            f"{cls:<12} {target:<16} "
+            f"{shortest.get('availability', 1.0):>8.4f} "
+            f"{burn:>8.2f} "
+            f"{str(shortest.get('p99_s', '-')):>10} "
+            f"{entry.get('alert') or '-':>8}"
+        )
+    return "\n".join(lines)
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(
+        socket_path=args.socket, host=args.host, port=args.port
+    ) as client:
+        ticks = 0
+        while True:
+            snapshot = client.watch_snapshot()
+            if args.json:
+                print(
+                    _json.dumps(
+                        snapshot, sort_keys=True, separators=(",", ":")
+                    )
+                )
+            else:
+                print(_render_top(snapshot))
+            ticks += 1
+            if args.count is not None and ticks >= args.count:
+                return 0
+            _time.sleep(args.interval)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     try:
+        if argv and argv[0] == "top":
+            args = build_top_parser().parse_args(argv[1:])
+            try:
+                return _run_top(args)
+            except (ConnectionError, ValueError) as exc:
+                print(f"nmslc: top: {exc}", file=sys.stderr)
+                return 2
         if argv and argv[0] == "analyze":
             args = build_analyze_parser().parse_args(argv[1:])
             with _obs_session(args):

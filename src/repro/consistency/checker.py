@@ -94,6 +94,11 @@ def _reduce_shard_worker(bucket_index: int):
     workers.  Module-level so the fork-context pool can name it.
     """
     checker, facts, buckets = _WORKER_STATE
+    o = obs.current()
+    tracer = getattr(o, "tracer", None)
+    # Everything recorded past this mark was closed by *this* worker;
+    # the fork inherited the parent's records below it.
+    span_mark = len(tracer) if tracer is not None else 0
     hits_before = dict(checker._memo_hits)
     misses_before = dict(checker._memo_misses)
     index = (
@@ -102,10 +107,18 @@ def _reduce_shard_worker(bucket_index: int):
         else None
     )
     index_before = (index.hits, index.misses) if index is not None else (0, 0)
-    results = [
-        (position, checker._reference_problems(reference, facts))
-        for position, reference in buckets[bucket_index]
-    ]
+    # The fork preserved this thread's span stack, so the shard span
+    # parents onto the request's in-flight consistency.check span and
+    # carries its trace id into the worker subtree.
+    with o.span(
+        "consistency.shard",
+        bucket=bucket_index,
+        references=len(buckets[bucket_index]),
+    ):
+        results = [
+            (position, checker._reference_problems(reference, facts))
+            for position, reference in buckets[bucket_index]
+        ]
     tallies = {
         "memo_hits": {
             memo: checker._memo_hits[memo] - hits_before[memo]
@@ -117,6 +130,11 @@ def _reduce_shard_worker(bucket_index: int):
         },
         "index_hits": (index.hits - index_before[0]) if index else 0,
         "index_misses": (index.misses - index_before[1]) if index else 0,
+        "spans": (
+            tracer.export_spans(since=span_mark)
+            if tracer is not None
+            else []
+        ),
     }
     return results, tallies
 
@@ -436,6 +454,20 @@ class ConsistencyChecker:
             warnings=warnings,
             stats=stats,
         )
+
+    def cache_tallies(self) -> Dict[str, int]:
+        """Cumulative memo + index hit/miss totals.
+
+        Callers that want *per-request* cache behaviour (the service's
+        resource accounting) snapshot this before and after a check and
+        difference the totals.
+        """
+        hits = sum(self._memo_hits.values())
+        misses = sum(self._memo_misses.values())
+        if self._index is not None:
+            hits += self._index.hits
+            misses += self._index.misses
+        return {"hits": hits, "misses": misses}
 
     # ------------------------------------------------------------------
     # Metrics publication (tallies stay plain ints on the hot path).
@@ -766,6 +798,7 @@ class ConsistencyChecker:
             finally:
                 _WORKER_STATE = None
                 gc.unfreeze()
+            o = obs.current()
             for results, tallies in outcomes:
                 for position, verdict in results:
                     verdicts[position] = verdict
@@ -776,17 +809,38 @@ class ConsistencyChecker:
                 if self._index is not None:
                     self._index.hits += tallies["index_hits"]
                     self._index.misses += tallies["index_misses"]
+                # Re-attach each worker's span subtree, in bucket order
+                # (pool.map preserves it), so the splice is as
+                # deterministic as the verdict merge.
+                o.splice_spans(tallies.get("spans") or [])
         else:
             # No fork on this platform: same shards, same merge, worker
-            # threads instead of processes.
-            def reduce_bucket(bucket: List[Tuple[int, Reference]]):
-                return [
-                    (position, self._reference_problems(reference, facts))
-                    for position, reference in bucket
-                ]
+            # threads instead of processes.  Pool threads have empty
+            # span stacks, so they adopt the submitting thread's
+            # context to keep shard spans inside the request's trace.
+            o = obs.current()
+            parent_context = o.current_context()
+
+            def reduce_bucket(
+                indexed_bucket: Tuple[int, List[Tuple[int, Reference]]]
+            ):
+                bucket_index, bucket = indexed_bucket
+                with o.adopt(parent_context):
+                    with o.span(
+                        "consistency.shard",
+                        bucket=bucket_index,
+                        references=len(bucket),
+                    ):
+                        return [
+                            (
+                                position,
+                                self._reference_problems(reference, facts),
+                            )
+                            for position, reference in bucket
+                        ]
 
             with ThreadPoolExecutor(max_workers=jobs) as pool:
-                for chunk in pool.map(reduce_bucket, buckets):
+                for chunk in pool.map(reduce_bucket, enumerate(buckets)):
                     for position, verdict in chunk:
                         verdicts[position] = verdict
         return verdicts

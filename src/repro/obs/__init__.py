@@ -14,7 +14,9 @@ See ``docs/OBSERVABILITY.md`` for the span model, metric naming
 convention and file formats.
 """
 
+from repro.obs.audit import AuditLog
 from repro.obs.clock import LogicalClock, WallClock
+from repro.obs.context import IdAllocator, TraceContext
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -31,10 +33,21 @@ from repro.obs.observability import (
     scope,
     set_current,
 )
-from repro.obs.tracer import MAX_SPANS, Span, SpanRecord, Tracer
+from repro.obs.slo import DEFAULT_OBJECTIVES, SloObjective, SloTracker
+from repro.obs.tracer import (
+    DEFAULT_TRACE_SEED,
+    MAX_SPANS,
+    Span,
+    SpanRecord,
+    Tracer,
+)
 
 __all__ = [
+    "AuditLog",
     "DEFAULT_BUCKETS",
+    "DEFAULT_OBJECTIVES",
+    "DEFAULT_TRACE_SEED",
+    "IdAllocator",
     "MAX_SPANS",
     "Counter",
     "Gauge",
@@ -43,8 +56,11 @@ __all__ = [
     "MetricsRegistry",
     "NullObservability",
     "Observability",
+    "SloObjective",
+    "SloTracker",
     "Span",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
     "WallClock",
     "configure_logging",

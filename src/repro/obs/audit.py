@@ -1,0 +1,115 @@
+"""Request-scoped structured audit log for the management plane.
+
+Every decision the service makes about a request — admitted, shed,
+queue-full, deadline-expired, vetoed, applied — lands here as one JSONL
+event stamped with the request's trace context, so ``grep <trace_id>``
+over the audit log reconstructs exactly what a request did and why.
+This is the audit trail Diekmann's *Provably Secure Networks* motivates:
+every config-affecting action tied to its verified origin.
+
+Events are plain dicts serialized deterministically (sorted keys,
+compact separators); the in-memory tail is bounded so an unbounded
+service run cannot exhaust memory through its own audit trail.  When a
+path is configured each event is flushed line-by-line (the same
+crash-durability posture as the rollout journal).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import IO, List, Optional
+
+#: In-memory events retained for ``tail()``/``to_jsonl()``; the file, when
+#: configured, keeps everything.
+MAX_EVENTS = 100_000
+
+
+class AuditLog:
+    """Append-only, trace-stamped event log (JSONL on disk, ring in RAM)."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = Path(path) if path else None
+        self._events: List[dict] = []
+        self._total = 0
+        self._lock = threading.Lock()
+        self._fh: Optional[IO[str]] = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+
+    def event(
+        self,
+        event: str,
+        *,
+        trace: Optional[object] = None,
+        request_id: Optional[str] = None,
+        op: Optional[str] = None,
+        cls: Optional[str] = None,
+        at_s: Optional[float] = None,
+        **fields: object,
+    ) -> dict:
+        """Record one event; returns the dict that was logged.
+
+        ``trace`` is a :class:`~repro.obs.context.TraceContext` (or
+        anything with ``trace_id``/``span_id``); ``at_s`` is the
+        caller's clock reading, rounded so logical-clock runs stay
+        byte-identical.
+        """
+        record: dict = {"event": event}
+        if trace is not None:
+            record["trace_id"] = getattr(trace, "trace_id", "")
+            record["span_id"] = getattr(trace, "span_id", "")
+        if request_id is not None:
+            record["request_id"] = request_id
+        if op is not None:
+            record["op"] = op
+        if cls is not None:
+            record["class"] = cls
+        if at_s is not None:
+            record["at_s"] = round(at_s, 9)
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        # Serialize only when a file sink exists; in-memory tails keep the
+        # dict and to_jsonl() serializes on demand.
+        line = (
+            json.dumps(
+                record, sort_keys=True, separators=(",", ":"), default=str
+            )
+            if self._fh is not None
+            else None
+        )
+        with self._lock:
+            self._total += 1
+            if len(self._events) < MAX_EVENTS:
+                self._events.append(record)
+            if line is not None and self._fh is not None:
+                self._fh.write(line + "\n")
+                self._fh.flush()
+        return record
+
+    @property
+    def total(self) -> int:
+        """Events logged over the log's lifetime (not just retained)."""
+        with self._lock:
+            return self._total
+
+    def tail(self, count: Optional[int] = None) -> List[dict]:
+        with self._lock:
+            events = list(self._events)
+        return events if count is None else events[-count:]
+
+    def to_jsonl(self) -> str:
+        lines = [
+            json.dumps(e, sort_keys=True, separators=(",", ":"), default=str)
+            for e in self.tail()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None

@@ -1,0 +1,103 @@
+"""Deterministic trace/span identity for end-to-end request tracing.
+
+Every request that enters the management plane gets a :class:`TraceContext`
+— a W3C-``traceparent``-style (trace id, span id) pair — that is carried
+in every NDJSON protocol frame, adopted by the worker thread that
+executes the request, spliced across the fork boundary of the sharded
+consistency checker, and stamped onto campaign journal records and audit
+events.  One trace id then names everything a request actually did.
+
+Identity is *seeded counters, not randomness*: an :class:`IdAllocator`
+derives ids from a fixed seed plus a monotone counter, so two same-seed
+logical-clock runs mint byte-identical ids — the property the service
+chaos suite's byte-identical transcripts extend to traces.  The ids are
+wire-compatible with W3C Trace Context (32 lowercase hex chars for the
+trace id, 16 for the span id, never all-zero), so exported traces load
+into standard tooling.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass
+
+#: ``traceparent`` header layout: version "00", 16-byte trace id,
+#: 8-byte parent/span id, 1-byte flags — all lowercase hex.
+_TRACEPARENT_RE = re.compile(
+    r"^00-(?P<trace>[0-9a-f]{32})-(?P<span>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+_ZERO_TRACE = "0" * 32
+_ZERO_SPAN = "0" * 16
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One (trace id, span id) pair — the unit of context propagation.
+
+    ``span_id`` names the *parent* span from the receiver's point of
+    view: a span opened under an adopted context records it as its
+    ``parent_id`` and inherits the ``trace_id``.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def traceparent(self) -> str:
+        """The W3C ``traceparent`` wire form (version 00, sampled)."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    @classmethod
+    def from_traceparent(cls, text: str) -> "TraceContext":
+        """Parse a ``traceparent`` string; raises ValueError if invalid."""
+        if not isinstance(text, str):
+            raise ValueError("traceparent must be a string")
+        match = _TRACEPARENT_RE.match(text.strip())
+        if match is None:
+            raise ValueError(
+                f"malformed traceparent {text!r} "
+                "(want 00-<32 hex>-<16 hex>-<2 hex>)"
+            )
+        trace_id = match.group("trace")
+        span_id = match.group("span")
+        if trace_id == _ZERO_TRACE or span_id == _ZERO_SPAN:
+            raise ValueError("traceparent ids must not be all-zero")
+        return cls(trace_id=trace_id, span_id=span_id)
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+
+class IdAllocator:
+    """Seeded, counter-based trace/span id mint — no randomness.
+
+    Trace ids embed the seed in their leading 8 hex chars so traces from
+    differently-seeded components never collide; span ids are a plain
+    64-bit counter, unique per allocator for the life of the process
+    (the splice path relies on this to de-duplicate ids minted in forked
+    workers).  Counters start at 1: the all-zero id is reserved by the
+    W3C grammar.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed & 0xFFFFFFFF
+        self._traces = 0
+        self._spans = 0
+        self._lock = threading.Lock()
+
+    def trace_id(self) -> str:
+        with self._lock:
+            self._traces += 1
+            count = self._traces
+        return f"{self._seed:08x}{count:024x}"
+
+    def span_id(self) -> str:
+        with self._lock:
+            self._spans += 1
+            count = self._spans
+        return f"{count:016x}"
+
+    def context(self) -> TraceContext:
+        """A fresh root context (new trace, new span)."""
+        return TraceContext(trace_id=self.trace_id(), span_id=self.span_id())

@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import logging
 import time
-from contextlib import contextmanager
-from typing import Iterator, Optional
+from contextlib import contextmanager, nullcontext
+from typing import Iterator, List, Optional
 
 from repro.obs.clock import LogicalClock, WallClock
+from repro.obs.context import TraceContext
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -35,7 +36,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.tracer import Span, Tracer
+from repro.obs.tracer import DEFAULT_TRACE_SEED, Span, Tracer
 
 
 class Observability:
@@ -43,14 +44,61 @@ class Observability:
 
     enabled = True
 
-    def __init__(self, clock=None, process_name: str = "nmslc"):
+    def __init__(
+        self,
+        clock=None,
+        process_name: str = "nmslc",
+        trace_seed: int = DEFAULT_TRACE_SEED,
+    ):
         self.clock = clock if clock is not None else WallClock()
-        self.tracer = Tracer(clock=self.clock, process_name=process_name)
+        self.tracer = Tracer(
+            clock=self.clock, process_name=process_name, trace_seed=trace_seed
+        )
         self.metrics = MetricsRegistry()
+        self._published_dropped = 0
+        self._stats_lock = None  # built lazily; most processes never publish
 
     # -- tracing -------------------------------------------------------
     def span(self, name: str, **attrs: object) -> Span:
         return self.tracer.span(name, **attrs)
+
+    def adopt(self, context: Optional[TraceContext]):
+        """Join *context*'s trace for this thread (see ``Tracer.adopt``)."""
+        return self.tracer.adopt(context)
+
+    def current_context(self) -> Optional[TraceContext]:
+        return self.tracer.current_context()
+
+    def splice_spans(self, exported: List[dict]) -> int:
+        """Fold a forked worker's span subtree back in (``Tracer.splice``)."""
+        return self.tracer.splice(exported)
+
+    def publish_tracer_stats(self) -> None:
+        """Mirror tracer counters into the metrics registry.
+
+        Exports the span-cap drop count as
+        ``repro_obs_spans_dropped_total`` (delta-published so repeated
+        scrapes don't double-count) and the live span count as
+        ``repro_obs_spans_recorded`` — a tracer that silently hits its
+        1M-span cap now shows up on ``/metrics``.
+        """
+        import threading
+
+        if self._stats_lock is None:
+            self._stats_lock = threading.Lock()
+        with self._stats_lock:
+            dropped = self.tracer.dropped
+            delta = dropped - self._published_dropped
+            if delta > 0:
+                self.counter(
+                    "repro_obs_spans_dropped_total",
+                    "Spans discarded after the tracer hit its span cap.",
+                ).inc(delta)
+                self._published_dropped = dropped
+        self.gauge(
+            "repro_obs_spans_recorded",
+            "Spans currently retained by the tracer.",
+        ).set(len(self.tracer))
 
     # -- metrics -------------------------------------------------------
     def counter(self, name: str, _help: str = "", **labels: str) -> Counter:
@@ -138,6 +186,18 @@ class NullObservability:
 
     def span(self, name: str, **attrs: object) -> _NullSpan:
         return _NullSpan()
+
+    def adopt(self, context=None):
+        return nullcontext()
+
+    def current_context(self) -> None:
+        return None
+
+    def splice_spans(self, exported) -> int:
+        return 0
+
+    def publish_tracer_stats(self) -> None:
+        pass
 
     def counter(self, name: str, _help: str = "", **labels: str) -> _NullInstrument:
         return _NULL_INSTRUMENT

@@ -1,0 +1,291 @@
+"""A strict parser/linter for Prometheus text exposition format 0.0.4.
+
+Used by the exposition-conformance tests and the CI smoke job to verify
+that what ``MetricsRegistry.to_prometheus`` emits is what a real scraper
+would accept: metric and label names match the grammar, label values
+round-trip through the escaping rules (``\\`` ``\"`` ``\n``), histogram
+bucket counts are monotone with a ``+Inf`` bucket equal to ``_count``,
+and ``_sum``/``_count`` are present and consistent.
+
+:func:`parse` returns the samples; :func:`lint` returns a list of
+problem strings (empty means clean) so callers can assert
+``lint(text) == []`` and get every violation in the failure message.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class PromParseError(ValueError):
+    """The exposition text violates the 0.0.4 grammar."""
+
+
+@dataclass
+class Sample:
+    name: str
+    labels: Dict[str, str]
+    value: float
+    line: int
+
+
+@dataclass
+class MetricFamily:
+    name: str
+    type: str = "untyped"
+    help: str = ""
+    samples: List[Sample] = field(default_factory=list)
+
+
+def _unescape_label_value(raw: str, line_no: int) -> str:
+    """Undo exposition escaping; reject stray backslashes."""
+    out: List[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\":
+            if i + 1 >= len(raw):
+                raise PromParseError(
+                    f"line {line_no}: dangling backslash in label value"
+                )
+            nxt = raw[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                raise PromParseError(
+                    f"line {line_no}: invalid escape \\{nxt} in label value"
+                )
+            i += 2
+        elif ch == "\n":
+            raise PromParseError(
+                f"line {line_no}: raw newline inside label value"
+            )
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(raw: str, line_no: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(raw):
+        match = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", raw[i:])
+        if match is None:
+            raise PromParseError(
+                f"line {line_no}: expected label name at {raw[i:]!r}"
+            )
+        name = match.group(0)
+        i += len(name)
+        if not raw[i : i + 2] == '="':
+            raise PromParseError(
+                f"line {line_no}: expected '=\"' after label {name!r}"
+            )
+        i += 2
+        # Scan to the closing unescaped quote.
+        j = i
+        while j < len(raw):
+            if raw[j] == "\\":
+                j += 2
+                continue
+            if raw[j] == '"':
+                break
+            j += 1
+        if j >= len(raw):
+            raise PromParseError(
+                f"line {line_no}: unterminated label value for {name!r}"
+            )
+        if name in labels:
+            raise PromParseError(
+                f"line {line_no}: duplicate label name {name!r}"
+            )
+        labels[name] = _unescape_label_value(raw[i:j], line_no)
+        i = j + 1
+        if i < len(raw):
+            if raw[i] == ",":
+                i += 1
+            else:
+                raise PromParseError(
+                    f"line {line_no}: expected ',' or '}}' after label value"
+                )
+    return labels
+
+
+def _parse_value(raw: str, line_no: int) -> float:
+    raw = raw.strip()
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise PromParseError(f"line {line_no}: bad sample value {raw!r}")
+
+
+def parse(text: str) -> Dict[str, MetricFamily]:
+    """Parse exposition text into families; raises on grammar errors."""
+    families: Dict[str, MetricFamily] = {}
+
+    def family(name: str) -> MetricFamily:
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                declared = families[name[: -len(suffix)]]
+                if declared.type == "histogram":
+                    base = name[: -len(suffix)]
+                break
+        if base not in families:
+            families[base] = MetricFamily(name=base)
+        return families[base]
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP ") :].split(" ", 1)
+            name = parts[0]
+            if not _METRIC_NAME_RE.match(name):
+                raise PromParseError(
+                    f"line {line_no}: bad metric name {name!r} in HELP"
+                )
+            fam = families.setdefault(name, MetricFamily(name=name))
+            fam.help = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split()
+            if len(parts) != 2:
+                raise PromParseError(f"line {line_no}: malformed TYPE line")
+            name, mtype = parts
+            if mtype not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise PromParseError(
+                    f"line {line_no}: unknown metric type {mtype!r}"
+                )
+            fam = families.setdefault(name, MetricFamily(name=name))
+            fam.type = mtype
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        # Sample line: name[{labels}] value [timestamp]
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)", line)
+        if match is None:
+            raise PromParseError(
+                f"line {line_no}: expected metric name at {line!r}"
+            )
+        name = match.group(1)
+        rest = line[len(name) :]
+        labels: Dict[str, str] = {}
+        if rest.startswith("{"):
+            # Find the closing brace, honouring escapes inside values.
+            depth_quote = False
+            j = 1
+            while j < len(rest):
+                ch = rest[j]
+                if depth_quote:
+                    if ch == "\\":
+                        j += 1
+                    elif ch == '"':
+                        depth_quote = False
+                elif ch == '"':
+                    depth_quote = True
+                elif ch == "}":
+                    break
+                j += 1
+            if j >= len(rest):
+                raise PromParseError(
+                    f"line {line_no}: unterminated label set"
+                )
+            labels = _parse_labels(rest[1:j], line_no)
+            rest = rest[j + 1 :]
+        fields = rest.split()
+        if not fields or len(fields) > 2:
+            raise PromParseError(
+                f"line {line_no}: expected value (and optional timestamp)"
+            )
+        value = _parse_value(fields[0], line_no)
+        fam = family(name)
+        fam.samples.append(
+            Sample(name=name, labels=labels, value=value, line=line_no)
+        )
+    return families
+
+
+def _histogram_series(
+    fam: MetricFamily,
+) -> Dict[Tuple[Tuple[str, str], ...], Dict[str, object]]:
+    """Group a histogram family's samples by non-``le`` label set."""
+    series: Dict[Tuple[Tuple[str, str], ...], Dict[str, object]] = {}
+    for sample in fam.samples:
+        labels = dict(sample.labels)
+        le = labels.pop("le", None)
+        key = tuple(sorted(labels.items()))
+        entry = series.setdefault(
+            key, {"buckets": [], "sum": None, "count": None}
+        )
+        if sample.name.endswith("_bucket"):
+            if le is None:
+                raise PromParseError(
+                    f"line {sample.line}: _bucket sample without le label"
+                )
+            bound = math.inf if le == "+Inf" else float(le)
+            entry["buckets"].append((bound, sample.value, sample.line))
+        elif sample.name.endswith("_sum"):
+            entry["sum"] = sample.value
+        elif sample.name.endswith("_count"):
+            entry["count"] = sample.value
+    return series
+
+
+def lint(text: str) -> List[str]:
+    """Every conformance problem in *text*; ``[]`` means clean."""
+    problems: List[str] = []
+    try:
+        families = parse(text)
+    except PromParseError as exc:
+        return [str(exc)]
+    for name, fam in sorted(families.items()):
+        if not _METRIC_NAME_RE.match(name):
+            problems.append(f"{name}: invalid metric name")
+        for sample in fam.samples:
+            for label in sample.labels:
+                if not _LABEL_NAME_RE.match(label):
+                    problems.append(
+                        f"{name}: invalid label name {label!r} "
+                        f"(line {sample.line})"
+                    )
+        if fam.type == "histogram":
+            for key, entry in _histogram_series(fam).items():
+                where = "{" + ",".join(f"{k}={v!r}" for k, v in key) + "}"
+                buckets = sorted(entry["buckets"])
+                if not buckets or buckets[-1][0] != math.inf:
+                    problems.append(
+                        f"{name}{where}: histogram missing +Inf bucket"
+                    )
+                    continue
+                counts = [count for _, count, _ in buckets]
+                if any(b > a for b, a in zip(counts, counts[1:])):
+                    problems.append(
+                        f"{name}{where}: bucket counts not monotone"
+                    )
+                if entry["count"] is None:
+                    problems.append(f"{name}{where}: missing _count")
+                elif counts and counts[-1] != entry["count"]:
+                    problems.append(
+                        f"{name}{where}: +Inf bucket {counts[-1]} != "
+                        f"_count {entry['count']}"
+                    )
+                if entry["sum"] is None:
+                    problems.append(f"{name}{where}: missing _sum")
+    return problems

@@ -7,7 +7,25 @@ A :class:`Tracer` produces :class:`Span` context managers::
     elapsed = span.elapsed
 
 Spans nest per thread (a per-thread stack tracks depth and parentage) and
-are recorded when they close.  Export formats:
+are recorded when they close.  Every span carries a deterministic trace
+context (:mod:`repro.obs.context`): a root span mints a new trace id
+from the tracer's seeded :class:`~repro.obs.context.IdAllocator`, a
+nested span inherits its parent's, and a worker thread can *adopt* a
+request's :class:`~repro.obs.context.TraceContext` so its spans join
+the request's trace instead of starting orphan ones::
+
+    with tracer.adopt(request_context):
+        with tracer.span("service.request", op="check"):
+            ...
+
+Subtrees recorded in a forked worker process are exported with
+:meth:`export_spans` and re-attached in the parent with :meth:`splice`,
+which re-mints span ids from the parent's allocator (fork copies the
+allocator, so every worker would otherwise mint the same ids) while
+preserving parent links into spans still open in the parent — the same
+fold-back pattern the sharded checker already uses for worker metrics.
+
+Export formats:
 
 * :meth:`Tracer.to_jsonl` — one JSON object per line, keys sorted,
   compact separators: the queryable event log chaos tests assert
@@ -26,14 +44,20 @@ from __future__ import annotations
 
 import json
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.obs.clock import WallClock
+from repro.obs.context import IdAllocator, TraceContext
 
 #: Hard cap on retained spans; beyond it spans are counted, not stored,
 #: so a runaway loop cannot exhaust memory through its own telemetry.
 MAX_SPANS = 1_000_000
+
+#: Default id-allocator seed (the paper's publication year); override
+#: per tracer when several processes must mint disjoint trace ids.
+DEFAULT_TRACE_SEED = 0x1989
 
 
 @dataclass
@@ -46,16 +70,36 @@ class SpanRecord:
     tid: int
     depth: int
     attrs: Tuple[Tuple[str, object], ...] = ()
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str = ""
 
     @property
     def duration_s(self) -> float:
         return self.end_s - self.start_s
 
+    def to_dict(self) -> dict:
+        """A JSON-safe dump (the fork-boundary export format)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "tid": self.tid,
+            "depth": self.depth,
+            "attrs": [[key, value] for key, value in self.attrs],
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+        }
+
 
 class Span:
     """A live span; use as a context manager, annotate freely."""
 
-    __slots__ = ("_tracer", "name", "attrs", "start_s", "end_s", "depth")
+    __slots__ = (
+        "_tracer", "name", "attrs", "start_s", "end_s", "depth",
+        "trace_id", "span_id", "parent_id",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
         self._tracer = tracer
@@ -64,6 +108,9 @@ class Span:
         self.start_s: Optional[float] = None
         self.end_s: Optional[float] = None
         self.depth = 0
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_id = ""
 
     def __enter__(self) -> "Span":
         self._tracer._open(self)
@@ -79,6 +126,10 @@ class Span:
         self.attrs.update(attrs)
         return self
 
+    def context(self) -> TraceContext:
+        """This span as a propagatable context (children parent onto it)."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
     @property
     def elapsed(self) -> float:
         """Seconds since the span opened (final duration once closed)."""
@@ -92,14 +143,21 @@ class Span:
 class Tracer:
     """Collects spans from any number of threads."""
 
-    def __init__(self, clock=None, process_name: str = "nmslc"):
+    def __init__(
+        self,
+        clock=None,
+        process_name: str = "nmslc",
+        trace_seed: int = DEFAULT_TRACE_SEED,
+    ):
         self.clock = clock if clock is not None else WallClock()
         self.process_name = process_name
+        self.ids = IdAllocator(seed=trace_seed)
         self._records: List[SpanRecord] = []
         self._dropped = 0
         self._lock = threading.Lock()
         self._local = threading.local()
-        self._tids: Dict[int, int] = {}
+        self._tids: Dict[object, int] = {}
+        self._splices = 0
 
     # ------------------------------------------------------------------
     # Span lifecycle (driven by Span.__enter__/__exit__).
@@ -124,6 +182,19 @@ class Tracer:
     def _open(self, span: Span) -> None:
         stack = self._stack()
         span.depth = len(stack)
+        if stack:
+            top = stack[-1]
+            span.trace_id = top.trace_id
+            span.parent_id = top.span_id
+        else:
+            adopted = getattr(self._local, "context", None)
+            if adopted is not None:
+                span.trace_id = adopted.trace_id
+                span.parent_id = adopted.span_id
+            else:
+                span.trace_id = self.ids.trace_id()
+                span.parent_id = ""
+        span.span_id = self.ids.span_id()
         stack.append(span)
         span.start_s = self.clock.now()
 
@@ -141,12 +212,110 @@ class Tracer:
             tid=self._tid(),
             depth=span.depth,
             attrs=tuple(sorted(span.attrs.items())),
+            trace_id=span.trace_id,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
         )
         with self._lock:
             if len(self._records) < MAX_SPANS:
                 self._records.append(record)
             else:
                 self._dropped += 1
+
+    # ------------------------------------------------------------------
+    # Context propagation.
+    # ------------------------------------------------------------------
+    @contextmanager
+    def adopt(self, context: Optional[TraceContext]) -> Iterator[None]:
+        """Join *context*'s trace for the current thread's root spans.
+
+        While active, a span opened with an empty stack parents onto
+        ``context.span_id`` and inherits ``context.trace_id`` instead of
+        minting a fresh trace.  Nests and restores on exit; adopting
+        ``None`` is a no-op (so callers never need to branch).
+        """
+        if context is None:
+            yield
+            return
+        previous = getattr(self._local, "context", None)
+        self._local.context = context
+        try:
+            yield
+        finally:
+            self._local.context = previous
+
+    def current_context(self) -> Optional[TraceContext]:
+        """The innermost open span's context (or the adopted one)."""
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1].context()
+        return getattr(self._local, "context", None)
+
+    # ------------------------------------------------------------------
+    # Fork-boundary export and re-parenting.
+    # ------------------------------------------------------------------
+    def export_spans(self, since: int = 0) -> List[dict]:
+        """JSON-safe dumps of the records at positions ``since:``.
+
+        A forked worker notes ``len(tracer)`` at entry, does its work,
+        then exports everything recorded after the mark — exactly the
+        spans it closed itself (the fork inherited the parent's records
+        below the mark).
+        """
+        with self._lock:
+            records = self._records[since:]
+        return [record.to_dict() for record in records]
+
+    def splice(self, exported: List[dict]) -> int:
+        """Re-attach a worker subtree exported with :meth:`export_spans`.
+
+        Span ids minted in the worker are re-minted from this tracer's
+        allocator (the fork copied the allocator state, so every worker
+        mints the same ids); parent links *within* the subtree follow
+        the re-mint, while links to ids not in the subtree — spans that
+        were open in the parent at fork time and close here — are kept,
+        so the subtree stays connected to the request's trace.  Worker
+        thread ids land on fresh tids (one per distinct worker tid per
+        splice) so subtrees from concurrent shards render side by side.
+        Returns the number of records added.
+        """
+        if not exported:
+            return 0
+        id_map = {
+            record["span_id"]: self.ids.span_id() for record in exported
+        }
+        added = 0
+        with self._lock:
+            self._splices += 1
+            generation = self._splices
+            tid_map: Dict[int, int] = {}
+            for record in exported:
+                worker_tid = record["tid"]
+                tid = tid_map.get(worker_tid)
+                if tid is None:
+                    key = ("splice", generation, worker_tid)
+                    tid = self._tids.setdefault(key, len(self._tids))
+                    tid_map[worker_tid] = tid
+                parent = record["parent_id"]
+                spliced = SpanRecord(
+                    name=record["name"],
+                    start_s=record["start_s"],
+                    end_s=record["end_s"],
+                    tid=tid,
+                    depth=record["depth"],
+                    attrs=tuple(
+                        (key, value) for key, value in record["attrs"]
+                    ),
+                    trace_id=record["trace_id"],
+                    span_id=id_map[record["span_id"]],
+                    parent_id=id_map.get(parent, parent),
+                )
+                if len(self._records) < MAX_SPANS:
+                    self._records.append(spliced)
+                    added += 1
+                else:
+                    self._dropped += 1
+        return added
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -185,6 +354,9 @@ class Tracer:
                         "dur": round(record.duration_s, 9),
                         "tid": record.tid,
                         "depth": record.depth,
+                        "trace": record.trace_id,
+                        "span": record.span_id,
+                        "parent": record.parent_id,
                         "args": dict(record.attrs),
                     },
                     sort_keys=True,

@@ -193,6 +193,14 @@ class RolloutCoordinator:
             )
 
     def _journal_header(self) -> None:
+        if self.journal is not None and self.journal.trace_id is None:
+            # Service handlers stamp the journal from the request; a
+            # coordinator driven under an open span (e.g. a traced CLI
+            # run) picks up the ambient context instead.  Outside any
+            # trace this is a no-op and records stay exactly as before.
+            context = obs.current().current_context()
+            if context is not None:
+                self.journal.set_trace(context)
         self._journal_record(
             {
                 "type": "campaign",

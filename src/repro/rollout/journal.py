@@ -71,12 +71,26 @@ class RolloutJournal:
         self.fsync = fsync
         self.records: List[dict] = list(records or [])
         self._handle = None
+        #: When set (service mode), every appended record is stamped
+        #: with the originating request's trace id — ``grep <trace_id>``
+        #: then finds the journal lines a request caused.  Unset in CLI
+        #: and test paths, where records stay exactly as before (replay
+        #: reads by key, so the extra field is ignored either way).
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+
+    def set_trace(self, context) -> None:
+        """Stamp subsequent records with *context*'s trace/span ids."""
+        self.trace_id = getattr(context, "trace_id", None)
+        self.span_id = getattr(context, "span_id", None)
 
     # ------------------------------------------------------------------
     # Writing.
     # ------------------------------------------------------------------
     def append(self, record: dict) -> dict:
         """Durably append one record (single write + flush, fsync opt-in)."""
+        if self.trace_id is not None:
+            record.setdefault("trace_id", self.trace_id)
         self.records.append(record)
         if self.path is not None:
             if self._handle is None:

@@ -26,6 +26,7 @@ transcripts are transcripts of the real scheduler.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple
@@ -33,12 +34,16 @@ from typing import Callable, List, Optional, Tuple
 from repro import obs
 from repro.deadline import Deadline
 from repro.errors import DeadlineExceeded, ReproError
+from repro.obs.audit import AuditLog
+from repro.obs.context import IdAllocator, TraceContext
+from repro.obs.slo import SloTracker
 from repro.service.admission import AdmissionController
 from repro.service.bulkhead import CampaignBulkheads
 from repro.service.handlers import ServiceHandlers, SpecCache
 from repro.service.protocol import (
     CAMPAIGN_OPS,
     CLASS_RANK,
+    CLIENT_FAULT_KINDS,
     ProtocolError,
     error_response,
     parse_request,
@@ -49,6 +54,11 @@ from repro.service.protocol import (
 LATENCY_BUCKETS_S = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
 )
+
+
+def _safe_id(request_id) -> Optional[str]:
+    """Request ids as audit-log strings (ints become their repr)."""
+    return None if request_id is None else str(request_id)
 
 
 @dataclass
@@ -79,6 +89,16 @@ class ServiceConfig:
     reserved_interactive_workers: int = 0
     breaker_failure_threshold: int = 3
     breaker_cooldown_s: float = 30.0
+    #: JSONL audit-log path (None keeps the bounded in-memory tail only).
+    audit_path: Optional[str] = None
+    #: Seed for trace/span id minting when no tracer is installed.
+    trace_seed: int = 0x1989
+    #: Per-class SLO objectives (None = repro.obs.slo defaults).
+    slo_objectives: Optional[dict] = None
+    #: Measure per-request CPU seconds and return a ``resources`` block
+    #: in response envelopes.  Off by default: the simulated runtime's
+    #: transcripts must stay byte-identical, and thread CPU time is not.
+    measure_resources: bool = False
 
 
 @dataclass
@@ -100,6 +120,15 @@ class ServiceRequest:
     started_s: Optional[float] = None
     #: Opaque reply handle for the runtime (e.g. the client connection).
     reply_to: object = None
+    #: The request's trace context: trace id from the client's
+    #: ``traceparent`` when given (else freshly minted), span id naming
+    #: the request's root — every span, journal record and audit event
+    #: the request produces carries ``trace.trace_id``.
+    trace: Optional[TraceContext] = None
+    #: Per-request resource accounting (cpu_s, facts_scanned, ...),
+    #: filled by execute()/handlers and echoed in the response envelope
+    #: when ``config.measure_resources`` is on.
+    resources: dict = field(default_factory=dict)
 
 
 class ServiceCore:
@@ -126,6 +155,12 @@ class ServiceCore:
             journal_dir=self.config.journal_dir,
         )
         self.handlers.core = self
+        #: Fallback id mint for processes with no tracer installed; when
+        #: a tracer exists its allocator is used instead so span ids
+        #: stay unique process-wide (see :meth:`_ids`).
+        self._own_ids = IdAllocator(seed=self.config.trace_seed)
+        self.audit = AuditLog(path=self.config.audit_path)
+        self.slo = SloTracker(objectives=self.config.slo_objectives)
         self.draining = False
         self.in_flight = 0
         self._seq = 0
@@ -160,6 +195,10 @@ class ServiceCore:
                 parsed = parse_request(line)
             except ProtocolError as exc:
                 self._count("invalid", "invalid", "rejected")
+                self.audit.event(
+                    "reject", request_id=_safe_id(exc.request_id),
+                    at_s=now, kind=exc.kind, message=str(exc),
+                )
                 return None, [
                     (
                         reply_to,
@@ -170,10 +209,16 @@ class ServiceCore:
             if request_id is None:
                 request_id = f"req-{self.requests_total}"
             op, cls = parsed["op"], parsed["class"]
+            trace = self._mint_context(parsed.get("traceparent"))
 
             if self.draining:
                 self._count(op, cls, "draining")
-                return None, [self._draining_refusal(reply_to, request_id, op, cls)]
+                self._audit_refusal(
+                    "draining", trace, request_id, op, cls, now
+                )
+                return None, [
+                    self._draining_refusal(reply_to, request_id, op, cls, trace)
+                ]
 
             deadline_s = parsed["deadline_s"]
             if deadline_s is None:
@@ -196,6 +241,7 @@ class ServiceCore:
                 arrival_s=now,
                 seq=self._seq,
                 reply_to=reply_to,
+                trace=trace,
             )
 
         if op in CAMPAIGN_OPS:
@@ -209,11 +255,16 @@ class ServiceCore:
             except ProtocolError as exc:
                 with self._lock:
                     self._count(op, cls, "rejected")
+                    self._audit_refusal(
+                        exc.kind, trace, request_id, op, cls, self.clock(),
+                        message=str(exc),
+                    )
                 return None, [
                     (
                         reply_to,
                         error_response(
-                            request_id, exc.kind, str(exc), op=op, cls=cls
+                            request_id, exc.kind, str(exc), op=op, cls=cls,
+                            traceparent=trace.traceparent(),
                         ),
                     )
                 ]
@@ -224,12 +275,21 @@ class ServiceCore:
                 # queue has already been flushed, so anything admitted
                 # now would never be answered.
                 self._count(op, cls, "draining")
-                return None, [self._draining_refusal(reply_to, request_id, op, cls)]
+                self._audit_refusal(
+                    "draining", trace, request_id, op, cls, self.clock()
+                )
+                return None, [
+                    self._draining_refusal(reply_to, request_id, op, cls, trace)
+                ]
             if request.campaign_key is not None and not self.bulkheads.allow(
                 request.campaign_key, now
             ):
                 retry = self.bulkheads.retry_after(request.campaign_key, now)
                 self._count(op, cls, "circuit-open")
+                self._audit_refusal(
+                    "circuit-open", trace, request_id, op, cls, now,
+                    campaign=request.campaign_key,
+                )
                 return None, [
                     (
                         reply_to,
@@ -238,6 +298,7 @@ class ServiceCore:
                             f"campaign {request.campaign_key} breaker open"
                             " after repeated failures",
                             op=op, cls=cls,
+                            traceparent=trace.traceparent(),
                             retry_after_s=round(retry, 6),
                         ),
                     )
@@ -247,6 +308,11 @@ class ServiceCore:
             responses: List[Tuple[object, dict]] = []
             if victim is not None:
                 self._count(victim.op, victim.cls, "shed")
+                self._audit_refusal(
+                    "shed", victim.trace, victim.id, victim.op, victim.cls,
+                    now, latency_s=max(0.0, now - victim.arrival_s),
+                    shed_by=str(request_id),
+                )
                 o = obs.current()
                 if o.enabled:
                     o.counter(
@@ -262,12 +328,20 @@ class ServiceCore:
                             f"shed by higher-priority {request.op} arrival"
                             " under overload",
                             op=victim.op, cls=victim.cls,
+                            traceparent=(
+                                victim.trace.traceparent()
+                                if victim.trace is not None
+                                else None
+                            ),
                             retry_after_s=self._retry_after_hint(),
                         ),
                     )
                 )
             if not admitted:
                 self._count(op, cls, "queue-full")
+                self._audit_refusal(
+                    "queue-full", trace, request_id, op, cls, now
+                )
                 responses.append(
                     (
                         reply_to,
@@ -276,15 +350,53 @@ class ServiceCore:
                             f"queue at capacity ({self.admission.capacity})"
                             " with nothing lower-priority to shed",
                             op=op, cls=cls,
+                            traceparent=trace.traceparent(),
                             retry_after_s=self._retry_after_hint(),
                         ),
                     )
                 )
                 return None, responses
+            self.audit.event(
+                "admit", trace=trace, request_id=_safe_id(request_id),
+                op=op, cls=cls, at_s=now,
+                queue_depth=self.admission.depth(),
+            )
             return request, responses
 
+    def _mint_context(self, traceparent: Optional[str]) -> TraceContext:
+        """The request's trace context: client's trace id, fresh span id.
+
+        The span id names the request's *root*; every span the request
+        produces descends from it.  Ids come from the installed tracer's
+        allocator when there is one (so span ids stay unique across the
+        whole process trace) and from the core's own seeded allocator
+        otherwise.
+        """
+        ids = getattr(getattr(obs.current(), "tracer", None), "ids", None)
+        if ids is None:
+            ids = self._own_ids
+        if traceparent:
+            parent = TraceContext.from_traceparent(traceparent)
+            return TraceContext(
+                trace_id=parent.trace_id, span_id=ids.span_id()
+            )
+        return TraceContext(trace_id=ids.trace_id(), span_id=ids.span_id())
+
+    def _audit_refusal(
+        self, kind, trace, request_id, op, cls, now, latency_s=0.0, **fields
+    ) -> None:
+        self.audit.event(
+            kind, trace=trace, request_id=_safe_id(request_id),
+            op=op, cls=cls, at_s=now, **fields,
+        )
+        # Client faults (bad params, uncompilable spec) are the
+        # requester's problem, not unavailability.
+        if kind not in CLIENT_FAULT_KINDS:
+            self.slo.record(cls, latency_s, ok=False, now=now)
+
     def _draining_refusal(
-        self, reply_to: object, request_id: object, op: str, cls: str
+        self, reply_to: object, request_id: object, op: str, cls: str,
+        trace: Optional[TraceContext] = None,
     ) -> Tuple[object, dict]:
         return (
             reply_to,
@@ -292,6 +404,9 @@ class ServiceCore:
                 request_id, "draining",
                 "daemon is draining; resubmit to its successor",
                 op=op, cls=cls,
+                traceparent=(
+                    trace.traceparent() if trace is not None else None
+                ),
             ),
         )
 
@@ -343,37 +458,66 @@ class ServiceCore:
     # Execution.
     # ------------------------------------------------------------------
     def execute(self, request: ServiceRequest) -> dict:
-        """Run *request*; always returns a wire response message."""
-        try:
-            result = self.handlers.execute(request)
-        except DeadlineExceeded as exc:
-            response = error_response(
-                request.id, "deadline", str(exc),
-                op=request.op, cls=request.cls,
+        """Run *request*; always returns a wire response message.
+
+        The worker thread *adopts* the request's trace context for the
+        duration, so every span the handler opens — including subtrees
+        spliced back from forked checker shards — carries the request's
+        trace id; when ``config.measure_resources`` is on the thread's
+        CPU seconds are attributed to the request.
+        """
+        o = obs.current()
+        traceparent = (
+            request.trace.traceparent() if request.trace is not None else None
+        )
+        cpu0 = (
+            time.thread_time() if self.config.measure_resources else None
+        )
+        with o.adopt(request.trace):
+            with o.span(
+                "service.request",
+                op=request.op, cls=request.cls, request_id=str(request.id),
+            ):
+                try:
+                    result = self.handlers.execute(request)
+                    failure = None
+                except DeadlineExceeded as exc:
+                    failure, result = ("deadline", str(exc)), None
+                except ProtocolError as exc:
+                    failure, result = (exc.kind, str(exc)), None
+                except ReproError as exc:
+                    failure, result = ("internal", str(exc)), None
+                except Exception as exc:  # noqa: BLE001 - worker must not die
+                    failure = ("internal", f"{type(exc).__name__}: {exc}")
+                    result = None
+        if cpu0 is not None:
+            request.resources["cpu_s"] = round(
+                max(0.0, time.thread_time() - cpu0), 6
             )
-            return self.finish(request, response, outcome="deadline")
-        except ProtocolError as exc:
+        if failure is not None:
+            kind, message = failure
+            if kind == "vetoed":
+                self.audit.event(
+                    "veto", trace=request.trace,
+                    request_id=_safe_id(request.id),
+                    op=request.op, cls=request.cls, at_s=self.clock(),
+                    message=message,
+                )
             response = error_response(
-                request.id, exc.kind, str(exc),
-                op=request.op, cls=request.cls,
+                request.id, kind, message,
+                op=request.op, cls=request.cls, traceparent=traceparent,
             )
-            return self.finish(request, response, outcome=exc.kind)
-        except ReproError as exc:
-            response = error_response(
-                request.id, "internal", str(exc),
-                op=request.op, cls=request.cls,
-            )
-            return self.finish(request, response, outcome="internal")
-        except Exception as exc:  # noqa: BLE001 - worker must not die
-            response = error_response(
-                request.id, "internal",
-                f"{type(exc).__name__}: {exc}",
-                op=request.op, cls=request.cls,
-            )
-            return self.finish(request, response, outcome="internal")
+            outcome = "deadline" if kind == "deadline" else kind
+            return self.finish(request, response, outcome=outcome)
         response = result_response(
             request.id, request.op, request.cls, result,
             timing=self._timing(request),
+            traceparent=traceparent,
+            resources=(
+                dict(sorted(request.resources.items()))
+                if self.config.measure_resources and request.resources
+                else None
+            ),
         )
         ok = self.handlers.campaign_succeeded(request.op, result)
         return self.finish(
@@ -384,6 +528,7 @@ class ServiceCore:
         self, request: ServiceRequest, response: dict, outcome: str
     ) -> dict:
         now = self.clock()
+        latency_s = max(0.0, now - request.arrival_s)
         with self._lock:
             self.in_flight -= 1
             if request.campaign_key is not None:
@@ -398,7 +543,19 @@ class ServiceCore:
                     buckets=LATENCY_BUCKETS_S,
                     _help="request latency from arrival to response, by class",
                     **{"class": request.cls},
-                ).observe(max(0.0, now - request.arrival_s))
+                ).observe(latency_s)
+            ok = bool(response.get("ok"))
+            error_kind = (
+                None if ok else (response.get("error") or {}).get("kind")
+            )
+            if ok or error_kind not in CLIENT_FAULT_KINDS:
+                self.slo.record(request.cls, latency_s, ok=ok, now=now)
+            self.audit.event(
+                "response", trace=request.trace,
+                request_id=_safe_id(request.id),
+                op=request.op, cls=request.cls, at_s=now,
+                outcome=outcome, latency_s=round(latency_s, 9),
+            )
             self.responses_total += 1
         return response
 
@@ -417,13 +574,25 @@ class ServiceCore:
 
     def expire(self, request: ServiceRequest) -> dict:
         """Refuse a request whose deadline lapsed while queued."""
+        now = self.clock()
         with self._lock:
             self._count(request.op, request.cls, "deadline")
+            self._audit_refusal(
+                "deadline", request.trace, request.id,
+                request.op, request.cls, now,
+                latency_s=max(0.0, now - request.arrival_s),
+                queued=True,
+            )
             self.responses_total += 1
         return error_response(
             request.id, "deadline",
             f"deadline ({request.deadline_s}s) expired while queued",
             op=request.op, cls=request.cls,
+            traceparent=(
+                request.trace.traceparent()
+                if request.trace is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -442,9 +611,15 @@ class ServiceCore:
     def drain_responses(self) -> List[Tuple[object, dict]]:
         """Refuse everything still queued (drain flushes the queues)."""
         responses = []
+        now = self.clock()
         with self._lock:
             for request in self.admission.queued():
                 self._count(request.op, request.cls, "draining")
+                self._audit_refusal(
+                    "draining", request.trace, request.id,
+                    request.op, request.cls, now,
+                    latency_s=max(0.0, now - request.arrival_s),
+                )
                 self.responses_total += 1
                 responses.append(
                     (
@@ -453,6 +628,11 @@ class ServiceCore:
                             request.id, "draining",
                             "daemon drained before this request was served",
                             op=request.op, cls=request.cls,
+                            traceparent=(
+                                request.trace.traceparent()
+                                if request.trace is not None
+                                else None
+                            ),
                         ),
                     )
                 )
@@ -485,6 +665,7 @@ class ServiceCore:
                 "cache": self.handlers.cache.stats(),
                 "requests_total": self.requests_total,
                 "responses_total": self.responses_total,
+                "audit_events": self.audit.total,
             }
 
     def _count(self, op: str, cls: str, outcome: str) -> None:

@@ -103,6 +103,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a final Prometheus scrape to PATH on drain",
     )
     parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        dest="trace_path",
+        help=(
+            "write the request trace to PATH on drain "
+            "(.jsonl = event log, else Chrome trace_event JSON)"
+        ),
+    )
+    parser.add_argument(
+        "--audit-log",
+        metavar="PATH",
+        dest="audit_path",
+        help="append one JSONL audit event per admission decision to PATH",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="count",
@@ -123,6 +138,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_campaigns=args.max_campaigns,
             spec_cache_limit=args.spec_cache,
             journal_dir=args.journal_dir,
+            audit_path=args.audit_path,
         )
         runtime = AsyncServiceRuntime(
             config=config,
@@ -132,6 +148,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             http_port=args.http_port,
             ready_file=args.ready_file,
             metrics_path=args.metrics_path,
+            trace_path=args.trace_path,
         )
         try:
             return runtime.run()

@@ -233,6 +233,14 @@ class ServiceHandlers:
             return {"cache": self.cache.stats()}
         return self.core.status_snapshot()
 
+    def _op_slo(
+        self, params: dict, deadline: Optional[Deadline], request
+    ) -> dict:
+        """Current SLO state: per-class windows, burn rates, alerts."""
+        if self.core is None:
+            return {"classes": {}, "alerts": []}
+        return self.core.slo.snapshot(self.core.clock())
+
     def _op_compile(
         self, params: dict, deadline: Optional[Deadline], request
     ) -> dict:
@@ -252,14 +260,39 @@ class ServiceHandlers:
     def _op_check(
         self, params: dict, deadline: Optional[Deadline], request
     ) -> dict:
+        cache_hits_before = self.cache.hits
         session = self.cache.get(self._require(params, "spec"))
+        spec_cache_hit = self.cache.hits > cache_hits_before
         jobs = int(params.get("jobs", 1))
         capacity = bool(params.get("capacity", False))
+        measure = (
+            self.core is not None and self.core.config.measure_resources
+        )
         with session.lock:
             warm = session.checks > 0
             session.checks += 1
-            outcome = session.checker.check(
+            checker = session.checker
+            if "shard_threshold" in params:
+                # Test/bench knob: force multi-process sharding on small
+                # corpora (mirrors the ConsistencyChecker ctor override).
+                checker._shard_threshold = int(params["shard_threshold"])
+            tallies_before = checker.cache_tallies() if measure else None
+            outcome = checker.check(
                 check_capacity=capacity, jobs=jobs, deadline=deadline
+            )
+            tallies_after = checker.cache_tallies() if measure else None
+        if measure and request is not None:
+            hits = tallies_after["hits"] - tallies_before["hits"]
+            lookups = hits + (
+                tallies_after["misses"] - tallies_before["misses"]
+            )
+            request.resources.update(
+                facts_scanned=outcome.stats.get("references") or 0,
+                cache_lookups=lookups,
+                cache_hit_ratio=(
+                    round(hits / lookups, 4) if lookups else 0.0
+                ),
+                spec_cache_hit=spec_cache_hit,
             )
         problems = [
             {"kind": problem.kind.value, "message": problem.message}
@@ -395,7 +428,13 @@ class ServiceHandlers:
         path = self.journal_dir / f"campaign-{safe}.jsonl"
         if path.exists():
             path.unlink()
-        return RolloutJournal(path=path)
+        journal = RolloutJournal(path=path)
+        # Stamp the campaign journal with the request's trace so every
+        # durable record names the request that caused it.
+        trace = getattr(request, "trace", None)
+        if trace is not None:
+            journal.set_trace(trace)
+        return journal
 
     def _rollout_gate(self, session: SpecSession, params: dict):
         """The relational gate for ``rollout`` with a ``diff_base``."""
@@ -459,6 +498,16 @@ class ServiceHandlers:
             if journal is not None:
                 journal.close()
         payload = _json.loads(report.to_json())
+        if self.core is not None:
+            now = self.core.clock()
+            trace = getattr(request, "trace", None)
+            for name in sorted(report.elements):
+                element = report.elements[name]
+                self.core.audit.event(
+                    "apply", trace=trace, request_id=str(request.id),
+                    op="rollout", at_s=now, element=name,
+                    state=element.state.value, attempts=element.attempts,
+                )
         return {
             "spec": session.path,
             "tag": tag,
@@ -502,6 +551,14 @@ class ServiceHandlers:
                 deadline=deadline,
             )
         payload = _json.loads(report.to_json())
+        if self.core is not None:
+            self.core.audit.event(
+                "apply", trace=getattr(request, "trace", None),
+                request_id=str(request.id), op="heal",
+                at_s=self.core.clock(),
+                converged=report.converged, rounds=len(report.rounds),
+                quarantined=len(report.quarantined),
+            )
         return {
             "spec": session.path,
             "tag": tag,

@@ -51,6 +51,7 @@ import json
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ServiceError
+from repro.obs.context import TraceContext
 
 #: Priority classes in rank order — rank 0 is served first, the highest
 #: rank is shed first.
@@ -64,6 +65,7 @@ CLASS_RANK: Dict[str, int] = {
 OP_CLASS: Dict[str, str] = {
     "ping": "interactive",
     "status": "interactive",
+    "slo": "interactive",
     "compile": "interactive",
     "check": "interactive",
     "diff": "interactive",
@@ -76,6 +78,13 @@ OPS: Tuple[str, ...] = tuple(sorted(OP_CLASS))
 
 #: Ops that run campaigns over element sets (bulkhead-protected).
 CAMPAIGN_OPS: Tuple[str, ...] = ("rollout", "heal")
+
+#: Error kinds caused by the request itself (malformed, uncompilable,
+#: policy-vetoed) rather than by service health — excluded from
+#: availability SLO accounting, as 4xx-class outcomes conventionally are.
+CLIENT_FAULT_KINDS = frozenset(
+    {"bad-request", "unknown-op", "compile", "vetoed"}
+)
 
 ERROR_CODES: Dict[str, int] = {
     "bad-request": 400,
@@ -165,6 +174,12 @@ def parse_request(line: str) -> dict:
                 "bad-request", "cost_s must be a non-negative number",
                 request_id,
             )
+    traceparent = message.get("traceparent")
+    if traceparent is not None:
+        try:
+            TraceContext.from_traceparent(traceparent)
+        except ValueError as exc:
+            raise ProtocolError("bad-request", str(exc), request_id) from None
     return {
         "id": request_id,
         "op": op,
@@ -172,12 +187,15 @@ def parse_request(line: str) -> dict:
         "class": cls,
         "deadline_s": deadline_s,
         "cost_s": cost_s,
+        "traceparent": traceparent,
     }
 
 
 def result_response(
     request_id, op: str, cls: str, result: dict,
     timing: Optional[dict] = None,
+    traceparent: Optional[str] = None,
+    resources: Optional[dict] = None,
 ) -> dict:
     response = {
         "id": request_id,
@@ -188,6 +206,10 @@ def result_response(
     }
     if timing is not None:
         response["timing"] = timing
+    if traceparent is not None:
+        response["traceparent"] = traceparent
+    if resources is not None:
+        response["resources"] = resources
     return response
 
 
@@ -197,6 +219,7 @@ def error_response(
     message: str,
     op: Optional[str] = None,
     cls: Optional[str] = None,
+    traceparent: Optional[str] = None,
     **details,
 ) -> dict:
     """A structured refusal (503-style shed, 504 deadline, ...)."""
@@ -209,6 +232,8 @@ def error_response(
         response["op"] = op
     if cls is not None:
         response["class"] = cls
+    if traceparent is not None:
+        response["traceparent"] = traceparent
     return response
 
 

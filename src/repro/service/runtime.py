@@ -167,9 +167,15 @@ class AsyncServiceRuntime:
         http_port: Optional[int] = None,
         ready_file: Optional[str] = None,
         metrics_path: Optional[str] = None,
+        trace_path: Optional[str] = None,
     ):
         import time
 
+        config = config or ServiceConfig()
+        # Real requests get real resource accounting; the simulated
+        # runtime leaves this off so its transcripts stay byte-identical
+        # (thread CPU time is not a function of the logical clock).
+        config.measure_resources = True
         self.core = ServiceCore(config=config, clock=time.monotonic)
         self.socket_path = socket_path
         self.host = host
@@ -177,6 +183,7 @@ class AsyncServiceRuntime:
         self.http_port = http_port
         self.ready_file = ready_file
         self.metrics_path = metrics_path
+        self.trace_path = trace_path
         self._drain_requested = False
 
     # -- socket protocol ------------------------------------------------
@@ -277,21 +284,42 @@ class AsyncServiceRuntime:
             path = parts[1] if len(parts) >= 2 else "/"
             if path.startswith("/metrics"):
                 o = obs.current()
-                body = (
-                    o.metrics.to_prometheus()
-                    if o.enabled
-                    else "# metrics disabled\n"
-                )
+                if o.enabled:
+                    o.publish_tracer_stats()
+                    self.core.slo.publish(o, self.core.clock())
+                    body = o.metrics.to_prometheus()
+                else:
+                    body = "# metrics disabled\n"
                 content_type = "text/plain; version=0.0.4; charset=utf-8"
+                status = "200 OK"
+            elif path.startswith("/slo"):
+                body = (
+                    json.dumps(
+                        self.core.slo.snapshot(self.core.clock()),
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                content_type = "application/json"
                 status = "200 OK"
             elif path.startswith("/healthz"):
                 snapshot = self.core.status_snapshot()
-                snapshot["status"] = (
-                    "draining" if self.core.draining else "ok"
-                )
+                slo = self.core.slo.healthz_summary(self.core.clock())
+                snapshot["slo"] = slo
+                if self.core.draining:
+                    # Drain is distinct and non-200: supervisors and
+                    # load balancers must stop routing *before* the
+                    # socket closes.
+                    snapshot["status"] = "draining"
+                    status = "503 Service Unavailable"
+                elif slo["alerting"] is not None:
+                    snapshot["status"] = "degraded"
+                    status = "200 OK"
+                else:
+                    snapshot["status"] = "ok"
+                    status = "200 OK"
                 body = json.dumps(snapshot, sort_keys=True) + "\n"
                 content_type = "application/json"
-                status = "200 OK"
             else:
                 body = "not found\n"
                 content_type = "text/plain"
@@ -464,6 +492,9 @@ class AsyncServiceRuntime:
         self._executor.shutdown(wait=True)
         if self.metrics_path:
             self._flush_metrics()
+        if self.trace_path:
+            self._flush_trace()
+        self.core.audit.close()
         _log.info(
             "drained cleanly after %d responses", self.core.responses_total
         )
@@ -475,9 +506,17 @@ class AsyncServiceRuntime:
 
         o = obs.current()
         if o.enabled and o.metrics is not None:
+            o.publish_tracer_stats()
+            self.core.slo.publish(o, self.core.clock())
             Path(self.metrics_path).write_text(
                 o.metrics.to_prometheus(), encoding="utf-8"
             )
+
+    def _flush_trace(self) -> None:
+        """Final span export (JSONL or Chrome by suffix) on drain."""
+        o = obs.current()
+        if o.enabled and o.tracer is not None:
+            o.tracer.write(self.trace_path)
 
     def run(self) -> int:
         import asyncio

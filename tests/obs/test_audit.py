@@ -1,0 +1,92 @@
+"""Audit log: trace stamping, determinism, durability, bounds."""
+
+import json
+
+from repro.obs import AuditLog, TraceContext
+import repro.obs.audit as audit_module
+
+
+CONTEXT = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+
+
+class TestEvents:
+    def test_event_carries_the_trace_ids(self):
+        log = AuditLog()
+        record = log.event(
+            "admit", trace=CONTEXT, request_id="r1", op="check",
+            cls="interactive", at_s=1.5, queue_depth=3,
+        )
+        assert record["trace_id"] == CONTEXT.trace_id
+        assert record["span_id"] == CONTEXT.span_id
+        assert record["queue_depth"] == 3
+        assert record["at_s"] == 1.5
+
+    def test_none_fields_are_omitted(self):
+        log = AuditLog()
+        record = log.event("shed", victim_class=None, retry_after_s=0.8)
+        assert "victim_class" not in record
+        assert record["retry_after_s"] == 0.8
+
+    def test_at_s_rounded_for_byte_determinism(self):
+        log = AuditLog()
+        record = log.event("admit", at_s=0.1 + 0.2)
+        assert record["at_s"] == round(0.1 + 0.2, 9)
+
+    def test_to_jsonl_is_deterministic(self):
+        def build():
+            log = AuditLog()
+            log.event("admit", trace=CONTEXT, op="check", at_s=1.0)
+            log.event("response", trace=CONTEXT, outcome="ok", at_s=2.0)
+            return log.to_jsonl()
+
+        assert build() == build()
+
+    def test_total_counts_lifetime_events(self):
+        log = AuditLog()
+        for _ in range(5):
+            log.event("admit")
+        assert log.total == 5
+        assert len(log.tail(2)) == 2
+
+
+class TestDurability:
+    def test_events_flush_line_by_line(self, tmp_path):
+        path = tmp_path / "audit" / "log.jsonl"
+        log = AuditLog(path=str(path))
+        log.event("admit", trace=CONTEXT, op="check")
+        # Visible on disk *before* close — the crash-durability posture.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "admit"
+        log.close()
+
+    def test_reopen_appends(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        first = AuditLog(path=str(path))
+        first.event("admit")
+        first.close()
+        second = AuditLog(path=str(path))
+        second.event("response")
+        second.close()
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert [e["event"] for e in events] == ["admit", "response"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = AuditLog(path=str(tmp_path / "log.jsonl"))
+        log.close()
+        log.close()
+
+
+class TestBounds:
+    def test_memory_tail_bounded_file_keeps_all(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(audit_module, "MAX_EVENTS", 3)
+        path = tmp_path / "log.jsonl"
+        log = AuditLog(path=str(path))
+        for index in range(10):
+            log.event("admit", index=index)
+        log.close()
+        assert len(log.tail()) == 3
+        assert log.total == 10
+        assert len(path.read_text().splitlines()) == 10

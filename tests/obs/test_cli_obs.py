@@ -62,7 +62,10 @@ class TestTraceAndMetricsFlags:
         assert lines
         for line in lines:
             event = json.loads(line)
-            assert {"name", "ts", "dur", "tid", "depth", "args"} == set(event)
+            assert {
+                "name", "ts", "dur", "tid", "depth",
+                "trace", "span", "parent", "args",
+            } == set(event)
 
     def test_metrics_written_as_prometheus(self, campus_file, tmp_path):
         metrics = tmp_path / "metrics.prom"

@@ -1,0 +1,220 @@
+"""Trace context: deterministic ids, traceparent round-trip, adoption,
+and fork-boundary splicing."""
+
+import json
+
+import pytest
+
+from repro.obs import IdAllocator, LogicalClock, TraceContext, Tracer
+
+
+class TestIdAllocator:
+    def test_same_seed_mints_identical_streams(self):
+        first = IdAllocator(seed=0x1989)
+        second = IdAllocator(seed=0x1989)
+        assert [first.trace_id() for _ in range(5)] == [
+            second.trace_id() for _ in range(5)
+        ]
+        assert [first.span_id() for _ in range(5)] == [
+            second.span_id() for _ in range(5)
+        ]
+
+    def test_seed_prefixes_the_trace_id(self):
+        allocator = IdAllocator(seed=0xDEADBEEF)
+        trace_id = allocator.trace_id()
+        assert trace_id.startswith("deadbeef")
+        assert len(trace_id) == 32
+
+    def test_counters_start_at_one_never_all_zero(self):
+        allocator = IdAllocator(seed=0)
+        assert allocator.trace_id() != "0" * 32
+        assert allocator.span_id() != "0" * 16
+        # Both survive the W3C grammar.
+        context = IdAllocator(seed=0).context()
+        TraceContext.from_traceparent(context.traceparent())
+
+    def test_different_seeds_never_collide(self):
+        a = {IdAllocator(seed=1).trace_id()}
+        b = {IdAllocator(seed=2).trace_id()}
+        assert not a & b
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        context = IdAllocator(seed=0x1989).context()
+        parsed = TraceContext.from_traceparent(context.traceparent())
+        assert parsed == context
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "garbage",
+            "01-" + "a" * 32 + "-" + "b" * 16 + "-01",  # wrong version
+            "00-" + "A" * 32 + "-" + "b" * 16 + "-01",  # uppercase hex
+            "00-" + "a" * 31 + "-" + "b" * 16 + "-01",  # short trace
+            "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # all-zero trace
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            TraceContext.from_traceparent(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValueError):
+            TraceContext.from_traceparent(12345)
+
+
+class TestAdoption:
+    def test_root_span_joins_adopted_trace(self):
+        tracer = Tracer(clock=LogicalClock())
+        context = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        with tracer.adopt(context):
+            with tracer.span("work"):
+                pass
+        (record,) = tracer.finished()
+        assert record.trace_id == context.trace_id
+        assert record.parent_id == context.span_id
+
+    def test_adopting_none_is_a_noop(self):
+        tracer = Tracer(clock=LogicalClock())
+        with tracer.adopt(None):
+            with tracer.span("work"):
+                pass
+        (record,) = tracer.finished()
+        assert record.parent_id == ""
+        assert record.trace_id  # minted fresh
+
+    def test_adoption_restores_on_exit(self):
+        tracer = Tracer(clock=LogicalClock())
+        context = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        with tracer.adopt(context):
+            pass
+        with tracer.span("after"):
+            pass
+        (record,) = tracer.finished()
+        assert record.trace_id != context.trace_id
+
+    def test_nested_span_inherits_stack_not_adoption(self):
+        tracer = Tracer(clock=LogicalClock())
+        context = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        with tracer.adopt(context):
+            with tracer.span("outer") as outer:
+                with tracer.span("inner"):
+                    pass
+        by_name = {r.name: r for r in tracer.finished()}
+        assert by_name["inner"].parent_id == outer.span_id
+        assert by_name["inner"].trace_id == context.trace_id
+
+    def test_current_context_prefers_open_span(self):
+        tracer = Tracer(clock=LogicalClock())
+        adopted = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        assert tracer.current_context() is None
+        with tracer.adopt(adopted):
+            assert tracer.current_context() == adopted
+            with tracer.span("work") as span:
+                assert tracer.current_context() == span.context()
+
+
+class TestSplice:
+    def test_splice_reparents_into_the_live_trace(self):
+        parent = Tracer(clock=LogicalClock())
+        with parent.span("service.request") as request_span:
+            worker = Tracer(clock=LogicalClock())
+            worker.ids.span_id()  # fork copies the parent's counter state
+            with worker.adopt(request_span.context()):
+                mark = len(worker)
+                with worker.span("consistency.shard", bucket=0):
+                    with worker.span("consistency.solve"):
+                        pass
+                exported = worker.export_spans(since=mark)
+            added = parent.splice(exported)
+        assert added == 2
+        by_name = {r.name: r for r in parent.finished()}
+        shard = by_name["consistency.shard"]
+        solve = by_name["consistency.solve"]
+        # The subtree stays connected: shard parents onto the request
+        # span (an id *outside* the subtree, kept verbatim), solve onto
+        # the re-minted shard id.
+        assert shard.parent_id == by_name["service.request"].span_id
+        assert solve.parent_id == shard.span_id
+        assert shard.trace_id == by_name["service.request"].trace_id
+
+    def test_splice_reminted_ids_do_not_collide(self):
+        """Two workers forked from the same state export colliding span
+        ids; splicing must de-duplicate them."""
+        parent = Tracer(clock=LogicalClock())
+        exports = []
+        for bucket in range(2):
+            worker = Tracer(clock=LogicalClock())  # same fresh allocator
+            with worker.span("consistency.shard", bucket=bucket):
+                pass
+            exports.append(worker.export_spans())
+        # Identical worker-side ids, the fork-collision case.
+        assert exports[0][0]["span_id"] == exports[1][0]["span_id"]
+        for exported in exports:
+            parent.splice(exported)
+        span_ids = [r.span_id for r in parent.finished()]
+        assert len(span_ids) == len(set(span_ids))
+
+    def test_spliced_workers_land_on_distinct_virtual_tids(self):
+        parent = Tracer(clock=LogicalClock())
+        with parent.span("local"):
+            pass
+        for bucket in range(2):
+            worker = Tracer(clock=LogicalClock())
+            with worker.span("consistency.shard", bucket=bucket):
+                pass
+            parent.splice(worker.export_spans())
+        tids = {
+            dict(r.attrs).get("bucket"): r.tid
+            for r in parent.finished()
+            if r.name == "consistency.shard"
+        }
+        assert tids[0] != tids[1]
+
+    def test_splice_respects_the_span_cap(self, monkeypatch):
+        import repro.obs.tracer as tracer_module
+
+        monkeypatch.setattr(tracer_module, "MAX_SPANS", 1)
+        parent = Tracer(clock=LogicalClock())
+        with parent.span("only"):
+            pass
+        worker = Tracer(clock=LogicalClock())
+        with worker.span("over"):
+            pass
+        assert parent.splice(worker.export_spans()) == 0
+        assert parent.dropped == 1
+
+    def test_empty_splice_is_free(self):
+        parent = Tracer(clock=LogicalClock())
+        assert parent.splice([]) == 0
+
+
+class TestJsonlCarriesContext:
+    def test_every_line_names_its_trace(self):
+        tracer = Tracer(clock=LogicalClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        lines = [
+            json.loads(line)
+            for line in tracer.to_jsonl().splitlines()
+        ]
+        outer = next(l for l in lines if l["name"] == "outer")
+        inner = next(l for l in lines if l["name"] == "inner")
+        assert inner["trace"] == outer["trace"]
+        assert inner["parent"] == outer["span"]
+        assert outer["parent"] == ""
+
+    def test_same_seed_runs_export_byte_identical(self):
+        def run():
+            tracer = Tracer(clock=LogicalClock())
+            with tracer.adopt(tracer.ids.context()):
+                with tracer.span("service.request", op="check"):
+                    with tracer.span("consistency.check"):
+                        pass
+            return tracer.to_jsonl()
+
+        assert run() == run()

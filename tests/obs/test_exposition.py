@@ -1,0 +1,139 @@
+"""Prometheus exposition conformance: what ``to_prometheus`` emits must
+survive the strict :mod:`repro.obs.promlint` parser a real scraper
+implements — label escaping, histogram ``+Inf`` buckets, ``_sum`` and
+``_count`` consistency."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promlint import PromParseError, lint, parse
+
+NASTY_LABEL_VALUES = [
+    'quote " inside',
+    "back\\slash",
+    "new\nline",
+    'all \\ three " at\nonce',
+    "",  # empty value must round-trip too
+    "trailing backslash \\",
+]
+
+
+class TestRegistryConformance:
+    def test_plain_counters_and_gauges_lint_clean(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", "help text", op="check").inc()
+        registry.gauge("repro_test_depth", "help", cls="bulk").set(3)
+        assert lint(registry.to_prometheus()) == []
+
+    @pytest.mark.parametrize("value", NASTY_LABEL_VALUES)
+    def test_label_values_round_trip_through_escaping(self, value):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", "h", element=value).inc()
+        families = parse(registry.to_prometheus())
+        (sample,) = families["repro_test_total"].samples
+        assert sample.labels["element"] == value
+
+    def test_histogram_emits_inf_bucket_sum_and_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_test_seconds", _help="h", cls="interactive"
+        )
+        for value in (0.001, 0.2, 5.0, 1e9):  # 1e9 only lands in +Inf
+            histogram.observe(value)
+        text = registry.to_prometheus()
+        assert lint(text) == []
+        families = parse(text)
+        fam = families["repro_test_seconds"]
+        buckets = {
+            sample.labels["le"]: sample.value
+            for sample in fam.samples
+            if sample.name.endswith("_bucket")
+        }
+        count = next(
+            sample.value
+            for sample in fam.samples
+            if sample.name.endswith("_count")
+        )
+        assert buckets["+Inf"] == count == 4
+
+    def test_histogram_sum_matches_observations(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_test_seconds", _help="h")
+        histogram.observe(1.5)
+        histogram.observe(2.5)
+        families = parse(registry.to_prometheus())
+        total = next(
+            sample.value
+            for sample in families["repro_test_seconds"].samples
+            if sample.name.endswith("_sum")
+        )
+        assert total == pytest.approx(4.0)
+
+    def test_multi_series_histograms_keep_series_separate(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_test_seconds", _help="h", cls="a").observe(1)
+        registry.histogram("repro_test_seconds", _help="h", cls="b").observe(2)
+        assert lint(registry.to_prometheus()) == []
+
+
+class TestLinter:
+    """The linter itself must catch the violations it exists for."""
+
+    def test_missing_inf_bucket_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 2\n'
+            "h_sum 1.0\n"
+            "h_count 2\n"
+        )
+        assert any("+Inf" in p for p in lint(text))
+
+    def test_non_monotone_buckets_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\n"
+            "h_count 3\n"
+        )
+        assert any("monotone" in p for p in lint(text))
+
+    def test_inf_bucket_count_mismatch_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\n"
+            "h_count 4\n"
+        )
+        assert any("_count" in p for p in lint(text))
+
+    def test_missing_sum_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 1\n'
+            "h_count 1\n"
+        )
+        assert any("_sum" in p for p in lint(text))
+
+    def test_invalid_escape_is_a_parse_error(self):
+        with pytest.raises(PromParseError):
+            parse('m{l="bad \\x escape"} 1\n')
+
+    def test_dangling_backslash_is_a_parse_error(self):
+        with pytest.raises(PromParseError):
+            parse('m{l="dangling \\')
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(PromParseError):
+            parse('m{a="1",a="2"} 1\n')
+
+    def test_special_values_parse(self):
+        families = parse("m_inf +Inf\nm_ninf -Inf\nm_nan NaN\n")
+        assert families["m_inf"].samples[0].value == math.inf
+        assert families["m_ninf"].samples[0].value == -math.inf
+        assert math.isnan(families["m_nan"].samples[0].value)
+
+    def test_parse_error_surfaces_as_one_problem(self):
+        assert len(lint("{} not a metric\n")) == 1

@@ -87,7 +87,10 @@ class TestExport:
         event = json.loads(lines[0])
         assert event["name"] == "compile.pass1"
         assert event["args"] == {"file": "x.nmsl"}
-        assert set(event) == {"name", "ts", "dur", "tid", "depth", "args"}
+        assert set(event) == {
+            "name", "ts", "dur", "tid", "depth",
+            "trace", "span", "parent", "args",
+        }
 
     def test_jsonl_is_byte_deterministic(self):
         def run():

@@ -34,13 +34,15 @@ heal:
 		--chaos-corrupt-store romano.cs.wisc.edu:0 \
 		--report text --report-file HEAL_report.json
 
-## Daemon smoke cycle: boot nmsld, check + diff + gated rollout over the
-## socket, graceful SIGTERM drain (see docs/SERVICE.md).
+## Daemon smoke cycle: boot nmsld --workers 2, check + diff + gated
+## rollout over the socket, kill -9 a worker mid-check (must replay),
+## graceful SIGTERM drain (see docs/SERVICE.md).
 service:
 	$(PYTHON) benchmarks/service_smoke.py
 
 ## Open-loop service load: per-class latency + shed rate on the simulated
-## runtime, sustained req/s against the real daemon.
+## runtime, sustained req/s against the real daemon, worker-pool scaling
+## at 1/2/4 workers and a kill -9 supervision row.
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py --quick --output BENCH_service.json
 

@@ -23,6 +23,20 @@ Three sections, one report (``BENCH_service.json``):
   concurrent clients: warm-cache interactive checks racing bulk
   analyses.  Records sustained req/s and wall-clock p50/p99 per class.
 
+* **worker_scaling** — the supervised process pool at ``--workers``
+  1, 2 and 4 under a fixed 4-client warm-check load, each check
+  carrying a fixed simulated element-poll stall (production checks are
+  I/O-bound on element polling, and the stall keeps pool concurrency
+  measurable on single-core CI runners): sustained req/s and p50/p99
+  per pool size.  Throughput must be monotone non-decreasing in the
+  pool size (asserted with a 15% allowance for shared-runner noise).
+
+* **supervision** — a 2-worker daemon serves a stream of checks while
+  the worker executing one of them is ``kill -9``-ed mid-request:
+  every request must be answered (the victim replays transparently),
+  zero may be lost, and the restart must be observable in the pool
+  snapshot.
+
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_service.py [--quick] \\
@@ -31,7 +45,9 @@ Run as a script::
 
 import argparse
 import json
+import os
 import random
+import signal
 import socket
 import statistics
 import sys
@@ -410,6 +426,192 @@ def run_daemon(interactive_requests, bulk_threads=2):
     }
 
 
+# ----------------------------------------------------------------------
+# Worker-pool sections.
+# ----------------------------------------------------------------------
+def _boot_pooled_daemon(n_workers):
+    """A live daemon with *n_workers* supervised worker processes."""
+    runtime = AsyncServiceRuntime(
+        config=ServiceConfig(
+            workers=n_workers,
+            pool_workers=n_workers,
+            queue_capacity=128,
+        ),
+        host="127.0.0.1",
+        port=0,
+    )
+    thread = threading.Thread(target=runtime.run, daemon=True)
+    thread.start()
+    for _ in range(400):
+        if runtime.port:
+            try:
+                socket.create_connection(
+                    ("127.0.0.1", runtime.port), timeout=0.2
+                ).close()
+                break
+            except OSError:
+                pass
+        time.sleep(0.05)
+    else:
+        raise SystemExit("pooled daemon never became ready")
+    return runtime, thread
+
+
+def run_worker_scaling(checks_per_client=40, clients=4, stall_s=0.03):
+    from repro.service.client import ServiceClient
+
+    params = {"spec": CAMPUS, "chaos_sleep_s": stall_s}
+    rows = []
+    for n_workers in (1, 2, 4):
+        runtime, thread = _boot_pooled_daemon(n_workers)
+        try:
+            # Warm every worker's spec cache: a concurrent burst spills
+            # past the affinity-preferred worker onto the whole pool.
+            def warm():
+                with ServiceClient(
+                    port=runtime.port, timeout_s=120.0
+                ) as session:
+                    for _ in range(3):
+                        session.request("check", {"spec": CAMPUS})
+
+            warmers = [
+                threading.Thread(target=warm) for _ in range(clients)
+            ]
+            for warmer in warmers:
+                warmer.start()
+            for warmer in warmers:
+                warmer.join(timeout=120)
+
+            latencies = []
+            lock = threading.Lock()
+
+            def measured():
+                local = []
+                with ServiceClient(
+                    port=runtime.port, timeout_s=120.0
+                ) as session:
+                    for _ in range(checks_per_client):
+                        started = time.perf_counter()
+                        response = session.request("check", params)
+                        assert response["ok"], response
+                        local.append(time.perf_counter() - started)
+                with lock:
+                    latencies.extend(local)
+
+            threads = [
+                threading.Thread(target=measured)
+                for _ in range(clients)
+            ]
+            started_wall = time.perf_counter()
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(timeout=300)
+            elapsed = time.perf_counter() - started_wall
+        finally:
+            runtime.request_drain()
+            thread.join(timeout=30)
+        total = clients * checks_per_client
+        rows.append(
+            {
+                "workers": n_workers,
+                "clients": clients,
+                "stall_s": stall_s,
+                "checks": total,
+                "req_per_s": round(total / elapsed, 1),
+                "p50_s": round(percentile(latencies, 0.50), 6),
+                "p99_s": round(percentile(latencies, 0.99), 6),
+            }
+        )
+    for previous, current in zip(rows, rows[1:]):
+        assert current["req_per_s"] >= previous["req_per_s"] * 0.85, (
+            f"warm-check throughput regressed growing the pool from "
+            f"{previous['workers']} to {current['workers']} workers: "
+            f"{previous['req_per_s']} -> {current['req_per_s']} req/s "
+            "(monotone non-decreasing required, 15% noise allowance)"
+        )
+    return {"rows": rows}
+
+
+def run_supervision():
+    from repro.service.client import ServiceClient
+
+    runtime, thread = _boot_pooled_daemon(2)
+    victim_box = {}
+    responses = []
+    sent = 0
+    try:
+        with ServiceClient(
+            port=runtime.port, timeout_s=120.0
+        ) as session:
+            session.request("check", {"spec": CAMPUS})  # warm
+
+        def victim():
+            with ServiceClient(
+                port=runtime.port, timeout_s=120.0
+            ) as session:
+                victim_box["response"] = session.request(
+                    "check",
+                    {"spec": CAMPUS, "chaos_sleep_s": 2.0},
+                    cls="bulk",
+                )
+
+        parker = threading.Thread(target=victim)
+        parker.start()
+        sent += 1
+        with ServiceClient(
+            port=runtime.port, timeout_s=120.0
+        ) as session:
+            busy_pid = None
+            for _ in range(200):
+                pool = session.request("status")["result"]["pool"]
+                busy = [
+                    w for w in pool["workers"] if w["state"] == "busy"
+                ]
+                if busy:
+                    busy_pid = busy[0]["pid"]
+                    break
+                time.sleep(0.02)
+            assert busy_pid is not None, "victim never went busy"
+            os.kill(busy_pid, signal.SIGKILL)
+            # Keep traffic flowing while the supervisor recovers.
+            for index in range(10):
+                responses.append(
+                    session.request("check", {"spec": CAMPUS})
+                )
+                sent += 1
+            parker.join(timeout=60)
+            responses.append(victim_box.get("response"))
+            restarts, idle = 0, 0
+            for _ in range(300):
+                pool = session.request("status")["result"]["pool"]
+                restarts = pool["restarts_total"]
+                idle = pool["states"].get("idle", 0)
+                if restarts >= 1 and idle == 2:
+                    break
+                time.sleep(0.02)
+    finally:
+        runtime.request_drain()
+        thread.join(timeout=30)
+    answered = [
+        r for r in responses
+        if r is not None and (r.get("ok") or "error" in r)
+    ]
+    assert len(answered) == sent, (
+        f"{sent - len(answered)} of {sent} requests lost to the kill"
+    )
+    assert victim_box["response"]["ok"], victim_box["response"]
+    assert restarts >= 1, "restart never became observable"
+    return {
+        "requests": sent,
+        "answered": len(answered),
+        "lost": sent - len(answered),
+        "victim_replayed_ok": bool(victim_box["response"]["ok"]),
+        "restarts_total": restarts,
+        "idle_after_recovery": idle,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -468,12 +670,34 @@ def main(argv=None):
         flush=True,
     )
 
+    print("worker-scaling section: pool at 1/2/4 workers ...", flush=True)
+    scaling = run_worker_scaling(
+        checks_per_client=15 if args.quick else 40
+    )
+    for row in scaling["rows"]:
+        print(
+            f"  workers={row['workers']} {row['req_per_s']} req/s"
+            f" p50 {row['p50_s']}s p99 {row['p99_s']}s",
+            flush=True,
+        )
+
+    print("supervision section: kill -9 mid-request ...", flush=True)
+    supervision = run_supervision()
+    print(
+        f"  {supervision['answered']}/{supervision['requests']} answered,"
+        f" lost {supervision['lost']},"
+        f" restarts {supervision['restarts_total']}",
+        flush=True,
+    )
+
     report = {
         "benchmark": "service",
         "quick": args.quick,
         "simulated": simulated,
         "tracing": tracing,
         "daemon": daemon,
+        "worker_scaling": scaling,
+        "supervision": supervision,
     }
     args.output.write_text(
         json.dumps(report, indent=2, sort_keys=True) + "\n"

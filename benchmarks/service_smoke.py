@@ -10,11 +10,18 @@ surface the way an operator session would:
    service must refuse it with 403 ``vetoed``;
 4. a clean ``rollout`` of the committed spec over a sub-campus element
    claim — must complete with a journal on disk;
-5. ``GET /slo`` + ``GET /metrics`` — the exposition must pass the
+5. supervision: the daemon runs ``--workers 2``; a check is parked on
+   a worker and that worker is ``kill -9``-ed mid-request — the
+   request must still be answered (replayed transparently), the
+   restart must show up in ``GET /healthz`` and the pool must return
+   to two idle workers;
+6. ``GET /slo`` + ``GET /metrics`` — the exposition must pass the
    strict :mod:`repro.obs.promlint` parser with zero problems;
-6. SIGTERM — graceful drain, exit 0, final metrics scrape flushed,
-   and the drained trace must contain one *connected* trace for the
-   warm check (every span reachable from the request's trace id).
+7. SIGTERM — graceful drain, exit 0, final metrics scrape flushed,
+   the drained trace must contain one *connected* trace for the warm
+   check (every span reachable from the request's trace id), and the
+   audit log must hold the full worker lifecycle
+   (``worker-start``/``worker-exit``/``worker-restart``/``replay``).
 
 Leaves ``SERVICE_metrics.prom``, ``SERVICE_smoke.json``,
 ``SERVICE_audit.jsonl`` and ``SERVICE_trace.jsonl`` for CI to upload.
@@ -87,6 +94,8 @@ def main(argv=None):
         [
             sys.executable, "-m", "repro.service.daemon",
             "--socket", str(socket_path),
+            "--workers", "2",
+            "--drain-grace", "10",
             "--http-port", "0",
             "--ready-file", str(ready_file),
             "--metrics", str(metrics_file),
@@ -193,11 +202,80 @@ def main(argv=None):
             )
 
         base = f"http://127.0.0.1:{ready['http_port']}"
+
+        # -- supervision: kill -9 a worker mid-request ------------------
+        def healthz():
+            return json.loads(
+                urllib.request.urlopen(base + "/healthz").read()
+            )
+
+        pool = healthz().get("pool") or {}
+        expect(
+            pool.get("states", {}).get("idle", 0) == 2,
+            "/healthz shows two idle pool workers", pool,
+        )
+
+        import threading
+
+        victim_box = {}
+
+        def parked_check():
+            with ServiceClient(
+                socket_path=str(socket_path), timeout_s=120.0
+            ) as parked:
+                victim_box["response"] = parked.request(
+                    "check",
+                    {"spec": CAMPUS, "chaos_sleep_s": 4.0},
+                    cls="bulk",
+                )
+
+        parker = threading.Thread(target=parked_check)
+        parker.start()
+        busy_pid = None
+        for _ in range(100):
+            workers = (healthz().get("pool") or {}).get("workers", [])
+            busy = [w for w in workers if w["state"] == "busy"]
+            if busy:
+                busy_pid = busy[0]["pid"]
+                break
+            time.sleep(0.05)
+        expect(busy_pid is not None, "a worker went busy on the check")
+        os.kill(busy_pid, signal.SIGKILL)
+        parker.join(timeout=60)
+        expect(
+            victim_box.get("response", {}).get("ok"),
+            "request on the killed worker is replayed and answered",
+            victim_box.get("response"),
+        )
+        recovered = {}
+        for _ in range(200):
+            recovered = healthz().get("pool") or {}
+            if (
+                recovered.get("restarts_total", 0) >= 1
+                and recovered.get("states", {}).get("idle", 0) == 2
+            ):
+                break
+            time.sleep(0.05)
+        expect(
+            recovered.get("restarts_total", 0) >= 1,
+            "/healthz shows the worker restart", recovered,
+        )
+        expect(
+            recovered.get("states", {}).get("idle", 0) == 2,
+            "pool back to two idle workers", recovered,
+        )
+
         scrape = urllib.request.urlopen(base + "/metrics").read().decode()
         expect(
             "repro_service_requests_total" in scrape
             and "repro_service_latency_seconds" in scrape,
             "live /metrics scrape",
+        )
+        expect(
+            "repro_service_pool_workers" in scrape
+            and 'repro_service_pool_restarts_total{reason="crash"}'
+            in scrape,
+            "pool supervision metrics in /metrics", None,
         )
         problems = lint(scrape)
         expect(not problems, "/metrics passes strict promlint", problems)
@@ -239,9 +317,20 @@ def main(argv=None):
             "audit log records admit/response/veto/apply events",
             sorted({e["event"] for e in audit_events}),
         )
+        request_scoped = [
+            e for e in audit_events
+            if not e["event"].startswith("worker-")
+        ]
         expect(
-            all("trace_id" in e for e in audit_events),
-            "every audit event carries a trace id",
+            all("trace_id" in e for e in request_scoped),
+            "every request-scoped audit event carries a trace id",
+        )
+        pool_kinds = {e["event"] for e in audit_events}
+        expect(
+            {"worker-start", "worker-exit", "worker-restart",
+             "replay"} <= pool_kinds,
+            "audit log holds the full worker lifecycle",
+            sorted(pool_kinds),
         )
 
         spans = [
@@ -271,6 +360,7 @@ def main(argv=None):
             {
                 "smoke": "service",
                 "health": health,
+                "pool": recovered,
                 "drain_exit_code": code,
                 "audit_events": len(audit_events),
                 "trace_spans": len(spans),

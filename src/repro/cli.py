@@ -775,6 +775,31 @@ def _render_top(snapshot: dict) -> str:
             f"{str(shortest.get('p99_s', '-')):>10} "
             f"{entry.get('alert') or '-':>8}"
         )
+    pool = (snapshot.get("status") or {}).get("pool")
+    if pool:
+        lines.append(
+            f"{'worker':<8} {'state':<8} {'pid':>8} {'served':>8} "
+            f"{'restarts':>9} {'hb_age_s':>9} {'op':<10}"
+        )
+        for worker in pool.get("workers", []):
+            lines.append(
+                f"{worker.get('worker', '-'):<8} "
+                f"{worker.get('state', '-'):<8} "
+                f"{str(worker.get('pid', '-')):>8} "
+                f"{worker.get('served', 0):>8} "
+                f"{worker.get('restarts', 0):>9} "
+                f"{str(worker.get('heartbeat_age_s', '-')):>9} "
+                f"{worker.get('op', '-'):<10}"
+            )
+        quarantine = pool.get("quarantine", {})
+        if quarantine.get("size"):
+            lines.append(
+                f"quarantine: {quarantine['size']} fingerprint(s): "
+                + ", ".join(
+                    f"{e.get('fingerprint')}({e.get('op')})"
+                    for e in quarantine.get("entries", [])[:4]
+                )
+            )
     return "\n".join(lines)
 
 

@@ -39,6 +39,7 @@ engines; ``ConsistencyChecker.recheck`` is the incremental API used by
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import gc
 import multiprocessing
@@ -83,6 +84,27 @@ _DEADLINE_POLL_REFERENCES = 32
 #: Set immediately before the pool forks and cleared after the merge, so
 #: workers read the parent's checker without pickling the fact set.
 _WORKER_STATE: Optional[Tuple] = None
+
+
+@contextlib.contextmanager
+def frozen_fork_heap():
+    """Freeze the GC heap around a fork so children share pages cleanly.
+
+    Forked workers inherit the parent's heap copy-on-write; a GC pass in
+    either side rewrites object headers and duplicates every touched
+    page.  Collecting then freezing immediately before the fork keeps
+    the shared structures (fact sets, warm spec caches) on read-only
+    pages for the workers' lifetime.  Used by the ``--jobs`` shard
+    reduction below and by the service worker pool
+    (:mod:`repro.service.pool`), which forks long-lived workers off the
+    same warm heap.
+    """
+    gc.collect()
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()
 
 
 def _reduce_shard_worker(bucket_index: int):
@@ -787,17 +809,15 @@ class ConsistencyChecker:
             # headers in the workers: at paper scale the fact set is
             # hundreds of MB, and every page a worker's GC pass touches
             # is a page copy-on-write duplicates.
-            gc.collect()
-            gc.freeze()
             try:
-                context = multiprocessing.get_context("fork")
-                with context.Pool(processes=len(buckets)) as pool:
-                    outcomes = pool.map(
-                        _reduce_shard_worker, range(len(buckets))
-                    )
+                with frozen_fork_heap():
+                    context = multiprocessing.get_context("fork")
+                    with context.Pool(processes=len(buckets)) as pool:
+                        outcomes = pool.map(
+                            _reduce_shard_worker, range(len(buckets))
+                        )
             finally:
                 _WORKER_STATE = None
-                gc.unfreeze()
             o = obs.current()
             for results, tallies in outcomes:
                 for position, verdict in results:

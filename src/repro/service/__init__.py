@@ -5,7 +5,9 @@ heal — exposed as requests over a newline-delimited-JSON socket
 protocol, served by a long-running daemon with a warm spec/fact cache,
 admission control, per-class priority queues, bounded queues with
 explicit load shedding, per-request deadlines, per-campaign bulkheads,
-and graceful drain on SIGTERM.
+graceful drain on SIGTERM, and a supervised multi-process worker pool
+(:mod:`repro.service.pool`) with crash recovery, idempotent-request
+replay and poison-request quarantine.
 
 The scheduler/dispatcher is runtime-agnostic: :class:`ServiceCore` holds
 every robustness decision (admit/shed/dispatch/expire/drain) and two
@@ -20,9 +22,17 @@ from repro.service.admission import AdmissionController, PRIORITY_CLASSES
 from repro.service.bulkhead import CampaignBulkheads
 from repro.service.core import ServiceConfig, ServiceCore, ServiceRequest
 from repro.service.handlers import ServiceHandlers, SpecCache
+from repro.service.pool import (
+    PoisonRegistry,
+    ProcessWorkerPool,
+    WorkerSupervisor,
+    request_fingerprint,
+)
 from repro.service.protocol import (
+    IDEMPOTENT_OPS,
     OP_CLASS,
     OPS,
+    POOLED_OPS,
     ProtocolError,
     encode_message,
     error_response,
@@ -36,12 +46,16 @@ from repro.service.runtime import (
 )
 
 __all__ = [
+    "IDEMPOTENT_OPS",
     "OPS",
     "OP_CLASS",
+    "POOLED_OPS",
     "PRIORITY_CLASSES",
     "AdmissionController",
     "AsyncServiceRuntime",
     "CampaignBulkheads",
+    "PoisonRegistry",
+    "ProcessWorkerPool",
     "ProtocolError",
     "RuntimeProtocol",
     "ServiceConfig",
@@ -50,8 +64,10 @@ __all__ = [
     "ServiceRequest",
     "SimulatedServiceRuntime",
     "SpecCache",
+    "WorkerSupervisor",
     "encode_message",
     "error_response",
     "parse_request",
+    "request_fingerprint",
     "result_response",
 ]

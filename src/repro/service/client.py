@@ -130,11 +130,22 @@ def render_watch_line(snapshot: dict) -> str:
         )
         or "-"
     )
+    pool = status.get("pool") or {}
+    pool_part = ""
+    if pool:
+        states = pool.get("states", {})
+        pool_part = (
+            f" workers={states.get('idle', 0)}i/{states.get('busy', 0)}b"
+            f"/{states.get('down', 0)}d"
+            f" restarts={pool.get('restarts_total', 0)}"
+            f" quarantined={pool.get('quarantine', {}).get('size', 0)}"
+        )
     return (
         f"in_flight={status.get('in_flight', 0)}"
         f" queued={sum(depths.values()) if depths else 0}"
         f" served={status.get('responses_total', 0)}"
         f" shed={queue.get('shed_total', 0)}"
+        f"{pool_part}"
         f" burn={burn:.2f}"
         f" alerts={alert}"
         f"{' DRAINING' if status.get('draining') else ''}"

@@ -25,6 +25,7 @@ transcripts are transcripts of the real scheduler.
 
 from __future__ import annotations
 
+import collections
 import threading
 import time
 from dataclasses import dataclass, field
@@ -40,10 +41,12 @@ from repro.obs.slo import SloTracker
 from repro.service.admission import AdmissionController
 from repro.service.bulkhead import CampaignBulkheads
 from repro.service.handlers import ServiceHandlers, SpecCache
+from repro.service.pool import WorkerSupervisor, request_fingerprint
 from repro.service.protocol import (
     CAMPAIGN_OPS,
     CLASS_RANK,
     CLIENT_FAULT_KINDS,
+    POOLED_OPS,
     ProtocolError,
     error_response,
     parse_request,
@@ -99,6 +102,34 @@ class ServiceConfig:
     #: in response envelopes.  Off by default: the simulated runtime's
     #: transcripts must stay byte-identical, and thread CPU time is not.
     measure_resources: bool = False
+    #: Supervised worker *processes* for pooled ops (check/analyze/
+    #: diff/compile).  0 disables the pool entirely: everything runs
+    #: in-process on the thread pool, exactly as before the pool
+    #: existed.  When > 0, ``workers`` still bounds the in-process
+    #: thread pool that serves local ops (ping/status/slo/rollout/heal).
+    pool_workers: int = 0
+    #: Worker heartbeat cadence and the staleness that marks a busy
+    #: worker wedged (the heartbeat thread cannot run — e.g. a handler
+    #: holding the GIL in a C loop, or the process is stopped).
+    heartbeat_interval_s: float = 0.5
+    heartbeat_timeout_s: float = 5.0
+    #: Extra time past the request deadline before a busy worker is
+    #: declared overrun and SIGKILLed (the in-process cooperative
+    #: deadline should have fired long before this).
+    deadline_grace_s: float = 2.0
+    #: Exponential restart backoff: ``base * 2**(streak-1)``, capped.
+    restart_backoff_s: float = 0.5
+    restart_backoff_cap_s: float = 8.0
+    #: How many times an idempotent request may be re-executed after a
+    #: worker death before it is refused with ``worker-lost``.
+    replay_limit: int = 1
+    #: Worker kills by one request fingerprint before quarantine.
+    poison_threshold: int = 2
+    #: SIGTERM drain: seconds busy workers get to finish before SIGKILL.
+    drain_grace_s: float = 10.0
+    #: Gracefully recycle a worker whose resident set exceeds this (kB);
+    #: None disables the slow-leak guard.
+    worker_rss_limit_kb: Optional[float] = None
 
 
 @dataclass
@@ -129,6 +160,11 @@ class ServiceRequest:
     #: filled by execute()/handlers and echoed in the response envelope
     #: when ``config.measure_resources`` is on.
     resources: dict = field(default_factory=dict)
+    #: Pool-worker slot currently executing this request (pool mode).
+    worker_id: Optional[int] = None
+    #: Execution attempts so far — bumped by the supervisor on assign;
+    #: a replayed request arrives at its second worker with attempts=1.
+    attempts: int = 0
 
 
 class ServiceCore:
@@ -161,8 +197,24 @@ class ServiceCore:
         self._own_ids = IdAllocator(seed=self.config.trace_seed)
         self.audit = AuditLog(path=self.config.audit_path)
         self.slo = SloTracker(objectives=self.config.slo_objectives)
+        #: The worker-pool supervisor (None when the pool is disabled).
+        #: The core makes every supervision *decision*; runtimes only
+        #: deliver its events (spawn, kill, restart-at).
+        self.pool: Optional[WorkerSupervisor] = (
+            WorkerSupervisor(self.config)
+            if self.config.pool_workers > 0
+            else None
+        )
+        #: Requests requeued after a worker death, served before the
+        #: admission queues (they already waited their turn once).
+        self._replays: "collections.deque[ServiceRequest]" = (
+            collections.deque()
+        )
         self.draining = False
         self.in_flight = 0
+        #: In-process executions only (local ops in pool mode); bounds
+        #: the thread pool separately from the worker processes.
+        self.in_flight_local = 0
         self._seq = 0
         self.started_s: Optional[float] = None
         self.requests_total = 0
@@ -243,6 +295,35 @@ class ServiceCore:
                 reply_to=reply_to,
                 trace=trace,
             )
+
+        if self.pool is not None and op in POOLED_OPS:
+            # The poison registry is consulted at admission (fingerprint
+            # hashing reads spec files — never under the core lock): a
+            # request whose fingerprint already killed two workers is
+            # refused up front instead of burning another restart.
+            fingerprint = request_fingerprint(op, request.params)
+            if self.pool.registry.is_quarantined(fingerprint):
+                with self._lock:
+                    self._count(op, cls, "quarantined")
+                    self._audit_refusal(
+                        "quarantined", trace, request_id, op, cls,
+                        self.clock(), fingerprint=fingerprint[:16],
+                    )
+                return None, [
+                    (
+                        reply_to,
+                        error_response(
+                            request_id, "quarantined",
+                            f"request fingerprint {fingerprint[:16]} is "
+                            "quarantined after killing "
+                            f"{self.pool.registry.threshold} workers; edit "
+                            "the specification to clear it",
+                            op=op, cls=cls,
+                            traceparent=trace.traceparent(),
+                            diagnostic="NM501",
+                        ),
+                    )
+                ]
 
         if op in CAMPAIGN_OPS:
             # Campaign planning resolves the element claim through the
@@ -421,33 +502,76 @@ class ServiceCore:
     # Dispatch.
     # ------------------------------------------------------------------
     def next_action(self) -> Optional[Tuple[ServiceRequest, str]]:
-        """The next ``(request, "run" | "expired")``, or None.
+        """The next ``(request, disposition)``, or None.
 
-        ``"run"`` requests have already acquired their bulkhead claim
-        (if campaigns); the caller must execute then :meth:`finish`.
-        ``"expired"`` requests must be refused via :meth:`expire`.
+        ``"run"`` requests execute in-process (the caller runs
+        :meth:`execute` then the response is done); ``"remote"``
+        requests (pool mode only) have been assigned a worker slot —
+        the caller ships them to that worker and later settles them via
+        :meth:`finish_remote` or :meth:`worker_failed`.  ``"expired"``
+        requests must be refused via :meth:`expire`.  Replayed requests
+        are served before the admission queues — they already waited
+        their turn once.
         """
         with self._lock:
-            action = self.admission.pop_next(self.clock(), self._can_start)
+            now = self.clock()
+            while self._replays:
+                request = self._replays[0]
+                if (
+                    request.deadline is not None
+                    and now > request.deadline.at_s
+                ):
+                    self._replays.popleft()
+                    return request, "expired"
+                if not self._can_start(request):
+                    # Head-of-line replay needs an idle worker; local
+                    # ops in the admission queues may still start.
+                    break
+                self._replays.popleft()
+                return self._start(request)
+            action = self.admission.pop_next(now, self._can_start)
             if action is None:
                 return None
             request, disposition = action
-            if disposition == "run" and request.campaign_key is not None:
-                self.bulkheads.acquire(request.campaign_key, request.elements)
-            if disposition == "run":
-                self.in_flight += 1
-                request.started_s = self.clock()
-            return request, disposition
+            if disposition == "expired":
+                return request, disposition
+            return self._start(request)
+
+    def _start(
+        self, request: ServiceRequest
+    ) -> Tuple[ServiceRequest, str]:
+        """Mark one startable request running; picks its disposition."""
+        if request.campaign_key is not None:
+            self.bulkheads.acquire(request.campaign_key, request.elements)
+        self.in_flight += 1
+        request.started_s = self.clock()
+        if self.pool is not None and request.op in POOLED_OPS:
+            self.pool.assign(request, self.clock())
+            return request, "remote"
+        self.in_flight_local += 1
+        return request, "run"
 
     def _can_start(self, request: ServiceRequest) -> bool:
+        if self.pool is not None and request.op in POOLED_OPS:
+            # Pooled ops gate on an idle worker process; the class
+            # reservation below protects the in-process thread pool.
+            return self.pool.has_idle()
         if request.rank > 0:
             reserve = min(
                 self.config.reserved_interactive_workers,
                 self.config.workers - 1,
             )
-            free = self.config.workers - self.in_flight
+            free = self.config.workers - self.in_flight_local
             if free <= reserve:
                 return False  # keep the reserved slots for interactive
+        if (
+            self.pool is not None
+            and self.in_flight_local >= self.config.workers
+        ):
+            # With the pool on, remote requests do not occupy threads,
+            # so the runtimes no longer gate dispatch on ``in_flight``;
+            # local thread capacity is enforced here instead.
+            return False
         if request.campaign_key is None:
             return True
         return self.bulkheads.can_start(
@@ -531,6 +655,8 @@ class ServiceCore:
         latency_s = max(0.0, now - request.arrival_s)
         with self._lock:
             self.in_flight -= 1
+            if request.worker_id is None:
+                self.in_flight_local -= 1
             if request.campaign_key is not None:
                 self.bulkheads.release(
                     request.campaign_key, ok=(outcome == "ok"), now=now
@@ -596,6 +722,200 @@ class ServiceCore:
         )
 
     # ------------------------------------------------------------------
+    # Worker pool (pool mode only): remote completion and supervision.
+    # ------------------------------------------------------------------
+    def finish_remote(self, request: ServiceRequest, frame: dict) -> dict:
+        """Settle a request from its worker's response frame.
+
+        The worker shipped its span subtree inside the frame; splicing
+        it here keeps a pooled check one connected trace (the same
+        ``export_spans``/``splice`` contract the forked checker shards
+        use).  Accounting then flows through :meth:`finish` exactly as
+        an in-process execution would.
+        """
+        o = obs.current()
+        tracer = getattr(o, "tracer", None)
+        if tracer is not None and frame.get("spans"):
+            tracer.splice(frame["spans"])
+        traceparent = (
+            request.trace.traceparent() if request.trace is not None else None
+        )
+        if frame.get("resources"):
+            request.resources.update(frame["resources"])
+        if frame.get("ok"):
+            response = result_response(
+                request.id, request.op, request.cls, frame.get("result"),
+                timing=self._timing(request),
+                traceparent=traceparent,
+                resources=(
+                    dict(sorted(request.resources.items()))
+                    if self.config.measure_resources and request.resources
+                    else None
+                ),
+            )
+            return self.finish(request, response, outcome="ok")
+        kind = frame.get("kind", "internal")
+        response = error_response(
+            request.id, kind, frame.get("message", "worker failure"),
+            op=request.op, cls=request.cls, traceparent=traceparent,
+        )
+        return self.finish(request, response, outcome=kind)
+
+    def pool_worker_started(self, worker_id: int, pid=None):
+        """A worker came up (boot or post-crash restart)."""
+        now = self.clock()
+        with self._lock:
+            state = self.pool.worker_started(worker_id, now, pid=pid)
+            self.audit.event(
+                "worker-restart" if state.restarts else "worker-start",
+                at_s=now, worker=worker_id, pid=pid,
+                restarts=state.restarts,
+            )
+            return state
+
+    def pool_completed(
+        self, request: ServiceRequest, rss_kb=None
+    ) -> Optional[str]:
+        """Free the request's worker slot; returns ``"recycle"`` when
+        the slow-leak guard wants the worker gracefully replaced."""
+        with self._lock:
+            return self.pool.completed(
+                request.worker_id, self.clock(), rss_kb=rss_kb
+            )
+
+    def worker_failed(
+        self, worker_id: int, reason: str
+    ) -> Tuple[Optional[Tuple[object, dict]], "FailureDecision"]:
+        """A worker died (*reason*: crash/wedge/overrun): decide the
+        in-flight request's fate and the restart schedule.
+
+        Returns ``(delivery, decision)``: *delivery* is a
+        ``(reply_to, response)`` to send now (refusals), or None (the
+        request was requeued for replay, or the worker was idle).  The
+        runtime restarts the worker at ``decision.restart_at_s``.
+        """
+        now = self.clock()
+        with self._lock:
+            decision = self.pool.worker_failed(worker_id, reason, now)
+            self.count_pool_restart(reason)
+            self.audit.event(
+                "worker-exit", at_s=now, worker=worker_id, reason=reason,
+                trace=(
+                    decision.request.trace
+                    if decision.request is not None else None
+                ),
+                action=decision.action,
+                backoff_s=round(decision.backoff_s, 6),
+                request_id=_safe_id(
+                    decision.request.id
+                    if decision.request is not None
+                    else None
+                ),
+            )
+            if decision.request is None:
+                return None, decision
+            request = decision.request
+            if decision.action == "replay" and not self.draining:
+                # The slot accounting resets: the request re-enters the
+                # dispatch path and re-increments in_flight on restart.
+                self.in_flight -= 1
+                request.worker_id = None
+                self._replays.append(request)
+                self.audit.event(
+                    "replay", trace=request.trace,
+                    request_id=_safe_id(request.id), op=request.op,
+                    cls=request.cls, at_s=now, worker=worker_id,
+                    reason=reason, attempts=request.attempts,
+                )
+                o = obs.current()
+                if o.enabled:
+                    o.counter(
+                        "repro_service_pool_replays_total",
+                        "idempotent requests re-executed after a worker "
+                        "death",
+                        op=request.op,
+                    ).inc()
+                return None, decision
+            if decision.action == "refuse" and decision.quarantined:
+                self.audit.event(
+                    "quarantine", trace=request.trace,
+                    request_id=_safe_id(request.id), op=request.op,
+                    cls=request.cls, at_s=now,
+                    fingerprint=(decision.fingerprint or "")[:16],
+                    kills=decision.kills,
+                )
+            kind = decision.kind or "worker-lost"
+            message = decision.message or f"worker {worker_id} {reason}"
+            if decision.action == "replay" and self.draining:
+                # Replay would outlive the drain; answer structurally.
+                kind = "draining"
+                message = (
+                    f"worker {worker_id} {reason} mid-request during drain"
+                )
+            details = {"worker": worker_id, "reason": reason}
+            if decision.quarantined:
+                details["diagnostic"] = "NM501"
+            response = error_response(
+                request.id, kind, message,
+                op=request.op, cls=request.cls,
+                traceparent=(
+                    request.trace.traceparent()
+                    if request.trace is not None
+                    else None
+                ),
+                **details,
+            )
+            return (
+                (request.reply_to, self.finish(request, response, kind)),
+                decision,
+            )
+
+    def abandon_in_flight(
+        self, worker_id: int, reason: str
+    ) -> Optional[Tuple[object, dict]]:
+        """Drain timeout: the worker is about to be SIGKILLed with its
+        request still running — answer the request (never drop it)."""
+        now = self.clock()
+        with self._lock:
+            request = self.pool.abandon(worker_id, now)
+            if request is None:
+                return None
+            self.audit.event(
+                "worker-exit", at_s=now, worker=worker_id, reason=reason,
+                trace=request.trace, action="refuse",
+                request_id=_safe_id(request.id),
+            )
+            response = error_response(
+                request.id, "worker-lost",
+                f"daemon drained; worker {worker_id} killed after the "
+                "grace period with this request still executing",
+                op=request.op, cls=request.cls,
+                traceparent=(
+                    request.trace.traceparent()
+                    if request.trace is not None
+                    else None
+                ),
+                worker=worker_id, reason=reason,
+            )
+            return request.reply_to, self.finish(
+                request, response, "worker-lost"
+            )
+
+    def audit_pool_event(self, event: str, worker_id: int, **fields):
+        self.audit.event(
+            event, at_s=self.clock(), worker=worker_id, **fields
+        )
+
+    def count_pool_restart(self, reason: str) -> None:
+        o = obs.current()
+        if o.enabled:
+            o.counter(
+                "repro_service_pool_restarts_total",
+                "worker restarts by cause (crash/wedge/overrun/recycle)",
+                reason=reason,
+            ).inc()
+
+    # ------------------------------------------------------------------
     # Drain.
     # ------------------------------------------------------------------
     def begin_drain(self) -> None:
@@ -651,9 +971,15 @@ class ServiceCore:
     # ------------------------------------------------------------------
     def status_snapshot(self) -> dict:
         with self._lock:
+            pool = (
+                self.pool.snapshot(self.clock())
+                if self.pool is not None
+                else None
+            )
             return {
                 "draining": self.draining,
                 "in_flight": self.in_flight,
+                "pool": pool,
                 "queue": {
                     "depths": self.admission.depths(),
                     "capacity": self.admission.capacity,

@@ -15,6 +15,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -65,7 +66,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=4,
-        help="handler threads (default %(default)s)",
+        help=(
+            "supervised worker processes for check/analyze/diff/compile "
+            "and handler threads for everything else (default "
+            "%(default)s; must be >= 1)"
+        ),
+    )
+    parser.add_argument(
+        "--no-worker-pool",
+        action="store_true",
+        help=(
+            "run every op in-process on the thread pool (pre-pool "
+            "behaviour: no fault isolation, no crash recovery)"
+        ),
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "on SIGTERM, seconds busy workers get to finish before "
+            "SIGKILL (their requests are answered with structured "
+            "refusals; default %(default)s)"
+        ),
     )
     parser.add_argument(
         "--queue-depth",
@@ -128,8 +152,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     configure_logging(args.verbose, stream=sys.stderr)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1 (got {args.workers})")
+    if args.drain_grace < 0:
+        parser.error("--drain-grace must be >= 0")
+    cpus = os.cpu_count() or 1
+    if args.workers > cpus:
+        print(
+            f"nmsld: warning: --workers {args.workers} exceeds the "
+            f"{cpus} available CPUs; extra workers only add memory and "
+            "restart surface",
+            file=sys.stderr,
+        )
     previous = set_current(Observability(process_name="nmsld"))
     try:
         config = ServiceConfig(
@@ -139,6 +176,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             spec_cache_limit=args.spec_cache,
             journal_dir=args.journal_dir,
             audit_path=args.audit_path,
+            pool_workers=0 if args.no_worker_pool else args.workers,
+            drain_grace_s=args.drain_grace,
         )
         runtime = AsyncServiceRuntime(
             config=config,

@@ -263,6 +263,20 @@ class ServiceHandlers:
         cache_hits_before = self.cache.hits
         session = self.cache.get(self._require(params, "spec"))
         spec_cache_hit = self.cache.hits > cache_hits_before
+        if "chaos_sleep_s" in params:
+            # Test/chaos knob (cf. shard_threshold below): hold the
+            # request in execution so the pool's kill/overrun paths can
+            # be exercised deterministically from outside.
+            import time as _time
+
+            _time.sleep(float(params["chaos_sleep_s"]))
+        if params.get("chaos_exit"):
+            # Test/chaos knob: die mid-request the way a segfault or
+            # OOM kill would — only meaningful under the worker pool,
+            # where the supervisor must recover; never set in real use.
+            import os as _os
+
+            _os._exit(int(params["chaos_exit"]))
         jobs = int(params.get("jobs", 1))
         capacity = bool(params.get("capacity", False))
         measure = (

@@ -37,6 +37,10 @@ Error kinds and their HTTP-style codes:
 ``shed``         503 evicted from the queue by a higher-priority arrival
 ``draining``     503 daemon is draining (SIGTERM received)
 ``circuit-open`` 503 campaign circuit breaker open (repeat offender)
+``worker-lost``  503 a pool worker died mid-request and the op is not
+                     replayable (or its replay budget is spent)
+``quarantined``  503 the request's fingerprint is in the poison-request
+                     registry (killed workers twice; NM501)
 ``deadline``     504 deadline expired (queued or mid-execution)
 ``internal``     500 unexpected server-side failure
 =============== ==== ==================================================
@@ -79,11 +83,30 @@ OPS: Tuple[str, ...] = tuple(sorted(OP_CLASS))
 #: Ops that run campaigns over element sets (bulkhead-protected).
 CAMPAIGN_OPS: Tuple[str, ...] = ("rollout", "heal")
 
+#: Ops eligible for the multi-process worker pool: CPU-bound, stateless
+#: with respect to the daemon (their only shared state is the warm spec
+#: cache, which each worker owns a copy of).  Campaigns (rollout/heal)
+#: mutate the shared simulated fabric and write journals — they stay
+#: in-process; trivial ops (ping/status/slo) read core state directly.
+POOLED_OPS: Tuple[str, ...] = ("analyze", "check", "compile", "diff")
+
+#: Ops that may be transparently re-executed after a worker death: pure
+#: reads of (spec text, cache state), so at-least-once execution is
+#: indistinguishable from exactly-once.  Campaigns are deliberately
+#: absent — a rollout interrupted by a worker death must surface as a
+#: structured 503, never re-apply (its journal already guarantees
+#: crash-resume without double application).
+IDEMPOTENT_OPS = frozenset(
+    {"analyze", "check", "compile", "diff", "ping", "slo", "status"}
+)
+
 #: Error kinds caused by the request itself (malformed, uncompilable,
-#: policy-vetoed) rather than by service health — excluded from
-#: availability SLO accounting, as 4xx-class outcomes conventionally are.
+#: policy-vetoed, poison-quarantined) rather than by service health —
+#: excluded from availability SLO accounting, as 4xx-class outcomes
+#: conventionally are.  ``quarantined`` counts as a client fault: the
+#: registry only holds fingerprints that killed workers twice.
 CLIENT_FAULT_KINDS = frozenset(
-    {"bad-request", "unknown-op", "compile", "vetoed"}
+    {"bad-request", "unknown-op", "compile", "vetoed", "quarantined"}
 )
 
 ERROR_CODES: Dict[str, int] = {
@@ -95,6 +118,8 @@ ERROR_CODES: Dict[str, int] = {
     "shed": 503,
     "draining": 503,
     "circuit-open": 503,
+    "worker-lost": 503,
+    "quarantined": 503,
     "deadline": 504,
     "internal": 500,
 }

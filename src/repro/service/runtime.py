@@ -66,6 +66,24 @@ class SimulatedServiceRuntime:
       path production hits, compressed onto the logical clock;
     * ``drain_at`` (optional) begins a graceful drain mid-run.
 
+    With ``config.pool_workers > 0`` the same heap drives the worker
+    pool's *entire* supervision state machine on the logical clock:
+    pooled ops dispatch to supervisor-assigned worker slots, and
+    :meth:`inject_chaos` schedules deterministic worker faults —
+
+    * ``worker-crash``: the worker dies instantly (epoch-bumping its
+      pending completion); the in-flight request replays or is refused
+      per the supervisor's decision and the worker restarts on the
+      backoff schedule;
+    * ``worker-wedge``: the worker stops making progress *and* stops
+      heartbeating; detection fires ``heartbeat_timeout_s`` later;
+    * ``slow-leak``: the worker's synthetic resident set grows per
+      completion until the rss limit triggers a graceful recycle.
+
+    Handlers still execute in-process (there are no real child
+    processes on a logical clock) — what is simulated is supervision:
+    assignment, death, replay, quarantine, backoff, recycle.
+
     The transcript — every response in emission order, serialised with
     the protocol's deterministic encoder — is the unit of comparison
     for the chaos suite's byte-identical assertions.
@@ -85,6 +103,11 @@ class SimulatedServiceRuntime:
         self._eseq = 0
         self.transcript: List[str] = []
         self.responses: List[dict] = []
+        #: Pool-mode chaos state: wedged (worker -> epoch), synthetic
+        #: per-worker rss and leak growth rates.
+        self._wedged = {}
+        self._rss = {}
+        self._leak = {}
         if drain_at_s is not None:
             self._push(drain_at_s, "drain", None)
 
@@ -95,6 +118,18 @@ class SimulatedServiceRuntime:
 
     def offer_line(self, at_s: float, line: str) -> None:
         self._push(at_s, "arrival", line)
+
+    def inject_chaos(
+        self, at_s: float, kind: str, worker: int = 0, **params
+    ) -> None:
+        """Schedule a deterministic worker fault (pool mode only).
+
+        *kind* is ``worker-crash``, ``worker-wedge`` or ``slow-leak``
+        (``growth_kb=`` sets the per-completion rss growth).
+        """
+        if kind not in ("worker-crash", "worker-wedge", "slow-leak"):
+            raise ValueError(f"unknown chaos kind {kind!r}")
+        self._push(at_s, "chaos", (kind, worker, params))
 
     def _push(self, at_s: float, kind: str, payload: object) -> None:
         self._eseq += 1
@@ -122,6 +157,8 @@ class SimulatedServiceRuntime:
 
     def run(self) -> List[dict]:
         """Drain the event heap; returns every response in order."""
+        if self.core.pool is not None:
+            return self._run_pooled()
         self._busy = 0
         while self._events:
             at_s, _seq, kind, payload = heapq.heappop(self._events)
@@ -145,6 +182,133 @@ class SimulatedServiceRuntime:
                 self.core.begin_drain()
                 for _reply_to, message in self.core.drain_responses():
                     self._emit(message)
+        return self.responses
+
+    # -- pooled engine --------------------------------------------------
+    def _dispatch_pooled(self) -> None:
+        """Start everything startable: remote slots and local threads.
+
+        ``_can_start`` gates pooled ops on supervisor-idle slots and
+        local ops on ``in_flight_local``; no runtime-side busy counter
+        is needed.
+        """
+        while True:
+            action = self.core.next_action()
+            if action is None:
+                return
+            request, disposition = action
+            if disposition == "expired":
+                self._emit(self.core.expire(request))
+                continue
+            if disposition == "remote":
+                worker_id = request.worker_id
+                self._push(
+                    self._now + request.cost_s,
+                    "remote-complete",
+                    (worker_id, self.core.pool.epoch(worker_id), request),
+                )
+            else:
+                self._push(self._now + request.cost_s, "complete", request)
+
+    def _schedule_restart(self, worker_id: int, at_s: float) -> None:
+        self._push(
+            at_s, "worker-up", (worker_id, self.core.pool.epoch(worker_id))
+        )
+
+    def _apply_chaos(self, chaos_kind: str, worker_id: int, params) -> None:
+        pool = self.core.pool
+        state = pool.workers[worker_id]
+        if chaos_kind == "worker-crash":
+            if state.state == "down":
+                return  # already dead; nothing to crash
+            delivery, decision = self.core.worker_failed(worker_id, "crash")
+            if delivery is not None:
+                self._emit(delivery[1])
+            self._schedule_restart(worker_id, decision.restart_at_s)
+        elif chaos_kind == "worker-wedge":
+            if state.state != "busy":
+                return  # a wedge only bites mid-request
+            epoch = pool.epoch(worker_id)
+            self._wedged[worker_id] = epoch
+            self._push(
+                self._now + self.core.config.heartbeat_timeout_s,
+                "wedge-detect",
+                (worker_id, epoch),
+            )
+        elif chaos_kind == "slow-leak":
+            self._leak[worker_id] = float(params.get("growth_kb", 65536.0))
+
+    def _remote_complete(self, worker_id, epoch, request) -> None:
+        pool = self.core.pool
+        if pool.epoch(worker_id) != epoch:
+            return  # the worker died mid-request; supervision answered it
+        if self._wedged.get(worker_id) == epoch:
+            return  # wedged: this completion never happens
+        rss = None
+        if worker_id in self._leak:
+            self._rss[worker_id] = (
+                self._rss.get(worker_id, 0.0) + self._leak[worker_id]
+            )
+            rss = self._rss[worker_id]
+        self._emit(self.core.execute(request))
+        if pool.completed(request.worker_id, self._now, rss_kb=rss) == (
+            "recycle"
+        ):
+            restart_at = pool.recycle(worker_id, self._now)
+            self.core.audit_pool_event(
+                "worker-recycle", worker_id, reason="rss-limit",
+                rss_kb=rss,
+            )
+            self.core.count_pool_restart("recycle")
+            self._rss[worker_id] = 0.0
+            self._schedule_restart(worker_id, restart_at)
+
+    def _run_pooled(self) -> List[dict]:
+        """The discrete-event loop with worker supervision in the heap."""
+        for worker_id in sorted(self.core.pool.workers):
+            self.core.pool_worker_started(worker_id)
+        while self._events:
+            at_s, _seq, kind, payload = heapq.heappop(self._events)
+            self._now = max(self._now, at_s)
+            if kind == "arrival":
+                _request, responses = self.core.submit(
+                    payload, reply_to=None, arrival_s=self._now
+                )
+                for _reply_to, message in responses:
+                    self._emit(message)
+            elif kind == "complete":
+                self._emit(self.core.execute(payload))
+            elif kind == "remote-complete":
+                self._remote_complete(*payload)
+            elif kind == "chaos":
+                self._apply_chaos(*payload)
+            elif kind == "wedge-detect":
+                worker_id, epoch = payload
+                if (
+                    self.core.pool.epoch(worker_id) == epoch
+                    and self._wedged.get(worker_id) == epoch
+                ):
+                    del self._wedged[worker_id]
+                    delivery, decision = self.core.worker_failed(
+                        worker_id, "wedge"
+                    )
+                    if delivery is not None:
+                        self._emit(delivery[1])
+                    self._schedule_restart(
+                        worker_id, decision.restart_at_s
+                    )
+            elif kind == "worker-up":
+                worker_id, epoch = payload
+                if (
+                    self.core.pool.epoch(worker_id) == epoch
+                    and self.core.pool.workers[worker_id].state == "down"
+                ):
+                    self.core.pool_worker_started(worker_id)
+            elif kind == "drain":
+                self.core.begin_drain()
+                for _reply_to, message in self.core.drain_responses():
+                    self._emit(message)
+            self._dispatch_pooled()
         return self.responses
 
     def transcript_text(self) -> str:
@@ -254,7 +418,13 @@ class AsyncServiceRuntime:
             await self._work_available.wait()
             self._work_available.clear()
             while True:
-                if self.core.in_flight >= self.core.config.workers:
+                if (
+                    self._pool is None
+                    and self.core.in_flight >= self.core.config.workers
+                ):
+                    # Pool mode drops this fast-path: remote requests do
+                    # not occupy threads, so thread capacity is enforced
+                    # inside the core's _can_start instead.
                     break
                 action = self.core.next_action()
                 if action is None:
@@ -265,12 +435,32 @@ class AsyncServiceRuntime:
                         request.reply_to, self.core.expire(request)
                     )
                     continue
+                if disposition == "remote":
+                    self._pool.dispatch(request)
+                    continue
                 future = loop.run_in_executor(
                     self._executor, self.core.execute, request
                 )
                 future.add_done_callback(
                     lambda task, request=request: _done(request, task)
                 )
+
+    async def _pool_monitor(self) -> None:
+        """Kill workers that wedge (stale heartbeat) or overrun their
+        request deadline past the grace; the supervisor's verdicts, the
+        pool's SIGKILLs — recovery then flows through the worker's exit
+        path exactly as a spontaneous crash would."""
+        import asyncio
+
+        interval = max(0.05, self.core.config.heartbeat_interval_s)
+        while not self._stopped:
+            await asyncio.sleep(interval)
+            if self._pool is None or self._pool._stopping:
+                continue
+            for worker_id, reason in self.core.pool.overdue_workers(
+                self.core.clock()
+            ):
+                self._pool.kill_worker(worker_id, reason)
 
     # -- HTTP metrics/health --------------------------------------------
     async def _serve_http(self, reader, writer) -> None:
@@ -398,6 +588,16 @@ class AsyncServiceRuntime:
 
         self._stopped = False
         self._work_available = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        # Worker processes fork first, while this process is still
+        # (nearly) single-threaded — forking after the executors spin up
+        # would copy a process image with live worker threads.
+        self._pool = None
+        if self.core.pool is not None:
+            from repro.service.pool import ProcessWorkerPool
+
+            self._pool = ProcessWorkerPool(self)
+            self._pool.start(loop)
         from concurrent.futures import ThreadPoolExecutor
 
         self._executor = ThreadPoolExecutor(
@@ -409,7 +609,6 @@ class AsyncServiceRuntime:
         self._submit_executor = ThreadPoolExecutor(
             max_workers=2, thread_name_prefix="nmsld-submit"
         )
-        loop = asyncio.get_running_loop()
         drain_event = asyncio.Event()
         for signum in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -460,45 +659,62 @@ class AsyncServiceRuntime:
             os.replace(tmp, ready)
 
         dispatcher = asyncio.ensure_future(self._dispatcher())
+        monitor = (
+            asyncio.ensure_future(self._pool_monitor())
+            if self._pool is not None
+            else None
+        )
         _log.info(
             "listening on %s (http: %s)", endpoint, self.http_port
         )
 
-        # Serve until a drain is requested (signal or request_drain()).
-        while not (drain_event.is_set() or self._drain_requested):
-            try:
-                await asyncio.wait_for(drain_event.wait(), timeout=0.1)
-            except asyncio.TimeoutError:
-                pass
+        try:
+            # Serve until a drain is requested (signal/request_drain()).
+            while not (drain_event.is_set() or self._drain_requested):
+                try:
+                    await asyncio.wait_for(drain_event.wait(), timeout=0.1)
+                except asyncio.TimeoutError:
+                    pass
 
-        # Graceful drain: stop admitting, answer the queue, finish
-        # in-flight work, flush metrics, exit 0.
-        self.core.begin_drain()
-        server.close()
-        await server.wait_closed()
-        if self.socket_path:
-            self._unlink_socket(self.socket_path)
-        for reply_to, message in self.core.drain_responses():
-            await self._send(reply_to, message)
-        while self.core.in_flight > 0:
-            await asyncio.sleep(0.05)
-        self._stopped = True
-        self._kick()  # unblock the dispatcher so it can observe _stopped
-        await asyncio.wait_for(dispatcher, timeout=5.0)
-        if http_server is not None:
-            http_server.close()
-            await http_server.wait_closed()
-        self._submit_executor.shutdown(wait=True)
-        self._executor.shutdown(wait=True)
-        if self.metrics_path:
-            self._flush_metrics()
-        if self.trace_path:
-            self._flush_trace()
-        self.core.audit.close()
-        _log.info(
-            "drained cleanly after %d responses", self.core.responses_total
-        )
-        return 0
+            # Graceful drain: stop admitting, answer the queue, finish
+            # in-flight work (workers get --drain-grace seconds, then
+            # SIGKILL with their requests answered), flush, exit 0.
+            self.core.begin_drain()
+            server.close()
+            await server.wait_closed()
+            if self.socket_path:
+                self._unlink_socket(self.socket_path)
+            for reply_to, message in self.core.drain_responses():
+                await self._send(reply_to, message)
+            if self._pool is not None:
+                await self._pool.stop(self.core.config.drain_grace_s)
+            while self.core.in_flight > 0:
+                await asyncio.sleep(0.05)
+            self._stopped = True
+            self._kick()  # unblock the dispatcher to observe _stopped
+            await asyncio.wait_for(dispatcher, timeout=5.0)
+            if monitor is not None:
+                await asyncio.wait_for(monitor, timeout=5.0)
+            if http_server is not None:
+                http_server.close()
+                await http_server.wait_closed()
+            self._submit_executor.shutdown(wait=True)
+            self._executor.shutdown(wait=True)
+            if self.metrics_path:
+                self._flush_metrics()
+            if self.trace_path:
+                self._flush_trace()
+            self.core.audit.close()
+            _log.info(
+                "drained cleanly after %d responses",
+                self.core.responses_total,
+            )
+            return 0
+        finally:
+            # Every exit path — clean drain, a raised exception, a
+            # cancelled task — leaves no stale socket file behind.
+            if self.socket_path:
+                self._unlink_socket(self.socket_path)
 
     def _flush_metrics(self) -> None:
         """Final Prometheus scrape written to disk on drain."""

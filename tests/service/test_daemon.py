@@ -48,6 +48,30 @@ class TestEntryPoint:
         assert proc.returncode == 0
         assert proc.stdout.strip() == f"nmsld {__version__}"
 
+    def test_worker_count_validated(self):
+        proc = _run_daemon_cli("--workers", "0")
+        assert proc.returncode == 2
+        assert "--workers must be >= 1" in proc.stderr
+
+    def test_negative_drain_grace_rejected(self):
+        proc = _run_daemon_cli("--drain-grace", "-1")
+        assert proc.returncode == 2
+        assert "--drain-grace" in proc.stderr
+
+    def test_oversubscribed_workers_warn_but_run(self, tmp_path):
+        # A regular file at the socket path makes boot fail *after*
+        # argument handling: the absurd worker count must have produced
+        # a warning, not an error, by the time the bind is refused.
+        bogus = tmp_path / "not-a-socket"
+        bogus.write_text("precious data")
+        cpus = os.cpu_count() or 1
+        proc = _run_daemon_cli(
+            "--workers", str(cpus + 8), "--no-worker-pool",
+            "--socket", str(bogus),
+        )
+        assert proc.returncode == 1  # the socket, not the worker count
+        assert "exceeds" in proc.stderr
+
     def test_console_script_registered(self):
         import tomllib
 
